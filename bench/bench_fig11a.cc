@@ -1,0 +1,64 @@
+// Fig. 11(a): reachability on LiveJournal, varying the number of fragments
+// card(F) from 2 to 20. disReach and disReachn get faster with more
+// fragments (smaller parallel work / parallel shipping); disReachm gets
+// slower (more frequent cross-site bouncing).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/dis_mp.h"
+#include "src/baselines/dis_naive.h"
+#include "src/core/dis_reach.h"
+#include "src/fragment/partitioner.h"
+#include "src/net/cluster.h"
+
+namespace pereach {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::Parse(argc, argv, 0.02, 5);
+
+  Rng rng(opts.seed);
+  const Graph g = MakeDataset(Dataset::kLiveJournal, opts.scale, &rng);
+  std::printf("LiveJournal stand-in at scale %.3f: %zu nodes, %zu edges\n",
+              opts.scale, g.NumNodes(), g.NumEdges());
+  const std::vector<std::pair<NodeId, NodeId>> pairs =
+      MakeQueryPairs(g, opts.queries, &rng);
+
+  PrintHeader("Fig 11(a): q_r on LiveJournal, varying card(F)",
+              {"card(F)", "disReach", "disReachn", "disReachm", "mp-visits"});
+
+  for (size_t k = 2; k <= 20; k += 2) {
+    const std::vector<SiteId> part = ChunkPartitioner().Partition(g, k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, k);
+    Cluster cluster(&frag, BenchNetwork());
+
+    const AveragedRun pe = Average(pairs, [&](NodeId s, NodeId t) {
+      return DisReach(&cluster, {s, t});
+    });
+    const AveragedRun naive = Average(pairs, [&](NodeId s, NodeId t) {
+      return DisReachNaive(&cluster, {s, t});
+    });
+    const AveragedRun mp = Average(pairs, [&](NodeId s, NodeId t) {
+      return DisReachMp(&cluster, {s, t});
+    });
+
+    char kbuf[16], visits[32];
+    std::snprintf(kbuf, sizeof(kbuf), "%zu", k);
+    std::snprintf(visits, sizeof(visits), "%zu", mp.metrics.TotalVisits());
+    PrintRow({kbuf, FormatMs(pe.metrics.modeled_ms),
+              FormatMs(naive.metrics.modeled_ms),
+              FormatMs(mp.metrics.modeled_ms), visits});
+  }
+  std::printf(
+      "\nPaper shape: disReach/disReachn decrease with card(F); disReachm "
+      "increases.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pereach
+
+int main(int argc, char** argv) { return pereach::bench::Run(argc, argv); }

@@ -1,0 +1,68 @@
+// Fig. 11(b): reachability on synthetic graphs following the densification
+// law, card(F) = 8, varying the average fragment size size(F) from 35K to
+// 315K (nodes + edges). All algorithms slow down as fragments grow;
+// disReach stays least sensitive.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/dis_mp.h"
+#include "src/baselines/dis_naive.h"
+#include "src/core/dis_reach.h"
+#include "src/fragment/partitioner.h"
+#include "src/net/cluster.h"
+
+namespace pereach {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::Parse(argc, argv, 0.1, 5);
+  const size_t kFragments = 8;
+
+  PrintHeader("Fig 11(b): q_r on synthetic, card(F) = 8, varying size(F)",
+              {"size(F)", "disReach", "disReachn", "disReachm"});
+
+  // The paper sweeps per-fragment sizes 35K..315K in 40K steps.
+  for (size_t size_f = 35'000; size_f <= 315'000; size_f += 40'000) {
+    const size_t target = static_cast<size_t>(
+        static_cast<double>(size_f) * kFragments * opts.scale);
+    // Densification-law growth: |E| ≈ 1.5 |V| at these settings, so solve
+    // |V| + |E| = target with |E| = 1.5 |V|.
+    const size_t n = std::max<size_t>(64, target / 3);
+    Rng rng(opts.seed + size_f);
+    const Graph g = ForestFire(n, 0.38, 1, &rng);
+    const std::vector<SiteId> part =
+        RandomPartitioner().Partition(g, kFragments, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, kFragments);
+    Cluster cluster(&frag, BenchNetwork());
+    const std::vector<std::pair<NodeId, NodeId>> pairs =
+        MakeQueryPairs(g, opts.queries, &rng);
+
+    const AveragedRun pe = Average(pairs, [&](NodeId s, NodeId t) {
+      return DisReach(&cluster, {s, t});
+    });
+    const AveragedRun naive = Average(pairs, [&](NodeId s, NodeId t) {
+      return DisReachNaive(&cluster, {s, t});
+    });
+    const AveragedRun mp = Average(pairs, [&](NodeId s, NodeId t) {
+      return DisReachMp(&cluster, {s, t});
+    });
+
+    char size_buf[32];
+    std::snprintf(size_buf, sizeof(size_buf), "%zuK(x%.2f)", size_f / 1000,
+                  opts.scale);
+    PrintRow({size_buf, FormatMs(pe.metrics.modeled_ms),
+              FormatMs(naive.metrics.modeled_ms),
+              FormatMs(mp.metrics.modeled_ms)});
+  }
+  std::printf(
+      "\nPaper shape: all grow with size(F); disReach grows slowest.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pereach
+
+int main(int argc, char** argv) { return pereach::bench::Run(argc, argv); }

@@ -1,0 +1,61 @@
+// Fig. 11(c): reachability on one large synthetic graph (the paper uses
+// 36M nodes / 360M edges), varying card(F) from 10 to 20 in steps of 2.
+// disReach keeps getting cheaper with more fragments; disReachm keeps
+// getting more expensive.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/dis_mp.h"
+#include "src/core/dis_reach.h"
+#include "src/fragment/partitioner.h"
+#include "src/graph/generators.h"
+#include "src/net/cluster.h"
+
+namespace pereach {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::Parse(argc, argv, 0.005, 5);
+
+  Rng rng(opts.seed);
+  const size_t n = static_cast<size_t>(36'000'000 * opts.scale);
+  const size_t m = static_cast<size_t>(360'000'000 * opts.scale);
+  const Graph g = ErdosRenyi(n, m, 1, &rng);
+  std::printf("large synthetic at scale %.4f: %zu nodes, %zu edges\n",
+              opts.scale, g.NumNodes(), g.NumEdges());
+  const std::vector<std::pair<NodeId, NodeId>> pairs =
+      MakeQueryPairs(g, opts.queries, &rng);
+
+  PrintHeader("Fig 11(c): q_r on large synthetic, varying card(F)",
+              {"card(F)", "disReach", "disReachm", "mp-visits"});
+
+  for (size_t k = 10; k <= 20; k += 2) {
+    const std::vector<SiteId> part = RandomPartitioner().Partition(g, k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, k);
+    Cluster cluster(&frag, BenchNetwork());
+
+    const AveragedRun pe = Average(pairs, [&](NodeId s, NodeId t) {
+      return DisReach(&cluster, {s, t});
+    });
+    const AveragedRun mp = Average(pairs, [&](NodeId s, NodeId t) {
+      return DisReachMp(&cluster, {s, t});
+    });
+
+    char kbuf[16], visits[32];
+    std::snprintf(kbuf, sizeof(kbuf), "%zu", k);
+    std::snprintf(visits, sizeof(visits), "%zu", mp.metrics.TotalVisits());
+    PrintRow({kbuf, FormatMs(pe.metrics.modeled_ms),
+              FormatMs(mp.metrics.modeled_ms), visits});
+  }
+  std::printf(
+      "\nPaper shape: disReach falls with card(F); disReachm rises.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pereach
+
+int main(int argc, char** argv) { return pereach::bench::Run(argc, argv); }

@@ -1,0 +1,67 @@
+// Fig. 11(k): MRdRPQ with 10 mappers on synthetic labeled graphs, varying
+// the graph size (the paper sweeps 350K..3.15M with 4 query complexities
+// Q1 = (4,6,8), Q2 = (6,8,8), Q3 = (10,12,8), Q4 = (12,14,8)).
+// Larger graphs and more complex queries both increase job time.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/mapreduce/mr_rpq.h"
+#include "src/util/thread_pool.h"
+
+namespace pereach {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::Parse(argc, argv, 0.05, 4);
+  const size_t kMappers = 10;
+  const size_t kLabels = 8;
+  // Symbol counts realizing Q1..Q4's |Vq| = 4, 6, 10, 12 (states = sym + 2).
+  const std::vector<std::pair<const char*, size_t>> query_classes = {
+      {"Q1", 2}, {"Q2", 4}, {"Q3", 8}, {"Q4", 10}};
+
+  ThreadPool pool(0 /* hardware */);
+  const NetworkModel net = BenchNetwork();
+
+  PrintHeader("Fig 11(k): MRdRPQ, 10 mappers, varying graph size",
+              {"size", "Q1", "Q2", "Q3", "Q4"});
+
+  for (size_t size = 350'000; size <= 3'150'000; size += 400'000) {
+    const size_t target = static_cast<size_t>(size * opts.scale);
+    const size_t n = std::max<size_t>(64, target / 3);
+    Rng rng(opts.seed + size);
+    const Graph g = ErdosRenyi(n, 2 * n, kLabels, &rng);
+
+    std::vector<std::string> cells;
+    char size_buf[32];
+    std::snprintf(size_buf, sizeof(size_buf), "%zuK(x%.2f)", size / 1000,
+                  opts.scale);
+    cells.push_back(size_buf);
+
+    for (const auto& [name, symbols] : query_classes) {
+      const RegularWorkload workload =
+          MakeRegularWorkload(g, opts.queries, symbols, kLabels, &rng);
+      RunMetrics metrics;
+      for (size_t i = 0; i < workload.pairs.size(); ++i) {
+        const auto [s, t] = workload.pairs[i];
+        metrics.Accumulate(MapReduceRpqOnGraph(g, s, t, workload.automata[i],
+                                               kMappers, net, &pool)
+                               .answer.metrics);
+      }
+      metrics.ScaleDown(workload.pairs.size());
+      cells.push_back(FormatMs(metrics.modeled_ms));
+    }
+    PrintRow(cells);
+  }
+  std::printf(
+      "\nPaper shape: time grows with graph size and query complexity "
+      "(Q1 < Q2 < Q3 < Q4).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pereach
+
+int main(int argc, char** argv) { return pereach::bench::Run(argc, argv); }

@@ -1,0 +1,286 @@
+// Micro/ablation benchmarks (google-benchmark) for the design choices
+// DESIGN.md calls out:
+//  - localEval strategy: SCC bitset propagation vs per-in-node BFS
+//  - BES solving: dependency-graph BFS vs naive fixpoint iteration
+//  - partial-answer encoding: adaptive sparse/dense vs always-dense
+//  - query automaton construction cost
+//  - product graph construction for localEvalr
+//  - partitioner cost and cut quality
+//  - incremental index vs full disReach per query
+
+#include <deque>
+
+#include <benchmark/benchmark.h>
+
+#include "src/bes/bes.h"
+#include "src/core/dis_reach.h"
+#include "src/core/incremental.h"
+#include "src/core/local_eval.h"
+#include "src/fragment/partitioner.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/index/reach_index.h"
+#include "src/net/cluster.h"
+#include "src/regex/query_automaton.h"
+#include "src/util/timer.h"
+
+namespace pereach {
+namespace {
+
+Fragmentation MakeBenchFragmentation(size_t n, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  const Graph g = ErdosRenyi(n, 3 * n, 4, &rng);
+  const std::vector<SiteId> part = RandomPartitioner().Partition(g, k, &rng);
+  return Fragmentation::Build(g, part, k);
+}
+
+// --- localEval: bitset propagation (the shipped implementation) ------------
+
+void BM_LocalEvalReach_SccBitset(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, 42);
+  const Fragment& f = frag.fragment(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LocalEvalReach(f, 0, static_cast<NodeId>(n - 1)));
+  }
+  state.SetItemsProcessed(state.iterations() * f.in_nodes().size());
+}
+BENCHMARK(BM_LocalEvalReach_SccBitset)->Arg(2000)->Arg(10000)->Arg(40000);
+
+// --- localEval ablation: one BFS per in-node (the textbook strategy) -------
+
+void BM_LocalEvalReach_PerSourceBfs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, 42);
+  const Fragment& f = frag.fragment(0);
+  const Graph& g = f.local_graph();
+  for (auto _ : state) {
+    size_t reached_pairs = 0;
+    std::vector<uint32_t> stamp(g.NumNodes(), 0);
+    uint32_t epoch = 0;
+    for (NodeId src : f.in_nodes()) {
+      ++epoch;
+      std::deque<NodeId> queue{src};
+      stamp[src] = epoch;
+      while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        if (f.IsVirtual(u)) {
+          ++reached_pairs;
+          continue;  // virtual nodes are sinks
+        }
+        for (NodeId v : g.OutNeighbors(u)) {
+          if (stamp[v] != epoch) {
+            stamp[v] = epoch;
+            queue.push_back(v);
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(reached_pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * f.in_nodes().size());
+}
+BENCHMARK(BM_LocalEvalReach_PerSourceBfs)->Arg(2000)->Arg(10000);
+
+// --- BES solving ------------------------------------------------------------
+
+BooleanEquationSystem MakeBenchBes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  BooleanEquationSystem bes;
+  for (uint64_t v = 0; v < n; ++v) {
+    BoolEquation eq;
+    eq.var = v;
+    eq.has_true = rng.Bernoulli(0.02);
+    for (size_t d = rng.Uniform(6); d > 0; --d) {
+      eq.deps.push_back(rng.Uniform(n));
+    }
+    bes.Add(std::move(eq));
+  }
+  return bes;
+}
+
+void BM_BesDependencyGraphSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const BooleanEquationSystem bes = MakeBenchBes(n, 7);
+  uint64_t var = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bes.Evaluate(var));
+    var = (var + 1) % n;
+  }
+}
+BENCHMARK(BM_BesDependencyGraphSolve)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BesNaiveFixpointSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const BooleanEquationSystem bes = MakeBenchBes(n, 7);
+  uint64_t var = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bes.EvaluateNaive(var));
+    var = (var + 1) % n;
+  }
+}
+BENCHMARK(BM_BesNaiveFixpointSolve)->Arg(1000)->Arg(10000);
+
+// --- partial-answer encoding -------------------------------------------------
+
+void BM_ReachAnswerEncodeAdaptive(benchmark::State& state) {
+  const Fragmentation frag =
+      MakeBenchFragmentation(static_cast<size_t>(state.range(0)), 4, 11);
+  const ReachPartialAnswer pa = LocalEvalReach(frag.fragment(0), 0, 1);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Encoder enc;
+    pa.Serialize(&enc);
+    bytes = enc.size();
+    benchmark::DoNotOptimize(enc);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ReachAnswerEncodeAdaptive)->Arg(5000)->Arg(20000);
+
+// --- automaton + product construction ---------------------------------------
+
+void BM_QueryAutomatonFromRegex(benchmark::State& state) {
+  Rng rng(3);
+  const Regex r = Regex::Random(static_cast<size_t>(state.range(0)), 8, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QueryAutomaton::FromRegex(r));
+  }
+}
+BENCHMARK(BM_QueryAutomatonFromRegex)->Arg(4)->Arg(16)->Arg(60);
+
+void BM_LocalEvalRegularProduct(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, 13);
+  Rng rng(5);
+  const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Random(6, 4, &rng));
+  const Fragment& f = frag.fragment(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LocalEvalRegular(f, a, 0, static_cast<NodeId>(n - 1)));
+  }
+}
+BENCHMARK(BM_LocalEvalRegularProduct)->Arg(2000)->Arg(10000);
+
+// --- partitioners -------------------------------------------------------------
+
+template <typename P>
+void BM_Partitioner(benchmark::State& state) {
+  Rng rng(17);
+  const Graph g = PreferentialAttachment(
+      static_cast<size_t>(state.range(0)), 3, 1, &rng);
+  const P partitioner;
+  size_t cut = 0;
+  for (auto _ : state) {
+    const std::vector<SiteId> part = partitioner.Partition(g, 8, &rng);
+    state.PauseTiming();
+    cut = Fragmentation::Build(g, part, 8).num_cross_edges();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(part);
+  }
+  state.counters["cross_edges"] = static_cast<double>(cut);
+}
+BENCHMARK_TEMPLATE(BM_Partitioner, RandomPartitioner)->Arg(50000);
+BENCHMARK_TEMPLATE(BM_Partitioner, ChunkPartitioner)->Arg(50000);
+BENCHMARK_TEMPLATE(BM_Partitioner, BfsGrowPartitioner)->Arg(50000);
+
+// --- reachability indexes (§3 remark ablation) --------------------------------
+
+enum class IndexKind { kBfs, kMatrix, kInterval, kTwoHop };
+
+template <IndexKind kKind>
+void BM_ReachIndexQuery(benchmark::State& state) {
+  Rng rng(23);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Graph g = CommunityGraph(n, 4 * n, n / 200 + 1, 0.9, 1, &rng);
+  std::unique_ptr<ReachabilityIndex> index;
+  StopWatch build_watch;
+  switch (kKind) {
+    case IndexKind::kBfs:
+      index = BuildBfsIndex(g);
+      break;
+    case IndexKind::kMatrix:
+      index = BuildReachMatrix(g);
+      break;
+    case IndexKind::kInterval:
+      index = BuildIntervalIndex(g, 3, &rng);
+      break;
+    case IndexKind::kTwoHop:
+      index = BuildTwoHopIndex(g);
+      break;
+  }
+  const double build_ms = build_watch.ElapsedMs();
+  NodeId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index->Reaches(s, static_cast<NodeId>(n - 1 - s)));
+    s = (s + 1) % static_cast<NodeId>(n);
+  }
+  state.counters["build_ms"] = build_ms;
+  state.counters["index_bytes"] = static_cast<double>(index->ByteSize());
+}
+BENCHMARK_TEMPLATE(BM_ReachIndexQuery, IndexKind::kBfs)->Arg(20000);
+BENCHMARK_TEMPLATE(BM_ReachIndexQuery, IndexKind::kMatrix)->Arg(20000);
+BENCHMARK_TEMPLATE(BM_ReachIndexQuery, IndexKind::kInterval)->Arg(20000);
+BENCHMARK_TEMPLATE(BM_ReachIndexQuery, IndexKind::kTwoHop)->Arg(20000);
+
+// --- equation encodings (closure vs DAG, the DESIGN.md §1.4 choice) ----------
+
+template <EquationForm kForm>
+void BM_LocalEvalReachForm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, 42);
+  const Fragment& f = frag.fragment(0);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const ReachPartialAnswer pa =
+        LocalEvalReach(f, 0, static_cast<NodeId>(n - 1), kForm);
+    Encoder enc;
+    pa.Serialize(&enc);
+    bytes = enc.size();
+    benchmark::DoNotOptimize(enc);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK_TEMPLATE(BM_LocalEvalReachForm, EquationForm::kClosure)->Arg(10000);
+BENCHMARK_TEMPLATE(BM_LocalEvalReachForm, EquationForm::kDag)->Arg(10000);
+BENCHMARK_TEMPLATE(BM_LocalEvalReachForm, EquationForm::kAuto)->Arg(10000);
+
+// --- incremental index vs per-query partial evaluation ------------------------
+
+void BM_DisReachFullQuery(benchmark::State& state) {
+  const size_t n = 20000;
+  Rng rng(19);
+  const Graph g = ErdosRenyi(n, 3 * n, 1, &rng);
+  const std::vector<SiteId> part = RandomPartitioner().Partition(g, 4, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, 4);
+  Cluster cluster(&frag, NetworkModel());
+  NodeId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DisReach(&cluster, {s, static_cast<NodeId>(n - 1 - s)}));
+    s = (s + 1) % 1000;
+  }
+}
+BENCHMARK(BM_DisReachFullQuery);
+
+void BM_IncrementalIndexQuery(benchmark::State& state) {
+  const size_t n = 20000;
+  Rng rng(19);
+  const Graph g = ErdosRenyi(n, 3 * n, 1, &rng);
+  const std::vector<SiteId> part = RandomPartitioner().Partition(g, 4, &rng);
+  IncrementalReachIndex index(g, part, 4);
+  index.Reach(0, 1);  // warm the caches
+  NodeId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Reach(s, static_cast<NodeId>(n - 1 - s)));
+    s = (s + 1) % 1000;
+  }
+}
+BENCHMARK(BM_IncrementalIndexQuery);
+
+}  // namespace
+}  // namespace pereach
+
+BENCHMARK_MAIN();

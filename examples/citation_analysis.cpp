@@ -1,0 +1,101 @@
+// Citation analysis: regular reachability on a distributed citation DAG.
+//
+// Scenario: a bibliometrics service shards a citation graph by paper id
+// across servers. An analyst asks lineage questions like "does paper A
+// transitively build on paper B *through venue-X papers only*?" — a regular
+// reachability query where node labels are publication venues.
+//
+// This mirrors the paper's Citation dataset experiments (§7) at toy scale.
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/dist_graph.h"
+#include "src/fragment/partitioner.h"
+#include "src/graph/generators.h"
+
+using namespace pereach;  // NOLINT — examples favour brevity
+
+int main() {
+  Rng rng(2026);
+
+  // A layered citation DAG: 40 "years" of 250 papers, each citing 3 earlier
+  // papers, labeled with one of 8 venues.
+  const size_t kVenues = 8;
+  Graph citations = LayeredCitationDag(/*layers=*/40, /*width=*/250,
+                                       /*cites=*/3, kVenues, &rng);
+  std::printf("citation graph: %zu papers, %zu citations, %zu venues\n",
+              citations.NumNodes(), citations.NumEdges(), kVenues);
+
+  LabelDictionary venues;
+  for (size_t v = 0; v < kVenues; ++v) {
+    venues.Intern("VENUE" + std::to_string(v));
+  }
+
+  // Shard over 6 servers by hash (the service's actual layout is irrelevant
+  // to correctness — Theorems 1-3 hold for arbitrary fragmentation).
+  const size_t kServers = 6;
+  const std::vector<SiteId> shard =
+      RandomPartitioner().Partition(citations, kServers, &rng);
+  DistributedGraph dg(std::move(citations), shard, kServers);
+  std::printf("sharded over %zu servers, %zu cross-shard citations\n\n",
+              kServers, dg.fragmentation().num_cross_edges());
+
+  // Recent papers cite old ones; pick a recent paper and find a first-layer
+  // ancestor of it (guaranteed to exist: every citation chain bottoms out).
+  const NodeId recent = static_cast<NodeId>(dg.graph().NumNodes() - 1);
+  NodeId ancient = 0;
+  for (NodeId candidate = 0; candidate < 250; ++candidate) {
+    if (dg.Reach(recent, candidate).reachable) {
+      ancient = candidate;
+      break;
+    }
+  }
+
+  // Q1: plain lineage — does `recent` transitively cite `ancient`?
+  const QueryAnswer lineage = dg.Reach(recent, ancient);
+  std::printf("Q1 lineage %u ~> %u: %s   [%s]\n", recent, ancient,
+              lineage.reachable ? "yes" : "no",
+              lineage.metrics.Summary().c_str());
+
+  // Q2: lineage within 6 citation hops.
+  const QueryAnswer close = dg.BoundedReach(recent, ancient, 6);
+  if (close.reachable) {
+    std::printf("Q2 within 6 hops: yes (distance %llu)\n",
+                static_cast<unsigned long long>(close.distance));
+  } else {
+    std::printf("Q2 within 6 hops: no (shortest chain is longer)\n");
+  }
+
+  // Q3: lineage through VENUE0-only intermediaries.
+  Result<Regex> through_v0 = Regex::Parse("VENUE0*", venues);
+  const QueryAnswer pure = dg.RegularReach(recent, ancient, through_v0.value());
+  std::printf("Q3 through VENUE0-only papers: %s   [%s]\n",
+              pure.reachable ? "yes" : "no", pure.metrics.Summary().c_str());
+
+  // Q4: lineage alternating the two flagship venues.
+  Result<Regex> alternating =
+      Regex::Parse("(VENUE0 VENUE1)* | (VENUE1 VENUE0)*", venues);
+  const QueryAnswer alt = dg.RegularReach(recent, ancient, alternating.value());
+  std::printf("Q4 alternating VENUE0/VENUE1 chain: %s\n",
+              alt.reachable ? "yes" : "no");
+
+  // Q5: sweep — how many of the 20 oldest papers does `recent` build on
+  //     through any route vs through VENUE0-only routes?
+  size_t any_route = 0, pure_route = 0;
+  for (NodeId old_paper = 0; old_paper < 20; ++old_paper) {
+    if (dg.Reach(recent, old_paper).reachable) ++any_route;
+    if (dg.RegularReach(recent, old_paper, through_v0.value()).reachable) {
+      ++pure_route;
+    }
+  }
+  std::printf(
+      "Q5 of the 20 oldest papers, %zu are transitive ancestors; %zu via "
+      "VENUE0-only chains\n",
+      any_route, pure_route);
+
+  std::printf(
+      "\nAll queries shipped equations only: total cross-server traffic per "
+      "query\nstayed proportional to the shard boundary, not the graph.\n");
+  return 0;
+}

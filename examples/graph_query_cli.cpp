@@ -1,0 +1,188 @@
+// Command-line front end: load a graph from an edge-list file (or generate
+// one), fragment it, and answer reachability queries from the command line —
+// the "downstream user" entry point of the library.
+//
+// Usage:
+//   graph_query_cli --graph=path.txt --sites=4 [--partitioner=chunk] \
+//       reach 17 1042
+//   graph_query_cli --generate=livejournal --scale=0.01 bounded 17 1042 6
+//   graph_query_cli --graph=g.txt regular 17 1042 "a (b | c)*"
+//   graph_query_cli --graph=g.txt stats
+//
+// Query verbs: reach <s> <t> | bounded <s> <t> <l> | regular <s> <t> <R> |
+// stats. Labels in regular queries are the numeric label ids interned as
+// "l<N>" (e.g. "l0 (l1 | l2)*") unless the graph file carries named labels.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/dist_graph.h"
+#include "src/fragment/partitioner.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_io.h"
+
+using namespace pereach;  // NOLINT — examples favour brevity
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: graph_query_cli [--graph=FILE | --generate=DATASET] "
+      "[--scale=F]\n"
+      "       [--sites=K] [--partitioner=random|chunk|bfs] [--seed=N]\n"
+      "       [--engine=partial-eval|ship-all|message-passing|mapreduce]\n"
+      "       (stats | reach S T | bounded S T L | regular S T REGEX)\n");
+  return 2;
+}
+
+Graph LoadOrGenerate(const std::string& graph_path,
+                     const std::string& dataset_name, double scale,
+                     uint64_t seed) {
+  if (!graph_path.empty()) {
+    Result<Graph> r = ReadEdgeList(graph_path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "failed to read %s: %s\n", graph_path.c_str(),
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(r).value();
+  }
+  Rng rng(seed);
+  for (Dataset d : {Dataset::kLiveJournal, Dataset::kWikiTalk,
+                    Dataset::kBerkStan, Dataset::kNotreDame, Dataset::kAmazon,
+                    Dataset::kCitation, Dataset::kMeme, Dataset::kYoutube,
+                    Dataset::kInternet}) {
+    std::string lower = DatasetName(d);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == dataset_name) return MakeDataset(d, scale, &rng);
+  }
+  std::fprintf(stderr, "unknown dataset '%s'\n", dataset_name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string graph_path;
+  std::string dataset = "amazon";
+  std::string partitioner = "chunk";
+  std::string engine_name = "partial-eval";
+  double scale = 0.01;
+  size_t sites = 4;
+  uint64_t seed = 42;
+
+  int arg = 1;
+  for (; arg < argc && std::strncmp(argv[arg], "--", 2) == 0; ++arg) {
+    const std::string a = argv[arg];
+    if (a.rfind("--graph=", 0) == 0) {
+      graph_path = a.substr(8);
+    } else if (a.rfind("--generate=", 0) == 0) {
+      dataset = a.substr(11);
+    } else if (a.rfind("--scale=", 0) == 0) {
+      scale = std::atof(a.c_str() + 8);
+    } else if (a.rfind("--sites=", 0) == 0) {
+      sites = static_cast<size_t>(std::atoll(a.c_str() + 8));
+    } else if (a.rfind("--partitioner=", 0) == 0) {
+      partitioner = a.substr(14);
+    } else if (a.rfind("--engine=", 0) == 0) {
+      engine_name = a.substr(9);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(a.c_str() + 7));
+    } else {
+      return Usage();
+    }
+  }
+  if (arg >= argc) return Usage();
+  const std::string verb = argv[arg++];
+
+  Graph graph = LoadOrGenerate(graph_path, dataset, scale, seed);
+  Rng rng(seed);
+  std::vector<SiteId> partition;
+  if (partitioner == "random") {
+    partition = RandomPartitioner().Partition(graph, sites, &rng);
+  } else if (partitioner == "chunk") {
+    partition = ChunkPartitioner().Partition(graph, sites, &rng);
+  } else if (partitioner == "bfs") {
+    partition = BfsGrowPartitioner().Partition(graph, sites, &rng);
+  } else {
+    return Usage();
+  }
+
+  Engine engine = Engine::kPartialEval;
+  if (engine_name == "ship-all") {
+    engine = Engine::kShipAll;
+  } else if (engine_name == "message-passing") {
+    engine = Engine::kMessagePassing;
+  } else if (engine_name == "mapreduce") {
+    engine = Engine::kMapReduce;
+  } else if (engine_name != "partial-eval") {
+    return Usage();
+  }
+
+  const size_t num_nodes = graph.NumNodes();
+  LabelDictionary labels;
+  LabelId max_label = 0;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    max_label = std::max(max_label, graph.label(v));
+  }
+  for (LabelId l = 0; l <= max_label; ++l) {
+    labels.Intern("l" + std::to_string(l));
+  }
+
+  DistributedGraph dg(std::move(graph), partition, sites);
+
+  if (verb == "stats") {
+    const Fragmentation& f = dg.fragmentation();
+    std::printf("nodes=%zu edges=%zu labels=%u sites=%zu\n", num_nodes,
+                dg.graph().NumEdges(), max_label + 1, sites);
+    std::printf("cross_edges=%zu boundary(|Vf|)=%zu largest_fragment=%zu\n",
+                f.num_cross_edges(), f.num_boundary_nodes(),
+                f.largest_fragment_size());
+    for (SiteId sid = 0; sid < f.num_fragments(); ++sid) {
+      std::printf("  site %u: |V|=%zu |I|=%zu |O|=%zu\n", sid,
+                  f.fragment(sid).num_local(), f.fragment(sid).in_nodes().size(),
+                  f.fragment(sid).num_virtual());
+    }
+    return 0;
+  }
+
+  const auto parse_node = [&](const char* text) -> NodeId {
+    const long long v = std::atoll(text);
+    if (v < 0 || static_cast<size_t>(v) >= num_nodes) {
+      std::fprintf(stderr, "node %lld out of range [0, %zu)\n", v, num_nodes);
+      std::exit(1);
+    }
+    return static_cast<NodeId>(v);
+  };
+
+  QueryAnswer answer;
+  if (verb == "reach" && arg + 2 <= argc) {
+    answer = dg.Reach(parse_node(argv[arg]), parse_node(argv[arg + 1]), engine);
+  } else if (verb == "bounded" && arg + 3 <= argc) {
+    answer = dg.BoundedReach(parse_node(argv[arg]), parse_node(argv[arg + 1]),
+                             static_cast<uint32_t>(std::atoll(argv[arg + 2])),
+                             engine);
+  } else if (verb == "regular" && arg + 3 <= argc) {
+    Result<Regex> regex = Regex::Parse(argv[arg + 2], labels);
+    if (!regex.ok()) {
+      std::fprintf(stderr, "bad regex: %s\n", regex.status().ToString().c_str());
+      return 1;
+    }
+    answer = dg.RegularReach(parse_node(argv[arg]), parse_node(argv[arg + 1]),
+                             regex.value(), engine);
+  } else {
+    return Usage();
+  }
+
+  std::printf("answer: %s", answer.reachable ? "true" : "false");
+  if (answer.distance != kInfWeight) {
+    std::printf(" (distance %llu)",
+                static_cast<unsigned long long>(answer.distance));
+  }
+  std::printf("\n%s\n", answer.metrics.Summary().c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// MRdRPQ demo (paper §6): evaluating a regular reachability query as a
+// single MapReduce job, and how mapper count affects the job profile.
+
+#include <cstdio>
+
+#include "src/graph/generators.h"
+#include "src/mapreduce/mr_rpq.h"
+#include "src/regex/regex.h"
+#include "src/util/thread_pool.h"
+
+using namespace pereach;  // NOLINT — examples favour brevity
+
+int main() {
+  Rng rng(5);
+
+  // A Youtube-like recommendation graph with 12 category labels.
+  Graph graph = MakeDataset(Dataset::kYoutube, /*scale=*/0.02, &rng);
+  std::printf("graph: %zu nodes, %zu edges\n", graph.NumNodes(),
+              graph.NumEdges());
+
+  LabelDictionary categories;
+  for (int c = 0; c < 12; ++c) categories.Intern("cat" + std::to_string(c));
+  Result<Regex> r = Regex::Parse("cat0* (cat1 | cat2)*", categories);
+  if (!r.ok()) {
+    std::printf("regex error: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  const QueryAutomaton automaton = QueryAutomaton::FromRegex(r.value());
+  std::printf("query automaton: %zu states, %zu transitions\n\n",
+              automaton.num_states(), automaton.num_transitions());
+
+  const NodeId s = 42;
+  const NodeId t = static_cast<NodeId>(graph.NumNodes() - 1);
+
+  ThreadPool pool(8);
+  NetworkModel net;  // 5 ms latency, 100 MB/s
+
+  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s\n", "mappers", "answer",
+              "map(ms)", "reduce(ms)", "ECC(MB)", "traffic(MB)");
+  for (size_t mappers : {2, 5, 10, 20}) {
+    const MapReduceRpqResult res =
+        MapReduceRpqOnGraph(graph, s, t, automaton, mappers, net, &pool);
+    std::printf("%-8zu %-8s %-12.2f %-12.2f %-12.3f %-12.3f\n", mappers,
+                res.answer.reachable ? "true" : "false",
+                res.stats.map_wall_ms, res.stats.reduce_wall_ms,
+                static_cast<double>(res.stats.EccBytes()) / 1e6,
+                static_cast<double>(res.stats.TotalTrafficBytes()) / 1e6);
+  }
+
+  std::printf(
+      "\nMore mappers shrink the per-mapper fragment (max mapper input falls),"
+      "\nso the ECC critical path of [1] drops — the Fig. 11(l) effect.\n");
+  return 0;
+}

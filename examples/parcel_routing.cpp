@@ -1,0 +1,95 @@
+// Parcel routing: bounded reachability across regional logistics networks.
+//
+// Scenario: a delivery company operates regional hub networks (one per
+// operating company, stored at that company's site). A parcel can be
+// promised "K-hop delivery" iff the destination is within K hops of the
+// origin in the union network. The union is never materialized — q_br runs
+// by partial evaluation over the regions, matching §4 of the paper.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/dist_graph.h"
+#include "src/graph/graph.h"
+#include "src/util/random.h"
+
+using namespace pereach;  // NOLINT — examples favour brevity
+
+int main() {
+  Rng rng(99);
+
+  // Four regions of 12x12 hub grids, connected by a few inter-region links.
+  const size_t kRegions = 4;
+  const size_t kSide = 12;
+  const size_t kHubsPerRegion = kSide * kSide;
+
+  GraphBuilder builder;
+  std::vector<SiteId> region_of;
+  for (SiteId r = 0; r < kRegions; ++r) {
+    const NodeId base = builder.AddNodes(kHubsPerRegion);
+    for (size_t i = 0; i < kHubsPerRegion; ++i) region_of.push_back(r);
+    // Bidirectional grid roads within the region.
+    const auto hub = [&](size_t row, size_t col) {
+      return static_cast<NodeId>(base + row * kSide + col);
+    };
+    for (size_t row = 0; row < kSide; ++row) {
+      for (size_t col = 0; col < kSide; ++col) {
+        if (col + 1 < kSide) {
+          builder.AddEdge(hub(row, col), hub(row, col + 1));
+          builder.AddEdge(hub(row, col + 1), hub(row, col));
+        }
+        if (row + 1 < kSide) {
+          builder.AddEdge(hub(row, col), hub(row + 1, col));
+          builder.AddEdge(hub(row + 1, col), hub(row, col));
+        }
+      }
+    }
+  }
+  // Sparse inter-region air links (one-way, like scheduled freight flights).
+  const size_t kAirLinks = 10;
+  for (size_t i = 0; i < kAirLinks; ++i) {
+    const NodeId from = static_cast<NodeId>(rng.Uniform(kRegions * kHubsPerRegion));
+    const NodeId to = static_cast<NodeId>(rng.Uniform(kRegions * kHubsPerRegion));
+    if (region_of[from] != region_of[to]) builder.AddEdge(from, to);
+  }
+
+  DistributedGraph dg(std::move(builder).Build(), region_of, kRegions);
+  std::printf("logistics network: %zu hubs in %zu regions, %zu air links "
+              "cross regions\n\n",
+              dg.graph().NumNodes(), kRegions,
+              dg.fragmentation().num_cross_edges());
+
+  // Promise check: origin in region 0, destination in region 3.
+  const NodeId origin = 0;
+  const NodeId destination =
+      static_cast<NodeId>(3 * kHubsPerRegion + kHubsPerRegion - 1);
+
+  std::printf("Can we deliver hub %u -> hub %u ...\n", origin, destination);
+  for (uint32_t promise : {10, 20, 30, 40, 60}) {
+    const QueryAnswer a = dg.BoundedReach(origin, destination, promise);
+    std::printf("  within %2u hops? %-5s", promise,
+                a.reachable ? "yes" : "no");
+    if (a.reachable) {
+      std::printf(" (actual shortest chain: %llu hops)",
+                  static_cast<unsigned long long>(a.distance));
+    }
+    std::printf("   [visits/site = %zu, traffic = %.3f MB]\n",
+                a.metrics.MaxVisits(), a.metrics.traffic_mb());
+  }
+
+  // Fleet planning sweep: how many of 25 random destination hubs are
+  // reachable within 25 hops of the central depot?
+  size_t covered = 0;
+  for (int i = 0; i < 25; ++i) {
+    const NodeId dest =
+        static_cast<NodeId>(rng.Uniform(dg.graph().NumNodes()));
+    if (dg.BoundedReach(origin, dest, 25).reachable) ++covered;
+  }
+  std::printf("\n25-hop coverage from the depot: %zu/25 sampled hubs\n",
+              covered);
+
+  std::printf(
+      "\nEach promise check visited every regional site exactly once and\n"
+      "shipped min-plus equations over boundary hubs only (Theorem 2).\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// The paper's running example (Fig. 1): a recommendation network
+// geo-distributed over three data centers DC1, DC2, DC3. CTO Ann wants to
+// know whether a chain of recommendations leads to her finance analyst Mark
+// — possibly restricted to chains of DB people or HR people.
+//
+// This example reproduces, end to end, Examples 1-8 of the paper:
+//   q_r(Ann, Mark)                (Example 3-4)
+//   q_br(Ann, Mark, 6)            (Example 5)
+//   q_rr(Ann, Mark, DB* ∪ HR*)    (Examples 6-8)
+// and prints the per-site partial answers the text walks through.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/dist_graph.h"
+#include "src/core/local_eval.h"
+#include "src/graph/graph.h"
+
+using namespace pereach;  // NOLINT — examples favour brevity
+
+namespace {
+
+struct Person {
+  std::string name;
+  std::string job;
+  SiteId site;
+};
+
+}  // namespace
+
+int main() {
+  // --- Build the Fig. 1 network. -------------------------------------------
+  const std::vector<Person> people = {
+      {"Ann", "CTO", 0}, {"Walt", "HR", 0}, {"Bill", "DB", 0},
+      {"Fred", "HR", 0}, {"Mat", "HR", 1},  {"Emmy", "HR", 1},
+      {"Jack", "MK", 1}, {"Pat", "SE", 2},  {"Ross", "HR", 2},
+      {"Tom", "AI", 2},  {"Mark", "FA", 2},
+  };
+  LabelDictionary jobs;
+  GraphBuilder builder;
+  std::vector<SiteId> partition;
+  for (const Person& p : people) {
+    builder.AddNode(jobs.Intern(p.job));
+    partition.push_back(p.site);
+  }
+  const auto id = [&people](const std::string& name) -> NodeId {
+    for (NodeId v = 0; v < people.size(); ++v) {
+      if (people[v].name == name) return v;
+    }
+    return kInvalidNode;
+  };
+  const std::vector<std::pair<std::string, std::string>> recommendations = {
+      {"Ann", "Walt"},  {"Ann", "Bill"}, {"Walt", "Mat"}, {"Bill", "Pat"},
+      {"Fred", "Emmy"}, {"Mat", "Fred"}, {"Emmy", "Mat"}, {"Jack", "Mat"},
+      {"Emmy", "Ross"}, {"Pat", "Jack"}, {"Ross", "Mark"},
+  };
+  for (const auto& [from, to] : recommendations) {
+    builder.AddEdge(id(from), id(to));
+  }
+
+  DistributedGraph dg(std::move(builder).Build(), partition, 3);
+  const NodeId ann = id("Ann");
+  const NodeId mark = id("Mark");
+
+  std::printf("Recommendation network over 3 data centers:\n");
+  for (SiteId s = 0; s < 3; ++s) {
+    const Fragment& f = dg.fragmentation().fragment(s);
+    std::printf("  DC%u: %zu people, %zu cross recommendations, F%u.I = {",
+                s + 1, f.num_local(), f.num_cross_edges(), s + 1);
+    bool first = true;
+    for (NodeId in : f.in_nodes()) {
+      std::printf("%s%s", first ? "" : ", ",
+                  people[f.ToGlobal(in)].name.c_str());
+      first = false;
+    }
+    std::printf("}\n");
+  }
+
+  // --- Example 3: the Boolean equations each site ships. -------------------
+  std::printf("\nPartial answers for q_r(Ann, Mark) (Example 3):\n");
+  for (SiteId s = 0; s < 3; ++s) {
+    const Fragment& f = dg.fragmentation().fragment(s);
+    const ReachPartialAnswer pa =
+        LocalEvalReach(f, ann, mark, EquationForm::kClosure);
+    for (const auto& eq : pa.equations) {
+      std::printf("  DC%u:  x%s =", s + 1, people[eq.var].name.c_str());
+      bool first = true;
+      if (eq.has_true) {
+        std::printf(" true");
+        first = false;
+      }
+      for (uint32_t dep : eq.deps) {
+        std::printf("%s x%s", first ? "" : " ∨",
+                    people[pa.oset_globals[dep]].name.c_str());
+        first = false;
+      }
+      if (first) std::printf(" false");
+      std::printf("\n");
+    }
+  }
+
+  // --- Example 4: solve the system. ----------------------------------------
+  const QueryAnswer reach = dg.Reach(ann, mark);
+  std::printf("\nq_r(Ann, Mark) = %s   [%s]\n",
+              reach.reachable ? "true" : "false",
+              reach.metrics.Summary().c_str());
+
+  // --- Example 5: bounded reachability. ------------------------------------
+  const QueryAnswer within6 = dg.BoundedReach(ann, mark, 6);
+  const QueryAnswer within5 = dg.BoundedReach(ann, mark, 5);
+  std::printf("q_br(Ann, Mark, 6) = %s (chain of length %llu)\n",
+              within6.reachable ? "true" : "false",
+              static_cast<unsigned long long>(within6.distance));
+  std::printf("q_br(Ann, Mark, 5) = %s\n",
+              within5.reachable ? "true" : "false");
+
+  // --- Examples 6-8: regular reachability. ----------------------------------
+  Result<Regex> r = Regex::Parse("DB* | HR*", jobs);
+  if (!r.ok()) {
+    std::printf("regex error: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  const QueryAnswer regular = dg.RegularReach(ann, mark, r.value());
+  std::printf("q_rr(Ann, Mark, DB* ∪ HR*) = %s   [%s]\n",
+              regular.reachable ? "true" : "false",
+              regular.metrics.Summary().c_str());
+
+  Result<Regex> db_only = Regex::Parse("DB*", jobs);
+  std::printf("q_rr(Ann, Mark, DB*) = %s  (no all-DB chain exists)\n",
+              dg.RegularReach(ann, mark, db_only.value()).reachable ? "true"
+                                                                     : "false");
+
+  // --- The guarantee the paper highlights: one visit per site. -------------
+  std::printf(
+      "\nEvery query above visited each data center exactly once and shipped"
+      "\nonly Boolean equations — never the fragments themselves.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "src/baselines/centralized.h"
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/graph/algorithms.h"
+
+namespace pereach {
+
+bool CentralizedReach(const Graph& g, NodeId s, NodeId t) {
+  return Reaches(g, s, t);
+}
+
+uint32_t CentralizedDistance(const Graph& g, NodeId s, NodeId t) {
+  return BfsDistance(g, s, t);
+}
+
+bool CentralizedRegularReach(const Graph& g, NodeId s, NodeId t,
+                             const QueryAutomaton& automaton) {
+  // visited[v] is the mask of automaton states already explored at v.
+  std::vector<uint64_t> visited(g.NumNodes(), 0);
+  std::deque<std::pair<NodeId, uint32_t>> queue;
+
+  const auto compat = [&](NodeId v) {
+    uint64_t mask = automaton.StatesWithLabel(g.label(v));
+    if (v == t) mask |= uint64_t{1} << QueryAutomaton::kFinal;
+    return mask;
+  };
+
+  visited[s] |= uint64_t{1} << QueryAutomaton::kStart;
+  queue.emplace_back(s, QueryAutomaton::kStart);
+  while (!queue.empty()) {
+    const auto [v, q] = queue.front();
+    queue.pop_front();
+    if (v == t && q == QueryAutomaton::kFinal) return true;
+    for (NodeId w : g.OutNeighbors(v)) {
+      uint64_t next = automaton.out_mask(q) & compat(w) & ~visited[w];
+      if (next == 0) continue;
+      visited[w] |= next;
+      while (next != 0) {
+        const uint32_t q2 = static_cast<uint32_t>(__builtin_ctzll(next));
+        next &= next - 1;
+        queue.emplace_back(w, q2);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace pereach

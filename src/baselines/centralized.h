@@ -1,0 +1,28 @@
+#ifndef PEREACH_BASELINES_CENTRALIZED_H_
+#define PEREACH_BASELINES_CENTRALIZED_H_
+
+#include "src/graph/graph.h"
+#include "src/regex/query_automaton.h"
+#include "src/util/common.h"
+
+namespace pereach {
+
+/// Centralized (single-site) query evaluation [31] — used by the ship-all
+/// baselines after reassembling the graph, and as the oracle in tests.
+
+/// BFS reachability; s == t is true.
+bool CentralizedReach(const Graph& g, NodeId s, NodeId t);
+
+/// BFS distance; kInfDistance when unreachable.
+uint32_t CentralizedDistance(const Graph& g, NodeId s, NodeId t);
+
+/// Regular reachability by BFS over the implicit product of g with the
+/// query automaton: O(|E| |E_q|) with 64-state masks. Semantics follow
+/// §5.1: interior nodes matched by label, s/t matched by identity, paths of
+/// length >= 1.
+bool CentralizedRegularReach(const Graph& g, NodeId s, NodeId t,
+                             const QueryAutomaton& automaton);
+
+}  // namespace pereach
+
+#endif  // PEREACH_BASELINES_CENTRALIZED_H_

@@ -1,0 +1,153 @@
+#include "src/baselines/dis_mp.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+
+#include "src/util/timer.h"
+
+namespace pereach {
+
+namespace {
+
+// Wire cost of one activation message: a varint node id plus envelope.
+constexpr size_t kMessageBytes = 8;
+// Wire cost of one "idle" control message.
+constexpr size_t kIdleBytes = 4;
+// Master-side handling cost per routed message. The master receives every
+// virtual-node report and redirects it to the owner site one message at a
+// time — the serialization of parallelizable work that the paper names as
+// disReachm's fundamental cost (§1, §7 Exp-1). 20 us models a lightweight
+// RPC dispatch.
+constexpr double kMasterPerMessageMs = 0.02;
+
+/// Per-worker BFS state for one query.
+struct WorkerState {
+  std::vector<bool> active;          // per local real node
+  std::vector<bool> virtual_reported;  // per local virtual node
+};
+
+}  // namespace
+
+QueryAnswer DisReachMp(Cluster* cluster, const ReachQuery& query) {
+  const Fragmentation& frag = cluster->fragmentation();
+  const NodeId s = query.source;
+  const NodeId t = query.target;
+  const size_t k = frag.num_fragments();
+
+  QueryAnswer answer;
+  cluster->BeginQuery();
+  if (s == t) {
+    answer.reachable = true;
+    answer.distance = 0;
+    cluster->EndQuery();
+    answer.metrics = cluster->metrics();
+    return answer;
+  }
+
+  std::vector<WorkerState> workers(k);
+  for (SiteId i = 0; i < k; ++i) {
+    workers[i].active.assign(frag.fragment(i).num_local(), false);
+    workers[i].virtual_reported.assign(frag.fragment(i).num_virtual(), false);
+  }
+
+  // Initial broadcast of q_r(s, t): one visit and one small message per site.
+  for (SiteId i = 0; i < k; ++i) cluster->RecordVisits(i, 1);
+  cluster->RecordTraffic(k * kMessageBytes, k);
+  cluster->RecordModeledRound(0.0, k * kMessageBytes);
+
+  // inbox[i]: global node ids the master delivers to site i this superstep.
+  std::vector<std::vector<NodeId>> inbox(k);
+  inbox[frag.site_of(s)].push_back(s);
+
+  std::atomic<bool> found{false};
+  bool any_message = true;
+
+  while (any_message && !found.load(std::memory_order_relaxed)) {
+    // --- worker phase: local BFS from newly activated nodes, in parallel.
+    std::vector<std::vector<NodeId>> outbox(k);  // reached virtual nodes
+    std::vector<double> compute_ms(k, 0.0);
+    cluster->pool()->ParallelFor(k, [&](size_t i) {
+      if (inbox[i].empty()) return;
+      StopWatch watch;
+      const Fragment& f = frag.fragment(i);
+      WorkerState& w = workers[i];
+      std::deque<NodeId> queue;
+      for (NodeId global : inbox[i]) {
+        const NodeId local = f.ToLocal(global);
+        PEREACH_CHECK_NE(local, kInvalidNode);
+        PEREACH_CHECK(!f.IsVirtual(local));
+        if (!w.active[local]) {
+          w.active[local] = true;
+          queue.push_back(local);
+        }
+      }
+      while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        if (f.ToGlobal(u) == t) {
+          found.store(true, std::memory_order_relaxed);
+          // Keep draining: the superstep completes, as in Pregel.
+        }
+        for (NodeId v : f.local_graph().OutNeighbors(u)) {
+          if (f.IsVirtual(v)) {
+            const size_t vi = v - f.num_local();
+            if (!w.virtual_reported[vi]) {
+              w.virtual_reported[vi] = true;
+              outbox[i].push_back(f.ToGlobal(v));
+            }
+          } else if (!w.active[v]) {
+            w.active[v] = true;
+            queue.push_back(v);
+          }
+        }
+      }
+      compute_ms[i] = watch.ElapsedMs();
+    });
+
+    // --- master phase: route reports to owner sites; count messages/visits.
+    size_t round_bytes = 0;
+    size_t worker_messages = 0;
+    double max_compute = 0.0;
+    std::vector<std::vector<NodeId>> next_inbox(k);
+    for (SiteId i = 0; i < k; ++i) {
+      max_compute = std::max(max_compute, compute_ms[i]);
+      if (!inbox[i].empty()) {
+        // Idle/progress control message back to the master.
+        round_bytes += kIdleBytes;
+        ++worker_messages;
+      }
+      for (NodeId global : outbox[i]) {
+        // Worker -> master report.
+        round_bytes += kMessageBytes;
+        ++worker_messages;
+        const SiteId owner = frag.site_of(global);
+        next_inbox[owner].push_back(global);
+      }
+    }
+    // Master -> worker redirects; each delivered id is one visit (this is
+    // the count the paper reports as "visits" for disReachm).
+    size_t delivered = 0;
+    for (SiteId i = 0; i < k; ++i) {
+      if (!next_inbox[i].empty()) {
+        cluster->RecordVisits(i, next_inbox[i].size());
+        round_bytes += next_inbox[i].size() * kMessageBytes;
+        delivered += next_inbox[i].size();
+      }
+    }
+    cluster->RecordTraffic(round_bytes, worker_messages + delivered);
+    cluster->RecordModeledRound(
+        max_compute + (worker_messages + delivered) * kMasterPerMessageMs,
+        round_bytes);
+
+    any_message = delivered > 0;
+    inbox = std::move(next_inbox);
+  }
+
+  answer.reachable = found.load(std::memory_order_relaxed);
+  cluster->EndQuery();
+  answer.metrics = cluster->metrics();
+  return answer;
+}
+
+}  // namespace pereach

@@ -1,0 +1,27 @@
+#ifndef PEREACH_BASELINES_DIS_MP_H_
+#define PEREACH_BASELINES_DIS_MP_H_
+
+#include "src/core/answer.h"
+#include "src/core/query.h"
+#include "src/net/cluster.h"
+
+namespace pereach {
+
+/// disReachm (§7): distributed BFS by message passing, following Pregel
+/// [21]. One worker per fragment plus a master holding the fragment graph.
+/// Nodes are active/inactive; in each superstep every worker propagates "T"
+/// from its newly activated nodes through its fragment, reports reached
+/// virtual nodes to the master, and the master redirects each report to the
+/// owner of the node. Terminates with true as soon as t is activated, or
+/// with false when every worker is idle.
+///
+/// Visit accounting matches the paper's: every activation message delivered
+/// to a site counts as one visit (hence the hundreds of visits per site the
+/// paper reports), plus one visit per site for the initial query broadcast.
+/// Supersteps serialize: each costs a master round trip regardless of how
+/// little work it carries — this is precisely the cost disReach avoids.
+QueryAnswer DisReachMp(Cluster* cluster, const ReachQuery& query);
+
+}  // namespace pereach
+
+#endif  // PEREACH_BASELINES_DIS_MP_H_

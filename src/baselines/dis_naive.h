@@ -1,0 +1,29 @@
+#ifndef PEREACH_BASELINES_DIS_NAIVE_H_
+#define PEREACH_BASELINES_DIS_NAIVE_H_
+
+#include "src/core/answer.h"
+#include "src/core/query.h"
+#include "src/net/cluster.h"
+#include "src/regex/query_automaton.h"
+
+namespace pereach {
+
+/// The ship-all baselines of §7 (disReachn / disDistn / disRPQn): every site
+/// serializes its whole fragment to the coordinator in parallel; the
+/// coordinator reassembles G and runs the centralized algorithm. One visit
+/// per site, but traffic equals the size of the entire graph.
+
+QueryAnswer DisReachNaive(Cluster* cluster, const ReachQuery& query);
+QueryAnswer DisDistNaive(Cluster* cluster, const BoundedReachQuery& query);
+QueryAnswer DisRpqNaive(Cluster* cluster, NodeId s, NodeId t,
+                        const QueryAutomaton& automaton);
+
+/// Reassembles the global graph from shipped fragment payloads. Exposed for
+/// tests; `num_nodes` is the coordinator's knowledge of |V| (from its
+/// fragment -> site mapping h).
+Graph ReassembleGraph(const std::vector<std::vector<uint8_t>>& payloads,
+                      size_t num_nodes);
+
+}  // namespace pereach
+
+#endif  // PEREACH_BASELINES_DIS_NAIVE_H_

@@ -1,0 +1,115 @@
+#include "src/baselines/dis_rpq_suciu.h"
+
+#include <unordered_map>
+
+#include "src/bes/bes.h"
+#include "src/core/local_eval.h"
+#include "src/util/bitset.h"
+#include "src/util/timer.h"
+
+namespace pereach {
+
+namespace {
+
+/// Always-dense wire format: one |var_table|-bit row per (in-node, state)
+/// pair — aliases are *expanded* back into full rows, because [30] ships the
+/// complete boundary relation without equation merging. This is the
+/// n²-style traffic the paper contrasts disRPQ against.
+void SerializeDense(const RegularPartialAnswer& pa, Encoder* enc) {
+  enc->PutVarint(pa.var_table.size());
+  for (const auto& [node, state] : pa.var_table) {
+    enc->PutVarint(node);
+    enc->PutU8(state);
+  }
+  // Rows by representative, for alias expansion.
+  std::unordered_map<uint64_t, const RegularPartialAnswer::Equation*> by_rep;
+  for (const RegularPartialAnswer::Equation& eq : pa.equations) {
+    PEREACH_CHECK(!eq.is_aux);  // closure form only
+    by_rep[PackNodeState(eq.var_global, eq.state)] = &eq;
+  }
+
+  const auto put_row = [&](NodeId var, uint8_t state,
+                           const RegularPartialAnswer::Equation& eq) {
+    enc->PutVarint(var);
+    enc->PutU8(state);
+    enc->PutU8(eq.has_true ? 1 : 0);
+    Bitset row(pa.var_table.size());
+    for (uint32_t i : eq.deps) row.Set(i);
+    enc->PutBitset(row);
+  };
+
+  enc->PutVarint(pa.equations.size() + pa.aliases.size());
+  for (const RegularPartialAnswer::Equation& eq : pa.equations) {
+    put_row(eq.var_global, eq.state, eq);
+  }
+  for (const RegularPartialAnswer::Alias& a : pa.aliases) {
+    auto it = by_rep.find(PackNodeState(a.rep_global, a.rep_state));
+    PEREACH_CHECK(it != by_rep.end());
+    put_row(a.var_global, a.state, *it->second);
+  }
+}
+
+RegularPartialAnswer DeserializeDense(Decoder* dec) {
+  RegularPartialAnswer pa;
+  const size_t num_vars = dec->GetVarint();
+  pa.var_table.resize(num_vars);
+  for (auto& [node, state] : pa.var_table) {
+    node = static_cast<NodeId>(dec->GetVarint());
+    state = dec->GetU8();
+  }
+  const size_t num_eq = dec->GetVarint();
+  pa.equations.resize(num_eq);
+  for (RegularPartialAnswer::Equation& eq : pa.equations) {
+    eq.var_global = static_cast<NodeId>(dec->GetVarint());
+    eq.state = dec->GetU8();
+    eq.has_true = dec->GetU8() != 0;
+    const Bitset row = dec->GetBitset();
+    row.ForEachSetBit(
+        [&eq](size_t i) { eq.deps.push_back(static_cast<uint32_t>(i)); });
+  }
+  return pa;
+}
+
+}  // namespace
+
+QueryAnswer DisRpqSuciu(Cluster* cluster, NodeId s, NodeId t,
+                        const QueryAutomaton& automaton) {
+  QueryAnswer answer;
+  cluster->BeginQuery();
+
+  // Visit 1: broadcast the automaton; sites compute and ship their full
+  // boundary relations.
+  Encoder query_enc;
+  query_enc.PutVarint(s);
+  query_enc.PutVarint(t);
+  automaton.Serialize(&query_enc);
+  const std::vector<std::vector<uint8_t>> replies = cluster->RoundAll(
+      query_enc.size(), [s, t, &automaton](const Fragment& f) {
+        Encoder enc;
+        SerializeDense(
+            LocalEvalRegular(f, automaton, s, t, EquationForm::kClosure),
+            &enc);
+        return enc.TakeBuffer();
+      });
+
+  StopWatch assemble_watch;
+  BooleanEquationSystem bes;
+  for (const std::vector<uint8_t>& reply : replies) {
+    Decoder dec(reply);
+    DeserializeDense(&dec).AddToBes(&bes);
+  }
+  answer.reachable = bes.Evaluate(PackNodeState(s, QueryAutomaton::kStart));
+  cluster->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
+
+  // Visit 2: distribute the verdict and collect acknowledgements.
+  const uint8_t verdict = answer.reachable ? 1 : 0;
+  cluster->RoundAll(/*broadcast_bytes=*/2, [verdict](const Fragment&) {
+    return std::vector<uint8_t>{verdict};
+  });
+
+  cluster->EndQuery();
+  answer.metrics = cluster->metrics();
+  return answer;
+}
+
+}  // namespace pereach

@@ -1,0 +1,22 @@
+#ifndef PEREACH_BASELINES_DIS_RPQ_SUCIU_H_
+#define PEREACH_BASELINES_DIS_RPQ_SUCIU_H_
+
+#include "src/core/answer.h"
+#include "src/net/cluster.h"
+#include "src/regex/query_automaton.h"
+
+namespace pereach {
+
+/// disRPQd (§7): a variant of Suciu's distributed regular path query
+/// algorithm [30]. Differences from disRPQ that the paper calls out:
+///  - every site ships its *full* boundary accessibility relation as dense
+///    bit matrices over (in-node, state) x (virtual node, state) — traffic
+///    is Θ(n²) in the boundary size instead of only the reachable part;
+///  - after assembling, the coordinator distributes the verdict back to the
+///    sites and collects acknowledgements, so each site is visited *twice*.
+QueryAnswer DisRpqSuciu(Cluster* cluster, NodeId s, NodeId t,
+                        const QueryAutomaton& automaton);
+
+}  // namespace pereach
+
+#endif  // PEREACH_BASELINES_DIS_RPQ_SUCIU_H_

@@ -1,0 +1,63 @@
+#include "src/bes/bes.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace pereach {
+
+void BooleanEquationSystem::Add(BoolEquation eq) {
+  Entry& e = equations_[eq.var];
+  e.has_true |= eq.has_true;
+  e.deps.insert(e.deps.end(), eq.deps.begin(), eq.deps.end());
+}
+
+void BooleanEquationSystem::Clear() { equations_.clear(); }
+
+size_t BooleanEquationSystem::num_dependencies() const {
+  size_t total = 0;
+  for (const auto& [var, e] : equations_) total += e.deps.size();
+  return total;
+}
+
+bool BooleanEquationSystem::Evaluate(uint64_t var) const {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(equations_.size() * 2);
+  seen.insert(var);
+  std::deque<uint64_t> queue{var};
+  while (!queue.empty()) {
+    const uint64_t v = queue.front();
+    queue.pop_front();
+    auto it = equations_.find(v);
+    if (it == equations_.end()) continue;  // undefined variable: false
+    if (it->second.has_true) return true;
+    for (uint64_t d : it->second.deps) {
+      if (seen.insert(d).second) queue.push_back(d);
+    }
+  }
+  return false;
+}
+
+bool BooleanEquationSystem::EvaluateNaive(uint64_t var) const {
+  std::unordered_map<uint64_t, bool> value;
+  value.reserve(equations_.size());
+  for (const auto& [v, e] : equations_) value[v] = e.has_true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [v, e] : equations_) {
+      if (value[v]) continue;
+      for (uint64_t d : e.deps) {
+        auto it = value.find(d);
+        if (it != value.end() && it->second) {
+          value[v] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  auto it = value.find(var);
+  return it != value.end() && it->second;
+}
+
+}  // namespace pereach

@@ -1,0 +1,66 @@
+#ifndef PEREACH_BES_BES_H_
+#define PEREACH_BES_BES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace pereach {
+
+/// One equation X_var = has_true ∨ ⋁_{d ∈ deps} X_d of a disjunctive
+/// Boolean equation system (paper §3: the set RVset assembled at the
+/// coordinator). Variables are opaque 64-bit keys so callers can pack
+/// (node) or (node, automaton-state) identities.
+struct BoolEquation {
+  uint64_t var = 0;
+  bool has_true = false;
+  std::vector<uint64_t> deps;
+};
+
+/// Disjunctive Boolean equation system under least-fixpoint semantics
+/// (Groote & Keinänen [14] restricted to disjunctions, which is all the
+/// reachability translation produces). Equations may be mutually recursive;
+/// variables without an equation are false.
+class BooleanEquationSystem {
+ public:
+  BooleanEquationSystem() = default;
+
+  /// Adds an equation. A duplicate definition of the same variable is
+  /// merged disjunctively (used by incremental re-evaluation).
+  void Add(BoolEquation eq);
+
+  /// Pre-sizes the hash table for `n` additional equations (assembling a
+  /// large RVset is the coordinator's hot path).
+  void Reserve(size_t n) { equations_.reserve(equations_.size() + n); }
+
+  /// Removes all equations (used when a fragment's contribution is rebuilt).
+  void Clear();
+
+  size_t num_equations() const { return equations_.size(); }
+
+  /// Total number of dependency occurrences (size of the dependency graph).
+  size_t num_dependencies() const;
+
+  /// Least-fixpoint value of X_var, computed by BFS over the dependency
+  /// graph from `var` until an equation with has_true is reached — procedure
+  /// evalDG of Fig. 4, with the v_true merge realized implicitly.
+  /// O(num_equations + num_dependencies).
+  bool Evaluate(uint64_t var) const;
+
+  /// Oracle: chaotic iteration to fixpoint; O(n · deps) worst case. Kept for
+  /// differential testing of Evaluate.
+  bool EvaluateNaive(uint64_t var) const;
+
+ private:
+  struct Entry {
+    bool has_true = false;
+    std::vector<uint64_t> deps;
+  };
+  std::unordered_map<uint64_t, Entry> equations_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_BES_BES_H_

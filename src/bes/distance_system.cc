@@ -1,0 +1,80 @@
+#include "src/bes/distance_system.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/logging.h"
+
+namespace pereach {
+
+void DistanceEquationSystem::Add(DistEquation eq) {
+  Entry& e = equations_[eq.var];
+  e.base = std::min(e.base, eq.base);
+  e.terms.insert(e.terms.end(), eq.terms.begin(), eq.terms.end());
+}
+
+void DistanceEquationSystem::Clear() { equations_.clear(); }
+
+size_t DistanceEquationSystem::num_terms() const {
+  size_t total = 0;
+  for (const auto& [var, e] : equations_) total += e.terms.size();
+  return total;
+}
+
+uint64_t DistanceEquationSystem::Evaluate(uint64_t var) const {
+  // Dijkstra from `var`; the answer is min over settled v of
+  // dist(v) + base(v), i.e. the distance to an implicit anchor node.
+  using HeapItem = std::pair<uint64_t, uint64_t>;  // (dist, var)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  std::unordered_map<uint64_t, uint64_t> dist;
+  heap.emplace(0, var);
+  dist[var] = 0;
+  uint64_t best = kInfWeight;
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    auto dit = dist.find(v);
+    if (dit != dist.end() && dit->second < d) continue;  // stale entry
+    if (d >= best) break;  // nothing closer than the best anchor remains
+    auto it = equations_.find(v);
+    if (it == equations_.end()) continue;  // undefined variable: +inf
+    const Entry& e = it->second;
+    if (e.base != kInfWeight) best = std::min(best, d + e.base);
+    for (const auto& [dep, w] : e.terms) {
+      PEREACH_CHECK_NE(w, kInfWeight);
+      const uint64_t nd = d + w;
+      auto [slot, inserted] = dist.emplace(dep, nd);
+      if (!inserted) {
+        if (slot->second <= nd) continue;
+        slot->second = nd;
+      }
+      heap.emplace(nd, dep);
+    }
+  }
+  return best;
+}
+
+uint64_t DistanceEquationSystem::EvaluateNaive(uint64_t var) const {
+  std::unordered_map<uint64_t, uint64_t> value;
+  for (const auto& [v, e] : equations_) value[v] = e.base;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [v, e] : equations_) {
+      uint64_t best = value[v];
+      for (const auto& [dep, w] : e.terms) {
+        auto it = value.find(dep);
+        if (it == value.end() || it->second == kInfWeight) continue;
+        best = std::min(best, it->second + w);
+      }
+      if (best < value[v]) {
+        value[v] = best;
+        changed = true;
+      }
+    }
+  }
+  auto it = value.find(var);
+  return it == value.end() ? kInfWeight : it->second;
+}
+
+}  // namespace pereach

@@ -1,0 +1,57 @@
+#ifndef PEREACH_BES_DISTANCE_SYSTEM_H_
+#define PEREACH_BES_DISTANCE_SYSTEM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace pereach {
+
+/// "Unreachable" distance value of the min-plus system.
+inline constexpr uint64_t kInfWeight = ~uint64_t{0};
+
+/// One equation X_var = min(base, min_j (w_j + X_{d_j})) of a min-plus
+/// (tropical) equation system — the arithmetic RVset of paper §4. `base`
+/// is the locally measured distance to the query target (kInfWeight if the
+/// target is not locally reachable).
+struct DistEquation {
+  uint64_t var = 0;
+  uint64_t base = kInfWeight;
+  std::vector<std::pair<uint64_t, uint64_t>> terms;  // (dep var, weight)
+};
+
+/// Min-plus equation system solved by Dijkstra over the weighted dependency
+/// graph (procedure evalDGd, §4): the least solution of X_var equals the
+/// shortest weighted path from `var` to any equation's base.
+class DistanceEquationSystem {
+ public:
+  DistanceEquationSystem() = default;
+
+  /// Adds an equation; duplicate definitions merge by pointwise minimum.
+  void Add(DistEquation eq);
+
+  void Clear();
+
+  size_t num_equations() const { return equations_.size(); }
+  size_t num_terms() const;
+
+  /// Least-fixpoint value of X_var via Dijkstra,
+  /// O((V + E) log V) over the dependency graph.
+  uint64_t Evaluate(uint64_t var) const;
+
+  /// Oracle: Bellman-Ford-style chaotic iteration.
+  uint64_t EvaluateNaive(uint64_t var) const;
+
+ private:
+  struct Entry {
+    uint64_t base = kInfWeight;
+    std::vector<std::pair<uint64_t, uint64_t>> terms;
+  };
+  std::unordered_map<uint64_t, Entry> equations_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_BES_DISTANCE_SYSTEM_H_

@@ -1,0 +1,20 @@
+#ifndef PEREACH_CORE_ANSWER_H_
+#define PEREACH_CORE_ANSWER_H_
+
+#include "src/bes/distance_system.h"
+#include "src/net/metrics.h"
+
+namespace pereach {
+
+/// Result of one distributed query run: the Boolean answer, the exact
+/// distance for bounded queries (kInfWeight when unreachable or not
+/// applicable), and the run's cost metrics.
+struct QueryAnswer {
+  bool reachable = false;
+  uint64_t distance = kInfWeight;
+  RunMetrics metrics;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_CORE_ANSWER_H_

@@ -1,0 +1,22 @@
+#ifndef PEREACH_CORE_DIS_REACH_H_
+#define PEREACH_CORE_DIS_REACH_H_
+
+#include "src/core/answer.h"
+#include "src/core/query.h"
+#include "src/net/cluster.h"
+
+namespace pereach {
+
+/// Algorithm disReach (paper §3, Fig. 3): evaluates q_r(s, t) over a
+/// fragmentation via partial evaluation.
+///  1. The coordinator posts (s, t) to every site — one visit each.
+///  2. Every site runs localEval in parallel, producing Boolean equations.
+///  3. The coordinator assembles the equation system and solves it with the
+///     dependency-graph procedure evalDG (Fig. 4).
+/// Guarantees (Theorem 1): one visit per site, O(|V_f|^2) traffic,
+/// O(|V_f| |F_m|) time. Metrics are recorded in answer.metrics.
+QueryAnswer DisReach(Cluster* cluster, const ReachQuery& query);
+
+}  // namespace pereach
+
+#endif  // PEREACH_CORE_DIS_REACH_H_

@@ -1,0 +1,27 @@
+#ifndef PEREACH_CORE_DIS_RPQ_H_
+#define PEREACH_CORE_DIS_RPQ_H_
+
+#include "src/core/answer.h"
+#include "src/core/query.h"
+#include "src/net/cluster.h"
+#include "src/regex/query_automaton.h"
+
+namespace pereach {
+
+/// Algorithm disRPQ (paper §5): evaluates q_rr(s, t, R) via partial
+/// evaluation. The coordinator builds the query automaton G_q(R) once and
+/// broadcasts it; each site runs localEvalr producing vectors of Boolean
+/// formulas over (node, state) variables; the coordinator assembles the
+/// dependency graph over those variables and checks whether (s, u_s)
+/// reaches a true formula (evalDGr). Guarantees (Theorem 3): one visit per
+/// site, O(|R|^2 |V_f|^2) traffic, O(|F_m||R|^2 + |R|^2|V_f|^2) time.
+QueryAnswer DisRpq(Cluster* cluster, const RegularReachQuery& query);
+
+/// Variant taking a pre-built automaton (used by benches that sweep the
+/// automaton complexity directly).
+QueryAnswer DisRpqAutomaton(Cluster* cluster, NodeId s, NodeId t,
+                            const QueryAutomaton& automaton);
+
+}  // namespace pereach
+
+#endif  // PEREACH_CORE_DIS_RPQ_H_

@@ -1,0 +1,110 @@
+#include "src/core/dist_graph.h"
+
+#include "src/baselines/dis_mp.h"
+#include "src/baselines/dis_naive.h"
+#include "src/baselines/dis_rpq_suciu.h"
+#include "src/core/dis_dist.h"
+#include "src/core/dis_reach.h"
+#include "src/core/dis_rpq.h"
+#include "src/mapreduce/mr_rpq.h"
+
+namespace pereach {
+
+std::string EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kPartialEval:
+      return "partial-eval";
+    case Engine::kShipAll:
+      return "ship-all";
+    case Engine::kMessagePassing:
+      return "message-passing";
+    case Engine::kSuciu:
+      return "suciu";
+    case Engine::kMapReduce:
+      return "mapreduce";
+  }
+  return "unknown";
+}
+
+DistributedGraph::DistributedGraph(Graph graph,
+                                   const std::vector<SiteId>& partition,
+                                   size_t num_sites)
+    : DistributedGraph(std::move(graph), partition, num_sites, Options()) {}
+
+DistributedGraph::DistributedGraph(Graph graph,
+                                   const std::vector<SiteId>& partition,
+                                   size_t num_sites, const Options& options)
+    : graph_(std::move(graph)),
+      fragmentation_(Fragmentation::Build(graph_, partition, num_sites)),
+      network_(options.network) {
+  cluster_ = std::make_unique<Cluster>(&fragmentation_, network_,
+                                       options.num_threads);
+}
+
+QueryAnswer DistributedGraph::Reach(NodeId s, NodeId t, Engine engine) {
+  const ReachQuery query{s, t};
+  switch (engine) {
+    case Engine::kPartialEval:
+      return DisReach(cluster_.get(), query);
+    case Engine::kShipAll:
+      return DisReachNaive(cluster_.get(), query);
+    case Engine::kMessagePassing:
+      return DisReachMp(cluster_.get(), query);
+    case Engine::kSuciu:
+      // Reachability is the regular query `_*` (§2.2 remark).
+      return RegularReachAutomaton(s, t, QueryAutomaton::WildcardStar(),
+                                   engine);
+    case Engine::kMapReduce:
+      // The §6 adaptation: localEval as Map, evalDG as Reduce.
+      return MapReduceReach(fragmentation_, s, t, network_, cluster_->pool())
+          .answer;
+  }
+  PEREACH_CHECK(false);
+  return QueryAnswer();
+}
+
+QueryAnswer DistributedGraph::BoundedReach(NodeId s, NodeId t, uint32_t bound,
+                                           Engine engine) {
+  const BoundedReachQuery query{s, t, bound};
+  switch (engine) {
+    case Engine::kPartialEval:
+      return DisDist(cluster_.get(), query);
+    case Engine::kShipAll:
+      return DisDistNaive(cluster_.get(), query);
+    case Engine::kMapReduce:
+      return MapReduceBoundedReach(fragmentation_, s, t, bound, network_,
+                                   cluster_->pool())
+          .answer;
+    default:
+      PEREACH_CHECK(false);  // not evaluated by the paper for q_br
+      return QueryAnswer();
+  }
+}
+
+QueryAnswer DistributedGraph::RegularReach(NodeId s, NodeId t,
+                                           const Regex& regex, Engine engine) {
+  return RegularReachAutomaton(s, t, QueryAutomaton::FromRegex(regex), engine);
+}
+
+QueryAnswer DistributedGraph::RegularReachAutomaton(
+    NodeId s, NodeId t, const QueryAutomaton& automaton, Engine engine) {
+  switch (engine) {
+    case Engine::kPartialEval:
+      return DisRpqAutomaton(cluster_.get(), s, t, automaton);
+    case Engine::kShipAll:
+      return DisRpqNaive(cluster_.get(), s, t, automaton);
+    case Engine::kSuciu:
+      return DisRpqSuciu(cluster_.get(), s, t, automaton);
+    case Engine::kMapReduce:
+      return MapReduceRpq(fragmentation_, s, t, automaton, network_,
+                          cluster_->pool())
+          .answer;
+    case Engine::kMessagePassing:
+      PEREACH_CHECK(false);  // not studied in [21], per the paper
+      return QueryAnswer();
+  }
+  PEREACH_CHECK(false);
+  return QueryAnswer();
+}
+
+}  // namespace pereach

@@ -1,0 +1,84 @@
+#ifndef PEREACH_CORE_DIST_GRAPH_H_
+#define PEREACH_CORE_DIST_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/answer.h"
+#include "src/core/query.h"
+#include "src/fragment/fragmentation.h"
+#include "src/net/cluster.h"
+#include "src/regex/query_automaton.h"
+
+namespace pereach {
+
+/// Which evaluation strategy answers a query.
+enum class Engine {
+  kPartialEval,     // the paper's disReach / disDist / disRPQ
+  kShipAll,         // disReachn / disDistn / disRPQn
+  kMessagePassing,  // disReachm (reachability only)
+  kSuciu,           // disRPQd (regular reachability only)
+  kMapReduce,       // MRdRPQ (regular; reachability via the wildcard regex)
+};
+
+/// Human-readable engine name as used in the paper ("disReach", ...).
+std::string EngineName(Engine engine);
+
+/// The library's front door: a graph plus its fragmentation plus a simulated
+/// cluster, answering the paper's three query classes with any engine.
+///
+///   DistributedGraph dg(std::move(graph), partition, /*num_sites=*/4);
+///   QueryAnswer a = dg.Reach(s, t);
+///   QueryAnswer b = dg.BoundedReach(s, t, 6);
+///   QueryAnswer c = dg.RegularReach(s, t, regex);
+///
+/// Every answer carries the run's metrics (visits per site, traffic, wall
+/// and modeled response time).
+class DistributedGraph {
+ public:
+  struct Options {
+    NetworkModel network;
+    size_t num_threads = 0;  // 0 = hardware concurrency
+  };
+
+  /// Takes ownership of `graph`; `partition[v]` is the site of node v.
+  DistributedGraph(Graph graph, const std::vector<SiteId>& partition,
+                   size_t num_sites, const Options& options);
+
+  /// Same, with default Options.
+  DistributedGraph(Graph graph, const std::vector<SiteId>& partition,
+                   size_t num_sites);
+
+  /// q_r(s, t).
+  QueryAnswer Reach(NodeId s, NodeId t, Engine engine = Engine::kPartialEval);
+
+  /// q_br(s, t, l).
+  QueryAnswer BoundedReach(NodeId s, NodeId t, uint32_t bound,
+                           Engine engine = Engine::kPartialEval);
+
+  /// q_rr(s, t, R).
+  QueryAnswer RegularReach(NodeId s, NodeId t, const Regex& regex,
+                           Engine engine = Engine::kPartialEval);
+
+  /// q_rr with a pre-built automaton.
+  QueryAnswer RegularReachAutomaton(NodeId s, NodeId t,
+                                    const QueryAutomaton& automaton,
+                                    Engine engine = Engine::kPartialEval);
+
+  const Graph& graph() const { return graph_; }
+  const Fragmentation& fragmentation() const { return fragmentation_; }
+  Cluster* cluster() { return cluster_.get(); }
+
+ private:
+  PEREACH_DISALLOW_COPY_AND_ASSIGN(DistributedGraph);
+
+  Graph graph_;
+  Fragmentation fragmentation_;
+  NetworkModel network_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_CORE_DIST_GRAPH_H_

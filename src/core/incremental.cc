@@ -1,0 +1,132 @@
+#include "src/core/incremental.h"
+
+#include <deque>
+
+#include "src/graph/algorithms.h"
+
+namespace pereach {
+
+IncrementalReachIndex::IncrementalReachIndex(const Graph& graph,
+                                             std::vector<SiteId> partition,
+                                             size_t num_sites)
+    : partition_(std::move(partition)), num_sites_(num_sites) {
+  labels_ = graph.labels();
+  edges_.reserve(graph.NumEdges());
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) edges_.emplace_back(u, v);
+  }
+  cached_equations_.resize(num_sites_);
+  cache_valid_.assign(num_sites_, false);
+  RebuildStructure();
+}
+
+void IncrementalReachIndex::RebuildStructure() {
+  GraphBuilder b;
+  b.AddNodes(labels_.size());
+  for (NodeId v = 0; v < labels_.size(); ++v) b.SetLabel(v, labels_[v]);
+  for (const auto& [u, v] : edges_) b.AddEdge(u, v);
+  const Graph g = std::move(b).Build();
+  fragmentation_ = Fragmentation::Build(g, partition_, num_sites_);
+}
+
+void IncrementalReachIndex::EnsureFragmentEquations(SiteId site) {
+  if (cache_valid_[site]) return;
+  const Fragment& f = fragmentation_.fragment(site);
+
+  std::vector<NodeId> targets;  // all virtual nodes, local ids
+  targets.reserve(f.num_virtual());
+  for (NodeId v = static_cast<NodeId>(f.num_local());
+       v < f.local_graph().NumNodes(); ++v) {
+    targets.push_back(v);
+  }
+
+  std::vector<BoolEquation>& eqs = cached_equations_[site];
+  eqs.clear();
+  eqs.resize(f.in_nodes().size());
+  for (size_t i = 0; i < f.in_nodes().size(); ++i) {
+    eqs[i].var = f.ToGlobal(f.in_nodes()[i]);
+  }
+  ForEachReachableTarget(f.local_graph(), f.in_nodes(), targets, 4096,
+                         [&eqs, &f](uint32_t si, uint32_t ti) {
+                           eqs[si].deps.push_back(f.ToGlobal(
+                               static_cast<NodeId>(f.num_local() + ti)));
+                         });
+  cache_valid_[site] = true;
+  ++recompute_count_;
+}
+
+bool IncrementalReachIndex::Reach(NodeId s, NodeId t) {
+  if (s == t) return true;
+
+  BooleanEquationSystem bes;
+  for (SiteId site = 0; site < num_sites_; ++site) {
+    EnsureFragmentEquations(site);
+    for (const BoolEquation& eq : cached_equations_[site]) bes.Add(eq);
+  }
+
+  // Query-dependent piece 1: which in-nodes of t's fragment reach t locally
+  // (one reverse BFS; virtual nodes are sinks, so local paths suffice).
+  const SiteId t_site = partition_[t];
+  {
+    const Fragment& f = fragmentation_.fragment(t_site);
+    const Graph& g = f.local_graph();
+    const NodeId lt = f.ToLocal(t);
+    std::vector<bool> seen(g.NumNodes(), false);
+    std::deque<NodeId> queue{lt};
+    seen[lt] = true;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (NodeId u : g.InNeighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+    for (NodeId in : f.in_nodes()) {
+      if (seen[in]) bes.Add(BoolEquation{f.ToGlobal(in), true, {}});
+    }
+  }
+
+  // Query-dependent piece 2: s's own equation (one forward BFS).
+  const SiteId s_site = partition_[s];
+  {
+    const Fragment& f = fragmentation_.fragment(s_site);
+    const Graph& g = f.local_graph();
+    const NodeId ls = f.ToLocal(s);
+    BoolEquation s_eq{s, false, {}};
+    std::vector<bool> seen(g.NumNodes(), false);
+    std::deque<NodeId> queue{ls};
+    seen[ls] = true;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      if (f.ToGlobal(v) == t) s_eq.has_true = true;
+      if (f.IsVirtual(v)) continue;  // virtual nodes are frontier variables
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          if (f.IsVirtual(w)) s_eq.deps.push_back(f.ToGlobal(w));
+          queue.push_back(w);
+        }
+      }
+    }
+    bes.Add(std::move(s_eq));
+  }
+
+  return bes.Evaluate(s);
+}
+
+void IncrementalReachIndex::AddEdge(NodeId u, NodeId v) {
+  PEREACH_CHECK_LT(u, labels_.size());
+  PEREACH_CHECK_LT(v, labels_.size());
+  edges_.emplace_back(u, v);
+  // u's fragment gains an edge: its reachable sets may grow. A cross edge
+  // additionally makes v an in-node of its fragment, adding an equation row.
+  cache_valid_[partition_[u]] = false;
+  if (partition_[u] != partition_[v]) cache_valid_[partition_[v]] = false;
+  RebuildStructure();
+}
+
+}  // namespace pereach

@@ -1,0 +1,680 @@
+#include "src/core/local_eval.h"
+
+#include <algorithm>
+
+#include "src/graph/algorithms.h"
+#include "src/util/bitset.h"
+
+namespace pereach {
+
+namespace {
+
+constexpr size_t kReachBlockBits = 4096;
+constexpr size_t kDistBlockBits = 1024;
+
+/// Encodes an ascending index set over a universe of `universe` elements:
+/// sparse delta-varints or a dense bit row, whichever is smaller. Tag byte
+/// distinguishes the two.
+void EncodeIndexSet(const std::vector<uint32_t>& indices, size_t universe,
+                    Encoder* enc) {
+  // Rough cost: sparse ~1.3 bytes/index, dense universe/8 bytes.
+  const bool dense = universe > 0 && indices.size() * 10 >= universe;
+  enc->PutU8(dense ? 1 : 0);
+  if (dense) {
+    Bitset row(universe);
+    for (uint32_t i : indices) row.Set(i);
+    enc->PutBitset(row);
+  } else {
+    enc->PutVarint(indices.size());
+    uint32_t prev = 0;
+    for (uint32_t i : indices) {
+      enc->PutVarint(i - prev);
+      prev = i;
+    }
+  }
+}
+
+std::vector<uint32_t> DecodeIndexSet(Decoder* dec) {
+  std::vector<uint32_t> indices;
+  if (dec->GetU8() != 0) {
+    const Bitset row = dec->GetBitset();
+    row.ForEachSetBit(
+        [&indices](size_t i) { indices.push_back(static_cast<uint32_t>(i)); });
+  } else {
+    const size_t n = dec->GetVarint();
+    indices.reserve(n);
+    uint32_t prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+      prev += static_cast<uint32_t>(dec->GetVarint());
+      indices.push_back(prev);
+    }
+  }
+  return indices;
+}
+
+void EncodeDeltaList(const std::vector<uint32_t>& values, Encoder* enc) {
+  enc->PutVarint(values.size());
+  uint32_t prev = 0;
+  for (uint32_t v : values) {
+    enc->PutVarint(v - prev);
+    prev = v;
+  }
+}
+
+std::vector<uint32_t> DecodeDeltaList(Decoder* dec) {
+  std::vector<uint32_t> values(dec->GetVarint());
+  uint32_t prev = 0;
+  for (uint32_t& v : values) {
+    prev += static_cast<uint32_t>(dec->GetVarint());
+    v = prev;
+  }
+  return values;
+}
+
+/// iset of Fig. 3 lines 1-2: the fragment's in-nodes plus s if stored here.
+std::vector<NodeId> CollectISet(const Fragment& f, NodeId s) {
+  std::vector<NodeId> iset = f.in_nodes();
+  if (f.Contains(s)) {
+    const NodeId local_s = f.ToLocal(s);
+    if (!std::binary_search(iset.begin(), iset.end(), local_s)) {
+      iset.insert(std::lower_bound(iset.begin(), iset.end(), local_s), local_s);
+    }
+  }
+  return iset;
+}
+
+/// oset of Fig. 3 lines 1+3: the fragment's virtual nodes plus t if stored
+/// here (t may also be one of the virtual nodes; dependencies on it are
+/// folded into has_true by the callers).
+std::vector<NodeId> CollectOSet(const Fragment& f, NodeId t) {
+  std::vector<NodeId> oset;
+  oset.reserve(f.num_virtual() + 1);
+  if (f.Contains(t)) oset.push_back(f.ToLocal(t));
+  for (NodeId v = static_cast<NodeId>(f.num_local());
+       v < f.local_graph().NumNodes(); ++v) {
+    oset.push_back(v);
+  }
+  return oset;
+}
+
+// ---------------------------------------------------------------------------
+// Generic boundary equation system (shared by reach and regular local eval)
+// ---------------------------------------------------------------------------
+
+/// One equation of the abstract system. Non-aux equations are keyed by an
+/// index into `sources`; aux equations by a dense aux id (DAG form only).
+struct GenericEquation {
+  bool is_aux = false;
+  uint32_t var = 0;  // source index or aux id
+  bool has_true = false;
+  std::vector<uint32_t> deps;      // target indices (true targets folded)
+  std::vector<uint32_t> aux_deps;  // aux ids
+};
+
+/// Binds source `source_index` to a representative equation.
+struct GenericAlias {
+  bool rep_is_aux = false;
+  uint32_t source_index = 0;
+  uint32_t rep = 0;  // source index or aux id
+};
+
+struct GenericSystem {
+  std::vector<GenericEquation> equations;
+  std::vector<GenericAlias> aliases;
+  bool used_dag = false;
+};
+
+/// Computes the boundary equation system of `g` for the given sources and
+/// frontier targets (target_is_true[i] marks literal-true terminals, e.g.
+/// the query target). Chooses between the closure form (Fig. 3) and the
+/// condensation DAG form with aux variables; see EquationForm.
+GenericSystem ComputeBoundarySystem(const Graph& g,
+                                    const std::vector<NodeId>& sources,
+                                    const std::vector<NodeId>& targets,
+                                    const std::vector<bool>& target_is_true,
+                                    EquationForm form) {
+  GenericSystem sys;
+  if (sources.empty()) return sys;
+
+  const Condensation cond = Condense(g);
+  const size_t k = cond.scc.num_components;
+
+  // Terminal targets per component (virtual nodes are sinks, so their
+  // components are singletons; a local t may share a component with others).
+  std::vector<std::vector<uint32_t>> comp_terms(k);
+  for (uint32_t ti = 0; ti < targets.size(); ++ti) {
+    comp_terms[cond.scc.component_of[targets[ti]]].push_back(ti);
+  }
+
+  // reach_boundary[c]: c can reach a terminal. Ascending component order is
+  // reverse topological, so successors (smaller ids) are already final.
+  std::vector<bool> reach_boundary(k, false);
+  for (uint32_t c = 0; c < k; ++c) {
+    bool rb = !comp_terms[c].empty();
+    for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1] && !rb; ++e) {
+      rb = reach_boundary[cond.targets[e]];
+    }
+    reach_boundary[c] = rb;
+  }
+
+  // relevant[c]: c is reachable from a source. Descending order visits every
+  // predecessor before its successors (edges go to smaller ids).
+  std::vector<bool> relevant(k, false);
+  size_t num_source_comps = 0;
+  for (NodeId src : sources) {
+    const uint32_t c = cond.scc.component_of[src];
+    if (!relevant[c]) {
+      relevant[c] = true;
+      ++num_source_comps;
+    }
+  }
+  // (count source comps before the sweep spreads the flag)
+  for (uint32_t c = static_cast<uint32_t>(k); c-- > 0;) {
+    if (!relevant[c]) continue;
+    for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1]; ++e) {
+      relevant[cond.targets[e]] = true;
+    }
+  }
+
+  // Size estimates (bytes, coarse): pick the smaller encoding.
+  size_t dag_items = sources.size();
+  for (uint32_t c = 0; c < k; ++c) {
+    if (!(relevant[c] && reach_boundary[c])) continue;
+    dag_items += 1 + comp_terms[c].size();
+    for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1]; ++e) {
+      const uint32_t succ = cond.targets[e];
+      dag_items += (relevant[succ] && reach_boundary[succ]) ? 1 : 0;
+    }
+  }
+  const size_t dag_cost = 6 * dag_items;
+  const size_t closure_cost =
+      num_source_comps * ((targets.size() + 7) / 8 + 6);
+  // Closure also pays Θ(groups × targets) materialization time that the
+  // byte estimate does not see, so it must win by 2x to be chosen.
+  const bool use_dag =
+      form == EquationForm::kDag ||
+      (form == EquationForm::kAuto && dag_cost < 2 * closure_cost);
+
+  if (use_dag) {
+    sys.used_dag = true;
+    // Dense aux ids over the kept components, ascending by component id so
+    // aux dependencies (successors == smaller components) stay ascending.
+    constexpr uint32_t kNoAux = std::numeric_limits<uint32_t>::max();
+    std::vector<uint32_t> aux_of(k, kNoAux);
+    for (uint32_t c = 0; c < k; ++c) {
+      if (!(relevant[c] && reach_boundary[c])) continue;
+      const uint32_t aux = aux_of[c] = static_cast<uint32_t>(sys.equations.size());
+      GenericEquation eq;
+      eq.is_aux = true;
+      eq.var = aux;
+      for (uint32_t ti : comp_terms[c]) {
+        if (target_is_true[ti]) {
+          eq.has_true = true;
+        } else {
+          eq.deps.push_back(ti);
+        }
+      }
+      for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1]; ++e) {
+        const uint32_t succ_aux = aux_of[cond.targets[e]];
+        if (succ_aux != kNoAux) eq.aux_deps.push_back(succ_aux);
+      }
+      std::sort(eq.aux_deps.begin(), eq.aux_deps.end());
+      eq.aux_deps.erase(std::unique(eq.aux_deps.begin(), eq.aux_deps.end()),
+                        eq.aux_deps.end());
+      sys.equations.push_back(std::move(eq));
+    }
+    for (uint32_t si = 0; si < sources.size(); ++si) {
+      const uint32_t aux = aux_of[cond.scc.component_of[sources[si]]];
+      if (aux != kNoAux) {
+        sys.aliases.push_back({/*rep_is_aux=*/true, si, aux});
+      } else {
+        // Source reaches no terminal: an (empty == false) equation.
+        GenericEquation eq;
+        eq.var = si;
+        sys.equations.push_back(std::move(eq));
+      }
+    }
+    return sys;
+  }
+
+  // Closure form: one equation per source component (grouped propagation),
+  // aliases for the other sources of each component.
+  std::vector<uint32_t> group_of = ForEachReachableTargetGrouped(
+      g, sources, targets, kReachBlockBits,
+      [&sys, &target_is_true](uint32_t group, uint32_t ti) {
+        if (sys.equations.size() <= group) sys.equations.resize(group + 1);
+        GenericEquation& eq = sys.equations[group];
+        if (target_is_true[ti]) {
+          eq.has_true = true;
+        } else {
+          eq.deps.push_back(ti);
+        }
+      });
+  std::vector<uint32_t> group_rep;
+  for (uint32_t si = 0; si < sources.size(); ++si) {
+    const uint32_t g_id = group_of[si];
+    if (sys.equations.size() <= g_id) sys.equations.resize(g_id + 1);
+    if (g_id >= group_rep.size()) {
+      PEREACH_CHECK_EQ(g_id, group_rep.size());  // groups appear in order
+      group_rep.push_back(si);
+      sys.equations[g_id].var = si;
+    } else {
+      sys.aliases.push_back({/*rep_is_aux=*/false, si, group_rep[g_id]});
+    }
+  }
+  return sys;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Reachability
+// ---------------------------------------------------------------------------
+
+void ReachPartialAnswer::Serialize(Encoder* enc) const {
+  enc->PutVarint(site);
+  enc->PutVarint(oset_globals.size());
+  for (NodeId g : oset_globals) enc->PutVarint(g);
+  enc->PutVarint(aliases.size());
+  for (const Alias& a : aliases) {
+    enc->PutU8(a.rep_is_aux ? 1 : 0);
+    enc->PutVarint(a.var);
+    enc->PutVarint(a.rep);
+  }
+  enc->PutVarint(equations.size());
+  for (const Equation& eq : equations) {
+    enc->PutU8(static_cast<uint8_t>((eq.has_true ? 1 : 0) |
+                                    (eq.is_aux ? 2 : 0)));
+    enc->PutVarint(eq.var);
+    EncodeIndexSet(eq.deps, oset_globals.size(), enc);
+    EncodeDeltaList(eq.aux_deps, enc);
+  }
+}
+
+ReachPartialAnswer ReachPartialAnswer::Deserialize(Decoder* dec) {
+  ReachPartialAnswer pa;
+  pa.site = static_cast<SiteId>(dec->GetVarint());
+  pa.oset_globals.resize(dec->GetVarint());
+  for (NodeId& g : pa.oset_globals) g = static_cast<NodeId>(dec->GetVarint());
+  pa.aliases.resize(dec->GetVarint());
+  for (Alias& a : pa.aliases) {
+    a.rep_is_aux = dec->GetU8() != 0;
+    a.var = static_cast<NodeId>(dec->GetVarint());
+    a.rep = static_cast<NodeId>(dec->GetVarint());
+  }
+  pa.equations.resize(dec->GetVarint());
+  for (Equation& eq : pa.equations) {
+    const uint8_t flags = dec->GetU8();
+    eq.has_true = (flags & 1) != 0;
+    eq.is_aux = (flags & 2) != 0;
+    eq.var = static_cast<NodeId>(dec->GetVarint());
+    eq.deps = DecodeIndexSet(dec);
+    eq.aux_deps = DecodeDeltaList(dec);
+  }
+  return pa;
+}
+
+void ReachPartialAnswer::AddToBes(BooleanEquationSystem* bes) const {
+  bes->Reserve(equations.size() + aliases.size());
+  for (const Equation& eq : equations) {
+    BoolEquation out;
+    out.var = eq.is_aux ? PackAuxVar(site, eq.var) : eq.var;
+    out.has_true = eq.has_true;
+    out.deps.reserve(eq.deps.size() + eq.aux_deps.size());
+    for (uint32_t i : eq.deps) out.deps.push_back(oset_globals[i]);
+    for (uint32_t a : eq.aux_deps) out.deps.push_back(PackAuxVar(site, a));
+    bes->Add(std::move(out));
+  }
+  for (const Alias& a : aliases) {
+    bes->Add(BoolEquation{
+        a.var, false, {a.rep_is_aux ? PackAuxVar(site, a.rep) : a.rep}});
+  }
+}
+
+ReachPartialAnswer LocalEvalReach(const Fragment& f, NodeId s, NodeId t,
+                                  EquationForm form) {
+  const std::vector<NodeId> iset = CollectISet(f, s);
+  const std::vector<NodeId> oset = CollectOSet(f, t);
+
+  ReachPartialAnswer pa;
+  pa.site = f.site();
+  pa.oset_globals.reserve(oset.size());
+  std::vector<bool> target_is_true(oset.size(), false);
+  for (size_t i = 0; i < oset.size(); ++i) {
+    const NodeId global = f.ToGlobal(oset[i]);
+    pa.oset_globals.push_back(global);
+    target_is_true[i] = global == t;
+  }
+
+  GenericSystem sys = ComputeBoundarySystem(f.local_graph(), iset, oset,
+                                            target_is_true, form);
+  pa.equations.reserve(sys.equations.size());
+  for (GenericEquation& eq : sys.equations) {
+    ReachPartialAnswer::Equation out;
+    out.is_aux = eq.is_aux;
+    out.var = eq.is_aux ? eq.var : f.ToGlobal(iset[eq.var]);
+    out.has_true = eq.has_true;
+    out.deps = std::move(eq.deps);
+    out.aux_deps = std::move(eq.aux_deps);
+    pa.equations.push_back(std::move(out));
+  }
+  pa.aliases.reserve(sys.aliases.size());
+  for (const GenericAlias& a : sys.aliases) {
+    ReachPartialAnswer::Alias out;
+    out.rep_is_aux = a.rep_is_aux;
+    out.var = f.ToGlobal(iset[a.source_index]);
+    out.rep = a.rep_is_aux ? a.rep : f.ToGlobal(iset[a.rep]);
+    pa.aliases.push_back(out);
+  }
+  return pa;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded reachability
+// ---------------------------------------------------------------------------
+
+void DistPartialAnswer::Serialize(Encoder* enc) const {
+  enc->PutVarint(oset_globals.size());
+  for (NodeId g : oset_globals) enc->PutVarint(g);
+  enc->PutVarint(equations.size());
+  for (const Equation& eq : equations) {
+    enc->PutVarint(eq.var_global);
+    enc->PutVarint(eq.base == kInfWeight ? 0 : eq.base + 1);
+    enc->PutVarint(eq.terms.size());
+    uint32_t prev = 0;
+    for (const auto& [index, dist] : eq.terms) {
+      enc->PutVarint(index - prev);
+      prev = index;
+      enc->PutVarint(dist);
+    }
+  }
+}
+
+DistPartialAnswer DistPartialAnswer::Deserialize(Decoder* dec) {
+  DistPartialAnswer pa;
+  const size_t num_oset = dec->GetVarint();
+  pa.oset_globals.resize(num_oset);
+  for (NodeId& g : pa.oset_globals) g = static_cast<NodeId>(dec->GetVarint());
+  const size_t num_eq = dec->GetVarint();
+  pa.equations.resize(num_eq);
+  for (Equation& eq : pa.equations) {
+    eq.var_global = static_cast<NodeId>(dec->GetVarint());
+    const uint64_t base = dec->GetVarint();
+    eq.base = base == 0 ? kInfWeight : base - 1;
+    const size_t num_terms = dec->GetVarint();
+    eq.terms.reserve(num_terms);
+    uint32_t prev = 0;
+    for (size_t i = 0; i < num_terms; ++i) {
+      prev += static_cast<uint32_t>(dec->GetVarint());
+      eq.terms.emplace_back(prev, static_cast<uint32_t>(dec->GetVarint()));
+    }
+  }
+  return pa;
+}
+
+void DistPartialAnswer::AddToSystem(DistanceEquationSystem* system) const {
+  for (const Equation& eq : equations) {
+    DistEquation out;
+    out.var = eq.var_global;
+    out.base = eq.base;
+    out.terms.reserve(eq.terms.size());
+    for (const auto& [index, dist] : eq.terms) {
+      out.terms.emplace_back(oset_globals[index], dist);
+    }
+    system->Add(std::move(out));
+  }
+}
+
+DistPartialAnswer LocalEvalDist(const Fragment& f, NodeId s, NodeId t,
+                                uint32_t bound) {
+  const std::vector<NodeId> iset = CollectISet(f, s);
+  const std::vector<NodeId> oset = CollectOSet(f, t);
+
+  DistPartialAnswer pa;
+  pa.oset_globals.reserve(oset.size());
+  for (NodeId w : oset) pa.oset_globals.push_back(f.ToGlobal(w));
+
+  pa.equations.resize(iset.size());
+  for (size_t i = 0; i < iset.size(); ++i) {
+    pa.equations[i].var_global = f.ToGlobal(iset[i]);
+  }
+
+  ForEachBoundedDistance(
+      f.local_graph(), iset, oset, bound, kDistBlockBits,
+      [&pa, t](uint32_t si, uint32_t ti, uint32_t dist) {
+        DistPartialAnswer::Equation& eq = pa.equations[si];
+        if (pa.oset_globals[ti] == t) {
+          eq.base = std::min<uint64_t>(eq.base, dist);
+        } else {
+          eq.terms.emplace_back(ti, dist);
+        }
+      });
+  // Emission is per BFS level, not per index; restore the ascending index
+  // order the delta encoding in Serialize relies on.
+  for (DistPartialAnswer::Equation& eq : pa.equations) {
+    std::sort(eq.terms.begin(), eq.terms.end());
+  }
+  return pa;
+}
+
+// ---------------------------------------------------------------------------
+// Regular reachability
+// ---------------------------------------------------------------------------
+
+void RegularPartialAnswer::Serialize(Encoder* enc) const {
+  enc->PutVarint(site);
+  enc->PutVarint(var_table.size());
+  for (const auto& [node, state] : var_table) {
+    enc->PutVarint(node);
+    enc->PutU8(state);
+  }
+  enc->PutVarint(aliases.size());
+  for (const Alias& a : aliases) {
+    enc->PutU8(a.rep_is_aux ? 1 : 0);
+    enc->PutVarint(a.var_global);
+    enc->PutU8(a.state);
+    enc->PutVarint(a.rep_global);
+    enc->PutU8(a.rep_state);
+  }
+  enc->PutVarint(equations.size());
+  for (const Equation& eq : equations) {
+    enc->PutU8(static_cast<uint8_t>((eq.has_true ? 1 : 0) |
+                                    (eq.is_aux ? 2 : 0)));
+    enc->PutVarint(eq.var_global);
+    enc->PutU8(eq.state);
+    EncodeIndexSet(eq.deps, var_table.size(), enc);
+    EncodeDeltaList(eq.aux_deps, enc);
+  }
+}
+
+RegularPartialAnswer RegularPartialAnswer::Deserialize(Decoder* dec) {
+  RegularPartialAnswer pa;
+  pa.site = static_cast<SiteId>(dec->GetVarint());
+  pa.var_table.resize(dec->GetVarint());
+  for (auto& [node, state] : pa.var_table) {
+    node = static_cast<NodeId>(dec->GetVarint());
+    state = dec->GetU8();
+  }
+  pa.aliases.resize(dec->GetVarint());
+  for (Alias& a : pa.aliases) {
+    a.rep_is_aux = dec->GetU8() != 0;
+    a.var_global = static_cast<NodeId>(dec->GetVarint());
+    a.state = dec->GetU8();
+    a.rep_global = static_cast<NodeId>(dec->GetVarint());
+    a.rep_state = dec->GetU8();
+  }
+  pa.equations.resize(dec->GetVarint());
+  for (Equation& eq : pa.equations) {
+    const uint8_t flags = dec->GetU8();
+    eq.has_true = (flags & 1) != 0;
+    eq.is_aux = (flags & 2) != 0;
+    eq.var_global = static_cast<NodeId>(dec->GetVarint());
+    eq.state = dec->GetU8();
+    eq.deps = DecodeIndexSet(dec);
+    eq.aux_deps = DecodeDeltaList(dec);
+  }
+  return pa;
+}
+
+void RegularPartialAnswer::AddToBes(BooleanEquationSystem* bes) const {
+  bes->Reserve(equations.size() + aliases.size());
+  for (const Equation& eq : equations) {
+    BoolEquation out;
+    out.var = eq.is_aux ? PackAuxVar(site, eq.var_global)
+                        : PackNodeState(eq.var_global, eq.state);
+    out.has_true = eq.has_true;
+    out.deps.reserve(eq.deps.size() + eq.aux_deps.size());
+    for (uint32_t i : eq.deps) {
+      out.deps.push_back(PackNodeState(var_table[i].first, var_table[i].second));
+    }
+    for (uint32_t a : eq.aux_deps) out.deps.push_back(PackAuxVar(site, a));
+    bes->Add(std::move(out));
+  }
+  for (const Alias& a : aliases) {
+    bes->Add(BoolEquation{PackNodeState(a.var_global, a.state),
+                          false,
+                          {a.rep_is_aux
+                               ? PackAuxVar(site, a.rep_global)
+                               : PackNodeState(a.rep_global, a.rep_state)}});
+  }
+}
+
+RegularPartialAnswer LocalEvalRegular(const Fragment& f,
+                                      const QueryAutomaton& automaton,
+                                      NodeId s, NodeId t, EquationForm form) {
+  const Graph& g = f.local_graph();
+  const size_t n = g.NumNodes();
+
+  // Compatibility mask per local node: interior states matching the node's
+  // label, u_s for the node s itself, u_t for t itself (§5.1 semantics).
+  std::vector<uint64_t> compat(n);
+  for (NodeId v = 0; v < n; ++v) {
+    uint64_t mask = automaton.StatesWithLabel(g.label(v));
+    const NodeId global = f.ToGlobal(v);
+    if (global == s) mask |= uint64_t{1} << QueryAutomaton::kStart;
+    if (global == t) mask |= uint64_t{1} << QueryAutomaton::kFinal;
+    compat[v] = mask;
+  }
+
+  // Dense product node ids: pid(v, q) = offset[v] + rank of q in compat[v].
+  std::vector<uint64_t> offset(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    offset[v + 1] =
+        offset[v] + static_cast<uint64_t>(__builtin_popcountll(compat[v]));
+  }
+  const uint64_t num_product = offset[n];
+  PEREACH_CHECK_LT(num_product, uint64_t{1} << 32);
+  const auto pid = [&](NodeId v, uint32_t q) -> NodeId {
+    const uint64_t below = compat[v] & ((uint64_t{1} << q) - 1);
+    return static_cast<NodeId>(
+        offset[v] + static_cast<uint64_t>(__builtin_popcountll(below)));
+  };
+
+  // Materialize the product graph F_i x G_q restricted to compatible pairs.
+  GraphBuilder pb;
+  pb.AddNodes(static_cast<size_t>(num_product));
+  for (NodeId v = 0; v < n; ++v) {
+    if (compat[v] == 0) continue;
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (compat[w] == 0) continue;
+      uint64_t qs = compat[v];
+      while (qs != 0) {
+        const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+        qs &= qs - 1;
+        uint64_t succs = automaton.out_mask(q) & compat[w];
+        const NodeId from = pid(v, q);
+        while (succs != 0) {
+          const uint32_t q2 = static_cast<uint32_t>(__builtin_ctzll(succs));
+          succs &= succs - 1;
+          pb.AddEdge(from, pid(w, q2));
+        }
+      }
+    }
+  }
+  const Graph product = std::move(pb).Build();
+
+  // Sources: (v, q) for every in-node v (plus s) and compatible state q.
+  const std::vector<NodeId> iset = CollectISet(f, s);
+  std::vector<NodeId> sources;
+  std::vector<std::pair<NodeId, uint8_t>> source_info;  // (global, state)
+  for (NodeId v : iset) {
+    uint64_t qs = compat[v];
+    const NodeId global = f.ToGlobal(v);
+    while (qs != 0) {
+      const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+      qs &= qs - 1;
+      sources.push_back(pid(v, q));
+      source_info.emplace_back(global, static_cast<uint8_t>(q));
+    }
+  }
+
+  // Targets: frontier variables (virtual w, state q'), plus the accepting
+  // product node (t, u_t) — reaching it makes a formula `true`.
+  RegularPartialAnswer pa;
+  pa.site = f.site();
+  std::vector<NodeId> targets;
+  std::vector<bool> target_is_true;
+  std::vector<uint32_t> target_var;  // index into var_table (or unused)
+  for (NodeId w = static_cast<NodeId>(f.num_local()); w < n; ++w) {
+    uint64_t qs = compat[w];
+    const NodeId global = f.ToGlobal(w);
+    while (qs != 0) {
+      const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+      qs &= qs - 1;
+      targets.push_back(pid(w, q));
+      if (global == t && q == QueryAutomaton::kFinal) {
+        target_is_true.push_back(true);
+        target_var.push_back(0);  // unused
+      } else {
+        target_is_true.push_back(false);
+        target_var.push_back(static_cast<uint32_t>(pa.var_table.size()));
+        pa.var_table.emplace_back(global, static_cast<uint8_t>(q));
+      }
+    }
+  }
+  if (f.Contains(t)) {
+    const NodeId lt = f.ToLocal(t);
+    if ((compat[lt] >> QueryAutomaton::kFinal) & 1) {
+      targets.push_back(pid(lt, QueryAutomaton::kFinal));
+      target_is_true.push_back(true);
+      target_var.push_back(0);  // unused
+    }
+  }
+
+  GenericSystem sys =
+      ComputeBoundarySystem(product, sources, targets, target_is_true, form);
+
+  pa.equations.reserve(sys.equations.size());
+  for (GenericEquation& eq : sys.equations) {
+    RegularPartialAnswer::Equation out;
+    out.is_aux = eq.is_aux;
+    if (eq.is_aux) {
+      out.var_global = eq.var;
+    } else {
+      out.var_global = source_info[eq.var].first;
+      out.state = source_info[eq.var].second;
+    }
+    out.has_true = eq.has_true;
+    out.deps.reserve(eq.deps.size());
+    for (uint32_t ti : eq.deps) out.deps.push_back(target_var[ti]);
+    out.aux_deps = std::move(eq.aux_deps);
+    pa.equations.push_back(std::move(out));
+  }
+  pa.aliases.reserve(sys.aliases.size());
+  for (const GenericAlias& a : sys.aliases) {
+    RegularPartialAnswer::Alias out;
+    out.rep_is_aux = a.rep_is_aux;
+    out.var_global = source_info[a.source_index].first;
+    out.state = source_info[a.source_index].second;
+    if (a.rep_is_aux) {
+      out.rep_global = a.rep;
+    } else {
+      out.rep_global = source_info[a.rep].first;
+      out.rep_state = source_info[a.rep].second;
+    }
+    pa.aliases.push_back(out);
+  }
+  return pa;
+}
+
+}  // namespace pereach

@@ -1,0 +1,175 @@
+#ifndef PEREACH_CORE_LOCAL_EVAL_H_
+#define PEREACH_CORE_LOCAL_EVAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/bes/bes.h"
+#include "src/bes/distance_system.h"
+#include "src/fragment/fragment.h"
+#include "src/regex/query_automaton.h"
+#include "src/util/common.h"
+#include "src/util/serialization.h"
+
+namespace pereach {
+
+/// Packs a (node, automaton state) pair into one BES variable key — the
+/// X_(v,u) variables of §5. States fit in 6 bits (kMaxStates == 64).
+inline uint64_t PackNodeState(NodeId node, uint32_t state) {
+  return (static_cast<uint64_t>(node) << 6) | state;
+}
+
+/// Key of an auxiliary variable Y_aux introduced by the DAG-form encoding
+/// (one per local SCC); disjoint from node and (node, state) keys via the
+/// top bit.
+inline uint64_t PackAuxVar(SiteId site, uint32_t aux) {
+  return (uint64_t{1} << 63) | (static_cast<uint64_t>(site) << 32) | aux;
+}
+
+/// How a fragment encodes its Boolean equations.
+///
+/// kClosure is the paper's literal form (Fig. 3): one equation per in-node
+/// SCC whose dependencies are *all* virtual nodes it can reach — worst case
+/// Θ(|I|·|O|) bits, the O(|V_f|²) of Theorem 1.
+///
+/// kDag ships the fragment's SCC condensation restricted to the components
+/// that both are reachable from an in-node and can reach the boundary, with
+/// one auxiliary variable per component: X_v = Y_comp(v), Y_c = (terms at c)
+/// ∨ (Y of successor components). Same least fixpoint, size O(|F_i|) but in
+/// practice far below the closure on dense graphs.
+///
+/// kAuto estimates both sizes and picks the smaller per fragment — the
+/// shipped bytes never exceed the closure form, so Theorem 1's traffic bound
+/// is preserved while the typical case matches the paper's measured ~10% of
+/// |G|.
+enum class EquationForm { kAuto, kClosure, kDag };
+
+// ---------------------------------------------------------------------------
+// Reachability (paper §3, procedure localEval of Fig. 3)
+// ---------------------------------------------------------------------------
+
+/// Partial answer F_i.rvset of one fragment. Two kinds of equations:
+///  - node equations (is_aux == false): X_v for an in-node v (global id),
+///  - aux equations (is_aux == true): Y_c for a local SCC (DAG form only).
+/// Dependencies are term indices into oset_globals (frontier variables;
+/// a term equal to t is folded into has_true) plus aux ids. Aliases bind
+/// in-nodes to representatives (another in-node, or an aux variable).
+struct ReachPartialAnswer {
+  struct Equation {
+    bool is_aux = false;
+    NodeId var = kInvalidNode;   // global node id, or aux id if is_aux
+    bool has_true = false;
+    std::vector<uint32_t> deps;      // ascending indices into oset_globals
+    std::vector<uint32_t> aux_deps;  // ascending aux ids
+  };
+  struct Alias {
+    bool rep_is_aux = false;
+    NodeId var = kInvalidNode;  // global node id of the aliased in-node
+    NodeId rep = kInvalidNode;  // global node id or aux id
+
+    friend bool operator==(const Alias&, const Alias&) = default;
+  };
+
+  SiteId site = 0;
+  std::vector<NodeId> oset_globals;
+  std::vector<Equation> equations;
+  std::vector<Alias> aliases;
+
+  /// Wire format: site, oset table, aliases, then per-equation sparse delta
+  /// list or dense |oset|-bit row, whichever is smaller (the paper's
+  /// bit-vector encoding is the dense case).
+  void Serialize(Encoder* enc) const;
+  static ReachPartialAnswer Deserialize(Decoder* dec);
+
+  /// Converts equations and aliases to BES equations (aux variables are
+  /// namespaced by `site`). Reserves capacity up front.
+  void AddToBes(BooleanEquationSystem* bes) const;
+};
+
+/// Runs localEval on one fragment: for every in-node (and s if local),
+/// a formula over the virtual nodes it reaches inside F_i and whether it
+/// reaches t locally. One SCC condensation; O(|F_i| · |oset|/64) worst case
+/// (closure form), O(|F_i|) for the DAG form.
+ReachPartialAnswer LocalEvalReach(const Fragment& f, NodeId s, NodeId t,
+                                  EquationForm form = EquationForm::kAuto);
+
+// ---------------------------------------------------------------------------
+// Bounded reachability (paper §4, procedure localEvald)
+// ---------------------------------------------------------------------------
+
+/// Partial answer for q_br: min-plus equations X_v = min(base,
+/// min_j(dist + X_w)) with locally measured distances <= bound. Distances
+/// differ across an SCC's members, so no equation merging applies here.
+struct DistPartialAnswer {
+  struct Equation {
+    NodeId var_global = kInvalidNode;
+    uint64_t base = kInfWeight;  // local dist(v, t), if t locally reachable
+    std::vector<std::pair<uint32_t, uint32_t>> terms;  // (oset index, dist)
+  };
+
+  std::vector<NodeId> oset_globals;
+  std::vector<Equation> equations;
+
+  void Serialize(Encoder* enc) const;
+  static DistPartialAnswer Deserialize(Decoder* dec);
+  void AddToSystem(DistanceEquationSystem* system) const;
+};
+
+/// Runs localEvald: bounded multi-source distance propagation,
+/// O(bound * |F_i| * |oset|/64).
+DistPartialAnswer LocalEvalDist(const Fragment& f, NodeId s, NodeId t,
+                                uint32_t bound);
+
+// ---------------------------------------------------------------------------
+// Regular reachability (paper §5, procedure localEvalr of Fig. 7)
+// ---------------------------------------------------------------------------
+
+/// Partial answer for q_rr: per (in-node, compatible automaton state) a
+/// Boolean formula over frontier variables X_(w,u') — w a virtual node, u'
+/// a state label-compatible with w. var_table lists the frontier variables;
+/// equations reference them by index. The closure/DAG adaptivity works on
+/// the *product graph* F_i × G_q.
+struct RegularPartialAnswer {
+  struct Equation {
+    bool is_aux = false;
+    NodeId var_global = kInvalidNode;  // or aux id when is_aux
+    uint8_t state = 0;                 // unused when is_aux
+    bool has_true = false;             // reaches (t, u_t) inside the fragment
+    std::vector<uint32_t> deps;        // ascending indices into var_table
+    std::vector<uint32_t> aux_deps;    // ascending aux ids
+  };
+
+  /// X_(node, state) = rep, where rep is X_(rep node, rep state) or Y_aux.
+  struct Alias {
+    bool rep_is_aux = false;
+    NodeId var_global = kInvalidNode;
+    uint8_t state = 0;
+    NodeId rep_global = kInvalidNode;  // or aux id
+    uint8_t rep_state = 0;
+
+    friend bool operator==(const Alias&, const Alias&) = default;
+  };
+
+  SiteId site = 0;
+  std::vector<std::pair<NodeId, uint8_t>> var_table;
+  std::vector<Equation> equations;
+  std::vector<Alias> aliases;
+
+  void Serialize(Encoder* enc) const;
+  static RegularPartialAnswer Deserialize(Decoder* dec);
+  void AddToBes(BooleanEquationSystem* bes) const;
+};
+
+/// Runs localEvalr: builds the label-compatible product of the fragment
+/// with G_q and encodes its boundary equation system. Equivalent to the
+/// paper's memoized cmpRvec but correct on cyclic fragments (see DESIGN.md
+/// §1.4); O(|F_i| |R|^2) plus the closure bitset factor when that form wins.
+RegularPartialAnswer LocalEvalRegular(const Fragment& f,
+                                      const QueryAutomaton& automaton,
+                                      NodeId s, NodeId t,
+                                      EquationForm form = EquationForm::kAuto);
+
+}  // namespace pereach
+
+#endif  // PEREACH_CORE_LOCAL_EVAL_H_

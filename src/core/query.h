@@ -1,0 +1,34 @@
+#ifndef PEREACH_CORE_QUERY_H_
+#define PEREACH_CORE_QUERY_H_
+
+#include <cstdint>
+
+#include "src/regex/regex.h"
+#include "src/util/common.h"
+
+namespace pereach {
+
+/// q_r(s, t): is there a path from s to t? (paper §2.2)
+struct ReachQuery {
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+};
+
+/// q_br(s, t, l): is dist(s, t) <= l?
+struct BoundedReachQuery {
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+  uint32_t bound = 0;
+};
+
+/// q_rr(s, t, R): is there a path from s to t whose interior node labels
+/// spell a word of L(R)?
+struct RegularReachQuery {
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+  Regex regex = Regex::Epsilon();
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_CORE_QUERY_H_

@@ -1,0 +1,46 @@
+#include "src/fragment/fragment.h"
+
+#include "src/graph/graph_io.h"
+
+namespace pereach {
+
+size_t Fragment::ByteSize() const {
+  Encoder enc;
+  Serialize(&enc);
+  return enc.size();
+}
+
+void Fragment::Serialize(Encoder* enc) const {
+  enc->PutVarint(site_);
+  enc->PutVarint(num_local_);
+  enc->PutVarint(num_cross_edges_);
+  SerializeGraph(graph_, enc);
+  // Global ids are delta-encoded against the previous entry where ascending
+  // (real nodes are ascending by construction; virtual ids are arbitrary).
+  for (NodeId g : local_to_global_) enc->PutVarint(g);
+  enc->PutVarint(in_nodes_.size());
+  for (NodeId v : in_nodes_) enc->PutVarint(v);
+  for (SiteId s : virtual_owner_) enc->PutVarint(s);
+}
+
+Fragment Fragment::Deserialize(Decoder* dec) {
+  Fragment f;
+  f.site_ = static_cast<SiteId>(dec->GetVarint());
+  f.num_local_ = dec->GetVarint();
+  f.num_cross_edges_ = dec->GetVarint();
+  f.graph_ = DeserializeGraph(dec);
+  f.local_to_global_.resize(f.graph_.NumNodes());
+  for (NodeId& g : f.local_to_global_) g = static_cast<NodeId>(dec->GetVarint());
+  f.global_to_local_.reserve(f.local_to_global_.size());
+  for (NodeId local = 0; local < f.local_to_global_.size(); ++local) {
+    f.global_to_local_.emplace(f.local_to_global_[local], local);
+  }
+  const size_t num_in = dec->GetVarint();
+  f.in_nodes_.resize(num_in);
+  for (NodeId& v : f.in_nodes_) v = static_cast<NodeId>(dec->GetVarint());
+  f.virtual_owner_.resize(f.graph_.NumNodes() - f.num_local_);
+  for (SiteId& s : f.virtual_owner_) s = static_cast<SiteId>(dec->GetVarint());
+  return f;
+}
+
+}  // namespace pereach

@@ -1,0 +1,95 @@
+#ifndef PEREACH_FRAGMENT_FRAGMENT_H_
+#define PEREACH_FRAGMENT_FRAGMENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/common.h"
+#include "src/util/serialization.h"
+
+namespace pereach {
+
+/// One fragment F_i = (V_i ∪ F_i.O, E_i ∪ cE_i, L_i) of a fragmentation
+/// (paper §2.1). Local node ids are dense: [0, num_local()) are the real
+/// nodes V_i; [num_local(), NumNodes()) are the virtual nodes F_i.O, which
+/// are sinks in the local graph (their out-edges live in other fragments).
+/// Cross edges cE_i are exactly the local edges whose target is virtual.
+/// Labels are kept for virtual nodes too (regular reachability needs them).
+class Fragment {
+ public:
+  Fragment() = default;
+
+  /// The site this fragment is stored at (fragment id == site id here;
+  /// the runtime also supports mapping several fragments to one site).
+  SiteId site() const { return site_; }
+
+  /// Local graph over V_i ∪ F_i.O (virtual nodes are sinks).
+  const Graph& local_graph() const { return graph_; }
+
+  /// |V_i|: number of real (locally stored) nodes.
+  size_t num_local() const { return num_local_; }
+
+  /// |F_i.O|: number of virtual nodes.
+  size_t num_virtual() const { return graph_.NumNodes() - num_local_; }
+
+  bool IsVirtual(NodeId local) const { return local >= num_local_; }
+
+  /// Global id of a local node (real or virtual).
+  NodeId ToGlobal(NodeId local) const {
+    PEREACH_CHECK_LT(local, local_to_global_.size());
+    return local_to_global_[local];
+  }
+
+  /// Local id of a global node, or kInvalidNode if this fragment holds
+  /// neither a real nor a virtual copy of it.
+  NodeId ToLocal(NodeId global) const {
+    auto it = global_to_local_.find(global);
+    return it == global_to_local_.end() ? kInvalidNode : it->second;
+  }
+
+  /// True iff `global` is one of this fragment's real nodes.
+  bool Contains(NodeId global) const {
+    const NodeId local = ToLocal(global);
+    return local != kInvalidNode && !IsVirtual(local);
+  }
+
+  /// F_i.I — local ids of the in-nodes (real nodes with an incoming cross
+  /// edge from another fragment), ascending.
+  const std::vector<NodeId>& in_nodes() const { return in_nodes_; }
+
+  /// Site that stores the real copy of virtual node `local`.
+  SiteId VirtualOwner(NodeId local) const {
+    PEREACH_CHECK(IsVirtual(local));
+    return virtual_owner_[local - num_local_];
+  }
+
+  /// |cE_i|: number of cross edges (edges into virtual nodes).
+  size_t num_cross_edges() const { return num_cross_edges_; }
+
+  /// |F_i| as used in the paper's complexity bounds: nodes plus edges.
+  size_t Size() const { return graph_.NumNodes() + graph_.NumEdges(); }
+
+  /// Serialized size in bytes (what shipping this fragment would cost).
+  size_t ByteSize() const;
+
+  /// Wire format: local graph, global-id table, in-node list, virtual owners.
+  void Serialize(Encoder* enc) const;
+  static Fragment Deserialize(Decoder* dec);
+
+ private:
+  friend class Fragmentation;
+
+  SiteId site_ = 0;
+  Graph graph_;
+  size_t num_local_ = 0;
+  size_t num_cross_edges_ = 0;
+  std::vector<NodeId> local_to_global_;
+  std::unordered_map<NodeId, NodeId> global_to_local_;
+  std::vector<NodeId> in_nodes_;
+  std::vector<SiteId> virtual_owner_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_FRAGMENT_FRAGMENT_H_

@@ -1,0 +1,113 @@
+#include "src/fragment/fragmentation.h"
+
+#include <algorithm>
+
+namespace pereach {
+
+namespace {
+
+/// Per-fragment accumulation state used during the single build pass.
+struct FragmentAccumulator {
+  std::vector<NodeId> local_to_global;
+  std::unordered_map<NodeId, NodeId> global_to_local;  // reals then virtuals
+  std::vector<std::pair<NodeId, NodeId>> local_edges;  // local ids
+  std::vector<NodeId> virtual_globals;                 // F_i.O (global ids)
+  std::vector<bool> is_in_node;                        // per real node
+  size_t num_cross = 0;
+};
+
+}  // namespace
+
+Fragmentation Fragmentation::Build(const Graph& g,
+                                   const std::vector<SiteId>& partition,
+                                   size_t num_fragments) {
+  PEREACH_CHECK_EQ(partition.size(), g.NumNodes());
+  PEREACH_CHECK_GE(num_fragments, 1u);
+
+  Fragmentation result;
+  result.partition_ = partition;
+
+  std::vector<FragmentAccumulator> acc(num_fragments);
+
+  // Pass 1: assign local ids to real nodes, fragment by fragment, in global
+  // id order (so local order is deterministic).
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const SiteId s = partition[v];
+    PEREACH_CHECK_LT(s, num_fragments);
+    FragmentAccumulator& a = acc[s];
+    a.global_to_local.emplace(v, static_cast<NodeId>(a.local_to_global.size()));
+    a.local_to_global.push_back(v);
+  }
+  for (FragmentAccumulator& a : acc) {
+    a.is_in_node.assign(a.local_to_global.size(), false);
+  }
+
+  // Pass 2: route every edge. An edge (u, v) lives in u's fragment; if v is
+  // remote it becomes a cross edge to a (deduplicated) virtual node, and v
+  // becomes an in-node of its own fragment.
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const SiteId su = partition[u];
+    FragmentAccumulator& a = acc[su];
+    const NodeId lu = a.global_to_local.at(u);
+    for (NodeId v : g.OutNeighbors(u)) {
+      const SiteId sv = partition[v];
+      if (sv == su) {
+        a.local_edges.emplace_back(lu, a.global_to_local.at(v));
+      } else {
+        auto [it, inserted] = a.global_to_local.emplace(
+            v, static_cast<NodeId>(a.local_to_global.size() +
+                                   a.virtual_globals.size()));
+        if (inserted) a.virtual_globals.push_back(v);
+        a.local_edges.emplace_back(lu, it->second);
+        ++a.num_cross;
+        // Mark v as an in-node of its home fragment.
+        FragmentAccumulator& home = acc[sv];
+        home.is_in_node[home.global_to_local.at(v)] = true;
+        result.cross_edges_.emplace_back(u, v);
+      }
+    }
+  }
+
+  // Pass 3: materialize fragments.
+  result.fragments_.resize(num_fragments);
+  for (SiteId s = 0; s < num_fragments; ++s) {
+    FragmentAccumulator& a = acc[s];
+    Fragment& f = result.fragments_[s];
+    f.site_ = s;
+    f.num_local_ = a.local_to_global.size();
+    f.num_cross_edges_ = a.num_cross;
+
+    GraphBuilder b;
+    b.AddNodes(f.num_local_ + a.virtual_globals.size());
+    for (NodeId l = 0; l < f.num_local_; ++l) {
+      b.SetLabel(l, g.label(a.local_to_global[l]));
+    }
+    for (size_t i = 0; i < a.virtual_globals.size(); ++i) {
+      b.SetLabel(static_cast<NodeId>(f.num_local_ + i),
+                 g.label(a.virtual_globals[i]));
+    }
+    for (const auto& [lu, lv] : a.local_edges) b.AddEdge(lu, lv);
+    f.graph_ = std::move(b).Build();
+
+    f.local_to_global_ = std::move(a.local_to_global);
+    f.local_to_global_.insert(f.local_to_global_.end(),
+                              a.virtual_globals.begin(),
+                              a.virtual_globals.end());
+    f.global_to_local_ = std::move(a.global_to_local);
+    for (NodeId l = 0; l < f.num_local_; ++l) {
+      if (a.is_in_node[l]) f.in_nodes_.push_back(l);
+    }
+    f.virtual_owner_.reserve(a.virtual_globals.size());
+    for (NodeId vg : a.virtual_globals) {
+      f.virtual_owner_.push_back(partition[vg]);
+    }
+
+    result.num_cross_edges_ += f.num_cross_edges_;
+    result.num_boundary_nodes_ += f.in_nodes_.size();
+    result.largest_fragment_size_ =
+        std::max(result.largest_fragment_size_, f.Size());
+  }
+  return result;
+}
+
+}  // namespace pereach

@@ -1,0 +1,70 @@
+#ifndef PEREACH_FRAGMENT_FRAGMENTATION_H_
+#define PEREACH_FRAGMENT_FRAGMENTATION_H_
+
+#include <vector>
+
+#include "src/fragment/fragment.h"
+#include "src/graph/graph.h"
+#include "src/util/common.h"
+
+namespace pereach {
+
+/// A fragmentation F = (F, G_f) of a graph G (paper §2.1): the list of
+/// fragments plus the fragment graph G_f = (V_f, E_f) collecting all
+/// in-nodes, virtual nodes and cross edges. No constraint is imposed on how
+/// nodes are assigned to fragments.
+class Fragmentation {
+ public:
+  Fragmentation() = default;
+
+  /// Builds the fragmentation of `g` induced by `partition` (node -> site,
+  /// values in [0, num_fragments)).
+  static Fragmentation Build(const Graph& g, const std::vector<SiteId>& partition,
+                             size_t num_fragments);
+
+  size_t num_fragments() const { return fragments_.size(); }
+  const Fragment& fragment(SiteId i) const {
+    PEREACH_CHECK_LT(i, fragments_.size());
+    return fragments_[i];
+  }
+
+  /// Site storing the real copy of `global`.
+  SiteId site_of(NodeId global) const {
+    PEREACH_CHECK_LT(global, partition_.size());
+    return partition_[global];
+  }
+
+  const std::vector<SiteId>& partition() const { return partition_; }
+
+  /// Total number of nodes of the underlying graph.
+  size_t num_nodes() const { return partition_.size(); }
+
+  /// |E_f|: total number of cross edges.
+  size_t num_cross_edges() const { return num_cross_edges_; }
+
+  /// |V_f|: number of distinct global nodes with an incoming cross edge
+  /// (equivalently, Σ_i |F_i.I| — every boundary node is an in-node of
+  /// exactly one fragment). This is the V_f of the paper's bounds.
+  size_t num_boundary_nodes() const { return num_boundary_nodes_; }
+
+  /// |F_m|: size (nodes + edges) of the largest fragment.
+  size_t largest_fragment_size() const { return largest_fragment_size_; }
+
+  /// Cross edges as (source global id, target global id) pairs — the edge
+  /// set E_f of the fragment graph G_f.
+  const std::vector<std::pair<NodeId, NodeId>>& cross_edges() const {
+    return cross_edges_;
+  }
+
+ private:
+  std::vector<Fragment> fragments_;
+  std::vector<SiteId> partition_;
+  std::vector<std::pair<NodeId, NodeId>> cross_edges_;
+  size_t num_cross_edges_ = 0;
+  size_t num_boundary_nodes_ = 0;
+  size_t largest_fragment_size_ = 0;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_FRAGMENT_FRAGMENTATION_H_

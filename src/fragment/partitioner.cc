@@ -1,0 +1,112 @@
+#include "src/fragment/partitioner.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "src/util/logging.h"
+
+namespace pereach {
+
+std::vector<SiteId> RandomPartitioner::Partition(const Graph& g, size_t k,
+                                                 Rng* rng) const {
+  PEREACH_CHECK_GE(k, 1u);
+  std::vector<SiteId> part(g.NumNodes());
+  for (SiteId& s : part) s = static_cast<SiteId>(rng->Uniform(k));
+  EnsureNonEmptySites(&part, k, rng);
+  return part;
+}
+
+std::vector<SiteId> ChunkPartitioner::Partition(const Graph& g, size_t k,
+                                                Rng* rng) const {
+  (void)rng;
+  PEREACH_CHECK_GE(k, 1u);
+  const size_t n = g.NumNodes();
+  std::vector<SiteId> part(n);
+  for (NodeId v = 0; v < n; ++v) {
+    part[v] = static_cast<SiteId>(std::min(k - 1, v * k / n));
+  }
+  return part;
+}
+
+std::vector<SiteId> BfsGrowPartitioner::Partition(const Graph& g, size_t k,
+                                                  Rng* rng) const {
+  PEREACH_CHECK_GE(k, 1u);
+  const size_t n = g.NumNodes();
+  constexpr SiteId kUnassigned = std::numeric_limits<SiteId>::max();
+  std::vector<SiteId> part(n, kUnassigned);
+
+  // Random distinct seeds.
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  rng->Shuffle(&order);
+
+  // Claim-on-pop multi-source BFS: queues hold *candidate* nodes which may
+  // already be taken by another region; a node is claimed when popped while
+  // still unassigned. Each edge enqueues its endpoints O(1) times, so the
+  // whole pass is linear in |E|.
+  std::vector<std::deque<NodeId>> frontier(k);
+  std::vector<size_t> region_size(k, 0);
+  const size_t num_seeds = std::min(k, n);
+  for (SiteId s = 0; s < num_seeds; ++s) frontier[s].push_back(order[s]);
+
+  size_t assigned = 0;
+  size_t reseed_cursor = num_seeds;
+  while (assigned < n) {
+    SiteId best = 0;
+    for (SiteId s = 1; s < k; ++s) {
+      if (region_size[s] < region_size[best]) best = s;
+    }
+    NodeId claimed = kInvalidNode;
+    while (!frontier[best].empty()) {
+      const NodeId u = frontier[best].front();
+      frontier[best].pop_front();
+      if (part[u] == kUnassigned) {
+        claimed = u;
+        break;
+      }
+    }
+    if (claimed == kInvalidNode) {
+      // Frontier exhausted: reseed from any unassigned node.
+      while (reseed_cursor < n && part[order[reseed_cursor]] != kUnassigned) {
+        ++reseed_cursor;
+      }
+      if (reseed_cursor == n) break;
+      claimed = order[reseed_cursor];
+    }
+    part[claimed] = best;
+    ++region_size[best];
+    ++assigned;
+    for (NodeId v : g.OutNeighbors(claimed)) {
+      if (part[v] == kUnassigned) frontier[best].push_back(v);
+    }
+    // Also consider in-neighbors so sink-heavy regions can still grow.
+    for (NodeId v : g.InNeighbors(claimed)) {
+      if (part[v] == kUnassigned) frontier[best].push_back(v);
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (part[v] == kUnassigned) part[v] = static_cast<SiteId>(rng->Uniform(k));
+  }
+  return part;
+}
+
+void EnsureNonEmptySites(std::vector<SiteId>* partition, size_t k, Rng* rng) {
+  const size_t n = partition->size();
+  if (n < k) return;
+  std::vector<size_t> count(k, 0);
+  for (SiteId s : *partition) ++count[s];
+  for (SiteId s = 0; s < k; ++s) {
+    while (count[s] == 0) {
+      const NodeId v = static_cast<NodeId>(rng->Uniform(n));
+      const SiteId old = (*partition)[v];
+      if (count[old] > 1) {
+        (*partition)[v] = s;
+        --count[old];
+        ++count[s];
+      }
+    }
+  }
+}
+
+}  // namespace pereach

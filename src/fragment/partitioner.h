@@ -1,0 +1,67 @@
+#ifndef PEREACH_FRAGMENT_PARTITIONER_H_
+#define PEREACH_FRAGMENT_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/common.h"
+#include "src/util/random.h"
+
+namespace pereach {
+
+/// Strategy that assigns every node of a graph to one of k sites. The paper
+/// imposes no constraint on fragmentation; different strategies let the
+/// benchmarks study how boundary size |V_f| affects each algorithm.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Returns a site id in [0, k) for every node. Every site is non-empty
+  /// whenever k <= NumNodes().
+  virtual std::vector<SiteId> Partition(const Graph& g, size_t k,
+                                        Rng* rng) const = 0;
+
+  /// Name used in bench output.
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random assignment — the paper's default ("randomly partitioned",
+/// §7). Worst case for |V_f|.
+class RandomPartitioner : public Partitioner {
+ public:
+  std::vector<SiteId> Partition(const Graph& g, size_t k,
+                                Rng* rng) const override;
+  std::string name() const override { return "random"; }
+};
+
+/// Contiguous equal-size chunks of the node id range — Hadoop's default
+/// input split, used by MRdRPQ's parG (§6). Good for graphs whose node ids
+/// correlate with locality (e.g. generated or crawled graphs).
+class ChunkPartitioner : public Partitioner {
+ public:
+  std::vector<SiteId> Partition(const Graph& g, size_t k,
+                                Rng* rng) const override;
+  std::string name() const override { return "chunk"; }
+};
+
+/// Greedy balanced BFS growth: k seeds expand breadth-first, each claiming
+/// unassigned nodes, preferring the currently smallest region. A cheap
+/// edge-cut reducer standing in for METIS-style partitioners; used by the
+/// partitioning ablation bench.
+class BfsGrowPartitioner : public Partitioner {
+ public:
+  std::vector<SiteId> Partition(const Graph& g, size_t k,
+                                Rng* rng) const override;
+  std::string name() const override { return "bfs-grow"; }
+};
+
+/// Ensures every site in [0, k) owns at least one node by reassigning nodes
+/// into empty sites; mutates `partition` in place. (Fragmentation tolerates
+/// empty fragments, but benches report per-site stats.)
+void EnsureNonEmptySites(std::vector<SiteId>* partition, size_t k, Rng* rng);
+
+}  // namespace pereach
+
+#endif  // PEREACH_FRAGMENT_PARTITIONER_H_

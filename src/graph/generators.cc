@@ -1,0 +1,299 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace pereach {
+
+namespace {
+
+// Assigns uniform labels from [0, num_labels) to all nodes of the builder.
+void AssignLabels(GraphBuilder* b, size_t num_labels, Rng* rng) {
+  if (num_labels <= 1) return;
+  for (NodeId v = 0; v < b->NumNodes(); ++v) {
+    b->SetLabel(v, static_cast<LabelId>(rng->Uniform(num_labels)));
+  }
+}
+
+}  // namespace
+
+Graph ErdosRenyi(size_t n, size_t m, size_t num_labels, Rng* rng) {
+  PEREACH_CHECK_GE(n, 2u);
+  GraphBuilder b;
+  b.AddNodes(n);
+  AssignLabels(&b, num_labels, rng);
+  for (size_t i = 0; i < m; ++i) {
+    const NodeId u = static_cast<NodeId>(rng->Uniform(n));
+    NodeId v = static_cast<NodeId>(rng->Uniform(n - 1));
+    if (v >= u) ++v;  // skip self-loop
+    b.AddEdge(u, v);
+  }
+  return std::move(b).Build();
+}
+
+Graph PreferentialAttachment(size_t n, size_t out_degree, size_t num_labels,
+                             Rng* rng) {
+  PEREACH_CHECK_GE(n, 2u);
+  GraphBuilder b;
+  b.AddNodes(n);
+  AssignLabels(&b, num_labels, rng);
+
+  // `endpoints` holds one entry per existing edge endpoint plus one per node,
+  // so sampling from it realizes the (degree + 1)-proportional distribution.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n * out_degree + n);
+  endpoints.push_back(0);
+  for (NodeId v = 1; v < n; ++v) {
+    for (size_t k = 0; k < out_degree; ++k) {
+      const NodeId target = endpoints[rng->Uniform(endpoints.size())];
+      if (target != v) {
+        b.AddEdge(v, target);
+        endpoints.push_back(target);
+      }
+      // Mirror edge from a uniformly random earlier node, so reachability is
+      // not trivially one-directional (social links are reciprocated often).
+      if (rng->Bernoulli(0.3)) {
+        const NodeId from = static_cast<NodeId>(rng->Uniform(v));
+        b.AddEdge(from, v);
+        endpoints.push_back(v);
+      }
+    }
+    endpoints.push_back(v);
+  }
+  return std::move(b).Build();
+}
+
+Graph ForestFire(size_t n, double p_forward, size_t num_labels, Rng* rng) {
+  PEREACH_CHECK_GE(n, 2u);
+  PEREACH_CHECK_LT(p_forward, 1.0);
+  // Adjacency is needed during growth, so keep a mutable copy alongside.
+  std::vector<std::vector<NodeId>> adj(n);
+  GraphBuilder b;
+  b.AddNodes(n);
+  AssignLabels(&b, num_labels, rng);
+
+  // Cap the burn so one fire cannot touch the whole graph (keeps generation
+  // near-linear while preserving the densification effect).
+  const size_t kBurnCap = 64;
+  std::vector<uint32_t> burned_at(n, 0);
+  uint32_t epoch = 0;
+
+  for (NodeId v = 1; v < n; ++v) {
+    ++epoch;
+    // Crawl-order locality: ambassadors are mostly recent nodes, with a
+    // geometric tail reaching back (real web pages link near their
+    // discovery frontier).
+    const uint64_t back = rng->Geometric(0.005);
+    const NodeId ambassador =
+        back <= v ? static_cast<NodeId>(v - back)
+                  : static_cast<NodeId>(rng->Uniform(v));
+    std::deque<NodeId> frontier{ambassador};
+    burned_at[ambassador] = epoch;
+    size_t burned = 0;
+    while (!frontier.empty() && burned < kBurnCap) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      b.AddEdge(v, u);
+      adj[v].push_back(u);
+      ++burned;
+      // Geometric number of forward spreads from u.
+      const size_t spread = rng->Geometric(1.0 - p_forward) - 1;
+      size_t taken = 0;
+      for (NodeId w : adj[u]) {
+        if (taken >= spread) break;
+        if (burned_at[w] != epoch) {
+          burned_at[w] = epoch;
+          frontier.push_back(w);
+          ++taken;
+        }
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph CommunityGraph(size_t n, size_t m, size_t num_communities,
+                     double p_intra, size_t num_labels, Rng* rng) {
+  PEREACH_CHECK_GE(n, 2u);
+  num_communities = std::max<size_t>(1, std::min(num_communities, n));
+  GraphBuilder b;
+  b.AddNodes(n);
+  AssignLabels(&b, num_labels, rng);
+
+  const size_t community_size = (n + num_communities - 1) / num_communities;
+  // Per-community preferential endpoint pools (target popularity).
+  std::vector<std::vector<NodeId>> pool(num_communities);
+  for (size_t i = 0; i < m; ++i) {
+    const NodeId u = static_cast<NodeId>(rng->Uniform(n));
+    const size_t cu = u / community_size;
+    NodeId v;
+    if (rng->Bernoulli(p_intra)) {
+      // Intra-community target: preferential if the pool has entries,
+      // uniform within the community block otherwise.
+      const NodeId lo = static_cast<NodeId>(cu * community_size);
+      const NodeId hi =
+          static_cast<NodeId>(std::min<size_t>(n, (cu + 1) * community_size));
+      if (!pool[cu].empty() && rng->Bernoulli(0.7)) {
+        v = pool[cu][rng->Uniform(pool[cu].size())];
+      } else {
+        v = lo + static_cast<NodeId>(rng->Uniform(hi - lo));
+      }
+    } else {
+      v = static_cast<NodeId>(rng->Uniform(n));
+    }
+    if (v == u) continue;
+    b.AddEdge(u, v);
+    pool[v / community_size].push_back(v);
+  }
+  return std::move(b).Build();
+}
+
+Graph LayeredCitationDag(size_t layers, size_t width, size_t cites,
+                         size_t num_labels, Rng* rng) {
+  PEREACH_CHECK_GE(layers, 2u);
+  PEREACH_CHECK_GE(width, 1u);
+  const size_t n = layers * width;
+  GraphBuilder b;
+  b.AddNodes(n);
+  AssignLabels(&b, num_labels, rng);
+
+  // Popularity-biased sampling pool over earlier nodes.
+  std::vector<NodeId> pool;
+  pool.reserve(n * (cites + 1));
+  for (NodeId v = 0; v < width; ++v) pool.push_back(v);
+
+  for (size_t layer = 1; layer < layers; ++layer) {
+    const NodeId layer_begin = static_cast<NodeId>(layer * width);
+    for (NodeId v = layer_begin; v < layer_begin + width; ++v) {
+      for (size_t c = 0; c < cites; ++c) {
+        const NodeId cited = pool[rng->Uniform(pool.size())];
+        b.AddEdge(v, cited);
+        pool.push_back(cited);
+      }
+      pool.push_back(v);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph Chain(size_t n, size_t num_labels, Rng* rng) {
+  PEREACH_CHECK_GE(n, 1u);
+  GraphBuilder b;
+  b.AddNodes(n);
+  AssignLabels(&b, num_labels, rng);
+  for (NodeId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  return std::move(b).Build();
+}
+
+Graph Cycle(size_t n, size_t num_labels, Rng* rng) {
+  PEREACH_CHECK_GE(n, 2u);
+  GraphBuilder b;
+  b.AddNodes(n);
+  AssignLabels(&b, num_labels, rng);
+  for (NodeId v = 0; v < n; ++v) b.AddEdge(v, static_cast<NodeId>((v + 1) % n));
+  return std::move(b).Build();
+}
+
+Graph GridGraph(size_t rows, size_t cols, size_t num_labels, Rng* rng) {
+  PEREACH_CHECK_GE(rows, 1u);
+  PEREACH_CHECK_GE(cols, 1u);
+  GraphBuilder b;
+  b.AddNodes(rows * cols);
+  AssignLabels(&b, num_labels, rng);
+  const auto id = [cols](size_t r, size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(b).Build();
+}
+
+std::string DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kLiveJournal:
+      return "LiveJournal";
+    case Dataset::kWikiTalk:
+      return "WikiTalk";
+    case Dataset::kBerkStan:
+      return "BerkStan";
+    case Dataset::kNotreDame:
+      return "NotreDame";
+    case Dataset::kAmazon:
+      return "Amazon";
+    case Dataset::kCitation:
+      return "Citation";
+    case Dataset::kMeme:
+      return "MEME";
+    case Dataset::kYoutube:
+      return "Youtube";
+    case Dataset::kInternet:
+      return "Internet";
+  }
+  return "Unknown";
+}
+
+Graph MakeDataset(Dataset d, double scale, Rng* rng) {
+  PEREACH_CHECK_GT(scale, 0.0);
+  const auto scaled = [scale](double x) {
+    return static_cast<size_t>(std::max(16.0, x * scale));
+  };
+  // Social/web/communication graphs use the community generator: power-law
+  // degrees plus the id-locality of crawl order, so that splitting the node
+  // id range (the way a SNAP edge-list file is split across sites) yields
+  // the moderate boundaries the paper's real-data experiments exhibit.
+  switch (d) {
+    case Dataset::kLiveJournal:
+      // 2.54M / 20.0M: dense social graph, avg out-degree ~7.9.
+      return CommunityGraph(scaled(2'541'032), scaled(20'000'001),
+                            scaled(2'541'032) / 800 + 1, 0.90, 1, rng);
+    case Dataset::kWikiTalk:
+      // 2.39M / 5.0M: sparse hub-heavy communication graph, avg deg ~2.1.
+      return CommunityGraph(scaled(2'394'385), scaled(5'021'410),
+                            scaled(2'394'385) / 1500 + 1, 0.85, 1, rng);
+    case Dataset::kBerkStan:
+      // 0.69M / 7.6M: web graph, avg deg ~11.1 and strong densification.
+      return ForestFire(scaled(685'230), 0.40, 1, rng);
+    case Dataset::kNotreDame:
+      // 0.33M / 1.5M web graph, avg deg ~4.6.
+      return ForestFire(scaled(325'729), 0.30, 1, rng);
+    case Dataset::kAmazon:
+      // 0.26M / 1.2M co-purchasing, avg deg ~4.7, strong local clustering.
+      return CommunityGraph(scaled(262'111), scaled(1'234'877),
+                            scaled(262'111) / 400 + 1, 0.92, 1, rng);
+    case Dataset::kCitation:
+      // 1.57M / 2.1M citation DAG with 6300 venue labels.
+      return LayeredCitationDag(/*layers=*/100, scaled(15'722), /*cites=*/1,
+                                /*num_labels=*/630, rng);
+    case Dataset::kMeme:
+      // 0.70M / 0.8M blog-link graph with a huge label alphabet.
+      return CommunityGraph(scaled(700'000), scaled(800'000),
+                            scaled(700'000) / 1000 + 1, 0.85, 6106, rng);
+    case Dataset::kYoutube:
+      // 0.23M / 0.45M recommendation graph with 12 category labels.
+      return CommunityGraph(scaled(234'452), scaled(454'942),
+                            scaled(234'452) / 600 + 1, 0.85, 12, rng);
+    case Dataset::kInternet:
+      // 58K / 103K AS topology with 256 location labels.
+      return CommunityGraph(scaled(57'971), scaled(103'485),
+                            scaled(57'971) / 300 + 1, 0.80, 256, rng);
+  }
+  PEREACH_CHECK(false);
+  return Graph();
+}
+
+std::vector<Dataset> Table2Datasets() {
+  return {Dataset::kLiveJournal, Dataset::kWikiTalk, Dataset::kBerkStan,
+          Dataset::kNotreDame, Dataset::kAmazon};
+}
+
+std::vector<Dataset> RegularDatasets() {
+  return {Dataset::kYoutube, Dataset::kMeme, Dataset::kCitation,
+          Dataset::kInternet};
+}
+
+}  // namespace pereach

@@ -1,0 +1,84 @@
+#ifndef PEREACH_GRAPH_GENERATORS_H_
+#define PEREACH_GRAPH_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/random.h"
+
+namespace pereach {
+
+/// Uniform random directed graph: n nodes, m edges drawn uniformly with
+/// replacement (self-loops excluded), labels uniform in [0, num_labels).
+Graph ErdosRenyi(size_t n, size_t m, size_t num_labels, Rng* rng);
+
+/// Scale-free directed graph grown by preferential attachment: each new node
+/// emits `out_degree` edges whose endpoints are chosen proportionally to
+/// in-degree + 1, plus the same number of incoming edges from random earlier
+/// nodes so both orientations are exercised. Produces the heavy-tailed degree
+/// distribution of social/web graphs.
+Graph PreferentialAttachment(size_t n, size_t out_degree, size_t num_labels,
+                             Rng* rng);
+
+/// Forest-fire style growth (Leskovec et al. [20] "densification law"):
+/// each new node picks an ambassador — biased toward recently added nodes,
+/// mimicking crawl-order locality of real web graphs — and burns through its
+/// neighborhood with forward probability p_forward, linking to every burned
+/// node. Used by the Fig. 11(b)/(h) "synthetic, densification law" sweeps.
+Graph ForestFire(size_t n, double p_forward, size_t num_labels, Rng* rng);
+
+/// Community-structured social graph: nodes form `num_communities`
+/// contiguous blocks; each of the m edges stays inside its source's
+/// community with probability p_intra (targets drawn preferentially, giving
+/// power-law in-degree) and crosses communities uniformly otherwise. This
+/// reproduces the two properties of real social datasets that matter here:
+/// heavy-tailed degrees and id-locality (crawl/community order), which is
+/// what makes chunked fragmentation of SNAP files have small boundaries.
+Graph CommunityGraph(size_t n, size_t m, size_t num_communities,
+                     double p_intra, size_t num_labels, Rng* rng);
+
+/// Layered DAG (citation-like): `layers` layers of `width` nodes; each node
+/// cites `cites` nodes drawn from earlier layers, biased toward popular
+/// (already-cited) nodes.
+Graph LayeredCitationDag(size_t layers, size_t width, size_t cites,
+                         size_t num_labels, Rng* rng);
+
+/// Directed chain 0 -> 1 -> ... -> n-1.
+Graph Chain(size_t n, size_t num_labels, Rng* rng);
+
+/// Directed cycle over n nodes.
+Graph Cycle(size_t n, size_t num_labels, Rng* rng);
+
+/// Directed grid with edges rightwards and downwards (rows x cols nodes).
+Graph GridGraph(size_t rows, size_t cols, size_t num_labels, Rng* rng);
+
+/// The paper's real-life evaluation datasets, rebuilt synthetically at
+/// `scale` (1.0 = the paper's |V|/|E|). See DESIGN.md §4 for the mapping.
+enum class Dataset {
+  kLiveJournal,  // social,          2.54M nodes / 20.0M edges
+  kWikiTalk,     // communication,   2.39M nodes /  5.0M edges
+  kBerkStan,     // web,             0.69M nodes /  7.6M edges
+  kNotreDame,    // web,             0.33M nodes /  1.5M edges
+  kAmazon,       // co-purchasing,   0.26M nodes /  1.2M edges
+  kCitation,     // citation DAG,    1.57M nodes /  2.1M edges, |L| = 6300
+  kMeme,         // blog links,      0.70M nodes /  0.8M edges, |L| = 61065
+  kYoutube,      // recommendation,  0.23M nodes /  0.45M edges, |L| = 12
+  kInternet,     // AS topology,     58K nodes   /  103K edges,  |L| = 256
+};
+
+/// Human-readable dataset name as used in the paper's tables.
+std::string DatasetName(Dataset d);
+
+/// Generates the synthetic stand-in for `d` at the given scale.
+Graph MakeDataset(Dataset d, double scale, Rng* rng);
+
+/// All five unlabeled (reachability) datasets of Table 2, in table order.
+std::vector<Dataset> Table2Datasets();
+
+/// All four labeled (regular reachability) datasets of Fig. 11(e)/(f).
+std::vector<Dataset> RegularDatasets();
+
+}  // namespace pereach
+
+#endif  // PEREACH_GRAPH_GENERATORS_H_

@@ -1,0 +1,82 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+namespace pereach {
+
+LabelId LabelDictionary::Intern(const std::string& name) {
+  auto [it, inserted] = ids_.emplace(name, static_cast<LabelId>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+LabelId LabelDictionary::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& LabelDictionary::Name(LabelId id) const {
+  PEREACH_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+std::span<const NodeId> Graph::InNeighbors(NodeId v) const {
+  PEREACH_CHECK_LT(v, NumNodes());
+  if (!reverse_built_) BuildReverse();
+  return {rev_targets_.data() + rev_offsets_[v],
+          rev_offsets_[v + 1] - rev_offsets_[v]};
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto out = OutNeighbors(u);
+  return std::find(out.begin(), out.end(), v) != out.end();
+}
+
+void Graph::BuildReverse() const {
+  const size_t n = NumNodes();
+  rev_offsets_.assign(n + 1, 0);
+  for (NodeId t : targets_) ++rev_offsets_[t + 1];
+  for (size_t i = 1; i <= n; ++i) rev_offsets_[i] += rev_offsets_[i - 1];
+  rev_targets_.resize(targets_.size());
+  std::vector<size_t> cursor(rev_offsets_.begin(), rev_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : OutNeighbors(u)) {
+      rev_targets_[cursor[v]++] = u;
+    }
+  }
+  reverse_built_ = true;
+}
+
+NodeId GraphBuilder::AddNodes(size_t n, LabelId label) {
+  const NodeId first = static_cast<NodeId>(labels_.size());
+  labels_.insert(labels_.end(), n, label);
+  return first;
+}
+
+NodeId GraphBuilder::AddNode(LabelId label) { return AddNodes(1, label); }
+
+void GraphBuilder::SetLabel(NodeId v, LabelId label) {
+  PEREACH_CHECK_LT(v, labels_.size());
+  labels_[v] = label;
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  PEREACH_CHECK_LT(u, labels_.size());
+  PEREACH_CHECK_LT(v, labels_.size());
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::Build() && {
+  Graph g;
+  const size_t n = labels_.size();
+  g.labels_ = std::move(labels_);
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) ++g.offsets_[u + 1];
+  for (size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.targets_.resize(edges_.size());
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) g.targets_[cursor[u]++] = v;
+  return g;
+}
+
+}  // namespace pereach

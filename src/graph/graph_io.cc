@@ -1,0 +1,98 @@
+#include "src/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pereach {
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << "p " << g.NumNodes() << " " << g.NumEdges() << "\n";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (g.label(v) != 0) out << "l " << v << " " << g.label(v) << "\n";
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) out << "e " << u << " " << v << "\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string line;
+  GraphBuilder b;
+  bool have_header = false;
+  size_t declared_edges = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind;
+    ls >> kind;
+    if (kind == 'p') {
+      size_t n = 0, m = 0;
+      if (!(ls >> n >> m)) return Status::Corruption("bad header: " + line);
+      b.AddNodes(n);
+      declared_edges = m;
+      have_header = true;
+    } else if (kind == 'l') {
+      NodeId v;
+      LabelId label;
+      if (!have_header || !(ls >> v >> label) || v >= b.NumNodes()) {
+        return Status::Corruption("bad label line: " + line);
+      }
+      b.SetLabel(v, label);
+    } else if (kind == 'e') {
+      NodeId u, v;
+      if (!have_header || !(ls >> u >> v) || u >= b.NumNodes() ||
+          v >= b.NumNodes()) {
+        return Status::Corruption("bad edge line: " + line);
+      }
+      b.AddEdge(u, v);
+    } else {
+      return Status::Corruption("unknown record kind: " + line);
+    }
+  }
+  if (!have_header) return Status::Corruption("missing 'p' header: " + path);
+  if (b.NumEdges() != declared_edges) {
+    return Status::Corruption("edge count mismatch in " + path);
+  }
+  return std::move(b).Build();
+}
+
+void SerializeGraph(const Graph& g, Encoder* enc) {
+  enc->PutVarint(g.NumNodes());
+  enc->PutVarint(g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) enc->PutVarint(g.label(v));
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    auto out = g.OutNeighbors(u);
+    enc->PutVarint(out.size());
+    for (NodeId v : out) enc->PutVarint(v);
+  }
+}
+
+Graph DeserializeGraph(Decoder* dec) {
+  const size_t n = dec->GetVarint();
+  const size_t m = dec->GetVarint();
+  GraphBuilder b;
+  b.AddNodes(n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.SetLabel(v, static_cast<LabelId>(dec->GetVarint()));
+  }
+  size_t total_edges = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const size_t deg = dec->GetVarint();
+    for (size_t i = 0; i < deg; ++i) {
+      b.AddEdge(u, static_cast<NodeId>(dec->GetVarint()));
+    }
+    total_edges += deg;
+  }
+  PEREACH_CHECK_EQ(total_edges, m);
+  return std::move(b).Build();
+}
+
+}  // namespace pereach

@@ -1,0 +1,30 @@
+#ifndef PEREACH_GRAPH_GRAPH_IO_H_
+#define PEREACH_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/util/serialization.h"
+#include "src/util/status.h"
+
+namespace pereach {
+
+/// Writes `g` as a text edge list: first line "p <nodes> <edges>", then one
+/// "l <node> <label>" line per non-zero-labeled node and one "e <u> <v>" line
+/// per edge. The format is self-describing and diff-friendly.
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Reads a graph in the WriteEdgeList format.
+Result<Graph> ReadEdgeList(const std::string& path);
+
+/// Binary-encodes `g` (varint-compressed CSR). This is the wire format used
+/// when a baseline ships a whole fragment to the coordinator, so the traffic
+/// it is charged equals these bytes.
+void SerializeGraph(const Graph& g, Encoder* enc);
+
+/// Decodes a graph previously written by SerializeGraph.
+Graph DeserializeGraph(Decoder* dec);
+
+}  // namespace pereach
+
+#endif  // PEREACH_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,363 @@
+#include "src/index/reach_index.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace pereach {
+
+namespace {
+
+/// Shared base: every index works on the SCC condensation (reachability is
+/// invariant within a component), keeping per-node state small.
+class CondensedIndex : public ReachabilityIndex {
+ public:
+  explicit CondensedIndex(const Graph& g) : cond_(Condense(g)) {}
+
+  bool Reaches(NodeId s, NodeId t) const final {
+    const uint32_t cs = cond_.scc.component_of[s];
+    const uint32_t ct = cond_.scc.component_of[t];
+    if (cs == ct) return true;
+    // Condensation edges go from larger to smaller component ids, so a
+    // larger target id is unreachable outright.
+    if (ct > cs) return false;
+    return CompReaches(cs, ct);
+  }
+
+ protected:
+  /// Component-level reachability; cs != ct and ct < cs.
+  virtual bool CompReaches(uint32_t cs, uint32_t ct) const = 0;
+
+  size_t num_components() const { return cond_.scc.num_components; }
+
+  std::span<const uint32_t> CompSuccessors(uint32_t c) const {
+    return {cond_.targets.data() + cond_.offsets[c],
+            cond_.offsets[c + 1] - cond_.offsets[c]};
+  }
+
+  const Condensation cond_;
+};
+
+// ---------------------------------------------------------------------------
+// Plain BFS (no precomputation)
+// ---------------------------------------------------------------------------
+
+class BfsIndex final : public CondensedIndex {
+ public:
+  explicit BfsIndex(const Graph& g) : CondensedIndex(g) {}
+
+  std::string name() const override { return "bfs"; }
+  size_t ByteSize() const override {
+    return cond_.targets.size() * sizeof(uint32_t);
+  }
+
+ protected:
+  bool CompReaches(uint32_t cs, uint32_t ct) const override {
+    std::vector<bool> seen(num_components(), false);
+    std::deque<uint32_t> queue{cs};
+    seen[cs] = true;
+    while (!queue.empty()) {
+      const uint32_t c = queue.front();
+      queue.pop_front();
+      for (uint32_t succ : CompSuccessors(c)) {
+        if (succ == ct) return true;
+        if (succ > ct && !seen[succ]) {  // ids below ct cannot come back up
+          seen[succ] = true;
+          queue.push_back(succ);
+        }
+      }
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Reachability matrix
+// ---------------------------------------------------------------------------
+
+class MatrixIndex final : public CondensedIndex {
+ public:
+  explicit MatrixIndex(const Graph& g) : CondensedIndex(g) {
+    const size_t k = num_components();
+    PEREACH_CHECK_LE(k, size_t{1} << 17);  // 2 GiB of bits at the limit
+    rows_.assign(k, Bitset(k));
+    // Ascending component order is reverse topological: successors first.
+    for (uint32_t c = 0; c < k; ++c) {
+      rows_[c].Set(c);
+      for (uint32_t succ : CompSuccessors(c)) rows_[c].UnionWith(rows_[succ]);
+    }
+  }
+
+  std::string name() const override { return "matrix"; }
+  size_t ByteSize() const override {
+    const size_t k = num_components();
+    return k * ((k + 7) / 8);
+  }
+
+ protected:
+  bool CompReaches(uint32_t cs, uint32_t ct) const override {
+    return rows_[cs].Test(ct);
+  }
+
+ private:
+  std::vector<Bitset> rows_;
+};
+
+// ---------------------------------------------------------------------------
+// GRAIL-style interval labeling
+// ---------------------------------------------------------------------------
+
+class IntervalIndex final : public CondensedIndex {
+ public:
+  IntervalIndex(const Graph& g, size_t num_labelings, Rng* rng)
+      : CondensedIndex(g) {
+    const size_t k = num_components();
+    labels_.resize(num_labelings);
+    std::vector<uint32_t> order(k);
+    // Roots in the condensation are the components without incoming edges;
+    // iterate all components descending (sources have large ids) and start
+    // a DFS wherever still unvisited, with shuffled child order per round.
+    for (Labeling& lab : labels_) {
+      lab.low.assign(k, 0);
+      lab.post.assign(k, 0);
+      std::iota(order.begin(), order.end(), 0);
+      rng->Shuffle(&order);
+      uint32_t clock = 0;
+      std::vector<bool> visited(k, false);
+      for (uint32_t c = static_cast<uint32_t>(k); c-- > 0;) {
+        if (!visited[c]) Dfs(c, &lab, &visited, &clock, rng);
+      }
+    }
+  }
+
+  std::string name() const override { return "interval"; }
+  size_t ByteSize() const override {
+    return labels_.size() * num_components() * 2 * sizeof(uint32_t);
+  }
+
+ protected:
+  bool CompReaches(uint32_t cs, uint32_t ct) const override {
+    if (!Contains(cs, ct)) return false;
+    // Labels are a necessary condition only; confirm with pruned DFS.
+    std::vector<bool> seen(num_components(), false);
+    return PrunedDfs(cs, ct, &seen);
+  }
+
+ private:
+  struct Labeling {
+    std::vector<uint32_t> low;   // min post-order in the DFS subtree
+    std::vector<uint32_t> post;  // post-order rank
+  };
+
+  // Iterative randomized DFS assigning [low, post] intervals.
+  void Dfs(uint32_t root, Labeling* lab, std::vector<bool>* visited,
+           uint32_t* clock, Rng* rng) const {
+    struct Frame {
+      uint32_t comp;
+      std::vector<uint32_t> children;
+      size_t next = 0;
+      uint32_t low;
+    };
+    std::vector<Frame> stack;
+    const auto push = [&](uint32_t c) {
+      (*visited)[c] = true;
+      Frame f;
+      f.comp = c;
+      auto succ = CompSuccessors(c);
+      f.children.assign(succ.begin(), succ.end());
+      rng->Shuffle(&f.children);
+      f.low = std::numeric_limits<uint32_t>::max();
+      stack.push_back(std::move(f));
+    };
+    push(root);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < f.children.size()) {
+        const uint32_t child = f.children[f.next++];
+        if (!(*visited)[child]) {
+          push(child);
+        } else {
+          f.low = std::min(f.low, lab->low[child]);
+        }
+      } else {
+        const uint32_t rank = (*clock)++;
+        lab->post[f.comp] = rank;
+        lab->low[f.comp] = std::min(f.low, rank);
+        const uint32_t low = lab->low[f.comp];
+        stack.pop_back();
+        if (!stack.empty()) {
+          stack.back().low = std::min(stack.back().low, low);
+        }
+      }
+    }
+  }
+
+  /// Necessary condition: in every labeling, t's interval nests in s's.
+  bool Contains(uint32_t cs, uint32_t ct) const {
+    for (const Labeling& lab : labels_) {
+      if (lab.post[ct] > lab.post[cs] || lab.low[ct] < lab.low[cs]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool PrunedDfs(uint32_t c, uint32_t ct, std::vector<bool>* seen) const {
+    (*seen)[c] = true;
+    for (uint32_t succ : CompSuccessors(c)) {
+      if (succ == ct) return true;
+      if ((*seen)[succ] || !Contains(succ, ct)) continue;
+      if (PrunedDfs(succ, ct, seen)) return true;
+    }
+    return false;
+  }
+
+  std::vector<Labeling> labels_;
+};
+
+// ---------------------------------------------------------------------------
+// Pruned 2-hop labeling
+// ---------------------------------------------------------------------------
+
+class TwoHopIndex final : public CondensedIndex {
+ public:
+  explicit TwoHopIndex(const Graph& g) : CondensedIndex(g) {
+    const size_t k = num_components();
+    out_labels_.resize(k);
+    in_labels_.resize(k);
+
+    // Hub order: descending condensation degree (in + out), the classic
+    // betweenness proxy of pruned landmark labeling. Ties break *randomly*
+    // (deterministic seed): on regular graphs like long paths, an id-ordered
+    // tie-break degenerates to O(n) labels per node, while a random order
+    // gives the expected O(log n) of treap-style covers.
+    std::vector<uint32_t> degree(k, 0);
+    for (uint32_t c = 0; c < k; ++c) {
+      for (uint32_t succ : CompSuccessors(c)) {
+        ++degree[c];
+        ++degree[succ];
+      }
+    }
+    std::vector<uint32_t> hubs(k);
+    std::iota(hubs.begin(), hubs.end(), 0);
+    Rng tie_break(0x2b2b2b2b);
+    tie_break.Shuffle(&hubs);
+    std::stable_sort(hubs.begin(), hubs.end(),
+                     [&degree](uint32_t a, uint32_t b) {
+                       return degree[a] > degree[b];
+                     });
+    rank_.assign(k, 0);
+    for (uint32_t r = 0; r < k; ++r) rank_[hubs[r]] = r;
+
+    // Reverse condensation adjacency for the backward sweeps.
+    std::vector<std::vector<uint32_t>> preds(k);
+    for (uint32_t c = 0; c < k; ++c) {
+      for (uint32_t succ : CompSuccessors(c)) preds[succ].push_back(c);
+    }
+
+    std::vector<bool> seen(k, false);
+    std::deque<uint32_t> queue;
+    for (uint32_t r = 0; r < k; ++r) {
+      const uint32_t hub = hubs[r];
+      // Forward pruned BFS: hub reaches u  =>  r joins Lin(u).
+      Sweep(hub, r, /*forward=*/true, preds, &seen, &queue);
+      // Backward pruned BFS: u reaches hub  =>  r joins Lout(u).
+      Sweep(hub, r, /*forward=*/false, preds, &seen, &queue);
+    }
+  }
+
+  std::string name() const override { return "2hop"; }
+  size_t ByteSize() const override {
+    size_t entries = 0;
+    for (const auto& l : out_labels_) entries += l.size();
+    for (const auto& l : in_labels_) entries += l.size();
+    return entries * sizeof(uint32_t);
+  }
+
+ protected:
+  bool CompReaches(uint32_t cs, uint32_t ct) const override {
+    return Covered(cs, ct);
+  }
+
+ private:
+  /// True if some hub h has cs -> h -> ct per the labels (including the
+  /// cases h == cs or h == ct).
+  bool Covered(uint32_t cs, uint32_t ct) const {
+    const std::vector<uint32_t>& out = out_labels_[cs];
+    const std::vector<uint32_t>& in = in_labels_[ct];
+    size_t i = 0, j = 0;
+    while (i < out.size() && j < in.size()) {
+      if (out[i] == in[j]) return true;
+      (out[i] < in[j]) ? ++i : ++j;
+    }
+    return false;
+  }
+
+  void Sweep(uint32_t hub, uint32_t hub_rank, bool forward,
+             const std::vector<std::vector<uint32_t>>& preds,
+             std::vector<bool>* seen, std::deque<uint32_t>* queue) {
+    queue->clear();
+    queue->push_back(hub);
+    std::vector<uint32_t> touched{hub};
+    (*seen)[hub] = true;
+    while (!queue->empty()) {
+      const uint32_t c = queue->front();
+      queue->pop_front();
+      // Pruning: skip if (hub, c) is already covered by earlier hubs. The
+      // hub itself must still receive its own label.
+      const bool already =
+          c != hub && (forward ? Covered(hub, c) : Covered(c, hub));
+      if (already) continue;
+      if (forward) {
+        in_labels_[c].push_back(hub_rank);
+      } else {
+        out_labels_[c].push_back(hub_rank);
+      }
+      if (forward) {
+        for (uint32_t succ : CompSuccessors(c)) {
+          if (!(*seen)[succ]) {
+            (*seen)[succ] = true;
+            touched.push_back(succ);
+            queue->push_back(succ);
+          }
+        }
+      } else {
+        for (uint32_t pred : preds[c]) {
+          if (!(*seen)[pred]) {
+            (*seen)[pred] = true;
+            touched.push_back(pred);
+            queue->push_back(pred);
+          }
+        }
+      }
+    }
+    for (uint32_t c : touched) (*seen)[c] = false;
+  }
+
+  std::vector<uint32_t> rank_;
+  std::vector<std::vector<uint32_t>> out_labels_;  // sorted hub ranks
+  std::vector<std::vector<uint32_t>> in_labels_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReachabilityIndex> BuildBfsIndex(const Graph& g) {
+  return std::make_unique<BfsIndex>(g);
+}
+
+std::unique_ptr<ReachabilityIndex> BuildReachMatrix(const Graph& g) {
+  return std::make_unique<MatrixIndex>(g);
+}
+
+std::unique_ptr<ReachabilityIndex> BuildIntervalIndex(const Graph& g,
+                                                      size_t num_labelings,
+                                                      Rng* rng) {
+  PEREACH_CHECK_GE(num_labelings, 1u);
+  return std::make_unique<IntervalIndex>(g, num_labelings, rng);
+}
+
+std::unique_ptr<ReachabilityIndex> BuildTwoHopIndex(const Graph& g) {
+  return std::make_unique<TwoHopIndex>(g);
+}
+
+}  // namespace pereach

@@ -1,0 +1,59 @@
+#ifndef PEREACH_INDEX_REACH_INDEX_H_
+#define PEREACH_INDEX_REACH_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/graph.h"
+#include "src/util/bitset.h"
+#include "src/util/random.h"
+
+namespace pereach {
+
+/// Centralized reachability indexes — the §3 remark: "any indexing
+/// techniques (e.g., reachability matrix [31], 2-hop index [5]) ...
+/// developed for centralized graph query evaluation can be applied here,
+/// which will lead to lower computational cost." These accelerate the
+/// `des(v, F_i)` membership tests of localEval (and the centralized
+/// baselines); the ablation bench compares them against plain BFS.
+class ReachabilityIndex {
+ public:
+  virtual ~ReachabilityIndex() = default;
+
+  /// True iff s reaches t (reflexive).
+  virtual bool Reaches(NodeId s, NodeId t) const = 0;
+
+  /// Index name for bench output.
+  virtual std::string name() const = 0;
+
+  /// Approximate index memory in bytes.
+  virtual size_t ByteSize() const = 0;
+};
+
+/// No precomputation: answers by BFS. The yardstick the others must beat.
+std::unique_ptr<ReachabilityIndex> BuildBfsIndex(const Graph& g);
+
+/// Full reachability bit matrix over SCC components ("reachability matrix"
+/// of [31]): O(1) queries, O(scc²/8) memory — small graphs only
+/// (CHECK-fails above 2^17 components).
+std::unique_ptr<ReachabilityIndex> BuildReachMatrix(const Graph& g);
+
+/// GRAIL-style random interval labeling [Yildirim et al., also surveyed in
+/// 31]: `num_labelings` random DFS post-order intervals over the
+/// condensation give a sound negative filter; positives fall back to a
+/// label-pruned DFS. O(k·|V|) memory, exact answers.
+std::unique_ptr<ReachabilityIndex> BuildIntervalIndex(const Graph& g,
+                                                      size_t num_labelings,
+                                                      Rng* rng);
+
+/// Pruned 2-hop labeling (Cohen et al. [5] via the pruned-landmark
+/// construction): every component stores sorted in/out hub label sets;
+/// a query is one sorted intersection. Exact; label size adapts to the
+/// graph's structure.
+std::unique_ptr<ReachabilityIndex> BuildTwoHopIndex(const Graph& g);
+
+}  // namespace pereach
+
+#endif  // PEREACH_INDEX_REACH_INDEX_H_

@@ -1,0 +1,98 @@
+#include "src/mapreduce/mapreduce.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace pereach {
+
+MapReduce::Result MapReduce::Run(const std::vector<KeyValue>& inputs,
+                                 size_t num_mappers, size_t num_reducers,
+                                 const MapFn& map_fn,
+                                 const ReduceFn& reduce_fn) {
+  PEREACH_CHECK_GE(num_mappers, 1u);
+  PEREACH_CHECK_GE(num_reducers, 1u);
+
+  Result result;
+  result.stats.num_mappers = num_mappers;
+  result.stats.num_reducers = num_reducers;
+  StopWatch job_watch;
+
+  // --- assign inputs to mappers.
+  std::vector<std::vector<const KeyValue*>> mapper_inputs(num_mappers);
+  std::vector<size_t> mapper_input_bytes(num_mappers, 0);
+  for (const KeyValue& kv : inputs) {
+    const size_t m = kv.key % num_mappers;
+    mapper_inputs[m].push_back(&kv);
+    mapper_input_bytes[m] += kv.value.size() + sizeof(kv.key);
+  }
+  for (size_t m = 0; m < num_mappers; ++m) {
+    result.stats.map_input_bytes += mapper_input_bytes[m];
+    result.stats.max_mapper_input =
+        std::max(result.stats.max_mapper_input, mapper_input_bytes[m]);
+  }
+
+  // --- map phase (parallel over logical mappers).
+  std::vector<std::vector<KeyValue>> mapper_outputs(num_mappers);
+  std::vector<double> mapper_ms(num_mappers, 0.0);
+  pool_->ParallelFor(num_mappers, [&](size_t m) {
+    StopWatch watch;
+    for (const KeyValue* kv : mapper_inputs[m]) {
+      std::vector<KeyValue> out = map_fn(*kv);
+      mapper_outputs[m].insert(mapper_outputs[m].end(),
+                               std::make_move_iterator(out.begin()),
+                               std::make_move_iterator(out.end()));
+    }
+    mapper_ms[m] = watch.ElapsedMs();
+  });
+  for (double ms : mapper_ms) {
+    result.stats.map_wall_ms = std::max(result.stats.map_wall_ms, ms);
+  }
+
+  // --- shuffle: hash-partition intermediate records by key.
+  // std::map keeps key groups deterministic across runs.
+  std::vector<std::map<uint64_t, std::vector<std::vector<uint8_t>>>> buckets(
+      num_reducers);
+  std::vector<size_t> reducer_input_bytes(num_reducers, 0);
+  for (size_t m = 0; m < num_mappers; ++m) {
+    for (KeyValue& kv : mapper_outputs[m]) {
+      const size_t r = kv.key % num_reducers;
+      reducer_input_bytes[r] += kv.value.size() + sizeof(kv.key);
+      buckets[r][kv.key].push_back(std::move(kv.value));
+    }
+  }
+  for (size_t r = 0; r < num_reducers; ++r) {
+    result.stats.shuffle_bytes += reducer_input_bytes[r];
+    result.stats.max_reducer_input =
+        std::max(result.stats.max_reducer_input, reducer_input_bytes[r]);
+  }
+
+  // --- reduce phase (parallel over reducers).
+  std::vector<std::vector<KeyValue>> reducer_outputs(num_reducers);
+  std::vector<double> reducer_ms(num_reducers, 0.0);
+  pool_->ParallelFor(num_reducers, [&](size_t r) {
+    StopWatch watch;
+    for (const auto& [key, values] : buckets[r]) {
+      std::vector<KeyValue> out = reduce_fn(key, values);
+      reducer_outputs[r].insert(reducer_outputs[r].end(),
+                                std::make_move_iterator(out.begin()),
+                                std::make_move_iterator(out.end()));
+    }
+    reducer_ms[r] = watch.ElapsedMs();
+  });
+  for (double ms : reducer_ms) {
+    result.stats.reduce_wall_ms = std::max(result.stats.reduce_wall_ms, ms);
+  }
+
+  for (std::vector<KeyValue>& out : reducer_outputs) {
+    result.output.insert(result.output.end(),
+                         std::make_move_iterator(out.begin()),
+                         std::make_move_iterator(out.end()));
+  }
+  result.stats.wall_ms = job_watch.ElapsedMs();
+  return result;
+}
+
+}  // namespace pereach

@@ -1,0 +1,71 @@
+#ifndef PEREACH_MAPREDUCE_MAPREDUCE_H_
+#define PEREACH_MAPREDUCE_MAPREDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace pereach {
+
+/// One key/value record of the mini MapReduce framework (§6). Values are
+/// opaque byte strings; keys route records to mappers and reducers.
+struct KeyValue {
+  uint64_t key = 0;
+  std::vector<uint8_t> value;
+};
+
+/// Cost accounting for one MapReduce job, following Afrati & Ullman [1]:
+/// the elapsed communication cost (ECC) is the maximum, over process paths
+/// coordinator -> mapper -> reducer, of the input bytes shipped to the nodes
+/// on the path. In-memory Map/Reduce compute is reported separately.
+struct MapReduceStats {
+  size_t num_mappers = 0;
+  size_t num_reducers = 0;
+  size_t map_input_bytes = 0;     // total shipped to mappers
+  size_t shuffle_bytes = 0;       // total shipped mappers -> reducers
+  size_t max_mapper_input = 0;    // max over mappers
+  size_t max_reducer_input = 0;   // max over reducers
+  double map_wall_ms = 0.0;       // max mapper compute
+  double reduce_wall_ms = 0.0;    // max reducer compute
+  double wall_ms = 0.0;           // whole job, wall clock
+
+  /// ECC in bytes: max mapper input + max reducer input along one path.
+  size_t EccBytes() const { return max_mapper_input + max_reducer_input; }
+  size_t TotalTrafficBytes() const { return map_input_bytes + shuffle_bytes; }
+};
+
+/// Minimal multi-threaded MapReduce runner: inputs are pre-keyed to mappers
+/// (key = mapper id), the Map function emits intermediate records, which are
+/// hash-partitioned by key across reducers and reduced per key group.
+class MapReduce {
+ public:
+  using MapFn =
+      std::function<std::vector<KeyValue>(const KeyValue& input)>;
+  /// Reduce sees all values of one key, already concatenated in arrival
+  /// order (deterministic: mapper id, then emission order).
+  using ReduceFn = std::function<std::vector<KeyValue>(
+      uint64_t key, const std::vector<std::vector<uint8_t>>& values)>;
+
+  struct Result {
+    std::vector<KeyValue> output;
+    MapReduceStats stats;
+  };
+
+  /// `pool` may be shared with other components; must outlive the call.
+  explicit MapReduce(ThreadPool* pool) : pool_(pool) {}
+
+  /// Runs one job. `num_mappers` logical mappers execute on the pool;
+  /// records with input key i go to mapper i % num_mappers.
+  Result Run(const std::vector<KeyValue>& inputs, size_t num_mappers,
+             size_t num_reducers, const MapFn& map_fn,
+             const ReduceFn& reduce_fn);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_MAPREDUCE_MAPREDUCE_H_

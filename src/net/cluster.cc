@@ -1,0 +1,86 @@
+#include "src/net/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace pereach {
+
+Cluster::Cluster(const Fragmentation* fragmentation, const NetworkModel& net,
+                 size_t num_threads)
+    : fragmentation_(fragmentation), net_(net) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(num_threads);
+  metrics_.site_visits.assign(fragmentation_->num_fragments(), 0);
+}
+
+void Cluster::BeginQuery() {
+  metrics_ = RunMetrics();
+  metrics_.site_visits.assign(fragmentation_->num_fragments(), 0);
+  query_watch_.Restart();
+}
+
+void Cluster::EndQuery() { metrics_.wall_ms = query_watch_.ElapsedMs(); }
+
+std::vector<std::vector<uint8_t>> Cluster::Round(
+    const std::vector<SiteId>& sites, size_t broadcast_bytes,
+    const std::function<std::vector<uint8_t>(const Fragment&)>& fn) {
+  const size_t k = sites.size();
+  std::vector<std::vector<uint8_t>> replies(k);
+  std::vector<double> compute_ms(k, 0.0);
+
+  pool_->ParallelFor(k, [&](size_t i) {
+    const Fragment& frag = fragmentation_->fragment(sites[i]);
+    StopWatch watch;
+    replies[i] = fn(frag);
+    compute_ms[i] = watch.ElapsedMs();
+  });
+
+  size_t round_bytes = broadcast_bytes * k;
+  size_t num_messages = k;  // coordinator -> site broadcasts
+  double max_compute = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    metrics_.site_visits[sites[i]] += 1;
+    max_compute = std::max(max_compute, compute_ms[i]);
+    if (!replies[i].empty()) {
+      round_bytes += replies[i].size();
+      ++num_messages;
+    }
+  }
+  metrics_.traffic_bytes += round_bytes;
+  metrics_.messages += num_messages;
+  metrics_.rounds += 1;
+  metrics_.modeled_ms +=
+      2 * net_.latency_ms + max_compute + net_.TransferMs(round_bytes);
+  return replies;
+}
+
+std::vector<std::vector<uint8_t>> Cluster::RoundAll(
+    size_t broadcast_bytes,
+    const std::function<std::vector<uint8_t>(const Fragment&)>& fn) {
+  std::vector<SiteId> all(fragmentation_->num_fragments());
+  for (SiteId s = 0; s < all.size(); ++s) all[s] = s;
+  return Round(all, broadcast_bytes, fn);
+}
+
+void Cluster::AddCoordinatorWorkMs(double ms) { metrics_.modeled_ms += ms; }
+
+void Cluster::RecordVisits(SiteId site, size_t n) {
+  PEREACH_CHECK_LT(site, metrics_.site_visits.size());
+  metrics_.site_visits[site] += n;
+}
+
+void Cluster::RecordTraffic(size_t bytes, size_t num_messages) {
+  metrics_.traffic_bytes += bytes;
+  metrics_.messages += num_messages;
+}
+
+void Cluster::RecordModeledRound(double max_site_compute_ms,
+                                 size_t round_bytes) {
+  metrics_.rounds += 1;
+  metrics_.modeled_ms += 2 * net_.latency_ms + max_site_compute_ms +
+                         net_.TransferMs(round_bytes);
+}
+
+}  // namespace pereach

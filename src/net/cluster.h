@@ -1,0 +1,90 @@
+#ifndef PEREACH_NET_CLUSTER_H_
+#define PEREACH_NET_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/fragment/fragmentation.h"
+#include "src/net/metrics.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+namespace pereach {
+
+/// Simulated cluster: one site per fragment plus a coordinator. Sites are
+/// executed by a thread pool ("threads simulate partitions"); every payload
+/// crossing a site boundary is a real byte buffer, and the cluster keeps the
+/// books: per-site visit counts, traffic, message counts, and a modeled
+/// response time combining measured per-site compute with the NetworkModel.
+///
+/// The three-phase pattern of the paper (§2.2) maps onto:
+///   cluster.BeginQuery();
+///   auto replies = cluster.RoundAll(query_bytes, local_eval);   // phases 1+2
+///   ... assemble at the coordinator ...                         // phase 3
+///   cluster.EndQuery();
+class Cluster {
+ public:
+  /// `fragmentation` must outlive the cluster. `num_threads` == 0 picks
+  /// hardware concurrency.
+  Cluster(const Fragmentation* fragmentation, const NetworkModel& net,
+          size_t num_threads = 0);
+
+  const Fragmentation& fragmentation() const { return *fragmentation_; }
+  const NetworkModel& network() const { return net_; }
+
+  /// Resets metrics and starts the wall clock for one query.
+  void BeginQuery();
+
+  /// Stops the wall clock; metrics() is complete afterwards.
+  void EndQuery();
+
+  /// One communication round touching `sites`: the coordinator sends
+  /// `broadcast_bytes` to each listed site (one message each), every site
+  /// runs `fn` on its fragment in parallel on the pool and returns a reply
+  /// payload (one message each; empty replies send no message).
+  /// Records one visit per listed site and advances the modeled clock by
+  ///   2·latency + max(site compute) + transfer(all bytes of the round).
+  std::vector<std::vector<uint8_t>> Round(
+      const std::vector<SiteId>& sites, size_t broadcast_bytes,
+      const std::function<std::vector<uint8_t>(const Fragment&)>& fn);
+
+  /// Round() over all sites.
+  std::vector<std::vector<uint8_t>> RoundAll(
+      size_t broadcast_bytes,
+      const std::function<std::vector<uint8_t>(const Fragment&)>& fn);
+
+  /// Adds coordinator-side compute (assembling) to the modeled clock.
+  void AddCoordinatorWorkMs(double ms);
+
+  // --- low-level recorders for engines with bespoke communication shapes
+  //     (the message-passing baseline and MapReduce) ---
+
+  /// Records `n` message deliveries to `site` (visit semantics: a visit is
+  /// one communication addressed to a site, matching the paper's counting
+  /// for the message-passing baseline).
+  void RecordVisits(SiteId site, size_t n);
+
+  /// Records messages and their payload bytes on the wire.
+  void RecordTraffic(size_t bytes, size_t num_messages);
+
+  /// Advances the modeled clock by one bespoke round.
+  void RecordModeledRound(double max_site_compute_ms, size_t round_bytes);
+
+  const RunMetrics& metrics() const { return metrics_; }
+
+  ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  PEREACH_DISALLOW_COPY_AND_ASSIGN(Cluster);
+
+  const Fragmentation* fragmentation_;
+  NetworkModel net_;
+  std::unique_ptr<ThreadPool> pool_;
+  RunMetrics metrics_;
+  StopWatch query_watch_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_NET_CLUSTER_H_

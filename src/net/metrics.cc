@@ -1,0 +1,41 @@
+#include "src/net/metrics.h"
+
+#include <cstdio>
+
+namespace pereach {
+
+std::string RunMetrics::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "wall=%.2fms modeled=%.2fms traffic=%.3fMB messages=%zu "
+                "rounds=%zu visits(total=%zu,max/site=%zu)",
+                wall_ms, modeled_ms, traffic_mb(), messages, rounds,
+                TotalVisits(), MaxVisits());
+  return buf;
+}
+
+void RunMetrics::Accumulate(const RunMetrics& other) {
+  wall_ms += other.wall_ms;
+  modeled_ms += other.modeled_ms;
+  traffic_bytes += other.traffic_bytes;
+  messages += other.messages;
+  rounds += other.rounds;
+  if (site_visits.size() < other.site_visits.size()) {
+    site_visits.resize(other.site_visits.size(), 0);
+  }
+  for (size_t i = 0; i < other.site_visits.size(); ++i) {
+    site_visits[i] += other.site_visits[i];
+  }
+}
+
+void RunMetrics::ScaleDown(size_t n) {
+  if (n == 0) return;
+  wall_ms /= static_cast<double>(n);
+  modeled_ms /= static_cast<double>(n);
+  traffic_bytes /= n;
+  messages /= n;
+  rounds /= n;
+  for (size_t& v : site_visits) v /= n;
+}
+
+}  // namespace pereach

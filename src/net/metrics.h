@@ -1,0 +1,65 @@
+#ifndef PEREACH_NET_METRICS_H_
+#define PEREACH_NET_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pereach {
+
+/// Cost model for the simulated network between sites. Defaults model the
+/// paper's motivating deployment — geo-distributed data centers: a few ms of
+/// one-way latency per communication round and a shared ingress link at the
+/// coordinator. Threads simulate the sites; this model translates measured
+/// per-site compute plus actual payload byte counts into a response-time
+/// estimate that exhibits WAN effects a single machine cannot.
+struct NetworkModel {
+  /// One-way message latency per communication round, milliseconds.
+  double latency_ms = 5.0;
+  /// Coordinator link bandwidth in MB/s (shared across concurrent senders).
+  double bandwidth_mb_per_s = 100.0;
+
+  /// Transfer time of `bytes` over the shared coordinator link.
+  double TransferMs(size_t bytes) const {
+    return static_cast<double>(bytes) / (bandwidth_mb_per_s * 1e6) * 1e3;
+  }
+};
+
+/// Everything the paper's evaluation section reports about one query run:
+/// response time (wall + modeled), total network traffic, number of visits
+/// to each site, communication rounds and message count.
+struct RunMetrics {
+  double wall_ms = 0.0;
+  double modeled_ms = 0.0;
+  size_t traffic_bytes = 0;
+  size_t messages = 0;
+  size_t rounds = 0;
+  std::vector<size_t> site_visits;
+
+  size_t TotalVisits() const {
+    size_t total = 0;
+    for (size_t v : site_visits) total += v;
+    return total;
+  }
+
+  size_t MaxVisits() const {
+    size_t max = 0;
+    for (size_t v : site_visits) max = v > max ? v : max;
+    return max;
+  }
+
+  double traffic_mb() const { return static_cast<double>(traffic_bytes) / 1e6; }
+
+  /// One-line rendering for logs and examples.
+  std::string Summary() const;
+
+  /// Accumulates another run (used to average over query workloads).
+  void Accumulate(const RunMetrics& other);
+
+  /// Divides the additive fields by `n` (average of n accumulated runs).
+  void ScaleDown(size_t n);
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_NET_METRICS_H_

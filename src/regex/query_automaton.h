@@ -1,0 +1,96 @@
+#ifndef PEREACH_REGEX_QUERY_AUTOMATON_H_
+#define PEREACH_REGEX_QUERY_AUTOMATON_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/regex/regex.h"
+#include "src/util/common.h"
+#include "src/util/serialization.h"
+
+namespace pereach {
+
+/// Query automaton G_q(R) of a regular reachability query q_rr(s, t, R)
+/// (paper §5.1): an ε-free NFA variant whose states carry *node labels* and
+/// whose runs are matched against the interior nodes of graph paths.
+///
+/// States: kStart (u_s, matches the source node s by identity), kFinal
+/// (u_t, matches the target t by identity), and one interior state per
+/// symbol occurrence of R (Glushkov positions, following Hromkovic et
+/// al. [15]). A path (s, v_1, ..., v_{n-1}, t) satisfies R iff there is a
+/// transition path u_s -> q_1 -> ... -> q_{n-1} -> u_t with
+/// state_label(q_i) == L(v_i) for all interior i.
+///
+/// The construction is O(|R| log |R|)-ish with O(|R|) states and O(|R|^2)
+/// transitions; the whole automaton is capped at 64 states so transition
+/// sets are single machine words (the paper's queries use ≤ 18 states).
+class QueryAutomaton {
+ public:
+  static constexpr uint32_t kStart = 0;
+  static constexpr uint32_t kFinal = 1;
+  static constexpr size_t kMaxStates = 64;
+
+  /// Label sentinel for states that match *any* node label — the wildcard
+  /// `_` of §2.2, which expresses plain reachability as the regular query
+  /// `_*` without enumerating the alphabet.
+  static constexpr LabelId kWildcardLabel = kInvalidLabel - 1;
+
+  /// Builds the Glushkov query automaton of `r`. CHECK-fails if r has more
+  /// than kMaxStates - 2 symbol occurrences.
+  static QueryAutomaton FromRegex(const Regex& r);
+
+  /// The automaton of `_*`: u_s -> u_t plus one wildcard self-loop state.
+  /// Reach(s, t) == RegularReach(s, t, WildcardStar()).
+  static QueryAutomaton WildcardStar();
+
+  /// Number of states |V_q| (including u_s and u_t).
+  size_t num_states() const { return labels_.size(); }
+
+  /// Number of transitions |E_q|.
+  size_t num_transitions() const;
+
+  /// Label an interior state matches; kInvalidLabel for kStart/kFinal.
+  LabelId state_label(uint32_t q) const {
+    PEREACH_CHECK_LT(q, labels_.size());
+    return labels_[q];
+  }
+
+  /// Bitmask of successor states of q.
+  uint64_t out_mask(uint32_t q) const {
+    PEREACH_CHECK_LT(q, out_.size());
+    return out_[q];
+  }
+
+  /// Bitmask of interior states compatible with `label`: exact-label states
+  /// plus every wildcard state (never includes kStart/kFinal).
+  uint64_t StatesWithLabel(LabelId label) const;
+
+  /// True iff ε ∈ L(R), i.e. a single edge (s, t) satisfies the query.
+  bool AcceptsEmpty() const { return (out_[kStart] >> kFinal) & 1; }
+
+  /// NFA simulation over an interior label sequence — the oracle used by
+  /// tests to validate the construction against Regex::Matches.
+  bool AcceptsInterior(std::span<const LabelId> interior) const;
+
+  /// Wire format (what the coordinator broadcasts to every site, §5).
+  void Serialize(Encoder* enc) const;
+  static QueryAutomaton Deserialize(Decoder* dec);
+
+  /// Serialized size in bytes, |G_q| in the traffic accounting.
+  size_t ByteSize() const;
+
+ private:
+  QueryAutomaton() = default;
+
+  std::vector<LabelId> labels_;  // per state; kInvalidLabel for start/final
+  std::vector<uint64_t> out_;    // per state successor mask
+  std::unordered_map<LabelId, uint64_t> states_by_label_;
+  uint64_t wildcard_mask_ = 0;   // states labeled kWildcardLabel
+
+  void RebuildLabelIndex();
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_REGEX_QUERY_AUTOMATON_H_

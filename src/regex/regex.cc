@@ -1,0 +1,337 @@
+#include "src/regex/regex.h"
+
+#include <cctype>
+
+namespace pereach {
+
+Regex Regex::Epsilon() {
+  auto node = std::make_shared<Regex::Node>();
+  node->kind = Kind::kEpsilon;
+  return Regex(std::move(node));
+}
+
+Regex Regex::Symbol(LabelId label) {
+  auto node = std::make_shared<Regex::Node>();
+  node->kind = Kind::kSymbol;
+  node->symbol = label;
+  return Regex(std::move(node));
+}
+
+Regex Regex::Concat(Regex a, Regex b) {
+  auto node = std::make_shared<Regex::Node>();
+  node->kind = Kind::kConcat;
+  node->left = std::move(a.node_);
+  node->right = std::move(b.node_);
+  return Regex(std::move(node));
+}
+
+Regex Regex::Union(Regex a, Regex b) {
+  auto node = std::make_shared<Regex::Node>();
+  node->kind = Kind::kUnion;
+  node->left = std::move(a.node_);
+  node->right = std::move(b.node_);
+  return Regex(std::move(node));
+}
+
+Regex Regex::Star(Regex a) {
+  auto node = std::make_shared<Regex::Node>();
+  node->kind = Kind::kStar;
+  node->left = std::move(a.node_);
+  return Regex(std::move(node));
+}
+
+Regex Regex::AnyOf(const std::vector<LabelId>& labels) {
+  PEREACH_CHECK(!labels.empty());
+  Regex r = Symbol(labels[0]);
+  for (size_t i = 1; i < labels.size(); ++i) {
+    r = Union(std::move(r), Symbol(labels[i]));
+  }
+  return r;
+}
+
+LabelId Regex::symbol() const {
+  PEREACH_CHECK(kind() == Kind::kSymbol);
+  return node_->symbol;
+}
+
+Regex Regex::left() const {
+  PEREACH_CHECK(node_->left != nullptr);
+  return Regex(node_->left);
+}
+
+Regex Regex::right() const {
+  PEREACH_CHECK(node_->right != nullptr);
+  return Regex(node_->right);
+}
+
+size_t Regex::NumSymbols() const {
+  switch (kind()) {
+    case Kind::kEpsilon:
+      return 0;
+    case Kind::kSymbol:
+      return 1;
+    case Kind::kConcat:
+    case Kind::kUnion:
+      return left().NumSymbols() + right().NumSymbols();
+    case Kind::kStar:
+      return left().NumSymbols();
+  }
+  return 0;
+}
+
+bool Regex::MatchesEmpty() const {
+  switch (kind()) {
+    case Kind::kEpsilon:
+      return true;
+    case Kind::kSymbol:
+      return false;
+    case Kind::kConcat:
+      return left().MatchesEmpty() && right().MatchesEmpty();
+    case Kind::kUnion:
+      return left().MatchesEmpty() || right().MatchesEmpty();
+    case Kind::kStar:
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Set-of-positions matcher: given start positions S over `word`, returns the
+// positions j such that word[i..j) ∈ L(node) for some i ∈ S. Polynomial and
+// independent of the automaton code, so it can serve as its oracle.
+std::vector<bool> MatchFrom(const Regex& r, const std::vector<LabelId>& word,
+                            const std::vector<bool>& starts) {
+  const size_t n = word.size();
+  switch (r.kind()) {
+    case Regex::Kind::kEpsilon:
+      return starts;
+    case Regex::Kind::kSymbol: {
+      std::vector<bool> out(n + 1, false);
+      for (size_t i = 0; i < n; ++i) {
+        if (starts[i] && word[i] == r.symbol()) out[i + 1] = true;
+      }
+      return out;
+    }
+    case Regex::Kind::kConcat:
+      return MatchFrom(r.right(), word, MatchFrom(r.left(), word, starts));
+    case Regex::Kind::kUnion: {
+      std::vector<bool> a = MatchFrom(r.left(), word, starts);
+      const std::vector<bool> b = MatchFrom(r.right(), word, starts);
+      for (size_t i = 0; i <= n; ++i) a[i] = a[i] || b[i];
+      return a;
+    }
+    case Regex::Kind::kStar: {
+      std::vector<bool> acc = starts;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        const std::vector<bool> step = MatchFrom(r.left(), word, acc);
+        for (size_t i = 0; i <= n; ++i) {
+          if (step[i] && !acc[i]) {
+            acc[i] = true;
+            changed = true;
+          }
+        }
+      }
+      return acc;
+    }
+  }
+  return std::vector<bool>(n + 1, false);
+}
+
+}  // namespace
+
+bool Regex::Matches(const std::vector<LabelId>& word) const {
+  std::vector<bool> starts(word.size() + 1, false);
+  starts[0] = true;
+  return MatchFrom(*this, word, starts)[word.size()];
+}
+
+namespace {
+
+/// Recursive-descent parser for the textual regex syntax.
+class Parser {
+ public:
+  Parser(const std::string& text, const LabelDictionary& dict)
+      : text_(text), dict_(dict) {}
+
+  Result<Regex> Parse() {
+    Result<Regex> r = ParseUnion();
+    if (!r.ok()) return r;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("unexpected trailing input at offset " +
+                                     std::to_string(pos_) + " in: " + text_);
+    }
+    return r;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    return c == '(' || c == '~' || c == '_' ||
+           std::isalnum(static_cast<unsigned char>(c));
+  }
+
+  Result<Regex> ParseUnion() {
+    Result<Regex> lhs = ParseConcat();
+    if (!lhs.ok()) return lhs;
+    Regex r = std::move(lhs).value();
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+        Result<Regex> rhs = ParseConcat();
+        if (!rhs.ok()) return rhs;
+        r = Regex::Union(std::move(r), std::move(rhs).value());
+      } else {
+        return r;
+      }
+    }
+  }
+
+  Result<Regex> ParseConcat() {
+    Result<Regex> lhs = ParseStar();
+    if (!lhs.ok()) return lhs;
+    Regex r = std::move(lhs).value();
+    while (AtAtomStart()) {
+      Result<Regex> rhs = ParseStar();
+      if (!rhs.ok()) return rhs;
+      r = Regex::Concat(std::move(r), std::move(rhs).value());
+    }
+    return r;
+  }
+
+  Result<Regex> ParseStar() {
+    Result<Regex> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    Regex r = std::move(atom).value();
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '*') {
+        ++pos_;
+        r = Regex::Star(std::move(r));
+      } else {
+        return r;
+      }
+    }
+  }
+
+  Result<Regex> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of regex: " + text_);
+    }
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      Result<Regex> inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::InvalidArgument("missing ')' in: " + text_);
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '~') {
+      ++pos_;
+      return Regex::Epsilon();
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      const std::string name = text_.substr(start, pos_ - start);
+      const LabelId id = dict_.Find(name);
+      if (id == kInvalidLabel) {
+        return Status::NotFound("unknown label '" + name + "' in: " + text_);
+      }
+      return Regex::Symbol(id);
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in: " + text_);
+  }
+
+  const std::string& text_;
+  const LabelDictionary& dict_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Regex> Regex::Parse(const std::string& text,
+                           const LabelDictionary& dict) {
+  return Parser(text, dict).Parse();
+}
+
+Regex Regex::Random(size_t num_symbols, size_t num_labels, Rng* rng) {
+  PEREACH_CHECK_GE(num_symbols, 1u);
+  PEREACH_CHECK_GE(num_labels, 1u);
+  if (num_symbols == 1) {
+    Regex r = Symbol(static_cast<LabelId>(rng->Uniform(num_labels)));
+    if (rng->Bernoulli(0.4)) r = Star(std::move(r));
+    return r;
+  }
+  const size_t left_symbols = 1 + rng->Uniform(num_symbols - 1);
+  Regex l = Random(left_symbols, num_labels, rng);
+  Regex r = Random(num_symbols - left_symbols, num_labels, rng);
+  Regex combined = rng->Bernoulli(0.55) ? Concat(std::move(l), std::move(r))
+                                        : Union(std::move(l), std::move(r));
+  if (rng->Bernoulli(0.15)) combined = Star(std::move(combined));
+  return combined;
+}
+
+namespace {
+
+void ToStringRec(const Regex& r, const LabelDictionary& dict, std::string* out) {
+  switch (r.kind()) {
+    case Regex::Kind::kEpsilon:
+      *out += "~";
+      return;
+    case Regex::Kind::kSymbol:
+      *out += dict.Name(r.symbol());
+      return;
+    case Regex::Kind::kConcat:
+      *out += "(";
+      ToStringRec(r.left(), dict, out);
+      *out += " ";
+      ToStringRec(r.right(), dict, out);
+      *out += ")";
+      return;
+    case Regex::Kind::kUnion:
+      *out += "(";
+      ToStringRec(r.left(), dict, out);
+      *out += " | ";
+      ToStringRec(r.right(), dict, out);
+      *out += ")";
+      return;
+    case Regex::Kind::kStar:
+      *out += "(";
+      ToStringRec(r.left(), dict, out);
+      *out += ")*";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Regex::ToString(const LabelDictionary& dict) const {
+  std::string out;
+  ToStringRec(*this, dict, &out);
+  return out;
+}
+
+}  // namespace pereach

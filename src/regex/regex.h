@@ -1,0 +1,84 @@
+#ifndef PEREACH_REGEX_REGEX_H_
+#define PEREACH_REGEX_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/common.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace pereach {
+
+/// Regular expressions over node labels (paper §2.2):
+///   R ::= ε | a | R R | R ∪ R | R*
+/// Values are immutable trees shared by cheap copies.
+class Regex {
+ public:
+  enum class Kind { kEpsilon, kSymbol, kConcat, kUnion, kStar };
+
+  /// ε — matches only the empty label string.
+  static Regex Epsilon();
+  /// A single label.
+  static Regex Symbol(LabelId label);
+  /// Concatenation `ab`.
+  static Regex Concat(Regex a, Regex b);
+  /// Alternation `a | b` (the paper's R ∪ R).
+  static Regex Union(Regex a, Regex b);
+  /// Kleene closure `a*`.
+  static Regex Star(Regex a);
+
+  /// The wildcard `_` = a_1 ∪ ... ∪ a_m over all labels (paper §2.2 remark:
+  /// reachability queries are the regular query `_*`).
+  static Regex AnyOf(const std::vector<LabelId>& labels);
+
+  /// Parses the textual syntax: identifiers are label names resolved against
+  /// `dict`, `~` is ε, juxtaposition (whitespace) concatenates, `|` is union,
+  /// `*` is Kleene star, parentheses group. Example: "(DB* | HR*)".
+  static Result<Regex> Parse(const std::string& text,
+                             const LabelDictionary& dict);
+
+  /// Uniformly random regex with exactly `num_symbols` symbol occurrences
+  /// over labels [0, num_labels); used by the query generators (§7).
+  static Regex Random(size_t num_symbols, size_t num_labels, Rng* rng);
+
+  Kind kind() const { return node_->kind; }
+  LabelId symbol() const;
+  /// Child accessors (cheap: the tree is shared, not cloned).
+  Regex left() const;
+  Regex right() const;
+
+  /// Number of symbol occurrences (the "positions" of the Glushkov
+  /// construction); |R| in the paper's bounds is linear in this.
+  size_t NumSymbols() const;
+
+  /// True iff the empty string is in L(R).
+  bool MatchesEmpty() const;
+
+  /// Direct recursive matcher — test oracle, exponential-free via simple
+  /// marked-position NFA simulation in the implementation.
+  bool Matches(const std::vector<LabelId>& word) const;
+
+  /// Renders with label names from `dict`; Parse(ToString()) round-trips.
+  std::string ToString(const LabelDictionary& dict) const;
+
+ private:
+  struct Node {
+    Kind kind;
+    LabelId symbol = kInvalidLabel;
+    std::shared_ptr<const Node> left;
+    std::shared_ptr<const Node> right;
+  };
+
+  explicit Regex(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+
+  friend class QueryAutomaton;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_REGEX_REGEX_H_

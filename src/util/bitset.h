@@ -1,0 +1,117 @@
+#ifndef PEREACH_UTIL_BITSET_H_
+#define PEREACH_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace pereach {
+
+/// Fixed-capacity dynamic bitset used for set-of-variables formulas and for
+/// reachable-set propagation. Sized at construction; bitwise OR between two
+/// bitsets of the same size is the hot operation (word-parallel).
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Creates a bitset able to hold bits [0, num_bits), all clear.
+  explicit Bitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+
+  void Set(size_t i) {
+    PEREACH_CHECK_LT(i, num_bits_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Reset(size_t i) {
+    PEREACH_CHECK_LT(i, num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    PEREACH_CHECK_LT(i, num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets every bit of `other` in this bitset. Returns true if this bitset
+  /// changed (used by fixpoint loops to detect convergence).
+  bool UnionWith(const Bitset& other) {
+    PEREACH_CHECK_EQ(num_bits_, other.num_bits_);
+    bool changed = false;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      const uint64_t merged = words_[w] | other.words_[w];
+      changed |= (merged != words_[w]);
+      words_[w] = merged;
+    }
+    return changed;
+  }
+
+  /// True if no bit is set.
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// True if this and `other` share at least one set bit.
+  bool Intersects(const Bitset& other) const {
+    PEREACH_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if ((words_[w] & other.words_[w]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t count = 0;
+    for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+    return count;
+  }
+
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  /// Calls `fn(i)` for every set bit i in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<size_t> ToVector() const {
+    std::vector<size_t> out;
+    out.reserve(Count());
+    ForEachSetBit([&out](size_t i) { out.push_back(i); });
+    return out;
+  }
+
+  /// Raw word access for serialization.
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_UTIL_BITSET_H_

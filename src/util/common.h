@@ -1,0 +1,35 @@
+#ifndef PEREACH_UTIL_COMMON_H_
+#define PEREACH_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace pereach {
+
+/// Identifier of a node in a (global or fragment-local) graph.
+using NodeId = uint32_t;
+
+/// Identifier of a node label (index into a LabelDictionary).
+using LabelId = uint32_t;
+
+/// Identifier of a site / fragment in a fragmentation.
+using SiteId = uint32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel meaning "no label".
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+
+/// Sentinel distance meaning "unreachable".
+inline constexpr uint32_t kInfDistance = std::numeric_limits<uint32_t>::max();
+
+/// Disallow copy and assign; place in the private section of a class.
+#define PEREACH_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;              \
+  TypeName& operator=(const TypeName&) = delete
+
+}  // namespace pereach
+
+#endif  // PEREACH_UTIL_COMMON_H_

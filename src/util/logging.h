@@ -1,0 +1,50 @@
+#ifndef PEREACH_UTIL_LOGGING_H_
+#define PEREACH_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pereach {
+namespace internal_logging {
+
+/// Accumulates a fatal message and aborts the process when destroyed.
+/// Used by the CHECK macros below; not part of the public API.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Aborts with a diagnostic unless `condition` holds. Active in all build
+/// modes: invariants of the algorithms are cheap relative to graph work.
+#define PEREACH_CHECK(condition)                                       \
+  (condition) ? (void)0                                                \
+              : (void)::pereach::internal_logging::FatalLogMessage(    \
+                    __FILE__, __LINE__, #condition)                    \
+                    .stream()
+
+#define PEREACH_CHECK_EQ(a, b) PEREACH_CHECK((a) == (b))
+#define PEREACH_CHECK_NE(a, b) PEREACH_CHECK((a) != (b))
+#define PEREACH_CHECK_LT(a, b) PEREACH_CHECK((a) < (b))
+#define PEREACH_CHECK_LE(a, b) PEREACH_CHECK((a) <= (b))
+#define PEREACH_CHECK_GT(a, b) PEREACH_CHECK((a) > (b))
+#define PEREACH_CHECK_GE(a, b) PEREACH_CHECK((a) >= (b))
+
+}  // namespace pereach
+
+#endif  // PEREACH_UTIL_LOGGING_H_

@@ -1,0 +1,64 @@
+#ifndef PEREACH_UTIL_RANDOM_H_
+#define PEREACH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace pereach {
+
+/// Deterministic, seedable random source. All stochastic components (graph
+/// generators, partitioners, query generators, property tests) draw from an
+/// explicitly passed Rng so every run is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    PEREACH_CHECK_GT(bound, 0u);
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    PEREACH_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric number of trials with success probability p (>= 1).
+  uint64_t Geometric(double p) {
+    PEREACH_CHECK_GT(p, 0.0);
+    return std::geometric_distribution<uint64_t>(p)(engine_) + 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel workers).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_UTIL_RANDOM_H_

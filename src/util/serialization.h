@@ -1,0 +1,144 @@
+#ifndef PEREACH_UTIL_SERIALIZATION_H_
+#define PEREACH_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bitset.h"
+#include "src/util/logging.h"
+
+namespace pereach {
+
+/// Append-only byte buffer with varint and fixed-width primitives. Every
+/// payload that crosses a simulated site boundary is encoded through this
+/// class so that reported network traffic reflects real byte counts.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  /// LEB128-style variable-length unsigned integer (1 byte for values < 128).
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutString(const std::string& s) {
+    PutVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Encodes a bitset as its bit length followed by ceil(n/8) payload bytes —
+  /// the "|Fi.O| bits per equation" wire format of the paper's traffic bound.
+  void PutBitset(const Bitset& b) {
+    PutVarint(b.size());
+    const size_t num_bytes = (b.size() + 7) / 8;
+    const std::vector<uint64_t>& words = b.words();
+    for (size_t i = 0; i < num_bytes; ++i) {
+      buf_.push_back(static_cast<uint8_t>(words[i >> 3] >> (8 * (i & 7))));
+    }
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential reader over a byte buffer produced by Encoder. Out-of-bounds
+/// reads CHECK-fail: buffers are produced and consumed inside the library,
+/// so truncation indicates a bug rather than untrusted input.
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  uint8_t GetU8() {
+    PEREACH_CHECK_LT(pos_, buf_.size());
+    return buf_[pos_++];
+  }
+
+  uint32_t GetU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(GetU8()) << (8 * i);
+    return v;
+  }
+
+  uint64_t GetU64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(GetU8()) << (8 * i);
+    return v;
+  }
+
+  uint64_t GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const uint8_t byte = GetU8();
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      PEREACH_CHECK_LT(shift, 64);
+    }
+    return v;
+  }
+
+  double GetDouble() {
+    const uint64_t bits = GetU64();
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string GetString() {
+    const size_t n = GetVarint();
+    PEREACH_CHECK_LE(pos_ + n, buf_.size());
+    std::string s(buf_.begin() + static_cast<ptrdiff_t>(pos_),
+                  buf_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+
+  Bitset GetBitset() {
+    const size_t num_bits = GetVarint();
+    Bitset b(num_bits);
+    const size_t num_bytes = (num_bits + 7) / 8;
+    std::vector<uint64_t>& words = b.mutable_words();
+    for (size_t i = 0; i < num_bytes; ++i) {
+      words[i >> 3] |= static_cast<uint64_t>(GetU8()) << (8 * (i & 7));
+    }
+    return b;
+  }
+
+  bool Done() const { return pos_ == buf_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_UTIL_SERIALIZATION_H_

@@ -1,0 +1,53 @@
+#ifndef PEREACH_UTIL_THREAD_POOL_H_
+#define PEREACH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace pereach {
+
+/// Fixed-size worker pool. Simulated sites and MapReduce mappers run their
+/// local work on pool threads so that "partial evaluation in parallel at each
+/// site" is genuinely parallel (threads simulate partitions).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), distributed over the pool, and waits.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  PEREACH_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_UTIL_THREAD_POOL_H_

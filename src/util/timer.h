@@ -1,0 +1,35 @@
+#ifndef PEREACH_UTIL_TIMER_H_
+#define PEREACH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace pereach {
+
+/// Wall-clock stopwatch. Started at construction; ElapsedMs() may be called
+/// repeatedly; Restart() resets the origin.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Milliseconds elapsed since construction/Restart, as a double.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Microseconds elapsed since construction/Restart.
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_UTIL_TIMER_H_

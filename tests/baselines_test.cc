@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/centralized.h"
+#include "src/baselines/dis_mp.h"
+#include "src/baselines/dis_naive.h"
+#include "src/baselines/dis_rpq_suciu.h"
+#include "src/core/dis_reach.h"
+#include "src/core/dis_rpq.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+using testing_util::RandomPartition;
+
+TEST(ReassembleGraphTest, RebuildsExactGraph) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(50, 150, 4, &rng);
+  const std::vector<SiteId> part = RandomPartition(50, 4, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, 4);
+  std::vector<std::vector<uint8_t>> payloads;
+  for (SiteId i = 0; i < 4; ++i) {
+    Encoder enc;
+    frag.fragment(i).Serialize(&enc);
+    payloads.push_back(enc.TakeBuffer());
+  }
+  const Graph h = ReassembleGraph(payloads, g.NumNodes());
+  ASSERT_EQ(h.NumNodes(), g.NumNodes());
+  ASSERT_EQ(h.NumEdges(), g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(h.label(v), g.label(v));
+    auto a = g.OutNeighbors(v);
+    std::vector<NodeId> av(a.begin(), a.end()), bv;
+    auto b = h.OutNeighbors(v);
+    bv.assign(b.begin(), b.end());
+    std::sort(av.begin(), av.end());
+    std::sort(bv.begin(), bv.end());
+    EXPECT_EQ(av, bv) << "node " << v;
+  }
+}
+
+TEST(DisReachNaiveTest, MatchesDisReachOnPaperExample) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  EXPECT_TRUE(DisReachNaive(&cluster, {ex.ann, ex.mark}).reachable);
+  EXPECT_FALSE(DisReachNaive(&cluster, {ex.mark, ex.ann}).reachable);
+  // Ship-all also visits each site once, but pays the whole graph in bytes.
+  const QueryAnswer a = DisReachNaive(&cluster, {ex.ann, ex.mark});
+  for (size_t v : a.metrics.site_visits) EXPECT_EQ(v, 1u);
+}
+
+TEST(DisReachNaiveTest, TrafficIsWholeGraph) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(200, 600, 1, &rng);
+  const std::vector<SiteId> part = RandomPartition(200, 4, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, 4);
+  Cluster cluster(&frag, NetworkModel());
+
+  size_t fragment_bytes = 0;
+  for (SiteId i = 0; i < 4; ++i) fragment_bytes += frag.fragment(i).ByteSize();
+
+  const QueryAnswer naive = DisReachNaive(&cluster, {0, 1});
+  EXPECT_GE(naive.metrics.traffic_bytes, fragment_bytes);
+
+  const QueryAnswer pe = DisReach(&cluster, {0, 1});
+  EXPECT_LT(pe.metrics.traffic_bytes, naive.metrics.traffic_bytes);
+}
+
+TEST(DisReachMpTest, MatchesCentralizedAndCountsManyVisits) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisReachMp(&cluster, {ex.ann, ex.mark});
+  EXPECT_TRUE(a.reachable);
+  // Message passing bounces between sites: strictly more rounds than
+  // disReach's single round, and more than one visit somewhere.
+  EXPECT_GT(a.metrics.rounds, 1u);
+  EXPECT_GT(a.metrics.TotalVisits(), 3u);
+  EXPECT_FALSE(DisReachMp(&cluster, {ex.mark, ex.ann}).reachable);
+}
+
+TEST(DisReachMpTest, TerminatesOnCyclicCrossFragmentGraphs) {
+  Rng rng(3);
+  const Graph g = Cycle(12, 1, &rng);
+  std::vector<SiteId> part(12);
+  for (NodeId v = 0; v < 12; ++v) part[v] = v % 3;
+  const Fragmentation frag = Fragmentation::Build(g, part, 3);
+  Cluster cluster(&frag, NetworkModel());
+  EXPECT_TRUE(DisReachMp(&cluster, {0, 11}).reachable);
+  EXPECT_TRUE(DisReachMp(&cluster, {11, 0}).reachable);
+}
+
+TEST(DisReachMpTest, PropertyMatchesCentralized) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 10 + rng.Uniform(60);
+    const Graph g = ErdosRenyi(n, 2 * n, 1, &rng);
+    const size_t k = 2 + rng.Uniform(4);
+    const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, k);
+    Cluster cluster(&frag, NetworkModel());
+    for (int q = 0; q < 10; ++q) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(n));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(n));
+      ASSERT_EQ(DisReachMp(&cluster, {s, t}).reachable,
+                CentralizedReach(g, s, t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(DisRpqSuciuTest, MatchesDisRpqAndVisitsTwice) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  Result<Regex> r = Regex::Parse("DB* | HR*", ex.labels);
+  ASSERT_TRUE(r.ok());
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r.value());
+
+  const QueryAnswer suciu = DisRpqSuciu(&cluster, ex.ann, ex.mark, a);
+  EXPECT_TRUE(suciu.reachable);
+  // Each site is visited exactly twice (the paper's contrast with disRPQ).
+  for (size_t v : suciu.metrics.site_visits) EXPECT_EQ(v, 2u);
+  EXPECT_EQ(suciu.metrics.rounds, 2u);
+}
+
+TEST(DisRpqSuciuTest, DenseRelationsShipMoreThanDisRpq) {
+  // On a graph with a non-trivial boundary, the always-dense relation
+  // shipping of [30] costs clearly more than disRPQ's reachable formulas
+  // (the Fig. 11(f) effect).
+  Rng rng(13);
+  const Graph g = ErdosRenyi(400, 1600, 4, &rng);
+  const std::vector<SiteId> part = RandomPartition(400, 4, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, 4);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAutomaton a =
+      QueryAutomaton::FromRegex(Regex::Random(6, 4, &rng));
+  const QueryAnswer suciu = DisRpqSuciu(&cluster, 0, 399, a);
+  const QueryAnswer rpq = DisRpqAutomaton(&cluster, 0, 399, a);
+  EXPECT_GT(suciu.metrics.traffic_bytes, rpq.metrics.traffic_bytes);
+}
+
+TEST(DisRpqSuciuTest, PropertyMatchesCentralized) {
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t n = 10 + rng.Uniform(50);
+    const Graph g = ErdosRenyi(n, 2 * n, 3, &rng);
+    const size_t k = 2 + rng.Uniform(4);
+    const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, k);
+    Cluster cluster(&frag, NetworkModel());
+    for (int q = 0; q < 6; ++q) {
+      const QueryAutomaton a =
+          QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 3, &rng));
+      const NodeId s = static_cast<NodeId>(rng.Uniform(n));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(n));
+      ASSERT_EQ(DisRpqSuciu(&cluster, s, t, a).reachable,
+                CentralizedRegularReach(g, s, t, a))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(DisRpqNaiveTest, PropertyMatchesCentralized) {
+  Rng rng(6);
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t n = 10 + rng.Uniform(40);
+    const Graph g = ErdosRenyi(n, 2 * n, 3, &rng);
+    const size_t k = 2 + rng.Uniform(3);
+    const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, k);
+    Cluster cluster(&frag, NetworkModel());
+    for (int q = 0; q < 6; ++q) {
+      const QueryAutomaton a =
+          QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(5), 3, &rng));
+      const NodeId s = static_cast<NodeId>(rng.Uniform(n));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(n));
+      ASSERT_EQ(DisRpqNaive(&cluster, s, t, a).reachable,
+                CentralizedRegularReach(g, s, t, a));
+    }
+  }
+}
+
+TEST(DisDistNaiveTest, MatchesExactDistance) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisDistNaive(&cluster, {ex.ann, ex.mark, 6});
+  EXPECT_TRUE(a.reachable);
+  EXPECT_EQ(a.distance, 6u);
+  EXPECT_FALSE(DisDistNaive(&cluster, {ex.ann, ex.mark, 5}).reachable);
+}
+
+}  // namespace
+}  // namespace pereach

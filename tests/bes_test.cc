@@ -1,0 +1,210 @@
+#include "src/bes/bes.h"
+
+#include <gtest/gtest.h>
+
+#include "src/bes/distance_system.h"
+#include "src/util/random.h"
+
+namespace pereach {
+namespace {
+
+TEST(BesTest, EmptySystemIsFalse) {
+  BooleanEquationSystem bes;
+  EXPECT_FALSE(bes.Evaluate(1));
+}
+
+TEST(BesTest, DirectTrue) {
+  BooleanEquationSystem bes;
+  bes.Add({1, true, {}});
+  EXPECT_TRUE(bes.Evaluate(1));
+  EXPECT_FALSE(bes.Evaluate(2));
+}
+
+TEST(BesTest, ChainPropagates) {
+  BooleanEquationSystem bes;
+  bes.Add({1, false, {2}});
+  bes.Add({2, false, {3}});
+  bes.Add({3, true, {}});
+  EXPECT_TRUE(bes.Evaluate(1));
+  EXPECT_TRUE(bes.Evaluate(2));
+}
+
+TEST(BesTest, CycleWithoutTrueIsFalse) {
+  // Least fixpoint: mutually recursive variables with no true base are false.
+  BooleanEquationSystem bes;
+  bes.Add({1, false, {2}});
+  bes.Add({2, false, {1}});
+  EXPECT_FALSE(bes.Evaluate(1));
+  EXPECT_FALSE(bes.Evaluate(2));
+}
+
+TEST(BesTest, CycleReachingTrueIsTrue) {
+  // The xFred example of §3: recursively defined equations that resolve true.
+  BooleanEquationSystem bes;
+  bes.Add({1, false, {2}});
+  bes.Add({2, false, {1, 3}});
+  bes.Add({3, true, {}});
+  EXPECT_TRUE(bes.Evaluate(1));
+}
+
+TEST(BesTest, UndefinedDependencyIsFalse) {
+  BooleanEquationSystem bes;
+  bes.Add({1, false, {99}});
+  EXPECT_FALSE(bes.Evaluate(1));
+}
+
+TEST(BesTest, DuplicateDefinitionsMergeDisjunctively) {
+  BooleanEquationSystem bes;
+  bes.Add({1, false, {2}});
+  bes.Add({1, false, {3}});
+  bes.Add({3, true, {}});
+  EXPECT_TRUE(bes.Evaluate(1));
+}
+
+TEST(BesTest, PaperExample3System) {
+  // RVset of Example 3 (node ids stand in for the people):
+  //   xAnn = xPat ∨ xMat, xFred = xEmmy, xMat = xFred, xJack = xFred,
+  //   xEmmy = xFred ∨ xRoss, xRoss = true, xPat = xJack.
+  enum : uint64_t { Ann = 0, Fred = 3, Mat = 4, Emmy = 5, Jack = 6, Pat = 7,
+                    Ross = 8 };
+  BooleanEquationSystem bes;
+  bes.Add({Ann, false, {Pat, Mat}});
+  bes.Add({Fred, false, {Emmy}});
+  bes.Add({Mat, false, {Fred}});
+  bes.Add({Jack, false, {Fred}});
+  bes.Add({Emmy, false, {Fred, Ross}});
+  bes.Add({Ross, true, {}});
+  bes.Add({Pat, false, {Jack}});
+  EXPECT_TRUE(bes.Evaluate(Ann));   // the paper's answer to q_r(Ann, Mark)
+  EXPECT_TRUE(bes.Evaluate(Jack));  // Jack -> Fred -> Emmy -> Ross
+  EXPECT_TRUE(bes.Evaluate(Pat));
+}
+
+// Property: the dependency-graph solver agrees with naive fixpoint
+// iteration on random (possibly cyclic) systems.
+TEST(BesTest, EvaluateMatchesNaiveOnRandomSystems) {
+  Rng rng(61);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 2 + rng.Uniform(40);
+    BooleanEquationSystem bes;
+    for (uint64_t v = 0; v < n; ++v) {
+      BoolEquation eq;
+      eq.var = v;
+      eq.has_true = rng.Bernoulli(0.08);
+      const size_t deps = rng.Uniform(4);
+      for (size_t d = 0; d < deps; ++d) {
+        eq.deps.push_back(rng.Uniform(n + 2));  // may reference undefined vars
+      }
+      bes.Add(std::move(eq));
+    }
+    for (uint64_t v = 0; v < n; ++v) {
+      ASSERT_EQ(bes.Evaluate(v), bes.EvaluateNaive(v)) << "var " << v;
+    }
+  }
+}
+
+TEST(BesTest, ClearEmptiesSystem) {
+  BooleanEquationSystem bes;
+  bes.Add({1, true, {}});
+  bes.Clear();
+  EXPECT_FALSE(bes.Evaluate(1));
+  EXPECT_EQ(bes.num_equations(), 0u);
+}
+
+TEST(BesTest, CountsDependencies) {
+  BooleanEquationSystem bes;
+  bes.Add({1, false, {2, 3}});
+  bes.Add({2, false, {3}});
+  EXPECT_EQ(bes.num_equations(), 2u);
+  EXPECT_EQ(bes.num_dependencies(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// DistanceEquationSystem
+// ---------------------------------------------------------------------------
+
+TEST(DistanceSystemTest, EmptyIsInfinite) {
+  DistanceEquationSystem sys;
+  EXPECT_EQ(sys.Evaluate(1), kInfWeight);
+}
+
+TEST(DistanceSystemTest, DirectBase) {
+  DistanceEquationSystem sys;
+  sys.Add({1, 7, {}});
+  EXPECT_EQ(sys.Evaluate(1), 7u);
+}
+
+TEST(DistanceSystemTest, PicksShorterOfBaseAndChain) {
+  DistanceEquationSystem sys;
+  sys.Add({1, 10, {{2, 1}}});
+  sys.Add({2, 3, {}});
+  EXPECT_EQ(sys.Evaluate(1), 4u);  // 1 -> 2 (w=1) + base 3 beats base 10
+}
+
+TEST(DistanceSystemTest, CycleDoesNotLoopForever) {
+  DistanceEquationSystem sys;
+  sys.Add({1, kInfWeight, {{2, 1}}});
+  sys.Add({2, kInfWeight, {{1, 1}}});
+  EXPECT_EQ(sys.Evaluate(1), kInfWeight);
+}
+
+TEST(DistanceSystemTest, CycleWithExit) {
+  DistanceEquationSystem sys;
+  sys.Add({1, kInfWeight, {{2, 2}}});
+  sys.Add({2, kInfWeight, {{1, 2}, {3, 5}}});
+  sys.Add({3, 1, {}});
+  EXPECT_EQ(sys.Evaluate(1), 8u);  // 1 -(2)-> 2 -(5)-> 3 + base 1
+}
+
+TEST(DistanceSystemTest, PaperExample5Vectors) {
+  // Example 5 (F2's equations for q_br(Ann, Mark, 6)):
+  //   xMat = min(xFred + 1), xJack = min(xFred + 3),
+  //   xEmmy = min(xFred + 3, xRoss + 1), with the full weighted dependency
+  //   graph of Fig. 5(b) giving dist(Ann, Mark) = 6.
+  enum : uint64_t { Ann = 0, Fred = 3, Mat = 4, Emmy = 5, Jack = 6, Pat = 7,
+                    Ross = 8 };
+  DistanceEquationSystem sys;
+  sys.Add({Ann, kInfWeight, {{Mat, 2}, {Pat, 2}}});
+  sys.Add({Fred, kInfWeight, {{Emmy, 1}}});
+  sys.Add({Mat, kInfWeight, {{Fred, 1}}});
+  sys.Add({Jack, kInfWeight, {{Fred, 3}}});
+  sys.Add({Emmy, kInfWeight, {{Fred, 3}, {Ross, 1}}});
+  sys.Add({Ross, 1, {}});  // dist(Ross, Mark) = 1 within F3
+  sys.Add({Pat, kInfWeight, {{Jack, 1}}});
+  EXPECT_EQ(sys.Evaluate(Ann), 6u);
+  EXPECT_EQ(sys.Evaluate(Emmy), 2u);
+  EXPECT_EQ(sys.Evaluate(Jack), 6u);  // xJack = xFred + 3 = (xEmmy + 1) + 3
+}
+
+TEST(DistanceSystemTest, DuplicateDefinitionsMergeByMin) {
+  DistanceEquationSystem sys;
+  sys.Add({1, 9, {}});
+  sys.Add({1, kInfWeight, {{2, 1}}});
+  sys.Add({2, 3, {}});
+  EXPECT_EQ(sys.Evaluate(1), 4u);
+}
+
+// Property: Dijkstra solve agrees with Bellman-Ford iteration.
+TEST(DistanceSystemTest, EvaluateMatchesNaiveOnRandomSystems) {
+  Rng rng(67);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 2 + rng.Uniform(30);
+    DistanceEquationSystem sys;
+    for (uint64_t v = 0; v < n; ++v) {
+      DistEquation eq;
+      eq.var = v;
+      if (rng.Bernoulli(0.15)) eq.base = rng.Uniform(20);
+      const size_t terms = rng.Uniform(4);
+      for (size_t i = 0; i < terms; ++i) {
+        eq.terms.emplace_back(rng.Uniform(n + 2), 1 + rng.Uniform(10));
+      }
+      sys.Add(std::move(eq));
+    }
+    for (uint64_t v = 0; v < n; ++v) {
+      ASSERT_EQ(sys.Evaluate(v), sys.EvaluateNaive(v)) << "var " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pereach

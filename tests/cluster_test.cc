@@ -1,0 +1,156 @@
+#include "src/net/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+
+TEST(NetworkModelTest, TransferMsScalesWithBytes) {
+  NetworkModel net;
+  net.bandwidth_mb_per_s = 100.0;
+  EXPECT_DOUBLE_EQ(net.TransferMs(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.TransferMs(100'000'000), 1000.0);  // 100 MB at 100 MB/s
+  EXPECT_DOUBLE_EQ(net.TransferMs(1'000'000), 10.0);
+}
+
+TEST(RunMetricsTest, AccumulateAndScaleDown) {
+  RunMetrics a, b;
+  a.wall_ms = 10;
+  a.traffic_bytes = 100;
+  a.messages = 4;
+  a.rounds = 1;
+  a.site_visits = {1, 1};
+  b.wall_ms = 30;
+  b.traffic_bytes = 300;
+  b.messages = 8;
+  b.rounds = 3;
+  b.site_visits = {2, 0};
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a.wall_ms, 40.0);
+  EXPECT_EQ(a.traffic_bytes, 400u);
+  EXPECT_EQ(a.site_visits, (std::vector<size_t>{3, 1}));
+  a.ScaleDown(2);
+  EXPECT_DOUBLE_EQ(a.wall_ms, 20.0);
+  EXPECT_EQ(a.traffic_bytes, 200u);
+  // Visit averages truncate: {3, 1} / 2 == {1, 0}.
+  EXPECT_EQ(a.site_visits, (std::vector<size_t>{1, 0}));
+  EXPECT_EQ(a.MaxVisits(), 1u);
+}
+
+TEST(RunMetricsTest, SummaryMentionsKeyNumbers) {
+  RunMetrics m;
+  m.traffic_bytes = 2'000'000;
+  m.site_visits = {1, 1, 1};
+  const std::string s = m.Summary();
+  EXPECT_NE(s.find("2.000MB"), std::string::npos);
+  EXPECT_NE(s.find("visits(total=3"), std::string::npos);
+}
+
+TEST(ClusterTest, RoundAccountsVisitsTrafficAndRounds) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  NetworkModel net;
+  net.latency_ms = 5.0;
+  net.bandwidth_mb_per_s = 1.0;  // 1 MB/s so transfer time is visible
+  Cluster cluster(&frag, net, /*num_threads=*/2);
+
+  cluster.BeginQuery();
+  const auto replies = cluster.RoundAll(
+      /*broadcast_bytes=*/10, [](const Fragment& f) {
+        return std::vector<uint8_t>(f.site() + 1, 0xFF);  // 1, 2, 3 bytes
+      });
+  cluster.EndQuery();
+
+  ASSERT_EQ(replies.size(), 3u);
+  const RunMetrics& m = cluster.metrics();
+  EXPECT_EQ(m.rounds, 1u);
+  EXPECT_EQ(m.site_visits, (std::vector<size_t>{1, 1, 1}));
+  // 3 broadcasts of 10B + replies of 1+2+3 bytes.
+  EXPECT_EQ(m.traffic_bytes, 30u + 6u);
+  EXPECT_EQ(m.messages, 6u);
+  // Modeled time >= 2 * latency + transfer(36B).
+  EXPECT_GE(m.modeled_ms, 2 * 5.0);
+  EXPECT_GT(m.wall_ms, 0.0);
+}
+
+TEST(ClusterTest, EmptyRepliesSendNoMessage) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  cluster.BeginQuery();
+  cluster.RoundAll(0, [](const Fragment&) { return std::vector<uint8_t>(); });
+  cluster.EndQuery();
+  EXPECT_EQ(cluster.metrics().messages, 3u);  // only the broadcasts
+  EXPECT_EQ(cluster.metrics().traffic_bytes, 0u);
+}
+
+TEST(ClusterTest, SubsetRoundOnlyVisitsListedSites) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  cluster.BeginQuery();
+  cluster.Round({1}, 4, [](const Fragment& f) {
+    EXPECT_EQ(f.site(), 1u);
+    return std::vector<uint8_t>{1};
+  });
+  cluster.EndQuery();
+  EXPECT_EQ(cluster.metrics().site_visits, (std::vector<size_t>{0, 1, 0}));
+}
+
+TEST(ClusterTest, BeginQueryResetsMetrics) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  cluster.BeginQuery();
+  cluster.RoundAll(8, [](const Fragment&) { return std::vector<uint8_t>{1}; });
+  cluster.EndQuery();
+  EXPECT_GT(cluster.metrics().traffic_bytes, 0u);
+  cluster.BeginQuery();
+  cluster.EndQuery();
+  EXPECT_EQ(cluster.metrics().traffic_bytes, 0u);
+  EXPECT_EQ(cluster.metrics().rounds, 0u);
+  EXPECT_EQ(cluster.metrics().TotalVisits(), 0u);
+}
+
+TEST(ClusterTest, RecordersAccumulate) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  NetworkModel net;
+  net.latency_ms = 1.0;
+  Cluster cluster(&frag, net);
+  cluster.BeginQuery();
+  cluster.RecordVisits(0, 5);
+  cluster.RecordVisits(2, 1);
+  cluster.RecordTraffic(1000, 10);
+  cluster.RecordModeledRound(3.0, 1000);
+  cluster.AddCoordinatorWorkMs(2.0);
+  cluster.EndQuery();
+  const RunMetrics& m = cluster.metrics();
+  EXPECT_EQ(m.site_visits, (std::vector<size_t>{5, 0, 1}));
+  EXPECT_EQ(m.traffic_bytes, 1000u);
+  EXPECT_EQ(m.messages, 10u);
+  EXPECT_EQ(m.rounds, 1u);
+  EXPECT_GE(m.modeled_ms, 2.0 + 3.0 + 2.0);  // 2*latency + compute + coord
+}
+
+TEST(ClusterTest, ParallelRoundRunsAllFragments) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel(), /*num_threads=*/3);
+  std::atomic<int> calls{0};
+  cluster.BeginQuery();
+  cluster.RoundAll(0, [&calls](const Fragment&) {
+    calls.fetch_add(1);
+    return std::vector<uint8_t>();
+  });
+  cluster.EndQuery();
+  EXPECT_EQ(calls.load(), 3);
+}
+
+}  // namespace
+}  // namespace pereach

@@ -1,0 +1,147 @@
+#include "src/core/dis_dist.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/centralized.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+using testing_util::RandomPartition;
+
+TEST(DisDistTest, PaperExample5) {
+  // q_br(Ann, Mark, 6) is true: the recommendation chain has length 6.
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisDist(&cluster, {ex.ann, ex.mark, 6});
+  EXPECT_TRUE(a.reachable);
+  EXPECT_EQ(a.distance, 6u);
+  for (size_t v : a.metrics.site_visits) EXPECT_EQ(v, 1u);
+}
+
+TEST(DisDistTest, BoundFiveIsTooTight) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisDist(&cluster, {ex.ann, ex.mark, 5});
+  EXPECT_FALSE(a.reachable);
+}
+
+TEST(DisDistTest, UnreachableIsInfinite) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisDist(&cluster, {ex.mark, ex.ann, 100});
+  EXPECT_FALSE(a.reachable);
+  EXPECT_EQ(a.distance, kInfWeight);
+}
+
+TEST(DisDistTest, SourceEqualsTarget) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisDist(&cluster, {ex.emmy, ex.emmy, 0});
+  EXPECT_TRUE(a.reachable);
+  EXPECT_EQ(a.distance, 0u);
+}
+
+TEST(DisDistTest, ZeroBoundOnlyMatchesSelf) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  EXPECT_FALSE(DisDist(&cluster, {ex.ann, ex.walt, 0}).reachable);
+  EXPECT_TRUE(DisDist(&cluster, {ex.ann, ex.walt, 1}).reachable);
+}
+
+TEST(DisDistTest, ShortestRouteCrossingFragmentsRepeatedly) {
+  // Shortest path re-enters fragments: 0 -> 4 -> 1 -> 5 -> 2 (sites 0/1).
+  const Graph g = testing_util::MakeGraph(
+      6, {{0, 4}, {4, 1}, {1, 5}, {5, 2}, {0, 3}, {3, 2}});
+  const std::vector<SiteId> part = {0, 0, 0, 0, 1, 1};
+  const Fragmentation frag = Fragmentation::Build(g, part, 2);
+  Cluster cluster(&frag, NetworkModel());
+  // Two routes 0->2: via fragment-1 detour (length 4) and local (length 2).
+  const QueryAnswer a = DisDist(&cluster, {0, 2, 10});
+  EXPECT_TRUE(a.reachable);
+  EXPECT_EQ(a.distance, 2u);
+  // Remove the local shortcut by querying 0 -> 1: forced through site 1.
+  const QueryAnswer b = DisDist(&cluster, {0, 1, 10});
+  EXPECT_EQ(b.distance, 2u);
+}
+
+// Property sweep: exact distances match centralized BFS whenever they are
+// within the bound; answers are false (and never report a distance <= l)
+// otherwise.
+struct DistCase {
+  std::string name;
+  size_t n;
+  size_t m_factor;
+  size_t k;
+  uint32_t bound;
+};
+
+class DisDistPropertyTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DisDistPropertyTest, MatchesCentralizedBfsDistance) {
+  const DistCase& c = GetParam();
+  Rng rng(2000 + c.n * 7 + c.k);
+  for (int graph_trial = 0; graph_trial < 4; ++graph_trial) {
+    const Graph g = ErdosRenyi(c.n, c.m_factor * c.n, 3, &rng);
+    const std::vector<SiteId> part = RandomPartition(c.n, c.k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, c.k);
+    Cluster cluster(&frag, NetworkModel());
+    for (int q = 0; q < 15; ++q) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(c.n));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(c.n));
+      const uint32_t exact = CentralizedDistance(g, s, t);
+      const QueryAnswer a = DisDist(&cluster, {s, t, c.bound});
+      if (exact != kInfDistance && exact <= c.bound) {
+        ASSERT_TRUE(a.reachable) << "s=" << s << " t=" << t;
+        ASSERT_EQ(a.distance, exact) << "s=" << s << " t=" << t;
+      } else {
+        ASSERT_FALSE(a.reachable)
+            << "s=" << s << " t=" << t << " exact=" << exact;
+      }
+      if (s != t) {
+        for (size_t v : a.metrics.site_visits) ASSERT_EQ(v, 1u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DisDistPropertyTest,
+    ::testing::Values(DistCase{"tiny", 8, 2, 2, 3},
+                      DistCase{"small", 40, 2, 3, 5},
+                      DistCase{"medium", 80, 2, 5, 10},
+                      DistCase{"tightbound", 60, 3, 4, 2},
+                      DistCase{"loosebound", 60, 1, 4, 50},
+                      DistCase{"manyfrag", 50, 2, 10, 8}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.name;
+    });
+
+TEST(DisDistPropertyTest, GridExactDistances) {
+  // Grid distances are Manhattan: a sharp correctness check.
+  Rng rng(3);
+  const Graph g = GridGraph(5, 7, 1, &rng);
+  const std::vector<SiteId> part = RandomPartition(g.NumNodes(), 4, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, 4);
+  Cluster cluster(&frag, NetworkModel());
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 7; ++c) {
+      const NodeId t = static_cast<NodeId>(r * 7 + c);
+      const QueryAnswer a = DisDist(&cluster, {0, t, 20});
+      ASSERT_TRUE(a.reachable);
+      ASSERT_EQ(a.distance, r + c) << "cell " << r << "," << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pereach

@@ -1,0 +1,154 @@
+#include "src/core/dis_reach.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/centralized.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+using testing_util::RandomPartition;
+
+TEST(DisReachTest, PaperExampleAnnReachesMark) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisReach(&cluster, {ex.ann, ex.mark});
+  EXPECT_TRUE(a.reachable);
+  // Theorem 1(b): each site visited exactly once.
+  for (size_t v : a.metrics.site_visits) EXPECT_EQ(v, 1u);
+  EXPECT_EQ(a.metrics.rounds, 1u);
+}
+
+TEST(DisReachTest, PaperExampleNegative) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  EXPECT_FALSE(DisReach(&cluster, {ex.mark, ex.ann}).reachable);
+  EXPECT_FALSE(DisReach(&cluster, {ex.ann, ex.tom}).reachable);
+  EXPECT_TRUE(DisReach(&cluster, {ex.pat, ex.mark}).reachable);
+}
+
+TEST(DisReachTest, SourceEqualsTarget) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisReach(&cluster, {ex.tom, ex.tom});
+  EXPECT_TRUE(a.reachable);
+}
+
+TEST(DisReachTest, SingleFragmentDegeneratesToLocalSearch) {
+  const PaperExample ex = MakePaperExample();
+  const std::vector<SiteId> part(ex.graph.NumNodes(), 0);
+  const Fragmentation frag = Fragmentation::Build(ex.graph, part, 1);
+  Cluster cluster(&frag, NetworkModel());
+  EXPECT_TRUE(DisReach(&cluster, {ex.ann, ex.mark}).reachable);
+  EXPECT_FALSE(DisReach(&cluster, {ex.mark, ex.ann}).reachable);
+}
+
+TEST(DisReachTest, CycleSpanningAllFragments) {
+  // A directed cycle cut across 3 fragments: everything reaches everything.
+  Rng rng(5);
+  const Graph g = Cycle(9, 1, &rng);
+  const std::vector<SiteId> part = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const Fragmentation frag = Fragmentation::Build(g, part, 3);
+  Cluster cluster(&frag, NetworkModel());
+  for (NodeId s = 0; s < 9; s += 2) {
+    for (NodeId t = 0; t < 9; t += 3) {
+      EXPECT_TRUE(DisReach(&cluster, {s, t}).reachable);
+    }
+  }
+}
+
+TEST(DisReachTest, PathBouncingBetweenFragments) {
+  // The motivating worst case of §1: a path alternating between two sites.
+  const Graph g = MakeGraph(8, {{0, 4}, {4, 1}, {1, 5}, {5, 2}, {2, 6},
+                                {6, 3}, {3, 7}});
+  const std::vector<SiteId> part = {0, 0, 0, 0, 1, 1, 1, 1};
+  const Fragmentation frag = Fragmentation::Build(g, part, 2);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisReach(&cluster, {0, 7});
+  EXPECT_TRUE(a.reachable);
+  // Partial evaluation still visits each site exactly once.
+  for (size_t v : a.metrics.site_visits) EXPECT_EQ(v, 1u);
+}
+
+// Property sweep: disReach agrees with centralized BFS over random graphs,
+// random partitions, and random query pairs.
+struct ReachCase {
+  std::string name;
+  size_t n;
+  size_t m_factor;
+  size_t k;
+};
+
+class DisReachPropertyTest : public ::testing::TestWithParam<ReachCase> {};
+
+TEST_P(DisReachPropertyTest, MatchesCentralizedBfs) {
+  const ReachCase& c = GetParam();
+  Rng rng(1000 + c.n + c.k);
+  for (int graph_trial = 0; graph_trial < 5; ++graph_trial) {
+    const Graph g = ErdosRenyi(c.n, c.m_factor * c.n, 3, &rng);
+    const std::vector<SiteId> part = RandomPartition(c.n, c.k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, c.k);
+    Cluster cluster(&frag, NetworkModel());
+    for (int q = 0; q < 20; ++q) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(c.n));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(c.n));
+      const QueryAnswer a = DisReach(&cluster, {s, t});
+      ASSERT_EQ(a.reachable, CentralizedReach(g, s, t))
+          << "s=" << s << " t=" << t << " n=" << c.n << " k=" << c.k;
+      if (s != t) {
+        for (size_t v : a.metrics.site_visits) ASSERT_EQ(v, 1u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DisReachPropertyTest,
+    ::testing::Values(ReachCase{"tiny2", 6, 1, 2}, ReachCase{"tiny3", 10, 2, 3},
+                      ReachCase{"sparse", 50, 1, 4},
+                      ReachCase{"medium", 80, 2, 5},
+                      ReachCase{"dense", 40, 5, 4},
+                      ReachCase{"manyfrag", 60, 2, 12},
+                      ReachCase{"bigger", 200, 3, 8}),
+    [](const ::testing::TestParamInfo<ReachCase>& info) {
+      return info.param.name;
+    });
+
+// Also sweep structured topologies, which stress SCC handling.
+TEST(DisReachPropertyTest, MatchesCentralizedOnStructuredGraphs) {
+  Rng rng(77);
+  const std::vector<Graph> graphs = [&] {
+    std::vector<Graph> gs;
+    gs.push_back(Chain(30, 1, &rng));
+    gs.push_back(Cycle(30, 1, &rng));
+    gs.push_back(GridGraph(6, 6, 1, &rng));
+    gs.push_back(PreferentialAttachment(60, 2, 1, &rng));
+    gs.push_back(ForestFire(60, 0.3, 1, &rng));
+    gs.push_back(LayeredCitationDag(5, 12, 2, 1, &rng));
+    return gs;
+  }();
+  for (const Graph& g : graphs) {
+    const size_t k = 2 + rng.Uniform(5);
+    const std::vector<SiteId> part = RandomPartition(g.NumNodes(), k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, k);
+    Cluster cluster(&frag, NetworkModel());
+    for (int q = 0; q < 25; ++q) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+      ASSERT_EQ(DisReach(&cluster, {s, t}).reachable,
+                CentralizedReach(g, s, t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pereach

@@ -1,0 +1,195 @@
+#include "src/core/dis_rpq.h"
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/centralized.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+using testing_util::RandomPartition;
+
+TEST(DisRpqTest, PaperExample8) {
+  // q_rr(Ann, Mark, DB* ∪ HR*) is true via the all-HR chain.
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  Result<Regex> r = Regex::Parse("DB* | HR*", ex.labels);
+  ASSERT_TRUE(r.ok());
+  const QueryAnswer a = DisRpq(&cluster, {ex.ann, ex.mark, r.value()});
+  EXPECT_TRUE(a.reachable);
+  for (size_t v : a.metrics.site_visits) EXPECT_EQ(v, 1u);
+  EXPECT_EQ(a.metrics.rounds, 1u);
+}
+
+TEST(DisRpqTest, PureDbChainDoesNotExist) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  Result<Regex> r = Regex::Parse("DB*", ex.labels);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(DisRpq(&cluster, {ex.ann, ex.mark, r.value()}).reachable);
+}
+
+TEST(DisRpqTest, SecondPaperQueryWaltToMark) {
+  // q_rr(Walt, Mark, (CTO DB*) ∪ HR*): Walt -> Mat -> Fred -> Emmy -> Ross
+  // -> Mark has interior HR HR HR HR ∈ HR*.
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  Result<Regex> r = Regex::Parse("(CTO DB*) | HR*", ex.labels);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(DisRpq(&cluster, {ex.walt, ex.mark, r.value()}).reachable);
+}
+
+TEST(DisRpqTest, DirectEdgeNeedsEpsilon) {
+  // Ann -> Walt is a single edge: interior is empty, so the query holds iff
+  // ε ∈ L(R).
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  Result<Regex> star = Regex::Parse("DB*", ex.labels);
+  Result<Regex> plain = Regex::Parse("DB", ex.labels);
+  ASSERT_TRUE(star.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(DisRpq(&cluster, {ex.ann, ex.walt, star.value()}).reachable);
+  EXPECT_FALSE(DisRpq(&cluster, {ex.ann, ex.walt, plain.value()}).reachable);
+}
+
+TEST(DisRpqTest, SourceEqualsTargetNeedsCycle) {
+  // s == t requires a cycle of length >= 1; the paper example is acyclic,
+  // so the query is false even though trivial reachability would be true.
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAnswer a = DisRpqAutomaton(&cluster, ex.ann, ex.ann,
+                                        QueryAutomaton::WildcardStar());
+  EXPECT_FALSE(a.reachable);
+
+  // On a cross-fragment cycle, s == t becomes true.
+  Rng rng(1);
+  const Graph cyc = Cycle(6, 1, &rng);
+  const std::vector<SiteId> part = {0, 1, 0, 1, 0, 1};
+  const Fragmentation cfrag = Fragmentation::Build(cyc, part, 2);
+  Cluster ccluster(&cfrag, NetworkModel());
+  EXPECT_TRUE(DisRpqAutomaton(&ccluster, 2, 2, QueryAutomaton::WildcardStar())
+                  .reachable);
+}
+
+TEST(DisRpqTest, WildcardEquivalentToPlainReachability) {
+  Rng rng(9);
+  const Graph g = ErdosRenyi(60, 120, 4, &rng);
+  const std::vector<SiteId> part = RandomPartition(60, 4, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, 4);
+  Cluster cluster(&frag, NetworkModel());
+  const QueryAutomaton wildcard = QueryAutomaton::WildcardStar();
+  for (int q = 0; q < 40; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(60));
+    NodeId t = static_cast<NodeId>(rng.Uniform(60));
+    if (t == s) t = (t + 1) % 60;  // s == t differs by design (cycle rule)
+    ASSERT_EQ(DisRpqAutomaton(&cluster, s, t, wildcard).reachable,
+              CentralizedReach(g, s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+// Independent semantics oracle on tiny DAGs: enumerate *all* paths (they
+// are finitely many) and test the interior label word against the regex.
+bool BruteForceRegularReach(const Graph& g, NodeId s, NodeId t,
+                            const Regex& r) {
+  // DFS over paths; graph must be acyclic so this terminates.
+  std::vector<LabelId> interior;
+  bool found = false;
+  const std::function<void(NodeId)> dfs = [&](NodeId v) {
+    if (found) return;
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (w == t && r.Matches(interior)) {
+        found = true;
+        return;
+      }
+      interior.push_back(g.label(w));
+      dfs(w);
+      interior.pop_back();
+    }
+  };
+  dfs(s);
+  return found;
+}
+
+TEST(DisRpqTest, MatchesBruteForceOnTinyDags) {
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = LayeredCitationDag(3, 4, 2, 3, &rng);
+    const size_t k = 2 + rng.Uniform(3);
+    const std::vector<SiteId> part = RandomPartition(g.NumNodes(), k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, k);
+    Cluster cluster(&frag, NetworkModel());
+    const Regex r = Regex::Random(1 + rng.Uniform(5), 3, &rng);
+    for (int q = 0; q < 10; ++q) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+      const bool expected = BruteForceRegularReach(g, s, t, r);
+      ASSERT_EQ(CentralizedRegularReach(g, s, t, QueryAutomaton::FromRegex(r)),
+                expected)
+          << "centralized oracle drifted from path semantics";
+      ASSERT_EQ(DisRpq(&cluster, {s, t, r}).reachable, expected)
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+// Property sweep: disRPQ agrees with the centralized product-graph search
+// on random labeled (cyclic) graphs, partitions, and regexes.
+struct RpqCase {
+  std::string name;
+  size_t n;
+  size_t m_factor;
+  size_t k;
+  size_t num_labels;
+  size_t regex_symbols;
+};
+
+class DisRpqPropertyTest : public ::testing::TestWithParam<RpqCase> {};
+
+TEST_P(DisRpqPropertyTest, MatchesCentralized) {
+  const RpqCase& c = GetParam();
+  Rng rng(3000 + c.n * 13 + c.k);
+  for (int graph_trial = 0; graph_trial < 3; ++graph_trial) {
+    const Graph g = ErdosRenyi(c.n, c.m_factor * c.n, c.num_labels, &rng);
+    const std::vector<SiteId> part = RandomPartition(c.n, c.k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, c.k);
+    Cluster cluster(&frag, NetworkModel());
+    for (int q = 0; q < 8; ++q) {
+      const Regex r = Regex::Random(c.regex_symbols, c.num_labels, &rng);
+      const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+      const NodeId s = static_cast<NodeId>(rng.Uniform(c.n));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(c.n));
+      const QueryAnswer answer = DisRpqAutomaton(&cluster, s, t, a);
+      ASSERT_EQ(answer.reachable, CentralizedRegularReach(g, s, t, a))
+          << "s=" << s << " t=" << t << " regex symbols=" << c.regex_symbols;
+      for (size_t v : answer.metrics.site_visits) ASSERT_EQ(v, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DisRpqPropertyTest,
+    ::testing::Values(
+        RpqCase{"tiny", 8, 2, 2, 2, 2}, RpqCase{"small", 30, 2, 3, 3, 4},
+        RpqCase{"medium", 60, 2, 4, 4, 6}, RpqCase{"dense", 40, 4, 4, 2, 5},
+        RpqCase{"manylabels", 50, 2, 4, 8, 8},
+        RpqCase{"manyfrag", 40, 2, 8, 3, 4},
+        RpqCase{"bigquery", 40, 2, 4, 3, 12}),
+    [](const ::testing::TestParamInfo<RpqCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace pereach

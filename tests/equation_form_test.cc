@@ -1,0 +1,198 @@
+// Property tests for the two equation encodings of local evaluation
+// (EquationForm::kClosure — the paper's Fig. 3 shape — and kDag, the
+// condensation form with auxiliary variables): both must induce the same
+// least fixpoint for every variable, on arbitrary graphs and partitions.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/centralized.h"
+#include "src/core/dis_reach.h"
+#include "src/core/local_eval.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+using testing_util::RandomPartition;
+
+// Builds the full coordinator-side BES from per-fragment answers in `form`.
+BooleanEquationSystem AssembleReach(const Fragmentation& frag, NodeId s,
+                                    NodeId t, EquationForm form) {
+  BooleanEquationSystem bes;
+  for (SiteId i = 0; i < frag.num_fragments(); ++i) {
+    // Round-trip through the wire format so serialization is covered too.
+    Encoder enc;
+    LocalEvalReach(frag.fragment(i), s, t, form).Serialize(&enc);
+    Decoder dec(enc.buffer());
+    ReachPartialAnswer::Deserialize(&dec).AddToBes(&bes);
+    EXPECT_TRUE(dec.Done());
+  }
+  return bes;
+}
+
+BooleanEquationSystem AssembleRegular(const Fragmentation& frag,
+                                      const QueryAutomaton& a, NodeId s,
+                                      NodeId t, EquationForm form) {
+  BooleanEquationSystem bes;
+  for (SiteId i = 0; i < frag.num_fragments(); ++i) {
+    Encoder enc;
+    LocalEvalRegular(frag.fragment(i), a, s, t, form).Serialize(&enc);
+    Decoder dec(enc.buffer());
+    RegularPartialAnswer::Deserialize(&dec).AddToBes(&bes);
+    EXPECT_TRUE(dec.Done());
+  }
+  return bes;
+}
+
+struct FormCase {
+  std::string name;
+  size_t n;
+  size_t m_factor;
+  size_t k;
+};
+
+class EquationFormTest : public ::testing::TestWithParam<FormCase> {};
+
+TEST_P(EquationFormTest, ClosureAndDagAgreeWithCentralizedReach) {
+  const FormCase& c = GetParam();
+  Rng rng(7000 + c.n + c.k);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = ErdosRenyi(c.n, c.m_factor * c.n, 3, &rng);
+    const std::vector<SiteId> part = RandomPartition(c.n, c.k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, c.k);
+    for (int q = 0; q < 8; ++q) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(c.n));
+      NodeId t = static_cast<NodeId>(rng.Uniform(c.n - 1));
+      if (t >= s) ++t;
+      const bool expected = CentralizedReach(g, s, t);
+      const BooleanEquationSystem closure =
+          AssembleReach(frag, s, t, EquationForm::kClosure);
+      const BooleanEquationSystem dag =
+          AssembleReach(frag, s, t, EquationForm::kDag);
+      const BooleanEquationSystem automatic =
+          AssembleReach(frag, s, t, EquationForm::kAuto);
+      ASSERT_EQ(closure.Evaluate(s), expected) << "closure s=" << s;
+      ASSERT_EQ(dag.Evaluate(s), expected) << "dag s=" << s;
+      ASSERT_EQ(automatic.Evaluate(s), expected) << "auto s=" << s;
+    }
+  }
+}
+
+TEST_P(EquationFormTest, ClosureAndDagAgreeOnEveryInNodeVariable) {
+  // Stronger property: not just X_s — every in-node variable has the same
+  // least-fixpoint value under both encodings.
+  const FormCase& c = GetParam();
+  Rng rng(7100 + c.n + c.k);
+  const Graph g = ErdosRenyi(c.n, c.m_factor * c.n, 3, &rng);
+  const std::vector<SiteId> part = RandomPartition(c.n, c.k, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, c.k);
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(c.n - 1);
+  const BooleanEquationSystem closure =
+      AssembleReach(frag, s, t, EquationForm::kClosure);
+  const BooleanEquationSystem dag =
+      AssembleReach(frag, s, t, EquationForm::kDag);
+  for (SiteId i = 0; i < frag.num_fragments(); ++i) {
+    const Fragment& f = frag.fragment(i);
+    for (NodeId in : f.in_nodes()) {
+      const NodeId global = f.ToGlobal(in);
+      ASSERT_EQ(closure.Evaluate(global), dag.Evaluate(global))
+          << "in-node " << global;
+      // And both match the ground truth.
+      ASSERT_EQ(dag.Evaluate(global), CentralizedReach(g, global, t))
+          << "in-node " << global;
+    }
+  }
+}
+
+TEST_P(EquationFormTest, RegularFormsAgreeWithCentralized) {
+  const FormCase& c = GetParam();
+  Rng rng(7200 + c.n + c.k);
+  const Graph g = ErdosRenyi(c.n, c.m_factor * c.n, 3, &rng);
+  const std::vector<SiteId> part = RandomPartition(c.n, c.k, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, c.k);
+  for (int q = 0; q < 6; ++q) {
+    const QueryAutomaton a =
+        QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 3, &rng));
+    const NodeId s = static_cast<NodeId>(rng.Uniform(c.n));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(c.n));
+    const bool expected = CentralizedRegularReach(g, s, t, a);
+    const uint64_t key = PackNodeState(s, QueryAutomaton::kStart);
+    ASSERT_EQ(
+        AssembleRegular(frag, a, s, t, EquationForm::kClosure).Evaluate(key),
+        expected);
+    ASSERT_EQ(AssembleRegular(frag, a, s, t, EquationForm::kDag).Evaluate(key),
+              expected);
+    ASSERT_EQ(AssembleRegular(frag, a, s, t, EquationForm::kAuto).Evaluate(key),
+              expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquationFormTest,
+    ::testing::Values(FormCase{"tiny", 8, 2, 2}, FormCase{"small", 30, 2, 3},
+                      FormCase{"cyclic", 40, 4, 4},
+                      FormCase{"sparse", 60, 1, 5},
+                      FormCase{"manyfrag", 50, 2, 10}),
+    [](const ::testing::TestParamInfo<FormCase>& info) {
+      return info.param.name;
+    });
+
+TEST(EquationFormTest, DagFormShipsLessOnButterflyGraphs) {
+  // The closure form's worst case: many in-nodes that all reach many
+  // virtual nodes through one shared hub. Closure ships a Θ(|I| x |O|) bit
+  // matrix; the DAG form ships Θ(|I| + |O|) — the optimization that keeps
+  // disReach traffic near the paper's ~10%-of-graph measurements.
+  const size_t w = 2000;
+  GraphBuilder b;
+  // Site 0: left nodes L_0..L_{w-1}, hub H. Site 1: right nodes R_*, feeder.
+  const NodeId left0 = b.AddNodes(w);    // 0 .. w-1
+  const NodeId hub = b.AddNode();        // w
+  const NodeId right0 = b.AddNodes(w);   // w+1 .. 2w
+  const NodeId feeder = b.AddNode();     // 2w+1
+  for (size_t i = 0; i < w; ++i) {
+    b.AddEdge(static_cast<NodeId>(left0 + i), hub);       // L_i -> H
+    b.AddEdge(hub, static_cast<NodeId>(right0 + i));      // H -> R_i (cross)
+    b.AddEdge(feeder, static_cast<NodeId>(left0 + i));    // F -> L_i (cross)
+  }
+  const Graph g = std::move(b).Build();
+  std::vector<SiteId> part(g.NumNodes(), 1);
+  for (size_t i = 0; i <= w; ++i) part[left0 + i] = 0;  // lefts + hub
+
+  const Fragmentation frag = Fragmentation::Build(g, part, 2);
+  Encoder closure_enc, dag_enc;
+  LocalEvalReach(frag.fragment(0), feeder, static_cast<NodeId>(right0),
+                 EquationForm::kClosure)
+      .Serialize(&closure_enc);
+  LocalEvalReach(frag.fragment(0), feeder, static_cast<NodeId>(right0),
+                 EquationForm::kDag)
+      .Serialize(&dag_enc);
+  EXPECT_LT(dag_enc.size(), closure_enc.size() / 4)
+      << "DAG form should be far smaller on butterfly boundaries";
+  // And kAuto must have picked the smaller one.
+  Encoder auto_enc;
+  LocalEvalReach(frag.fragment(0), feeder, static_cast<NodeId>(right0),
+                 EquationForm::kAuto)
+      .Serialize(&auto_enc);
+  EXPECT_LE(auto_enc.size(), dag_enc.size() + 16);
+}
+
+TEST(EquationFormTest, PaperExamplePrefersClosure) {
+  // Tiny fragments: the closure equations are the compact choice, keeping
+  // the paper's Example 3 shapes under kAuto.
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  for (SiteId i = 0; i < 3; ++i) {
+    const ReachPartialAnswer pa =
+        LocalEvalReach(frag.fragment(i), ex.ann, ex.mark, EquationForm::kAuto);
+    for (const auto& eq : pa.equations) {
+      EXPECT_FALSE(eq.is_aux) << "fragment " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pereach

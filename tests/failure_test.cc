@@ -1,0 +1,110 @@
+// Failure-injection tests: corrupted wire payloads, invariant-violating
+// inputs, and API misuse must fail loudly (CHECK abort) or cleanly (Status),
+// never silently corrupt an answer.
+
+#include <gtest/gtest.h>
+
+#include "src/core/local_eval.h"
+#include "src/fragment/fragmentation.h"
+#include "src/graph/graph.h"
+#include "src/regex/regex.h"
+#include "src/util/serialization.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+
+TEST(FailureTest, DecoderOverrunAborts) {
+  Encoder enc;
+  enc.PutU8(1);
+  std::vector<uint8_t> buf = enc.TakeBuffer();
+  Decoder dec(buf);
+  dec.GetU8();
+  EXPECT_DEATH(dec.GetU8(), "CHECK failed");
+}
+
+TEST(FailureTest, TruncatedVarintAborts) {
+  std::vector<uint8_t> buf = {0x80, 0x80};  // continuation bits, no terminator
+  Decoder dec(buf);
+  EXPECT_DEATH(dec.GetVarint(), "CHECK failed");
+}
+
+TEST(FailureTest, OverlongVarintAborts) {
+  std::vector<uint8_t> buf(11, 0x80);  // more than 64 bits of continuation
+  buf.push_back(0x01);
+  Decoder dec(buf);
+  EXPECT_DEATH(dec.GetVarint(), "CHECK failed");
+}
+
+TEST(FailureTest, TruncatedStringAborts) {
+  Encoder enc;
+  enc.PutVarint(100);  // declares 100 bytes, provides none
+  std::vector<uint8_t> buf = enc.TakeBuffer();
+  Decoder dec(buf);
+  EXPECT_DEATH(dec.GetString(), "CHECK failed");
+}
+
+TEST(FailureTest, CorruptedPartialAnswerAborts) {
+  // Flip the oset count of a serialized rvset to a huge value: decoding must
+  // hit the buffer bounds check rather than fabricate equations.
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Encoder enc;
+  LocalEvalReach(frag.fragment(0), ex.ann, ex.mark).Serialize(&enc);
+  std::vector<uint8_t> buf = enc.TakeBuffer();
+  buf[1] = 0xFF;  // corrupt the oset-size varint (site id is byte 0)
+  buf[2] = 0x7F;
+  Decoder dec(buf);
+  EXPECT_DEATH(ReachPartialAnswer::Deserialize(&dec), "CHECK failed");
+}
+
+TEST(FailureTest, GraphBuilderRejectsUnknownEndpoints) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  EXPECT_DEATH(b.AddEdge(0, 5), "CHECK failed");
+  EXPECT_DEATH(b.AddEdge(7, 0), "CHECK failed");
+}
+
+TEST(FailureTest, GraphAccessorsRejectOutOfRange) {
+  const Graph g = MakeGraph(3, {{0, 1}});
+  EXPECT_DEATH(g.OutNeighbors(3), "CHECK failed");
+  EXPECT_DEATH(g.label(5), "CHECK failed");
+}
+
+TEST(FailureTest, FragmentationRejectsShortPartition) {
+  const Graph g = MakeGraph(4, {{0, 1}});
+  const std::vector<SiteId> part = {0, 1};  // too short
+  EXPECT_DEATH(Fragmentation::Build(g, part, 2), "CHECK failed");
+}
+
+TEST(FailureTest, FragmentationRejectsOutOfRangeSite) {
+  const Graph g = MakeGraph(3, {{0, 1}});
+  const std::vector<SiteId> part = {0, 1, 7};  // site 7 >= k=2
+  EXPECT_DEATH(Fragmentation::Build(g, part, 2), "CHECK failed");
+}
+
+TEST(FailureTest, AutomatonRejectsOversizedRegex) {
+  Rng rng(1);
+  const Regex big = Regex::Random(63, 4, &rng);  // 63 + 2 states > 64
+  EXPECT_DEATH(QueryAutomaton::FromRegex(big), "CHECK failed");
+}
+
+TEST(FailureTest, ResultValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_DEATH(r.value(), "CHECK failed");
+}
+
+TEST(FailureTest, RegexParseReportsPositionOfTrailingGarbage) {
+  LabelDictionary dict;
+  dict.Intern("A");
+  const Result<Regex> r = Regex::Parse("A )", dict);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pereach

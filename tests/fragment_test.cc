@@ -1,0 +1,275 @@
+#include "src/fragment/fragmentation.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/fragment/partitioner.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+using testing_util::RandomPartition;
+
+// Checks every structural invariant of §2.1 against the source graph.
+void CheckFragmentationInvariants(const Graph& g, const Fragmentation& frag,
+                                  const std::vector<SiteId>& part) {
+  // (a) (V_1, ..., V_k) partitions V.
+  size_t total_local = 0;
+  for (SiteId i = 0; i < frag.num_fragments(); ++i) {
+    const Fragment& f = frag.fragment(i);
+    total_local += f.num_local();
+    for (NodeId l = 0; l < f.num_local(); ++l) {
+      EXPECT_EQ(part[f.ToGlobal(l)], i);
+      EXPECT_EQ(f.ToLocal(f.ToGlobal(l)), l);
+      EXPECT_FALSE(f.IsVirtual(l));
+      // Labels preserved.
+      EXPECT_EQ(f.local_graph().label(l), g.label(f.ToGlobal(l)));
+    }
+  }
+  EXPECT_EQ(total_local, g.NumNodes());
+
+  // (b+d) every edge of G appears exactly once over all fragments, local or
+  // cross; cross edges end in virtual nodes with correct owner/label.
+  std::multiset<std::pair<NodeId, NodeId>> expected_edges;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) expected_edges.emplace(u, v);
+  }
+  std::multiset<std::pair<NodeId, NodeId>> got_edges;
+  size_t total_cross = 0;
+  for (SiteId i = 0; i < frag.num_fragments(); ++i) {
+    const Fragment& f = frag.fragment(i);
+    size_t cross_here = 0;
+    for (NodeId lu = 0; lu < f.num_local(); ++lu) {
+      for (NodeId lv : f.local_graph().OutNeighbors(lu)) {
+        got_edges.emplace(f.ToGlobal(lu), f.ToGlobal(lv));
+        if (f.IsVirtual(lv)) {
+          ++cross_here;
+          EXPECT_NE(part[f.ToGlobal(lv)], i) << "virtual node stored locally";
+          EXPECT_EQ(f.VirtualOwner(lv), part[f.ToGlobal(lv)]);
+          EXPECT_EQ(f.local_graph().label(lv), g.label(f.ToGlobal(lv)));
+        } else {
+          EXPECT_EQ(part[f.ToGlobal(lv)], i);
+        }
+      }
+    }
+    // Virtual nodes are sinks.
+    for (NodeId lv = static_cast<NodeId>(f.num_local());
+         lv < f.local_graph().NumNodes(); ++lv) {
+      EXPECT_EQ(f.local_graph().OutDegree(lv), 0u);
+    }
+    EXPECT_EQ(f.num_cross_edges(), cross_here);
+    total_cross += cross_here;
+  }
+  EXPECT_EQ(got_edges, expected_edges);
+  EXPECT_EQ(frag.num_cross_edges(), total_cross);
+  EXPECT_EQ(frag.cross_edges().size(), total_cross);
+
+  // (F_i.I) in-nodes are exactly the targets of cross edges, per fragment.
+  std::map<SiteId, std::set<NodeId>> expected_in;  // site -> global ids
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (part[u] != part[v]) expected_in[part[v]].insert(v);
+    }
+  }
+  size_t total_in = 0;
+  for (SiteId i = 0; i < frag.num_fragments(); ++i) {
+    const Fragment& f = frag.fragment(i);
+    std::set<NodeId> got_in;
+    for (NodeId l : f.in_nodes()) {
+      EXPECT_FALSE(f.IsVirtual(l));
+      got_in.insert(f.ToGlobal(l));
+    }
+    EXPECT_EQ(got_in, expected_in[i]) << "fragment " << i;
+    total_in += got_in.size();
+  }
+  EXPECT_EQ(frag.num_boundary_nodes(), total_in);
+
+  // |F_m| is the max fragment size.
+  size_t max_size = 0;
+  for (SiteId i = 0; i < frag.num_fragments(); ++i) {
+    max_size = std::max(max_size, frag.fragment(i).Size());
+  }
+  EXPECT_EQ(frag.largest_fragment_size(), max_size);
+}
+
+TEST(FragmentationTest, PaperExampleStructure) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  CheckFragmentationInvariants(ex.graph, frag, ex.partition);
+
+  // Example 2: F1.O = {Pat, Mat, Emmy}, F1.I = {Fred}, |cE_1| = 3.
+  const Fragment& f1 = frag.fragment(0);
+  EXPECT_EQ(f1.num_virtual(), 3u);
+  std::set<NodeId> f1_virtual;
+  for (NodeId v = static_cast<NodeId>(f1.num_local());
+       v < f1.local_graph().NumNodes(); ++v) {
+    f1_virtual.insert(f1.ToGlobal(v));
+  }
+  EXPECT_EQ(f1_virtual, (std::set<NodeId>{ex.pat, ex.mat, ex.emmy}));
+  ASSERT_EQ(f1.in_nodes().size(), 1u);
+  EXPECT_EQ(f1.ToGlobal(f1.in_nodes()[0]), ex.fred);
+  EXPECT_EQ(f1.num_cross_edges(), 3u);
+
+  // Fragment graph totals: 6 cross edges, in-nodes {Fred},{Mat,Emmy,Jack},
+  // {Pat,Ross}.
+  EXPECT_EQ(frag.num_cross_edges(), 6u);
+  EXPECT_EQ(frag.num_boundary_nodes(), 6u);
+}
+
+TEST(FragmentationTest, SingleFragmentHasNoBoundary) {
+  const PaperExample ex = MakePaperExample();
+  const std::vector<SiteId> part(ex.graph.NumNodes(), 0);
+  const Fragmentation frag = Fragmentation::Build(ex.graph, part, 1);
+  EXPECT_EQ(frag.num_cross_edges(), 0u);
+  EXPECT_EQ(frag.num_boundary_nodes(), 0u);
+  EXPECT_EQ(frag.fragment(0).num_virtual(), 0u);
+  CheckFragmentationInvariants(ex.graph, frag, part);
+}
+
+TEST(FragmentationTest, EmptyFragmentTolerated) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  const std::vector<SiteId> part = {0, 0, 2};  // site 1 empty
+  const Fragmentation frag = Fragmentation::Build(g, part, 3);
+  EXPECT_EQ(frag.fragment(1).num_local(), 0u);
+  CheckFragmentationInvariants(g, frag, part);
+}
+
+// Property sweep: invariants hold for every (generator, partitioner, k).
+struct FragmentationCase {
+  std::string name;
+  size_t n;
+  size_t k;
+};
+
+class FragmentationPropertyTest
+    : public ::testing::TestWithParam<FragmentationCase> {};
+
+TEST_P(FragmentationPropertyTest, InvariantsHoldOnRandomGraphs) {
+  const FragmentationCase& c = GetParam();
+  Rng rng(c.n * 31 + c.k);
+  const Graph g = ErdosRenyi(c.n, 3 * c.n, 4, &rng);
+
+  const RandomPartitioner random_p;
+  const ChunkPartitioner chunk_p;
+  const BfsGrowPartitioner bfs_p;
+  for (const Partitioner* p :
+       std::initializer_list<const Partitioner*>{&random_p, &chunk_p, &bfs_p}) {
+    const std::vector<SiteId> part = p->Partition(g, c.k, &rng);
+    const Fragmentation frag = Fragmentation::Build(g, part, c.k);
+    CheckFragmentationInvariants(g, frag, part);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FragmentationPropertyTest,
+    ::testing::Values(FragmentationCase{"tiny", 8, 2},
+                      FragmentationCase{"small", 40, 3},
+                      FragmentationCase{"medium", 150, 5},
+                      FragmentationCase{"manyfrag", 60, 10},
+                      FragmentationCase{"large", 400, 7}),
+    [](const ::testing::TestParamInfo<FragmentationCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FragmentTest, SerializationRoundTrip) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  for (SiteId i = 0; i < 3; ++i) {
+    const Fragment& f = frag.fragment(i);
+    Encoder enc;
+    f.Serialize(&enc);
+    EXPECT_EQ(enc.size(), f.ByteSize());
+    Decoder dec(enc.buffer());
+    const Fragment g = Fragment::Deserialize(&dec);
+    EXPECT_TRUE(dec.Done());
+    EXPECT_EQ(g.site(), f.site());
+    EXPECT_EQ(g.num_local(), f.num_local());
+    EXPECT_EQ(g.num_virtual(), f.num_virtual());
+    EXPECT_EQ(g.num_cross_edges(), f.num_cross_edges());
+    EXPECT_EQ(g.in_nodes(), f.in_nodes());
+    for (NodeId l = 0; l < f.local_graph().NumNodes(); ++l) {
+      EXPECT_EQ(g.ToGlobal(l), f.ToGlobal(l));
+      EXPECT_EQ(g.local_graph().label(l), f.local_graph().label(l));
+    }
+  }
+}
+
+TEST(FragmentTest, ToLocalOfForeignNodeIsInvalid) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  // Tom (DC3) has no edges to/from DC1, so F1 knows nothing about him.
+  EXPECT_EQ(frag.fragment(0).ToLocal(ex.tom), kInvalidNode);
+  EXPECT_FALSE(frag.fragment(0).Contains(ex.tom));
+  EXPECT_TRUE(frag.fragment(2).Contains(ex.tom));
+}
+
+// ---------------------------------------------------------------------------
+// Partitioners
+// ---------------------------------------------------------------------------
+
+TEST(PartitionerTest, RandomCoversAllSites) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(100, 200, 1, &rng);
+  const std::vector<SiteId> part = RandomPartitioner().Partition(g, 7, &rng);
+  std::set<SiteId> sites(part.begin(), part.end());
+  EXPECT_EQ(sites.size(), 7u);
+  for (SiteId s : part) EXPECT_LT(s, 7u);
+}
+
+TEST(PartitionerTest, ChunkIsContiguousAndBalanced) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(100, 200, 1, &rng);
+  const std::vector<SiteId> part = ChunkPartitioner().Partition(g, 4, &rng);
+  for (size_t v = 1; v < part.size(); ++v) EXPECT_GE(part[v], part[v - 1]);
+  std::map<SiteId, size_t> counts;
+  for (SiteId s : part) ++counts[s];
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [site, count] : counts) EXPECT_NEAR(count, 25.0, 1.0);
+}
+
+TEST(PartitionerTest, BfsGrowAssignsEverythingAndIsBalancedish) {
+  Rng rng(3);
+  const Graph g = PreferentialAttachment(500, 3, 1, &rng);
+  const std::vector<SiteId> part = BfsGrowPartitioner().Partition(g, 5, &rng);
+  std::map<SiteId, size_t> counts;
+  for (SiteId s : part) {
+    ASSERT_LT(s, 5u);
+    ++counts[s];
+  }
+  EXPECT_EQ(counts.size(), 5u);
+  for (const auto& [site, count] : counts) {
+    EXPECT_GT(count, 500u / 5 / 4) << "region " << site << " too small";
+  }
+}
+
+TEST(PartitionerTest, BfsGrowCutsFewerEdgesThanRandom) {
+  Rng rng(4);
+  // A grid has strong locality, so BFS growth should beat random clearly.
+  const Graph g = GridGraph(40, 40, 1, &rng);
+  const std::vector<SiteId> rand_part =
+      RandomPartitioner().Partition(g, 4, &rng);
+  const std::vector<SiteId> bfs_part =
+      BfsGrowPartitioner().Partition(g, 4, &rng);
+  const size_t rand_cut =
+      Fragmentation::Build(g, rand_part, 4).num_cross_edges();
+  const size_t bfs_cut = Fragmentation::Build(g, bfs_part, 4).num_cross_edges();
+  EXPECT_LT(bfs_cut, rand_cut / 2);
+}
+
+TEST(PartitionerTest, EnsureNonEmptySitesFillsHoles) {
+  Rng rng(5);
+  std::vector<SiteId> part(20, 0);  // everything on site 0
+  EnsureNonEmptySites(&part, 4, &rng);
+  std::set<SiteId> sites(part.begin(), part.end());
+  EXPECT_EQ(sites.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pereach

@@ -1,0 +1,126 @@
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+
+namespace pereach {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiCounts) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(100, 500, 4, &rng);
+  EXPECT_EQ(g.NumNodes(), 100u);
+  EXPECT_EQ(g.NumEdges(), 500u);
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_LT(g.label(v), 4u);
+    for (NodeId w : g.OutNeighbors(v)) EXPECT_NE(w, v) << "self loop";
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministicBySeed) {
+  Rng a(9), b(9);
+  const Graph g1 = ErdosRenyi(50, 200, 3, &a);
+  const Graph g2 = ErdosRenyi(50, 200, 3, &b);
+  ASSERT_EQ(g1.NumEdges(), g2.NumEdges());
+  for (NodeId v = 0; v < 50; ++v) {
+    auto o1 = g1.OutNeighbors(v);
+    auto o2 = g2.OutNeighbors(v);
+    EXPECT_EQ(std::vector<NodeId>(o1.begin(), o1.end()),
+              std::vector<NodeId>(o2.begin(), o2.end()));
+  }
+}
+
+TEST(GeneratorsTest, PreferentialAttachmentIsSkewed) {
+  Rng rng(2);
+  const Graph g = PreferentialAttachment(2000, 3, 1, &rng);
+  EXPECT_EQ(g.NumNodes(), 2000u);
+  EXPECT_GT(g.NumEdges(), 2000u);
+  // Power-law check (coarse): the max in-degree should dwarf the average.
+  std::vector<size_t> in_deg(g.NumNodes(), 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) ++in_deg[w];
+  }
+  const size_t max_in = *std::max_element(in_deg.begin(), in_deg.end());
+  const double avg_in = static_cast<double>(g.NumEdges()) / g.NumNodes();
+  EXPECT_GT(static_cast<double>(max_in), 10.0 * avg_in);
+}
+
+TEST(GeneratorsTest, ForestFireDensifies) {
+  Rng rng(3);
+  const Graph g = ForestFire(1000, 0.35, 1, &rng);
+  EXPECT_EQ(g.NumNodes(), 1000u);
+  EXPECT_GT(g.NumEdges(), 999u);  // at least one edge per new node
+}
+
+TEST(GeneratorsTest, LayeredCitationDagIsAcyclic) {
+  Rng rng(4);
+  const Graph g = LayeredCitationDag(10, 30, 2, 5, &rng);
+  EXPECT_EQ(g.NumNodes(), 300u);
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, g.NumNodes()) << "citation graph has a cycle";
+}
+
+TEST(GeneratorsTest, ChainCycleGridShapes) {
+  Rng rng(5);
+  const Graph chain = Chain(10, 1, &rng);
+  EXPECT_EQ(chain.NumEdges(), 9u);
+  EXPECT_TRUE(Reaches(chain, 0, 9));
+  EXPECT_FALSE(Reaches(chain, 9, 0));
+
+  const Graph cycle = Cycle(10, 1, &rng);
+  EXPECT_EQ(cycle.NumEdges(), 10u);
+  EXPECT_TRUE(Reaches(cycle, 7, 3));
+
+  const Graph grid = GridGraph(4, 5, 1, &rng);
+  EXPECT_EQ(grid.NumNodes(), 20u);
+  EXPECT_EQ(grid.NumEdges(), 4 * 4 + 3 * 5u);  // right + down edges
+  EXPECT_TRUE(Reaches(grid, 0, 19));
+  EXPECT_FALSE(Reaches(grid, 19, 0));
+}
+
+TEST(GeneratorsTest, DatasetStandInsScale) {
+  Rng rng(6);
+  for (Dataset d : Table2Datasets()) {
+    Rng local = rng.Fork();
+    const Graph g = MakeDataset(d, 0.002, &local);
+    EXPECT_GT(g.NumNodes(), 16u) << DatasetName(d);
+    EXPECT_GT(g.NumEdges(), 0u) << DatasetName(d);
+  }
+}
+
+TEST(GeneratorsTest, LabeledDatasetsHaveLabels) {
+  Rng rng(7);
+  for (Dataset d : RegularDatasets()) {
+    Rng local = rng.Fork();
+    const Graph g = MakeDataset(d, 0.005, &local);
+    bool any_nonzero = false;
+    for (NodeId v = 0; v < g.NumNodes() && !any_nonzero; ++v) {
+      any_nonzero = g.label(v) != 0;
+    }
+    EXPECT_TRUE(any_nonzero) << DatasetName(d) << " has no labels";
+  }
+}
+
+TEST(GeneratorsTest, DatasetNamesMatchPaper) {
+  EXPECT_EQ(DatasetName(Dataset::kLiveJournal), "LiveJournal");
+  EXPECT_EQ(DatasetName(Dataset::kWikiTalk), "WikiTalk");
+  EXPECT_EQ(DatasetName(Dataset::kBerkStan), "BerkStan");
+  EXPECT_EQ(DatasetName(Dataset::kNotreDame), "NotreDame");
+  EXPECT_EQ(DatasetName(Dataset::kAmazon), "Amazon");
+  EXPECT_EQ(DatasetName(Dataset::kCitation), "Citation");
+  EXPECT_EQ(DatasetName(Dataset::kMeme), "MEME");
+  EXPECT_EQ(DatasetName(Dataset::kYoutube), "Youtube");
+  EXPECT_EQ(DatasetName(Dataset::kInternet), "Internet");
+}
+
+TEST(GeneratorsTest, ScaleControlsSize) {
+  Rng a(8), b(8);
+  const Graph small = MakeDataset(Dataset::kAmazon, 0.001, &a);
+  const Graph large = MakeDataset(Dataset::kAmazon, 0.004, &b);
+  EXPECT_LT(small.NumNodes(), large.NumNodes());
+  EXPECT_LT(small.NumEdges(), large.NumEdges());
+}
+
+}  // namespace
+}  // namespace pereach

@@ -1,0 +1,193 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/graph_io.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(LabelDictionaryTest, InternIsIdempotent) {
+  LabelDictionary dict;
+  const LabelId a = dict.Intern("DB");
+  const LabelId b = dict.Intern("HR");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("DB"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(a), "DB");
+  EXPECT_EQ(dict.Name(b), "HR");
+}
+
+TEST(LabelDictionaryTest, FindUnknownReturnsInvalid) {
+  LabelDictionary dict;
+  dict.Intern("X");
+  EXPECT_EQ(dict.Find("Y"), kInvalidLabel);
+  EXPECT_EQ(dict.Find("X"), 0u);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, BuilderProducesCsr) {
+  const Graph g = MakeGraph(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 5u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(3), 1u);
+  auto out0 = g.OutNeighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(out0.begin(), out0.end()),
+            (std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(3, 2));
+}
+
+TEST(GraphTest, ParallelEdgesAreKept) {
+  const Graph g = MakeGraph(2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+}
+
+TEST(GraphTest, LabelsDefaultToZeroAndCanBeSet) {
+  const Graph g = MakeGraph(3, {{0, 1}}, {5, 7});
+  EXPECT_EQ(g.label(0), 5u);
+  EXPECT_EQ(g.label(1), 7u);
+  EXPECT_EQ(g.label(2), 0u);
+}
+
+TEST(GraphTest, InNeighborsMatchReversedEdges) {
+  const Graph g = MakeGraph(4, {{0, 2}, {1, 2}, {3, 2}, {2, 0}});
+  auto in2 = g.InNeighbors(2);
+  std::vector<NodeId> in(in2.begin(), in2.end());
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(in, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(g.InNeighbors(0).size(), 1u);
+  EXPECT_EQ(g.InNeighbors(3).size(), 0u);
+}
+
+TEST(GraphTest, InNeighborsConsistentOnRandomGraph) {
+  Rng rng(21);
+  GraphBuilder b;
+  b.AddNodes(60);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int i = 0; i < 400; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(60));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(60));
+    edges.emplace_back(u, v);
+    b.AddEdge(u, v);
+  }
+  const Graph g = std::move(b).Build();
+  // Cross-check: (u, v) is an out-edge iff u appears in v's in-list the same
+  // number of times.
+  for (NodeId v = 0; v < 60; ++v) {
+    auto in = g.InNeighbors(v);
+    size_t expected = 0;
+    for (const auto& [eu, ev] : edges) {
+      if (ev == v) ++expected;
+    }
+    EXPECT_EQ(in.size(), expected) << "node " << v;
+  }
+}
+
+TEST(GraphTest, ByteSizeGrowsWithGraph) {
+  const Graph small = MakeGraph(4, {{0, 1}});
+  const Graph big = MakeGraph(400, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_LT(small.ByteSize(), big.ByteSize());
+}
+
+// ---------------------------------------------------------------------------
+// graph_io
+// ---------------------------------------------------------------------------
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  const Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 0}, {4, 3}}, {1, 2, 3});
+  Encoder enc;
+  SerializeGraph(g, &enc);
+  Decoder dec(enc.buffer());
+  const Graph h = DeserializeGraph(&dec);
+  EXPECT_TRUE(dec.Done());
+  ASSERT_EQ(h.NumNodes(), g.NumNodes());
+  ASSERT_EQ(h.NumEdges(), g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(h.label(v), g.label(v));
+    auto a = g.OutNeighbors(v);
+    auto b = h.OutNeighbors(v);
+    EXPECT_EQ(std::vector<NodeId>(a.begin(), a.end()),
+              std::vector<NodeId>(b.begin(), b.end()));
+  }
+}
+
+TEST(GraphIoTest, TextRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pereach_graph.txt";
+  const Graph g = MakeGraph(6, {{0, 5}, {5, 4}, {4, 0}, {1, 2}}, {0, 9, 0, 3});
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  Result<Graph> r = ReadEdgeList(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Graph& h = r.value();
+  ASSERT_EQ(h.NumNodes(), 6u);
+  ASSERT_EQ(h.NumEdges(), 4u);
+  EXPECT_EQ(h.label(1), 9u);
+  EXPECT_EQ(h.label(3), 3u);
+  EXPECT_TRUE(h.HasEdge(0, 5));
+  EXPECT_TRUE(h.HasEdge(1, 2));
+}
+
+TEST(GraphIoTest, ReadMissingFileFails) {
+  Result<Graph> r = ReadEdgeList("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, ReadRejectsBadHeader) {
+  const std::string path = ::testing::TempDir() + "/pereach_bad1.txt";
+  {
+    std::ofstream out(path);
+    out << "e 0 1\n";
+  }
+  Result<Graph> r = ReadEdgeList(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, ReadRejectsOutOfRangeEdge) {
+  const std::string path = ::testing::TempDir() + "/pereach_bad2.txt";
+  {
+    std::ofstream out(path);
+    out << "p 2 1\ne 0 5\n";
+  }
+  Result<Graph> r = ReadEdgeList(path);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, ReadRejectsEdgeCountMismatch) {
+  const std::string path = ::testing::TempDir() + "/pereach_bad3.txt";
+  {
+    std::ofstream out(path);
+    out << "p 2 3\ne 0 1\n";
+  }
+  Result<Graph> r = ReadEdgeList(path);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = ::testing::TempDir() + "/pereach_comments.txt";
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\np 2 1\n# another\ne 0 1\n";
+  }
+  Result<Graph> r = ReadEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().HasEdge(0, 1));
+}
+
+}  // namespace
+}  // namespace pereach

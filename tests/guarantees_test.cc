@@ -1,0 +1,173 @@
+// Tests for the performance guarantees of Theorems 1-3: visit counts,
+// traffic bounds in terms of |V_f| and |R|, and message structure. These are
+// the paper's headline claims, asserted mechanically on random inputs.
+
+#include <gtest/gtest.h>
+
+#include "src/core/dis_dist.h"
+#include "src/core/dis_reach.h"
+#include "src/core/dis_rpq.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::RandomPartition;
+
+struct GuaranteeCase {
+  std::string name;
+  size_t n;
+  size_t m_factor;
+  size_t k;
+};
+
+class GuaranteesTest : public ::testing::TestWithParam<GuaranteeCase> {
+ protected:
+  void SetUp() override {
+    const GuaranteeCase& c = GetParam();
+    Rng rng(500 + c.n + c.k);
+    graph_ = ErdosRenyi(c.n, c.m_factor * c.n, 3, &rng);
+    partition_ = RandomPartition(c.n, c.k, &rng);
+    frag_ = Fragmentation::Build(graph_, partition_, c.k);
+    cluster_ = std::make_unique<Cluster>(&frag_, NetworkModel());
+    rng_ = std::make_unique<Rng>(c.n * 17 + c.k);
+  }
+
+  std::pair<NodeId, NodeId> RandomPair() {
+    NodeId s = static_cast<NodeId>(rng_->Uniform(graph_.NumNodes()));
+    NodeId t = static_cast<NodeId>(rng_->Uniform(graph_.NumNodes() - 1));
+    if (t >= s) ++t;
+    return {s, t};
+  }
+
+  Graph graph_;
+  std::vector<SiteId> partition_;
+  Fragmentation frag_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Rng> rng_;
+};
+
+// Theorem 1(b): each site is visited exactly once by disReach.
+TEST_P(GuaranteesTest, DisReachVisitsEachSiteOnce) {
+  for (int q = 0; q < 10; ++q) {
+    const auto [s, t] = RandomPair();
+    const QueryAnswer a = DisReach(cluster_.get(), {s, t});
+    ASSERT_EQ(a.metrics.site_visits.size(), frag_.num_fragments());
+    for (size_t v : a.metrics.site_visits) ASSERT_EQ(v, 1u);
+    ASSERT_EQ(a.metrics.rounds, 1u);
+    // Message structure: one query per site, at most one reply per site.
+    ASSERT_LE(a.metrics.messages, 2 * frag_.num_fragments());
+  }
+}
+
+// Theorem 1(c): total traffic is O(|V_f|^2) bits — with the bit-matrix
+// encoding, at most Σ_i |F_i.I|·(|F_i.O| bits) plus small per-equation
+// headers, independent of |G|. We assert the concrete bound.
+TEST_P(GuaranteesTest, DisReachTrafficBoundedByBoundaryStructure) {
+  // Per-fragment budget: |I_i| equations, each at most ceil(|O_i|/8) + 16
+  // bytes (dense row + var id + tags), plus |O_i| * 5 bytes of oset table
+  // and a fixed header. The sparse encoder never exceeds the dense row by
+  // more than the 10x sparse/dense switch margin.
+  size_t budget = 64;  // query broadcast + envelopes
+  for (SiteId i = 0; i < frag_.num_fragments(); ++i) {
+    const Fragment& f = frag_.fragment(i);
+    const size_t in_nodes = f.in_nodes().size() + 1;   // + s if local
+    const size_t oset = f.num_virtual() + 1;           // + t if local
+    budget += oset * 5 + in_nodes * ((oset + 7) / 8 + (oset + 7) / 8 + 16) + 16;
+  }
+  for (int q = 0; q < 10; ++q) {
+    const auto [s, t] = RandomPair();
+    const QueryAnswer a = DisReach(cluster_.get(), {s, t});
+    ASSERT_LE(a.metrics.traffic_bytes, budget)
+        << "traffic exceeded the O(|V_f|^2) budget";
+  }
+}
+
+// Traffic must not grow with |G| when the boundary is fixed: enlarging
+// fragments internally (adding intra-fragment structure) leaves disReach
+// traffic unchanged up to noise, while ship-all grows linearly.
+TEST(GuaranteesScalingTest, TrafficIndependentOfFragmentInterior) {
+  Rng rng(97);
+  // Boundary: a fixed 2-cycle between two sites through fixed gateway nodes.
+  const auto build = [&](size_t interior) {
+    GraphBuilder b;
+    // Nodes 0..interior-1 on site 0; interior..2*interior-1 on site 1.
+    b.AddNodes(2 * interior);
+    for (NodeId v = 1; v < interior; ++v) b.AddEdge(v - 1, v);  // chain site 0
+    for (NodeId v = 1; v < interior; ++v) {
+      b.AddEdge(static_cast<NodeId>(interior + v - 1),
+                static_cast<NodeId>(interior + v));
+    }
+    b.AddEdge(static_cast<NodeId>(interior - 1),
+              static_cast<NodeId>(interior));  // cross 0 -> 1
+    std::vector<SiteId> part(2 * interior, 0);
+    for (size_t v = interior; v < 2 * interior; ++v) part[v] = 1;
+    return std::pair{std::move(b).Build(), std::move(part)};
+  };
+
+  auto [small_g, small_p] = build(10);
+  auto [large_g, large_p] = build(1000);
+  const Fragmentation small_f = Fragmentation::Build(small_g, small_p, 2);
+  const Fragmentation large_f = Fragmentation::Build(large_g, large_p, 2);
+  Cluster small_c(&small_f, NetworkModel());
+  Cluster large_c(&large_f, NetworkModel());
+
+  const QueryAnswer small_a =
+      DisReach(&small_c, {0, static_cast<NodeId>(2 * 10 - 1)});
+  const QueryAnswer large_a =
+      DisReach(&large_c, {0, static_cast<NodeId>(2 * 1000 - 1)});
+  EXPECT_TRUE(small_a.reachable);
+  EXPECT_TRUE(large_a.reachable);
+  // 100x larger interior, same boundary: traffic within a small constant.
+  EXPECT_LE(large_a.metrics.traffic_bytes,
+            small_a.metrics.traffic_bytes + 64);
+}
+
+// Theorem 2: disDist inherits the guarantees of disReach.
+TEST_P(GuaranteesTest, DisDistVisitsEachSiteOnce) {
+  for (int q = 0; q < 10; ++q) {
+    const auto [s, t] = RandomPair();
+    const QueryAnswer a = DisDist(cluster_.get(), {s, t, 10});
+    for (size_t v : a.metrics.site_visits) ASSERT_EQ(v, 1u);
+    ASSERT_EQ(a.metrics.rounds, 1u);
+  }
+}
+
+// Theorem 3: disRPQ visits each site once; traffic bounded by
+// O(|R|^2 |V_f|^2) plus the O(|G_q| card(F)) broadcast.
+TEST_P(GuaranteesTest, DisRpqVisitsEachSiteOnceAndTrafficBounded) {
+  for (int q = 0; q < 5; ++q) {
+    const QueryAutomaton a =
+        QueryAutomaton::FromRegex(Regex::Random(4, 3, rng_.get()));
+    const auto [s, t] = RandomPair();
+    const QueryAnswer answer = DisRpqAutomaton(cluster_.get(), s, t, a);
+    for (size_t v : answer.metrics.site_visits) ASSERT_EQ(v, 1u);
+    ASSERT_EQ(answer.metrics.rounds, 1u);
+
+    size_t budget = (a.ByteSize() + 32) * frag_.num_fragments();
+    const size_t states = a.num_states();
+    for (SiteId i = 0; i < frag_.num_fragments(); ++i) {
+      const Fragment& f = frag_.fragment(i);
+      const size_t in_pairs = (f.in_nodes().size() + 1) * states;
+      const size_t out_pairs = (f.num_virtual() + 1) * states;
+      budget += out_pairs * 6 +
+                in_pairs * ((out_pairs + 7) / 8 + (out_pairs + 7) / 8 + 16) +
+                16;
+    }
+    ASSERT_LE(answer.metrics.traffic_bytes, budget);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuaranteesTest,
+    ::testing::Values(GuaranteeCase{"small", 30, 2, 3},
+                      GuaranteeCase{"medium", 100, 2, 5},
+                      GuaranteeCase{"dense", 60, 5, 4},
+                      GuaranteeCase{"manyfrag", 80, 2, 16}),
+    [](const ::testing::TestParamInfo<GuaranteeCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace pereach

@@ -1,0 +1,173 @@
+// End-to-end tests through the DistributedGraph facade: every engine must
+// agree on every query class, across topologies, partitioners and datasets.
+
+#include "src/core/dist_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/centralized.h"
+#include "src/fragment/partitioner.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+using testing_util::RandomPartition;
+
+TEST(IntegrationTest, PaperRunningExampleAllEngines) {
+  const PaperExample ex = MakePaperExample();
+  DistributedGraph dg(Graph(ex.graph), ex.partition, 3);
+
+  // q_r(Ann, Mark) — every reachability engine agrees (Example 1).
+  for (Engine e : {Engine::kPartialEval, Engine::kShipAll,
+                   Engine::kMessagePassing, Engine::kSuciu,
+                   Engine::kMapReduce}) {
+    EXPECT_TRUE(dg.Reach(ex.ann, ex.mark, e).reachable) << EngineName(e);
+    EXPECT_FALSE(dg.Reach(ex.mark, ex.ann, e).reachable) << EngineName(e);
+  }
+
+  // q_br(Ann, Mark, 6) true; bound 5 false (Example 5).
+  for (Engine e : {Engine::kPartialEval, Engine::kShipAll}) {
+    EXPECT_TRUE(dg.BoundedReach(ex.ann, ex.mark, 6, e).reachable)
+        << EngineName(e);
+    EXPECT_FALSE(dg.BoundedReach(ex.ann, ex.mark, 5, e).reachable)
+        << EngineName(e);
+  }
+
+  // q_rr(Ann, Mark, DB* ∪ HR*) true (Examples 7-8).
+  Result<Regex> r = Regex::Parse("DB* | HR*", ex.labels);
+  ASSERT_TRUE(r.ok());
+  for (Engine e : {Engine::kPartialEval, Engine::kShipAll, Engine::kSuciu,
+                   Engine::kMapReduce}) {
+    EXPECT_TRUE(dg.RegularReach(ex.ann, ex.mark, r.value(), e).reachable)
+        << EngineName(e);
+  }
+}
+
+TEST(IntegrationTest, CopyOfGraphKeepsFacadeIndependent) {
+  const PaperExample ex = MakePaperExample();
+  DistributedGraph dg(Graph(ex.graph), ex.partition, 3);
+  EXPECT_EQ(dg.graph().NumNodes(), ex.graph.NumNodes());
+  EXPECT_EQ(dg.fragmentation().num_fragments(), 3u);
+}
+
+// The cross-engine agreement property, swept over graph families and
+// partitioners.
+struct EngineCase {
+  std::string name;
+  Dataset dataset;
+  double scale;
+  size_t k;
+};
+
+class EngineAgreementTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineAgreementTest, AllEnginesAgree) {
+  const EngineCase& c = GetParam();
+  Rng rng(900 + c.k);
+  Graph g = MakeDataset(c.dataset, c.scale, &rng);
+  const Graph oracle = g;  // keep a copy for centralized checks
+  const std::vector<SiteId> part =
+      RandomPartition(g.NumNodes(), c.k, &rng);
+  DistributedGraph dg(std::move(g), part, c.k);
+
+  for (int q = 0; q < 6; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(oracle.NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.Uniform(oracle.NumNodes() - 1));
+    if (t >= s) ++t;
+    const bool expected = CentralizedReach(oracle, s, t);
+    ASSERT_EQ(dg.Reach(s, t, Engine::kPartialEval).reachable, expected);
+    ASSERT_EQ(dg.Reach(s, t, Engine::kShipAll).reachable, expected);
+    ASSERT_EQ(dg.Reach(s, t, Engine::kMessagePassing).reachable, expected);
+    ASSERT_EQ(dg.Reach(s, t, Engine::kMapReduce).reachable, expected);
+
+    const uint32_t exact = CentralizedDistance(oracle, s, t);
+    const QueryAnswer bounded = dg.BoundedReach(s, t, 8);
+    ASSERT_EQ(bounded.reachable, exact != kInfDistance && exact <= 8);
+    if (bounded.reachable) ASSERT_EQ(bounded.distance, exact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, EngineAgreementTest,
+    ::testing::Values(
+        EngineCase{"amazon", Dataset::kAmazon, 0.001, 4},
+        EngineCase{"youtube", Dataset::kYoutube, 0.002, 3},
+        EngineCase{"internet", Dataset::kInternet, 0.005, 5},
+        EngineCase{"citation", Dataset::kCitation, 0.0005, 4}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return info.param.name;
+    });
+
+TEST(IntegrationTest, RegularQueriesAgreeOnLabeledDataset) {
+  Rng rng(31);
+  Graph g = MakeDataset(Dataset::kYoutube, 0.002, &rng);
+  const Graph oracle = g;
+  const std::vector<SiteId> part = RandomPartition(g.NumNodes(), 4, &rng);
+  DistributedGraph dg(std::move(g), part, 4);
+  for (int q = 0; q < 8; ++q) {
+    const QueryAutomaton a =
+        QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 12, &rng));
+    const NodeId s = static_cast<NodeId>(rng.Uniform(oracle.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(oracle.NumNodes()));
+    const bool expected = CentralizedRegularReach(oracle, s, t, a);
+    ASSERT_EQ(dg.RegularReachAutomaton(s, t, a).reachable, expected);
+    ASSERT_EQ(dg.RegularReachAutomaton(s, t, a, Engine::kShipAll).reachable,
+              expected);
+    ASSERT_EQ(dg.RegularReachAutomaton(s, t, a, Engine::kSuciu).reachable,
+              expected);
+    ASSERT_EQ(dg.RegularReachAutomaton(s, t, a, Engine::kMapReduce).reachable,
+              expected);
+  }
+}
+
+TEST(IntegrationTest, PartitionerChoiceDoesNotChangeAnswers) {
+  Rng rng(37);
+  const Graph g = PreferentialAttachment(150, 2, 4, &rng);
+  const RandomPartitioner random_p;
+  const ChunkPartitioner chunk_p;
+  const BfsGrowPartitioner bfs_p;
+  std::vector<std::unique_ptr<DistributedGraph>> dgs;
+  for (const Partitioner* p :
+       std::initializer_list<const Partitioner*>{&random_p, &chunk_p, &bfs_p}) {
+    dgs.push_back(std::make_unique<DistributedGraph>(
+        Graph(g), p->Partition(g, 5, &rng), 5));
+  }
+  for (int q = 0; q < 15; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(150));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(150));
+    const bool expected = CentralizedReach(g, s, t);
+    for (auto& dg : dgs) {
+      ASSERT_EQ(dg->Reach(s, t).reachable, expected)
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(IntegrationTest, ManyFragmentsOnOneSiteStillCorrect) {
+  // The paper remarks multiple fragments may reside in a single site; here
+  // k far exceeds any reasonable machine count, exercising tiny fragments.
+  Rng rng(41);
+  const Graph g = ErdosRenyi(64, 128, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(64, 32, &rng);
+  DistributedGraph dg(Graph(g), part, 32);
+  for (int q = 0; q < 10; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(64));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(64));
+    ASSERT_EQ(dg.Reach(s, t).reachable, CentralizedReach(g, s, t));
+  }
+}
+
+TEST(IntegrationTest, EngineNamesAreStable) {
+  EXPECT_EQ(EngineName(Engine::kPartialEval), "partial-eval");
+  EXPECT_EQ(EngineName(Engine::kShipAll), "ship-all");
+  EXPECT_EQ(EngineName(Engine::kMessagePassing), "message-passing");
+  EXPECT_EQ(EngineName(Engine::kSuciu), "suciu");
+  EXPECT_EQ(EngineName(Engine::kMapReduce), "mapreduce");
+}
+
+}  // namespace
+}  // namespace pereach

@@ -1,0 +1,309 @@
+#include "src/core/local_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/fragment/fragmentation.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+
+// Decodes an equation list into {var -> (has_true, set of dep globals)},
+// resolving SCC-merge aliases back into per-in-node formulas.
+std::map<NodeId, std::pair<bool, std::set<NodeId>>> Flatten(
+    const ReachPartialAnswer& pa) {
+  std::map<NodeId, std::pair<bool, std::set<NodeId>>> out;
+  std::map<uint32_t, std::pair<bool, std::set<NodeId>>> aux;
+  // Two passes: aux equations resolve bottom-up (aux ids ascend in
+  // dependency order), then node equations and aliases.
+  for (const auto& eq : pa.equations) {
+    if (!eq.is_aux) continue;
+    auto& entry = aux[eq.var];
+    entry.first = eq.has_true;
+    for (uint32_t i : eq.deps) entry.second.insert(pa.oset_globals[i]);
+    for (uint32_t a : eq.aux_deps) {
+      entry.first = entry.first || aux.at(a).first;
+      entry.second.insert(aux.at(a).second.begin(), aux.at(a).second.end());
+    }
+  }
+  for (const auto& eq : pa.equations) {
+    if (eq.is_aux) continue;
+    auto& entry = out[eq.var];
+    entry.first = entry.first || eq.has_true;
+    for (uint32_t i : eq.deps) entry.second.insert(pa.oset_globals[i]);
+    for (uint32_t a : eq.aux_deps) {
+      entry.first = entry.first || aux.at(a).first;
+      entry.second.insert(aux.at(a).second.begin(), aux.at(a).second.end());
+    }
+  }
+  for (const auto& alias : pa.aliases) {
+    out[alias.var] = alias.rep_is_aux ? aux.at(alias.rep) : out.at(alias.rep);
+  }
+  return out;
+}
+
+TEST(LocalEvalReachTest, PaperExample3Equations) {
+  // Example 3: the rvsets computed at each site for q_r(Ann, Mark).
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+
+  // F1: xAnn = xPat ∨ xMat, xFred = xEmmy.
+  {
+    const auto eqs = Flatten(LocalEvalReach(frag.fragment(0), ex.ann, ex.mark));
+    ASSERT_EQ(eqs.size(), 2u);
+    EXPECT_FALSE(eqs.at(ex.ann).first);
+    EXPECT_EQ(eqs.at(ex.ann).second, (std::set<NodeId>{ex.pat, ex.mat}));
+    EXPECT_FALSE(eqs.at(ex.fred).first);
+    EXPECT_EQ(eqs.at(ex.fred).second, (std::set<NodeId>{ex.emmy}));
+  }
+  // F2: xMat = xFred, xJack = xFred, xEmmy = xFred ∨ xRoss.
+  {
+    const auto eqs = Flatten(LocalEvalReach(frag.fragment(1), ex.ann, ex.mark));
+    ASSERT_EQ(eqs.size(), 3u);
+    EXPECT_EQ(eqs.at(ex.mat).second, (std::set<NodeId>{ex.fred}));
+    EXPECT_EQ(eqs.at(ex.jack).second, (std::set<NodeId>{ex.fred}));
+    EXPECT_EQ(eqs.at(ex.emmy).second, (std::set<NodeId>{ex.fred, ex.ross}));
+    EXPECT_FALSE(eqs.at(ex.mat).first);
+    EXPECT_FALSE(eqs.at(ex.emmy).first);
+  }
+  // F3: xRoss = true, xPat = xJack.
+  {
+    const auto eqs = Flatten(LocalEvalReach(frag.fragment(2), ex.ann, ex.mark));
+    ASSERT_EQ(eqs.size(), 2u);
+    EXPECT_TRUE(eqs.at(ex.ross).first);   // Ross reaches Mark inside F3
+    EXPECT_FALSE(eqs.at(ex.pat).first);
+    EXPECT_EQ(eqs.at(ex.pat).second, (std::set<NodeId>{ex.jack}));
+  }
+}
+
+TEST(LocalEvalReachTest, SourceEquationAddedEvenIfNotInNode) {
+  // Ann is not an in-node of F1 (no incoming cross edge) but is the query
+  // source, so localEval adds her to iset (Fig. 3 line 2).
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  const auto without_s =
+      Flatten(LocalEvalReach(frag.fragment(0), ex.mark, ex.mark));
+  EXPECT_EQ(without_s.count(ex.ann), 0u);
+}
+
+TEST(LocalEvalReachTest, LocalPathToTargetSetsTrue) {
+  // Query whose target sits in the same fragment as the source.
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  const auto eqs = Flatten(LocalEvalReach(frag.fragment(0), ex.ann, ex.walt));
+  EXPECT_TRUE(eqs.at(ex.ann).first);  // Ann -> Walt inside F1
+}
+
+TEST(LocalEvalReachTest, ReflexiveInNodeTargetIsTrue) {
+  // If t itself is an in-node, its equation is true via the empty path.
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  const auto eqs = Flatten(LocalEvalReach(frag.fragment(1), ex.ann, ex.emmy));
+  EXPECT_TRUE(eqs.at(ex.emmy).first);
+}
+
+TEST(LocalEvalReachTest, SerializationRoundTrip) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  for (SiteId i = 0; i < 3; ++i) {
+    const ReachPartialAnswer pa =
+        LocalEvalReach(frag.fragment(i), ex.ann, ex.mark);
+    Encoder enc;
+    pa.Serialize(&enc);
+    Decoder dec(enc.buffer());
+    const ReachPartialAnswer back = ReachPartialAnswer::Deserialize(&dec);
+    EXPECT_TRUE(dec.Done());
+    EXPECT_EQ(back.oset_globals, pa.oset_globals);
+    EXPECT_EQ(back.aliases, pa.aliases);
+    ASSERT_EQ(back.equations.size(), pa.equations.size());
+    for (size_t e = 0; e < pa.equations.size(); ++e) {
+      EXPECT_EQ(back.equations[e].is_aux, pa.equations[e].is_aux);
+      EXPECT_EQ(back.equations[e].var, pa.equations[e].var);
+      EXPECT_EQ(back.equations[e].has_true, pa.equations[e].has_true);
+      EXPECT_EQ(back.equations[e].deps, pa.equations[e].deps);
+      EXPECT_EQ(back.equations[e].aux_deps, pa.equations[e].aux_deps);
+    }
+  }
+}
+
+TEST(LocalEvalDistTest, PaperExample5Vectors) {
+  // Example 5: F2's arithmetic equations for q_br(Ann, Mark, 6):
+  //   xMat = min(xFred + 1), xJack = min(xFred + 2) [via Mat],
+  //   xEmmy = min(xFred + 2 [via Mat], xRoss + 1).
+  // (The paper's figure quotes +3 for Jack/Emmy on its rendering of the
+  //  graph; on the Fig. 1 edge set used here the local distances via Mat
+  //  are 2.)
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  const DistPartialAnswer pa =
+      LocalEvalDist(frag.fragment(1), ex.ann, ex.mark, 6);
+
+  std::map<NodeId, std::map<NodeId, uint64_t>> terms;
+  std::map<NodeId, uint64_t> base;
+  for (const auto& eq : pa.equations) {
+    base[eq.var_global] = eq.base;
+    for (const auto& [i, d] : eq.terms) {
+      terms[eq.var_global][pa.oset_globals[i]] = d;
+    }
+  }
+  EXPECT_EQ(terms.at(ex.mat).at(ex.fred), 1u);
+  EXPECT_EQ(terms.at(ex.jack).at(ex.fred), 2u);
+  EXPECT_EQ(terms.at(ex.emmy).at(ex.fred), 2u);
+  EXPECT_EQ(terms.at(ex.emmy).at(ex.ross), 1u);
+  EXPECT_EQ(base.at(ex.mat), kInfWeight);  // Mark not in F2
+}
+
+TEST(LocalEvalDistTest, BoundPrunesFarTargets) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  // With bound 1, Jack (distance 2 from Fred via Mat) must not appear.
+  const DistPartialAnswer pa =
+      LocalEvalDist(frag.fragment(1), ex.ann, ex.mark, 1);
+  for (const auto& eq : pa.equations) {
+    if (eq.var_global == ex.jack) {
+      EXPECT_TRUE(eq.terms.empty());
+    }
+    for (const auto& [i, d] : eq.terms) EXPECT_LE(d, 1u);
+  }
+}
+
+TEST(LocalEvalDistTest, SerializationRoundTrip) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  for (SiteId i = 0; i < 3; ++i) {
+    const DistPartialAnswer pa =
+        LocalEvalDist(frag.fragment(i), ex.ann, ex.mark, 6);
+    Encoder enc;
+    pa.Serialize(&enc);
+    Decoder dec(enc.buffer());
+    const DistPartialAnswer back = DistPartialAnswer::Deserialize(&dec);
+    EXPECT_TRUE(dec.Done());
+    EXPECT_EQ(back.oset_globals, pa.oset_globals);
+    ASSERT_EQ(back.equations.size(), pa.equations.size());
+    for (size_t e = 0; e < pa.equations.size(); ++e) {
+      EXPECT_EQ(back.equations[e].var_global, pa.equations[e].var_global);
+      EXPECT_EQ(back.equations[e].base, pa.equations[e].base);
+      EXPECT_EQ(back.equations[e].terms, pa.equations[e].terms);
+    }
+  }
+}
+
+TEST(LocalEvalRegularTest, PaperExample7Vectors) {
+  // Example 7: for q_rr(Ann, Mark, DB* ∪ HR*) on F2, the in-node vectors are
+  //   Mat:  X(Fred, HR)           (Mat is HR with cross edge to Fred)
+  //   Jack: all false             (Jack is MK — matches no state)
+  //   Emmy: X(Ross, HR) ∨ X(Fred, HR)  (paper shows the Ross disjunct; the
+  //         Fred disjunct arises via Emmy -> Mat -> Fred, all HR)
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  const LabelId db = ex.labels.Find("DB");
+  const LabelId hr = ex.labels.Find("HR");
+  const Regex r = Regex::Union(Regex::Star(Regex::Symbol(db)),
+                               Regex::Star(Regex::Symbol(hr)));
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+
+  const RegularPartialAnswer pa =
+      LocalEvalRegular(frag.fragment(1), a, ex.ann, ex.mark);
+
+  // Collect formulas keyed by (node, is-HR-state), resolving aliases.
+  std::map<NodeId, std::set<std::pair<NodeId, LabelId>>> deps_by_node;
+  std::map<NodeId, bool> has_true_by_node;
+  std::map<std::pair<NodeId, uint8_t>, const RegularPartialAnswer::Equation*>
+      by_key;
+  for (const auto& eq : pa.equations) {
+    if (!eq.is_aux) by_key[{eq.var_global, eq.state}] = &eq;
+  }
+  const auto absorb = [&](NodeId var, const RegularPartialAnswer::Equation& eq) {
+    has_true_by_node[var] = has_true_by_node[var] || eq.has_true;
+    for (uint32_t i : eq.deps) {
+      const auto& [node, state] = pa.var_table[i];
+      deps_by_node[var].insert({node, a.state_label(state)});
+    }
+  };
+  for (const auto& eq : pa.equations) {
+    if (!eq.is_aux) absorb(eq.var_global, eq);
+  }
+  for (const auto& alias : pa.aliases) {
+    absorb(alias.var_global, *by_key.at({alias.rep_global, alias.rep_state}));
+  }
+  EXPECT_EQ(deps_by_node[ex.mat],
+            (std::set<std::pair<NodeId, LabelId>>{{ex.fred, hr}}));
+  EXPECT_EQ(deps_by_node[ex.emmy],
+            (std::set<std::pair<NodeId, LabelId>>{{ex.fred, hr},
+                                                  {ex.ross, hr}}));
+  EXPECT_TRUE(deps_by_node[ex.jack].empty());
+  EXPECT_FALSE(has_true_by_node[ex.mat]);
+  EXPECT_FALSE(has_true_by_node[ex.emmy]);
+}
+
+TEST(LocalEvalRegularTest, TargetFragmentProducesTrue) {
+  // In F3, Ross (HR) reaches Mark = t locally, so X(Ross, HR) = true.
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  const LabelId db = ex.labels.Find("DB");
+  const LabelId hr = ex.labels.Find("HR");
+  const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Union(
+      Regex::Star(Regex::Symbol(db)), Regex::Star(Regex::Symbol(hr))));
+
+  const RegularPartialAnswer pa =
+      LocalEvalRegular(frag.fragment(2), a, ex.ann, ex.mark);
+  bool ross_true = false;
+  for (const auto& eq : pa.equations) {
+    if (eq.var_global == ex.ross && a.state_label(eq.state) == hr) {
+      ross_true |= eq.has_true;
+    }
+  }
+  for (const auto& alias : pa.aliases) {
+    if (alias.var_global != ex.ross) continue;
+    for (const auto& eq : pa.equations) {
+      if (eq.var_global == alias.rep_global && eq.state == alias.rep_state &&
+          a.state_label(alias.state) == hr) {
+        ross_true |= eq.has_true;
+      }
+    }
+  }
+  EXPECT_TRUE(ross_true);
+}
+
+TEST(LocalEvalRegularTest, SerializationRoundTrip) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  const QueryAutomaton a = QueryAutomaton::WildcardStar();
+  for (SiteId i = 0; i < 3; ++i) {
+    const RegularPartialAnswer pa =
+        LocalEvalRegular(frag.fragment(i), a, ex.ann, ex.mark);
+    Encoder enc;
+    pa.Serialize(&enc);
+    Decoder dec(enc.buffer());
+    const RegularPartialAnswer back = RegularPartialAnswer::Deserialize(&dec);
+    EXPECT_TRUE(dec.Done());
+    EXPECT_EQ(back.var_table, pa.var_table);
+    EXPECT_EQ(back.aliases, pa.aliases);
+    ASSERT_EQ(back.equations.size(), pa.equations.size());
+    for (size_t e = 0; e < pa.equations.size(); ++e) {
+      EXPECT_EQ(back.equations[e].var_global, pa.equations[e].var_global);
+      EXPECT_EQ(back.equations[e].state, pa.equations[e].state);
+      EXPECT_EQ(back.equations[e].has_true, pa.equations[e].has_true);
+      EXPECT_EQ(back.equations[e].deps, pa.equations[e].deps);
+    }
+  }
+}
+
+TEST(PackNodeStateTest, IsInjectiveOverStates) {
+  std::set<uint64_t> seen;
+  for (NodeId v = 0; v < 100; ++v) {
+    for (uint32_t q = 0; q < 64; ++q) {
+      EXPECT_TRUE(seen.insert(PackNodeState(v, q)).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pereach

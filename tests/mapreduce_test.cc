@@ -1,0 +1,182 @@
+#include "src/mapreduce/mapreduce.h"
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/serialization.h"
+
+namespace pereach {
+namespace {
+
+KeyValue MakeKv(uint64_t key, const std::string& text) {
+  KeyValue kv;
+  kv.key = key;
+  kv.value.assign(text.begin(), text.end());
+  return kv;
+}
+
+std::string ValueText(const std::vector<uint8_t>& v) {
+  return std::string(v.begin(), v.end());
+}
+
+// Classic word count: map emits (word-hash, word), reduce emits counts.
+TEST(MapReduceTest, WordCount) {
+  ThreadPool pool(4);
+  MapReduce mr(&pool);
+
+  const std::vector<KeyValue> inputs = {
+      MakeKv(0, "the quick brown fox"),
+      MakeKv(1, "the lazy dog"),
+      MakeKv(2, "the quick dog"),
+  };
+
+  const MapReduce::MapFn map_fn = [](const KeyValue& input) {
+    std::vector<KeyValue> out;
+    std::string word;
+    const std::string text = ValueText(input.value);
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == ' ') {
+        if (!word.empty()) {
+          KeyValue kv;
+          kv.key = std::hash<std::string>{}(word);
+          kv.value.assign(word.begin(), word.end());
+          out.push_back(std::move(kv));
+          word.clear();
+        }
+      } else {
+        word.push_back(text[i]);
+      }
+    }
+    return out;
+  };
+
+  const MapReduce::ReduceFn reduce_fn =
+      [](uint64_t key, const std::vector<std::vector<uint8_t>>& values) {
+        KeyValue kv;
+        kv.key = key;
+        const std::string out =
+            ValueText(values[0]) + ":" + std::to_string(values.size());
+        kv.value.assign(out.begin(), out.end());
+        return std::vector<KeyValue>{kv};
+      };
+
+  const MapReduce::Result result =
+      mr.Run(inputs, /*num_mappers=*/3, /*num_reducers=*/2, map_fn, reduce_fn);
+
+  std::map<std::string, int> counts;
+  for (const KeyValue& kv : result.output) {
+    const std::string text = ValueText(kv.value);
+    const size_t colon = text.find(':');
+    counts[text.substr(0, colon)] = std::stoi(text.substr(colon + 1));
+  }
+  EXPECT_EQ(counts.at("the"), 3);
+  EXPECT_EQ(counts.at("quick"), 2);
+  EXPECT_EQ(counts.at("dog"), 2);
+  EXPECT_EQ(counts.at("lazy"), 1);
+  EXPECT_EQ(counts.at("brown"), 1);
+  EXPECT_EQ(counts.at("fox"), 1);
+}
+
+TEST(MapReduceTest, StatsAreConsistent) {
+  ThreadPool pool(2);
+  MapReduce mr(&pool);
+  const std::vector<KeyValue> inputs = {MakeKv(0, "aaaa"), MakeKv(1, "bb"),
+                                        MakeKv(2, "c")};
+  const MapReduce::MapFn map_fn = [](const KeyValue& input) {
+    std::vector<KeyValue> out(1);
+    out[0].key = 7;
+    out[0].value = input.value;
+    return out;
+  };
+  const MapReduce::ReduceFn reduce_fn =
+      [](uint64_t, const std::vector<std::vector<uint8_t>>& values) {
+        KeyValue kv;
+        kv.key = 0;
+        kv.value.push_back(static_cast<uint8_t>(values.size()));
+        return std::vector<KeyValue>{kv};
+      };
+  const MapReduce::Result r = mr.Run(inputs, 3, 1, map_fn, reduce_fn);
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0].value[0], 3);
+
+  const MapReduceStats& s = r.stats;
+  EXPECT_EQ(s.num_mappers, 3u);
+  EXPECT_EQ(s.num_reducers, 1u);
+  // Input bytes = value sizes + 8B key envelope each.
+  EXPECT_EQ(s.map_input_bytes, 4u + 8 + 2 + 8 + 1 + 8);
+  EXPECT_EQ(s.max_mapper_input, 4u + 8);
+  // All intermediate records land on the single reducer.
+  EXPECT_EQ(s.shuffle_bytes, s.max_reducer_input);
+  EXPECT_EQ(s.EccBytes(), s.max_mapper_input + s.max_reducer_input);
+  EXPECT_GE(s.wall_ms, 0.0);
+}
+
+TEST(MapReduceTest, RecordsRouteToMapperByKeyModulo) {
+  ThreadPool pool(2);
+  MapReduce mr(&pool);
+  // Two records with keys 0 and 2 and num_mappers = 2 -> both on mapper 0.
+  const std::vector<KeyValue> inputs = {MakeKv(0, "xx"), MakeKv(2, "yy")};
+  const MapReduce::MapFn map_fn = [](const KeyValue& input) {
+    std::vector<KeyValue> out(1);
+    out[0].key = input.key;
+    out[0].value = input.value;
+    return out;
+  };
+  const MapReduce::ReduceFn reduce_fn =
+      [](uint64_t key, const std::vector<std::vector<uint8_t>>& values) {
+        KeyValue kv;
+        kv.key = key;
+        kv.value.push_back(static_cast<uint8_t>(values.size()));
+        return std::vector<KeyValue>{kv};
+      };
+  const MapReduce::Result r = mr.Run(inputs, 2, 1, map_fn, reduce_fn);
+  EXPECT_EQ(r.stats.max_mapper_input, (2u + 8) * 2);  // both on one mapper
+  EXPECT_EQ(r.output.size(), 2u);                     // two distinct keys
+}
+
+TEST(MapReduceTest, EmptyInputProducesEmptyOutput) {
+  ThreadPool pool(2);
+  MapReduce mr(&pool);
+  const MapReduce::Result r = mr.Run(
+      {}, 2, 1,
+      [](const KeyValue&) { return std::vector<KeyValue>(); },
+      [](uint64_t, const std::vector<std::vector<uint8_t>>&) {
+        return std::vector<KeyValue>();
+      });
+  EXPECT_TRUE(r.output.empty());
+  EXPECT_EQ(r.stats.map_input_bytes, 0u);
+}
+
+TEST(MapReduceTest, DeterministicAcrossRuns) {
+  ThreadPool pool(4);
+  MapReduce mr(&pool);
+  std::vector<KeyValue> inputs;
+  for (uint64_t i = 0; i < 20; ++i) inputs.push_back(MakeKv(i, "v"));
+  const MapReduce::MapFn map_fn = [](const KeyValue& input) {
+    std::vector<KeyValue> out(1);
+    out[0].key = input.key % 5;
+    out[0].value.push_back(static_cast<uint8_t>(input.key));
+    return out;
+  };
+  const MapReduce::ReduceFn reduce_fn =
+      [](uint64_t key, const std::vector<std::vector<uint8_t>>& values) {
+        KeyValue kv;
+        kv.key = key;
+        int sum = 0;
+        for (const auto& v : values) sum += v[0];
+        kv.value.push_back(static_cast<uint8_t>(sum));
+        return std::vector<KeyValue>{kv};
+      };
+  const MapReduce::Result r1 = mr.Run(inputs, 4, 2, map_fn, reduce_fn);
+  const MapReduce::Result r2 = mr.Run(inputs, 4, 2, map_fn, reduce_fn);
+  ASSERT_EQ(r1.output.size(), r2.output.size());
+  std::map<uint64_t, uint8_t> o1, o2;
+  for (const auto& kv : r1.output) o1[kv.key] = kv.value[0];
+  for (const auto& kv : r2.output) o2[kv.key] = kv.value[0];
+  EXPECT_EQ(o1, o2);
+}
+
+}  // namespace
+}  // namespace pereach

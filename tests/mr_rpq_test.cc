@@ -1,0 +1,133 @@
+#include "src/mapreduce/mr_rpq.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/centralized.h"
+#include "src/fragment/partitioner.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+
+TEST(MrRpqTest, PaperExampleQuery) {
+  const PaperExample ex = MakePaperExample();
+  ThreadPool pool(4);
+  Result<Regex> r = Regex::Parse("DB* | HR*", ex.labels);
+  ASSERT_TRUE(r.ok());
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r.value());
+  const MapReduceRpqResult res = MapReduceRpqOnGraph(
+      ex.graph, ex.ann, ex.mark, a, /*num_mappers=*/3, NetworkModel(), &pool);
+  EXPECT_TRUE(res.answer.reachable);
+  EXPECT_EQ(res.stats.num_mappers, 3u);
+  EXPECT_GT(res.answer.metrics.traffic_bytes, 0u);
+}
+
+TEST(MrRpqTest, NegativeQuery) {
+  const PaperExample ex = MakePaperExample();
+  ThreadPool pool(4);
+  Result<Regex> r = Regex::Parse("DB DB DB", ex.labels);
+  ASSERT_TRUE(r.ok());
+  const MapReduceRpqResult res = MapReduceRpqOnGraph(
+      ex.graph, ex.ann, ex.mark, QueryAutomaton::FromRegex(r.value()), 3,
+      NetworkModel(), &pool);
+  EXPECT_FALSE(res.answer.reachable);
+}
+
+TEST(MrRpqTest, MatchesCentralizedAcrossMapperCounts) {
+  Rng rng(71);
+  ThreadPool pool(8);
+  const Graph g = ErdosRenyi(80, 240, 3, &rng);
+  for (size_t mappers : {1, 2, 5, 10, 16}) {
+    for (int q = 0; q < 6; ++q) {
+      const QueryAutomaton a =
+          QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 3, &rng));
+      const NodeId s = static_cast<NodeId>(rng.Uniform(80));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(80));
+      const MapReduceRpqResult res =
+          MapReduceRpqOnGraph(g, s, t, a, mappers, NetworkModel(), &pool);
+      ASSERT_EQ(res.answer.reachable, CentralizedRegularReach(g, s, t, a))
+          << "mappers=" << mappers << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(MrRpqTest, MatchesDisRpqOnPrebuiltFragmentation) {
+  Rng rng(73);
+  ThreadPool pool(4);
+  const Graph g = ErdosRenyi(60, 150, 4, &rng);
+  const std::vector<SiteId> part =
+      RandomPartitioner().Partition(g, 5, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, 5);
+  for (int q = 0; q < 8; ++q) {
+    const QueryAutomaton a =
+        QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(5), 4, &rng));
+    const NodeId s = static_cast<NodeId>(rng.Uniform(60));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(60));
+    const MapReduceRpqResult res =
+        MapReduceRpq(frag, s, t, a, NetworkModel(), &pool);
+    ASSERT_EQ(res.answer.reachable, CentralizedRegularReach(g, s, t, a));
+  }
+}
+
+TEST(MrReachTest, MatchesCentralizedReach) {
+  Rng rng(79);
+  ThreadPool pool(4);
+  const Graph g = ErdosRenyi(70, 200, 2, &rng);
+  const std::vector<SiteId> part =
+      RandomPartitioner().Partition(g, 5, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, 5);
+  for (int q = 0; q < 20; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(70));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(70));
+    const MapReduceRpqResult res =
+        MapReduceReach(frag, s, t, NetworkModel(), &pool);
+    ASSERT_EQ(res.answer.reachable, CentralizedReach(g, s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST(MrBoundedReachTest, MatchesCentralizedDistance) {
+  Rng rng(83);
+  ThreadPool pool(4);
+  const Graph g = ErdosRenyi(60, 150, 2, &rng);
+  const std::vector<SiteId> part =
+      RandomPartitioner().Partition(g, 4, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, 4);
+  const uint32_t bound = 6;
+  for (int q = 0; q < 20; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(60));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(60));
+    const MapReduceRpqResult res =
+        MapReduceBoundedReach(frag, s, t, bound, NetworkModel(), &pool);
+    const uint32_t exact = CentralizedDistance(g, s, t);
+    if (exact != kInfDistance && exact <= bound) {
+      ASSERT_TRUE(res.answer.reachable) << "s=" << s << " t=" << t;
+      ASSERT_EQ(res.answer.distance, exact);
+    } else {
+      ASSERT_FALSE(res.answer.reachable) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(MrRpqTest, EccBoundedByFragmentPlusRvsets) {
+  // ECC = max mapper input + reducer input (Afrati-Ullman [1]); both parts
+  // must be positive and the modeled time must reflect them.
+  const PaperExample ex = MakePaperExample();
+  ThreadPool pool(2);
+  const MapReduceRpqResult res =
+      MapReduceRpqOnGraph(ex.graph, ex.ann, ex.mark,
+                          QueryAutomaton::WildcardStar(), 3, NetworkModel(),
+                          &pool);
+  EXPECT_GT(res.stats.max_mapper_input, 0u);
+  EXPECT_GT(res.stats.max_reducer_input, 0u);
+  EXPECT_EQ(res.stats.EccBytes(),
+            res.stats.max_mapper_input + res.stats.max_reducer_input);
+  EXPECT_GT(res.answer.metrics.modeled_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace pereach

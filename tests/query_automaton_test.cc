@@ -1,0 +1,145 @@
+#include "src/regex/query_automaton.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace pereach {
+namespace {
+
+TEST(QueryAutomatonTest, PaperExampleShape) {
+  // G_q(R) for R = (DB* ∪ HR*), Example 6: states {u_s, DB, HR, u_t},
+  // transitions {(us,DB),(DB,DB),(DB,ut),(us,HR),(HR,HR),(HR,ut)} plus
+  // (us,ut) because ε ∈ L(R).
+  const LabelId db = 0, hr = 1;
+  const Regex r = Regex::Union(Regex::Star(Regex::Symbol(db)),
+                               Regex::Star(Regex::Symbol(hr)));
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+  EXPECT_EQ(a.num_states(), 4u);
+  EXPECT_EQ(a.num_transitions(), 7u);
+  EXPECT_TRUE(a.AcceptsEmpty());
+  EXPECT_EQ(a.state_label(QueryAutomaton::kStart), kInvalidLabel);
+  EXPECT_EQ(a.state_label(QueryAutomaton::kFinal), kInvalidLabel);
+
+  EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{hr, hr, hr, hr, hr}));
+  EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{db}));
+  EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{}));
+  EXPECT_FALSE(a.AcceptsInterior(std::vector<LabelId>{db, hr}));
+}
+
+TEST(QueryAutomatonTest, SecondPaperExampleShape) {
+  // R' = (CTO DB*) ∪ HR* (Example 6): 5 states, 7 transitions... the paper
+  // counts 5 states and 7 transitions for its rendering; Glushkov gives the
+  // same state count (u_s, u_t, CTO, DB, HR) and 8 transitions because
+  // ε ∈ L(R') adds (u_s, u_t).
+  const LabelId db = 0, hr = 1, cto = 2;
+  const Regex r = Regex::Union(
+      Regex::Concat(Regex::Symbol(cto), Regex::Star(Regex::Symbol(db))),
+      Regex::Star(Regex::Symbol(hr)));
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+  EXPECT_EQ(a.num_states(), 5u);
+  EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{cto}));
+  EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{cto, db, db}));
+  EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{hr, hr}));
+  EXPECT_FALSE(a.AcceptsInterior(std::vector<LabelId>{db}));
+  EXPECT_FALSE(a.AcceptsInterior(std::vector<LabelId>{cto, hr}));
+}
+
+TEST(QueryAutomatonTest, EpsilonOnly) {
+  const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Epsilon());
+  EXPECT_EQ(a.num_states(), 2u);
+  EXPECT_TRUE(a.AcceptsEmpty());
+  EXPECT_FALSE(a.AcceptsInterior(std::vector<LabelId>{0}));
+}
+
+TEST(QueryAutomatonTest, SingleSymbol) {
+  const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Symbol(5));
+  EXPECT_EQ(a.num_states(), 3u);
+  EXPECT_FALSE(a.AcceptsEmpty());
+  EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{5}));
+  EXPECT_FALSE(a.AcceptsInterior(std::vector<LabelId>{5, 5}));
+  EXPECT_FALSE(a.AcceptsInterior(std::vector<LabelId>{4}));
+}
+
+TEST(QueryAutomatonTest, StatesWithLabelIndex) {
+  const Regex r = Regex::Concat(Regex::Symbol(3), Regex::Symbol(3));
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+  const uint64_t mask = a.StatesWithLabel(3);
+  EXPECT_EQ(__builtin_popcountll(mask), 2);
+  EXPECT_EQ(a.StatesWithLabel(4), 0u);
+  // Start/final states never carry labels.
+  EXPECT_FALSE((mask >> QueryAutomaton::kStart) & 1);
+  EXPECT_FALSE((mask >> QueryAutomaton::kFinal) & 1);
+}
+
+TEST(QueryAutomatonTest, SerializationRoundTrip) {
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Regex r = Regex::Random(1 + rng.Uniform(10), 6, &rng);
+    const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+    Encoder enc;
+    a.Serialize(&enc);
+    EXPECT_EQ(enc.size(), a.ByteSize());
+    Decoder dec(enc.buffer());
+    const QueryAutomaton b = QueryAutomaton::Deserialize(&dec);
+    EXPECT_TRUE(dec.Done());
+    ASSERT_EQ(b.num_states(), a.num_states());
+    for (uint32_t q = 0; q < a.num_states(); ++q) {
+      EXPECT_EQ(b.state_label(q), a.state_label(q));
+      EXPECT_EQ(b.out_mask(q), a.out_mask(q));
+    }
+    // Behavioural check after round trip.
+    for (int w = 0; w < 10; ++w) {
+      std::vector<LabelId> word;
+      for (size_t i = rng.Uniform(5); i > 0; --i) {
+        word.push_back(static_cast<LabelId>(rng.Uniform(6)));
+      }
+      EXPECT_EQ(a.AcceptsInterior(word), b.AcceptsInterior(word));
+    }
+  }
+}
+
+TEST(QueryAutomatonTest, WildcardStarAcceptsEverything) {
+  const QueryAutomaton a = QueryAutomaton::WildcardStar();
+  EXPECT_TRUE(a.AcceptsEmpty());
+  EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{0}));
+  EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{99, 12345, 7}));
+  // Round trip preserves the wildcard.
+  Encoder enc;
+  a.Serialize(&enc);
+  Decoder dec(enc.buffer());
+  const QueryAutomaton b = QueryAutomaton::Deserialize(&dec);
+  EXPECT_TRUE(b.AcceptsInterior(std::vector<LabelId>{424242}));
+}
+
+// The key property: the Glushkov query automaton accepts exactly L(R).
+// Compared against the independent set-of-positions matcher on random
+// regexes and random words.
+TEST(QueryAutomatonTest, AgreesWithDirectMatcherOnRandomRegexes) {
+  Rng rng(29);
+  const size_t num_labels = 3;  // small alphabet => frequent matches
+  for (int trial = 0; trial < 200; ++trial) {
+    const Regex r = Regex::Random(1 + rng.Uniform(10), num_labels, &rng);
+    const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+    EXPECT_EQ(a.AcceptsEmpty(), r.MatchesEmpty());
+    for (int w = 0; w < 50; ++w) {
+      std::vector<LabelId> word;
+      const size_t len = rng.Uniform(8);
+      for (size_t i = 0; i < len; ++i) {
+        word.push_back(static_cast<LabelId>(rng.Uniform(num_labels)));
+      }
+      ASSERT_EQ(a.AcceptsInterior(word), r.Matches(word))
+          << "regex with " << r.NumSymbols() << " symbols, word len " << len;
+    }
+  }
+}
+
+TEST(QueryAutomatonTest, SizeLinearInRegex) {
+  Rng rng(31);
+  const Regex r = Regex::Random(20, 4, &rng);
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+  EXPECT_EQ(a.num_states(), 22u);  // positions + u_s + u_t
+}
+
+}  // namespace
+}  // namespace pereach

@@ -1,0 +1,138 @@
+#include "src/index/reach_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakeGraph;
+
+enum class Kind { kBfs, kMatrix, kInterval, kTwoHop };
+
+std::unique_ptr<ReachabilityIndex> Build(Kind kind, const Graph& g, Rng* rng) {
+  switch (kind) {
+    case Kind::kBfs:
+      return BuildBfsIndex(g);
+    case Kind::kMatrix:
+      return BuildReachMatrix(g);
+    case Kind::kInterval:
+      return BuildIntervalIndex(g, 3, rng);
+    case Kind::kTwoHop:
+      return BuildTwoHopIndex(g);
+  }
+  return nullptr;
+}
+
+class ReachIndexTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(ReachIndexTest, ChainCycleAndDisconnect) {
+  Rng rng(1);
+  const Graph g = MakeGraph(
+      7, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {5, 6}});
+  const auto index = Build(GetParam(), g, &rng);
+  // Inside the cycle.
+  EXPECT_TRUE(index->Reaches(0, 2));
+  EXPECT_TRUE(index->Reaches(2, 1));
+  // Out of the cycle, forward only.
+  EXPECT_TRUE(index->Reaches(0, 4));
+  EXPECT_FALSE(index->Reaches(4, 0));
+  // Disconnected island.
+  EXPECT_TRUE(index->Reaches(5, 6));
+  EXPECT_FALSE(index->Reaches(0, 5));
+  EXPECT_FALSE(index->Reaches(6, 5));
+  // Reflexive.
+  EXPECT_TRUE(index->Reaches(4, 4));
+}
+
+TEST_P(ReachIndexTest, MatchesTransitiveClosureOnRandomGraphs) {
+  Rng rng(11);
+  for (int trial = 0; trial < 12; ++trial) {
+    const size_t n = 3 + rng.Uniform(60);
+    const Graph g = ErdosRenyi(n, 2 * n, 1, &rng);
+    const auto index = Build(GetParam(), g, &rng);
+    const std::vector<Bitset> tc = TransitiveClosure(g);
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        ASSERT_EQ(index->Reaches(s, t), tc[s].Test(t))
+            << index->name() << " s=" << s << " t=" << t << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST_P(ReachIndexTest, MatchesBfsOnStructuredGraphs) {
+  Rng rng(13);
+  const std::vector<Graph> graphs = [&] {
+    std::vector<Graph> gs;
+    gs.push_back(Chain(40, 1, &rng));
+    gs.push_back(Cycle(30, 1, &rng));
+    gs.push_back(GridGraph(5, 8, 1, &rng));
+    gs.push_back(LayeredCitationDag(4, 10, 2, 1, &rng));
+    gs.push_back(CommunityGraph(80, 320, 4, 0.9, 1, &rng));
+    return gs;
+  }();
+  for (const Graph& g : graphs) {
+    const auto index = Build(GetParam(), g, &rng);
+    for (int q = 0; q < 60; ++q) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+      ASSERT_EQ(index->Reaches(s, t), Reaches(g, s, t))
+          << index->name() << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(ReachIndexTest, ReportsNameAndSize) {
+  Rng rng(17);
+  const Graph g = ErdosRenyi(50, 150, 1, &rng);
+  const auto index = Build(GetParam(), g, &rng);
+  EXPECT_FALSE(index->name().empty());
+  EXPECT_GT(index->ByteSize(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, ReachIndexTest,
+                         ::testing::Values(Kind::kBfs, Kind::kMatrix,
+                                           Kind::kInterval, Kind::kTwoHop),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                           switch (info.param) {
+                             case Kind::kBfs:
+                               return "bfs";
+                             case Kind::kMatrix:
+                               return "matrix";
+                             case Kind::kInterval:
+                               return "interval";
+                             case Kind::kTwoHop:
+                               return "twohop";
+                           }
+                           return "unknown";
+                         });
+
+TEST(ReachIndexTest, TwoHopLabelsStaySmallOnDags) {
+  // On a chain, pruned landmark labeling should produce O(1) avg labels —
+  // a sanity bound that the pruning actually prunes.
+  Rng rng(19);
+  const Graph g = Chain(2000, 1, &rng);
+  const auto index = BuildTwoHopIndex(g);
+  EXPECT_LT(index->ByteSize(), 2000 * 40 * sizeof(uint32_t))
+      << "labels exploded; pruning broken?";
+  EXPECT_TRUE(index->Reaches(0, 1999));
+  EXPECT_FALSE(index->Reaches(1999, 0));
+}
+
+TEST(ReachIndexTest, MatrixIsExactOnDenseGraph) {
+  Rng rng(23);
+  const Graph g = ErdosRenyi(120, 1200, 1, &rng);
+  const auto matrix = BuildReachMatrix(g);
+  const auto bfs = BuildBfsIndex(g);
+  for (int q = 0; q < 300; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(120));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(120));
+    ASSERT_EQ(matrix->Reaches(s, t), bfs->Reaches(s, t));
+  }
+}
+
+}  // namespace
+}  // namespace pereach

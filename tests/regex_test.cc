@@ -1,0 +1,164 @@
+#include "src/regex/regex.h"
+
+#include <gtest/gtest.h>
+
+namespace pereach {
+namespace {
+
+LabelDictionary MakeDict() {
+  LabelDictionary d;
+  d.Intern("DB");   // 0
+  d.Intern("HR");   // 1
+  d.Intern("CTO");  // 2
+  d.Intern("FA");   // 3
+  return d;
+}
+
+TEST(RegexTest, BuildersAndKinds) {
+  const Regex r = Regex::Union(Regex::Star(Regex::Symbol(0)),
+                               Regex::Concat(Regex::Symbol(1), Regex::Epsilon()));
+  EXPECT_EQ(r.kind(), Regex::Kind::kUnion);
+  EXPECT_EQ(r.left().kind(), Regex::Kind::kStar);
+  EXPECT_EQ(r.left().left().symbol(), 0u);
+  EXPECT_EQ(r.right().kind(), Regex::Kind::kConcat);
+  EXPECT_EQ(r.NumSymbols(), 2u);
+}
+
+TEST(RegexTest, MatchesEmpty) {
+  EXPECT_TRUE(Regex::Epsilon().MatchesEmpty());
+  EXPECT_FALSE(Regex::Symbol(0).MatchesEmpty());
+  EXPECT_TRUE(Regex::Star(Regex::Symbol(0)).MatchesEmpty());
+  EXPECT_TRUE(
+      Regex::Union(Regex::Symbol(0), Regex::Epsilon()).MatchesEmpty());
+  EXPECT_FALSE(
+      Regex::Concat(Regex::Symbol(0), Regex::Epsilon()).MatchesEmpty());
+  EXPECT_TRUE(Regex::Concat(Regex::Star(Regex::Symbol(0)),
+                            Regex::Star(Regex::Symbol(1)))
+                  .MatchesEmpty());
+}
+
+TEST(RegexTest, MatchesBasics) {
+  // (DB* | HR*) — the paper's R from Example 1, over label ids 0/1.
+  const Regex r = Regex::Union(Regex::Star(Regex::Symbol(0)),
+                               Regex::Star(Regex::Symbol(1)));
+  EXPECT_TRUE(r.Matches({}));
+  EXPECT_TRUE(r.Matches({0, 0, 0}));
+  EXPECT_TRUE(r.Matches({1, 1, 1, 1, 1}));
+  EXPECT_FALSE(r.Matches({0, 1}));
+  EXPECT_FALSE(r.Matches({2}));
+}
+
+TEST(RegexTest, MatchesConcat) {
+  // CTO DB* : label 2 then any number of 0s.
+  const Regex r = Regex::Concat(Regex::Symbol(2), Regex::Star(Regex::Symbol(0)));
+  EXPECT_TRUE(r.Matches({2}));
+  EXPECT_TRUE(r.Matches({2, 0, 0}));
+  EXPECT_FALSE(r.Matches({0, 2}));
+  EXPECT_FALSE(r.Matches({}));
+}
+
+TEST(RegexTest, MatchesNestedStar) {
+  // (ab)* over labels a=0, b=1.
+  const Regex r = Regex::Star(Regex::Concat(Regex::Symbol(0), Regex::Symbol(1)));
+  EXPECT_TRUE(r.Matches({}));
+  EXPECT_TRUE(r.Matches({0, 1}));
+  EXPECT_TRUE(r.Matches({0, 1, 0, 1}));
+  EXPECT_FALSE(r.Matches({0}));
+  EXPECT_FALSE(r.Matches({1, 0}));
+}
+
+TEST(RegexTest, AnyOfMatchesEachLabel) {
+  const Regex r = Regex::AnyOf({0, 1, 3});
+  EXPECT_TRUE(r.Matches({0}));
+  EXPECT_TRUE(r.Matches({1}));
+  EXPECT_TRUE(r.Matches({3}));
+  EXPECT_FALSE(r.Matches({2}));
+  EXPECT_FALSE(r.Matches({}));
+  EXPECT_FALSE(r.Matches({0, 0}));
+}
+
+TEST(RegexParserTest, ParsesPaperQuery) {
+  const LabelDictionary dict = MakeDict();
+  Result<Regex> r = Regex::Parse("(DB* | HR*)", dict);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().Matches({1, 1, 1}));
+  EXPECT_TRUE(r.value().Matches({0}));
+  EXPECT_FALSE(r.value().Matches({0, 1}));
+}
+
+TEST(RegexParserTest, ParsesConcatenationByJuxtaposition) {
+  const LabelDictionary dict = MakeDict();
+  Result<Regex> r = Regex::Parse("(CTO DB*) | HR*", dict);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().Matches({2, 0, 0}));
+  EXPECT_TRUE(r.value().Matches({2}));
+  EXPECT_TRUE(r.value().Matches({1, 1}));
+  EXPECT_TRUE(r.value().Matches({}));  // HR* accepts empty
+  EXPECT_FALSE(r.value().Matches({0, 0}));
+}
+
+TEST(RegexParserTest, ParsesEpsilonTilde) {
+  const LabelDictionary dict = MakeDict();
+  Result<Regex> r = Regex::Parse("~ | DB", dict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().Matches({}));
+  EXPECT_TRUE(r.value().Matches({0}));
+  EXPECT_FALSE(r.value().Matches({1}));
+}
+
+TEST(RegexParserTest, DoubleStarIsIdempotent) {
+  const LabelDictionary dict = MakeDict();
+  Result<Regex> r = Regex::Parse("DB**", dict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().Matches({}));
+  EXPECT_TRUE(r.value().Matches({0, 0}));
+}
+
+TEST(RegexParserTest, ErrorOnUnknownLabel) {
+  const LabelDictionary dict = MakeDict();
+  Result<Regex> r = Regex::Parse("NOPE*", dict);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegexParserTest, ErrorOnUnbalancedParen) {
+  const LabelDictionary dict = MakeDict();
+  EXPECT_FALSE(Regex::Parse("(DB | HR", dict).ok());
+  EXPECT_FALSE(Regex::Parse("DB)", dict).ok());
+  EXPECT_FALSE(Regex::Parse("", dict).ok());
+  EXPECT_FALSE(Regex::Parse("|", dict).ok());
+  EXPECT_FALSE(Regex::Parse("DB | | HR", dict).ok());
+}
+
+TEST(RegexParserTest, ToStringRoundTrips) {
+  const LabelDictionary dict = MakeDict();
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Regex r = Regex::Random(1 + rng.Uniform(8), dict.size(), &rng);
+    const std::string text = r.ToString(dict);
+    Result<Regex> reparsed = Regex::Parse(text, dict);
+    ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.status().ToString();
+    // Same language on random words (structural equality is too strict —
+    // printing normalizes grouping).
+    for (int w = 0; w < 30; ++w) {
+      std::vector<LabelId> word;
+      const size_t len = rng.Uniform(6);
+      for (size_t i = 0; i < len; ++i) {
+        word.push_back(static_cast<LabelId>(rng.Uniform(dict.size())));
+      }
+      EXPECT_EQ(r.Matches(word), reparsed.value().Matches(word))
+          << text << " on word of length " << len;
+    }
+  }
+}
+
+TEST(RegexRandomTest, HasRequestedSymbolCount) {
+  Rng rng(17);
+  for (size_t symbols = 1; symbols <= 12; ++symbols) {
+    const Regex r = Regex::Random(symbols, 5, &rng);
+    EXPECT_EQ(r.NumSymbols(), symbols);
+  }
+}
+
+}  // namespace
+}  // namespace pereach

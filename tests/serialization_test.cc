@@ -1,0 +1,136 @@
+#include "src/util/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace pereach {
+namespace {
+
+TEST(SerializationTest, PrimitivesRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutDouble(3.14159);
+  enc.PutString("hello");
+  enc.PutString("");
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.GetU8(), 0xAB);
+  EXPECT_EQ(dec.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(dec.GetDouble(), 3.14159);
+  EXPECT_EQ(dec.GetString(), "hello");
+  EXPECT_EQ(dec.GetString(), "");
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(SerializationTest, VarintBoundaries) {
+  const std::vector<uint64_t> values = {
+      0,   1,    127,        128,         16383,      16384,
+      ~0u, 1u << 31, uint64_t{1} << 32, uint64_t{1} << 63, ~uint64_t{0}};
+  Encoder enc;
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.buffer());
+  for (uint64_t v : values) EXPECT_EQ(dec.GetVarint(), v);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(SerializationTest, VarintIsCompactForSmallValues) {
+  Encoder enc;
+  enc.PutVarint(5);
+  EXPECT_EQ(enc.size(), 1u);
+  enc.PutVarint(127);
+  EXPECT_EQ(enc.size(), 2u);
+  enc.PutVarint(128);
+  EXPECT_EQ(enc.size(), 4u);  // two bytes for 128
+}
+
+TEST(SerializationTest, BitsetRoundTrip) {
+  Bitset b(77);
+  b.Set(0);
+  b.Set(7);
+  b.Set(8);
+  b.Set(63);
+  b.Set(64);
+  b.Set(76);
+  Encoder enc;
+  enc.PutBitset(b);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.GetBitset(), b);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(SerializationTest, BitsetWireSizeIsCeilBitsOver8) {
+  // The paper's traffic bound counts |F_i.O| bits per equation; verify the
+  // codec stays within one varint of that.
+  Bitset b(1000);
+  for (size_t i = 0; i < 1000; i += 2) b.Set(i);
+  Encoder enc;
+  enc.PutBitset(b);
+  EXPECT_LE(enc.size(), 1000 / 8 + 3u);
+}
+
+TEST(SerializationTest, EmptyBitsetRoundTrip) {
+  Bitset b(0);
+  Encoder enc;
+  enc.PutBitset(b);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.GetBitset().size(), 0u);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(SerializationTest, RandomBitsetsRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = rng.Uniform(500);
+    Bitset b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) b.Set(i);
+    }
+    Encoder enc;
+    enc.PutBitset(b);
+    Decoder dec(enc.buffer());
+    EXPECT_EQ(dec.GetBitset(), b);
+  }
+}
+
+TEST(SerializationTest, MixedRandomStreamRoundTrips) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint64_t> varints;
+    std::vector<std::string> strings;
+    Encoder enc;
+    for (int i = 0; i < 100; ++i) {
+      const uint64_t v = rng.engine()();
+      varints.push_back(v);
+      enc.PutVarint(v);
+      std::string s;
+      const size_t len = rng.Uniform(20);
+      for (size_t c = 0; c < len; ++c) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(26)));
+      }
+      strings.push_back(s);
+      enc.PutString(s);
+    }
+    Decoder dec(enc.buffer());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(dec.GetVarint(), varints[i]);
+      EXPECT_EQ(dec.GetString(), strings[i]);
+    }
+    EXPECT_TRUE(dec.Done());
+  }
+}
+
+TEST(SerializationTest, TakeBufferMovesContent) {
+  Encoder enc;
+  enc.PutU32(42);
+  std::vector<uint8_t> buf = enc.TakeBuffer();
+  EXPECT_EQ(buf.size(), 4u);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.GetU32(), 42u);
+}
+
+}  // namespace
+}  // namespace pereach

@@ -1,0 +1,65 @@
+#include "tests/test_util.h"
+
+#include "src/fragment/partitioner.h"
+
+namespace pereach {
+namespace testing_util {
+
+Graph MakeGraph(size_t n, const std::vector<std::pair<NodeId, NodeId>>& edges,
+                const std::vector<LabelId>& labels) {
+  GraphBuilder b;
+  b.AddNodes(n);
+  for (size_t v = 0; v < labels.size() && v < n; ++v) {
+    b.SetLabel(static_cast<NodeId>(v), labels[v]);
+  }
+  for (const auto& [u, v] : edges) b.AddEdge(u, v);
+  return std::move(b).Build();
+}
+
+std::vector<SiteId> RandomPartition(size_t n, size_t k, Rng* rng) {
+  std::vector<SiteId> part(n);
+  for (SiteId& s : part) s = static_cast<SiteId>(rng->Uniform(k));
+  EnsureNonEmptySites(&part, k, rng);
+  return part;
+}
+
+Fragmentation RandomFragmentation(const Graph& g, size_t k, Rng* rng) {
+  return Fragmentation::Build(g, RandomPartition(g.NumNodes(), k, rng), k);
+}
+
+PaperExample MakePaperExample() {
+  PaperExample ex;
+  const LabelId cto = ex.labels.Intern("CTO");
+  const LabelId hr = ex.labels.Intern("HR");
+  const LabelId db = ex.labels.Intern("DB");
+  const LabelId mk = ex.labels.Intern("MK");
+  const LabelId se = ex.labels.Intern("SE");
+  const LabelId ai = ex.labels.Intern("AI");
+  const LabelId fa = ex.labels.Intern("FA");
+
+  ex.names = {"Ann", "Walt", "Bill", "Fred", "Mat", "Emmy",
+              "Jack", "Pat",  "Ross", "Tom",  "Mark"};
+  const std::vector<LabelId> node_labels = {cto, hr, db, hr, hr, hr,
+                                            mk,  se, hr, ai, fa};
+  ex.graph = MakeGraph(
+      11,
+      {
+          {ex.ann, ex.walt},   // DC1 local
+          {ex.ann, ex.bill},   // DC1 local
+          {ex.walt, ex.mat},   // cross DC1 -> DC2
+          {ex.bill, ex.pat},   // cross DC1 -> DC3
+          {ex.fred, ex.emmy},  // cross DC1 -> DC2
+          {ex.mat, ex.fred},   // cross DC2 -> DC1
+          {ex.emmy, ex.mat},   // DC2 local
+          {ex.jack, ex.mat},   // DC2 local
+          {ex.emmy, ex.ross},  // cross DC2 -> DC3
+          {ex.pat, ex.jack},   // cross DC3 -> DC2
+          {ex.ross, ex.mark},  // DC3 local
+      },
+      node_labels);
+  ex.partition = {0, 0, 0, 0, 1, 1, 1, 2, 2, 2, 2};
+  return ex;
+}
+
+}  // namespace testing_util
+}  // namespace pereach

@@ -1,0 +1,49 @@
+#ifndef PEREACH_TESTS_TEST_UTIL_H_
+#define PEREACH_TESTS_TEST_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/fragment/fragmentation.h"
+#include "src/graph/graph.h"
+#include "src/util/common.h"
+#include "src/util/random.h"
+
+namespace pereach {
+namespace testing_util {
+
+/// Builds a graph with `n` nodes, the given edges, and labels (labels[v]
+/// defaults to 0 when the vector is shorter than n).
+Graph MakeGraph(size_t n, const std::vector<std::pair<NodeId, NodeId>>& edges,
+                const std::vector<LabelId>& labels = {});
+
+/// Uniform random partition of n nodes over k sites with every site
+/// non-empty (when n >= k).
+std::vector<SiteId> RandomPartition(size_t n, size_t k, Rng* rng);
+
+/// Builds graph + random partition + fragmentation in one call.
+Fragmentation RandomFragmentation(const Graph& g, size_t k, Rng* rng);
+
+/// The running example of the paper (Fig. 1): a recommendation network
+/// distributed over three data centers. Node ids:
+///   DC1: Ann=0 (CTO), Walt=1 (HR), Bill=2 (DB), Fred=3 (HR)
+///   DC2: Mat=4 (HR), Emmy=5 (HR), Jack=6 (MK)
+///   DC3: Pat=7 (SE), Ross=8 (HR), Tom=9 (AI), Mark=10 (FA)
+/// The recommendation chain Ann -> Walt -> Mat -> Fred -> Emmy -> Ross ->
+/// Mark exists (length 6, interior labels HR^5), matching Examples 1-8.
+struct PaperExample {
+  Graph graph;
+  std::vector<SiteId> partition;  // 3 sites
+  LabelDictionary labels;         // "CTO", "HR", "DB", ...
+  std::vector<std::string> names; // node id -> person name
+
+  NodeId ann = 0, walt = 1, bill = 2, fred = 3, mat = 4, emmy = 5, jack = 6,
+         pat = 7, ross = 8, tom = 9, mark = 10;
+};
+
+PaperExample MakePaperExample();
+
+}  // namespace testing_util
+}  // namespace pereach
+
+#endif  // PEREACH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+namespace pereach {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad regex");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad regex");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad regex");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OutOfRange: x");
+  EXPECT_EQ(Status::Corruption("x").ToString(), "Corruption: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 50; ++i) {
+    any_diff |= (a.Uniform(1u << 30) != b.Uniform(1u << 30));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformRange(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, GeometricIsAtLeastOne) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) EXPECT_GE(rng.Geometric(0.5), 1u);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(77), b(77);
+  Rng fa = a.Fork(), fb = b.Fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.Uniform(100), fb.Uniform(100));
+}
+
+// ---------------------------------------------------------------------------
+// StopWatch
+// ---------------------------------------------------------------------------
+
+TEST(StopWatchTest, MonotoneNonNegative) {
+  StopWatch w;
+  const double t1 = w.ElapsedMs();
+  const double t2 = w.ElapsedMs();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(w.ElapsedUs(), t2 * 1000.0 * 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForWithMoreWorkersThanItems) {
+  ThreadPool pool(16);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(3, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(50, [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 49 * 50 / 2);
+}
+
+TEST(ThreadPoolTest, SequentialParallelForsReusePool) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> counter{0};
+    pool.ParallelFor(64, [&counter](size_t) { counter.fetch_add(1); });
+    ASSERT_EQ(counter.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_seen{0};
+  pool.ParallelFor(4, [&](size_t) {
+    const int now = concurrent.fetch_add(1) + 1;
+    int expected = max_seen.load();
+    while (now > expected && !max_seen.compare_exchange_weak(expected, now)) {
+    }
+    // Give other workers a chance to overlap.
+    StopWatch w;
+    while (w.ElapsedMs() < 20.0) {
+    }
+    concurrent.fetch_sub(1);
+  });
+  EXPECT_GE(max_seen.load(), 2) << "no overlap observed on a 4-thread pool";
+}
+
+}  // namespace
+}  // namespace pereach
