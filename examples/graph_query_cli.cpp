@@ -3,7 +3,7 @@
 // the "downstream user" entry point of the library.
 //
 // Usage:
-//   graph_query_cli --graph=path.txt --sites=4 [--partitioner=chunk] \
+//   graph_query_cli --graph=path.txt --sites=4 [--partitioner=chunk]
 //       reach 17 1042
 //   graph_query_cli --generate=livejournal --scale=0.01 bounded 17 1042 6
 //   graph_query_cli --graph=g.txt regular 17 1042 "a (b | c)*"

@@ -30,18 +30,21 @@ struct WorkerState {
 }  // namespace
 
 QueryAnswer DisReachMp(Cluster* cluster, const ReachQuery& query) {
+  cluster->BeginQuery();
+  QueryAnswer answer = RunDisReachMp(cluster, query.source, query.target);
+  cluster->EndQuery();
+  answer.metrics = cluster->metrics();
+  return answer;
+}
+
+QueryAnswer RunDisReachMp(Cluster* cluster, NodeId s, NodeId t) {
   const Fragmentation& frag = cluster->fragmentation();
-  const NodeId s = query.source;
-  const NodeId t = query.target;
   const size_t k = frag.num_fragments();
 
   QueryAnswer answer;
-  cluster->BeginQuery();
   if (s == t) {
     answer.reachable = true;
     answer.distance = 0;
-    cluster->EndQuery();
-    answer.metrics = cluster->metrics();
     return answer;
   }
 
@@ -145,8 +148,6 @@ QueryAnswer DisReachMp(Cluster* cluster, const ReachQuery& query) {
   }
 
   answer.reachable = found.load(std::memory_order_relaxed);
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
   return answer;
 }
 

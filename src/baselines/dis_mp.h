@@ -22,6 +22,12 @@ namespace pereach {
 /// little work it carries — this is precisely the cost disReach avoids.
 QueryAnswer DisReachMp(Cluster* cluster, const ReachQuery& query);
 
+/// Engine entry point: runs the message-passing evaluation inside an
+/// already-open metrics window (Cluster::BeginQuery), leaving the answer's
+/// own metrics empty. Used by MessagePassingEngine to run several queries in
+/// one window; DisReachMp wraps it for the single-query case.
+QueryAnswer RunDisReachMp(Cluster* cluster, NodeId s, NodeId t);
+
 }  // namespace pereach
 
 #endif  // PEREACH_BASELINES_DIS_MP_H_

@@ -6,8 +6,6 @@
 
 namespace pereach {
 
-namespace {
-
 /// Ships every fragment to the coordinator and reassembles G, charging the
 /// cluster for the traffic; returns the rebuilt graph.
 Graph ShipAndReassemble(Cluster* cluster, size_t query_bytes) {
@@ -22,8 +20,6 @@ Graph ShipAndReassemble(Cluster* cluster, size_t query_bytes) {
   cluster->AddCoordinatorWorkMs(watch.ElapsedMs());
   return g;
 }
-
-}  // namespace
 
 Graph ReassembleGraph(const std::vector<std::vector<uint8_t>>& payloads,
                       size_t num_nodes) {

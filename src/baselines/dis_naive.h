@@ -24,6 +24,11 @@ QueryAnswer DisRpqNaive(Cluster* cluster, NodeId s, NodeId t,
 Graph ReassembleGraph(const std::vector<std::vector<uint8_t>>& payloads,
                       size_t num_nodes);
 
+/// One ship-all round inside an open metrics window: every site serializes
+/// its fragment, the coordinator reassembles G. NaiveShipAllEngine amortizes
+/// this over a batch (ship once, answer k queries centrally).
+Graph ShipAndReassemble(Cluster* cluster, size_t query_bytes);
+
 }  // namespace pereach
 
 #endif  // PEREACH_BASELINES_DIS_NAIVE_H_

@@ -51,13 +51,13 @@ void SerializeDense(const RegularPartialAnswer& pa, Encoder* enc) {
 
 RegularPartialAnswer DeserializeDense(Decoder* dec) {
   RegularPartialAnswer pa;
-  const size_t num_vars = dec->GetVarint();
+  const size_t num_vars = dec->GetCount(2);
   pa.var_table.resize(num_vars);
   for (auto& [node, state] : pa.var_table) {
     node = static_cast<NodeId>(dec->GetVarint());
     state = dec->GetU8();
   }
-  const size_t num_eq = dec->GetVarint();
+  const size_t num_eq = dec->GetCount(4);
   pa.equations.resize(num_eq);
   for (RegularPartialAnswer::Equation& eq : pa.equations) {
     eq.var_global = static_cast<NodeId>(dec->GetVarint());
@@ -74,8 +74,16 @@ RegularPartialAnswer DeserializeDense(Decoder* dec) {
 
 QueryAnswer DisRpqSuciu(Cluster* cluster, NodeId s, NodeId t,
                         const QueryAutomaton& automaton) {
-  QueryAnswer answer;
   cluster->BeginQuery();
+  QueryAnswer answer = RunDisRpqSuciu(cluster, s, t, automaton);
+  cluster->EndQuery();
+  answer.metrics = cluster->metrics();
+  return answer;
+}
+
+QueryAnswer RunDisRpqSuciu(Cluster* cluster, NodeId s, NodeId t,
+                           const QueryAutomaton& automaton) {
+  QueryAnswer answer;
 
   // Visit 1: broadcast the automaton; sites compute and ship their full
   // boundary relations.
@@ -107,8 +115,6 @@ QueryAnswer DisRpqSuciu(Cluster* cluster, NodeId s, NodeId t,
     return std::vector<uint8_t>{verdict};
   });
 
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
   return answer;
 }
 

@@ -17,6 +17,12 @@ namespace pereach {
 QueryAnswer DisRpqSuciu(Cluster* cluster, NodeId s, NodeId t,
                         const QueryAutomaton& automaton);
 
+/// Engine entry point: runs the evaluation inside an already-open metrics
+/// window (Cluster::BeginQuery), leaving the answer's own metrics empty.
+/// Used by SuciuRpqEngine to run several queries in one window.
+QueryAnswer RunDisRpqSuciu(Cluster* cluster, NodeId s, NodeId t,
+                           const QueryAutomaton& automaton);
+
 }  // namespace pereach
 
 #endif  // PEREACH_BASELINES_DIS_RPQ_SUCIU_H_

@@ -1,51 +1,13 @@
 #include "src/core/dis_dist.h"
 
-#include "src/bes/distance_system.h"
-#include "src/core/local_eval.h"
-#include "src/util/timer.h"
+#include "src/engine/partial_eval_engine.h"
 
 namespace pereach {
 
 QueryAnswer DisDist(Cluster* cluster, const BoundedReachQuery& query) {
-  const NodeId s = query.source;
-  const NodeId t = query.target;
-
-  QueryAnswer answer;
-  cluster->BeginQuery();
-  if (s == t) {
-    answer.reachable = true;
-    answer.distance = 0;
-    cluster->EndQuery();
-    answer.metrics = cluster->metrics();
-    return answer;
-  }
-
-  Encoder query_enc;
-  query_enc.PutVarint(s);
-  query_enc.PutVarint(t);
-  query_enc.PutVarint(query.bound);
-  const uint32_t bound = query.bound;
-  const std::vector<std::vector<uint8_t>> replies = cluster->RoundAll(
-      query_enc.size(), [s, t, bound](const Fragment& f) {
-        Encoder enc;
-        LocalEvalDist(f, s, t, bound).Serialize(&enc);
-        return enc.TakeBuffer();
-      });
-
-  StopWatch assemble_watch;
-  DistanceEquationSystem system;
-  for (const std::vector<uint8_t>& reply : replies) {
-    Decoder dec(reply);
-    DistPartialAnswer::Deserialize(&dec).AddToSystem(&system);
-  }
-  answer.distance = system.Evaluate(s);
-  answer.reachable =
-      answer.distance != kInfWeight && answer.distance <= query.bound;
-  cluster->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
-
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
-  return answer;
+  PartialEvalEngine engine(cluster);
+  return engine.Evaluate(
+      Query::Dist(query.source, query.target, query.bound));
 }
 
 }  // namespace pereach

@@ -12,6 +12,8 @@ namespace pereach {
 /// locally measured distances; the coordinator runs Dijkstra over the
 /// weighted dependency graph (evalDGd). Same guarantees as disReach
 /// (Theorem 2). answer.distance is the exact distance when <= l.
+///
+/// Thin single-query wrapper over PartialEvalEngine (src/engine).
 QueryAnswer DisDist(Cluster* cluster, const BoundedReachQuery& query);
 
 }  // namespace pereach

@@ -1,49 +1,12 @@
 #include "src/core/dis_reach.h"
 
-#include "src/bes/bes.h"
-#include "src/core/local_eval.h"
-#include "src/util/timer.h"
+#include "src/engine/partial_eval_engine.h"
 
 namespace pereach {
 
 QueryAnswer DisReach(Cluster* cluster, const ReachQuery& query) {
-  const NodeId s = query.source;
-  const NodeId t = query.target;
-
-  QueryAnswer answer;
-  cluster->BeginQuery();
-  if (s == t) {
-    answer.reachable = true;
-    answer.distance = 0;
-    cluster->EndQuery();
-    answer.metrics = cluster->metrics();
-    return answer;
-  }
-
-  // Step 1+2: post q_r(s, t) to all sites; each runs localEval in parallel.
-  Encoder query_enc;
-  query_enc.PutVarint(s);
-  query_enc.PutVarint(t);
-  const std::vector<std::vector<uint8_t>> replies = cluster->RoundAll(
-      query_enc.size(), [s, t](const Fragment& f) {
-        Encoder enc;
-        LocalEvalReach(f, s, t).Serialize(&enc);
-        return enc.TakeBuffer();
-      });
-
-  // Step 3: assemble RVset and solve it (evalDG).
-  StopWatch assemble_watch;
-  BooleanEquationSystem bes;
-  for (const std::vector<uint8_t>& reply : replies) {
-    Decoder dec(reply);
-    ReachPartialAnswer::Deserialize(&dec).AddToBes(&bes);
-  }
-  answer.reachable = bes.Evaluate(s);
-  cluster->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
-
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
-  return answer;
+  PartialEvalEngine engine(cluster);
+  return engine.Evaluate(Query::Reach(query.source, query.target));
 }
 
 }  // namespace pereach

@@ -15,6 +15,9 @@ namespace pereach {
 ///     dependency-graph procedure evalDG (Fig. 4).
 /// Guarantees (Theorem 1): one visit per site, O(|V_f|^2) traffic,
 /// O(|V_f| |F_m|) time. Metrics are recorded in answer.metrics.
+///
+/// Thin single-query wrapper over PartialEvalEngine (src/engine); use the
+/// engine directly to batch queries and keep per-fragment caches warm.
 QueryAnswer DisReach(Cluster* cluster, const ReachQuery& query);
 
 }  // namespace pereach

@@ -1,47 +1,18 @@
 #include "src/core/dis_rpq.h"
 
-#include "src/bes/bes.h"
-#include "src/core/local_eval.h"
-#include "src/util/timer.h"
+#include "src/engine/partial_eval_engine.h"
 
 namespace pereach {
 
 QueryAnswer DisRpq(Cluster* cluster, const RegularReachQuery& query) {
-  const QueryAutomaton automaton = QueryAutomaton::FromRegex(query.regex);
-  return DisRpqAutomaton(cluster, query.source, query.target, automaton);
+  return DisRpqAutomaton(cluster, query.source, query.target,
+                         QueryAutomaton::FromRegex(query.regex));
 }
 
 QueryAnswer DisRpqAutomaton(Cluster* cluster, NodeId s, NodeId t,
                             const QueryAutomaton& automaton) {
-  QueryAnswer answer;
-  cluster->BeginQuery();
-
-  // Step 1+2: broadcast G_q(R) (plus s, t) to all sites; each runs
-  // localEvalr in parallel.
-  Encoder query_enc;
-  query_enc.PutVarint(s);
-  query_enc.PutVarint(t);
-  automaton.Serialize(&query_enc);
-  const std::vector<std::vector<uint8_t>> replies = cluster->RoundAll(
-      query_enc.size(), [s, t, &automaton](const Fragment& f) {
-        Encoder enc;
-        LocalEvalRegular(f, automaton, s, t).Serialize(&enc);
-        return enc.TakeBuffer();
-      });
-
-  // Step 3: assemble the (node, state) equation system and run evalDGr.
-  StopWatch assemble_watch;
-  BooleanEquationSystem bes;
-  for (const std::vector<uint8_t>& reply : replies) {
-    Decoder dec(reply);
-    RegularPartialAnswer::Deserialize(&dec).AddToBes(&bes);
-  }
-  answer.reachable = bes.Evaluate(PackNodeState(s, QueryAutomaton::kStart));
-  cluster->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
-
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
-  return answer;
+  PartialEvalEngine engine(cluster);
+  return engine.Evaluate(Query::Rpq(s, t, automaton));
 }
 
 }  // namespace pereach

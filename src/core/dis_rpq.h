@@ -15,6 +15,8 @@ namespace pereach {
 /// dependency graph over those variables and checks whether (s, u_s)
 /// reaches a true formula (evalDGr). Guarantees (Theorem 3): one visit per
 /// site, O(|R|^2 |V_f|^2) traffic, O(|F_m||R|^2 + |R|^2|V_f|^2) time.
+///
+/// Thin single-query wrapper over PartialEvalEngine (src/engine).
 QueryAnswer DisRpq(Cluster* cluster, const RegularReachQuery& query);
 
 /// Variant taking a pre-built automaton (used by benches that sweep the

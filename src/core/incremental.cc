@@ -125,7 +125,11 @@ void IncrementalReachIndex::AddEdge(NodeId u, NodeId v) {
   // u's fragment gains an edge: its reachable sets may grow. A cross edge
   // additionally makes v an in-node of its fragment, adding an equation row.
   cache_valid_[partition_[u]] = false;
-  if (partition_[u] != partition_[v]) cache_valid_[partition_[v]] = false;
+  if (update_listener_) update_listener_(partition_[u]);
+  if (partition_[u] != partition_[v]) {
+    cache_valid_[partition_[v]] = false;
+    if (update_listener_) update_listener_(partition_[v]);
+  }
   RebuildStructure();
 }
 

@@ -1,6 +1,7 @@
 #ifndef PEREACH_CORE_INCREMENTAL_H_
 #define PEREACH_CORE_INCREMENTAL_H_
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -38,6 +39,16 @@ class IncrementalReachIndex {
   /// Inserts edge (u, v) and invalidates only the affected caches.
   void AddEdge(NodeId u, NodeId v);
 
+  /// Registers a callback invoked with every fragment id whose cached
+  /// query-independent structure an AddEdge invalidates (u's fragment, and
+  /// v's when the edge crosses fragments). External caches keyed by fragment
+  /// — e.g. a PartialEvalEngine's FragmentContextCache over this index's
+  /// fragmentation — hook here so all update flows share one invalidation
+  /// path.
+  void SetUpdateListener(std::function<void(SiteId)> listener) {
+    update_listener_ = std::move(listener);
+  }
+
   /// Number of per-fragment equation recomputations performed so far —
   /// the ablation benches compare this against card(F) * updates.
   size_t recompute_count() const { return recompute_count_; }
@@ -60,6 +71,7 @@ class IncrementalReachIndex {
   std::vector<std::vector<BoolEquation>> cached_equations_;
   std::vector<bool> cache_valid_;
   size_t recompute_count_ = 0;
+  std::function<void(SiteId)> update_listener_;
 };
 
 }  // namespace pereach

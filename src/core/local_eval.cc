@@ -41,7 +41,7 @@ std::vector<uint32_t> DecodeIndexSet(Decoder* dec) {
     row.ForEachSetBit(
         [&indices](size_t i) { indices.push_back(static_cast<uint32_t>(i)); });
   } else {
-    const size_t n = dec->GetVarint();
+    const size_t n = dec->GetCount();
     indices.reserve(n);
     uint32_t prev = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -62,7 +62,7 @@ void EncodeDeltaList(const std::vector<uint32_t>& values, Encoder* enc) {
 }
 
 std::vector<uint32_t> DecodeDeltaList(Decoder* dec) {
-  std::vector<uint32_t> values(dec->GetVarint());
+  std::vector<uint32_t> values(dec->GetCount());
   uint32_t prev = 0;
   for (uint32_t& v : values) {
     prev += static_cast<uint32_t>(dec->GetVarint());
@@ -132,11 +132,17 @@ GenericSystem ComputeBoundarySystem(const Graph& g,
                                     const std::vector<NodeId>& sources,
                                     const std::vector<NodeId>& targets,
                                     const std::vector<bool>& target_is_true,
-                                    EquationForm form) {
+                                    EquationForm form,
+                                    const Condensation* precomputed = nullptr) {
   GenericSystem sys;
   if (sources.empty()) return sys;
 
-  const Condensation cond = Condense(g);
+  Condensation local_cond;
+  if (precomputed == nullptr) {
+    local_cond = Condense(g);
+    precomputed = &local_cond;
+  }
+  const Condensation& cond = *precomputed;
   const size_t k = cond.scc.num_components;
 
   // Terminal targets per component (virtual nodes are sinks, so their
@@ -240,7 +246,7 @@ GenericSystem ComputeBoundarySystem(const Graph& g,
   // Closure form: one equation per source component (grouped propagation),
   // aliases for the other sources of each component.
   std::vector<uint32_t> group_of = ForEachReachableTargetGrouped(
-      g, sources, targets, kReachBlockBits,
+      cond, sources, targets, kReachBlockBits,
       [&sys, &target_is_true](uint32_t group, uint32_t ti) {
         if (sys.equations.size() <= group) sys.equations.resize(group + 1);
         GenericEquation& eq = sys.equations[group];
@@ -271,10 +277,13 @@ GenericSystem ComputeBoundarySystem(const Graph& g,
 // Reachability
 // ---------------------------------------------------------------------------
 
-void ReachPartialAnswer::Serialize(Encoder* enc) const {
+void ReachPartialAnswer::SerializeShared(Encoder* enc) const {
   enc->PutVarint(site);
   enc->PutVarint(oset_globals.size());
   for (NodeId g : oset_globals) enc->PutVarint(g);
+}
+
+void ReachPartialAnswer::SerializeBody(size_t universe, Encoder* enc) const {
   enc->PutVarint(aliases.size());
   for (const Alias& a : aliases) {
     enc->PutU8(a.rep_is_aux ? 1 : 0);
@@ -286,23 +295,27 @@ void ReachPartialAnswer::Serialize(Encoder* enc) const {
     enc->PutU8(static_cast<uint8_t>((eq.has_true ? 1 : 0) |
                                     (eq.is_aux ? 2 : 0)));
     enc->PutVarint(eq.var);
-    EncodeIndexSet(eq.deps, oset_globals.size(), enc);
+    EncodeIndexSet(eq.deps, universe, enc);
     EncodeDeltaList(eq.aux_deps, enc);
   }
 }
 
-ReachPartialAnswer ReachPartialAnswer::Deserialize(Decoder* dec) {
+void ReachPartialAnswer::Serialize(Encoder* enc) const {
+  SerializeShared(enc);
+  SerializeBody(enc);
+}
+
+ReachPartialAnswer ReachPartialAnswer::DeserializeBody(Decoder* dec,
+                                                       SiteId site) {
   ReachPartialAnswer pa;
-  pa.site = static_cast<SiteId>(dec->GetVarint());
-  pa.oset_globals.resize(dec->GetVarint());
-  for (NodeId& g : pa.oset_globals) g = static_cast<NodeId>(dec->GetVarint());
-  pa.aliases.resize(dec->GetVarint());
+  pa.site = site;
+  pa.aliases.resize(dec->GetCount());
   for (Alias& a : pa.aliases) {
     a.rep_is_aux = dec->GetU8() != 0;
     a.var = static_cast<NodeId>(dec->GetVarint());
     a.rep = static_cast<NodeId>(dec->GetVarint());
   }
-  pa.equations.resize(dec->GetVarint());
+  pa.equations.resize(dec->GetCount());
   for (Equation& eq : pa.equations) {
     const uint8_t flags = dec->GetU8();
     eq.has_true = (flags & 1) != 0;
@@ -314,14 +327,27 @@ ReachPartialAnswer ReachPartialAnswer::Deserialize(Decoder* dec) {
   return pa;
 }
 
-void ReachPartialAnswer::AddToBes(BooleanEquationSystem* bes) const {
+ReachPartialAnswer ReachPartialAnswer::Deserialize(Decoder* dec) {
+  const SiteId site = static_cast<SiteId>(dec->GetVarint());
+  std::vector<NodeId> oset_globals(dec->GetCount());
+  for (NodeId& g : oset_globals) g = static_cast<NodeId>(dec->GetVarint());
+  ReachPartialAnswer pa = DeserializeBody(dec, site);
+  pa.oset_globals = std::move(oset_globals);
+  return pa;
+}
+
+void ReachPartialAnswer::AddToBes(const std::vector<NodeId>& frontier,
+                                  BooleanEquationSystem* bes) const {
   bes->Reserve(equations.size() + aliases.size());
   for (const Equation& eq : equations) {
     BoolEquation out;
     out.var = eq.is_aux ? PackAuxVar(site, eq.var) : eq.var;
     out.has_true = eq.has_true;
     out.deps.reserve(eq.deps.size() + eq.aux_deps.size());
-    for (uint32_t i : eq.deps) out.deps.push_back(oset_globals[i]);
+    for (uint32_t i : eq.deps) {
+      PEREACH_CHECK(i < frontier.size() && "dep index outside frontier table");
+      out.deps.push_back(frontier[i]);
+    }
     for (uint32_t a : eq.aux_deps) out.deps.push_back(PackAuxVar(site, a));
     bes->Add(std::move(out));
   }
@@ -332,7 +358,7 @@ void ReachPartialAnswer::AddToBes(BooleanEquationSystem* bes) const {
 }
 
 ReachPartialAnswer LocalEvalReach(const Fragment& f, NodeId s, NodeId t,
-                                  EquationForm form) {
+                                  EquationForm form, const Condensation* cond) {
   const std::vector<NodeId> iset = CollectISet(f, s);
   const std::vector<NodeId> oset = CollectOSet(f, t);
 
@@ -347,7 +373,7 @@ ReachPartialAnswer LocalEvalReach(const Fragment& f, NodeId s, NodeId t,
   }
 
   GenericSystem sys = ComputeBoundarySystem(f.local_graph(), iset, oset,
-                                            target_is_true, form);
+                                            target_is_true, form, cond);
   pa.equations.reserve(sys.equations.size());
   for (GenericEquation& eq : sys.equations) {
     ReachPartialAnswer::Equation out;
@@ -392,16 +418,16 @@ void DistPartialAnswer::Serialize(Encoder* enc) const {
 
 DistPartialAnswer DistPartialAnswer::Deserialize(Decoder* dec) {
   DistPartialAnswer pa;
-  const size_t num_oset = dec->GetVarint();
+  const size_t num_oset = dec->GetCount();
   pa.oset_globals.resize(num_oset);
   for (NodeId& g : pa.oset_globals) g = static_cast<NodeId>(dec->GetVarint());
-  const size_t num_eq = dec->GetVarint();
+  const size_t num_eq = dec->GetCount();
   pa.equations.resize(num_eq);
   for (Equation& eq : pa.equations) {
     eq.var_global = static_cast<NodeId>(dec->GetVarint());
     const uint64_t base = dec->GetVarint();
     eq.base = base == 0 ? kInfWeight : base - 1;
-    const size_t num_terms = dec->GetVarint();
+    const size_t num_terms = dec->GetCount(2);
     eq.terms.reserve(num_terms);
     uint32_t prev = 0;
     for (size_t i = 0; i < num_terms; ++i) {
@@ -490,12 +516,12 @@ void RegularPartialAnswer::Serialize(Encoder* enc) const {
 RegularPartialAnswer RegularPartialAnswer::Deserialize(Decoder* dec) {
   RegularPartialAnswer pa;
   pa.site = static_cast<SiteId>(dec->GetVarint());
-  pa.var_table.resize(dec->GetVarint());
+  pa.var_table.resize(dec->GetCount(2));
   for (auto& [node, state] : pa.var_table) {
     node = static_cast<NodeId>(dec->GetVarint());
     state = dec->GetU8();
   }
-  pa.aliases.resize(dec->GetVarint());
+  pa.aliases.resize(dec->GetCount(5));
   for (Alias& a : pa.aliases) {
     a.rep_is_aux = dec->GetU8() != 0;
     a.var_global = static_cast<NodeId>(dec->GetVarint());
@@ -503,7 +529,7 @@ RegularPartialAnswer RegularPartialAnswer::Deserialize(Decoder* dec) {
     a.rep_global = static_cast<NodeId>(dec->GetVarint());
     a.rep_state = dec->GetU8();
   }
-  pa.equations.resize(dec->GetVarint());
+  pa.equations.resize(dec->GetCount(5));
   for (Equation& eq : pa.equations) {
     const uint8_t flags = dec->GetU8();
     eq.has_true = (flags & 1) != 0;
@@ -539,21 +565,43 @@ void RegularPartialAnswer::AddToBes(BooleanEquationSystem* bes) const {
   }
 }
 
+LabelIndex LabelIndex::Build(const Graph& g) {
+  std::unordered_map<LabelId, std::vector<NodeId>> by_label;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) by_label[g.label(v)].push_back(v);
+  LabelIndex index;
+  index.groups.reserve(by_label.size());
+  for (auto& [label, nodes] : by_label) {
+    index.groups.emplace_back(label, std::move(nodes));
+  }
+  return index;
+}
+
 RegularPartialAnswer LocalEvalRegular(const Fragment& f,
                                       const QueryAutomaton& automaton,
-                                      NodeId s, NodeId t, EquationForm form) {
+                                      NodeId s, NodeId t, EquationForm form,
+                                      const LabelIndex* labels) {
   const Graph& g = f.local_graph();
   const size_t n = g.NumNodes();
 
   // Compatibility mask per local node: interior states matching the node's
   // label, u_s for the node s itself, u_t for t itself (§5.1 semantics).
+  // With a label index, one automaton probe per distinct label suffices.
   std::vector<uint64_t> compat(n);
-  for (NodeId v = 0; v < n; ++v) {
-    uint64_t mask = automaton.StatesWithLabel(g.label(v));
-    const NodeId global = f.ToGlobal(v);
-    if (global == s) mask |= uint64_t{1} << QueryAutomaton::kStart;
-    if (global == t) mask |= uint64_t{1} << QueryAutomaton::kFinal;
-    compat[v] = mask;
+  if (labels != nullptr) {
+    for (const auto& [label, nodes] : labels->groups) {
+      const uint64_t mask = automaton.StatesWithLabel(label);
+      for (NodeId v : nodes) compat[v] = mask;
+    }
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      compat[v] = automaton.StatesWithLabel(g.label(v));
+    }
+  }
+  if (f.ToLocal(s) != kInvalidNode) {
+    compat[f.ToLocal(s)] |= uint64_t{1} << QueryAutomaton::kStart;
+  }
+  if (f.ToLocal(t) != kInvalidNode) {
+    compat[f.ToLocal(t)] |= uint64_t{1} << QueryAutomaton::kFinal;
   }
 
   // Dense product node ids: pid(v, q) = offset[v] + rank of q in compat[v].

@@ -8,6 +8,7 @@
 #include "src/bes/bes.h"
 #include "src/bes/distance_system.h"
 #include "src/fragment/fragment.h"
+#include "src/graph/algorithms.h"
 #include "src/regex/query_automaton.h"
 #include "src/util/common.h"
 #include "src/util/serialization.h"
@@ -82,17 +83,42 @@ struct ReachPartialAnswer {
   void Serialize(Encoder* enc) const;
   static ReachPartialAnswer Deserialize(Decoder* dec);
 
+  /// Split wire format for batched replies: a site serving k queries ships
+  /// the query-independent shared part (site id + oset table) once and one
+  /// body (aliases + equations referencing that shared table) per query.
+  /// The `universe` / `frontier` overloads work against an external shared
+  /// table so batch paths never copy it per query; a DeserializeBody'd
+  /// answer has an empty oset_globals and must AddToBes with the external
+  /// table.
+  void SerializeShared(Encoder* enc) const;
+  void SerializeBody(size_t universe, Encoder* enc) const;
+  void SerializeBody(Encoder* enc) const {
+    SerializeBody(oset_globals.size(), enc);
+  }
+  static ReachPartialAnswer DeserializeBody(Decoder* dec, SiteId site);
+
   /// Converts equations and aliases to BES equations (aux variables are
-  /// namespaced by `site`). Reserves capacity up front.
-  void AddToBes(BooleanEquationSystem* bes) const;
+  /// namespaced by `site`). Reserves capacity up front. `frontier` is the
+  /// table dep indices resolve against (oset_globals, or a batch's shared
+  /// table).
+  void AddToBes(const std::vector<NodeId>& frontier,
+                BooleanEquationSystem* bes) const;
+  void AddToBes(BooleanEquationSystem* bes) const {
+    AddToBes(oset_globals, bes);
+  }
 };
 
 /// Runs localEval on one fragment: for every in-node (and s if local),
 /// a formula over the virtual nodes it reaches inside F_i and whether it
 /// reaches t locally. One SCC condensation; O(|F_i| · |oset|/64) worst case
 /// (closure form), O(|F_i|) for the DAG form.
+///
+/// `cond`, when non-null, must be the condensation of f.local_graph(); the
+/// per-query Tarjan pass is skipped. Engines cache it per fragment
+/// (FragmentContext) because it is query-independent.
 ReachPartialAnswer LocalEvalReach(const Fragment& f, NodeId s, NodeId t,
-                                  EquationForm form = EquationForm::kAuto);
+                                  EquationForm form = EquationForm::kAuto,
+                                  const Condensation* cond = nullptr);
 
 // ---------------------------------------------------------------------------
 // Bounded reachability (paper §4, procedure localEvald)
@@ -161,14 +187,28 @@ struct RegularPartialAnswer {
   void AddToBes(BooleanEquationSystem* bes) const;
 };
 
+/// Query-independent index of a fragment's nodes grouped by label. Lets
+/// localEvalr compute one automaton compatibility mask per distinct label
+/// instead of one hash probe per node; cached per fragment by engines.
+struct LabelIndex {
+  std::vector<std::pair<LabelId, std::vector<NodeId>>> groups;
+
+  static LabelIndex Build(const Graph& g);
+};
+
 /// Runs localEvalr: builds the label-compatible product of the fragment
 /// with G_q and encodes its boundary equation system. Equivalent to the
 /// paper's memoized cmpRvec but correct on cyclic fragments (see DESIGN.md
 /// §1.4); O(|F_i| |R|^2) plus the closure bitset factor when that form wins.
+///
+/// `labels`, when non-null, must be LabelIndex::Build(f.local_graph()) —
+/// the product-graph condensation is query-dependent and cannot be cached,
+/// but the label grouping can.
 RegularPartialAnswer LocalEvalRegular(const Fragment& f,
                                       const QueryAutomaton& automaton,
                                       NodeId s, NodeId t,
-                                      EquationForm form = EquationForm::kAuto);
+                                      EquationForm form = EquationForm::kAuto,
+                                      const LabelIndex* labels = nullptr);
 
 }  // namespace pereach
 

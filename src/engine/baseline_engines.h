@@ -1,0 +1,53 @@
+#ifndef PEREACH_ENGINE_BASELINE_ENGINES_H_
+#define PEREACH_ENGINE_BASELINE_ENGINES_H_
+
+#include "src/engine/query_engine.h"
+
+namespace pereach {
+
+/// The §7 baselines behind the QueryEngine interface, so benches and tests
+/// compare engines on equal footing (same batch, same metrics window).
+
+/// Ship-all (disReachn / disDistn / disRPQn): one round ships every fragment
+/// to the coordinator, which reassembles G and answers centrally. Its batch
+/// adaptation ships the graph ONCE per batch — traffic stays Θ(|G|) per
+/// batch instead of per query, but every query still pays the centralized
+/// evaluation and the coordinator holds the whole graph.
+class NaiveShipAllEngine : public QueryEngine {
+ public:
+  explicit NaiveShipAllEngine(Cluster* cluster) : QueryEngine(cluster) {}
+  std::string_view name() const override { return "naive-ship-all"; }
+
+ protected:
+  void RunBatch(std::span<const Query> queries,
+                std::vector<QueryAnswer>* answers) override;
+};
+
+/// Pregel-style message passing (disReachm). Reachability only; every query
+/// pays its own sequence of supersteps, so a batch of k costs k times the
+/// rounds of a single query — the round-count contrast to PartialEvalEngine.
+class MessagePassingEngine : public QueryEngine {
+ public:
+  explicit MessagePassingEngine(Cluster* cluster) : QueryEngine(cluster) {}
+  std::string_view name() const override { return "message-passing"; }
+
+ protected:
+  void RunBatch(std::span<const Query> queries,
+                std::vector<QueryAnswer>* answers) override;
+};
+
+/// Suciu-style distributed RPQ (disRPQd). Regular queries only; two visits
+/// per site per query, no multiplexing.
+class SuciuRpqEngine : public QueryEngine {
+ public:
+  explicit SuciuRpqEngine(Cluster* cluster) : QueryEngine(cluster) {}
+  std::string_view name() const override { return "suciu-rpq"; }
+
+ protected:
+  void RunBatch(std::span<const Query> queries,
+                std::vector<QueryAnswer>* answers) override;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_ENGINE_BASELINE_ENGINES_H_

@@ -1,0 +1,106 @@
+#include "src/engine/fragment_context.h"
+
+#include <algorithm>
+
+namespace pereach {
+
+namespace {
+constexpr size_t kRowBlockBits = 4096;
+}  // namespace
+
+const Condensation& FragmentContext::cond(const Fragment& f) {
+  if (!cond_.has_value()) {
+    cond_ = Condense(f.local_graph());
+    ++section_builds_;
+  }
+  return *cond_;
+}
+
+void FragmentContext::EnsureOset(const Fragment& f) {
+  if (oset_built_) return;
+  oset_locals_.reserve(f.num_virtual());
+  oset_globals_.reserve(f.num_virtual());
+  oset_index_.reserve(f.num_virtual());
+  for (NodeId v = static_cast<NodeId>(f.num_local());
+       v < f.local_graph().NumNodes(); ++v) {
+    const NodeId global = f.ToGlobal(v);
+    oset_index_.emplace(global, static_cast<uint32_t>(oset_locals_.size()));
+    oset_locals_.push_back(v);
+    oset_globals_.push_back(global);
+  }
+  oset_built_ = true;
+  ++section_builds_;
+}
+
+const std::vector<NodeId>& FragmentContext::oset_locals(const Fragment& f) {
+  EnsureOset(f);
+  return oset_locals_;
+}
+
+const std::vector<NodeId>& FragmentContext::oset_globals(const Fragment& f) {
+  EnsureOset(f);
+  return oset_globals_;
+}
+
+const std::vector<uint32_t>& FragmentContext::oset_comp(const Fragment& f) {
+  if (oset_comp_.empty() && f.num_virtual() > 0) {
+    EnsureOset(f);
+    const Condensation& c = cond(f);
+    oset_comp_.reserve(oset_locals_.size());
+    for (NodeId v : oset_locals_) {
+      oset_comp_.push_back(c.scc.component_of[v]);
+    }
+  }
+  return oset_comp_;
+}
+
+uint32_t FragmentContext::OsetIndexOf(NodeId global) const {
+  const auto it = oset_index_.find(global);
+  return it == oset_index_.end() ? kNoIndex : it->second;
+}
+
+const FragmentContext::ReachRows& FragmentContext::reach_rows(
+    const Fragment& f) {
+  if (!rows_.has_value()) {
+    EnsureOset(f);
+    const Condensation& c = cond(f);
+    ReachRows rows;
+    // Dense group ids in first-appearance order over in_nodes() — the same
+    // rule ForEachReachableTargetGrouped applies, so its emitted group ids
+    // line up with these.
+    std::unordered_map<uint32_t, uint32_t> group_of_comp;
+    rows.in_group.reserve(f.in_nodes().size());
+    for (NodeId in : f.in_nodes()) {
+      const uint32_t comp = c.scc.component_of[in];
+      const auto [it, inserted] = group_of_comp.emplace(
+          comp, static_cast<uint32_t>(rows.group_rep.size()));
+      if (inserted) {
+        rows.group_rep.push_back(in);
+        rows.group_comp.push_back(comp);
+      }
+      rows.in_group.push_back(it->second);
+    }
+    rows.rows.resize(rows.group_rep.size());
+    if (!oset_locals_.empty()) {
+      const std::vector<uint32_t> sweep_groups = ForEachReachableTargetGrouped(
+          c, f.in_nodes(), oset_locals_, kRowBlockBits,
+          [&rows](uint32_t group, uint32_t oset_idx) {
+            rows.rows[group].push_back(oset_idx);
+          });
+      PEREACH_CHECK(sweep_groups == rows.in_group);
+    }
+    rows_ = std::move(rows);
+    ++section_builds_;
+  }
+  return *rows_;
+}
+
+const LabelIndex& FragmentContext::label_index(const Fragment& f) {
+  if (!label_index_.has_value()) {
+    label_index_ = LabelIndex::Build(f.local_graph());
+    ++section_builds_;
+  }
+  return *label_index_;
+}
+
+}  // namespace pereach

@@ -1,0 +1,123 @@
+#ifndef PEREACH_ENGINE_FRAGMENT_CONTEXT_H_
+#define PEREACH_ENGINE_FRAGMENT_CONTEXT_H_
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/local_eval.h"
+#include "src/fragment/fragmentation.h"
+#include "src/graph/algorithms.h"
+#include "src/util/common.h"
+
+namespace pereach {
+
+/// Query-independent precomputed structure of one fragment, built once and
+/// reused by every query of every class (§8 "combine partial evaluation and
+/// incremental computation", generalized to a standing cache):
+///  - the SCC condensation of the local graph (reach, all equation forms);
+///  - the boundary tables: virtual-node oset with global ids and a
+///    global -> oset-index map (all classes);
+///  - the closure rows: per in-node SCC group, the set of oset indices the
+///    group reaches locally — the whole query-independent part of localEval,
+///    leaving only O(|cond|) per-query work for s and t;
+///  - the label index (regular reachability compatibility masks).
+/// Sections build lazily so workloads only pay for what they touch.
+///
+/// Thread-safety: one FragmentContext may be used by one thread at a time.
+/// The engine's cluster rounds satisfy this — each site is simulated by a
+/// single pool thread per round.
+class FragmentContext {
+ public:
+  static constexpr uint32_t kNoIndex = std::numeric_limits<uint32_t>::max();
+
+  /// Closure-form boundary equations over in-node SCC groups.
+  struct ReachRows {
+    std::vector<uint32_t> in_group;   // per f.in_nodes() position -> group
+    std::vector<NodeId> group_rep;    // group -> local id of its first in-node
+    std::vector<uint32_t> group_comp; // group -> condensation component
+    std::vector<std::vector<uint32_t>> rows;  // group -> ascending oset idx
+  };
+
+  /// SCC condensation of f.local_graph().
+  const Condensation& cond(const Fragment& f);
+
+  /// Virtual nodes (local ids, ascending) and their global ids.
+  const std::vector<NodeId>& oset_locals(const Fragment& f);
+  const std::vector<NodeId>& oset_globals(const Fragment& f);
+
+  /// Condensation component of each oset entry. Implies cond().
+  const std::vector<uint32_t>& oset_comp(const Fragment& f);
+
+  /// Oset index of a global id, or kNoIndex if it is not a virtual node of
+  /// this fragment. Valid once any oset accessor ran.
+  uint32_t OsetIndexOf(NodeId global) const;
+
+  const ReachRows& reach_rows(const Fragment& f);
+
+  const LabelIndex& label_index(const Fragment& f);
+
+  /// Number of section builds performed (observability for tests/benches:
+  /// a warm cache answers whole batches with zero additional builds).
+  size_t section_builds() const { return section_builds_; }
+
+ private:
+  void EnsureOset(const Fragment& f);
+
+  std::optional<Condensation> cond_;
+  bool oset_built_ = false;
+  std::vector<NodeId> oset_locals_;
+  std::vector<NodeId> oset_globals_;
+  std::unordered_map<NodeId, uint32_t> oset_index_;
+  std::vector<uint32_t> oset_comp_;  // built with cond on demand
+  std::optional<ReachRows> rows_;
+  std::optional<LabelIndex> label_index_;
+  size_t section_builds_ = 0;
+};
+
+/// One FragmentContext per site of a fragmentation, built on first use and
+/// explicitly invalidated when an edge update changes a fragment (wired to
+/// IncrementalReachIndex::SetUpdateListener). Distinct sites may be accessed
+/// concurrently (each site from at most one thread, the cluster-round
+/// discipline); invalidation must not race with an in-flight round.
+class FragmentContextCache {
+ public:
+  explicit FragmentContextCache(const Fragmentation* fragmentation)
+      : contexts_(fragmentation->num_fragments()) {}
+
+  FragmentContext& Get(SiteId site) {
+    PEREACH_CHECK_LT(site, contexts_.size());
+    if (contexts_[site] == nullptr) {
+      contexts_[site] = std::make_unique<FragmentContext>();
+      builds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *contexts_[site];
+  }
+
+  /// Drops the cached context of `site`; the next query rebuilds it.
+  void Invalidate(SiteId site) {
+    PEREACH_CHECK_LT(site, contexts_.size());
+    contexts_[site] = nullptr;
+  }
+
+  void InvalidateAll() {
+    for (auto& ctx : contexts_) ctx = nullptr;
+  }
+
+  /// Number of context constructions since creation — cold starts plus
+  /// rebuilds after invalidation.
+  size_t build_count() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::unique_ptr<FragmentContext>> contexts_;
+  std::atomic<size_t> builds_{0};
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_ENGINE_FRAGMENT_CONTEXT_H_

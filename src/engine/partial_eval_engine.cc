@@ -1,0 +1,269 @@
+#include "src/engine/partial_eval_engine.h"
+
+#include <algorithm>
+
+#include "src/bes/bes.h"
+#include "src/bes/distance_system.h"
+#include "src/util/timer.h"
+
+namespace pereach {
+
+namespace {
+
+/// True for queries the coordinator answers without touching any site.
+/// Regular queries are never trivial: q_rr(s, s, R) asks for a cycle.
+bool IsTrivial(const Query& q) {
+  return (q.kind == QueryKind::kReach || q.kind == QueryKind::kDist) &&
+         q.source == q.target;
+}
+
+/// Rebases a partial answer produced against its own query-local oset table
+/// onto the fragment's shared (batch-wide) table; the answer's own table is
+/// dropped (batch bodies serialize against the shared one). Every dependency
+/// of a localEval answer is a non-target virtual node, so each one has a
+/// shared index; ascending order survives because both tables list virtual
+/// nodes in ascending local-id order.
+ReachPartialAnswer RebaseOntoSharedOset(ReachPartialAnswer pa,
+                                        const FragmentContext& ctx) {
+  for (ReachPartialAnswer::Equation& eq : pa.equations) {
+    for (uint32_t& dep : eq.deps) {
+      const uint32_t idx = ctx.OsetIndexOf(pa.oset_globals[dep]);
+      PEREACH_CHECK_NE(idx, FragmentContext::kNoIndex);
+      dep = idx;
+    }
+    // The remap is order-preserving (a possible local-t entry at index 0 of
+    // the query table is never a dep, and both tables list virtual nodes in
+    // ascending local-id order), so no re-sort is needed.
+    PEREACH_CHECK(std::is_sorted(eq.deps.begin(), eq.deps.end()));
+  }
+  pa.oset_globals.clear();
+  return pa;
+}
+
+/// Closure-form reach partial answer straight from the cached rows: the
+/// query-independent part (in-node group -> reachable virtual nodes) is read
+/// from FragmentContext, so the per-query work is two O(|cond|) sweeps (which
+/// groups reach t, what s reaches) plus serialization.
+ReachPartialAnswer ReachFromCachedRows(const Fragment& f, FragmentContext* ctx,
+                                       NodeId s, NodeId t) {
+  const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
+  const Condensation& cond = ctx->cond(f);
+  const std::vector<uint32_t>& oset_comp = ctx->oset_comp(f);
+  const size_t num_comps = cond.scc.num_components;
+
+  ReachPartialAnswer pa;
+  pa.site = f.site();
+
+  // t-side query-dependent piece: which components reach t locally (only
+  // meaningful when t is stored here; a virtual copy of t is an oset entry).
+  const uint32_t t_idx = ctx->OsetIndexOf(t);
+  const bool t_local = f.Contains(t);
+  uint32_t t_comp = 0;
+  std::vector<bool> reaches_t;
+  if (t_local) {
+    t_comp = cond.scc.component_of[f.ToLocal(t)];
+    reaches_t.assign(num_comps, false);
+    reaches_t[t_comp] = true;
+    // Component ids are reverse topological: edges go to smaller ids, so an
+    // ascending scan sees every successor's final value.
+    for (uint32_t c = t_comp + 1; c < num_comps; ++c) {
+      bool r = false;
+      for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1] && !r; ++e) {
+        r = reaches_t[cond.targets[e]];
+      }
+      reaches_t[c] = r;
+    }
+  }
+
+  pa.equations.reserve(rows.group_rep.size() + 1);
+  for (size_t g = 0; g < rows.group_rep.size(); ++g) {
+    ReachPartialAnswer::Equation eq;
+    eq.var = f.ToGlobal(rows.group_rep[g]);
+    eq.has_true = t_local && reaches_t[rows.group_comp[g]];
+    eq.deps.reserve(rows.rows[g].size());
+    for (uint32_t idx : rows.rows[g]) {
+      if (idx == t_idx) {
+        eq.has_true = true;  // reaching the virtual copy of t answers q
+      } else {
+        eq.deps.push_back(idx);
+      }
+    }
+    pa.equations.push_back(std::move(eq));
+  }
+  for (size_t i = 0; i < rows.in_group.size(); ++i) {
+    const NodeId in = f.in_nodes()[i];
+    const uint32_t g = rows.in_group[i];
+    if (rows.group_rep[g] == in) continue;
+    pa.aliases.push_back({/*rep_is_aux=*/false, f.ToGlobal(in),
+                          f.ToGlobal(rows.group_rep[g])});
+  }
+
+  // s-side query-dependent piece: s's own equation when s is stored here and
+  // is not already covered by an in-node group.
+  if (f.Contains(s)) {
+    const NodeId local_s = f.ToLocal(s);
+    if (!std::binary_search(f.in_nodes().begin(), f.in_nodes().end(),
+                            local_s)) {
+      const uint32_t s_comp = cond.scc.component_of[local_s];
+      std::vector<bool> reachable(num_comps, false);
+      reachable[s_comp] = true;
+      // Descending scan from s_comp spreads the flag to all successors.
+      for (uint32_t c = s_comp + 1; c-- > 0;) {
+        if (!reachable[c]) continue;
+        for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1]; ++e) {
+          reachable[cond.targets[e]] = true;
+        }
+      }
+      ReachPartialAnswer::Equation eq;
+      eq.var = s;
+      eq.has_true = t_local && reachable[t_comp];
+      for (uint32_t j = 0; j < oset_comp.size(); ++j) {
+        if (!reachable[oset_comp[j]]) continue;
+        if (j == t_idx) {
+          eq.has_true = true;
+        } else {
+          eq.deps.push_back(j);
+        }
+      }
+      pa.equations.push_back(std::move(eq));
+    }
+  }
+  return pa;
+}
+
+}  // namespace
+
+PartialEvalEngine::PartialEvalEngine(Cluster* cluster,
+                                     PartialEvalOptions options)
+    : QueryEngine(cluster),
+      options_(options),
+      contexts_(&cluster->fragmentation()) {}
+
+void PartialEvalEngine::RunBatch(std::span<const Query> queries,
+                                 std::vector<QueryAnswer>* answers) {
+  answers->resize(queries.size());
+
+  // Coordinator-side answers need no site visit; everything else goes on the
+  // wire as one multiplexed broadcast.
+  std::vector<size_t> wire;
+  wire.reserve(queries.size());
+  bool any_reach = false;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& q = queries[qi];
+    if (IsTrivial(q)) {
+      (*answers)[qi].reachable = true;
+      (*answers)[qi].distance = 0;
+      continue;
+    }
+    PEREACH_CHECK(q.kind != QueryKind::kRpq || q.automaton.has_value());
+    any_reach |= q.kind == QueryKind::kReach;
+    wire.push_back(qi);
+  }
+  if (wire.empty()) return;
+
+  // Batched broadcast: k queries in one payload (byte accounting; the site
+  // closures read the query objects directly, as everywhere in this
+  // simulator).
+  Encoder broadcast;
+  broadcast.PutVarint(wire.size());
+  for (size_t qi : wire) queries[qi].Serialize(&broadcast);
+
+  // One round: every site runs localEval for all k queries in a single
+  // visit and multiplexes the partial answers into one reply — shared oset
+  // table first (reach frames reference it), then one frame per query.
+  const EquationForm form = options_.form;
+  const std::vector<std::vector<uint8_t>> replies = cluster_->RoundAll(
+      broadcast.size(),
+      [this, queries, &wire, any_reach, form](const Fragment& f) {
+        FragmentContext& ctx = contexts_.Get(f.site());
+        Encoder reply;
+        reply.PutVarint(f.site());
+        if (any_reach) {
+          const std::vector<NodeId>& shared = ctx.oset_globals(f);
+          reply.PutVarint(shared.size());
+          for (NodeId g : shared) reply.PutVarint(g);
+        }
+        for (size_t qi : wire) {
+          const Query& q = queries[qi];
+          Encoder body;
+          switch (q.kind) {
+            case QueryKind::kReach: {
+              const ReachPartialAnswer pa =
+                  form == EquationForm::kClosure
+                      ? ReachFromCachedRows(f, &ctx, q.source, q.target)
+                      : RebaseOntoSharedOset(
+                            LocalEvalReach(f, q.source, q.target, form,
+                                           &ctx.cond(f)),
+                            ctx);
+              pa.SerializeBody(ctx.oset_globals(f).size(), &body);
+              break;
+            }
+            case QueryKind::kDist:
+              LocalEvalDist(f, q.source, q.target, q.bound).Serialize(&body);
+              break;
+            case QueryKind::kRpq:
+              LocalEvalRegular(f, *q.automaton, q.source, q.target, form,
+                               &ctx.label_index(f))
+                  .Serialize(&body);
+              break;
+          }
+          reply.PutFrame(body.buffer());
+        }
+        return reply.TakeBuffer();
+      });
+
+  // Demultiplex: split every site reply into its shared oset table and one
+  // frame decoder per query (frames view the reply buffers, no copies).
+  StopWatch assemble_watch;
+  std::vector<SiteId> reply_site(replies.size());
+  std::vector<std::vector<NodeId>> reply_oset(replies.size());
+  std::vector<std::vector<Decoder>> frames(replies.size());
+  for (size_t ri = 0; ri < replies.size(); ++ri) {
+    Decoder dec(replies[ri]);
+    reply_site[ri] = static_cast<SiteId>(dec.GetVarint());
+    if (any_reach) {
+      reply_oset[ri].resize(dec.GetCount());
+      for (NodeId& g : reply_oset[ri]) g = static_cast<NodeId>(dec.GetVarint());
+    }
+    frames[ri].reserve(wire.size());
+    for (size_t wi = 0; wi < wire.size(); ++wi) frames[ri].push_back(dec.GetFrame());
+    PEREACH_CHECK(dec.Done() && "malformed site reply payload");
+  }
+
+  // Assemble and solve one query at a time (evalDG / evalDGd / evalDGr), so
+  // a large batch never holds more than one equation system live.
+  for (size_t wi = 0; wi < wire.size(); ++wi) {
+    const Query& q = queries[wire[wi]];
+    QueryAnswer& answer = (*answers)[wire[wi]];
+    if (q.kind == QueryKind::kDist) {
+      DistanceEquationSystem dist;
+      for (size_t ri = 0; ri < replies.size(); ++ri) {
+        Decoder& frame = frames[ri][wi];
+        DistPartialAnswer::Deserialize(&frame).AddToSystem(&dist);
+        PEREACH_CHECK(frame.Done() && "malformed site reply frame");
+      }
+      answer.distance = dist.Evaluate(q.source);
+      answer.reachable =
+          answer.distance != kInfWeight && answer.distance <= q.bound;
+      continue;
+    }
+    BooleanEquationSystem bes;
+    for (size_t ri = 0; ri < replies.size(); ++ri) {
+      Decoder& frame = frames[ri][wi];
+      if (q.kind == QueryKind::kReach) {
+        ReachPartialAnswer::DeserializeBody(&frame, reply_site[ri])
+            .AddToBes(reply_oset[ri], &bes);
+      } else {
+        RegularPartialAnswer::Deserialize(&frame).AddToBes(&bes);
+      }
+      PEREACH_CHECK(frame.Done() && "malformed site reply frame");
+    }
+    answer.reachable =
+        q.kind == QueryKind::kReach
+            ? bes.Evaluate(q.source)
+            : bes.Evaluate(PackNodeState(q.source, QueryAutomaton::kStart));
+  }
+  cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
+}
+
+}  // namespace pereach

@@ -1,0 +1,60 @@
+#ifndef PEREACH_ENGINE_PARTIAL_EVAL_ENGINE_H_
+#define PEREACH_ENGINE_PARTIAL_EVAL_ENGINE_H_
+
+#include "src/core/local_eval.h"
+#include "src/engine/fragment_context.h"
+#include "src/engine/query_engine.h"
+
+namespace pereach {
+
+struct PartialEvalOptions {
+  /// Equation encoding used by localEval (see EquationForm).
+  EquationForm form = EquationForm::kAuto;
+};
+
+/// The paper's disReach / disDist / disRPQ unified behind the QueryEngine
+/// interface, with two amortization levers on top of the per-query
+/// guarantees of Theorems 1-3:
+///
+///  1. Batched rounds. EvaluateBatch ships all k queries in ONE broadcast;
+///     every site runs localEval for all of them in a single visit and
+///     multiplexes the partial answers into one reply payload (one
+///     length-prefixed frame per query, with the query-independent oset
+///     table shared across the batch's reachability frames). A batch
+///     therefore costs one communication round — 2 latencies + one transfer
+///     — instead of k, and strictly less traffic than k single runs.
+///
+///  2. Per-fragment precompute (FragmentContext). The SCC condensation,
+///     boundary tables, closure rows, and label index of each fragment are
+///     query-independent; they are built on first use and reused by every
+///     subsequent query of every class until InvalidateFragment is called
+///     (wire it to IncrementalReachIndex::SetUpdateListener for edge
+///     updates).
+///
+/// Single-query Evaluate is a batch of one; the DisReach / DisDist / DisRpq
+/// free functions are thin wrappers over a transient engine.
+class PartialEvalEngine : public QueryEngine {
+ public:
+  explicit PartialEvalEngine(Cluster* cluster, PartialEvalOptions options = {});
+
+  std::string_view name() const override { return "partial-eval"; }
+
+  /// Drops the cached context of one fragment (after an edge update touched
+  /// it) or of all fragments (after repartitioning).
+  void InvalidateFragment(SiteId site) { contexts_.Invalidate(site); }
+  void InvalidateAllFragments() { contexts_.InvalidateAll(); }
+
+  const FragmentContextCache& context_cache() const { return contexts_; }
+
+ protected:
+  void RunBatch(std::span<const Query> queries,
+                std::vector<QueryAnswer>* answers) override;
+
+ private:
+  PartialEvalOptions options_;
+  FragmentContextCache contexts_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_ENGINE_PARTIAL_EVAL_ENGINE_H_

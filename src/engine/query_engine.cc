@@ -1,0 +1,24 @@
+#include "src/engine/query_engine.h"
+
+namespace pereach {
+
+QueryAnswer QueryEngine::Evaluate(const Query& query) {
+  BatchAnswer batch = EvaluateBatch(std::span<const Query>(&query, 1));
+  QueryAnswer answer = std::move(batch.answers[0]);
+  answer.metrics = std::move(batch.metrics);
+  return answer;
+}
+
+BatchAnswer QueryEngine::EvaluateBatch(std::span<const Query> queries) {
+  BatchAnswer batch;
+  batch.answers.reserve(queries.size());
+  cluster_->BeginQuery();
+  RunBatch(queries, &batch.answers);
+  cluster_->SetQueriesServed(queries.size());
+  cluster_->EndQuery();
+  PEREACH_CHECK_EQ(batch.answers.size(), queries.size());
+  batch.metrics = cluster_->metrics();
+  return batch;
+}
+
+}  // namespace pereach

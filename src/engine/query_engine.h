@@ -1,0 +1,116 @@
+#ifndef PEREACH_ENGINE_QUERY_ENGINE_H_
+#define PEREACH_ENGINE_QUERY_ENGINE_H_
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/core/answer.h"
+#include "src/core/query.h"
+#include "src/net/cluster.h"
+#include "src/regex/query_automaton.h"
+#include "src/util/serialization.h"
+
+namespace pereach {
+
+/// The three query classes of the paper, unified for batch dispatch.
+enum class QueryKind : uint8_t { kReach = 0, kDist = 1, kRpq = 2 };
+
+/// One query of a batch: a tagged union over q_r(s, t), q_br(s, t, l) and
+/// q_rr(s, t, R). The automaton is pre-built so a workload can reuse one
+/// G_q(R) across many endpoint pairs.
+struct Query {
+  QueryKind kind = QueryKind::kReach;
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+  uint32_t bound = 0;                        // kDist only
+  std::optional<QueryAutomaton> automaton;   // kRpq only
+
+  static Query Reach(NodeId s, NodeId t) {
+    Query q;
+    q.kind = QueryKind::kReach;
+    q.source = s;
+    q.target = t;
+    return q;
+  }
+
+  static Query Dist(NodeId s, NodeId t, uint32_t bound) {
+    Query q;
+    q.kind = QueryKind::kDist;
+    q.source = s;
+    q.target = t;
+    q.bound = bound;
+    return q;
+  }
+
+  static Query Rpq(NodeId s, NodeId t, QueryAutomaton automaton) {
+    Query q;
+    q.kind = QueryKind::kRpq;
+    q.source = s;
+    q.target = t;
+    q.automaton = std::move(automaton);
+    return q;
+  }
+
+  static Query Rpq(NodeId s, NodeId t, const Regex& regex) {
+    return Rpq(s, t, QueryAutomaton::FromRegex(regex));
+  }
+
+  /// Broadcast wire format of one query — the single definition every
+  /// engine's batch payload uses, so byte accounting cannot drift between
+  /// the engines a bench compares.
+  void Serialize(Encoder* enc) const {
+    enc->PutU8(static_cast<uint8_t>(kind));
+    enc->PutVarint(source);
+    enc->PutVarint(target);
+    if (kind == QueryKind::kDist) enc->PutVarint(bound);
+    if (kind == QueryKind::kRpq) automaton->Serialize(enc);
+  }
+};
+
+/// Result of one batch run: per-query answers plus the cost of the whole
+/// batch. Per-query metrics are not separable once replies are multiplexed
+/// into one wire payload, so each answer's own metrics field is left empty.
+struct BatchAnswer {
+  std::vector<QueryAnswer> answers;
+  RunMetrics metrics;
+};
+
+/// Polymorphic query evaluation over a Cluster. Implementations differ in
+/// how they ship work to the sites (partial evaluation, ship-all, message
+/// passing, ...) but share the contract:
+///  - Evaluate answers one query, metrics attached;
+///  - EvaluateBatch answers k queries in one metrics window, so engines that
+///    can multiplex (PartialEvalEngine) pay O(1) communication rounds per
+///    batch while round-per-query engines pay k — the comparison the
+///    bench_batch harness draws.
+/// Engines are not thread-safe; use one engine per concurrent caller.
+class QueryEngine {
+ public:
+  explicit QueryEngine(Cluster* cluster) : cluster_(cluster) {}
+  virtual ~QueryEngine() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Evaluates one query (a batch of one).
+  QueryAnswer Evaluate(const Query& query);
+
+  /// Evaluates a batch of queries in one metrics window; answers are
+  /// returned in query order.
+  BatchAnswer EvaluateBatch(std::span<const Query> queries);
+
+  Cluster* cluster() const { return cluster_; }
+
+ protected:
+  /// Runs the batch inside an open BeginQuery/EndQuery window, appending one
+  /// answer per query (metrics left default) to `answers`.
+  virtual void RunBatch(std::span<const Query> queries,
+                        std::vector<QueryAnswer>* answers) = 0;
+
+  Cluster* cluster_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_ENGINE_QUERY_ENGINE_H_

@@ -29,13 +29,16 @@ Fragment Fragment::Deserialize(Decoder* dec) {
   f.num_local_ = dec->GetVarint();
   f.num_cross_edges_ = dec->GetVarint();
   f.graph_ = DeserializeGraph(dec);
+  // A corrupted num_local_ above the node count would wrap the virtual-node
+  // count below into a huge resize.
+  PEREACH_CHECK_LE(f.num_local_, f.graph_.NumNodes());
   f.local_to_global_.resize(f.graph_.NumNodes());
   for (NodeId& g : f.local_to_global_) g = static_cast<NodeId>(dec->GetVarint());
   f.global_to_local_.reserve(f.local_to_global_.size());
   for (NodeId local = 0; local < f.local_to_global_.size(); ++local) {
     f.global_to_local_.emplace(f.local_to_global_[local], local);
   }
-  const size_t num_in = dec->GetVarint();
+  const size_t num_in = dec->GetCount();
   f.in_nodes_.resize(num_in);
   for (NodeId& v : f.in_nodes_) v = static_cast<NodeId>(dec->GetVarint());
   f.virtual_owner_.resize(f.graph_.NumNodes() - f.num_local_);

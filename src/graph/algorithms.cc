@@ -197,17 +197,16 @@ std::vector<Bitset> ReachableTargets(const Graph& g,
 
 namespace {
 
-// Shared engine of the two ForEachReachableTarget* entry points:
-// SCC-condense once, then propagate target bitsets block by block and emit
-// per source (grouped == false) or per distinct source component (true).
+// Shared engine of the ForEachReachableTarget* entry points: given the SCC
+// condensation, propagate target bitsets block by block and emit per source
+// (grouped == false) or per distinct source component (true).
 std::vector<uint32_t> ReachableTargetSweep(
-    const Graph& g, const std::vector<NodeId>& sources,
+    const Condensation& cond, const std::vector<NodeId>& sources,
     const std::vector<NodeId>& targets, size_t block_bits, bool grouped,
     const std::function<void(uint32_t, uint32_t)>& emit) {
   std::vector<uint32_t> group_of(sources.size(), 0);
   if (sources.empty() || targets.empty()) return group_of;
   PEREACH_CHECK_GE(block_bits, 64u);
-  const Condensation cond = Condense(g);
   const size_t k = cond.scc.num_components;
 
   // Dense group ids in order of first appearance over `sources`.
@@ -260,7 +259,16 @@ void ForEachReachableTarget(
     const Graph& g, const std::vector<NodeId>& sources,
     const std::vector<NodeId>& targets, size_t block_bits,
     const std::function<void(uint32_t, uint32_t)>& emit) {
-  ReachableTargetSweep(g, sources, targets, block_bits, /*grouped=*/false,
+  if (sources.empty() || targets.empty()) return;
+  ReachableTargetSweep(Condense(g), sources, targets, block_bits,
+                       /*grouped=*/false, emit);
+}
+
+void ForEachReachableTarget(
+    const Condensation& cond, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, size_t block_bits,
+    const std::function<void(uint32_t, uint32_t)>& emit) {
+  ReachableTargetSweep(cond, sources, targets, block_bits, /*grouped=*/false,
                        emit);
 }
 
@@ -268,7 +276,18 @@ std::vector<uint32_t> ForEachReachableTargetGrouped(
     const Graph& g, const std::vector<NodeId>& sources,
     const std::vector<NodeId>& targets, size_t block_bits,
     const std::function<void(uint32_t, uint32_t)>& emit) {
-  return ReachableTargetSweep(g, sources, targets, block_bits,
+  if (sources.empty() || targets.empty()) {
+    return std::vector<uint32_t>(sources.size(), 0);
+  }
+  return ReachableTargetSweep(Condense(g), sources, targets, block_bits,
+                              /*grouped=*/true, emit);
+}
+
+std::vector<uint32_t> ForEachReachableTargetGrouped(
+    const Condensation& cond, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, size_t block_bits,
+    const std::function<void(uint32_t, uint32_t)>& emit) {
+  return ReachableTargetSweep(cond, sources, targets, block_bits,
                               /*grouped=*/true, emit);
 }
 

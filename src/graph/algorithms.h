@@ -64,6 +64,14 @@ void ForEachReachableTarget(
     const std::vector<NodeId>& targets, size_t block_bits,
     const std::function<void(uint32_t, uint32_t)>& emit);
 
+/// Variant reusing a precomputed condensation of the same graph — the
+/// per-fragment Tarjan pass is query-independent, so engines that serve many
+/// queries over one fragment condense once and sweep per query.
+void ForEachReachableTarget(
+    const Condensation& cond, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, size_t block_bits,
+    const std::function<void(uint32_t, uint32_t)>& emit);
+
 /// Grouped variant of ForEachReachableTarget: sources in the same strongly
 /// connected component have identical reachable sets, so emission happens
 /// once per *source group* — emit(group_index, target_index). Returns the
@@ -73,6 +81,12 @@ void ForEachReachableTarget(
 /// partial answer from |I| dense rows to one row plus |I| aliases.
 std::vector<uint32_t> ForEachReachableTargetGrouped(
     const Graph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, size_t block_bits,
+    const std::function<void(uint32_t, uint32_t)>& emit);
+
+/// Grouped variant over a precomputed condensation (see above).
+std::vector<uint32_t> ForEachReachableTargetGrouped(
+    const Condensation& cond, const std::vector<NodeId>& sources,
     const std::vector<NodeId>& targets, size_t block_bits,
     const std::function<void(uint32_t, uint32_t)>& emit);
 

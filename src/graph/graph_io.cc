@@ -76,7 +76,7 @@ void SerializeGraph(const Graph& g, Encoder* enc) {
 }
 
 Graph DeserializeGraph(Decoder* dec) {
-  const size_t n = dec->GetVarint();
+  const size_t n = dec->GetCount();
   const size_t m = dec->GetVarint();
   GraphBuilder b;
   b.AddNodes(n);
@@ -85,7 +85,7 @@ Graph DeserializeGraph(Decoder* dec) {
   }
   size_t total_edges = 0;
   for (NodeId u = 0; u < n; ++u) {
-    const size_t deg = dec->GetVarint();
+    const size_t deg = dec->GetCount();
     for (size_t i = 0; i < deg; ++i) {
       b.AddEdge(u, static_cast<NodeId>(dec->GetVarint()));
     }

@@ -21,7 +21,10 @@ void Cluster::BeginQuery() {
   query_watch_.Restart();
 }
 
-void Cluster::EndQuery() { metrics_.wall_ms = query_watch_.ElapsedMs(); }
+void Cluster::EndQuery() {
+  metrics_.wall_ms = query_watch_.ElapsedMs();
+  if (metrics_.queries == 0) metrics_.queries = 1;
+}
 
 std::vector<std::vector<uint8_t>> Cluster::Round(
     const std::vector<SiteId>& sites, size_t broadcast_bytes,

@@ -23,6 +23,12 @@ namespace pereach {
 ///   auto replies = cluster.RoundAll(query_bytes, local_eval);   // phases 1+2
 ///   ... assemble at the coordinator ...                         // phase 3
 ///   cluster.EndQuery();
+///
+/// A metrics window may also cover a whole query batch: the engine layer
+/// (src/engine) multiplexes k queries into one broadcast payload and one
+/// length-prefixed reply frame per query (Encoder::PutFrame /
+/// Decoder::GetFrame), so a batch costs one Round — the accounting below
+/// charges 2 latencies once per round, not per query.
 class Cluster {
  public:
   /// `fragmentation` must outlive the cluster. `num_threads` == 0 picks
@@ -36,7 +42,13 @@ class Cluster {
   /// Resets metrics and starts the wall clock for one query.
   void BeginQuery();
 
-  /// Stops the wall clock; metrics() is complete afterwards.
+  /// Marks the number of queries the open window serves. Batch engines call
+  /// this before EndQuery so metrics() amortization (PerQueryModeledMs) is
+  /// correct on the cluster itself, not only on copies the engine hands out.
+  void SetQueriesServed(size_t n) { metrics_.queries = n; }
+
+  /// Stops the wall clock; metrics() is complete afterwards. Windows that
+  /// never declared a batch size count as one query.
   void EndQuery();
 
   /// One communication round touching `sites`: the coordinator sends

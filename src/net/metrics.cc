@@ -20,6 +20,7 @@ void RunMetrics::Accumulate(const RunMetrics& other) {
   traffic_bytes += other.traffic_bytes;
   messages += other.messages;
   rounds += other.rounds;
+  queries += other.queries;
   if (site_visits.size() < other.site_visits.size()) {
     site_visits.resize(other.site_visits.size(), 0);
   }
@@ -35,6 +36,7 @@ void RunMetrics::ScaleDown(size_t n) {
   traffic_bytes /= n;
   messages /= n;
   rounds /= n;
+  queries = (queries + n - 1) / n;
   for (size_t& v : site_visits) v /= n;
 }
 

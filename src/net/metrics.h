@@ -27,14 +27,24 @@ struct NetworkModel {
 
 /// Everything the paper's evaluation section reports about one query run:
 /// response time (wall + modeled), total network traffic, number of visits
-/// to each site, communication rounds and message count.
+/// to each site, communication rounds and message count. A metrics window
+/// may cover a multi-query batch (`queries` > 1), in which case the additive
+/// fields are batch totals; PerQueryModeledMs() is the amortized cost.
+/// `queries` defaults to 0 so a default-constructed instance works as an
+/// Accumulate() target; Cluster::EndQuery stamps completed windows.
 struct RunMetrics {
   double wall_ms = 0.0;
   double modeled_ms = 0.0;
   size_t traffic_bytes = 0;
   size_t messages = 0;
   size_t rounds = 0;
+  size_t queries = 0;
   std::vector<size_t> site_visits;
+
+  /// Modeled response time amortized over the queries of the window.
+  double PerQueryModeledMs() const {
+    return queries == 0 ? modeled_ms : modeled_ms / static_cast<double>(queries);
+  }
 
   size_t TotalVisits() const {
     size_t total = 0;

@@ -159,7 +159,8 @@ void QueryAutomaton::Serialize(Encoder* enc) const {
 
 QueryAutomaton QueryAutomaton::Deserialize(Decoder* dec) {
   QueryAutomaton a;
-  const size_t n = dec->GetVarint();
+  const size_t n = dec->GetCount();
+  PEREACH_CHECK_LE(n, kMaxStates);
   a.labels_.resize(n);
   for (LabelId& l : a.labels_) {
     const uint64_t v = dec->GetVarint();

@@ -48,6 +48,18 @@ class Encoder {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
+  /// Appends raw bytes (no length prefix).
+  void PutRaw(const std::vector<uint8_t>& bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Appends a length-prefixed frame — the multiplexing unit of batched
+  /// replies: one frame per query inside one wire payload.
+  void PutFrame(const std::vector<uint8_t>& bytes) {
+    PutVarint(bytes.size());
+    PutRaw(bytes);
+  }
+
   /// Encodes a bitset as its bit length followed by ceil(n/8) payload bytes —
   /// the "|Fi.O| bits per equation" wire format of the paper's traffic bound.
   void PutBitset(const Bitset& b) {
@@ -67,16 +79,22 @@ class Encoder {
   std::vector<uint8_t> buf_;
 };
 
-/// Sequential reader over a byte buffer produced by Encoder. Out-of-bounds
-/// reads CHECK-fail: buffers are produced and consumed inside the library,
-/// so truncation indicates a bug rather than untrusted input.
+/// Sequential reader over a byte buffer produced by Encoder. Every read is
+/// bounds-checked: a truncated or malformed payload CHECK-aborts with a
+/// diagnostic instead of reading out of range, over-allocating, or
+/// fabricating data. Reply payloads cross (simulated) site boundaries, so
+/// decoding treats them as untrusted input.
 class Decoder {
  public:
-  explicit Decoder(const std::vector<uint8_t>& buf) : buf_(buf) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  /// View over a raw byte range (used for sub-frames of batched payloads).
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   uint8_t GetU8() {
-    PEREACH_CHECK_LT(pos_, buf_.size());
-    return buf_[pos_++];
+    PEREACH_CHECK(pos_ < size_ && "decoder: truncated payload");
+    return data_[pos_++];
   }
 
   uint32_t GetU32() {
@@ -99,9 +117,21 @@ class Decoder {
       v |= static_cast<uint64_t>(byte & 0x7F) << shift;
       if ((byte & 0x80) == 0) break;
       shift += 7;
-      PEREACH_CHECK_LT(shift, 64);
+      PEREACH_CHECK(shift < 64 && "decoder: overlong varint");
     }
     return v;
+  }
+
+  /// Reads a varint that declares a count of elements occupying at least
+  /// `min_element_bytes` each. A count the remaining buffer cannot possibly
+  /// hold aborts here, before any allocation — a malformed length can
+  /// otherwise request a multi-gigabyte resize and die far from the cause.
+  size_t GetCount(size_t min_element_bytes = 1) {
+    const uint64_t n = GetVarint();
+    PEREACH_CHECK((min_element_bytes == 0 ||
+                   n <= remaining() / min_element_bytes) &&
+                  "decoder: count exceeds payload size");
+    return static_cast<size_t>(n);
   }
 
   double GetDouble() {
@@ -112,18 +142,24 @@ class Decoder {
   }
 
   std::string GetString() {
-    const size_t n = GetVarint();
-    PEREACH_CHECK_LE(pos_ + n, buf_.size());
-    std::string s(buf_.begin() + static_cast<ptrdiff_t>(pos_),
-                  buf_.begin() + static_cast<ptrdiff_t>(pos_ + n));
-    pos_ += n;
+    // remaining()-relative comparison avoids the pos_ + n overflow that a
+    // near-SIZE_MAX length would slip past an absolute bounds check.
+    const uint64_t n = GetVarint();
+    PEREACH_CHECK(n <= remaining() && "decoder: truncated string");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
     return s;
   }
 
   Bitset GetBitset() {
-    const size_t num_bits = GetVarint();
-    Bitset b(num_bits);
-    const size_t num_bytes = (num_bits + 7) / 8;
+    // Compare bit counts, not (num_bits + 7) / 8: a length near UINT64_MAX
+    // would wrap the byte count to 0 and slip past the check.
+    const uint64_t num_bits = GetVarint();
+    PEREACH_CHECK(num_bits <= 8 * static_cast<uint64_t>(remaining()) &&
+                  "decoder: truncated bitset");
+    const uint64_t num_bytes = (num_bits + 7) / 8;
+    Bitset b(static_cast<size_t>(num_bits));
     std::vector<uint64_t>& words = b.mutable_words();
     for (size_t i = 0; i < num_bytes; ++i) {
       words[i >> 3] |= static_cast<uint64_t>(GetU8()) << (8 * (i & 7));
@@ -131,11 +167,23 @@ class Decoder {
     return b;
   }
 
-  bool Done() const { return pos_ == buf_.size(); }
+  /// Consumes a length-prefixed frame and returns a decoder over its bytes.
+  /// The frame must lie entirely within the remaining buffer.
+  Decoder GetFrame() {
+    const uint64_t n = GetVarint();
+    PEREACH_CHECK(n <= remaining() && "decoder: truncated frame");
+    Decoder sub(data_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return sub;
+  }
+
+  bool Done() const { return pos_ == size_; }
   size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
 
  private:
-  const std::vector<uint8_t>& buf_;
+  const uint8_t* data_;
+  size_t size_;
   size_t pos_ = 0;
 };
 

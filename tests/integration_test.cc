@@ -87,7 +87,9 @@ TEST_P(EngineAgreementTest, AllEnginesAgree) {
     const uint32_t exact = CentralizedDistance(oracle, s, t);
     const QueryAnswer bounded = dg.BoundedReach(s, t, 8);
     ASSERT_EQ(bounded.reachable, exact != kInfDistance && exact <= 8);
-    if (bounded.reachable) ASSERT_EQ(bounded.distance, exact);
+    if (bounded.reachable) {
+      ASSERT_EQ(bounded.distance, exact);
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/local_eval.h"
 #include "src/util/random.h"
 
 namespace pereach {
@@ -130,6 +131,123 @@ TEST(SerializationTest, TakeBufferMovesContent) {
   EXPECT_EQ(buf.size(), 4u);
   Decoder dec(buf);
   EXPECT_EQ(dec.GetU32(), 42u);
+}
+
+TEST(SerializationTest, FramesRoundTrip) {
+  Encoder inner1, inner2;
+  inner1.PutVarint(1234);
+  inner2.PutString("frame two");
+  Encoder enc;
+  enc.PutFrame(inner1.buffer());
+  enc.PutFrame(inner2.buffer());
+  enc.PutFrame({});  // empty frame
+
+  Decoder dec(enc.buffer());
+  Decoder f1 = dec.GetFrame();
+  EXPECT_EQ(f1.GetVarint(), 1234u);
+  EXPECT_TRUE(f1.Done());
+  Decoder f2 = dec.GetFrame();
+  EXPECT_EQ(f2.GetString(), "frame two");
+  EXPECT_TRUE(f2.Done());
+  Decoder f3 = dec.GetFrame();
+  EXPECT_TRUE(f3.Done());
+  EXPECT_TRUE(dec.Done());
+}
+
+// Regression: a declared string length near SIZE_MAX used to overflow the
+// `pos + n` bounds check and read out of range; the remaining()-relative
+// check must abort cleanly instead.
+TEST(SerializationDeathTest, HugeStringLengthAbortsWithoutOverflow) {
+  Encoder enc;
+  enc.PutVarint(~uint64_t{0});  // length that would wrap pos_ + n
+  enc.PutU8(0);
+  const std::vector<uint8_t> buf = enc.buffer();
+  Decoder dec(buf);
+  EXPECT_DEATH(dec.GetString(), "CHECK failed");
+}
+
+// Regression: a malformed bitset bit-count must abort before allocating,
+// not attempt a multi-gigabyte Bitset.
+TEST(SerializationDeathTest, HugeBitsetLengthAbortsBeforeAllocation) {
+  Encoder enc;
+  enc.PutVarint(uint64_t{1} << 60);
+  const std::vector<uint8_t> buf = enc.buffer();
+  Decoder dec(buf);
+  EXPECT_DEATH(dec.GetBitset(), "CHECK failed");
+}
+
+// Regression: a bit count near UINT64_MAX used to wrap (num_bits + 7) / 8
+// to zero bytes and slip past the bounds check, returning a corrupt bitset
+// claiming 2^64-1 bits backed by no words.
+TEST(SerializationDeathTest, OverflowingBitsetLengthAborts) {
+  Encoder enc;
+  enc.PutVarint(~uint64_t{0});
+  const std::vector<uint8_t> buf = enc.buffer();
+  Decoder dec(buf);
+  EXPECT_DEATH(dec.GetBitset(), "CHECK failed");
+}
+
+// Regression: element counts are validated against the remaining payload
+// before any container resize (a corrupted count used to surface as
+// bad_alloc far from the decode site).
+TEST(SerializationDeathTest, CountExceedingPayloadAborts) {
+  Encoder enc;
+  enc.PutVarint(1000);  // claims 1000 elements, provides 2 bytes
+  enc.PutU8(1);
+  enc.PutU8(2);
+  const std::vector<uint8_t> buf = enc.buffer();
+  Decoder dec(buf);
+  EXPECT_DEATH(dec.GetCount(), "CHECK failed");
+}
+
+TEST(SerializationTest, CountWithinPayloadSucceeds) {
+  Encoder enc;
+  enc.PutVarint(3);
+  enc.PutU8(1);
+  enc.PutU8(2);
+  enc.PutU8(3);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.GetCount(), 3u);
+  EXPECT_EQ(dec.remaining(), 3u);
+}
+
+TEST(SerializationDeathTest, TruncatedFrameAborts) {
+  Encoder enc;
+  enc.PutVarint(50);  // frame claims 50 bytes, provides 1
+  enc.PutU8(9);
+  const std::vector<uint8_t> buf = enc.buffer();
+  Decoder dec(buf);
+  EXPECT_DEATH(dec.GetFrame(), "CHECK failed");
+}
+
+// A frame decoder is confined to its slice: reads past the frame end abort
+// even though the outer buffer continues.
+TEST(SerializationDeathTest, FrameDecoderCannotReadPastFrameEnd) {
+  Encoder inner;
+  inner.PutU8(1);
+  Encoder enc;
+  enc.PutFrame(inner.buffer());
+  enc.PutU32(0xDEADBEEF);  // outer bytes after the frame
+  const std::vector<uint8_t> buf = enc.buffer();
+  Decoder dec(buf);
+  Decoder frame = dec.GetFrame();
+  EXPECT_EQ(frame.GetU8(), 1u);
+  EXPECT_DEATH(frame.GetU8(), "CHECK failed");
+}
+
+// End-to-end: a reply payload whose equation count was corrupted to exceed
+// the remaining bytes aborts in the decoder bounds checks instead of
+// fabricating equations or resizing to a bogus size.
+TEST(SerializationDeathTest, MalformedReplyPayloadFailsCleanly) {
+  Encoder enc;
+  enc.PutVarint(0);    // site
+  enc.PutVarint(3);    // oset count
+  for (int i = 0; i < 3; ++i) enc.PutVarint(10 + i);
+  enc.PutVarint(0);    // no aliases
+  enc.PutVarint(200);  // corrupt equation count, only 0 bytes follow
+  const std::vector<uint8_t> payload = enc.buffer();
+  Decoder dec(payload);
+  EXPECT_DEATH(ReachPartialAnswer::Deserialize(&dec), "CHECK failed");
 }
 
 }  // namespace
