@@ -51,6 +51,8 @@ int Run(int argc, char** argv) {
       "Batched q_r: one round per batch vs one round per query",
       {"batch", "rounds", "total-ms", "ms/query", "traffic", "naive-ms"});
 
+  RunMetrics singles_total;  // batch_size == 1 row, for the JSON artifact
+  RunMetrics best_total;     // largest batch row
   for (size_t batch_size = 1; batch_size <= workload.size(); batch_size *= 4) {
     // Run the workload in batches of `batch_size`, accumulating totals.
     RunMetrics total;
@@ -70,6 +72,8 @@ int Run(int argc, char** argv) {
                            static_cast<double>(workload.size())).c_str());
     PrintRow({bbuf, rbuf, FormatMs(total.modeled_ms), per_query,
               FormatMb(total.traffic_mb()), FormatMs(naive_total.modeled_ms)});
+    if (batch_size == 1) singles_total = total;
+    best_total = total;
   }
 
   std::printf(
@@ -78,6 +82,15 @@ int Run(int argc, char** argv) {
       "compute-bound plateau as the per-round latency amortizes. Ship-all "
       "amortizes its |G| transfer but keeps paying centralized evaluation "
       "per query.\n");
+
+  WriteBenchJson(opts.json_path, "bench_batch",
+                 {{"queries", static_cast<double>(workload.size())},
+                  {"seed", static_cast<double>(opts.seed)},
+                  {"singles_modeled_ms", singles_total.modeled_ms},
+                  {"singles_traffic_mb", singles_total.traffic_mb()},
+                  {"batched_modeled_ms", best_total.modeled_ms},
+                  {"batched_traffic_mb", best_total.traffic_mb()},
+                  {"batched_rounds", static_cast<double>(best_total.rounds)}});
   return 0;
 }
 

@@ -15,6 +15,13 @@ namespace bench {
 
 BenchOptions BenchOptions::Parse(int argc, char** argv, double default_scale,
                                  size_t default_queries) {
+  return Parse(argc, argv, default_scale, default_queries,
+               [](const char*) { return false; });
+}
+
+BenchOptions BenchOptions::Parse(
+    int argc, char** argv, double default_scale, size_t default_queries,
+    const std::function<bool(const char*)>& extra) {
   BenchOptions opts;
   opts.scale = default_scale;
   opts.queries = default_queries;
@@ -26,9 +33,12 @@ BenchOptions BenchOptions::Parse(int argc, char** argv, double default_scale,
       opts.queries = static_cast<size_t>(std::atoll(arg + 10));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       opts.seed = static_cast<uint64_t>(std::atoll(arg + 7));
-    } else {
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opts.json_path = arg + 7;
+    } else if (!extra(arg)) {
       std::fprintf(stderr,
-                   "unknown flag %s (supported: --scale= --queries= --seed=)\n",
+                   "unknown flag %s (shared flags: --scale= --queries= "
+                   "--seed= --json=)\n",
                    arg);
       std::exit(2);
     }
@@ -36,6 +46,35 @@ BenchOptions BenchOptions::Parse(int argc, char** argv, double default_scale,
   PEREACH_CHECK_GT(opts.scale, 0.0);
   PEREACH_CHECK_GE(opts.queries, 1u);
   return opts;
+}
+
+uint64_t ExtractSeedFlag(int* argc, char** argv, uint64_t default_seed) {
+  uint64_t seed = default_seed;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return seed;
+}
+
+void WriteBenchJson(
+    const std::string& path, const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PEREACH_CHECK(f != nullptr && "cannot open --json output path");
+  std::fprintf(f, "{\"bench\": \"%s\", \"metrics\": {", name.c_str());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                 metrics[i].first.c_str(), metrics[i].second);
+  }
+  std::fprintf(f, "}}\n");
+  std::fclose(f);
 }
 
 NetworkModel BenchNetwork() {

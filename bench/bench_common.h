@@ -22,15 +22,34 @@ namespace bench {
 ///   --scale=<f>    dataset scale factor (default per harness)
 ///   --queries=<n>  queries per measurement point
 ///   --seed=<n>     RNG seed
-/// Unknown flags CHECK-fail with a usage message.
+///   --json=<path>  write machine-readable results (CI perf artifact)
+/// Unknown flags CHECK-fail with a usage message. Harnesses with extra
+/// flags (bench_server's --clients/--window-us) pass an `extra` handler
+/// that claims them, so every bench parses the shared flags — notably
+/// --seed, which CI relies on for reproducible smoke runs — identically.
 struct BenchOptions {
   double scale = 0.05;
   size_t queries = 10;
   uint64_t seed = 42;
+  std::string json_path;  // empty = no JSON output
 
   static BenchOptions Parse(int argc, char** argv, double default_scale,
                             size_t default_queries);
+  static BenchOptions Parse(int argc, char** argv, double default_scale,
+                            size_t default_queries,
+                            const std::function<bool(const char*)>& extra);
 };
+
+/// Pulls a `--seed=<n>` flag out of argv (compacting it), returning the
+/// seed or `default_seed`. For harnesses whose remaining flags belong to
+/// another parser (bench_micro hands argv to Google Benchmark).
+uint64_t ExtractSeedFlag(int* argc, char** argv, uint64_t default_seed);
+
+/// Writes `{"bench": <name>, "metrics": {k: v, ...}}` to `path` (one JSON
+/// object per file; the CI smoke job merges the per-bench files into
+/// BENCH_pr.json). No-op when `path` is empty.
+void WriteBenchJson(const std::string& path, const std::string& name,
+                    const std::vector<std::pair<std::string, double>>& metrics);
 
 /// The default network model used by every figure (documented in
 /// EXPERIMENTS.md): 5 ms one-way latency, 100 MB/s coordinator link.

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include "src/bes/bes.h"
 #include "src/core/dis_reach.h"
 #include "src/core/incremental.h"
@@ -27,6 +29,11 @@
 namespace pereach {
 namespace {
 
+// Base RNG seed, settable with --seed= (extracted before Google Benchmark
+// parses its own flags) so CI smoke runs are reproducible like every other
+// bench. Each site adds a distinct offset to keep streams independent.
+uint64_t g_seed = 42;
+
 Fragmentation MakeBenchFragmentation(size_t n, size_t k, uint64_t seed) {
   Rng rng(seed);
   const Graph g = ErdosRenyi(n, 3 * n, 4, &rng);
@@ -38,7 +45,7 @@ Fragmentation MakeBenchFragmentation(size_t n, size_t k, uint64_t seed) {
 
 void BM_LocalEvalReach_SccBitset(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Fragmentation frag = MakeBenchFragmentation(n, 4, 42);
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, g_seed);
   const Fragment& f = frag.fragment(0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(LocalEvalReach(f, 0, static_cast<NodeId>(n - 1)));
@@ -51,7 +58,7 @@ BENCHMARK(BM_LocalEvalReach_SccBitset)->Arg(2000)->Arg(10000)->Arg(40000);
 
 void BM_LocalEvalReach_PerSourceBfs(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Fragmentation frag = MakeBenchFragmentation(n, 4, 42);
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, g_seed);
   const Fragment& f = frag.fragment(0);
   const Graph& g = f.local_graph();
   for (auto _ : state) {
@@ -102,7 +109,7 @@ BooleanEquationSystem MakeBenchBes(size_t n, uint64_t seed) {
 
 void BM_BesDependencyGraphSolve(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const BooleanEquationSystem bes = MakeBenchBes(n, 7);
+  const BooleanEquationSystem bes = MakeBenchBes(n, g_seed + 7);
   uint64_t var = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(bes.Evaluate(var));
@@ -113,7 +120,7 @@ BENCHMARK(BM_BesDependencyGraphSolve)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_BesNaiveFixpointSolve(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const BooleanEquationSystem bes = MakeBenchBes(n, 7);
+  const BooleanEquationSystem bes = MakeBenchBes(n, g_seed + 7);
   uint64_t var = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(bes.EvaluateNaive(var));
@@ -126,7 +133,8 @@ BENCHMARK(BM_BesNaiveFixpointSolve)->Arg(1000)->Arg(10000);
 
 void BM_ReachAnswerEncodeAdaptive(benchmark::State& state) {
   const Fragmentation frag =
-      MakeBenchFragmentation(static_cast<size_t>(state.range(0)), 4, 11);
+      MakeBenchFragmentation(static_cast<size_t>(state.range(0)), 4,
+                             g_seed + 11);
   const ReachPartialAnswer pa = LocalEvalReach(frag.fragment(0), 0, 1);
   size_t bytes = 0;
   for (auto _ : state) {
@@ -142,7 +150,7 @@ BENCHMARK(BM_ReachAnswerEncodeAdaptive)->Arg(5000)->Arg(20000);
 // --- automaton + product construction ---------------------------------------
 
 void BM_QueryAutomatonFromRegex(benchmark::State& state) {
-  Rng rng(3);
+  Rng rng(g_seed + 3);
   const Regex r = Regex::Random(static_cast<size_t>(state.range(0)), 8, &rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(QueryAutomaton::FromRegex(r));
@@ -152,8 +160,8 @@ BENCHMARK(BM_QueryAutomatonFromRegex)->Arg(4)->Arg(16)->Arg(60);
 
 void BM_LocalEvalRegularProduct(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Fragmentation frag = MakeBenchFragmentation(n, 4, 13);
-  Rng rng(5);
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, g_seed + 13);
+  Rng rng(g_seed + 5);
   const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Random(6, 4, &rng));
   const Fragment& f = frag.fragment(0);
   for (auto _ : state) {
@@ -163,11 +171,11 @@ void BM_LocalEvalRegularProduct(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalEvalRegularProduct)->Arg(2000)->Arg(10000);
 
-// --- partitioners -------------------------------------------------------------
+// --- partitioners ------------------------------------------------------------
 
 template <typename P>
 void BM_Partitioner(benchmark::State& state) {
-  Rng rng(17);
+  Rng rng(g_seed + 17);
   const Graph g = PreferentialAttachment(
       static_cast<size_t>(state.range(0)), 3, 1, &rng);
   const P partitioner;
@@ -185,13 +193,13 @@ BENCHMARK_TEMPLATE(BM_Partitioner, RandomPartitioner)->Arg(50000);
 BENCHMARK_TEMPLATE(BM_Partitioner, ChunkPartitioner)->Arg(50000);
 BENCHMARK_TEMPLATE(BM_Partitioner, BfsGrowPartitioner)->Arg(50000);
 
-// --- reachability indexes (§3 remark ablation) --------------------------------
+// --- reachability indexes (§3 remark ablation) -------------------------------
 
 enum class IndexKind { kBfs, kMatrix, kInterval, kTwoHop };
 
 template <IndexKind kKind>
 void BM_ReachIndexQuery(benchmark::State& state) {
-  Rng rng(23);
+  Rng rng(g_seed + 23);
   const size_t n = static_cast<size_t>(state.range(0));
   const Graph g = CommunityGraph(n, 4 * n, n / 200 + 1, 0.9, 1, &rng);
   std::unique_ptr<ReachabilityIndex> index;
@@ -230,7 +238,7 @@ BENCHMARK_TEMPLATE(BM_ReachIndexQuery, IndexKind::kTwoHop)->Arg(20000);
 template <EquationForm kForm>
 void BM_LocalEvalReachForm(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Fragmentation frag = MakeBenchFragmentation(n, 4, 42);
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, g_seed);
   const Fragment& f = frag.fragment(0);
   size_t bytes = 0;
   for (auto _ : state) {
@@ -247,11 +255,11 @@ BENCHMARK_TEMPLATE(BM_LocalEvalReachForm, EquationForm::kClosure)->Arg(10000);
 BENCHMARK_TEMPLATE(BM_LocalEvalReachForm, EquationForm::kDag)->Arg(10000);
 BENCHMARK_TEMPLATE(BM_LocalEvalReachForm, EquationForm::kAuto)->Arg(10000);
 
-// --- incremental index vs per-query partial evaluation ------------------------
+// --- incremental index vs per-query partial evaluation -----------------------
 
 void BM_DisReachFullQuery(benchmark::State& state) {
   const size_t n = 20000;
-  Rng rng(19);
+  Rng rng(g_seed + 19);
   const Graph g = ErdosRenyi(n, 3 * n, 1, &rng);
   const std::vector<SiteId> part = RandomPartitioner().Partition(g, 4, &rng);
   const Fragmentation frag = Fragmentation::Build(g, part, 4);
@@ -267,7 +275,7 @@ BENCHMARK(BM_DisReachFullQuery);
 
 void BM_IncrementalIndexQuery(benchmark::State& state) {
   const size_t n = 20000;
-  Rng rng(19);
+  Rng rng(g_seed + 19);
   const Graph g = ErdosRenyi(n, 3 * n, 1, &rng);
   const std::vector<SiteId> part = RandomPartitioner().Partition(g, 4, &rng);
   IncrementalReachIndex index(g, part, 4);
@@ -283,4 +291,13 @@ BENCHMARK(BM_IncrementalIndexQuery);
 }  // namespace
 }  // namespace pereach
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with the shared --seed flag peeled off first (Google
+// Benchmark rejects flags it does not know).
+int main(int argc, char** argv) {
+  pereach::g_seed = pereach::bench::ExtractSeedFlag(&argc, argv, 42);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

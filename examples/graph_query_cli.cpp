@@ -144,7 +144,8 @@ int main(int argc, char** argv) {
                 f.largest_fragment_size());
     for (SiteId sid = 0; sid < f.num_fragments(); ++sid) {
       std::printf("  site %u: |V|=%zu |I|=%zu |O|=%zu\n", sid,
-                  f.fragment(sid).num_local(), f.fragment(sid).in_nodes().size(),
+                  f.fragment(sid).num_local(),
+                  f.fragment(sid).in_nodes().size(),
                   f.fragment(sid).num_virtual());
     }
     return 0;
@@ -169,7 +170,8 @@ int main(int argc, char** argv) {
   } else if (verb == "regular" && arg + 3 <= argc) {
     Result<Regex> regex = Regex::Parse(argv[arg + 2], labels);
     if (!regex.ok()) {
-      std::fprintf(stderr, "bad regex: %s\n", regex.status().ToString().c_str());
+      std::fprintf(stderr, "bad regex: %s\n",
+                   regex.status().ToString().c_str());
       return 1;
     }
     answer = dg.RegularReach(parse_node(argv[arg]), parse_node(argv[arg + 1]),

@@ -48,8 +48,10 @@ int main() {
   // Sparse inter-region air links (one-way, like scheduled freight flights).
   const size_t kAirLinks = 10;
   for (size_t i = 0; i < kAirLinks; ++i) {
-    const NodeId from = static_cast<NodeId>(rng.Uniform(kRegions * kHubsPerRegion));
-    const NodeId to = static_cast<NodeId>(rng.Uniform(kRegions * kHubsPerRegion));
+    const NodeId from =
+        static_cast<NodeId>(rng.Uniform(kRegions * kHubsPerRegion));
+    const NodeId to =
+        static_cast<NodeId>(rng.Uniform(kRegions * kHubsPerRegion));
     if (region_of[from] != region_of[to]) builder.AddEdge(from, to);
   }
 

@@ -32,8 +32,7 @@ struct WorkerState {
 QueryAnswer DisReachMp(Cluster* cluster, const ReachQuery& query) {
   cluster->BeginQuery();
   QueryAnswer answer = RunDisReachMp(cluster, query.source, query.target);
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
+  answer.metrics = cluster->EndQuery();
   return answer;
 }
 

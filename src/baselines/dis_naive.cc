@@ -54,8 +54,7 @@ QueryAnswer DisReachNaive(Cluster* cluster, const ReachQuery& query) {
   StopWatch watch;
   answer.reachable = CentralizedReach(g, query.source, query.target);
   cluster->AddCoordinatorWorkMs(watch.ElapsedMs());
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
+  answer.metrics = cluster->EndQuery();
   return answer;
 }
 
@@ -72,8 +71,7 @@ QueryAnswer DisDistNaive(Cluster* cluster, const BoundedReachQuery& query) {
   answer.distance = dist == kInfDistance ? kInfWeight : dist;
   answer.reachable = dist != kInfDistance && dist <= query.bound;
   cluster->AddCoordinatorWorkMs(watch.ElapsedMs());
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
+  answer.metrics = cluster->EndQuery();
   return answer;
 }
 
@@ -89,8 +87,7 @@ QueryAnswer DisRpqNaive(Cluster* cluster, NodeId s, NodeId t,
   StopWatch watch;
   answer.reachable = CentralizedRegularReach(g, s, t, automaton);
   cluster->AddCoordinatorWorkMs(watch.ElapsedMs());
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
+  answer.metrics = cluster->EndQuery();
   return answer;
 }
 

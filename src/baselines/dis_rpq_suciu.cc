@@ -76,8 +76,7 @@ QueryAnswer DisRpqSuciu(Cluster* cluster, NodeId s, NodeId t,
                         const QueryAutomaton& automaton) {
   cluster->BeginQuery();
   QueryAnswer answer = RunDisRpqSuciu(cluster, s, t, automaton);
-  cluster->EndQuery();
-  answer.metrics = cluster->metrics();
+  answer.metrics = cluster->EndQuery();
   return answer;
 }
 

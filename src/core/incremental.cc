@@ -119,18 +119,33 @@ bool IncrementalReachIndex::Reach(NodeId s, NodeId t) {
 }
 
 void IncrementalReachIndex::AddEdge(NodeId u, NodeId v) {
-  PEREACH_CHECK_LT(u, labels_.size());
-  PEREACH_CHECK_LT(v, labels_.size());
-  edges_.emplace_back(u, v);
-  // u's fragment gains an edge: its reachable sets may grow. A cross edge
-  // additionally makes v an in-node of its fragment, adding an equation row.
-  cache_valid_[partition_[u]] = false;
-  if (update_listener_) update_listener_(partition_[u]);
-  if (partition_[u] != partition_[v]) {
-    cache_valid_[partition_[v]] = false;
-    if (update_listener_) update_listener_(partition_[v]);
+  const std::pair<NodeId, NodeId> edge(u, v);
+  AddEdges(std::span<const std::pair<NodeId, NodeId>>(&edge, 1));
+}
+
+void IncrementalReachIndex::AddEdges(
+    std::span<const std::pair<NodeId, NodeId>> edges) {
+  if (edges.empty()) return;
+  // Fragments whose caches an edge of this batch invalidates: u's fragment
+  // always (its reachable sets may grow); v's when the edge crosses
+  // fragments (a new cross edge makes v an in-node with a fresh equation).
+  std::vector<bool> touched(num_sites_, false);
+  for (const auto& [u, v] : edges) {
+    PEREACH_CHECK_LT(u, labels_.size());
+    PEREACH_CHECK_LT(v, labels_.size());
+    edges_.emplace_back(u, v);
+    touched[partition_[u]] = true;
+    if (partition_[u] != partition_[v]) touched[partition_[v]] = true;
   }
+  for (SiteId site = 0; site < num_sites_; ++site) {
+    if (!touched[site]) continue;
+    cache_valid_[site] = false;
+    if (update_listener_) update_listener_(site);
+  }
+  // One structural rebuild per batch — the writer path's dominant cost is
+  // amortized over every edge of the update.
   RebuildStructure();
+  ++epoch_;
 }
 
 }  // namespace pereach

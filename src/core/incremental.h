@@ -2,6 +2,7 @@
 #define PEREACH_CORE_INCREMENTAL_H_
 
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -36,8 +37,22 @@ class IncrementalReachIndex {
   /// q_r(s, t) against the current graph.
   bool Reach(NodeId s, NodeId t);
 
-  /// Inserts edge (u, v) and invalidates only the affected caches.
+  /// Inserts edge (u, v) and invalidates only the affected caches. One call
+  /// is one update epoch.
   void AddEdge(NodeId u, NodeId v);
+
+  /// Inserts a batch of edges as ONE update epoch: affected caches are
+  /// invalidated per edge (listener fires once per distinct touched
+  /// fragment) but the structural rebuild — the expensive part of the writer
+  /// path — runs once for the whole batch. This is the amortized writer path
+  /// the QueryServer's update queue uses.
+  void AddEdges(std::span<const std::pair<NodeId, NodeId>> edges);
+
+  /// Number of update epochs applied (non-empty AddEdge / AddEdges calls).
+  /// QueryServer's writer path checks its gate's committed epoch against
+  /// this after every update, so the serving snapshot counter and the
+  /// index's applied-update count cannot drift apart.
+  uint64_t epoch() const { return epoch_; }
 
   /// Registers a callback invoked with every fragment id whose cached
   /// query-independent structure an AddEdge invalidates (u's fragment, and
@@ -71,6 +86,7 @@ class IncrementalReachIndex {
   std::vector<std::vector<BoolEquation>> cached_equations_;
   std::vector<bool> cache_valid_;
   size_t recompute_count_ = 0;
+  uint64_t epoch_ = 0;
   std::function<void(SiteId)> update_listener_;
 };
 

@@ -209,7 +209,8 @@ GenericSystem ComputeBoundarySystem(const Graph& g,
     std::vector<uint32_t> aux_of(k, kNoAux);
     for (uint32_t c = 0; c < k; ++c) {
       if (!(relevant[c] && reach_boundary[c])) continue;
-      const uint32_t aux = aux_of[c] = static_cast<uint32_t>(sys.equations.size());
+      const uint32_t aux = aux_of[c] =
+          static_cast<uint32_t>(sys.equations.size());
       GenericEquation eq;
       eq.is_aux = true;
       eq.var = aux;
@@ -551,7 +552,8 @@ void RegularPartialAnswer::AddToBes(BooleanEquationSystem* bes) const {
     out.has_true = eq.has_true;
     out.deps.reserve(eq.deps.size() + eq.aux_deps.size());
     for (uint32_t i : eq.deps) {
-      out.deps.push_back(PackNodeState(var_table[i].first, var_table[i].second));
+      out.deps.push_back(
+          PackNodeState(var_table[i].first, var_table[i].second));
     }
     for (uint32_t a : eq.aux_deps) out.deps.push_back(PackAuxVar(site, a));
     bes->Add(std::move(out));

@@ -226,7 +226,9 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
       for (NodeId& g : reply_oset[ri]) g = static_cast<NodeId>(dec.GetVarint());
     }
     frames[ri].reserve(wire.size());
-    for (size_t wi = 0; wi < wire.size(); ++wi) frames[ri].push_back(dec.GetFrame());
+    for (size_t wi = 0; wi < wire.size(); ++wi) {
+      frames[ri].push_back(dec.GetFrame());
+    }
     PEREACH_CHECK(dec.Done() && "malformed site reply payload");
   }
 

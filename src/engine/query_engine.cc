@@ -15,9 +15,10 @@ BatchAnswer QueryEngine::EvaluateBatch(std::span<const Query> queries) {
   cluster_->BeginQuery();
   RunBatch(queries, &batch.answers);
   cluster_->SetQueriesServed(queries.size());
-  cluster_->EndQuery();
+  // Take the metrics from this thread's own window (not cluster_->metrics())
+  // so engines on different threads can batch over one cluster concurrently.
+  batch.metrics = cluster_->EndQuery();
   PEREACH_CHECK_EQ(batch.answers.size(), queries.size());
-  batch.metrics = cluster_->metrics();
   return batch;
 }
 

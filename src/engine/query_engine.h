@@ -85,7 +85,11 @@ struct BatchAnswer {
 ///    can multiplex (PartialEvalEngine) pay O(1) communication rounds per
 ///    batch while round-per-query engines pay k — the comparison the
 ///    bench_batch harness draws.
-/// Engines are not thread-safe; use one engine per concurrent caller.
+/// Engines are not thread-safe; use one engine per concurrent caller. Any
+/// number of engines may share one Cluster from distinct threads — metrics
+/// windows are per-thread, and EvaluateBatch reads its own window, so
+/// overlapping batches (the QueryServer's per-class dispatchers) keep
+/// separate books.
 class QueryEngine {
  public:
   explicit QueryEngine(Cluster* cluster) : cluster_(cluster) {}

@@ -33,7 +33,9 @@ Fragment Fragment::Deserialize(Decoder* dec) {
   // count below into a huge resize.
   PEREACH_CHECK_LE(f.num_local_, f.graph_.NumNodes());
   f.local_to_global_.resize(f.graph_.NumNodes());
-  for (NodeId& g : f.local_to_global_) g = static_cast<NodeId>(dec->GetVarint());
+  for (NodeId& g : f.local_to_global_) {
+    g = static_cast<NodeId>(dec->GetVarint());
+  }
   f.global_to_local_.reserve(f.local_to_global_.size());
   for (NodeId local = 0; local < f.local_to_global_.size(); ++local) {
     f.global_to_local_.emplace(f.local_to_global_[local], local);

@@ -19,7 +19,8 @@ class Fragmentation {
 
   /// Builds the fragmentation of `g` induced by `partition` (node -> site,
   /// values in [0, num_fragments)).
-  static Fragmentation Build(const Graph& g, const std::vector<SiteId>& partition,
+  static Fragmentation Build(const Graph& g,
+                             const std::vector<SiteId>& partition,
                              size_t num_fragments);
 
   size_t num_fragments() const { return fragments_.size(); }

@@ -44,7 +44,8 @@ bool Reaches(const Graph& g, NodeId s, NodeId t) {
   return false;
 }
 
-std::vector<uint32_t> BfsDistances(const Graph& g, NodeId s, uint32_t max_dist) {
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId s,
+                                   uint32_t max_dist) {
   std::vector<uint32_t> dist(g.NumNodes(), kInfDistance);
   std::deque<NodeId> queue;
   dist[s] = 0;
@@ -400,7 +401,8 @@ std::vector<Bitset> TransitiveClosure(const Graph& g) {
 
 std::vector<std::vector<uint32_t>> AllPairsDistances(const Graph& g) {
   const size_t n = g.NumNodes();
-  std::vector<std::vector<uint32_t>> d(n, std::vector<uint32_t>(n, kInfDistance));
+  std::vector<std::vector<uint32_t>> d(
+      n, std::vector<uint32_t>(n, kInfDistance));
   for (NodeId v = 0; v < n; ++v) {
     d[v][v] = 0;
     for (NodeId w : g.OutNeighbors(v)) d[v][w] = std::min(d[v][w], 1u);

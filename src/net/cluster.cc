@@ -12,18 +12,43 @@ Cluster::Cluster(const Fragmentation* fragmentation, const NetworkModel& net,
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(num_threads);
-  metrics_.site_visits.assign(fragmentation_->num_fragments(), 0);
+  last_metrics_.site_visits.assign(fragmentation_->num_fragments(), 0);
+}
+
+Cluster::Window& Cluster::ActiveWindowLocked() {
+  auto it = windows_.find(std::this_thread::get_id());
+  PEREACH_CHECK(it != windows_.end() &&
+                "cluster used outside a BeginQuery..EndQuery window");
+  return it->second;
 }
 
 void Cluster::BeginQuery() {
-  metrics_ = RunMetrics();
-  metrics_.site_visits.assign(fragmentation_->num_fragments(), 0);
-  query_watch_.Restart();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = windows_.try_emplace(std::this_thread::get_id());
+  PEREACH_CHECK(inserted && "thread already has an open metrics window");
+  it->second.metrics.site_visits.assign(fragmentation_->num_fragments(), 0);
+  it->second.watch.Restart();
 }
 
-void Cluster::EndQuery() {
-  metrics_.wall_ms = query_watch_.ElapsedMs();
-  if (metrics_.queries == 0) metrics_.queries = 1;
+void Cluster::SetQueriesServed(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ActiveWindowLocked().metrics.queries = n;
+}
+
+RunMetrics Cluster::EndQuery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Window& w = ActiveWindowLocked();
+  w.metrics.wall_ms = w.watch.ElapsedMs();
+  if (w.metrics.queries == 0) w.metrics.queries = 1;
+  RunMetrics out = std::move(w.metrics);
+  windows_.erase(std::this_thread::get_id());
+  last_metrics_ = out;
+  return out;
+}
+
+RunMetrics Cluster::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_metrics_;
 }
 
 std::vector<std::vector<uint8_t>> Cluster::Round(
@@ -44,18 +69,23 @@ std::vector<std::vector<uint8_t>> Cluster::Round(
   size_t num_messages = k;  // coordinator -> site broadcasts
   double max_compute = 0.0;
   for (size_t i = 0; i < k; ++i) {
-    metrics_.site_visits[sites[i]] += 1;
     max_compute = std::max(max_compute, compute_ms[i]);
     if (!replies[i].empty()) {
       round_bytes += replies[i].size();
       ++num_messages;
     }
   }
-  metrics_.traffic_bytes += round_bytes;
-  metrics_.messages += num_messages;
-  metrics_.rounds += 1;
-  metrics_.modeled_ms +=
-      2 * net_.latency_ms + max_compute + net_.TransferMs(round_bytes);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RunMetrics& m = ActiveWindowLocked().metrics;
+    for (size_t i = 0; i < k; ++i) m.site_visits[sites[i]] += 1;
+    m.traffic_bytes += round_bytes;
+    m.messages += num_messages;
+    m.rounds += 1;
+    m.modeled_ms +=
+        2 * net_.latency_ms + max_compute + net_.TransferMs(round_bytes);
+  }
   return replies;
 }
 
@@ -67,23 +97,32 @@ std::vector<std::vector<uint8_t>> Cluster::RoundAll(
   return Round(all, broadcast_bytes, fn);
 }
 
-void Cluster::AddCoordinatorWorkMs(double ms) { metrics_.modeled_ms += ms; }
+void Cluster::AddCoordinatorWorkMs(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ActiveWindowLocked().metrics.modeled_ms += ms;
+}
 
 void Cluster::RecordVisits(SiteId site, size_t n) {
-  PEREACH_CHECK_LT(site, metrics_.site_visits.size());
-  metrics_.site_visits[site] += n;
+  std::lock_guard<std::mutex> lock(mu_);
+  RunMetrics& m = ActiveWindowLocked().metrics;
+  PEREACH_CHECK_LT(site, m.site_visits.size());
+  m.site_visits[site] += n;
 }
 
 void Cluster::RecordTraffic(size_t bytes, size_t num_messages) {
-  metrics_.traffic_bytes += bytes;
-  metrics_.messages += num_messages;
+  std::lock_guard<std::mutex> lock(mu_);
+  RunMetrics& m = ActiveWindowLocked().metrics;
+  m.traffic_bytes += bytes;
+  m.messages += num_messages;
 }
 
 void Cluster::RecordModeledRound(double max_site_compute_ms,
                                  size_t round_bytes) {
-  metrics_.rounds += 1;
-  metrics_.modeled_ms += 2 * net_.latency_ms + max_site_compute_ms +
-                         net_.TransferMs(round_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  RunMetrics& m = ActiveWindowLocked().metrics;
+  m.rounds += 1;
+  m.modeled_ms += 2 * net_.latency_ms + max_site_compute_ms +
+                  net_.TransferMs(round_bytes);
 }
 
 }  // namespace pereach

@@ -3,6 +3,9 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/fragment/fragmentation.h"
@@ -22,13 +25,22 @@ namespace pereach {
 ///   cluster.BeginQuery();
 ///   auto replies = cluster.RoundAll(query_bytes, local_eval);   // phases 1+2
 ///   ... assemble at the coordinator ...                         // phase 3
-///   cluster.EndQuery();
+///   RunMetrics m = cluster.EndQuery();
 ///
 /// A metrics window may also cover a whole query batch: the engine layer
 /// (src/engine) multiplexes k queries into one broadcast payload and one
 /// length-prefixed reply frame per query (Encoder::PutFrame /
 /// Decoder::GetFrame), so a batch costs one Round — the accounting below
 /// charges 2 latencies once per round, not per query.
+///
+/// Concurrency: metrics windows are per-thread. Each BeginQuery opens a
+/// window owned by the calling thread; Round / Record* / SetQueriesServed
+/// charge the caller's open window, and EndQuery closes it and returns its
+/// metrics. Any number of threads may therefore run interleaved windows over
+/// one cluster (the QueryServer's overlapping per-class batches) without
+/// corrupting each other's books. A window's calls must all come from the
+/// thread that opened it — site closures still run on pool threads, but the
+/// accounting itself happens on the window's thread after the round joins.
 class Cluster {
  public:
   /// `fragmentation` must outlive the cluster. `num_threads` == 0 picks
@@ -39,17 +51,19 @@ class Cluster {
   const Fragmentation& fragmentation() const { return *fragmentation_; }
   const NetworkModel& network() const { return net_; }
 
-  /// Resets metrics and starts the wall clock for one query.
+  /// Opens a fresh metrics window for the calling thread and starts its wall
+  /// clock. The calling thread must not already have a window open.
   void BeginQuery();
 
-  /// Marks the number of queries the open window serves. Batch engines call
-  /// this before EndQuery so metrics() amortization (PerQueryModeledMs) is
-  /// correct on the cluster itself, not only on copies the engine hands out.
-  void SetQueriesServed(size_t n) { metrics_.queries = n; }
+  /// Marks the number of queries the calling thread's open window serves.
+  /// Batch engines call this before EndQuery so metrics amortization
+  /// (PerQueryModeledMs) is correct.
+  void SetQueriesServed(size_t n);
 
-  /// Stops the wall clock; metrics() is complete afterwards. Windows that
-  /// never declared a batch size count as one query.
-  void EndQuery();
+  /// Stops the wall clock, closes the calling thread's window and returns
+  /// its metrics. Windows that never declared a batch size count as one
+  /// query. The result is also stored for metrics().
+  RunMetrics EndQuery();
 
   /// One communication round touching `sites`: the coordinator sends
   /// `broadcast_bytes` to each listed site (one message each), every site
@@ -83,18 +97,33 @@ class Cluster {
   /// Advances the modeled clock by one bespoke round.
   void RecordModeledRound(double max_site_compute_ms, size_t round_bytes);
 
-  const RunMetrics& metrics() const { return metrics_; }
+  /// Metrics of the most recently completed window. Single-threaded
+  /// convenience only: under concurrent windows, use the value EndQuery
+  /// returns — another thread's EndQuery may overwrite this between your
+  /// EndQuery and the read.
+  RunMetrics metrics() const;
 
   ThreadPool* pool() { return pool_.get(); }
 
  private:
   PEREACH_DISALLOW_COPY_AND_ASSIGN(Cluster);
 
+  struct Window {
+    RunMetrics metrics;
+    StopWatch watch;
+  };
+
+  /// The calling thread's open window. CHECK-fails when the thread has no
+  /// window (a Round/Record outside BeginQuery..EndQuery). mu_ must be held.
+  Window& ActiveWindowLocked();
+
   const Fragmentation* fragmentation_;
   NetworkModel net_;
   std::unique_ptr<ThreadPool> pool_;
-  RunMetrics metrics_;
-  StopWatch query_watch_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::thread::id, Window> windows_;  // guarded by mu_
+  RunMetrics last_metrics_;                              // guarded by mu_
 };
 
 }  // namespace pereach

@@ -43,7 +43,8 @@ struct RunMetrics {
 
   /// Modeled response time amortized over the queries of the window.
   double PerQueryModeledMs() const {
-    return queries == 0 ? modeled_ms : modeled_ms / static_cast<double>(queries);
+    return queries == 0 ? modeled_ms
+                        : modeled_ms / static_cast<double>(queries);
   }
 
   size_t TotalVisits() const {

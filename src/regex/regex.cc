@@ -169,7 +169,8 @@ class Parser {
 
  private:
   void SkipSpace() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
     }
   }
@@ -296,7 +297,8 @@ Regex Regex::Random(size_t num_symbols, size_t num_labels, Rng* rng) {
 
 namespace {
 
-void ToStringRec(const Regex& r, const LabelDictionary& dict, std::string* out) {
+void ToStringRec(const Regex& r, const LabelDictionary& dict,
+                 std::string* out) {
   switch (r.kind()) {
     case Regex::Kind::kEpsilon:
       *out += "~";

@@ -1,0 +1,111 @@
+#include "src/server/batch_queue.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace pereach {
+
+namespace {
+// EWMA weight of the newest gap. 0.25 follows bursts within ~4 arrivals
+// without letting one stall reset the estimate.
+constexpr double kGapAlpha = 0.25;
+}  // namespace
+
+void BatchQueue::Push(PendingQuery pending) {
+  const auto now = std::chrono::steady_clock::now();
+  pending.enqueue_time = now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PEREACH_CHECK(!shutdown_ && "Push after BatchQueue::Shutdown");
+    if (have_arrival_) {
+      const double gap_us =
+          std::chrono::duration<double, std::micro>(now - last_arrival_)
+              .count();
+      // Gaps longer than the window carry no batching signal (the previous
+      // batch long since dispatched); cap them so one idle stretch does not
+      // drown the estimate of burst width.
+      const double capped =
+          std::min(gap_us, static_cast<double>(policy_.max_window_us));
+      // The first gap initializes the estimate outright — seeding from the
+      // window cap would take ~1/alpha bursts to decay, stalling early
+      // batches on the full window for no reason.
+      ewma_gap_us_ = have_gap_
+                         ? kGapAlpha * capped + (1.0 - kGapAlpha) * ewma_gap_us_
+                         : capped;
+      have_gap_ = true;
+    } else {
+      ewma_gap_us_ = static_cast<double>(policy_.max_window_us);
+      have_arrival_ = true;
+    }
+    last_arrival_ = now;
+    queue_.push_back(std::move(pending));
+  }
+  arrived_.notify_one();
+}
+
+double BatchQueue::WindowUsLocked() const {
+  if (!policy_.adaptive || !have_gap_) {
+    return static_cast<double>(policy_.max_window_us);
+  }
+  // Expected time to fill the batch at the current arrival rate; never
+  // longer than the hard cap.
+  const double fill_us =
+      ewma_gap_us_ * static_cast<double>(policy_.max_batch > 0
+                                             ? policy_.max_batch - 1
+                                             : 0);
+  return std::min(fill_us, static_cast<double>(policy_.max_window_us));
+}
+
+std::vector<PendingQuery> BatchQueue::PopBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  arrived_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // shut down and drained
+
+  if (!shutdown_ && policy_.max_window_us > 0) {
+    // Window counted from the oldest pending arrival: a query never waits
+    // more than one window in the queue beyond the dispatcher's own
+    // occupancy. When the dispatcher shows up late (the oldest query
+    // arrived mid-evaluation of the previous batch) the deadline has long
+    // expired — popping instantly would ship a batch of one straggler
+    // right before the answered clients' resubmission burst lands. Linger
+    // one fresh window instead; total added latency stays <= 2 windows.
+    const auto window =
+        std::chrono::microseconds(static_cast<int64_t>(WindowUsLocked()));
+    auto deadline = queue_.front().enqueue_time + window;
+    const auto now = std::chrono::steady_clock::now();
+    if (deadline < now) deadline = now + window;
+    arrived_.wait_until(lock, deadline, [this] {
+      return shutdown_ || queue_.size() >= policy_.max_batch;
+    });
+  }
+
+  const size_t take = std::min(queue_.size(), policy_.max_batch);
+  std::vector<PendingQuery> batch;
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void BatchQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  arrived_.notify_all();
+}
+
+size_t BatchQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+double BatchQueue::window_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WindowUsLocked();
+}
+
+}  // namespace pereach

@@ -1,0 +1,106 @@
+#ifndef PEREACH_SERVER_BATCH_QUEUE_H_
+#define PEREACH_SERVER_BATCH_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "src/engine/query_engine.h"
+#include "src/util/logging.h"
+
+namespace pereach {
+
+/// Knobs for one coalescing window (one per query class).
+struct BatchPolicy {
+  /// Size cap: a batch dispatches the moment this many queries are pending.
+  size_t max_batch = 64;
+
+  /// Time cap in microseconds, counted from the arrival of the oldest
+  /// pending query. 0 dispatches whatever is pending immediately (paired
+  /// with max_batch = 1 this is the per-query serving baseline).
+  uint32_t max_window_us = 200;
+
+  /// Adapt the window to the arrival rate: wait only as long as filling the
+  /// batch is expected to take (EWMA of inter-arrival gaps × max_batch),
+  /// capped at max_window_us. Under load the window collapses toward the
+  /// burst width; after an idle stretch the estimate decays back to the cap
+  /// within a few arrivals. When false, every batch waits exactly
+  /// max_window_us.
+  bool adaptive = true;
+};
+
+/// What the server returns for one query, beyond the answer itself.
+struct ServedAnswer {
+  /// The answer; its metrics field holds the WHOLE batch window the query
+  /// was served in (metrics.queries = batch size, so PerQueryModeledMs()
+  /// is this query's amortized modeled cost).
+  QueryAnswer answer;
+  /// Snapshot the batch evaluated at (number of committed updates).
+  uint64_t epoch = 0;
+  /// Number of queries coalesced into the batch.
+  size_t batch_size = 0;
+};
+
+/// One enqueued query: payload, completion promise, arrival stamp.
+struct PendingQuery {
+  Query query;
+  std::promise<ServedAnswer> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+/// MPSC coalescing queue for one query class. Producers Push from any
+/// thread; the class's dispatcher loops on PopBatch, which blocks until at
+/// least one query is pending, then keeps collecting until the size cap or
+/// the (adaptive) window deadline — measured from the OLDEST pending
+/// arrival, so the window bounds queueing latency, not just batch spacing.
+/// After Shutdown, PopBatch drains whatever is queued without waiting for
+/// windows and then returns empty batches forever.
+class BatchQueue {
+ public:
+  explicit BatchQueue(BatchPolicy policy) : policy_(policy) {
+    // max_batch == 0 would make PopBatch return empty with queries pending,
+    // which dispatchers interpret as shutdown — hanging every future.
+    PEREACH_CHECK_GE(policy_.max_batch, 1u);
+  }
+
+  /// Enqueues a query and feeds the arrival-rate estimator.
+  void Push(PendingQuery pending);
+
+  /// Blocks for the next batch; empty means shut down and drained.
+  std::vector<PendingQuery> PopBatch();
+
+  /// Wakes the dispatcher and switches PopBatch to drain mode.
+  void Shutdown();
+
+  size_t pending() const;
+
+  /// Current adaptive window in microseconds (observability).
+  double window_us() const;
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  double WindowUsLocked() const;
+
+  const BatchPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable arrived_;
+  std::deque<PendingQuery> queue_;
+  bool shutdown_ = false;
+
+  // EWMA of inter-arrival gaps, microseconds. A cold queue (no gap observed
+  // yet) behaves like the fixed-window policy; the first gap initializes
+  // the estimate outright, later gaps blend in.
+  double ewma_gap_us_ = 0.0;
+  bool have_arrival_ = false;
+  bool have_gap_ = false;
+  std::chrono::steady_clock::time_point last_arrival_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_SERVER_BATCH_QUEUE_H_

@@ -1,0 +1,67 @@
+#ifndef PEREACH_SERVER_EPOCH_GATE_H_
+#define PEREACH_SERVER_EPOCH_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+namespace pereach {
+
+/// Snapshot gate between query batches (readers) and graph updates
+/// (writers). The mutable state behind the gate — the index's
+/// Fragmentation, the engines' FragmentContext caches — is only touched by
+/// a writer while every reader is drained, so a batch that entered at epoch
+/// e evaluates every one of its queries against exactly the first e updates:
+/// readers never observe a half-applied update.
+///
+/// The scheme is deliberately coarse (one shared_mutex, epoch counter
+/// advanced by the writer before release): updates are rare relative to
+/// queries, batches bound reader hold times, and writers on a shared_mutex
+/// do not starve behind a stream of readers.
+class EpochGate {
+ public:
+  /// Epoch of the last committed update. Thread-safe without the gate held.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Shared (reader) side: hold for the lifetime of one query batch.
+  class Read {
+   public:
+    explicit Read(EpochGate* gate)
+        : lock_(gate->mu_), epoch_(gate->epoch()) {}
+
+    /// The snapshot this reader is pinned to. Stable while the lock is
+    /// held — writers are excluded.
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    std::shared_lock<std::shared_mutex> lock_;
+    uint64_t epoch_;
+  };
+
+  /// Exclusive (writer) side: hold while mutating the fragmentation and
+  /// invalidating caches. Call Commit() once the update is fully applied;
+  /// a destructed uncommitted writer leaves the epoch unchanged (the
+  /// update path CHECK-failed or threw — readers keep the old snapshot).
+  class Write {
+   public:
+    explicit Write(EpochGate* gate) : gate_(gate), lock_(gate->mu_) {}
+
+    /// Publishes the applied update; returns the new epoch.
+    uint64_t Commit() {
+      return gate_->epoch_.fetch_add(1, std::memory_order_release) + 1;
+    }
+
+   private:
+    EpochGate* gate_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_SERVER_EPOCH_GATE_H_

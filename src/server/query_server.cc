@@ -1,0 +1,136 @@
+#include "src/server/query_server.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace pereach {
+
+QueryServer::QueryServer(IncrementalReachIndex* index, ServerOptions options)
+    : index_(index),
+      options_(options),
+      cluster_(&index->fragmentation(), options.net, options.cluster_threads),
+      index_epoch_base_(index->epoch()) {
+  for (size_t c = 0; c < kNumClasses; ++c) {
+    queues_[c] = std::make_unique<BatchQueue>(options_.policy);
+    engines_[c] = std::make_unique<PartialEvalEngine>(&cluster_, options_.eval);
+  }
+  // All update flows share one invalidation path (§8): the index reports
+  // each fragment an update structurally touches, and every class engine
+  // drops exactly that context. Runs under the writer's exclusive gate, so
+  // no batch is mid-flight over the caches being dropped.
+  index_->SetUpdateListener([this](SiteId site) {
+    for (auto& engine : engines_) engine->InvalidateFragment(site);
+  });
+  for (size_t c = 0; c < kNumClasses; ++c) {
+    dispatchers_[c] = std::thread([this, c] { DispatcherLoop(c); });
+  }
+}
+
+QueryServer::~QueryServer() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& queue : queues_) queue->Shutdown();
+  for (auto& t : dispatchers_) t.join();
+  index_->SetUpdateListener(nullptr);
+}
+
+std::future<ServedAnswer> QueryServer::Submit(Query query) {
+  PEREACH_CHECK(!stopping_.load(std::memory_order_acquire) &&
+                "Submit on a stopping QueryServer");
+  const size_t class_idx = static_cast<size_t>(query.kind);
+  PEREACH_CHECK_LT(class_idx, kNumClasses);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++in_flight_;
+  }
+  PendingQuery pending;
+  pending.query = std::move(query);
+  std::future<ServedAnswer> future = pending.promise.get_future();
+  queues_[class_idx]->Push(std::move(pending));
+  return future;
+}
+
+uint64_t QueryServer::AddEdge(NodeId u, NodeId v) {
+  const std::pair<NodeId, NodeId> edge(u, v);
+  return AddEdges(std::span<const std::pair<NodeId, NodeId>>(&edge, 1));
+}
+
+uint64_t QueryServer::AddEdges(
+    std::span<const std::pair<NodeId, NodeId>> edges) {
+  if (edges.empty()) return gate_.epoch();  // the index ignores empty batches
+  EpochGate::Write writer(&gate_);
+  // Exclusive: every in-flight batch has drained, none enters until commit.
+  // The index rebuilds the fragmentation in place and fires the listener for
+  // each touched fragment; Cluster reads the fragmentation only inside
+  // reader-held batches, so the swap is invisible to queries.
+  index_->AddEdges(edges);
+  const uint64_t epoch = writer.Commit();
+  // Updates during this server's lifetime all flow through this writer
+  // path, so the gate's committed epoch tracks the index's applied-update
+  // count exactly, offset by whatever the index had applied pre-server.
+  PEREACH_CHECK_EQ(epoch + index_epoch_base_, index_->epoch());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.updates;
+  }
+  return epoch;
+}
+
+void QueryServer::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ServerStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void QueryServer::DispatcherLoop(size_t class_idx) {
+  BatchQueue& queue = *queues_[class_idx];
+  PartialEvalEngine& engine = *engines_[class_idx];
+  while (true) {
+    std::vector<PendingQuery> pending = queue.PopBatch();
+    if (pending.empty()) return;  // shut down and drained
+
+    std::vector<Query> batch;
+    batch.reserve(pending.size());
+    for (PendingQuery& p : pending) batch.push_back(std::move(p.query));
+
+    uint64_t epoch = 0;
+    BatchAnswer result;
+    {
+      // Reader-held for the whole round trip: the batch's queries all see
+      // the same committed snapshot.
+      EpochGate::Read reader(&gate_);
+      epoch = reader.epoch();
+      result = engine.EvaluateBatch(batch);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.queries += pending.size();
+      stats_.batches += 1;
+      stats_.max_batch = std::max(stats_.max_batch, pending.size());
+      stats_.sum_modeled_ms += result.metrics.modeled_ms;
+      stats_.sum_wall_ms += result.metrics.wall_ms;
+      stats_.modeled_ms_by_class[class_idx] += result.metrics.modeled_ms;
+    }
+
+    for (size_t i = 0; i < pending.size(); ++i) {
+      ServedAnswer served;
+      served.answer = std::move(result.answers[i]);
+      served.answer.metrics = result.metrics;  // whole-batch window
+      served.epoch = epoch;
+      served.batch_size = pending.size();
+      pending[i].promise.set_value(std::move(served));
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      in_flight_ -= pending.size();
+      if (in_flight_ == 0) drained_.notify_all();
+    }
+  }
+}
+
+}  // namespace pereach

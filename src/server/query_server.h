@@ -1,0 +1,150 @@
+#ifndef PEREACH_SERVER_QUERY_SERVER_H_
+#define PEREACH_SERVER_QUERY_SERVER_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/incremental.h"
+#include "src/engine/partial_eval_engine.h"
+#include "src/net/cluster.h"
+#include "src/server/batch_queue.h"
+#include "src/server/epoch_gate.h"
+
+namespace pereach {
+
+struct ServerOptions {
+  /// Coalescing policy, applied to each query class's window independently.
+  BatchPolicy policy;
+  /// Equation form the per-class engines evaluate with.
+  PartialEvalOptions eval;
+  /// Network cost model of the underlying simulated cluster.
+  NetworkModel net;
+  /// Site-simulation threads (0 = hardware concurrency).
+  size_t cluster_threads = 0;
+};
+
+/// Aggregate serving counters. Snapshot via QueryServer::stats().
+struct ServerStats {
+  size_t queries = 0;         // answered (set promises)
+  size_t batches = 0;         // EvaluateBatch calls across all classes
+  size_t max_batch = 0;       // largest batch dispatched
+  size_t updates = 0;         // committed update epochs
+  double sum_modeled_ms = 0;  // total modeled time across batch windows
+  double sum_wall_ms = 0;     // total wall time across batch windows
+  // Modeled time per class dispatcher. Batches of one class serialize on
+  // its dispatcher while classes overlap, so the modeled time to serve the
+  // whole workload — the simulator's throughput denominator — is the max
+  // entry, not the sum.
+  std::array<double, 3> modeled_ms_by_class{};
+
+  double AvgBatch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(queries) /
+                              static_cast<double>(batches);
+  }
+  double AvgPerQueryModeledMs() const {
+    return queries == 0 ? 0.0 : sum_modeled_ms / static_cast<double>(queries);
+  }
+  double ModeledMakespanMs() const {
+    double makespan = 0;
+    for (double ms : modeled_ms_by_class) makespan = std::max(makespan, ms);
+    return makespan;
+  }
+};
+
+/// Concurrent serving frontend over one fragmentation — the piece that
+/// turns the one-query-at-a-time simulator into a serving system:
+///
+///  - Submit() is callable from any number of client threads and returns a
+///    future. Queries are routed to a per-class BatchQueue (reach / dist /
+///    rpq batches multiplex different wire shapes, so classes coalesce
+///    separately and in parallel).
+///  - One dispatcher thread per class pops coalesced batches — adaptive
+///    time/size window, see BatchPolicy — and drives them through a
+///    DEDICATED PartialEvalEngine in one EvaluateBatch round, amortizing
+///    communication across every in-flight query of the class (per-thread
+///    cluster metrics windows keep the three dispatchers' books separate).
+///  - AddEdge/AddEdges serialize through an epoch-based writer path: the
+///    writer drains in-flight batches (EpochGate), applies the update via
+///    the IncrementalReachIndex (whose listener invalidates exactly the
+///    touched FragmentContext entries in every class engine), commits the
+///    epoch, and only then readmits batches. Every answer reports the epoch
+///    it was computed at; a batch never observes a half-applied update.
+///
+/// The index must outlive the server. The server installs itself as the
+/// index's update listener; updates must flow through the server (calling
+/// index.AddEdge directly would race in-flight batches).
+class QueryServer {
+ public:
+  explicit QueryServer(IncrementalReachIndex* index, ServerOptions options = {});
+
+  /// Drains pending queries, stops the dispatchers, detaches from the index.
+  ~QueryServer();
+
+  /// Enqueues one query; the future resolves once its batch is answered.
+  std::future<ServedAnswer> Submit(Query query);
+
+  /// Applies one edge insertion as one snapshot epoch; blocks while
+  /// in-flight batches drain. Returns the committed epoch.
+  uint64_t AddEdge(NodeId u, NodeId v);
+
+  /// Applies a whole update batch as ONE snapshot epoch (one structural
+  /// rebuild); the cheaper writer path for bulk loads.
+  uint64_t AddEdges(std::span<const std::pair<NodeId, NodeId>> edges);
+
+  /// Blocks until every query submitted so far has been answered. Queries
+  /// submitted concurrently with Drain may or may not be covered.
+  void Drain();
+
+  /// Epoch of the latest committed update.
+  uint64_t epoch() const { return gate_.epoch(); }
+
+  ServerStats stats() const;
+
+  /// Adaptive window currently estimated for a class (observability).
+  double window_us(QueryKind kind) const {
+    return queues_[static_cast<size_t>(kind)]->window_us();
+  }
+
+  Cluster* cluster() { return &cluster_; }
+
+ private:
+  static constexpr size_t kNumClasses = 3;  // QueryKind values
+
+  void DispatcherLoop(size_t class_idx);
+
+  IncrementalReachIndex* index_;
+  ServerOptions options_;
+  Cluster cluster_;
+  EpochGate gate_;
+  // Updates the index had applied before this server attached; the gate's
+  // epochs count from here.
+  uint64_t index_epoch_base_ = 0;
+
+  std::array<std::unique_ptr<BatchQueue>, kNumClasses> queues_;
+  std::array<std::unique_ptr<PartialEvalEngine>, kNumClasses> engines_;
+  std::array<std::thread, kNumClasses> dispatchers_;
+
+  std::atomic<bool> stopping_{false};
+
+  // Drain bookkeeping: queries submitted but not yet answered.
+  mutable std::mutex drain_mu_;
+  std::condition_variable drained_;
+  size_t in_flight_ = 0;  // guarded by drain_mu_
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;  // guarded by stats_mu_
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_SERVER_QUERY_SERVER_H_

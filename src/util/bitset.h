@@ -70,7 +70,9 @@ class Bitset {
   /// Number of set bits.
   size_t Count() const {
     size_t count = 0;
-    for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+    for (uint64_t w : words_) {
+      count += static_cast<size_t>(__builtin_popcountll(w));
+    }
     return count;
   }
 

@@ -20,11 +20,15 @@ class Encoder {
   void PutU8(uint8_t v) { buf_.push_back(v); }
 
   void PutU32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
   }
 
   void PutU64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
   }
 
   /// LEB128-style variable-length unsigned integer (1 byte for values < 128).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "src/util/logging.h"
 
@@ -47,16 +48,31 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // while still spreading uneven per-index costs across workers.
   const size_t workers = std::min(n, threads_.size());
   std::atomic<size_t> next{0};
+  // Per-call completion latch rather than the pool-wide Wait(): concurrent
+  // ParallelFor callers (overlapping server batches) must each return as
+  // soon as their own indices finish, not when the whole pool drains. The
+  // latch is shared-owned so a worker finishing after the caller woke cannot
+  // touch a destroyed mutex/condvar.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = workers;
   for (size_t w = 0; w < workers; ++w) {
-    Submit([&next, n, &fn] {
+    Submit([latch, &next, n, &fn] {
       while (true) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        if (i >= n) break;
         fn(i);
       }
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->cv.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&latch] { return latch->remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -64,7 +80,8 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      work_available_.wait(
+          lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "tests/test_util.h"
 
 namespace pereach {
@@ -136,6 +140,63 @@ TEST(ClusterTest, RecordersAccumulate) {
   EXPECT_EQ(m.messages, 10u);
   EXPECT_EQ(m.rounds, 1u);
   EXPECT_GE(m.modeled_ms, 2.0 + 3.0 + 2.0);  // 2*latency + compute + coord
+}
+
+// Metrics windows are per-thread: overlapping windows on one cluster must
+// each see exactly their own rounds/traffic (the QueryServer's per-class
+// dispatchers batch concurrently over a shared cluster). Also the TSan
+// target for the window bookkeeping.
+TEST(ClusterTest, ConcurrentWindowsKeepSeparateBooks) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  Cluster cluster(&frag, NetworkModel(), /*num_threads=*/4);
+
+  constexpr size_t kThreads = 4;
+  std::vector<RunMetrics> results(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&cluster, &results, i] {
+      cluster.BeginQuery();
+      // Thread i runs i+1 rounds with broadcasts of i+1 bytes, so every
+      // window has a distinct signature.
+      for (size_t r = 0; r <= i; ++r) {
+        cluster.RoundAll(i + 1, [](const Fragment&) {
+          return std::vector<uint8_t>{0xAB};
+        });
+      }
+      cluster.SetQueriesServed(i + 1);
+      results[i] = cluster.EndQuery();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (size_t i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(results[i].rounds, i + 1) << "thread " << i;
+    // Per round: 3 broadcasts of (i+1) bytes + 3 one-byte replies.
+    EXPECT_EQ(results[i].traffic_bytes, (i + 1) * (3 * (i + 1) + 3))
+        << "thread " << i;
+    EXPECT_EQ(results[i].queries, i + 1) << "thread " << i;
+    EXPECT_EQ(results[i].TotalVisits(), 3 * (i + 1)) << "thread " << i;
+  }
+}
+
+// Concurrent ParallelFor calls from distinct threads each complete exactly
+// their own index set (per-call latch, not the pool-wide drain).
+TEST(ClusterTest, ConcurrentParallelForCallsStayIsolated) {
+  ThreadPool pool(4);
+  static constexpr size_t kCallers = 4, kN = 64;
+  std::vector<std::atomic<size_t>> counts(kCallers);
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &counts, c] {
+      pool.ParallelFor(kN, [&counts, c](size_t) {
+        counts[c].fetch_add(1, std::memory_order_relaxed);
+      });
+      // The latch guarantees all kN iterations ran before return.
+      EXPECT_EQ(counts[c].load(), kN);
+    });
+  }
+  for (std::thread& t : callers) t.join();
 }
 
 TEST(ClusterTest, ParallelRoundRunsAllFragments) {

@@ -210,7 +210,8 @@ TEST(ForEachBoundedDistanceTest, MatchesAllPairsDistances) {
     std::map<std::pair<uint32_t, uint32_t>, uint32_t> got;
     ForEachBoundedDistance(g, sources, targets, bound, /*block_bits=*/64,
                            [&got](uint32_t si, uint32_t ti, uint32_t d) {
-                             EXPECT_TRUE(got.emplace(std::pair{si, ti}, d).second)
+                             EXPECT_TRUE(
+                                 got.emplace(std::pair{si, ti}, d).second)
                                  << "duplicate emission";
                            });
     const auto apd = AllPairsDistances(g);

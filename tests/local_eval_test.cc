@@ -220,7 +220,8 @@ TEST(LocalEvalRegularTest, PaperExample7Vectors) {
   for (const auto& eq : pa.equations) {
     if (!eq.is_aux) by_key[{eq.var_global, eq.state}] = &eq;
   }
-  const auto absorb = [&](NodeId var, const RegularPartialAnswer::Equation& eq) {
+  const auto absorb = [&](NodeId var,
+                          const RegularPartialAnswer::Equation& eq) {
     has_true_by_node[var] = has_true_by_node[var] || eq.has_true;
     for (uint32_t i : eq.deps) {
       const auto& [node, state] = pa.var_table[i];

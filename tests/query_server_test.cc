@@ -1,0 +1,356 @@
+// Tests for the serving layer: BatchQueue coalescing semantics, the
+// QueryServer's concurrent batch-vs-single differential against a
+// centralized oracle (N client threads, randomized query mix), and the
+// snapshot-consistency stress test with interleaved edge updates — the
+// TSan target for metrics-window and FragmentContext invalidation races.
+
+#include "src/server/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/baselines/centralized.h"
+#include "src/graph/generators.h"
+#include "src/server/batch_queue.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::RandomPartition;
+
+// ---------------------------------------------------------------------------
+// BatchQueue
+
+PendingQuery MakePending(NodeId s, NodeId t) {
+  PendingQuery p;
+  p.query = Query::Reach(s, t);
+  return p;
+}
+
+TEST(BatchQueueTest, SizeCapDispatchesWithoutWaitingTheWindow) {
+  BatchQueue queue({.max_batch = 4, .max_window_us = 1'000'000,
+                    .adaptive = false});
+  for (NodeId i = 0; i < 4; ++i) queue.Push(MakePending(i, i + 1));
+  StopWatch watch;
+  const std::vector<PendingQuery> batch = queue.PopBatch();
+  EXPECT_EQ(batch.size(), 4u);
+  // The 1 s window must not have been slept: the size cap fired.
+  EXPECT_LT(watch.ElapsedMs(), 500.0);
+}
+
+TEST(BatchQueueTest, ZeroWindowWithUnitBatchServesPerQuery) {
+  BatchQueue queue({.max_batch = 1, .max_window_us = 0, .adaptive = false});
+  queue.Push(MakePending(0, 1));
+  queue.Push(MakePending(1, 2));
+  EXPECT_EQ(queue.PopBatch().size(), 1u);
+  EXPECT_EQ(queue.PopBatch().size(), 1u);
+}
+
+TEST(BatchQueueTest, ShutdownDrainsPendingThenReturnsEmpty) {
+  BatchQueue queue({.max_batch = 16, .max_window_us = 1'000'000,
+                    .adaptive = false});
+  queue.Push(MakePending(0, 1));
+  queue.Push(MakePending(1, 2));
+  queue.Shutdown();
+  StopWatch watch;
+  EXPECT_EQ(queue.PopBatch().size(), 2u);  // no window wait in drain mode
+  EXPECT_LT(watch.ElapsedMs(), 500.0);
+  EXPECT_TRUE(queue.PopBatch().empty());
+  EXPECT_TRUE(queue.PopBatch().empty());
+}
+
+TEST(BatchQueueTest, AdaptiveWindowShrinksUnderBurstArrivals) {
+  BatchQueue queue({.max_batch = 64, .max_window_us = 100'000,
+                    .adaptive = true});
+  // A back-to-back burst: inter-arrival gaps of microseconds. The EWMA
+  // window must fall well below the 100 ms cap.
+  for (NodeId i = 0; i < 16; ++i) queue.Push(MakePending(i, i + 1));
+  EXPECT_LT(queue.window_us(), 50'000.0);
+  EXPECT_EQ(queue.PopBatch().size(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryServer oracle harness
+
+struct OracleWorld {
+  size_t n = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<LabelId> labels;
+
+  static OracleWorld FromGraph(const Graph& g) {
+    OracleWorld w;
+    w.n = g.NumNodes();
+    w.labels = g.labels();
+    for (NodeId u = 0; u < w.n; ++u) {
+      for (NodeId v : g.OutNeighbors(u)) w.edges.emplace_back(u, v);
+    }
+    return w;
+  }
+
+  Graph Build() const {
+    GraphBuilder b;
+    b.AddNodes(n);
+    for (NodeId v = 0; v < n; ++v) b.SetLabel(v, labels[v]);
+    for (const auto& [u, v] : edges) b.AddEdge(u, v);
+    return std::move(b).Build();
+  }
+};
+
+bool OracleAnswer(const Graph& g, const Query& q) {
+  switch (q.kind) {
+    case QueryKind::kReach:
+      return CentralizedReach(g, q.source, q.target);
+    case QueryKind::kDist: {
+      const uint32_t d = CentralizedDistance(g, q.source, q.target);
+      return d != kInfDistance && d <= q.bound;
+    }
+    case QueryKind::kRpq:
+      return CentralizedRegularReach(g, q.source, q.target, *q.automaton);
+  }
+  return false;
+}
+
+/// Mixed query stream: mostly reach, some bounded, some regular.
+Query RandomMixedQuery(size_t n, size_t num_labels, Rng* rng) {
+  const NodeId s = static_cast<NodeId>(rng->Uniform(n));
+  const NodeId t = static_cast<NodeId>(rng->Uniform(n));
+  const uint64_t kind = rng->Uniform(10);
+  if (kind < 6) return Query::Reach(s, t);
+  if (kind < 8) {
+    return Query::Dist(s, t, static_cast<uint32_t>(1 + rng->Uniform(8)));
+  }
+  return Query::Rpq(s, t, QueryAutomaton::FromRegex(
+                              Regex::Random(3, num_labels, rng)));
+}
+
+TEST(QueryServerTest, SequentialMixedQueriesMatchOracle) {
+  Rng rng(101);
+  const size_t n = 60, k = 4, num_labels = 3;
+  const Graph g = ErdosRenyi(n, 3 * n, num_labels, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  QueryServer server(&index);
+
+  const Graph oracle = OracleWorld::FromGraph(g).Build();
+  for (int i = 0; i < 40; ++i) {
+    Query q = RandomMixedQuery(n, num_labels, &rng);
+    if (i == 7) q = Query::Reach(5, 5);  // trivial member
+    const Query probe = q;
+    const ServedAnswer served = server.Submit(std::move(q)).get();
+    EXPECT_EQ(served.answer.reachable, OracleAnswer(oracle, probe))
+        << "i=" << i << " kind=" << static_cast<int>(probe.kind)
+        << " s=" << probe.source << " t=" << probe.target;
+    EXPECT_EQ(served.epoch, 0u);
+    EXPECT_GE(served.batch_size, 1u);
+  }
+  EXPECT_EQ(server.stats().queries, 40u);
+}
+
+// The concurrent batch-vs-single differential: N client threads with a
+// randomized query mix, updates applied between (quiesced) phases so every
+// phase has a deterministic oracle. Catches both wrong answers under
+// coalescing and stale FragmentContext reuse after invalidation.
+TEST(QueryServerTest, ConcurrentClientsMatchOracleAcrossUpdatePhases) {
+  Rng rng(202);
+  const size_t n = 80, k = 4, num_labels = 3;
+  const size_t kClients = 6, kQueriesPerClient = 15, kPhases = 3;
+  const Graph g = ErdosRenyi(n, 3 * n, num_labels, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  OracleWorld world = OracleWorld::FromGraph(g);
+
+  ServerOptions options;
+  options.policy.max_batch = 16;
+  options.policy.max_window_us = 2000;
+  QueryServer server(&index, options);
+
+  for (size_t phase = 0; phase < kPhases; ++phase) {
+    const Graph oracle = world.Build();
+    std::vector<std::vector<std::pair<Query, ServedAnswer>>> results(kClients);
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng crng(1000 * phase + c);
+        for (size_t i = 0; i < kQueriesPerClient; ++i) {
+          Query q = RandomMixedQuery(n, num_labels, &crng);
+          const Query probe = q;
+          ServedAnswer served = server.Submit(std::move(q)).get();
+          results[c].emplace_back(probe, std::move(served));
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    for (size_t c = 0; c < kClients; ++c) {
+      for (const auto& [q, served] : results[c]) {
+        ASSERT_EQ(served.answer.reachable, OracleAnswer(oracle, q))
+            << "phase=" << phase << " client=" << c
+            << " kind=" << static_cast<int>(q.kind) << " s=" << q.source
+            << " t=" << q.target;
+        // No update ran during the phase: the snapshot is exactly `phase`
+        // committed updates.
+        ASSERT_EQ(served.epoch, phase);
+      }
+    }
+
+    // One update batch between phases, through the server's writer path.
+    std::vector<std::pair<NodeId, NodeId>> update;
+    for (int e = 0; e < 2; ++e) {
+      update.emplace_back(static_cast<NodeId>(rng.Uniform(n)),
+                          static_cast<NodeId>(rng.Uniform(n)));
+    }
+    EXPECT_EQ(server.AddEdges(update), phase + 1);
+    for (const auto& edge : update) world.edges.push_back(edge);
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, kPhases * kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.updates, kPhases);
+  EXPECT_EQ(server.epoch(), kPhases);
+}
+
+TEST(QueryServerTest, BurstOfSubmissionsCoalescesIntoFewBatches) {
+  Rng rng(303);
+  const size_t n = 50, k = 3;
+  const Graph g = ErdosRenyi(n, 2 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+
+  ServerOptions options;
+  options.policy.max_batch = 64;
+  options.policy.max_window_us = 200'000;  // generous: absorb scheduler noise
+  options.policy.adaptive = false;
+  QueryServer server(&index, options);
+
+  // Submit the whole burst before waiting on any future: the window is
+  // counted from the first arrival, so the dispatcher collects the burst.
+  std::vector<std::future<ServedAnswer>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(server.Submit(Query::Reach(
+        static_cast<NodeId>(rng.Uniform(n)),
+        static_cast<NodeId>(rng.Uniform(n)))));
+  }
+  size_t max_batch_seen = 0;
+  for (auto& f : futures) {
+    max_batch_seen = std::max(max_batch_seen, f.get().batch_size);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, 32u);
+  // All 32 are one class; with a 200 ms window they coalesce into very few
+  // batches (loose bound: scheduler may split off a straggler or two).
+  EXPECT_LE(stats.batches, 4u);
+  EXPECT_GE(max_batch_seen, 8u);
+  EXPECT_GT(stats.AvgBatch(), 1.0);
+}
+
+// Interleaved-update stress (the TSan job's main target). Updates only add
+// edges, so every query class is monotone: an answer computed at ANY epoch
+// between submission and completion must be true if it was true before all
+// updates, and false if it is false after all of them.
+TEST(QueryServerTest, InterleavedUpdatesKeepSnapshotsConsistent) {
+  Rng rng(404);
+  const size_t n = 80, k = 4, num_labels = 3;
+  const size_t kClients = 6, kQueriesPerClient = 20, kUpdates = 6;
+  const Graph g = ErdosRenyi(n, 3 * n, num_labels, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  OracleWorld world = OracleWorld::FromGraph(g);
+  const Graph before = world.Build();
+
+  // Pre-plan the updates so the final oracle is known.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> updates(kUpdates);
+  for (auto& batch : updates) {
+    for (int e = 0; e < 2; ++e) {
+      batch.emplace_back(static_cast<NodeId>(rng.Uniform(n)),
+                         static_cast<NodeId>(rng.Uniform(n)));
+      world.edges.push_back(batch.back());
+    }
+  }
+  const Graph after = world.Build();
+
+  ServerOptions options;
+  options.policy.max_batch = 16;
+  options.policy.max_window_us = 1000;
+  QueryServer server(&index, options);
+
+  std::vector<std::vector<std::pair<Query, ServedAnswer>>> results(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng crng(7000 + c);
+      for (size_t i = 0; i < kQueriesPerClient; ++i) {
+        Query q = RandomMixedQuery(n, num_labels, &crng);
+        const Query probe = q;
+        ServedAnswer served = server.Submit(std::move(q)).get();
+        results[c].emplace_back(probe, std::move(served));
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (const auto& batch : updates) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      server.AddEdges(batch);
+    }
+  });
+  for (std::thread& t : clients) t.join();
+  writer.join();
+
+  EXPECT_EQ(server.epoch(), kUpdates);
+  for (size_t c = 0; c < kClients; ++c) {
+    uint64_t last_epoch = 0;
+    for (const auto& [q, served] : results[c]) {
+      // Monotonicity of edge insertion bounds the answer from both sides.
+      if (OracleAnswer(before, q)) {
+        EXPECT_TRUE(served.answer.reachable)
+            << "client=" << c << " epoch=" << served.epoch
+            << " kind=" << static_cast<int>(q.kind) << " s=" << q.source
+            << " t=" << q.target;
+      }
+      if (!OracleAnswer(after, q)) {
+        EXPECT_FALSE(served.answer.reachable)
+            << "client=" << c << " epoch=" << served.epoch
+            << " kind=" << static_cast<int>(q.kind) << " s=" << q.source
+            << " t=" << q.target;
+      }
+      // A closed-loop client's snapshots never move backwards.
+      EXPECT_GE(served.epoch, last_epoch);
+      EXPECT_LE(served.epoch, kUpdates);
+      last_epoch = served.epoch;
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.updates, kUpdates);
+}
+
+// Drain blocks until every submitted query is answered.
+TEST(QueryServerTest, DrainWaitsForInFlightQueries) {
+  Rng rng(505);
+  const size_t n = 40, k = 3;
+  const Graph g = ErdosRenyi(n, 2 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  QueryServer server(&index);
+
+  std::vector<std::future<ServedAnswer>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(server.Submit(Query::Reach(
+        static_cast<NodeId>(rng.Uniform(n)),
+        static_cast<NodeId>(rng.Uniform(n)))));
+  }
+  server.Drain();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+}  // namespace
+}  // namespace pereach

@@ -16,7 +16,8 @@ LabelDictionary MakeDict() {
 
 TEST(RegexTest, BuildersAndKinds) {
   const Regex r = Regex::Union(Regex::Star(Regex::Symbol(0)),
-                               Regex::Concat(Regex::Symbol(1), Regex::Epsilon()));
+                               Regex::Concat(Regex::Symbol(1),
+                                             Regex::Epsilon()));
   EXPECT_EQ(r.kind(), Regex::Kind::kUnion);
   EXPECT_EQ(r.left().kind(), Regex::Kind::kStar);
   EXPECT_EQ(r.left().left().symbol(), 0u);
@@ -50,7 +51,8 @@ TEST(RegexTest, MatchesBasics) {
 
 TEST(RegexTest, MatchesConcat) {
   // CTO DB* : label 2 then any number of 0s.
-  const Regex r = Regex::Concat(Regex::Symbol(2), Regex::Star(Regex::Symbol(0)));
+  const Regex r =
+      Regex::Concat(Regex::Symbol(2), Regex::Star(Regex::Symbol(0)));
   EXPECT_TRUE(r.Matches({2}));
   EXPECT_TRUE(r.Matches({2, 0, 0}));
   EXPECT_FALSE(r.Matches({0, 2}));
@@ -59,7 +61,8 @@ TEST(RegexTest, MatchesConcat) {
 
 TEST(RegexTest, MatchesNestedStar) {
   // (ab)* over labels a=0, b=1.
-  const Regex r = Regex::Star(Regex::Concat(Regex::Symbol(0), Regex::Symbol(1)));
+  const Regex r =
+      Regex::Star(Regex::Concat(Regex::Symbol(0), Regex::Symbol(1)));
   EXPECT_TRUE(r.Matches({}));
   EXPECT_TRUE(r.Matches({0, 1}));
   EXPECT_TRUE(r.Matches({0, 1, 0, 1}));

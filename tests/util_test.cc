@@ -164,7 +164,8 @@ TEST(ThreadPoolTest, ParallelForWithMoreWorkersThanItems) {
 TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
   ThreadPool pool(1);
   std::atomic<int> sum{0};
-  pool.ParallelFor(50, [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  pool.ParallelFor(50,
+                   [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
   EXPECT_EQ(sum.load(), 49 * 50 / 2);
 }
 
