@@ -8,6 +8,7 @@
 // included for contrast.
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "src/engine/baseline_engines.h"
@@ -20,7 +21,15 @@ namespace bench {
 namespace {
 
 int Run(int argc, char** argv) {
-  const BenchOptions opts = BenchOptions::Parse(argc, argv, 0.05, 64);
+  bool boundary_index = false;
+  const BenchOptions opts = BenchOptions::Parse(
+      argc, argv, 0.05, 64, [&boundary_index](const char* arg) {
+        if (std::strcmp(arg, "--boundary-index") == 0) {
+          boundary_index = true;
+          return true;
+        }
+        return false;
+      });
 
   Rng rng(opts.seed);
   const Graph g = MakeDataset(Dataset::kLiveJournal, opts.scale, &rng);
@@ -33,8 +42,16 @@ int Run(int argc, char** argv) {
       ChunkPartitioner().Partition(g, k_sites, &rng);
   const Fragmentation frag = Fragmentation::Build(g, part, k_sites);
   Cluster cluster(&frag, BenchNetwork());
-  PartialEvalEngine engine(&cluster);  // kAuto: DAG form wins on this graph
+  PartialEvalOptions engine_options;  // kAuto: DAG form wins on this graph
+  if (boundary_index) {
+    engine_options.reach_path = ReachAnswerPath::kBoundaryIndex;
+  }
+  PartialEvalEngine engine(&cluster, engine_options);
   NaiveShipAllEngine naive(&cluster);
+  if (boundary_index) {
+    std::printf("reach path: boundary index (coordinator label over the "
+                "boundary graph; no per-query BES)\n");
+  }
 
   const std::vector<std::pair<NodeId, NodeId>> pairs =
       MakeQueryPairs(g, opts.queries, &rng);
@@ -83,9 +100,11 @@ int Run(int argc, char** argv) {
       "amortizes its |G| transfer but keeps paying centralized evaluation "
       "per query.\n");
 
-  WriteBenchJson(opts.json_path, "bench_batch",
+  WriteBenchJson(opts.json_path,
+                 boundary_index ? "bench_batch+boundary-index" : "bench_batch",
                  {{"queries", static_cast<double>(workload.size())},
                   {"seed", static_cast<double>(opts.seed)},
+                  {"boundary_index", boundary_index ? 1.0 : 0.0},
                   {"singles_modeled_ms", singles_total.modeled_ms},
                   {"singles_traffic_mb", singles_total.traffic_mb()},
                   {"batched_modeled_ms", best_total.modeled_ms},

@@ -31,6 +31,9 @@ struct ServerBenchFlags {
   uint32_t window_us = 200;
   size_t updates = 0;
   bool mixed = false;  // --mix=all: add dist/rpq to the reach stream
+  // --boundary-index: reach dispatchers answer through the coordinator's
+  // boundary label instead of solving a BES per query.
+  bool boundary_index = false;
 };
 
 struct ConfigResult {
@@ -73,6 +76,9 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
   // — the regime the paper's guarantees (and batching) are about. Applied
   // to both configurations, so the comparison stays fair.
   options.eval.form = EquationForm::kClosure;
+  if (flags.boundary_index) {
+    options.eval.reach_path = ReachAnswerPath::kBoundaryIndex;
+  }
   QueryServer server(&index, options);
 
   // Warm the per-fragment caches so both configurations start hot; the
@@ -163,6 +169,10 @@ int Run(int argc, char** argv) {
           flags.mixed = false;
           return true;
         }
+        if (std::strcmp(arg, "--boundary-index") == 0) {
+          flags.boundary_index = true;
+          return true;
+        }
         return false;
       });
 
@@ -174,9 +184,10 @@ int Run(int argc, char** argv) {
       ChunkPartitioner().Partition(g, k_sites, &rng);
   std::printf(
       "QueryServer closed loop: %zu clients x %zu queries (%s), %zu sites, "
-      "%zu nodes, %zu edges, %zu updates\n",
+      "%zu nodes, %zu edges, %zu updates, reach path: %s\n",
       flags.clients, opts.queries, flags.mixed ? "mixed" : "reach-only",
-      k_sites, g.NumNodes(), g.NumEdges(), flags.updates);
+      k_sites, g.NumNodes(), g.NumEdges(), flags.updates,
+      flags.boundary_index ? "boundary-index" : "bes");
 
   // Per-query baseline: no window, batches of one.
   BatchPolicy per_query;
@@ -224,10 +235,13 @@ int Run(int argc, char** argv) {
       "falls toward (round cost)/(batch size); per-query pays 2 latencies "
       "per query no matter the load.\n");
 
-  WriteBenchJson(opts.json_path, "bench_server",
+  WriteBenchJson(opts.json_path,
+                 flags.boundary_index ? "bench_server+boundary-index"
+                                      : "bench_server",
                  {{"clients", static_cast<double>(flags.clients)},
                   {"queries_per_client", static_cast<double>(opts.queries)},
                   {"seed", static_cast<double>(opts.seed)},
+                  {"boundary_index", flags.boundary_index ? 1.0 : 0.0},
                   {"per_query_modeled_qps", single.modeled_qps},
                   {"per_query_modeled_ms", single.avg_modeled_ms},
                   {"adaptive_modeled_qps", batched.modeled_qps},

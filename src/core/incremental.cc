@@ -1,5 +1,6 @@
 #include "src/core/incremental.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "src/graph/algorithms.h"
@@ -42,15 +43,51 @@ void IncrementalReachIndex::EnsureFragmentEquations(SiteId site) {
 
   std::vector<BoolEquation>& eqs = cached_equations_[site];
   eqs.clear();
-  eqs.resize(f.in_nodes().size());
-  for (size_t i = 0; i < f.in_nodes().size(); ++i) {
-    eqs[i].var = f.ToGlobal(f.in_nodes()[i]);
+  eqs.reserve(f.in_nodes().size());
+  if (targets.empty()) {
+    // No virtual nodes: every in-node's cached equation is empty (only the
+    // query-dependent t-side pass can make it true).
+    for (const NodeId in : f.in_nodes()) {
+      eqs.push_back(BoolEquation{f.ToGlobal(in), false, {}});
+    }
+  } else {
+    // Same-SCC in-nodes have identical reachable sets, so the full row is
+    // stored once per group representative and every other member caches a
+    // one-dep alias X_member = X_rep (the BES merges duplicate definitions
+    // disjunctively, and the alias is sound: member and rep are mutually
+    // reachable inside the fragment). This is localEval's equation-merging
+    // optimization applied to the incremental cache — on fragments with a
+    // giant SCC it shrinks the cache from |I| dense rows to one.
+    std::vector<std::vector<uint32_t>> rows;  // group -> target indices
+    const std::vector<uint32_t> groups = ForEachReachableTargetGrouped(
+        f.local_graph(), f.in_nodes(), targets, 4096,
+        [&rows](uint32_t group, uint32_t ti) {
+          if (group >= rows.size()) rows.resize(group + 1);
+          rows[group].push_back(ti);
+        });
+    size_t num_groups = 0;
+    for (const uint32_t g : groups) {
+      num_groups = std::max<size_t>(num_groups, g + 1);
+    }
+    rows.resize(num_groups);
+    std::vector<NodeId> rep(num_groups, kInvalidNode);
+    for (size_t i = 0; i < f.in_nodes().size(); ++i) {
+      const uint32_t g = groups[i];
+      const NodeId global = f.ToGlobal(f.in_nodes()[i]);
+      if (rep[g] == kInvalidNode) {
+        rep[g] = global;
+        BoolEquation eq{global, false, {}};
+        eq.deps.reserve(rows[g].size());
+        for (const uint32_t ti : rows[g]) {
+          eq.deps.push_back(
+              f.ToGlobal(static_cast<NodeId>(f.num_local() + ti)));
+        }
+        eqs.push_back(std::move(eq));
+      } else {
+        eqs.push_back(BoolEquation{global, false, {rep[g]}});
+      }
+    }
   }
-  ForEachReachableTarget(f.local_graph(), f.in_nodes(), targets, 4096,
-                         [&eqs, &f](uint32_t si, uint32_t ti) {
-                           eqs[si].deps.push_back(f.ToGlobal(
-                               static_cast<NodeId>(f.num_local() + ti)));
-                         });
   cache_valid_[site] = true;
   ++recompute_count_;
 }

@@ -1,6 +1,7 @@
 #include "src/engine/partial_eval_engine.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/bes/bes.h"
 #include "src/bes/distance_system.h"
@@ -40,6 +41,42 @@ ReachPartialAnswer RebaseOntoSharedOset(ReachPartialAnswer pa,
   return pa;
 }
 
+/// The two query-dependent condensation sweeps every cached-rows reach path
+/// (BES closure frames and boundary-index frames) is built from. Both rely
+/// on component ids being reverse topological: every edge goes to a smaller
+/// id.
+
+/// Components that locally reach `t_comp`: an ascending scan sees every
+/// successor's final value.
+std::vector<bool> ComponentsReaching(const Condensation& cond,
+                                     uint32_t t_comp) {
+  std::vector<bool> reaches(cond.scc.num_components, false);
+  reaches[t_comp] = true;
+  for (uint32_t c = t_comp + 1; c < cond.scc.num_components; ++c) {
+    bool r = false;
+    for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1] && !r; ++e) {
+      r = reaches[cond.targets[e]];
+    }
+    reaches[c] = r;
+  }
+  return reaches;
+}
+
+/// Components locally reachable from `s_comp`: a descending scan spreads
+/// the flag to all successors.
+std::vector<bool> ComponentsReachableFrom(const Condensation& cond,
+                                          uint32_t s_comp) {
+  std::vector<bool> reachable(cond.scc.num_components, false);
+  reachable[s_comp] = true;
+  for (uint32_t c = s_comp + 1; c-- > 0;) {
+    if (!reachable[c]) continue;
+    for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1]; ++e) {
+      reachable[cond.targets[e]] = true;
+    }
+  }
+  return reachable;
+}
+
 /// Closure-form reach partial answer straight from the cached rows: the
 /// query-independent part (in-node group -> reachable virtual nodes) is read
 /// from FragmentContext, so the per-query work is two O(|cond|) sweeps (which
@@ -49,7 +86,6 @@ ReachPartialAnswer ReachFromCachedRows(const Fragment& f, FragmentContext* ctx,
   const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
   const Condensation& cond = ctx->cond(f);
   const std::vector<uint32_t>& oset_comp = ctx->oset_comp(f);
-  const size_t num_comps = cond.scc.num_components;
 
   ReachPartialAnswer pa;
   pa.site = f.site();
@@ -62,17 +98,7 @@ ReachPartialAnswer ReachFromCachedRows(const Fragment& f, FragmentContext* ctx,
   std::vector<bool> reaches_t;
   if (t_local) {
     t_comp = cond.scc.component_of[f.ToLocal(t)];
-    reaches_t.assign(num_comps, false);
-    reaches_t[t_comp] = true;
-    // Component ids are reverse topological: edges go to smaller ids, so an
-    // ascending scan sees every successor's final value.
-    for (uint32_t c = t_comp + 1; c < num_comps; ++c) {
-      bool r = false;
-      for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1] && !r; ++e) {
-        r = reaches_t[cond.targets[e]];
-      }
-      reaches_t[c] = r;
-    }
+    reaches_t = ComponentsReaching(cond, t_comp);
   }
 
   pa.equations.reserve(rows.group_rep.size() + 1);
@@ -104,16 +130,8 @@ ReachPartialAnswer ReachFromCachedRows(const Fragment& f, FragmentContext* ctx,
     const NodeId local_s = f.ToLocal(s);
     if (!std::binary_search(f.in_nodes().begin(), f.in_nodes().end(),
                             local_s)) {
-      const uint32_t s_comp = cond.scc.component_of[local_s];
-      std::vector<bool> reachable(num_comps, false);
-      reachable[s_comp] = true;
-      // Descending scan from s_comp spreads the flag to all successors.
-      for (uint32_t c = s_comp + 1; c-- > 0;) {
-        if (!reachable[c]) continue;
-        for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1]; ++e) {
-          reachable[cond.targets[e]] = true;
-        }
-      }
+      const std::vector<bool> reachable =
+          ComponentsReachableFrom(cond, cond.scc.component_of[local_s]);
       ReachPartialAnswer::Equation eq;
       eq.var = s;
       eq.has_true = t_local && reachable[t_comp];
@@ -131,6 +149,108 @@ ReachPartialAnswer ReachFromCachedRows(const Fragment& f, FragmentContext* ctx,
   return pa;
 }
 
+/// Re-encodes a fragment's cached ReachRows into the global-id form the
+/// coordinator's boundary index consumes (one row per in-node SCC group,
+/// plus member -> rep aliases). Pure re-labeling: the sweeps already ran
+/// when reach_rows was built.
+BoundaryRows BuildBoundaryRows(const Fragment& f, FragmentContext* ctx) {
+  const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
+  BoundaryRows out;
+  out.oset_globals = ctx->oset_globals(f);
+  out.rep_globals.reserve(rows.group_rep.size());
+  for (NodeId rep : rows.group_rep) out.rep_globals.push_back(f.ToGlobal(rep));
+  out.rows = rows.rows;
+  for (size_t i = 0; i < rows.in_group.size(); ++i) {
+    const NodeId in = f.in_nodes()[i];
+    const NodeId rep = rows.group_rep[rows.in_group[i]];
+    if (rep == in) continue;
+    out.aliases.emplace_back(f.ToGlobal(in), f.ToGlobal(rep));
+  }
+  return out;
+}
+
+// Flag bits of a boundary sweep frame.
+constexpr uint8_t kFrameHasS = 1;      // s-side list present
+constexpr uint8_t kFrameHasT = 2;      // t-side list present
+constexpr uint8_t kFrameLocalTrue = 4; // answer decided inside this fragment
+
+/// The query-dependent halves of one reach query at one fragment, encoded
+/// for the boundary answer path:
+///  - s-side (s stored here): ascending oset indices of the virtual nodes s
+///    reaches locally — the boundary nodes a global path can leave through;
+///  - t-side (t stored here): global ids of the in-node group REPS that
+///    reach t locally — the boundary nodes a global path can arrive at (a
+///    non-rep member's arrival implies its rep's, via the alias edge).
+/// When the fragment alone decides the query (s reaches t or t's virtual
+/// copy locally), the frame is the single kFrameLocalTrue byte.
+void EncodeBoundarySweepFrame(const Fragment& f, FragmentContext* ctx,
+                              NodeId s, NodeId t, Encoder* body) {
+  const bool s_here = f.Contains(s);
+  const bool t_here = f.Contains(t);
+  if (!s_here && !t_here) {
+    body->PutU8(0);
+    return;
+  }
+  const Condensation& cond = ctx->cond(f);
+  const std::vector<uint32_t>& oset_comp = ctx->oset_comp(f);
+
+  uint32_t t_comp = 0;
+  std::vector<bool> reaches_t;
+  if (t_here) {
+    t_comp = cond.scc.component_of[f.ToLocal(t)];
+    reaches_t = ComponentsReaching(cond, t_comp);
+  }
+
+  bool local_true = false;
+  std::vector<uint32_t> s_out;
+  if (s_here) {
+    const std::vector<bool> reachable =
+        ComponentsReachableFrom(cond, cond.scc.component_of[f.ToLocal(s)]);
+    local_true = t_here && reachable[t_comp];
+    // Virtual nodes are local sinks, so each one is a singleton component:
+    // reachable[its component] is exactly "s reaches it". Reaching t's
+    // virtual copy decides the query (the cross edge into t completes the
+    // path); every other reachable virtual node is an exit candidate.
+    const uint32_t t_idx = ctx->OsetIndexOf(t);
+    for (uint32_t j = 0; j < oset_comp.size(); ++j) {
+      if (!reachable[oset_comp[j]]) continue;
+      if (j == t_idx) {
+        local_true = true;
+      } else {
+        s_out.push_back(j);
+      }
+    }
+  }
+  if (local_true) {
+    body->PutU8(kFrameLocalTrue);
+    return;
+  }
+
+  uint8_t flags = 0;
+  if (s_here) flags |= kFrameHasS;
+  if (t_here) flags |= kFrameHasT;
+  body->PutU8(flags);
+  if (s_here) {
+    body->PutVarint(s_out.size());
+    uint32_t prev = 0;
+    for (uint32_t idx : s_out) {  // ascending: delta-encode
+      body->PutVarint(idx - prev);
+      prev = idx;
+    }
+  }
+  if (t_here) {
+    const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
+    std::vector<NodeId> t_in;
+    for (size_t g = 0; g < rows.group_rep.size(); ++g) {
+      if (reaches_t[rows.group_comp[g]]) {
+        t_in.push_back(f.ToGlobal(rows.group_rep[g]));
+      }
+    }
+    body->PutVarint(t_in.size());
+    for (NodeId g : t_in) body->PutVarint(g);
+  }
+}
+
 }  // namespace
 
 PartialEvalEngine::PartialEvalEngine(Cluster* cluster,
@@ -144,8 +264,10 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
   answers->resize(queries.size());
 
   // Coordinator-side answers need no site visit; everything else goes on the
-  // wire as one multiplexed broadcast.
+  // wire as one multiplexed broadcast — except reach queries under the
+  // boundary index, which take their own two-fragment path.
   std::vector<size_t> wire;
+  std::vector<size_t> indexed;
   wire.reserve(queries.size());
   bool any_reach = false;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -156,9 +278,15 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
       continue;
     }
     PEREACH_CHECK(q.kind != QueryKind::kRpq || q.automaton.has_value());
+    if (q.kind == QueryKind::kReach &&
+        options_.reach_path == ReachAnswerPath::kBoundaryIndex) {
+      indexed.push_back(qi);
+      continue;
+    }
     any_reach |= q.kind == QueryKind::kReach;
     wire.push_back(qi);
   }
+  if (!indexed.empty()) RunBoundaryReach(queries, indexed, answers);
   if (wire.empty()) return;
 
   // Batched broadcast: k queries in one payload (byte accounting; the site
@@ -264,6 +392,123 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
         q.kind == QueryKind::kReach
             ? bes.Evaluate(q.source)
             : bes.Evaluate(PackNodeState(q.source, QueryAutomaton::kStart));
+  }
+  cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
+}
+
+void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
+                                         const std::vector<size_t>& wire,
+                                         std::vector<QueryAnswer>* answers) {
+  const Fragmentation& frag = cluster_->fragmentation();
+  if (boundary_ == nullptr) {
+    boundary_ = std::make_unique<BoundaryReachIndex>(frag.num_fragments());
+  }
+
+  // Refresh round: fetch the boundary rows of every dirty fragment (all of
+  // them on first use; exactly the update-touched ones afterwards — the
+  // InvalidateFragment path marks them) and rebuild the small condensation
+  // + labels at the coordinator. Amortized across every later reach batch
+  // until the next update.
+  const std::vector<SiteId> dirty = boundary_->DirtySites();
+  if (!dirty.empty()) {
+    const std::vector<std::vector<uint8_t>> rows_replies = cluster_->Round(
+        dirty, /*broadcast_bytes=*/1, [this](const Fragment& f) {
+          Encoder reply;
+          BuildBoundaryRows(f, &contexts_.Get(f.site())).Serialize(&reply);
+          return reply.TakeBuffer();
+        });
+    StopWatch build_watch;
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      Decoder dec(rows_replies[i]);
+      boundary_->SetFragmentRows(dirty[i], BoundaryRows::Deserialize(&dec));
+      PEREACH_CHECK(dec.Done() && "malformed boundary rows payload");
+    }
+    boundary_->Ensure();
+    cluster_->AddCoordinatorWorkMs(build_watch.ElapsedMs());
+  }
+
+  // Sweep round over the ENDPOINT fragments only — the boundary index
+  // replaces the all-sites equation broadcast. Each involved site answers
+  // every query of the batch with one tiny frame (its two query-dependent
+  // sweeps); sites holding neither endpoint of a query emit one flag byte.
+  std::vector<SiteId> sites;
+  sites.reserve(2 * wire.size());
+  for (size_t qi : wire) {
+    sites.push_back(frag.site_of(queries[qi].source));
+    sites.push_back(frag.site_of(queries[qi].target));
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+
+  Encoder broadcast;
+  broadcast.PutVarint(wire.size());
+  for (size_t qi : wire) queries[qi].Serialize(&broadcast);
+
+  const std::vector<std::vector<uint8_t>> replies = cluster_->Round(
+      sites, broadcast.size(), [this, queries, &wire](const Fragment& f) {
+        FragmentContext& ctx = contexts_.Get(f.site());
+        Encoder reply;
+        for (size_t qi : wire) {
+          const Query& q = queries[qi];
+          Encoder body;
+          EncodeBoundarySweepFrame(f, &ctx, q.source, q.target, &body);
+          reply.PutFrame(body.buffer());
+        }
+        return reply.TakeBuffer();
+      });
+
+  // Assemble: per query, splice the s-side exits onto the t-side arrivals
+  // through the boundary label — no equation system is ever built.
+  StopWatch assemble_watch;
+  std::vector<uint32_t> site_reply(frag.num_fragments(),
+                                   std::numeric_limits<uint32_t>::max());
+  for (size_t ri = 0; ri < sites.size(); ++ri) {
+    site_reply[sites[ri]] = static_cast<uint32_t>(ri);
+  }
+  std::vector<std::vector<Decoder>> frames(replies.size());
+  for (size_t ri = 0; ri < replies.size(); ++ri) {
+    Decoder dec(replies[ri]);
+    frames[ri].reserve(wire.size());
+    for (size_t wi = 0; wi < wire.size(); ++wi) {
+      frames[ri].push_back(dec.GetFrame());
+    }
+    PEREACH_CHECK(dec.Done() && "malformed boundary sweep reply");
+  }
+
+  std::vector<NodeId> s_out;
+  std::vector<NodeId> t_in;
+  for (size_t wi = 0; wi < wire.size(); ++wi) {
+    const Query& q = queries[wire[wi]];
+    QueryAnswer& answer = (*answers)[wire[wi]];
+    const SiteId s_site = frag.site_of(q.source);
+    const SiteId t_site = frag.site_of(q.target);
+
+    Decoder& s_frame = frames[site_reply[s_site]][wi];
+    const uint8_t s_flags = s_frame.GetU8();
+    if (s_flags & kFrameLocalTrue) {
+      answer.reachable = true;
+      continue;
+    }
+    PEREACH_CHECK(s_flags & kFrameHasS);
+    s_out.clear();
+    const std::vector<NodeId>& oset = boundary_->oset_globals(s_site);
+    uint32_t prev = 0;
+    for (size_t n = s_frame.GetCount(); n > 0; --n) {
+      prev += static_cast<uint32_t>(s_frame.GetVarint());
+      PEREACH_CHECK_LT(prev, oset.size());
+      s_out.push_back(oset[prev]);
+    }
+
+    Decoder& t_frame = frames[site_reply[t_site]][wi];
+    uint8_t t_flags = s_flags;
+    if (t_site != s_site) t_flags = t_frame.GetU8();
+    PEREACH_CHECK(t_flags & kFrameHasT);
+    t_in.clear();
+    for (size_t n = t_frame.GetCount(); n > 0; --n) {
+      t_in.push_back(static_cast<NodeId>(t_frame.GetVarint()));
+    }
+
+    answer.reachable = boundary_->ReachesAny(s_out, t_in);
   }
   cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
 }

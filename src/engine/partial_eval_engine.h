@@ -1,15 +1,35 @@
 #ifndef PEREACH_ENGINE_PARTIAL_EVAL_ENGINE_H_
 #define PEREACH_ENGINE_PARTIAL_EVAL_ENGINE_H_
 
+#include <memory>
+
 #include "src/core/local_eval.h"
 #include "src/engine/fragment_context.h"
 #include "src/engine/query_engine.h"
+#include "src/index/boundary_index.h"
 
 namespace pereach {
+
+/// How the coordinator resolves reachability queries.
+///
+/// kBes is the paper's assembling phase: every site ships its boundary
+/// equations per query and the coordinator solves a fresh Boolean equation
+/// system (evalDG).
+///
+/// kBoundaryIndex short-circuits the solve with a standing coordinator-side
+/// label over the boundary dependency graph (BoundaryReachIndex): a reach
+/// query visits only the two endpoint fragments for the query-dependent
+/// sweeps (s-side forward, t-side backward) and the coordinator answers with
+/// label lookups — no per-query equation shipping, deserialization, or BES
+/// construction. Falls back to nothing: the label path is exact. Bounded and
+/// regular queries always use the equation path.
+enum class ReachAnswerPath : uint8_t { kBes = 0, kBoundaryIndex = 1 };
 
 struct PartialEvalOptions {
   /// Equation encoding used by localEval (see EquationForm).
   EquationForm form = EquationForm::kAuto;
+  /// Coordinator strategy for reach queries (see ReachAnswerPath).
+  ReachAnswerPath reach_path = ReachAnswerPath::kBes;
 };
 
 /// The paper's disReach / disDist / disRPQ unified behind the QueryEngine
@@ -40,19 +60,39 @@ class PartialEvalEngine : public QueryEngine {
   std::string_view name() const override { return "partial-eval"; }
 
   /// Drops the cached context of one fragment (after an edge update touched
-  /// it) or of all fragments (after repartitioning).
-  void InvalidateFragment(SiteId site) { contexts_.Invalidate(site); }
-  void InvalidateAllFragments() { contexts_.InvalidateAll(); }
+  /// it) or of all fragments (after repartitioning). The boundary index
+  /// rides the same invalidation path: the touched fragment's rows are
+  /// marked dirty and re-fetched lazily by the next indexed reach batch.
+  void InvalidateFragment(SiteId site) {
+    contexts_.Invalidate(site);
+    if (boundary_) boundary_->InvalidateFragment(site);
+  }
+  void InvalidateAllFragments() {
+    contexts_.InvalidateAll();
+    if (boundary_) boundary_->InvalidateAll();
+  }
 
   const FragmentContextCache& context_cache() const { return contexts_; }
+
+  /// The standing boundary index, or nullptr before the first reach batch
+  /// ran with reach_path == kBoundaryIndex (observability for tests/benches).
+  const BoundaryReachIndex* boundary_index() const { return boundary_.get(); }
 
  protected:
   void RunBatch(std::span<const Query> queries,
                 std::vector<QueryAnswer>* answers) override;
 
  private:
+  /// Answers the reach queries `wire` (indices into `queries`) through the
+  /// boundary index: one refresh round for dirty fragments if needed, one
+  /// sweep round over the endpoint fragments, label lookups to assemble.
+  void RunBoundaryReach(std::span<const Query> queries,
+                        const std::vector<size_t>& wire,
+                        std::vector<QueryAnswer>* answers);
+
   PartialEvalOptions options_;
   FragmentContextCache contexts_;
+  std::unique_ptr<BoundaryReachIndex> boundary_;
 };
 
 }  // namespace pereach

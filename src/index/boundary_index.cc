@@ -1,0 +1,348 @@
+#include "src/index/boundary_index.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/graph.h"
+#include "src/util/logging.h"
+
+namespace pereach {
+
+// ---------------------------------------------------------------------------
+// BoundaryRows wire format
+
+void BoundaryRows::Serialize(Encoder* enc) const {
+  enc->PutVarint(oset_globals.size());
+  for (NodeId g : oset_globals) enc->PutVarint(g);
+  PEREACH_CHECK_EQ(rep_globals.size(), rows.size());
+  enc->PutVarint(rep_globals.size());
+  for (size_t g = 0; g < rep_globals.size(); ++g) {
+    enc->PutVarint(rep_globals[g]);
+    enc->PutVarint(rows[g].size());
+    // Ascending oset indices: delta-encode, same trick as the sparse
+    // equation encoding of ReachPartialAnswer.
+    uint32_t prev = 0;
+    for (uint32_t idx : rows[g]) {
+      enc->PutVarint(idx - prev);
+      prev = idx;
+    }
+  }
+  enc->PutVarint(aliases.size());
+  for (const auto& [member, rep] : aliases) {
+    enc->PutVarint(member);
+    enc->PutVarint(rep);
+  }
+}
+
+BoundaryRows BoundaryRows::Deserialize(Decoder* dec) {
+  BoundaryRows out;
+  out.oset_globals.resize(dec->GetCount());
+  for (NodeId& g : out.oset_globals) g = static_cast<NodeId>(dec->GetVarint());
+  const size_t groups = dec->GetCount();
+  out.rep_globals.resize(groups);
+  out.rows.resize(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    out.rep_globals[g] = static_cast<NodeId>(dec->GetVarint());
+    out.rows[g].resize(dec->GetCount());
+    uint32_t prev = 0;
+    for (uint32_t& idx : out.rows[g]) {
+      prev += static_cast<uint32_t>(dec->GetVarint());
+      idx = prev;
+      PEREACH_CHECK_LT(idx, out.oset_globals.size());
+    }
+  }
+  out.aliases.resize(dec->GetCount());
+  for (auto& [member, rep] : out.aliases) {
+    member = static_cast<NodeId>(dec->GetVarint());
+    rep = static_cast<NodeId>(dec->GetVarint());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BoundaryReachIndex
+
+BoundaryReachIndex::BoundaryReachIndex(size_t num_fragments)
+    : num_fragments_(num_fragments),
+      fragment_rows_(num_fragments),
+      have_rows_(num_fragments, false),
+      dirty_(num_fragments, true) {}
+
+void BoundaryReachIndex::SetFragmentRows(SiteId site, BoundaryRows rows) {
+  PEREACH_CHECK_LT(site, num_fragments_);
+  fragment_rows_[site] = std::move(rows);
+  have_rows_[site] = true;
+  dirty_[site] = false;
+  stale_ = true;
+}
+
+void BoundaryReachIndex::InvalidateFragment(SiteId site) {
+  PEREACH_CHECK_LT(site, num_fragments_);
+  dirty_[site] = true;
+  stale_ = true;
+}
+
+void BoundaryReachIndex::InvalidateAll() {
+  dirty_.assign(num_fragments_, true);
+  stale_ = true;
+}
+
+std::vector<SiteId> BoundaryReachIndex::DirtySites() const {
+  std::vector<SiteId> out;
+  for (SiteId s = 0; s < num_fragments_; ++s) {
+    if (dirty_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+const std::vector<NodeId>& BoundaryReachIndex::oset_globals(
+    SiteId site) const {
+  PEREACH_CHECK_LT(site, num_fragments_);
+  PEREACH_CHECK(have_rows_[site] && !dirty_[site]);
+  return fragment_rows_[site].oset_globals;
+}
+
+void BoundaryReachIndex::Ensure() {
+  if (!stale_) return;
+  for (SiteId s = 0; s < num_fragments_; ++s) {
+    PEREACH_CHECK(have_rows_[s] && !dirty_[s] &&
+                  "Ensure with dirty fragments: refresh their rows first");
+  }
+
+  // 1. Intern the boundary-node universe (global id -> dense id). Every
+  // virtual node is an in-node of the fragment storing its real copy, so
+  // interning reps, alias members and row targets covers the whole V_f.
+  std::unordered_map<NodeId, uint32_t> dense;
+  auto intern = [&dense](NodeId g) {
+    return dense.emplace(g, static_cast<uint32_t>(dense.size())).first->second;
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (SiteId s = 0; s < num_fragments_; ++s) {
+    const BoundaryRows& fr = fragment_rows_[s];
+    for (size_t g = 0; g < fr.rep_globals.size(); ++g) {
+      const uint32_t rep = intern(fr.rep_globals[g]);
+      for (uint32_t idx : fr.rows[g]) {
+        edges.emplace_back(rep, intern(fr.oset_globals[idx]));
+      }
+    }
+    // An alias member reaches its representative inside the fragment (same
+    // local SCC), so a single member -> rep edge stands in for the member's
+    // whole row; the rep carries the fan-out once per group.
+    for (const auto& [member, rep] : fr.aliases) {
+      edges.emplace_back(intern(member), intern(rep));
+    }
+  }
+
+  // 2. Condense. The boundary graph is built as a real Graph so the SCC /
+  // condensation machinery (and its reverse-topological id guarantee) is
+  // shared with the fragment-local path.
+  GraphBuilder builder;
+  builder.AddNodes(dense.size());
+  for (const auto& [u, v] : edges) {
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  const Condensation cond = Condense(std::move(builder).Build());
+  num_comps_ = cond.scc.num_components;
+  adj_offsets_ = cond.offsets;
+  adj_targets_ = cond.targets;
+  comp_of_.clear();
+  comp_of_.reserve(dense.size());
+  for (const auto& [global, d] : dense) {
+    comp_of_.emplace(global, cond.scc.component_of[d]);
+  }
+
+  // 3. Labels over the condensation. Two deterministic DFS labelings
+  // (natural and reversed child order); the first one's DFS-tree intervals
+  // [tin, tout) double as the certain-positive check.
+  labels_.assign(num_comps_, CompLabel{});
+  std::vector<uint8_t> visited(num_comps_);
+  // Frame: (component, next child position). Child positions count from the
+  // labeling's iteration end so both orders share one loop.
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  for (size_t labeling = 0; labeling < kNumLabelings; ++labeling) {
+    visited.assign(num_comps_, 0);
+    uint32_t time = 0;  // shared pre/post counter; only relative order counts
+    uint32_t post = 0;
+    // Root order: descending ids first pass (sources have high reverse-topo
+    // ids), ascending second — more disagreement between the labelings.
+    for (size_t r = 0; r < num_comps_; ++r) {
+      const uint32_t root = static_cast<uint32_t>(
+          labeling == 0 ? num_comps_ - 1 - r : r);
+      if (visited[root]) continue;
+      visited[root] = 1;
+      if (labeling == 0) labels_[root].tin = time++;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [c, child] = stack.back();
+        const size_t degree = adj_offsets_[c + 1] - adj_offsets_[c];
+        if (child == degree) {
+          if (labeling == 0) labels_[c].tout = time++;
+          labels_[c].post[labeling] = post++;
+          stack.pop_back();
+          continue;
+        }
+        const size_t pos = labeling == 0 ? adj_offsets_[c] + child
+                                         : adj_offsets_[c + 1] - 1 - child;
+        ++child;
+        const uint32_t next = adj_targets_[pos];
+        if (visited[next]) continue;
+        visited[next] = 1;
+        if (labeling == 0) labels_[next].tin = time++;
+        stack.emplace_back(next, 0);
+      }
+    }
+    // low = min post rank over all descendants: component ids are reverse
+    // topological (every edge goes to a smaller id), so an ascending scan
+    // sees every successor's final low.
+    for (uint32_t c = 0; c < num_comps_; ++c) {
+      uint32_t low = labels_[c].post[labeling];
+      for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
+        low = std::min(low, labels_[adj_targets_[e]].low[labeling]);
+      }
+      labels_[c].low[labeling] = low;
+    }
+  }
+
+  visit_mark_.assign(num_comps_, 0);
+  visit_version_ = 0;
+  stale_ = false;
+  ++rebuild_count_;
+}
+
+uint32_t BoundaryReachIndex::CompOf(NodeId global) const {
+  const auto it = comp_of_.find(global);
+  PEREACH_CHECK(it != comp_of_.end() &&
+                "query endpoint is not a boundary node of this epoch");
+  return it->second;
+}
+
+bool BoundaryReachIndex::LabelContains(uint32_t cu, uint32_t cv) const {
+  const CompLabel& lu = labels_[cu];
+  const uint32_t pv0 = labels_[cv].post[0];
+  const uint32_t pv1 = labels_[cv].post[1];
+  return lu.low[0] <= pv0 && pv0 <= lu.post[0] &&  //
+         lu.low[1] <= pv1 && pv1 <= lu.post[1];
+}
+
+int BoundaryReachIndex::LabelVerdict(uint32_t cu, uint32_t cv) const {
+  if (cu == cv) return 1;
+  // Reverse-topological ids: a descendant always has a smaller id.
+  if (cv > cu) return 0;
+  // Certain positive: cv sits inside cu's DFS-tree subtree (tree edges are
+  // condensation edges, so the tree path is a real path).
+  const CompLabel& lu = labels_[cu];
+  const uint32_t tv = labels_[cv].tin;
+  if (lu.tin <= tv && tv < lu.tout) return 1;
+  // Certain negative: interval containment is necessary for reachability.
+  if (!LabelContains(cu, cv)) return 0;
+  return -1;
+}
+
+bool BoundaryReachIndex::Reaches(NodeId u, NodeId v) {
+  PEREACH_CHECK(!stale_ && "Ensure() before querying");
+  const NodeId a[1] = {u}, b[1] = {v};
+  return ReachesAny(a, b);
+}
+
+bool BoundaryReachIndex::ReachesAny(std::span<const NodeId> sources,
+                                    std::span<const NodeId> targets) {
+  PEREACH_CHECK(!stale_ && "Ensure() before querying");
+  if (sources.empty() || targets.empty()) return false;
+
+  // Dedupe both sides at the component level; within one side, members of
+  // the same component are interchangeable.
+  std::vector<uint32_t> src;
+  src.reserve(sources.size());
+  for (NodeId u : sources) src.push_back(CompOf(u));
+  std::sort(src.begin(), src.end());
+  src.erase(std::unique(src.begin(), src.end()), src.end());
+
+  std::vector<uint32_t> tgt;
+  tgt.reserve(targets.size());
+  for (NodeId v : targets) tgt.push_back(CompOf(v));
+  std::sort(tgt.begin(), tgt.end());
+  tgt.erase(std::unique(tgt.begin(), tgt.end()), tgt.end());
+
+  // Label pass: decide every (source, target) component pair by labels
+  // alone; collect the sources with an undecided pair for the fallback.
+  std::vector<uint32_t> undecided;
+  for (uint32_t cs : src) {
+    bool pending = false;
+    for (uint32_t ct : tgt) {
+      const int verdict = LabelVerdict(cs, ct);
+      if (verdict == 1) {
+        ++label_hits_;
+        return true;
+      }
+      pending |= verdict < 0;
+    }
+    if (pending) undecided.push_back(cs);
+  }
+  if (undecided.empty()) {
+    ++label_hits_;
+    return false;
+  }
+
+  // Fallback: one multi-source DFS over the condensation from the undecided
+  // sources, pruned by ids (descendants only have smaller ids) and by the
+  // target post-rank window per labeling.
+  ++dfs_fallbacks_;
+  const uint32_t min_target = tgt.front();
+  // Sorted post ranks of the targets, one list per labeling: a node can be
+  // pruned when no target rank falls inside its [low, post] interval.
+  std::array<std::vector<uint32_t>, kNumLabelings> tgt_post;
+  for (size_t l = 0; l < kNumLabelings; ++l) {
+    tgt_post[l].reserve(tgt.size());
+    for (uint32_t ct : tgt) tgt_post[l].push_back(labels_[ct].post[l]);
+    std::sort(tgt_post[l].begin(), tgt_post[l].end());
+  }
+  const auto may_reach_some_target = [&](uint32_t c) {
+    if (c < min_target) return false;
+    for (size_t l = 0; l < kNumLabelings; ++l) {
+      const auto it = std::lower_bound(tgt_post[l].begin(), tgt_post[l].end(),
+                                       labels_[c].low[l]);
+      if (it == tgt_post[l].end() || *it > labels_[c].post[l]) return false;
+    }
+    return true;
+  };
+
+  if (++visit_version_ == 0) {  // wrapped: re-zero the marks once
+    visit_mark_.assign(num_comps_, 0);
+    visit_version_ = 1;
+  }
+  dfs_stack_.clear();
+  for (uint32_t cs : undecided) {
+    if (visit_mark_[cs] == visit_version_) continue;
+    visit_mark_[cs] = visit_version_;
+    dfs_stack_.push_back(cs);
+  }
+  while (!dfs_stack_.empty()) {
+    const uint32_t c = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    if (std::binary_search(tgt.begin(), tgt.end(), c)) return true;
+    for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
+      const uint32_t next = adj_targets_[e];
+      if (visit_mark_[next] == visit_version_) continue;
+      visit_mark_[next] = visit_version_;
+      if (may_reach_some_target(next)) dfs_stack_.push_back(next);
+    }
+  }
+  return false;
+}
+
+size_t BoundaryReachIndex::ByteSize() const {
+  size_t bytes = comp_of_.size() * (sizeof(NodeId) + sizeof(uint32_t)) +
+                 adj_offsets_.size() * sizeof(size_t) +
+                 adj_targets_.size() * sizeof(uint32_t) +
+                 labels_.size() * sizeof(CompLabel);
+  for (const BoundaryRows& fr : fragment_rows_) {
+    bytes += fr.oset_globals.size() * sizeof(NodeId) +
+             fr.rep_globals.size() * sizeof(NodeId) +
+             fr.aliases.size() * sizeof(fr.aliases[0]);
+    for (const auto& row : fr.rows) bytes += row.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace pereach

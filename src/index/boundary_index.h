@@ -1,0 +1,162 @@
+#ifndef PEREACH_INDEX_BOUNDARY_INDEX_H_
+#define PEREACH_INDEX_BOUNDARY_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/util/common.h"
+#include "src/util/serialization.h"
+
+namespace pereach {
+
+/// Query-independent boundary rows of ONE fragment, as shipped to the
+/// coordinator by the boundary-index refresh round. This is a re-encoding of
+/// FragmentContext::ReachRows with local ids resolved to globals:
+///  - `oset_globals` is the fragment's virtual-node table (ascending local
+///    order — the same shared table batched reach replies use);
+///  - one row per in-node SCC GROUP: the group representative's global id
+///    plus the ascending oset indices the group reaches locally;
+///  - one alias per non-representative in-node, binding it to its group's
+///    representative (same local SCC, hence boundary-equivalent).
+struct BoundaryRows {
+  std::vector<NodeId> oset_globals;
+  std::vector<NodeId> rep_globals;          // one per group
+  std::vector<std::vector<uint32_t>> rows;  // group -> ascending oset indices
+  // (member global, rep global) for every in-node that is not its group rep.
+  std::vector<std::pair<NodeId, NodeId>> aliases;
+
+  void Serialize(Encoder* enc) const;
+  static BoundaryRows Deserialize(Decoder* dec);
+};
+
+/// Coordinator-side reachability index over the BOUNDARY DEPENDENCY GRAPH:
+/// one node per boundary node of the fragmentation (global ids of in-nodes,
+/// equivalently of virtual nodes — every virtual node is an in-node of the
+/// fragment that stores its real copy), and an edge u -> w whenever u's
+/// fragment can route a path from u to its virtual copy of w locally. The
+/// edges are exactly the cached query-independent closure rows every
+/// fragment already holds (FragmentContext::ReachRows), so the graph is
+/// typically orders of magnitude smaller than G (|V_f| nodes, the paper's
+/// boundary measure), and a path in it composes fragment-local path
+/// segments of G — reachability between boundary nodes in this graph is
+/// reachability in G.
+///
+/// On top of the graph the index keeps its SCC condensation plus a
+/// GRAIL-style label (Seufert et al.: compact labels over a REDUCED graph
+/// answer reachability in near-constant time): per component, the DFS-tree
+/// interval [tin, tout) for certain POSITIVES (v inside u's DFS subtree) and
+/// `kNumLabelings` post-order interval labels for certain NEGATIVES (label
+/// containment is necessary for reachability). Lookups that neither label
+/// decides fall back to a label-pruned DFS over the condensation, so every
+/// answer is exact.
+///
+/// Incremental maintenance mirrors the FragmentContext cache: the owner
+/// marks fragments dirty on the IncrementalReachIndex::SetUpdateListener /
+/// EpochGate invalidation path, re-fetches ONLY the dirty fragments' rows
+/// (the per-fragment sweeps are the expensive part), and Ensure() rebuilds
+/// the small condensation + labels from the per-fragment row cache.
+///
+/// Thread-safety: none. One index belongs to one engine; the engine's
+/// single-dispatcher discipline (and the server's exclusive writer gate
+/// around invalidation) provides the exclusion.
+class BoundaryReachIndex {
+ public:
+  explicit BoundaryReachIndex(size_t num_fragments);
+
+  /// Installs the boundary rows of one fragment and clears its dirty bit.
+  void SetFragmentRows(SiteId site, BoundaryRows rows);
+
+  /// Marks one fragment's rows stale (an update structurally touched it).
+  void InvalidateFragment(SiteId site);
+  void InvalidateAll();
+
+  /// Fragments whose rows must be re-fetched before Ensure() can run.
+  std::vector<SiteId> DirtySites() const;
+  bool dirty() const { return stale_; }
+
+  /// Rebuilds the boundary graph, condensation and labels from the cached
+  /// per-fragment rows. Requires DirtySites() empty. Idempotent when clean.
+  void Ensure();
+
+  /// The fragment's virtual-node table, as installed by SetFragmentRows —
+  /// reach frames reference it by index, exactly like batched BES replies.
+  const std::vector<NodeId>& oset_globals(SiteId site) const;
+
+  /// True iff boundary node u reaches boundary node v (reflexive). Both must
+  /// be boundary nodes of the current epoch; CHECK-fails otherwise.
+  bool Reaches(NodeId u, NodeId v);
+
+  /// True iff ANY source reaches ANY target (reflexive; duplicate entries
+  /// are fine). One label pass over the source x target component pairs,
+  /// then at most one multi-source label-pruned DFS.
+  bool ReachesAny(std::span<const NodeId> sources,
+                  std::span<const NodeId> targets);
+
+  // --- observability -------------------------------------------------------
+  size_t num_boundary_nodes() const { return comp_of_.size(); }
+  size_t num_components() const { return num_comps_; }
+  size_t num_edges() const { return adj_targets_.size(); }
+  /// Full condensation + label rebuilds performed (dirty-epoch count).
+  size_t rebuild_count() const { return rebuild_count_; }
+  /// Lookups (Reaches / ReachesAny calls) decided by labels alone vs
+  /// lookups that needed the pruned-DFS fallback for at least one pair.
+  size_t label_hits() const { return label_hits_; }
+  size_t dfs_fallbacks() const { return dfs_fallbacks_; }
+
+  /// Rough resident size of the rebuilt structure, bytes.
+  size_t ByteSize() const;
+
+ private:
+  // Two deterministic labelings: natural and reversed child order. Distinct
+  // DFS orders disagree on non-tree descendants, so their intersection
+  // rejects most unreachable pairs (GRAIL's k-interval argument).
+  static constexpr size_t kNumLabelings = 2;
+
+  struct CompLabel {
+    // DFS-tree interval: v certainly reachable when tin_[v] in [tin, tout).
+    uint32_t tin = 0;
+    uint32_t tout = 0;
+    // Post-order interval per labeling: [low, post]. Containment of v's
+    // interval in u's is necessary for u to reach v.
+    uint32_t low[kNumLabelings] = {0, 0};
+    uint32_t post[kNumLabelings] = {0, 0};
+  };
+
+  uint32_t CompOf(NodeId global) const;
+  /// Label-only verdict for components cu -> cv: 1 = certainly reaches,
+  /// 0 = certainly not, -1 = undecided (DFS needed).
+  int LabelVerdict(uint32_t cu, uint32_t cv) const;
+  bool LabelContains(uint32_t cu, uint32_t cv) const;
+
+  size_t num_fragments_;
+  std::vector<BoundaryRows> fragment_rows_;
+  std::vector<bool> have_rows_;
+  std::vector<bool> dirty_;
+  bool stale_ = true;  // condensation/labels out of date w.r.t. the rows
+
+  // Rebuilt structure (valid while !stale_).
+  std::unordered_map<NodeId, uint32_t> comp_of_;  // boundary global -> comp
+  size_t num_comps_ = 0;
+  // Condensation adjacency, CSR. Component ids are Tarjan reverse
+  // topological: every edge goes from a higher id to a lower one.
+  std::vector<size_t> adj_offsets_;
+  std::vector<uint32_t> adj_targets_;
+  std::vector<CompLabel> labels_;
+
+  // Scratch for the DFS fallback, sized num_comps_ and versioned so calls
+  // don't re-clear it.
+  std::vector<uint32_t> visit_mark_;
+  std::vector<uint32_t> dfs_stack_;
+  uint32_t visit_version_ = 0;
+
+  size_t rebuild_count_ = 0;
+  size_t label_hits_ = 0;
+  size_t dfs_fallbacks_ = 0;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_INDEX_BOUNDARY_INDEX_H_

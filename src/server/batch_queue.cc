@@ -12,12 +12,16 @@ namespace {
 constexpr double kGapAlpha = 0.25;
 }  // namespace
 
-void BatchQueue::Push(PendingQuery pending) {
-  const auto now = std::chrono::steady_clock::now();
-  pending.enqueue_time = now;
+bool BatchQueue::Push(PendingQuery&& pending) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    PEREACH_CHECK(!shutdown_ && "Push after BatchQueue::Shutdown");
+    if (shutdown_) return false;  // racing Stop(): caller keeps the promise
+    // Stamp the arrival under the lock: stamping outside would let two
+    // racing producers enqueue in the opposite order of their timestamps,
+    // and PopBatch computes its window deadline from queue_.front() on the
+    // assumption that the front IS the oldest arrival.
+    const auto now = std::chrono::steady_clock::now();
+    pending.enqueue_time = now;
     if (have_arrival_) {
       const double gap_us =
           std::chrono::duration<double, std::micro>(now - last_arrival_)
@@ -42,6 +46,7 @@ void BatchQueue::Push(PendingQuery pending) {
     queue_.push_back(std::move(pending));
   }
   arrived_.notify_one();
+  return true;
 }
 
 double BatchQueue::WindowUsLocked() const {

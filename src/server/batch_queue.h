@@ -43,6 +43,11 @@ struct ServedAnswer {
   uint64_t epoch = 0;
   /// Number of queries coalesced into the batch.
   size_t batch_size = 0;
+  /// True when the server was stopping and the query was never evaluated:
+  /// `answer` is default-constructed and must not be read. A submission that
+  /// loses the race against Stop() resolves this way instead of crashing the
+  /// process or leaving the future broken.
+  bool rejected = false;
 };
 
 /// One enqueued query: payload, completion promise, arrival stamp.
@@ -57,18 +62,26 @@ struct PendingQuery {
 /// least one query is pending, then keeps collecting until the size cap or
 /// the (adaptive) window deadline — measured from the OLDEST pending
 /// arrival, so the window bounds queueing latency, not just batch spacing.
-/// After Shutdown, PopBatch drains whatever is queued without waiting for
-/// windows and then returns empty batches forever.
+/// After Shutdown, Push rejects new queries (returns false) and PopBatch
+/// drains whatever is queued without waiting for windows, then returns
+/// empty batches forever.
 class BatchQueue {
  public:
   explicit BatchQueue(BatchPolicy policy) : policy_(policy) {
-    // max_batch == 0 would make PopBatch return empty with queries pending,
-    // which dispatchers interpret as shutdown — hanging every future.
-    PEREACH_CHECK_GE(policy_.max_batch, 1u);
+    // max_batch == 0 would make PopBatch return empty batches forever while
+    // queries sit queued — the dispatcher busy-spins on "empty means shut
+    // down" and every client hangs. Clamp to the nearest sane policy
+    // (per-query batches) instead of trusting callers; policy() reports the
+    // clamped value.
+    if (policy_.max_batch == 0) policy_.max_batch = 1;
   }
 
-  /// Enqueues a query and feeds the arrival-rate estimator.
-  void Push(PendingQuery pending);
+  /// Enqueues a query and feeds the arrival-rate estimator. Returns false —
+  /// leaving `pending` unmoved, promise intact — when the queue has been
+  /// Shutdown: the dispatcher is draining or gone, so the caller must
+  /// resolve the promise itself (a Push CHECK here would let any client
+  /// thread racing Stop() abort the whole process).
+  [[nodiscard]] bool Push(PendingQuery&& pending);
 
   /// Blocks for the next batch; empty means shut down and drained.
   std::vector<PendingQuery> PopBatch();
@@ -86,7 +99,7 @@ class BatchQueue {
  private:
   double WindowUsLocked() const;
 
-  const BatchPolicy policy_;
+  BatchPolicy policy_;  // clamped at construction, immutable afterwards
   mutable std::mutex mu_;
   std::condition_variable arrived_;
   std::deque<PendingQuery> queue_;

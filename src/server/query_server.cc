@@ -27,26 +27,54 @@ QueryServer::QueryServer(IncrementalReachIndex* index, ServerOptions options)
   }
 }
 
-QueryServer::~QueryServer() {
+QueryServer::~QueryServer() { Stop(); }
+
+void QueryServer::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);  // serialize concurrent Stops
   stopping_.store(true, std::memory_order_release);
   for (auto& queue : queues_) queue->Shutdown();
-  for (auto& t : dispatchers_) t.join();
+  for (auto& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+  // Detach under the exclusive gate: a concurrent AddEdges writer may be
+  // inside the index invoking the listener, and assigning the std::function
+  // while it runs would race. The uncommitted writer leaves the epoch
+  // untouched.
+  EpochGate::Write writer(&gate_);
   index_->SetUpdateListener(nullptr);
 }
 
 std::future<ServedAnswer> QueryServer::Submit(Query query) {
-  PEREACH_CHECK(!stopping_.load(std::memory_order_acquire) &&
-                "Submit on a stopping QueryServer");
   const size_t class_idx = static_cast<size_t>(query.kind);
   PEREACH_CHECK_LT(class_idx, kNumClasses);
+  PendingQuery pending;
+  pending.query = std::move(query);
+  std::future<ServedAnswer> future = pending.promise.get_future();
+  // The stopping_ probe is an early out; the authoritative admission test is
+  // Push itself, which decides under the queue lock. A submission that loses
+  // the race against Stop() — probe passes, queue shuts down, Push rejects —
+  // resolves as rejected here rather than aborting in the queue.
+  if (stopping_.load(std::memory_order_acquire)) {
+    ServedAnswer rejected;
+    rejected.epoch = gate_.epoch();
+    rejected.rejected = true;
+    pending.promise.set_value(std::move(rejected));
+    return future;
+  }
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
     ++in_flight_;
   }
-  PendingQuery pending;
-  pending.query = std::move(query);
-  std::future<ServedAnswer> future = pending.promise.get_future();
-  queues_[class_idx]->Push(std::move(pending));
+  if (!queues_[class_idx]->Push(std::move(pending))) {
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      if (--in_flight_ == 0) drained_.notify_all();
+    }
+    ServedAnswer rejected;
+    rejected.epoch = gate_.epoch();
+    rejected.rejected = true;
+    pending.promise.set_value(std::move(rejected));
+  }
   return future;
 }
 

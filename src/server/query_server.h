@@ -90,7 +90,14 @@ class QueryServer {
   /// Drains pending queries, stops the dispatchers, detaches from the index.
   ~QueryServer();
 
-  /// Enqueues one query; the future resolves once its batch is answered.
+  /// Stops serving: pending queries drain and are answered, dispatchers
+  /// exit, the index listener detaches. Submissions racing (or following)
+  /// Stop resolve with ServedAnswer::rejected instead of crashing — the
+  /// future always becomes ready. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Enqueues one query; the future resolves once its batch is answered
+  /// (or immediately, with rejected == true, if the server is stopping).
   std::future<ServedAnswer> Submit(Query query);
 
   /// Applies one edge insertion as one snapshot epoch; blocks while
@@ -135,6 +142,7 @@ class QueryServer {
   std::array<std::thread, kNumClasses> dispatchers_;
 
   std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serializes concurrent Stop() calls
 
   // Drain bookkeeping: queries submitted but not yet answered.
   mutable std::mutex drain_mu_;

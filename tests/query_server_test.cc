@@ -37,7 +37,9 @@ PendingQuery MakePending(NodeId s, NodeId t) {
 TEST(BatchQueueTest, SizeCapDispatchesWithoutWaitingTheWindow) {
   BatchQueue queue({.max_batch = 4, .max_window_us = 1'000'000,
                     .adaptive = false});
-  for (NodeId i = 0; i < 4; ++i) queue.Push(MakePending(i, i + 1));
+  for (NodeId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Push(MakePending(i, i + 1)));
+  }
   StopWatch watch;
   const std::vector<PendingQuery> batch = queue.PopBatch();
   EXPECT_EQ(batch.size(), 4u);
@@ -47,8 +49,8 @@ TEST(BatchQueueTest, SizeCapDispatchesWithoutWaitingTheWindow) {
 
 TEST(BatchQueueTest, ZeroWindowWithUnitBatchServesPerQuery) {
   BatchQueue queue({.max_batch = 1, .max_window_us = 0, .adaptive = false});
-  queue.Push(MakePending(0, 1));
-  queue.Push(MakePending(1, 2));
+  ASSERT_TRUE(queue.Push(MakePending(0, 1)));
+  ASSERT_TRUE(queue.Push(MakePending(1, 2)));
   EXPECT_EQ(queue.PopBatch().size(), 1u);
   EXPECT_EQ(queue.PopBatch().size(), 1u);
 }
@@ -56,8 +58,8 @@ TEST(BatchQueueTest, ZeroWindowWithUnitBatchServesPerQuery) {
 TEST(BatchQueueTest, ShutdownDrainsPendingThenReturnsEmpty) {
   BatchQueue queue({.max_batch = 16, .max_window_us = 1'000'000,
                     .adaptive = false});
-  queue.Push(MakePending(0, 1));
-  queue.Push(MakePending(1, 2));
+  ASSERT_TRUE(queue.Push(MakePending(0, 1)));
+  ASSERT_TRUE(queue.Push(MakePending(1, 2)));
   queue.Shutdown();
   StopWatch watch;
   EXPECT_EQ(queue.PopBatch().size(), 2u);  // no window wait in drain mode
@@ -71,9 +73,78 @@ TEST(BatchQueueTest, AdaptiveWindowShrinksUnderBurstArrivals) {
                     .adaptive = true});
   // A back-to-back burst: inter-arrival gaps of microseconds. The EWMA
   // window must fall well below the 100 ms cap.
-  for (NodeId i = 0; i < 16; ++i) queue.Push(MakePending(i, i + 1));
+  for (NodeId i = 0; i < 16; ++i) {
+    ASSERT_TRUE(queue.Push(MakePending(i, i + 1)));
+  }
   EXPECT_LT(queue.window_us(), 50'000.0);
   EXPECT_EQ(queue.PopBatch().size(), 16u);
+}
+
+TEST(BatchQueueTest, PushAfterShutdownIsRejectedNotFatal) {
+  BatchQueue queue({.max_batch = 4, .max_window_us = 1000, .adaptive = false});
+  ASSERT_TRUE(queue.Push(MakePending(0, 1)));
+  queue.Shutdown();
+  PendingQuery late = MakePending(1, 2);
+  std::future<ServedAnswer> future = late.promise.get_future();
+  EXPECT_FALSE(queue.Push(std::move(late)));
+  // The promise survives a rejected Push: the caller can still resolve it.
+  ServedAnswer answer;
+  answer.rejected = true;
+  late.promise.set_value(std::move(answer));
+  EXPECT_TRUE(future.get().rejected);
+  // The pre-shutdown query drains normally.
+  EXPECT_EQ(queue.PopBatch().size(), 1u);
+  EXPECT_TRUE(queue.PopBatch().empty());
+}
+
+// Regression: enqueue_time used to be stamped BEFORE taking the queue lock,
+// so two racing producers could enqueue in the opposite order of their
+// timestamps — and PopBatch's window deadline, computed from queue_.front(),
+// could be measured from a non-oldest arrival. Stamped under the lock, queue
+// order and timestamp order must agree.
+TEST(BatchQueueTest, ConcurrentPushKeepsEnqueueTimesMonotonic) {
+  BatchQueue queue(
+      {.max_batch = 4096, .max_window_us = 1'000'000, .adaptive = false});
+  constexpr size_t kThreads = 8, kPerThread = 200;
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kThreads; ++p) {
+    producers.emplace_back([&queue] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(queue.Push(MakePending(0, 1)));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  const std::vector<PendingQuery> batch = queue.PopBatch();
+  ASSERT_EQ(batch.size(), kThreads * kPerThread);
+  for (size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_LE(batch[i - 1].enqueue_time, batch[i].enqueue_time)
+        << "queue order disagrees with timestamp order at " << i;
+  }
+}
+
+// Regression: max_batch == 0 made PopBatch return empty batches forever
+// while queries sat queued (dispatchers read empty as shutdown; clients
+// hang). The policy is clamped at construction instead.
+TEST(BatchQueueTest, ZeroMaxBatchPolicyIsClampedToPerQuery) {
+  BatchQueue queue({.max_batch = 0, .max_window_us = 0, .adaptive = false});
+  EXPECT_EQ(queue.policy().max_batch, 1u);
+  ASSERT_TRUE(queue.Push(MakePending(0, 1)));
+  ASSERT_TRUE(queue.Push(MakePending(1, 2)));
+  EXPECT_EQ(queue.PopBatch().size(), 1u);
+  EXPECT_EQ(queue.PopBatch().size(), 1u);
+}
+
+TEST(BatchQueueTest, ZeroWindowStillCoalescesWhatIsAlreadyQueued) {
+  // max_window_us == 0 must not wait, but everything already pending up to
+  // max_batch still ships as one batch.
+  BatchQueue queue({.max_batch = 16, .max_window_us = 0, .adaptive = true});
+  for (NodeId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.Push(MakePending(i, i + 1)));
+  }
+  StopWatch watch;
+  EXPECT_EQ(queue.PopBatch().size(), 5u);
+  EXPECT_LT(watch.ElapsedMs(), 500.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -350,6 +421,128 @@ TEST(QueryServerTest, DrainWaitsForInFlightQueries) {
     EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
               std::future_status::ready);
   }
+}
+
+// The boundary-index serving path: reach dispatchers resolve through the
+// coordinator's boundary label under the read gate, so indexed answers must
+// stay oracle-exact across update epochs and still report their snapshot.
+TEST(QueryServerTest, BoundaryIndexServingMatchesOracleAcrossUpdatePhases) {
+  Rng rng(808);
+  const size_t n = 80, k = 4;
+  const size_t kClients = 4, kQueriesPerClient = 20, kPhases = 3;
+  const Graph g = ErdosRenyi(n, 3 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  OracleWorld world = OracleWorld::FromGraph(g);
+
+  ServerOptions options;
+  options.policy.max_batch = 16;
+  options.policy.max_window_us = 2000;
+  options.eval.reach_path = ReachAnswerPath::kBoundaryIndex;
+  QueryServer server(&index, options);
+
+  for (size_t phase = 0; phase < kPhases; ++phase) {
+    const Graph oracle = world.Build();
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng crng(3000 * phase + c);
+        for (size_t i = 0; i < kQueriesPerClient; ++i) {
+          const NodeId s = static_cast<NodeId>(crng.Uniform(n));
+          const NodeId t = static_cast<NodeId>(crng.Uniform(n));
+          const ServedAnswer served =
+              server.Submit(Query::Reach(s, t)).get();
+          EXPECT_EQ(served.answer.reachable, CentralizedReach(oracle, s, t))
+              << "phase=" << phase << " s=" << s << " t=" << t;
+          EXPECT_EQ(served.epoch, phase);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    std::vector<std::pair<NodeId, NodeId>> update;
+    for (int e = 0; e < 2; ++e) {
+      update.emplace_back(static_cast<NodeId>(rng.Uniform(n)),
+                          static_cast<NodeId>(rng.Uniform(n)));
+      world.edges.push_back(update.back());
+    }
+    EXPECT_EQ(server.AddEdges(update), phase + 1);
+  }
+  EXPECT_EQ(server.epoch(), kPhases);
+}
+
+// Regression for the Submit-vs-Stop race: client threads hammer Submit while
+// the main thread stops the server. Before the fix, a Push that lost the
+// race hit PEREACH_CHECK(!shutdown_) and aborted the whole process. Now
+// every future must become ready — answered for admitted queries, rejected
+// for the rest — and answered ones must be correct.
+TEST(QueryServerTest, SubmitRacingStopResolvesEveryFutureGracefully) {
+  Rng rng(606);
+  const size_t n = 50, k = 3, kClients = 6;
+  const Graph g = ErdosRenyi(n, 2 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  const Graph oracle = OracleWorld::FromGraph(g).Build();
+
+  QueryServer server(&index);
+  std::atomic<bool> go{false};
+  std::atomic<size_t> rejected_total{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng crng(9000 + c);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      size_t rejected = 0;
+      // Submit until the server turns us away (plus a few extra afterwards
+      // to cover the post-stop path), checking every admitted answer.
+      for (int i = 0; i < 100000 && rejected < 3; ++i) {
+        const NodeId s = static_cast<NodeId>(crng.Uniform(n));
+        const NodeId t = static_cast<NodeId>(crng.Uniform(n));
+        const ServedAnswer served = server.Submit(Query::Reach(s, t)).get();
+        if (served.rejected) {
+          ++rejected;
+        } else {
+          EXPECT_EQ(served.answer.reachable, CentralizedReach(oracle, s, t));
+        }
+      }
+      rejected_total.fetch_add(rejected, std::memory_order_relaxed);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Stop();
+  for (std::thread& t : clients) t.join();
+  // Every client observed the stop as rejections, never a crash or a hang.
+  EXPECT_GE(rejected_total.load(), kClients * 3);
+  // Stop is idempotent, and Submit after Stop stays graceful.
+  server.Stop();
+  EXPECT_TRUE(server.Submit(Query::Reach(0, 1)).get().rejected);
+}
+
+// A max_batch == 0 policy used to hang every client (PopBatch returned
+// empty batches forever with queries queued); the clamp turns it into the
+// per-query baseline.
+TEST(QueryServerTest, ZeroMaxBatchPolicyStillServes) {
+  Rng rng(707);
+  const size_t n = 40, k = 3;
+  const Graph g = ErdosRenyi(n, 2 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  const Graph oracle = OracleWorld::FromGraph(g).Build();
+
+  ServerOptions options;
+  options.policy.max_batch = 0;    // clamped to 1
+  options.policy.max_window_us = 0;  // no coalescing wait
+  QueryServer server(&index, options);
+  for (int i = 0; i < 20; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(n));
+    const ServedAnswer served = server.Submit(Query::Reach(s, t)).get();
+    EXPECT_FALSE(served.rejected);
+    EXPECT_EQ(served.answer.reachable, CentralizedReach(oracle, s, t));
+    EXPECT_EQ(served.batch_size, 1u);
+  }
+  EXPECT_EQ(server.stats().queries, 20u);
 }
 
 }  // namespace
