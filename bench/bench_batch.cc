@@ -45,12 +45,13 @@ int Run(int argc, char** argv) {
   PartialEvalOptions engine_options;  // kAuto: DAG form wins on this graph
   if (boundary_index) {
     engine_options.reach_path = ReachAnswerPath::kBoundaryIndex;
+    engine_options.dist_path = DistAnswerPath::kBoundaryIndex;
   }
   PartialEvalEngine engine(&cluster, engine_options);
   NaiveShipAllEngine naive(&cluster);
   if (boundary_index) {
-    std::printf("reach path: boundary index (coordinator label over the "
-                "boundary graph; no per-query BES)\n");
+    std::printf("reach/dist path: boundary index (coordinator label + "
+                "weighted graph over the boundary; no per-query BES)\n");
   }
 
   const std::vector<std::pair<NodeId, NodeId>> pairs =
@@ -100,6 +101,28 @@ int Run(int argc, char** argv) {
       "amortizes its |G| transfer but keeps paying centralized evaluation "
       "per query.\n");
 
+  // Dist series (the same endpoint pairs as bounded-reach queries): one
+  // full-size batch through the same engine, so each JSON file carries a
+  // dist row for its reach path — BES assembling without --boundary-index,
+  // the standing weighted boundary graph with it.
+  constexpr uint32_t kDistBound = 8;
+  std::vector<Query> dist_workload;
+  dist_workload.reserve(pairs.size());
+  for (const auto& [s, t] : pairs) {
+    dist_workload.push_back(Query::Dist(s, t, kDistBound));
+  }
+  // Warm the dist rows / standing graph outside the measured window, like
+  // the reach warm-up above.
+  engine.EvaluateBatch(std::span<const Query>(dist_workload.data(), 1));
+  const RunMetrics dist_total = engine.EvaluateBatch(dist_workload).metrics;
+  PrintHeader("Batched q_br (dist), one full-size batch",
+              {"path", "rounds", "total-ms", "traffic"});
+  char dist_rounds[16];
+  std::snprintf(dist_rounds, sizeof(dist_rounds), "%zu", dist_total.rounds);
+  PrintRow({boundary_index ? "boundary-index" : "bes", dist_rounds,
+            FormatMs(dist_total.modeled_ms),
+            FormatMb(dist_total.traffic_mb())});
+
   WriteBenchJson(opts.json_path,
                  boundary_index ? "bench_batch+boundary-index" : "bench_batch",
                  {{"queries", static_cast<double>(workload.size())},
@@ -109,7 +132,10 @@ int Run(int argc, char** argv) {
                   {"singles_traffic_mb", singles_total.traffic_mb()},
                   {"batched_modeled_ms", best_total.modeled_ms},
                   {"batched_traffic_mb", best_total.traffic_mb()},
-                  {"batched_rounds", static_cast<double>(best_total.rounds)}});
+                  {"batched_rounds", static_cast<double>(best_total.rounds)},
+                  {"dist_batched_modeled_ms", dist_total.modeled_ms},
+                  {"dist_batched_traffic_mb", dist_total.traffic_mb()},
+                  {"dist_bound", static_cast<double>(kDistBound)}});
   return 0;
 }
 

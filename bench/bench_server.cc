@@ -32,7 +32,8 @@ struct ServerBenchFlags {
   size_t updates = 0;
   bool mixed = false;  // --mix=all: add dist/rpq to the reach stream
   // --boundary-index: reach dispatchers answer through the coordinator's
-  // boundary label instead of solving a BES per query.
+  // boundary label, and dist dispatchers through the standing weighted
+  // boundary graph, instead of solving a BES per query.
   bool boundary_index = false;
 };
 
@@ -78,6 +79,7 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
   options.eval.form = EquationForm::kClosure;
   if (flags.boundary_index) {
     options.eval.reach_path = ReachAnswerPath::kBoundaryIndex;
+    options.eval.dist_path = DistAnswerPath::kBoundaryIndex;
   }
   QueryServer server(&index, options);
 
@@ -246,7 +248,11 @@ int Run(int argc, char** argv) {
                   {"per_query_modeled_ms", single.avg_modeled_ms},
                   {"adaptive_modeled_qps", batched.modeled_qps},
                   {"adaptive_modeled_ms", batched.avg_modeled_ms},
-                  {"adaptive_avg_batch", batched.avg_batch}});
+                  {"adaptive_avg_batch", batched.avg_batch},
+                  // Dist-class dispatcher occupancy (0 under --mix=reach):
+                  // the dist series of the perf artifact, index off/on.
+                  {"per_query_dist_modeled_ms", single.modeled_by_class[1]},
+                  {"adaptive_dist_modeled_ms", batched.modeled_by_class[1]}});
   return 0;
 }
 

@@ -24,6 +24,9 @@ namespace pereach {
 ///  - the closure rows: per in-node SCC group, the set of oset indices the
 ///    group reaches locally — the whole query-independent part of localEval,
 ///    leaving only O(|cond|) per-query work for s and t;
+///  - the dist rows: per in-node, the local shortest-path hop counts to the
+///    oset — the query-independent part of localEvald, feeding the
+///    coordinator's weighted boundary graph (BoundaryDistIndex);
 ///  - the label index (regular reachability compatibility masks).
 /// Sections build lazily so workloads only pay for what they touch.
 ///
@@ -42,6 +45,20 @@ class FragmentContext {
     std::vector<std::vector<uint32_t>> rows;  // group -> ascending oset idx
   };
 
+  /// Weighted (min-plus) boundary rows: per in-node, the local shortest-path
+  /// hop count to every virtual node it reaches — the query-independent part
+  /// of localEvald, computed UNBOUNDED so one cache serves every query bound
+  /// (the per-query bound filter applies at lookup). Distances differ across
+  /// an SCC's members, so groups collapse by ROW CONTENT instead of by
+  /// component: members with bit-identical weighted rows share one group
+  /// (in particular, all boundary-blind in-nodes with empty rows).
+  struct DistRows {
+    std::vector<uint32_t> in_group;  // per f.in_nodes() position -> group
+    std::vector<NodeId> group_rep;   // group -> local id of its first in-node
+    // group -> ascending (oset index, local min hops).
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> rows;
+  };
+
   /// SCC condensation of f.local_graph().
   const Condensation& cond(const Fragment& f);
 
@@ -57,6 +74,8 @@ class FragmentContext {
   uint32_t OsetIndexOf(NodeId global) const;
 
   const ReachRows& reach_rows(const Fragment& f);
+
+  const DistRows& dist_rows(const Fragment& f);
 
   const LabelIndex& label_index(const Fragment& f);
 
@@ -74,6 +93,7 @@ class FragmentContext {
   std::unordered_map<NodeId, uint32_t> oset_index_;
   std::vector<uint32_t> oset_comp_;  // built with cond on demand
   std::optional<ReachRows> rows_;
+  std::optional<DistRows> dist_rows_;
   std::optional<LabelIndex> label_index_;
   size_t section_builds_ = 0;
 };

@@ -169,10 +169,113 @@ BoundaryRows BuildBoundaryRows(const Fragment& f, FragmentContext* ctx) {
   return out;
 }
 
+/// Re-encodes a fragment's cached DistRows into the global-id form the
+/// coordinator's weighted boundary index consumes (one weighted row per
+/// distinct-row group, plus member -> rep aliases). Pure re-labeling: the
+/// unbounded distance sweep already ran when dist_rows was built.
+WeightedBoundaryRows BuildWeightedBoundaryRows(const Fragment& f,
+                                               FragmentContext* ctx) {
+  const FragmentContext::DistRows& rows = ctx->dist_rows(f);
+  WeightedBoundaryRows out;
+  out.oset_globals = ctx->oset_globals(f);
+  out.rep_globals.reserve(rows.group_rep.size());
+  for (NodeId rep : rows.group_rep) out.rep_globals.push_back(f.ToGlobal(rep));
+  out.rows = rows.rows;
+  for (size_t i = 0; i < rows.in_group.size(); ++i) {
+    const NodeId in = f.in_nodes()[i];
+    const NodeId rep = rows.group_rep[rows.in_group[i]];
+    if (rep == in) continue;
+    out.aliases.emplace_back(f.ToGlobal(in), f.ToGlobal(rep));
+  }
+  return out;
+}
+
 // Flag bits of a boundary sweep frame.
 constexpr uint8_t kFrameHasS = 1;      // s-side list present
 constexpr uint8_t kFrameHasT = 2;      // t-side list present
 constexpr uint8_t kFrameLocalTrue = 4; // answer decided inside this fragment
+// Extra flag bit of a dist sweep frame: a local s -> t distance (within the
+// query bound) is present. Unlike kFrameLocalTrue it does NOT end the frame
+// — a cross-fragment route can still be shorter, so the lists follow.
+constexpr uint8_t kFrameHasLocalDist = 4;
+
+/// The query-dependent halves of one dist query at one fragment, encoded for
+/// the weighted boundary answer path:
+///  - s-side (s stored here): ascending (oset index, hops) pairs for the
+///    virtual nodes s reaches locally within the bound — the exits a global
+///    path can leave through, with their seed distances; reaching t or t's
+///    virtual copy locally folds into the local short-circuit distance;
+///  - t-side (t stored here): (in-node global, hops) pairs for the in-nodes
+///    that reach t locally within the bound — the entries a global path can
+///    arrive at, with their closing distances. No group-rep substitution:
+///    distances differ across an SCC's members.
+/// All three pieces are exactly what localEvald would have shipped (its s
+/// equation, its base column), so the assembled answer matches the BES path.
+void EncodeDistSweepFrame(const Fragment& f, FragmentContext* ctx, NodeId s,
+                          NodeId t, uint32_t bound, Encoder* body) {
+  const bool s_here = f.Contains(s);
+  const bool t_here = f.Contains(t);
+  if (!s_here && !t_here) {
+    body->PutU8(0);
+    return;
+  }
+
+  uint64_t local_dist = kInfWeight;
+  std::vector<std::pair<uint32_t, uint32_t>> s_out;
+  if (s_here) {
+    // One bounded sweep from s over the oset plus t's local copy; a virtual
+    // copy of t folds into the short-circuit by global id, like localEvald's
+    // base column.
+    const std::vector<NodeId>& oset_locals = ctx->oset_locals(f);
+    const std::vector<NodeId>& oset_globals = ctx->oset_globals(f);
+    std::vector<NodeId> targets = oset_locals;
+    if (t_here) targets.push_back(f.ToLocal(t));
+    const std::vector<NodeId> source = {f.ToLocal(s)};
+    ForEachBoundedDistance(
+        f.local_graph(), source, targets, bound, /*block_bits=*/256,
+        [&](uint32_t, uint32_t ti, uint32_t hops) {
+          if (ti >= oset_globals.size() || oset_globals[ti] == t) {
+            local_dist = std::min<uint64_t>(local_dist, hops);
+          } else {
+            s_out.emplace_back(ti, hops);
+          }
+        });
+    std::sort(s_out.begin(), s_out.end());
+  }
+
+  std::vector<std::pair<NodeId, uint32_t>> t_in;
+  if (t_here) {
+    const std::vector<NodeId> target = {f.ToLocal(t)};
+    ForEachBoundedDistance(
+        f.local_graph(), f.in_nodes(), target, bound, /*block_bits=*/64,
+        [&](uint32_t in_idx, uint32_t, uint32_t hops) {
+          t_in.emplace_back(f.ToGlobal(f.in_nodes()[in_idx]), hops);
+        });
+  }
+
+  uint8_t flags = 0;
+  if (s_here) flags |= kFrameHasS;
+  if (t_here) flags |= kFrameHasT;
+  if (local_dist != kInfWeight) flags |= kFrameHasLocalDist;
+  body->PutU8(flags);
+  if (local_dist != kInfWeight) body->PutVarint(local_dist);
+  if (s_here) {
+    body->PutVarint(s_out.size());
+    uint32_t prev = 0;
+    for (const auto& [idx, hops] : s_out) {  // ascending: delta-encode
+      body->PutVarint(idx - prev);
+      body->PutVarint(hops);
+      prev = idx;
+    }
+  }
+  if (t_here) {
+    body->PutVarint(t_in.size());
+    for (const auto& [global, hops] : t_in) {
+      body->PutVarint(global);
+      body->PutVarint(hops);
+    }
+  }
+}
 
 /// The query-dependent halves of one reach query at one fragment, encoded
 /// for the boundary answer path:
@@ -264,10 +367,11 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
   answers->resize(queries.size());
 
   // Coordinator-side answers need no site visit; everything else goes on the
-  // wire as one multiplexed broadcast — except reach queries under the
-  // boundary index, which take their own two-fragment path.
+  // wire as one multiplexed broadcast — except reach/dist queries under
+  // their boundary indexes, which take their own endpoint-fragment paths.
   std::vector<size_t> wire;
   std::vector<size_t> indexed;
+  std::vector<size_t> indexed_dist;
   wire.reserve(queries.size());
   bool any_reach = false;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -283,10 +387,16 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
       indexed.push_back(qi);
       continue;
     }
+    if (q.kind == QueryKind::kDist &&
+        options_.dist_path == DistAnswerPath::kBoundaryIndex) {
+      indexed_dist.push_back(qi);
+      continue;
+    }
     any_reach |= q.kind == QueryKind::kReach;
     wire.push_back(qi);
   }
   if (!indexed.empty()) RunBoundaryReach(queries, indexed, answers);
+  if (!indexed_dist.empty()) RunBoundaryDist(queries, indexed_dist, answers);
   if (wire.empty()) return;
 
   // Batched broadcast: k queries in one payload (byte accounting; the site
@@ -509,6 +619,128 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
     }
 
     answer.reachable = boundary_->ReachesAny(s_out, t_in);
+  }
+  cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
+}
+
+void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
+                                        const std::vector<size_t>& wire,
+                                        std::vector<QueryAnswer>* answers) {
+  const Fragmentation& frag = cluster_->fragmentation();
+  if (boundary_dist_ == nullptr) {
+    boundary_dist_ = std::make_unique<BoundaryDistIndex>(frag.num_fragments());
+  }
+
+  // Refresh round: fetch the weighted boundary rows of every dirty fragment
+  // and rebuild the standing CSR pair at the coordinator. Amortized across
+  // every later dist batch until the next update.
+  const std::vector<SiteId> dirty = boundary_dist_->DirtySites();
+  if (!dirty.empty()) {
+    const std::vector<std::vector<uint8_t>> rows_replies = cluster_->Round(
+        dirty, /*broadcast_bytes=*/1, [this](const Fragment& f) {
+          Encoder reply;
+          BuildWeightedBoundaryRows(f, &contexts_.Get(f.site()))
+              .Serialize(&reply);
+          return reply.TakeBuffer();
+        });
+    StopWatch build_watch;
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      Decoder dec(rows_replies[i]);
+      boundary_dist_->SetFragmentRows(
+          dirty[i], WeightedBoundaryRows::Deserialize(&dec));
+      PEREACH_CHECK(dec.Done() && "malformed weighted boundary rows payload");
+    }
+    boundary_dist_->Ensure();
+    cluster_->AddCoordinatorWorkMs(build_watch.ElapsedMs());
+  }
+
+  // Sweep round over the ENDPOINT fragments only — the standing weighted
+  // graph replaces the all-sites min-plus equation broadcast. Each involved
+  // site answers every query of the batch with one tiny frame (its bounded
+  // s-side / t-side distance sweeps); sites holding neither endpoint of a
+  // query emit one flag byte.
+  std::vector<SiteId> sites;
+  sites.reserve(2 * wire.size());
+  for (size_t qi : wire) {
+    sites.push_back(frag.site_of(queries[qi].source));
+    sites.push_back(frag.site_of(queries[qi].target));
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+
+  Encoder broadcast;
+  broadcast.PutVarint(wire.size());
+  for (size_t qi : wire) queries[qi].Serialize(&broadcast);
+
+  const std::vector<std::vector<uint8_t>> replies = cluster_->Round(
+      sites, broadcast.size(), [this, queries, &wire](const Fragment& f) {
+        FragmentContext& ctx = contexts_.Get(f.site());
+        Encoder reply;
+        for (size_t qi : wire) {
+          const Query& q = queries[qi];
+          Encoder body;
+          EncodeDistSweepFrame(f, &ctx, q.source, q.target, q.bound, &body);
+          reply.PutFrame(body.buffer());
+        }
+        return reply.TakeBuffer();
+      });
+
+  // Assemble: per query, splice the s-side exit distances onto the t-side
+  // entry distances through one bidirectional Dijkstra over the standing
+  // graph (edges above the bound filtered), then take the minimum with the
+  // local short-circuit — no min-plus equation system is ever built.
+  StopWatch assemble_watch;
+  std::vector<uint32_t> site_reply(frag.num_fragments(),
+                                   std::numeric_limits<uint32_t>::max());
+  for (size_t ri = 0; ri < sites.size(); ++ri) {
+    site_reply[sites[ri]] = static_cast<uint32_t>(ri);
+  }
+  std::vector<std::vector<Decoder>> frames(replies.size());
+  for (size_t ri = 0; ri < replies.size(); ++ri) {
+    Decoder dec(replies[ri]);
+    frames[ri].reserve(wire.size());
+    for (size_t wi = 0; wi < wire.size(); ++wi) {
+      frames[ri].push_back(dec.GetFrame());
+    }
+    PEREACH_CHECK(dec.Done() && "malformed dist sweep reply");
+  }
+
+  std::vector<BoundaryDistIndex::Seed> s_out;
+  std::vector<BoundaryDistIndex::Seed> t_in;
+  for (size_t wi = 0; wi < wire.size(); ++wi) {
+    const Query& q = queries[wire[wi]];
+    QueryAnswer& answer = (*answers)[wire[wi]];
+    const SiteId s_site = frag.site_of(q.source);
+    const SiteId t_site = frag.site_of(q.target);
+
+    Decoder& s_frame = frames[site_reply[s_site]][wi];
+    const uint8_t s_flags = s_frame.GetU8();
+    PEREACH_CHECK(s_flags & kFrameHasS);
+    uint64_t local_dist = kInfWeight;
+    if (s_flags & kFrameHasLocalDist) local_dist = s_frame.GetVarint();
+    s_out.clear();
+    const std::vector<NodeId>& oset = boundary_dist_->oset_globals(s_site);
+    uint32_t prev = 0;
+    for (size_t n = s_frame.GetCount(2); n > 0; --n) {
+      prev += static_cast<uint32_t>(s_frame.GetVarint());
+      PEREACH_CHECK_LT(prev, oset.size());
+      s_out.push_back({oset[prev], s_frame.GetVarint()});
+    }
+
+    Decoder& t_frame = frames[site_reply[t_site]][wi];
+    uint8_t t_flags = s_flags;
+    if (t_site != s_site) t_flags = t_frame.GetU8();
+    PEREACH_CHECK(t_flags & kFrameHasT);
+    t_in.clear();
+    for (size_t n = t_frame.GetCount(2); n > 0; --n) {
+      const NodeId global = static_cast<NodeId>(t_frame.GetVarint());
+      t_in.push_back({global, t_frame.GetVarint()});
+    }
+
+    answer.distance = std::min(
+        local_dist, boundary_dist_->ShortestPath(s_out, t_in, q.bound));
+    answer.reachable =
+        answer.distance != kInfWeight && answer.distance <= q.bound;
   }
   cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
 }

@@ -6,6 +6,7 @@
 #include "src/core/local_eval.h"
 #include "src/engine/fragment_context.h"
 #include "src/engine/query_engine.h"
+#include "src/index/boundary_dist_index.h"
 #include "src/index/boundary_index.h"
 
 namespace pereach {
@@ -25,11 +26,29 @@ namespace pereach {
 /// regular queries always use the equation path.
 enum class ReachAnswerPath : uint8_t { kBes = 0, kBoundaryIndex = 1 };
 
+/// How the coordinator resolves distance (bounded-reach) queries.
+///
+/// kBes is the paper's assembling phase: every site ships its min-plus
+/// boundary equations per query and the coordinator solves a fresh
+/// DistanceEquationSystem with Dijkstra (evalDGd).
+///
+/// kBoundaryIndex short-circuits the assembling with a standing
+/// coordinator-side WEIGHTED boundary graph (BoundaryDistIndex): a dist
+/// query visits only the two endpoint fragments for the query-dependent
+/// sweeps (s-side exit distances, t-side entry distances, local
+/// short-circuit) and the coordinator answers with a bidirectional Dijkstra
+/// over the standing graph, filtering edges by the query bound so answers
+/// stay bit-identical to the BES path. Falls back to nothing: the indexed
+/// path is exact.
+enum class DistAnswerPath : uint8_t { kBes = 0, kBoundaryIndex = 1 };
+
 struct PartialEvalOptions {
   /// Equation encoding used by localEval (see EquationForm).
   EquationForm form = EquationForm::kAuto;
   /// Coordinator strategy for reach queries (see ReachAnswerPath).
   ReachAnswerPath reach_path = ReachAnswerPath::kBes;
+  /// Coordinator strategy for dist queries (see DistAnswerPath).
+  DistAnswerPath dist_path = DistAnswerPath::kBes;
 };
 
 /// The paper's disReach / disDist / disRPQ unified behind the QueryEngine
@@ -60,16 +79,18 @@ class PartialEvalEngine : public QueryEngine {
   std::string_view name() const override { return "partial-eval"; }
 
   /// Drops the cached context of one fragment (after an edge update touched
-  /// it) or of all fragments (after repartitioning). The boundary index
-  /// rides the same invalidation path: the touched fragment's rows are
-  /// marked dirty and re-fetched lazily by the next indexed reach batch.
+  /// it) or of all fragments (after repartitioning). Both boundary indexes
+  /// ride the same invalidation path: the touched fragment's rows are
+  /// marked dirty and re-fetched lazily by the next indexed batch.
   void InvalidateFragment(SiteId site) {
     contexts_.Invalidate(site);
     if (boundary_) boundary_->InvalidateFragment(site);
+    if (boundary_dist_) boundary_dist_->InvalidateFragment(site);
   }
   void InvalidateAllFragments() {
     contexts_.InvalidateAll();
     if (boundary_) boundary_->InvalidateAll();
+    if (boundary_dist_) boundary_dist_->InvalidateAll();
   }
 
   const FragmentContextCache& context_cache() const { return contexts_; }
@@ -77,6 +98,12 @@ class PartialEvalEngine : public QueryEngine {
   /// The standing boundary index, or nullptr before the first reach batch
   /// ran with reach_path == kBoundaryIndex (observability for tests/benches).
   const BoundaryReachIndex* boundary_index() const { return boundary_.get(); }
+
+  /// The standing weighted boundary index, or nullptr before the first dist
+  /// batch ran with dist_path == kBoundaryIndex.
+  const BoundaryDistIndex* boundary_dist_index() const {
+    return boundary_dist_.get();
+  }
 
  protected:
   void RunBatch(std::span<const Query> queries,
@@ -90,9 +117,18 @@ class PartialEvalEngine : public QueryEngine {
                         const std::vector<size_t>& wire,
                         std::vector<QueryAnswer>* answers);
 
+  /// Answers the dist queries `wire` (indices into `queries`) through the
+  /// weighted boundary index: one refresh round for dirty fragments if
+  /// needed, one sweep round over the endpoint fragments, one bidirectional
+  /// Dijkstra per query over the standing graph.
+  void RunBoundaryDist(std::span<const Query> queries,
+                       const std::vector<size_t>& wire,
+                       std::vector<QueryAnswer>* answers);
+
   PartialEvalOptions options_;
   FragmentContextCache contexts_;
   std::unique_ptr<BoundaryReachIndex> boundary_;
+  std::unique_ptr<BoundaryDistIndex> boundary_dist_;
 };
 
 }  // namespace pereach

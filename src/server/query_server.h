@@ -24,7 +24,11 @@ namespace pereach {
 struct ServerOptions {
   /// Coalescing policy, applied to each query class's window independently.
   BatchPolicy policy;
-  /// Equation form the per-class engines evaluate with.
+  /// Equation form and coordinator answer paths the per-class engines
+  /// evaluate with: reach_path / dist_path route the reach and dist
+  /// dispatchers through their standing boundary indexes (which ride the
+  /// same epoch-gated invalidation as every per-fragment cache), kBes keeps
+  /// the paper's per-query assembling.
   PartialEvalOptions eval;
   /// Network cost model of the underlying simulated cluster.
   NetworkModel net;
@@ -85,7 +89,8 @@ struct ServerStats {
 /// index.AddEdge directly would race in-flight batches).
 class QueryServer {
  public:
-  explicit QueryServer(IncrementalReachIndex* index, ServerOptions options = {});
+  explicit QueryServer(IncrementalReachIndex* index,
+                       ServerOptions options = {});
 
   /// Drains pending queries, stops the dispatchers, detaches from the index.
   ~QueryServer();

@@ -1,0 +1,380 @@
+// Differential suite for the coordinator's weighted boundary-graph dist
+// index: the kBoundaryIndex dist path must agree bit-for-bit with the
+// paper's min-plus BES assembling path (and with a centralized oracle)
+// across partitioners, equation forms, and interleaved AddEdges epochs —
+// including the above-bound distance values the BES Dijkstra reports, which
+// the indexed search reproduces by filtering standing edges at the query
+// bound. Plus dist-specific edge cases: unreachable pairs, s == t,
+// boundary-node endpoints, degenerate fragment counts, lazy rebuilds.
+
+#include "src/index/boundary_dist_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/baselines/centralized.h"
+#include "src/core/incremental.h"
+#include "src/engine/partial_eval_engine.h"
+#include "src/graph/generators.h"
+#include "src/net/cluster.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::AllPartitioners;
+using testing_util::DiffContext;
+using testing_util::EdgeWorld;
+using testing_util::kAllEquationForms;
+using testing_util::OracleDistance;
+using testing_util::RandomPartition;
+
+// ---------------------------------------------------------------------------
+// WeightedBoundaryRows wire format
+
+TEST(WeightedBoundaryRowsTest, SerializeRoundTrips) {
+  WeightedBoundaryRows rows;
+  rows.oset_globals = {3, 9, 40, 77};
+  rows.rep_globals = {12, 25};
+  rows.rows = {{{0, 2}, {2, 7}, {3, 1}}, {}};
+  rows.aliases = {{14, 12}, {30, 25}};
+
+  Encoder enc;
+  rows.Serialize(&enc);
+  Decoder dec(enc.buffer());
+  const WeightedBoundaryRows back = WeightedBoundaryRows::Deserialize(&dec);
+  EXPECT_TRUE(dec.Done());
+  EXPECT_EQ(back.oset_globals, rows.oset_globals);
+  EXPECT_EQ(back.rep_globals, rows.rep_globals);
+  EXPECT_EQ(back.rows, rows.rows);
+  EXPECT_EQ(back.aliases, rows.aliases);
+}
+
+// ---------------------------------------------------------------------------
+// Direct index semantics on a hand-built weighted boundary graph
+
+// Two fragments: F0's in-node 10 reaches virtual 20 at 2 hops and virtual 30
+// at 5; F1's in-nodes 20 and 30 both reach virtual 10 at 3 hops (identical
+// rows, so 30 aliases to 20) and in-node 40 reaches nothing.
+TEST(BoundaryDistIndexTest, HandBuiltGraphAnswersAndInvalidates) {
+  BoundaryDistIndex index(2);
+  EXPECT_EQ(index.DirtySites().size(), 2u);
+
+  WeightedBoundaryRows f0;
+  f0.oset_globals = {20, 30};
+  f0.rep_globals = {10};
+  f0.rows = {{{0, 2}, {1, 5}}};
+  index.SetFragmentRows(0, std::move(f0));
+
+  WeightedBoundaryRows f1;
+  f1.oset_globals = {10};
+  f1.rep_globals = {20, 40};
+  f1.rows = {{{0, 3}}, {}};
+  f1.aliases = {{30, 20}};
+  index.SetFragmentRows(1, std::move(f1));
+
+  EXPECT_TRUE(index.DirtySites().empty());
+  index.Ensure();
+  EXPECT_EQ(index.rebuild_count(), 1u);
+  EXPECT_EQ(index.num_boundary_nodes(), 4u);  // 10, 20, 30, 40
+
+  const auto path = [&index](NodeId u, NodeId v, uint32_t max_edge) {
+    const BoundaryDistIndex::Seed s[] = {{u, 0}};
+    const BoundaryDistIndex::Seed t[] = {{v, 0}};
+    return index.ShortestPath(s, t, max_edge);
+  };
+  EXPECT_EQ(path(10, 10, 100), 0u);  // seeds meet at the same node
+  EXPECT_EQ(path(10, 20, 100), 2u);
+  EXPECT_EQ(path(10, 30, 100), 5u);
+  EXPECT_EQ(path(20, 10, 100), 3u);
+  EXPECT_EQ(path(30, 10, 100), 3u);  // via its 0-weight alias edge to 20
+  EXPECT_EQ(path(20, 30, 100), 3u + 5u);  // 20 -> 10 -> 30
+  EXPECT_EQ(path(40, 10, 100), kInfWeight);
+  EXPECT_EQ(path(10, 40, 100), kInfWeight);
+  // The per-query bound filter drops heavy standing edges.
+  EXPECT_EQ(path(10, 20, 2), 2u);
+  EXPECT_EQ(path(10, 30, 4), kInfWeight);
+  EXPECT_EQ(path(20, 30, 4), kInfWeight);  // the 5-hop closing edge is out
+
+  // Seed distances add onto the path, and the minimum over seed pairs wins.
+  const BoundaryDistIndex::Seed multi_s[] = {{10, 7}, {40, 0}};
+  const BoundaryDistIndex::Seed multi_t[] = {{20, 1}};
+  EXPECT_EQ(index.ShortestPath(multi_s, multi_t, 100), 7u + 2u + 1u);
+
+  // Invalidation marks exactly the touched fragment dirty; a clean Ensure
+  // is a no-op, a post-refresh Ensure rebuilds once.
+  index.Ensure();
+  EXPECT_EQ(index.rebuild_count(), 1u);
+  index.InvalidateFragment(1);
+  EXPECT_EQ(index.DirtySites(), std::vector<SiteId>{1});
+  WeightedBoundaryRows f1b;
+  f1b.oset_globals = {10};
+  f1b.rep_globals = {20, 40};
+  f1b.rows = {{{0, 3}}, {{0, 1}}};  // 40 now reaches virtual 10 in one hop
+  f1b.aliases = {{30, 20}};
+  index.SetFragmentRows(1, std::move(f1b));
+  index.Ensure();
+  EXPECT_EQ(index.rebuild_count(), 2u);
+  EXPECT_EQ(path(40, 30, 100), 1u + 5u);  // 40 -> 10 -> 30
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential: indexed answers == BES answers == oracle
+
+std::vector<Query> RandomDistBatch(size_t n, size_t count, Rng* rng) {
+  std::vector<Query> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back(
+        Query::Dist(static_cast<NodeId>(rng->Uniform(n)),
+                    static_cast<NodeId>(rng->Uniform(n)),
+                    static_cast<uint32_t>(1 + rng->Uniform(10))));
+  }
+  return batch;
+}
+
+TEST(BoundaryDistDifferentialTest,
+     MatchesBesAcrossPartitionersFormsAndEpochs) {
+  constexpr size_t kSites = 4, kEpochs = 3, kQueriesPerEpoch = 40;
+  constexpr uint64_t kSeed = 24242;
+  Rng rng(kSeed);
+  for (const auto& partitioner : AllPartitioners()) {
+    for (const EquationForm form : kAllEquationForms) {
+      const size_t n = 60 + rng.Uniform(30);
+      const Graph g = ErdosRenyi(n, 3 * n, 2, &rng);
+      const std::vector<SiteId> part = partitioner->Partition(g, kSites, &rng);
+      IncrementalReachIndex index(g, part, kSites);
+      EdgeWorld world = EdgeWorld::FromGraph(g);
+
+      Cluster cluster(&index.fragmentation(), NetworkModel{});
+      PartialEvalOptions bes_options;
+      bes_options.form = form;
+      PartialEvalEngine bes_engine(&cluster, bes_options);
+      PartialEvalOptions idx_options;
+      idx_options.form = form;
+      idx_options.dist_path = DistAnswerPath::kBoundaryIndex;
+      PartialEvalEngine idx_engine(&cluster, idx_options);
+      index.SetUpdateListener([&](SiteId site) {
+        bes_engine.InvalidateFragment(site);
+        idx_engine.InvalidateFragment(site);
+      });
+
+      for (size_t epoch = 0; epoch < kEpochs; ++epoch) {
+        const Graph oracle = world.Build();
+        const std::vector<Query> batch = RandomDistBatch(n, kQueriesPerEpoch,
+                                                         &rng);
+        const BatchAnswer bes = bes_engine.EvaluateBatch(batch);
+        const BatchAnswer indexed = idx_engine.EvaluateBatch(batch);
+        for (size_t q = 0; q < batch.size(); ++q) {
+          const uint64_t true_dist =
+              OracleDistance(oracle, batch[q].source, batch[q].target);
+          const bool expected =
+              true_dist != kInfWeight && true_dist <= batch[q].bound;
+          ASSERT_EQ(bes.answers[q].reachable, expected)
+              << DiffContext(kSeed, partitioner->name(), form, epoch,
+                             batch[q]);
+          // Bit-identical to the BES path, including distance values above
+          // the bound (both report the min over segment-bounded routes).
+          ASSERT_EQ(indexed.answers[q].reachable, expected)
+              << "dist index diverged: "
+              << DiffContext(kSeed, partitioner->name(), form, epoch,
+                             batch[q]);
+          ASSERT_EQ(indexed.answers[q].distance, bes.answers[q].distance)
+              << "dist index distance diverged: "
+              << DiffContext(kSeed, partitioner->name(), form, epoch,
+                             batch[q]);
+          if (expected) {
+            ASSERT_EQ(indexed.answers[q].distance, true_dist)
+                << DiffContext(kSeed, partitioner->name(), form, epoch,
+                               batch[q]);
+          }
+        }
+        index.AddEdges(world.AddRandomEdges(3, &rng));
+      }
+      index.SetUpdateListener(nullptr);
+
+      // The index path really ran (and stayed within one rebuild per dirty
+      // epoch).
+      const BoundaryDistIndex* boundary = idx_engine.boundary_dist_index();
+      ASSERT_NE(boundary, nullptr);
+      EXPECT_GT(boundary->search_count(), 0u);
+      EXPECT_LE(boundary->rebuild_count(), kEpochs);
+    }
+  }
+}
+
+// Unreachable pairs must come back as kInfWeight (and unreachable) on BOTH
+// answer paths: two disjoint halves, queries across the gap.
+TEST(BoundaryDistDifferentialTest, UnreachablePairsAreInfinityOnBothPaths) {
+  Rng rng(5150);
+  const size_t half = 20, n = 2 * half, kSites = 4;
+  GraphBuilder b;
+  b.AddNodes(n);
+  for (size_t e = 0; e < 3 * half; ++e) {
+    // Edges only within each half; nothing crosses the gap.
+    b.AddEdge(static_cast<NodeId>(rng.Uniform(half)),
+              static_cast<NodeId>(rng.Uniform(half)));
+    b.AddEdge(static_cast<NodeId>(half + rng.Uniform(half)),
+              static_cast<NodeId>(half + rng.Uniform(half)));
+  }
+  const Graph g = std::move(b).Build();
+  const std::vector<SiteId> part = RandomPartition(n, kSites, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, kSites);
+  Cluster cluster(&frag, NetworkModel{});
+  PartialEvalEngine bes_engine(&cluster);
+  PartialEvalOptions idx_options;
+  idx_options.dist_path = DistAnswerPath::kBoundaryIndex;
+  PartialEvalEngine idx_engine(&cluster, idx_options);
+
+  for (int i = 0; i < 30; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(half));
+    const NodeId t = static_cast<NodeId>(half + rng.Uniform(half));
+    const Query q = Query::Dist(s, t, 1 + static_cast<uint32_t>(i % 8));
+    const QueryAnswer bes = bes_engine.Evaluate(q);
+    const QueryAnswer idx = idx_engine.Evaluate(q);
+    ASSERT_EQ(bes.distance, kInfWeight) << "s=" << s << " t=" << t;
+    ASSERT_EQ(idx.distance, kInfWeight) << "s=" << s << " t=" << t;
+    ASSERT_FALSE(bes.reachable);
+    ASSERT_FALSE(idx.reachable);
+  }
+}
+
+// s == t is the trivial coordinator answer on both paths, and endpoints that
+// are themselves boundary nodes (in-nodes / virtual nodes) must agree with
+// the BES path and the oracle — the seeds then name standing graph nodes
+// directly (entry distance 0 / exit distance 0).
+TEST(BoundaryDistDifferentialTest, SourceEqualsTargetAndBoundaryEndpoints) {
+  Rng rng(929);
+  const size_t n = 70, kSites = 4;
+  const Graph g = ErdosRenyi(n, 3 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, kSites, &rng);
+  const Fragmentation frag = Fragmentation::Build(g, part, kSites);
+  Cluster cluster(&frag, NetworkModel{});
+  PartialEvalEngine bes_engine(&cluster);
+  PartialEvalOptions idx_options;
+  idx_options.dist_path = DistAnswerPath::kBoundaryIndex;
+  PartialEvalEngine idx_engine(&cluster, idx_options);
+
+  // All boundary nodes of the fragmentation, as globals.
+  std::vector<NodeId> boundary;
+  for (SiteId s = 0; s < frag.num_fragments(); ++s) {
+    const Fragment& f = frag.fragment(s);
+    for (NodeId in : f.in_nodes()) boundary.push_back(f.ToGlobal(in));
+  }
+  ASSERT_FALSE(boundary.empty());
+
+  // s == t: distance 0 at any bound, no site visit needed.
+  for (const NodeId v :
+       {boundary.front(), static_cast<NodeId>(rng.Uniform(n))}) {
+    const QueryAnswer idx = idx_engine.Evaluate(Query::Dist(v, v, 0));
+    EXPECT_TRUE(idx.reachable);
+    EXPECT_EQ(idx.distance, 0u);
+  }
+
+  const Graph oracle = EdgeWorld::FromGraph(g).Build();
+  for (int i = 0; i < 60; ++i) {
+    // Half the probes pair two boundary nodes; half mix a boundary node
+    // with a uniform endpoint.
+    NodeId s = boundary[rng.Uniform(boundary.size())];
+    NodeId t = boundary[rng.Uniform(boundary.size())];
+    if (i % 2 == 0) {
+      (i % 4 == 0 ? s : t) = static_cast<NodeId>(rng.Uniform(n));
+    }
+    const Query q = Query::Dist(s, t, 1 + static_cast<uint32_t>(i % 9));
+    const QueryAnswer bes = bes_engine.Evaluate(q);
+    const QueryAnswer idx = idx_engine.Evaluate(q);
+    ASSERT_EQ(idx.distance, bes.distance) << "s=" << s << " t=" << t
+                                          << " bound=" << q.bound;
+    ASSERT_EQ(idx.reachable, bes.reachable) << "s=" << s << " t=" << t;
+    const uint64_t true_dist = OracleDistance(oracle, s, t);
+    if (true_dist != kInfWeight && true_dist <= q.bound) {
+      ASSERT_EQ(idx.distance, true_dist) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+// Degenerate fragmentations: a single site (no boundary graph at all, the
+// local short-circuit answers everything) and as many sites as nodes
+// (every node is boundary, every local segment is one cross edge).
+TEST(BoundaryDistDifferentialTest, DegenerateFragmentCounts) {
+  Rng rng(18);
+  const size_t n = 30;
+  const Graph g = ErdosRenyi(n, 2 * n, 2, &rng);
+  for (const size_t k : {size_t{1}, n}) {
+    const std::vector<SiteId> part =
+        k == 1 ? std::vector<SiteId>(n, 0) : [&] {
+          std::vector<SiteId> p(n);
+          for (NodeId v = 0; v < n; ++v) p[v] = static_cast<SiteId>(v);
+          return p;
+        }();
+    const Fragmentation frag = Fragmentation::Build(g, part, k);
+    Cluster cluster(&frag, NetworkModel{});
+    PartialEvalOptions options;
+    options.dist_path = DistAnswerPath::kBoundaryIndex;
+    PartialEvalEngine engine(&cluster, options);
+    for (int i = 0; i < 60; ++i) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(n));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(n));
+      const uint32_t bound = 1 + static_cast<uint32_t>(i % 8);
+      const QueryAnswer idx = engine.Evaluate(Query::Dist(s, t, bound));
+      const uint64_t true_dist = OracleDistance(g, s, t);
+      ASSERT_EQ(idx.reachable, true_dist != kInfWeight && true_dist <= bound)
+          << "k=" << k << " s=" << s << " t=" << t << " bound=" << bound;
+      if (idx.reachable) {
+        ASSERT_EQ(idx.distance, true_dist) << "k=" << k << " s=" << s
+                                           << " t=" << t;
+      }
+    }
+  }
+}
+
+// Lazy dirty-portion rebuilds: a second batch in the same epoch must not
+// rebuild, an update must dirty only the touched fragments, and the next
+// batch refreshes exactly those — rebuild_count advances on dirty epochs
+// only.
+TEST(BoundaryDistDifferentialTest, RebuildsLazilyAndOnlyWhenDirty) {
+  Rng rng(99);
+  const size_t n = 80, kSites = 4;
+  const Graph g = ErdosRenyi(n, 3 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, kSites, &rng);
+  IncrementalReachIndex index(g, part, kSites);
+
+  Cluster cluster(&index.fragmentation(), NetworkModel{});
+  PartialEvalOptions options;
+  options.dist_path = DistAnswerPath::kBoundaryIndex;
+  PartialEvalEngine engine(&cluster, options);
+  index.SetUpdateListener(
+      [&](SiteId site) { engine.InvalidateFragment(site); });
+
+  const std::vector<Query> batch = RandomDistBatch(n, 16, &rng);
+  engine.EvaluateBatch(batch);
+  const BoundaryDistIndex* boundary = engine.boundary_dist_index();
+  ASSERT_NE(boundary, nullptr);
+  EXPECT_EQ(boundary->rebuild_count(), 1u);
+  engine.EvaluateBatch(batch);
+  EXPECT_EQ(boundary->rebuild_count(), 1u);  // warm: no refresh round
+
+  // An intra-fragment edge dirties exactly one fragment.
+  NodeId u = 0, v = 0;
+  for (NodeId a = 0; a < n && u == v; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (part[a] == part[b]) {
+        u = a;
+        v = b;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(u, v);
+  index.AddEdge(u, v);
+  EXPECT_EQ(boundary->DirtySites(), std::vector<SiteId>{part[u]});
+  engine.EvaluateBatch(batch);
+  EXPECT_EQ(boundary->rebuild_count(), 2u);
+  EXPECT_TRUE(boundary->DirtySites().empty());
+}
+
+}  // namespace
+}  // namespace pereach

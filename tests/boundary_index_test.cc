@@ -24,6 +24,10 @@
 namespace pereach {
 namespace {
 
+using testing_util::AllPartitioners;
+using testing_util::DiffContext;
+using testing_util::EdgeWorld;
+using testing_util::kAllEquationForms;
 using testing_util::RandomPartition;
 
 // ---------------------------------------------------------------------------
@@ -106,47 +110,13 @@ TEST(BoundaryReachIndexTest, HandBuiltGraphAnswersAndInvalidates) {
 // ---------------------------------------------------------------------------
 // Randomized differential: indexed answers == BES answers == oracle
 
-struct EdgeWorld {
-  size_t n = 0;
-  std::vector<LabelId> labels;
-  std::vector<std::pair<NodeId, NodeId>> edges;
-
-  static EdgeWorld FromGraph(const Graph& g) {
-    EdgeWorld w;
-    w.n = g.NumNodes();
-    w.labels = g.labels();
-    for (NodeId u = 0; u < w.n; ++u) {
-      for (NodeId v : g.OutNeighbors(u)) w.edges.emplace_back(u, v);
-    }
-    return w;
-  }
-
-  Graph Build() const {
-    GraphBuilder b;
-    b.AddNodes(n);
-    for (NodeId v = 0; v < n; ++v) b.SetLabel(v, labels[v]);
-    for (const auto& [u, v] : edges) b.AddEdge(u, v);
-    return std::move(b).Build();
-  }
-};
-
-std::vector<std::unique_ptr<Partitioner>> AllPartitioners() {
-  std::vector<std::unique_ptr<Partitioner>> out;
-  out.push_back(std::make_unique<RandomPartitioner>());
-  out.push_back(std::make_unique<ChunkPartitioner>());
-  out.push_back(std::make_unique<BfsGrowPartitioner>());
-  return out;
-}
-
 TEST(BoundaryIndexDifferentialTest,
      MatchesBesAcrossPartitionersFormsAndEpochs) {
   constexpr size_t kSites = 4, kEpochs = 3, kQueriesPerEpoch = 40;
-  constexpr EquationForm kForms[] = {EquationForm::kAuto,
-                                     EquationForm::kClosure,
-                                     EquationForm::kDag};
-  Rng rng(4242);
+  constexpr uint64_t kSeed = 4242;
+  Rng rng(kSeed);
   for (const auto& partitioner : AllPartitioners()) {
-    for (const EquationForm form : kForms) {
+    for (const EquationForm form : kAllEquationForms) {
       const size_t n = 60 + rng.Uniform(30);
       const Graph g = ErdosRenyi(n, 3 * n, 2, &rng);
       const std::vector<SiteId> part = partitioner->Partition(g, kSites, &rng);
@@ -180,24 +150,17 @@ TEST(BoundaryIndexDifferentialTest,
           const bool expected =
               CentralizedReach(oracle, batch[q].source, batch[q].target);
           ASSERT_EQ(bes.answers[q].reachable, expected)
-              << partitioner->name() << " form=" << static_cast<int>(form)
-              << " epoch=" << epoch << " s=" << batch[q].source
-              << " t=" << batch[q].target;
+              << DiffContext(kSeed, partitioner->name(), form, epoch,
+                             batch[q]);
           ASSERT_EQ(indexed.answers[q].reachable, expected)
-              << "boundary index diverged: " << partitioner->name()
-              << " form=" << static_cast<int>(form) << " epoch=" << epoch
-              << " s=" << batch[q].source << " t=" << batch[q].target;
+              << "boundary index diverged: "
+              << DiffContext(kSeed, partitioner->name(), form, epoch,
+                             batch[q]);
         }
 
         // Interleave an update epoch: a couple of random edges through the
         // incremental index, invalidating both engines via the listener.
-        std::vector<std::pair<NodeId, NodeId>> update;
-        for (int e = 0; e < 3; ++e) {
-          update.emplace_back(static_cast<NodeId>(rng.Uniform(n)),
-                              static_cast<NodeId>(rng.Uniform(n)));
-          world.edges.push_back(update.back());
-        }
-        index.AddEdges(update);
+        index.AddEdges(world.AddRandomEdges(3, &rng));
       }
       index.SetUpdateListener(nullptr);
 

@@ -1,0 +1,146 @@
+// Seeded cross-class property fuzzer: random query mixes driven through
+// EVERY {reach_path, dist_path} x partitioner x EquationForm combination
+// against the centralized oracle, across interleaved update epochs — the
+// whole differential matrix the per-subsystem suites sample, in one place.
+// Every assertion message carries the seed and the matrix cell, so a failing
+// combination reproduces straight from the log.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/incremental.h"
+#include "src/engine/partial_eval_engine.h"
+#include "src/graph/generators.h"
+#include "src/net/cluster.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::AllPartitioners;
+using testing_util::DiffContext;
+using testing_util::EdgeWorld;
+using testing_util::kAllEquationForms;
+using testing_util::OracleDistance;
+using testing_util::OracleReachable;
+using testing_util::RandomMixedQuery;
+
+struct PathCombo {
+  ReachAnswerPath reach;
+  DistAnswerPath dist;
+  const char* name;
+};
+
+constexpr PathCombo kPathCombos[] = {
+    {ReachAnswerPath::kBes, DistAnswerPath::kBes, "reach=bes/dist=bes"},
+    {ReachAnswerPath::kBoundaryIndex, DistAnswerPath::kBes,
+     "reach=index/dist=bes"},
+    {ReachAnswerPath::kBes, DistAnswerPath::kBoundaryIndex,
+     "reach=bes/dist=index"},
+    {ReachAnswerPath::kBoundaryIndex, DistAnswerPath::kBoundaryIndex,
+     "reach=index/dist=index"},
+};
+
+TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
+  constexpr size_t kSites = 4, kEpochs = 3, kQueriesPerEpoch = 24;
+  constexpr size_t kNumLabels = 3;
+  constexpr uint64_t kSeed = 987654321;
+  Rng rng(kSeed);
+
+  for (const auto& partitioner : AllPartitioners()) {
+    for (const EquationForm form : kAllEquationForms) {
+      const size_t n = 50 + rng.Uniform(30);
+      const Graph g = ErdosRenyi(n, 3 * n, kNumLabels, &rng);
+      const std::vector<SiteId> part = partitioner->Partition(g, kSites, &rng);
+      IncrementalReachIndex index(g, part, kSites);
+      EdgeWorld world = EdgeWorld::FromGraph(g);
+
+      Cluster cluster(&index.fragmentation(), NetworkModel{});
+      // One engine per {reach_path, dist_path} combination, all fed the
+      // same batches; the all-BES combination doubles as the reference the
+      // indexed paths must match bit-for-bit (distance values included).
+      std::vector<std::unique_ptr<PartialEvalEngine>> engines;
+      for (const PathCombo& combo : kPathCombos) {
+        PartialEvalOptions options;
+        options.form = form;
+        options.reach_path = combo.reach;
+        options.dist_path = combo.dist;
+        engines.push_back(
+            std::make_unique<PartialEvalEngine>(&cluster, options));
+      }
+      index.SetUpdateListener([&engines](SiteId site) {
+        for (auto& engine : engines) engine->InvalidateFragment(site);
+      });
+
+      for (size_t epoch = 0; epoch < kEpochs; ++epoch) {
+        const Graph oracle = world.Build();
+        std::vector<Query> batch;
+        batch.reserve(kQueriesPerEpoch);
+        for (size_t q = 0; q < kQueriesPerEpoch; ++q) {
+          batch.push_back(RandomMixedQuery(n, kNumLabels, &rng));
+        }
+        // s == t members exercise the trivial coordinator path everywhere.
+        batch.push_back(Query::Reach(0, 0));
+        batch.push_back(Query::Dist(1, 1, 0));
+
+        std::vector<BatchAnswer> results;
+        results.reserve(engines.size());
+        for (auto& engine : engines) {
+          results.push_back(engine->EvaluateBatch(batch));
+        }
+        const BatchAnswer& reference = results[0];  // all-BES
+
+        for (size_t q = 0; q < batch.size(); ++q) {
+          const bool expected = OracleReachable(oracle, batch[q]);
+          for (size_t e = 0; e < engines.size(); ++e) {
+            ASSERT_EQ(results[e].answers[q].reachable, expected)
+                << kPathCombos[e].name << " vs oracle: "
+                << DiffContext(kSeed, partitioner->name(), form, epoch,
+                               batch[q]);
+            if (batch[q].kind != QueryKind::kDist) continue;
+            // Dist answers must be bit-identical across paths (above-bound
+            // values included), and equal to the true distance when the
+            // bound admits it.
+            ASSERT_EQ(results[e].answers[q].distance,
+                      reference.answers[q].distance)
+                << kPathCombos[e].name << " vs reference: "
+                << DiffContext(kSeed, partitioner->name(), form, epoch,
+                               batch[q]);
+            if (expected) {
+              ASSERT_EQ(
+                  results[e].answers[q].distance,
+                  OracleDistance(oracle, batch[q].source, batch[q].target))
+                  << kPathCombos[e].name << " vs oracle distance: "
+                  << DiffContext(kSeed, partitioner->name(), form, epoch,
+                                 batch[q]);
+            }
+          }
+        }
+
+        // Interleave an update epoch through the incremental index; the
+        // listener invalidates every engine (contexts + both boundary
+        // indexes), so the next round's refresh must re-converge them all.
+        index.AddEdges(world.AddRandomEdges(3, &rng));
+      }
+      index.SetUpdateListener(nullptr);
+
+      // The indexed paths actually ran through their standing structures.
+      const BoundaryReachIndex* reach_idx = engines[3]->boundary_index();
+      const BoundaryDistIndex* dist_idx = engines[3]->boundary_dist_index();
+      ASSERT_NE(reach_idx, nullptr)
+          << "seed=" << kSeed << " " << partitioner->name();
+      ASSERT_NE(dist_idx, nullptr)
+          << "seed=" << kSeed << " " << partitioner->name();
+      EXPECT_GT(reach_idx->label_hits() + reach_idx->dfs_fallbacks(), 0u);
+      EXPECT_GT(dist_idx->search_count(), 0u);
+      EXPECT_LE(dist_idx->rebuild_count(), kEpochs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pereach

@@ -22,20 +22,12 @@
 namespace pereach {
 namespace {
 
+using testing_util::EdgeWorld;
 using testing_util::MakeGraph;
 using testing_util::MakePaperExample;
 using testing_util::PaperExample;
 using testing_util::RandomPartition;
-
-std::vector<Query> RandomReachBatch(size_t n, size_t count, Rng* rng) {
-  std::vector<Query> batch;
-  batch.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    batch.push_back(Query::Reach(static_cast<NodeId>(rng->Uniform(n)),
-                                 static_cast<NodeId>(rng->Uniform(n))));
-  }
-  return batch;
-}
+using testing_util::RandomReachBatch;
 
 class EquationFormEngineTest : public ::testing::TestWithParam<EquationForm> {
 };
@@ -232,10 +224,7 @@ TEST(QueryEngineCacheTest, CachedContextMatchesColdStartAfterUpdates) {
 
   // Track edges alongside the index so the centralized oracle sees the same
   // evolving graph.
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : g.OutNeighbors(u)) edges.emplace_back(u, v);
-  }
+  EdgeWorld world = EdgeWorld::FromGraph(g);
 
   IncrementalReachIndex index(g, part, k);
   Cluster cluster(&index.fragmentation(), NetworkModel());
@@ -251,10 +240,7 @@ TEST(QueryEngineCacheTest, CachedContextMatchesColdStartAfterUpdates) {
     PartialEvalEngine cold(&cluster, {.form = EquationForm::kClosure});
     const BatchAnswer cold_answers = cold.EvaluateBatch(batch);
 
-    GraphBuilder b;
-    b.AddNodes(n);
-    for (const auto& [u, v] : edges) b.AddEdge(u, v);
-    const Graph current = std::move(b).Build();
+    const Graph current = world.Build();
 
     for (size_t i = 0; i < batch.size(); ++i) {
       ASSERT_EQ(warm_answers.answers[i].reachable,
@@ -265,10 +251,8 @@ TEST(QueryEngineCacheTest, CachedContextMatchesColdStartAfterUpdates) {
           << "round=" << round << " i=" << i;
     }
 
-    const NodeId u = static_cast<NodeId>(rng.Uniform(n));
-    const NodeId v = static_cast<NodeId>(rng.Uniform(n));
-    index.AddEdge(u, v);
-    edges.emplace_back(u, v);
+    const auto added = world.AddRandomEdges(1, &rng);
+    index.AddEdge(added[0].first, added[0].second);
   }
 }
 

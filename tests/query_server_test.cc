@@ -23,6 +23,9 @@
 namespace pereach {
 namespace {
 
+using testing_util::EdgeWorld;
+using testing_util::OracleReachable;
+using testing_util::RandomMixedQuery;
 using testing_util::RandomPartition;
 
 // ---------------------------------------------------------------------------
@@ -148,58 +151,8 @@ TEST(BatchQueueTest, ZeroWindowStillCoalescesWhatIsAlreadyQueued) {
 }
 
 // ---------------------------------------------------------------------------
-// QueryServer oracle harness
-
-struct OracleWorld {
-  size_t n = 0;
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  std::vector<LabelId> labels;
-
-  static OracleWorld FromGraph(const Graph& g) {
-    OracleWorld w;
-    w.n = g.NumNodes();
-    w.labels = g.labels();
-    for (NodeId u = 0; u < w.n; ++u) {
-      for (NodeId v : g.OutNeighbors(u)) w.edges.emplace_back(u, v);
-    }
-    return w;
-  }
-
-  Graph Build() const {
-    GraphBuilder b;
-    b.AddNodes(n);
-    for (NodeId v = 0; v < n; ++v) b.SetLabel(v, labels[v]);
-    for (const auto& [u, v] : edges) b.AddEdge(u, v);
-    return std::move(b).Build();
-  }
-};
-
-bool OracleAnswer(const Graph& g, const Query& q) {
-  switch (q.kind) {
-    case QueryKind::kReach:
-      return CentralizedReach(g, q.source, q.target);
-    case QueryKind::kDist: {
-      const uint32_t d = CentralizedDistance(g, q.source, q.target);
-      return d != kInfDistance && d <= q.bound;
-    }
-    case QueryKind::kRpq:
-      return CentralizedRegularReach(g, q.source, q.target, *q.automaton);
-  }
-  return false;
-}
-
-/// Mixed query stream: mostly reach, some bounded, some regular.
-Query RandomMixedQuery(size_t n, size_t num_labels, Rng* rng) {
-  const NodeId s = static_cast<NodeId>(rng->Uniform(n));
-  const NodeId t = static_cast<NodeId>(rng->Uniform(n));
-  const uint64_t kind = rng->Uniform(10);
-  if (kind < 6) return Query::Reach(s, t);
-  if (kind < 8) {
-    return Query::Dist(s, t, static_cast<uint32_t>(1 + rng->Uniform(8)));
-  }
-  return Query::Rpq(s, t, QueryAutomaton::FromRegex(
-                              Regex::Random(3, num_labels, rng)));
-}
+// QueryServer oracle harness (shared machinery from tests/test_util: the
+// EdgeWorld mirror, OracleReachable, and the RandomMixedQuery stream).
 
 TEST(QueryServerTest, SequentialMixedQueriesMatchOracle) {
   Rng rng(101);
@@ -209,13 +162,13 @@ TEST(QueryServerTest, SequentialMixedQueriesMatchOracle) {
   IncrementalReachIndex index(g, part, k);
   QueryServer server(&index);
 
-  const Graph oracle = OracleWorld::FromGraph(g).Build();
+  const Graph oracle = EdgeWorld::FromGraph(g).Build();
   for (int i = 0; i < 40; ++i) {
     Query q = RandomMixedQuery(n, num_labels, &rng);
     if (i == 7) q = Query::Reach(5, 5);  // trivial member
     const Query probe = q;
     const ServedAnswer served = server.Submit(std::move(q)).get();
-    EXPECT_EQ(served.answer.reachable, OracleAnswer(oracle, probe))
+    EXPECT_EQ(served.answer.reachable, OracleReachable(oracle, probe))
         << "i=" << i << " kind=" << static_cast<int>(probe.kind)
         << " s=" << probe.source << " t=" << probe.target;
     EXPECT_EQ(served.epoch, 0u);
@@ -235,7 +188,7 @@ TEST(QueryServerTest, ConcurrentClientsMatchOracleAcrossUpdatePhases) {
   const Graph g = ErdosRenyi(n, 3 * n, num_labels, &rng);
   const std::vector<SiteId> part = RandomPartition(n, k, &rng);
   IncrementalReachIndex index(g, part, k);
-  OracleWorld world = OracleWorld::FromGraph(g);
+  EdgeWorld world = EdgeWorld::FromGraph(g);
 
   ServerOptions options;
   options.policy.max_batch = 16;
@@ -261,7 +214,7 @@ TEST(QueryServerTest, ConcurrentClientsMatchOracleAcrossUpdatePhases) {
 
     for (size_t c = 0; c < kClients; ++c) {
       for (const auto& [q, served] : results[c]) {
-        ASSERT_EQ(served.answer.reachable, OracleAnswer(oracle, q))
+        ASSERT_EQ(served.answer.reachable, OracleReachable(oracle, q))
             << "phase=" << phase << " client=" << c
             << " kind=" << static_cast<int>(q.kind) << " s=" << q.source
             << " t=" << q.target;
@@ -332,7 +285,7 @@ TEST(QueryServerTest, InterleavedUpdatesKeepSnapshotsConsistent) {
   const Graph g = ErdosRenyi(n, 3 * n, num_labels, &rng);
   const std::vector<SiteId> part = RandomPartition(n, k, &rng);
   IncrementalReachIndex index(g, part, k);
-  OracleWorld world = OracleWorld::FromGraph(g);
+  EdgeWorld world = EdgeWorld::FromGraph(g);
   const Graph before = world.Build();
 
   // Pre-plan the updates so the final oracle is known.
@@ -378,13 +331,13 @@ TEST(QueryServerTest, InterleavedUpdatesKeepSnapshotsConsistent) {
     uint64_t last_epoch = 0;
     for (const auto& [q, served] : results[c]) {
       // Monotonicity of edge insertion bounds the answer from both sides.
-      if (OracleAnswer(before, q)) {
+      if (OracleReachable(before, q)) {
         EXPECT_TRUE(served.answer.reachable)
             << "client=" << c << " epoch=" << served.epoch
             << " kind=" << static_cast<int>(q.kind) << " s=" << q.source
             << " t=" << q.target;
       }
-      if (!OracleAnswer(after, q)) {
+      if (!OracleReachable(after, q)) {
         EXPECT_FALSE(served.answer.reachable)
             << "client=" << c << " epoch=" << served.epoch
             << " kind=" << static_cast<int>(q.kind) << " s=" << q.source
@@ -433,7 +386,7 @@ TEST(QueryServerTest, BoundaryIndexServingMatchesOracleAcrossUpdatePhases) {
   const Graph g = ErdosRenyi(n, 3 * n, 2, &rng);
   const std::vector<SiteId> part = RandomPartition(n, k, &rng);
   IncrementalReachIndex index(g, part, k);
-  OracleWorld world = OracleWorld::FromGraph(g);
+  EdgeWorld world = EdgeWorld::FromGraph(g);
 
   ServerOptions options;
   options.policy.max_batch = 16;
@@ -471,6 +424,56 @@ TEST(QueryServerTest, BoundaryIndexServingMatchesOracleAcrossUpdatePhases) {
   EXPECT_EQ(server.epoch(), kPhases);
 }
 
+// The weighted-boundary-index serving path: dist dispatchers resolve through
+// the coordinator's standing min-plus graph under the read gate, so indexed
+// distances must stay oracle-exact (and epoch-stamped) across update phases.
+TEST(QueryServerTest, BoundaryDistServingMatchesOracleAcrossUpdatePhases) {
+  Rng rng(909);
+  const size_t n = 80, k = 4;
+  const size_t kClients = 4, kQueriesPerClient = 20, kPhases = 3;
+  const Graph g = ErdosRenyi(n, 3 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  EdgeWorld world = EdgeWorld::FromGraph(g);
+
+  ServerOptions options;
+  options.policy.max_batch = 16;
+  options.policy.max_window_us = 2000;
+  options.eval.dist_path = DistAnswerPath::kBoundaryIndex;
+  QueryServer server(&index, options);
+
+  for (size_t phase = 0; phase < kPhases; ++phase) {
+    const Graph oracle = world.Build();
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng crng(4000 * phase + c);
+        for (size_t i = 0; i < kQueriesPerClient; ++i) {
+          const NodeId s = static_cast<NodeId>(crng.Uniform(n));
+          const NodeId t = static_cast<NodeId>(crng.Uniform(n));
+          const uint32_t bound = 1 + static_cast<uint32_t>(crng.Uniform(8));
+          const ServedAnswer served =
+              server.Submit(Query::Dist(s, t, bound)).get();
+          const uint32_t d = CentralizedDistance(oracle, s, t);
+          const bool expected = d != kInfDistance && d <= bound;
+          EXPECT_EQ(served.answer.reachable, expected)
+              << "phase=" << phase << " s=" << s << " t=" << t
+              << " bound=" << bound;
+          if (expected) {
+            EXPECT_EQ(served.answer.distance, d)
+                << "phase=" << phase << " s=" << s << " t=" << t;
+          }
+          EXPECT_EQ(served.epoch, phase);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    EXPECT_EQ(server.AddEdges(world.AddRandomEdges(2, &rng)), phase + 1);
+  }
+  EXPECT_EQ(server.epoch(), kPhases);
+}
+
 // Regression for the Submit-vs-Stop race: client threads hammer Submit while
 // the main thread stops the server. Before the fix, a Push that lost the
 // race hit PEREACH_CHECK(!shutdown_) and aborted the whole process. Now
@@ -482,7 +485,7 @@ TEST(QueryServerTest, SubmitRacingStopResolvesEveryFutureGracefully) {
   const Graph g = ErdosRenyi(n, 2 * n, 2, &rng);
   const std::vector<SiteId> part = RandomPartition(n, k, &rng);
   IncrementalReachIndex index(g, part, k);
-  const Graph oracle = OracleWorld::FromGraph(g).Build();
+  const Graph oracle = EdgeWorld::FromGraph(g).Build();
 
   QueryServer server(&index);
   std::atomic<bool> go{false};
@@ -528,7 +531,7 @@ TEST(QueryServerTest, ZeroMaxBatchPolicyStillServes) {
   const Graph g = ErdosRenyi(n, 2 * n, 2, &rng);
   const std::vector<SiteId> part = RandomPartition(n, k, &rng);
   IncrementalReachIndex index(g, part, k);
-  const Graph oracle = OracleWorld::FromGraph(g).Build();
+  const Graph oracle = EdgeWorld::FromGraph(g).Build();
 
   ServerOptions options;
   options.policy.max_batch = 0;    // clamped to 1

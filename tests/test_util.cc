@@ -1,6 +1,10 @@
 #include "tests/test_util.h"
 
+#include <sstream>
+
+#include "src/baselines/centralized.h"
 #include "src/fragment/partitioner.h"
+#include "src/regex/regex.h"
 
 namespace pereach {
 namespace testing_util {
@@ -25,6 +29,105 @@ std::vector<SiteId> RandomPartition(size_t n, size_t k, Rng* rng) {
 
 Fragmentation RandomFragmentation(const Graph& g, size_t k, Rng* rng) {
   return Fragmentation::Build(g, RandomPartition(g.NumNodes(), k, rng), k);
+}
+
+EdgeWorld EdgeWorld::FromGraph(const Graph& g) {
+  EdgeWorld w;
+  w.n = g.NumNodes();
+  w.labels = g.labels();
+  for (NodeId u = 0; u < w.n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) w.edges.emplace_back(u, v);
+  }
+  return w;
+}
+
+Graph EdgeWorld::Build() const {
+  GraphBuilder b;
+  b.AddNodes(n);
+  for (NodeId v = 0; v < n; ++v) b.SetLabel(v, labels[v]);
+  for (const auto& [u, v] : edges) b.AddEdge(u, v);
+  return std::move(b).Build();
+}
+
+std::vector<std::pair<NodeId, NodeId>> EdgeWorld::AddRandomEdges(size_t count,
+                                                                Rng* rng) {
+  std::vector<std::pair<NodeId, NodeId>> added;
+  added.reserve(count);
+  for (size_t e = 0; e < count; ++e) {
+    added.emplace_back(static_cast<NodeId>(rng->Uniform(n)),
+                       static_cast<NodeId>(rng->Uniform(n)));
+    edges.push_back(added.back());
+  }
+  return added;
+}
+
+std::vector<std::unique_ptr<Partitioner>> AllPartitioners() {
+  std::vector<std::unique_ptr<Partitioner>> out;
+  out.push_back(std::make_unique<RandomPartitioner>());
+  out.push_back(std::make_unique<ChunkPartitioner>());
+  out.push_back(std::make_unique<BfsGrowPartitioner>());
+  return out;
+}
+
+std::string_view FormName(EquationForm form) {
+  switch (form) {
+    case EquationForm::kAuto: return "auto";
+    case EquationForm::kClosure: return "closure";
+    case EquationForm::kDag: return "dag";
+  }
+  return "unknown";
+}
+
+std::vector<Query> RandomReachBatch(size_t n, size_t count, Rng* rng) {
+  std::vector<Query> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back(Query::Reach(static_cast<NodeId>(rng->Uniform(n)),
+                                 static_cast<NodeId>(rng->Uniform(n))));
+  }
+  return batch;
+}
+
+Query RandomMixedQuery(size_t n, size_t num_labels, Rng* rng) {
+  const NodeId s = static_cast<NodeId>(rng->Uniform(n));
+  const NodeId t = static_cast<NodeId>(rng->Uniform(n));
+  const uint64_t kind = rng->Uniform(10);
+  if (kind < 6) return Query::Reach(s, t);
+  if (kind < 8) {
+    return Query::Dist(s, t, static_cast<uint32_t>(1 + rng->Uniform(8)));
+  }
+  return Query::Rpq(s, t, QueryAutomaton::FromRegex(
+                              Regex::Random(3, num_labels, rng)));
+}
+
+bool OracleReachable(const Graph& g, const Query& q) {
+  switch (q.kind) {
+    case QueryKind::kReach:
+      return CentralizedReach(g, q.source, q.target);
+    case QueryKind::kDist: {
+      const uint32_t d = CentralizedDistance(g, q.source, q.target);
+      return d != kInfDistance && d <= q.bound;
+    }
+    case QueryKind::kRpq:
+      return CentralizedRegularReach(g, q.source, q.target, *q.automaton);
+  }
+  return false;
+}
+
+uint64_t OracleDistance(const Graph& g, NodeId s, NodeId t) {
+  const uint32_t d = CentralizedDistance(g, s, t);
+  return d == kInfDistance ? kInfWeight : d;
+}
+
+std::string DiffContext(uint64_t seed, std::string_view partitioner,
+                        EquationForm form, size_t epoch, const Query& q) {
+  std::ostringstream out;
+  out << "seed=" << seed << " partitioner=" << partitioner
+      << " form=" << FormName(form) << " epoch=" << epoch
+      << " kind=" << static_cast<int>(q.kind) << " s=" << q.source
+      << " t=" << q.target;
+  if (q.kind == QueryKind::kDist) out << " bound=" << q.bound;
+  return out.str();
 }
 
 PaperExample MakePaperExample() {

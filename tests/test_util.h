@@ -1,10 +1,16 @@
 #ifndef PEREACH_TESTS_TEST_UTIL_H_
 #define PEREACH_TESTS_TEST_UTIL_H_
 
+#include <memory>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "src/core/local_eval.h"
+#include "src/engine/query_engine.h"
 #include "src/fragment/fragmentation.h"
+#include "src/fragment/partitioner.h"
 #include "src/graph/graph.h"
 #include "src/util/common.h"
 #include "src/util/random.h"
@@ -23,6 +29,55 @@ std::vector<SiteId> RandomPartition(size_t n, size_t k, Rng* rng);
 
 /// Builds graph + random partition + fragmentation in one call.
 Fragmentation RandomFragmentation(const Graph& g, size_t k, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Randomized differential machinery, shared by the engine / boundary-index /
+// server suites and the cross-class property fuzzer.
+
+/// A mutable edge-list mirror of an evolving graph: the engines under test
+/// work against the fragmentation / incremental index while the centralized
+/// oracle rebuilds from this list, so both always see the same epoch.
+struct EdgeWorld {
+  size_t n = 0;
+  std::vector<LabelId> labels;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+  static EdgeWorld FromGraph(const Graph& g);
+  Graph Build() const;
+
+  /// Appends `count` uniformly random edges and returns just the new ones
+  /// (feed them to IncrementalReachIndex::AddEdges / QueryServer::AddEdges).
+  std::vector<std::pair<NodeId, NodeId>> AddRandomEdges(size_t count,
+                                                        Rng* rng);
+};
+
+/// The partitioner axis of the differential matrix (random, chunk,
+/// bfs-grow).
+std::vector<std::unique_ptr<Partitioner>> AllPartitioners();
+
+/// The equation-form axis.
+inline constexpr EquationForm kAllEquationForms[] = {
+    EquationForm::kAuto, EquationForm::kClosure, EquationForm::kDag};
+
+std::string_view FormName(EquationForm form);
+
+/// A batch of uniformly random reach queries over n nodes.
+std::vector<Query> RandomReachBatch(size_t n, size_t count, Rng* rng);
+
+/// Mixed query stream: mostly reach, some bounded, some regular.
+Query RandomMixedQuery(size_t n, size_t num_labels, Rng* rng);
+
+/// Centralized oracle verdict for any query class (dist applies the bound).
+bool OracleReachable(const Graph& g, const Query& q);
+
+/// Oracle distance in the QueryAnswer convention: unweighted shortest-path
+/// hops, kInfWeight when unreachable.
+uint64_t OracleDistance(const Graph& g, NodeId s, NodeId t);
+
+/// One-line context for differential assertion messages. Always carries the
+/// seed, so a failing matrix cell reproduces straight from the log.
+std::string DiffContext(uint64_t seed, std::string_view partitioner,
+                        EquationForm form, size_t epoch, const Query& q);
 
 /// The running example of the paper (Fig. 1): a recommendation network
 /// distributed over three data centers. Node ids:
