@@ -46,12 +46,14 @@ int Run(int argc, char** argv) {
   if (boundary_index) {
     engine_options.reach_path = ReachAnswerPath::kBoundaryIndex;
     engine_options.dist_path = DistAnswerPath::kBoundaryIndex;
+    engine_options.rpq_path = RpqAnswerPath::kBoundaryIndex;
   }
   PartialEvalEngine engine(&cluster, engine_options);
   NaiveShipAllEngine naive(&cluster);
   if (boundary_index) {
-    std::printf("reach/dist path: boundary index (coordinator label + "
-                "weighted graph over the boundary; no per-query BES)\n");
+    std::printf("reach/dist/rpq path: boundary index (coordinator label + "
+                "weighted graph + per-automaton product graphs over the "
+                "boundary; no per-query BES)\n");
   }
 
   const std::vector<std::pair<NodeId, NodeId>> pairs =
@@ -123,6 +125,40 @@ int Run(int argc, char** argv) {
             FormatMs(dist_total.modeled_ms),
             FormatMb(dist_total.traffic_mb())});
 
+  // Rpq series (the same endpoint pairs as regular queries): automata drawn
+  // from a small pool — the serving-realistic shape, regexes repeat — so
+  // the signature caches engage under --boundary-index. One warm batch
+  // installs the standing product graphs (the refresh round); the measured
+  // batch is the steady-serving cost the index amortizes toward.
+  // Automata over the dataset's own (single-label) alphabet, so every
+  // interior state matches real nodes and the per-query product the BES
+  // path rebuilds at every site is full-size — the regime the standing
+  // product graphs exist for.
+  constexpr size_t kDistinctAutomata = 4;
+  std::vector<QueryAutomaton> automata;
+  automata.reserve(kDistinctAutomata);
+  for (size_t i = 0; i < kDistinctAutomata; ++i) {
+    automata.push_back(MakeRandomAutomaton(3, 1, &rng));
+  }
+  std::vector<Query> rpq_workload;
+  rpq_workload.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    rpq_workload.push_back(Query::Rpq(pairs[i].first, pairs[i].second,
+                                      automata[i % kDistinctAutomata]));
+  }
+  engine.EvaluateBatch(
+      std::span<const Query>(rpq_workload.data(),
+                             std::min<size_t>(kDistinctAutomata,
+                                              rpq_workload.size())));
+  const RunMetrics rpq_total = engine.EvaluateBatch(rpq_workload).metrics;
+  PrintHeader("Batched q_rr (rpq), one full-size batch",
+              {"path", "rounds", "total-ms", "traffic"});
+  char rpq_rounds[16];
+  std::snprintf(rpq_rounds, sizeof(rpq_rounds), "%zu", rpq_total.rounds);
+  PrintRow({boundary_index ? "boundary-index" : "bes", rpq_rounds,
+            FormatMs(rpq_total.modeled_ms),
+            FormatMb(rpq_total.traffic_mb())});
+
   WriteBenchJson(opts.json_path,
                  boundary_index ? "bench_batch+boundary-index" : "bench_batch",
                  {{"queries", static_cast<double>(workload.size())},
@@ -135,7 +171,11 @@ int Run(int argc, char** argv) {
                   {"batched_rounds", static_cast<double>(best_total.rounds)},
                   {"dist_batched_modeled_ms", dist_total.modeled_ms},
                   {"dist_batched_traffic_mb", dist_total.traffic_mb()},
-                  {"dist_bound", static_cast<double>(kDistBound)}});
+                  {"dist_bound", static_cast<double>(kDistBound)},
+                  {"rpq_batched_modeled_ms", rpq_total.modeled_ms},
+                  {"rpq_batched_traffic_mb", rpq_total.traffic_mb()},
+                  {"rpq_distinct_automata",
+                   static_cast<double>(kDistinctAutomata)}});
   return 0;
 }
 

@@ -114,7 +114,9 @@ std::vector<std::pair<NodeId, NodeId>> MakeQueryPairs(const Graph& g,
 
 QueryAutomaton MakeRandomAutomaton(size_t num_symbols, size_t num_labels,
                                    Rng* rng) {
-  return QueryAutomaton::FromRegex(Regex::Random(num_symbols, num_labels, rng));
+  return QueryAutomaton::FromRegex(
+             Regex::Random(num_symbols, num_labels, rng))
+      .value();
 }
 
 void PrintHeader(const std::string& title,

@@ -18,11 +18,13 @@
 #include "src/core/dis_reach.h"
 #include "src/core/incremental.h"
 #include "src/core/local_eval.h"
+#include "src/engine/fragment_context.h"
 #include "src/fragment/partitioner.h"
 #include "src/graph/algorithms.h"
 #include "src/graph/generators.h"
 #include "src/index/reach_index.h"
 #include "src/net/cluster.h"
+#include "src/regex/canonical.h"
 #include "src/regex/query_automaton.h"
 #include "src/util/timer.h"
 
@@ -162,7 +164,8 @@ void BM_LocalEvalRegularProduct(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const Fragmentation frag = MakeBenchFragmentation(n, 4, g_seed + 13);
   Rng rng(g_seed + 5);
-  const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Random(6, 4, &rng));
+  const QueryAutomaton a =
+      QueryAutomaton::FromRegex(Regex::Random(6, 4, &rng)).value();
   const Fragment& f = frag.fragment(0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -170,6 +173,59 @@ void BM_LocalEvalRegularProduct(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocalEvalRegularProduct)->Arg(2000)->Arg(10000);
+
+// --- automaton canonicalization + per-automaton product rows -----------------
+
+// Signature computation cost: prune + merge fixpoint + renumber + hash,
+// paid once per query at the coordinator on the indexed rpq path.
+void BM_AutomatonCanonicalize(benchmark::State& state) {
+  Rng rng(g_seed + 29);
+  const QueryAutomaton a =
+      QueryAutomaton::FromRegex(
+          Regex::Random(static_cast<size_t>(state.range(0)), 8, &rng))
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Canonicalize(a));
+  }
+}
+BENCHMARK(BM_AutomatonCanonicalize)->Arg(4)->Arg(16)->Arg(60);
+
+// Product-row sweep, cache miss: every iteration rebuilds the fragment's
+// per-automaton product condensation and grouped frontier rows from
+// scratch — what a site pays on an entry's first use (or after an LRU
+// eviction / update invalidation).
+void BM_RpqProductRowsCacheMiss(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, g_seed + 31);
+  Rng rng(g_seed + 5);
+  const CanonicalAutomaton canon = Canonicalize(
+      QueryAutomaton::FromRegex(Regex::Random(6, 4, &rng)).value());
+  const Fragment& f = frag.fragment(0);
+  for (auto _ : state) {
+    FragmentContext ctx;
+    benchmark::DoNotOptimize(
+        &ctx.rpq_product(f, canon.signature.key, canon.automaton));
+  }
+}
+BENCHMARK(BM_RpqProductRowsCacheMiss)->Arg(2000)->Arg(10000);
+
+// Cache hit: the standing structures answer the lookup without rebuilding —
+// the steady-serving cost a repeated regex pays at a site.
+void BM_RpqProductRowsCacheHit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Fragmentation frag = MakeBenchFragmentation(n, 4, g_seed + 31);
+  Rng rng(g_seed + 5);
+  const CanonicalAutomaton canon = Canonicalize(
+      QueryAutomaton::FromRegex(Regex::Random(6, 4, &rng)).value());
+  const Fragment& f = frag.fragment(0);
+  FragmentContext ctx;
+  ctx.rpq_product(f, canon.signature.key, canon.automaton);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &ctx.rpq_product(f, canon.signature.key, canon.automaton));
+  }
+}
+BENCHMARK(BM_RpqProductRowsCacheHit)->Arg(2000)->Arg(10000);
 
 // --- partitioners ------------------------------------------------------------
 

@@ -51,7 +51,7 @@ int main() {
   std::vector<Query> burst;
   const QueryAutomaton chain =
       QueryAutomaton::FromRegex(Regex::Random(/*num_symbols=*/3,
-                                              /*num_labels=*/4, &rng));
+                                              /*num_labels=*/4, &rng)).value();
   for (int i = 0; i < 32; ++i) {
     const NodeId s = static_cast<NodeId>(rng.Uniform(graph.NumNodes()));
     const NodeId t = (i % 2 == 0)

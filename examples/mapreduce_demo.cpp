@@ -25,7 +25,7 @@ int main() {
     std::printf("regex error: %s\n", r.status().ToString().c_str());
     return 1;
   }
-  const QueryAutomaton automaton = QueryAutomaton::FromRegex(r.value());
+  const QueryAutomaton automaton = QueryAutomaton::FromRegex(r.value()).value();
   std::printf("query automaton: %zu states, %zu transitions\n\n",
               automaton.num_states(), automaton.num_transitions());
 

@@ -6,7 +6,7 @@ namespace pereach {
 
 QueryAnswer DisRpq(Cluster* cluster, const RegularReachQuery& query) {
   return DisRpqAutomaton(cluster, query.source, query.target,
-                         QueryAutomaton::FromRegex(query.regex));
+                         QueryAutomaton::FromRegex(query.regex).value());
 }
 
 QueryAnswer DisRpqAutomaton(Cluster* cluster, NodeId s, NodeId t,

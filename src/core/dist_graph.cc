@@ -83,7 +83,8 @@ QueryAnswer DistributedGraph::BoundedReach(NodeId s, NodeId t, uint32_t bound,
 
 QueryAnswer DistributedGraph::RegularReach(NodeId s, NodeId t,
                                            const Regex& regex, Engine engine) {
-  return RegularReachAutomaton(s, t, QueryAutomaton::FromRegex(regex), engine);
+  return RegularReachAutomaton(s, t, QueryAutomaton::FromRegex(regex).value(),
+                               engine);
 }
 
 QueryAnswer DistributedGraph::RegularReachAutomaton(

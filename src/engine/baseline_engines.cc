@@ -33,6 +33,7 @@ void NaiveShipAllEngine::RunBatch(std::span<const Query> queries,
         break;
       }
       case QueryKind::kRpq:
+        PEREACH_CHECK(q.well_formed());
         answer.reachable =
             CentralizedRegularReach(g, q.source, q.target, *q.automaton);
         break;
@@ -55,7 +56,7 @@ void SuciuRpqEngine::RunBatch(std::span<const Query> queries,
                               std::vector<QueryAnswer>* answers) {
   answers->reserve(queries.size());
   for (const Query& q : queries) {
-    PEREACH_CHECK(q.kind == QueryKind::kRpq &&
+    PEREACH_CHECK(q.kind == QueryKind::kRpq && q.well_formed() &&
                   "SuciuRpqEngine supports regular queries only");
     answers->push_back(
         RunDisRpqSuciu(cluster_, q.source, q.target, *q.automaton));

@@ -149,4 +149,150 @@ const LabelIndex& FragmentContext::label_index(const Fragment& f) {
   return *label_index_;
 }
 
+void FragmentContext::BeginRpqRound() {
+  rpq_round_start_tick_ = rpq_tick_ + 1;
+  // A previous round with more distinct automata than the cap overshot
+  // (its products were pinned); nothing is pinned anymore, so trim.
+  while (rpq_products_.size() > rpq_cache_cap_ && EvictRpqLru()) {
+  }
+}
+
+bool FragmentContext::EvictRpqLru() {
+  auto victim = rpq_products_.end();
+  for (auto slot = rpq_products_.begin(); slot != rpq_products_.end();
+       ++slot) {
+    if (slot->second.last_used >= rpq_round_start_tick_) continue;  // pinned
+    if (victim == rpq_products_.end() ||
+        slot->second.last_used < victim->second.last_used) {
+      victim = slot;
+    }
+  }
+  if (victim == rpq_products_.end()) return false;
+  rpq_products_.erase(victim);
+  ++rpq_evictions_;
+  return true;
+}
+
+const FragmentContext::RpqProduct& FragmentContext::rpq_product(
+    const Fragment& f, const std::string& signature_key,
+    const QueryAutomaton& canonical) {
+  const auto it = rpq_products_.find(signature_key);
+  if (it != rpq_products_.end()) {
+    it->second.last_used = ++rpq_tick_;
+    return *it->second.product;
+  }
+  if (rpq_products_.size() >= rpq_cache_cap_) EvictRpqLru();
+
+  EnsureOset(f);
+  const Graph& g = f.local_graph();
+  const size_t n = g.NumNodes();
+  const LabelIndex& labels = label_index(f);
+  auto p = std::make_unique<RpqProduct>(canonical);
+
+  // Compatibility mask per node: interior states matching the node's label.
+  // Virtual nodes additionally carry u_t — any virtual node may be some
+  // query's target, and an edge x -> w with u_t in out_mask(q_x) accepts at
+  // w regardless of which query is asking, so the accept pairs (w, u_t) are
+  // standing product sinks (u_t has no out-transitions).
+  constexpr uint64_t kFinalBit = uint64_t{1} << QueryAutomaton::kFinal;
+  p->compat.assign(n, 0);
+  for (const auto& [label, nodes] : labels.groups) {
+    const uint64_t mask = canonical.StatesWithLabel(label);
+    for (NodeId v : nodes) p->compat[v] = mask;
+  }
+  for (NodeId w : oset_locals_) p->compat[w] |= kFinalBit;
+
+  // Dense product ids: pid(v, q) = offset[v] + rank of q in compat[v] —
+  // the same layout LocalEvalRegular uses.
+  p->pid_offset.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    p->pid_offset[v + 1] =
+        p->pid_offset[v] +
+        static_cast<uint64_t>(__builtin_popcountll(p->compat[v]));
+  }
+  const uint64_t num_product = p->pid_offset[n];
+  PEREACH_CHECK_LT(num_product, uint64_t{1} << 32);
+
+  // Materialize the interior product graph F_i x G_q and condense it once;
+  // every query over this automaton reuses the condensation.
+  GraphBuilder pb;
+  pb.AddNodes(static_cast<size_t>(num_product));
+  for (NodeId v = 0; v < n; ++v) {
+    if (p->compat[v] == 0) continue;
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (p->compat[w] == 0) continue;
+      uint64_t qs = p->compat[v];
+      while (qs != 0) {
+        const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+        qs &= qs - 1;
+        uint64_t succs = canonical.out_mask(q) & p->compat[w];
+        const NodeId from = p->pid(v, q);
+        while (succs != 0) {
+          const uint32_t q2 = static_cast<uint32_t>(__builtin_ctzll(succs));
+          succs &= succs - 1;
+          pb.AddEdge(from, p->pid(w, q2));
+        }
+      }
+    }
+  }
+  p->cond = Condense(std::move(pb).Build());
+
+  // Flattened frontier table: (oset position, state) ascending — which is
+  // also ascending pid order, since oset locals are ascending local ids.
+  std::vector<NodeId> targets;
+  for (uint32_t j = 0; j < oset_locals_.size(); ++j) {
+    const NodeId w = oset_locals_[j];
+    uint64_t qs = p->compat[w];
+    while (qs != 0) {
+      const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+      qs &= qs - 1;
+      const NodeId product_node = p->pid(w, q);
+      p->table_oset.push_back(j);
+      p->table_state.push_back(static_cast<uint8_t>(q));
+      p->table_comp.push_back(p->cond.scc.component_of[product_node]);
+      targets.push_back(product_node);
+    }
+  }
+
+  // In-pairs grouped by product SCC, dense group ids in first-appearance
+  // order — the same rule ForEachReachableTargetGrouped applies, so its
+  // emitted group ids line up with these (mirrors reach_rows).
+  std::vector<NodeId> sources;
+  std::unordered_map<uint32_t, uint32_t> group_of_comp;
+  for (NodeId in : f.in_nodes()) {
+    uint64_t qs = p->compat[in];
+    while (qs != 0) {
+      const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+      qs &= qs - 1;
+      const NodeId product_node = p->pid(in, q);
+      const uint32_t comp = p->cond.scc.component_of[product_node];
+      const auto [slot, inserted] = group_of_comp.emplace(
+          comp, static_cast<uint32_t>(p->group_rep.size()));
+      if (inserted) {
+        p->group_rep.push_back(static_cast<uint32_t>(p->in_pairs.size()));
+        p->group_comp.push_back(comp);
+      }
+      p->in_group.push_back(slot->second);
+      p->in_pairs.emplace_back(in, static_cast<uint8_t>(q));
+      sources.push_back(product_node);
+    }
+  }
+  p->rows.resize(p->group_rep.size());
+  if (!sources.empty() && !targets.empty()) {
+    const std::vector<uint32_t> sweep_groups = ForEachReachableTargetGrouped(
+        p->cond, sources, targets, kRowBlockBits,
+        [&p](uint32_t group, uint32_t table_idx) {
+          p->rows[group].push_back(table_idx);
+        });
+    PEREACH_CHECK(sweep_groups == p->in_group);
+  }
+
+  ++section_builds_;
+  RpqCacheSlot slot;
+  slot.product = std::move(p);
+  slot.last_used = ++rpq_tick_;
+  return *rpq_products_.emplace(signature_key, std::move(slot))
+              .first->second.product;
+}
+
 }  // namespace pereach

@@ -5,12 +5,15 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/local_eval.h"
 #include "src/fragment/fragmentation.h"
 #include "src/graph/algorithms.h"
+#include "src/regex/query_automaton.h"
 #include "src/util/common.h"
 
 namespace pereach {
@@ -27,7 +30,12 @@ namespace pereach {
 ///  - the dist rows: per in-node, the local shortest-path hop counts to the
 ///    oset — the query-independent part of localEvald, feeding the
 ///    coordinator's weighted boundary graph (BoundaryDistIndex);
-///  - the label index (regular reachability compatibility masks).
+///  - the label index (regular reachability compatibility masks);
+///  - the rpq products: per CANONICAL AUTOMATON (signature-keyed, LRU
+///    capped), the fragment's label-compatible product graph over interior
+///    states, its condensation, and the per-in-pair-group frontier rows —
+///    the query-independent part of localEvalr, feeding the coordinator's
+///    product boundary graphs (BoundaryRpqIndex).
 /// Sections build lazily so workloads only pay for what they touch.
 ///
 /// Thread-safety: one FragmentContext may be used by one thread at a time.
@@ -45,6 +53,10 @@ class FragmentContext {
     std::vector<std::vector<uint32_t>> rows;  // group -> ascending oset idx
   };
 
+  /// Default LRU cap for the per-automaton rpq products (matches
+  /// PartialEvalOptions::rpq_cache_entries).
+  static constexpr size_t kDefaultRpqCacheCap = 8;
+
   /// Weighted (min-plus) boundary rows: per in-node, the local shortest-path
   /// hop count to every virtual node it reaches — the query-independent part
   /// of localEvald, computed UNBOUNDED so one cache serves every query bound
@@ -58,6 +70,49 @@ class FragmentContext {
     // group -> ascending (oset index, local min hops).
     std::vector<std::vector<std::pair<uint32_t, uint32_t>>> rows;
   };
+
+  /// Query-independent product structures of this fragment for ONE
+  /// canonical automaton (regular reachability, §5): the label-compatible
+  /// product F_i x G_q over INTERIOR states — virtual nodes additionally
+  /// carry u_t, because any virtual node may be some query's target and the
+  /// hop that ACCEPTS into it is automaton-static (see DESIGN.md §9) — its
+  /// SCC condensation, the flattened (oset entry, state) frontier table,
+  /// and per in-pair SCC group the reachable frontier rows. Everything a
+  /// query needs beyond this is two O(|cond|) sweeps at its endpoint
+  /// fragments.
+  struct RpqProduct {
+    explicit RpqProduct(QueryAutomaton a) : automaton(std::move(a)) {}
+
+    QueryAutomaton automaton;  // canonical form (language-equal to queries')
+    std::vector<uint64_t> compat;      // per local-graph node: state mask
+    std::vector<uint64_t> pid_offset;  // per node: first product id (n + 1)
+    Condensation cond;                 // product-graph condensation
+    // Flattened frontier table, ascending (oset position, state):
+    std::vector<uint32_t> table_oset;   // table idx -> oset position
+    std::vector<uint8_t> table_state;   // table idx -> automaton state
+    std::vector<uint32_t> table_comp;   // table idx -> product component
+    // In-pairs (in-node local id, state), ascending, grouped by product SCC
+    // exactly like ReachRows groups in-nodes by local SCC:
+    std::vector<std::pair<NodeId, uint8_t>> in_pairs;
+    std::vector<uint32_t> in_group;   // per in-pair -> group
+    std::vector<uint32_t> group_rep;  // group -> in-pair index
+    std::vector<uint32_t> group_comp; // group -> product component
+    std::vector<std::vector<uint32_t>> rows;  // group -> ascending table idx
+
+    /// Dense product id of (v, q); q must be set in compat[v].
+    NodeId pid(NodeId v, uint32_t q) const {
+      const uint64_t below = compat[v] & ((uint64_t{1} << q) - 1);
+      return static_cast<NodeId>(
+          pid_offset[v] +
+          static_cast<uint64_t>(__builtin_popcountll(below)));
+    }
+    uint32_t CompOfPair(NodeId v, uint32_t q) const {
+      return cond.scc.component_of[pid(v, q)];
+    }
+  };
+
+  explicit FragmentContext(size_t rpq_cache_cap = kDefaultRpqCacheCap)
+      : rpq_cache_cap_(rpq_cache_cap < 1 ? 1 : rpq_cache_cap) {}
 
   /// SCC condensation of f.local_graph().
   const Condensation& cond(const Fragment& f);
@@ -79,11 +134,38 @@ class FragmentContext {
 
   const LabelIndex& label_index(const Fragment& f);
 
+  /// Marks the start of one round's work at this fragment: products
+  /// touched from here on are pinned against LRU eviction until the next
+  /// call, so a round cycling through more distinct automata than the cap
+  /// builds each at most once (temporarily overshooting the cap) instead
+  /// of thrashing per query — the same pinning discipline as the
+  /// coordinator's BoundaryRpqIndex. Trims a previous round's overshoot.
+  void BeginRpqRound();
+
+  /// The cached product structures for the canonical automaton behind
+  /// `signature_key`, building them (one product condensation + one grouped
+  /// sweep) on a miss. The cache holds at most `rpq_cache_cap` distinct
+  /// automata, LRU-evicted; rebuilding after an eviction is deterministic,
+  /// so rows re-fetched by the coordinator always match the sweeps.
+  const RpqProduct& rpq_product(const Fragment& f,
+                                const std::string& signature_key,
+                                const QueryAutomaton& canonical);
+
+  /// Live per-automaton product entries (observability).
+  size_t rpq_cache_size() const { return rpq_products_.size(); }
+  size_t rpq_cache_evictions() const { return rpq_evictions_; }
+
   /// Number of section builds performed (observability for tests/benches:
-  /// a warm cache answers whole batches with zero additional builds).
+  /// a warm cache answers whole batches with zero additional builds; each
+  /// rpq product construction counts as one build).
   size_t section_builds() const { return section_builds_; }
 
  private:
+  struct RpqCacheSlot {
+    std::unique_ptr<RpqProduct> product;
+    uint64_t last_used = 0;
+  };
+
   void EnsureOset(const Fragment& f);
 
   std::optional<Condensation> cond_;
@@ -95,6 +177,15 @@ class FragmentContext {
   std::optional<ReachRows> rows_;
   std::optional<DistRows> dist_rows_;
   std::optional<LabelIndex> label_index_;
+  /// Evicts the least recently used product not touched since the last
+  /// BeginRpqRound; returns false when every slot is pinned.
+  bool EvictRpqLru();
+
+  size_t rpq_cache_cap_;
+  std::unordered_map<std::string, RpqCacheSlot> rpq_products_;
+  uint64_t rpq_tick_ = 0;
+  uint64_t rpq_round_start_tick_ = 0;
+  size_t rpq_evictions_ = 0;
   size_t section_builds_ = 0;
 };
 
@@ -105,13 +196,16 @@ class FragmentContext {
 /// discipline); invalidation must not race with an in-flight round.
 class FragmentContextCache {
  public:
-  explicit FragmentContextCache(const Fragmentation* fragmentation)
-      : contexts_(fragmentation->num_fragments()) {}
+  explicit FragmentContextCache(
+      const Fragmentation* fragmentation,
+      size_t rpq_cache_cap = FragmentContext::kDefaultRpqCacheCap)
+      : rpq_cache_cap_(rpq_cache_cap),
+        contexts_(fragmentation->num_fragments()) {}
 
   FragmentContext& Get(SiteId site) {
     PEREACH_CHECK_LT(site, contexts_.size());
     if (contexts_[site] == nullptr) {
-      contexts_[site] = std::make_unique<FragmentContext>();
+      contexts_[site] = std::make_unique<FragmentContext>(rpq_cache_cap_);
       builds_.fetch_add(1, std::memory_order_relaxed);
     }
     return *contexts_[site];
@@ -134,6 +228,7 @@ class FragmentContextCache {
   }
 
  private:
+  size_t rpq_cache_cap_;
   std::vector<std::unique_ptr<FragmentContext>> contexts_;
   std::atomic<size_t> builds_{0};
 };

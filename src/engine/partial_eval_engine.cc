@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+#include <unordered_map>
 
 #include "src/bes/bes.h"
 #include "src/bes/distance_system.h"
+#include "src/regex/canonical.h"
 #include "src/util/timer.h"
 
 namespace pereach {
@@ -190,6 +193,35 @@ WeightedBoundaryRows BuildWeightedBoundaryRows(const Fragment& f,
   return out;
 }
 
+/// Re-encodes a fragment's cached per-automaton product structures into the
+/// global-id form the coordinator's product boundary index consumes (one
+/// row per in-pair product-SCC group, plus member -> group aliases). Pure
+/// re-labeling: the product sweep already ran when the RpqProduct was built.
+ProductBoundaryRows BuildProductBoundaryRows(
+    const Fragment& f, FragmentContext* ctx, const std::string& signature_key,
+    const QueryAutomaton& canonical) {
+  const FragmentContext::RpqProduct& p =
+      ctx->rpq_product(f, signature_key, canonical);
+  const std::vector<NodeId>& oset_locals = ctx->oset_locals(f);
+  ProductBoundaryRows out;
+  out.oset_globals = ctx->oset_globals(f);
+  out.oset_masks.reserve(oset_locals.size());
+  for (NodeId w : oset_locals) out.oset_masks.push_back(p.compat[w]);
+  out.rep_pairs.reserve(p.group_rep.size());
+  for (uint32_t rep : p.group_rep) {
+    out.rep_pairs.push_back(
+        {f.ToGlobal(p.in_pairs[rep].first), p.in_pairs[rep].second});
+  }
+  out.rows = p.rows;
+  for (size_t i = 0; i < p.in_pairs.size(); ++i) {
+    const uint32_t g = p.in_group[i];
+    if (p.group_rep[g] == i) continue;
+    out.aliases.push_back(
+        {{f.ToGlobal(p.in_pairs[i].first), p.in_pairs[i].second}, g});
+  }
+  return out;
+}
+
 // Flag bits of a boundary sweep frame.
 constexpr uint8_t kFrameHasS = 1;      // s-side list present
 constexpr uint8_t kFrameHasT = 2;      // t-side list present
@@ -354,24 +386,172 @@ void EncodeBoundarySweepFrame(const Fragment& f, FragmentContext* ctx,
   }
 }
 
+/// The query-dependent halves of one regular query at one fragment, encoded
+/// for the product-boundary answer path. All sweeps run over the standing
+/// per-automaton product condensation (FragmentContext::RpqProduct); the
+/// only per-query pieces are the u_s seeds, the u_t sinks, and two
+/// O(|cond|) scans:
+///  - s-side (s stored here): ascending pair-table indices of the frontier
+///    pairs (w, q') reachable from (s, u_s) — the product boundary nodes a
+///    global match can leave through. Reaching an accept pair at a copy of
+///    t, or an accepting predecessor of the local copy, decides the query
+///    (kFrameLocalTrue), exactly localEvalr's has_true;
+///  - t-side (t stored here): the in-pair group REPS whose product
+///    component locally reaches (t, u_t) — the pairs a global match can
+///    arrive at to finish (a non-rep member's arrival implies its rep's,
+///    via the alias edge).
+/// Acceptance AT OTHER fragments (a virtual copy of t elsewhere) is not
+/// swept at all: the standing accept pair (t, u_t) covers it, added to the
+/// entry list by the coordinator.
+void EncodeRpqSweepFrame(const Fragment& f, FragmentContext* ctx,
+                         const FragmentContext::RpqProduct& p, NodeId s,
+                         NodeId t, Encoder* body) {
+  const bool s_here = f.Contains(s);
+  const bool t_here = f.Contains(t);
+  if (!s_here && !t_here) {
+    body->PutU8(0);
+    return;
+  }
+  const QueryAutomaton& a = p.automaton;
+  const Graph& g = f.local_graph();
+  const size_t num_comps = p.cond.scc.num_components;
+  constexpr uint64_t kFinalBit = uint64_t{1} << QueryAutomaton::kFinal;
+
+  // t-side piece: components whose pairs locally reach (t, u_t). The seeds
+  // are the accepting predecessors (x, q) — edge x -> t_local with u_t in
+  // out_mask(q) — i.e. the product in-edges of the (t, u_t) node that the
+  // standing product materializes only for VIRTUAL copies. An ascending
+  // scan spreads the flag (component ids are reverse topological).
+  std::vector<bool> reaches_final;
+  if (t_here) {
+    reaches_final.assign(num_comps, false);
+    const NodeId t_local = f.ToLocal(t);
+    bool any_seed = false;
+    for (NodeId x : g.InNeighbors(t_local)) {
+      uint64_t qs = p.compat[x];
+      while (qs != 0) {
+        const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+        qs &= qs - 1;
+        if ((a.out_mask(q) >> QueryAutomaton::kFinal) & 1) {
+          reaches_final[p.CompOfPair(x, q)] = true;
+          any_seed = true;
+        }
+      }
+    }
+    if (any_seed) {
+      for (uint32_t c = 0; c < num_comps; ++c) {
+        if (reaches_final[c]) continue;
+        for (size_t e = p.cond.offsets[c];
+             e < p.cond.offsets[c + 1] && !reaches_final[c]; ++e) {
+          reaches_final[c] = reaches_final[p.cond.targets[e]];
+        }
+      }
+    }
+  }
+
+  bool local_true = false;
+  std::vector<uint32_t> s_exits;
+  if (s_here) {
+    const NodeId s_local = f.ToLocal(s);
+    // Seeds: the product out-edges of (s, u_s). A hop straight into u_t at
+    // a copy of t (single edge s -> t with epsilon in L(R)) decides the
+    // query; u_t bits at other copies are stripped — for this query those
+    // pairs are not part of the product.
+    std::vector<bool> reachable(num_comps, false);
+    bool any_seed = false;
+    const uint64_t start_mask = a.out_mask(QueryAutomaton::kStart);
+    for (NodeId w : g.OutNeighbors(s_local)) {
+      if (f.ToGlobal(w) == t && a.AcceptsEmpty()) local_true = true;
+      uint64_t qs = start_mask & p.compat[w] & ~kFinalBit;
+      while (qs != 0) {
+        const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+        qs &= qs - 1;
+        reachable[p.CompOfPair(w, q)] = true;
+        any_seed = true;
+      }
+    }
+    if (any_seed) {
+      // Descending scan spreads the flag to all successors.
+      for (uint32_t c = static_cast<uint32_t>(num_comps); c-- > 0;) {
+        if (!reachable[c]) continue;
+        for (size_t e = p.cond.offsets[c]; e < p.cond.offsets[c + 1]; ++e) {
+          reachable[p.cond.targets[e]] = true;
+        }
+      }
+    }
+    // Acceptance via an interior path: at a virtual copy of t the accept
+    // pair (t_virtual, u_t) is a standing product node; at the local copy,
+    // any reachable component that reaches u_t closes the match.
+    const uint32_t t_idx = ctx->OsetIndexOf(t);
+    if (!local_true && t_idx != FragmentContext::kNoIndex) {
+      const NodeId t_virtual = ctx->oset_locals(f)[t_idx];
+      local_true =
+          reachable[p.CompOfPair(t_virtual, QueryAutomaton::kFinal)];
+    }
+    if (!local_true && t_here) {
+      for (uint32_t c = 0; c < num_comps && !local_true; ++c) {
+        local_true = reachable[c] && reaches_final[c];
+      }
+    }
+    if (!local_true) {
+      for (uint32_t i = 0; i < p.table_comp.size(); ++i) {
+        if (p.table_state[i] == QueryAutomaton::kFinal) continue;
+        if (reachable[p.table_comp[i]]) s_exits.push_back(i);
+      }
+    }
+  }
+  if (local_true) {
+    body->PutU8(kFrameLocalTrue);
+    return;
+  }
+
+  uint8_t flags = 0;
+  if (s_here) flags |= kFrameHasS;
+  if (t_here) flags |= kFrameHasT;
+  body->PutU8(flags);
+  if (s_here) {
+    body->PutVarint(s_exits.size());
+    uint32_t prev = 0;
+    for (uint32_t idx : s_exits) {  // ascending: delta-encode
+      body->PutVarint(idx - prev);
+      prev = idx;
+    }
+  }
+  if (t_here) {
+    std::vector<ProductPair> t_in;
+    for (size_t gi = 0; gi < p.group_rep.size(); ++gi) {
+      if (!reaches_final[p.group_comp[gi]]) continue;
+      const auto& [local, state] = p.in_pairs[p.group_rep[gi]];
+      t_in.push_back({f.ToGlobal(local), state});
+    }
+    body->PutVarint(t_in.size());
+    for (const ProductPair& pair : t_in) {
+      body->PutVarint(pair.node);
+      body->PutU8(pair.state);
+    }
+  }
+}
+
 }  // namespace
 
 PartialEvalEngine::PartialEvalEngine(Cluster* cluster,
                                      PartialEvalOptions options)
     : QueryEngine(cluster),
       options_(options),
-      contexts_(&cluster->fragmentation()) {}
+      contexts_(&cluster->fragmentation(),
+                std::max<size_t>(1, options.rpq_cache_entries)) {}
 
 void PartialEvalEngine::RunBatch(std::span<const Query> queries,
                                  std::vector<QueryAnswer>* answers) {
   answers->resize(queries.size());
 
   // Coordinator-side answers need no site visit; everything else goes on the
-  // wire as one multiplexed broadcast — except reach/dist queries under
-  // their boundary indexes, which take their own endpoint-fragment paths.
+  // wire as one multiplexed broadcast — except queries whose class runs
+  // under a boundary index, which take their own endpoint-fragment paths.
   std::vector<size_t> wire;
   std::vector<size_t> indexed;
   std::vector<size_t> indexed_dist;
+  std::vector<size_t> indexed_rpq;
   wire.reserve(queries.size());
   bool any_reach = false;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -381,7 +561,7 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
       (*answers)[qi].distance = 0;
       continue;
     }
-    PEREACH_CHECK(q.kind != QueryKind::kRpq || q.automaton.has_value());
+    PEREACH_CHECK(q.well_formed());
     if (q.kind == QueryKind::kReach &&
         options_.reach_path == ReachAnswerPath::kBoundaryIndex) {
       indexed.push_back(qi);
@@ -392,19 +572,44 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
       indexed_dist.push_back(qi);
       continue;
     }
+    if (q.kind == QueryKind::kRpq &&
+        options_.rpq_path == RpqAnswerPath::kBoundaryIndex) {
+      indexed_rpq.push_back(qi);
+      continue;
+    }
     any_reach |= q.kind == QueryKind::kReach;
     wire.push_back(qi);
   }
   if (!indexed.empty()) RunBoundaryReach(queries, indexed, answers);
   if (!indexed_dist.empty()) RunBoundaryDist(queries, indexed_dist, answers);
+  if (!indexed_rpq.empty()) RunBoundaryRpq(queries, indexed_rpq, answers);
   if (wire.empty()) return;
 
   // Batched broadcast: k queries in one payload (byte accounting; the site
   // closures read the query objects directly, as everywhere in this
-  // simulator).
+  // simulator). Regular queries dedupe their automata by canonical
+  // signature: identical regexes in one batch ship one automaton plus a
+  // per-query table reference instead of k serialized copies.
   Encoder broadcast;
-  broadcast.PutVarint(wire.size());
-  for (size_t qi : wire) queries[qi].Serialize(&broadcast);
+  {
+    std::unordered_map<std::string, uint32_t> automaton_ref;
+    Encoder automata;
+    broadcast.PutVarint(wire.size());
+    for (size_t qi : wire) {
+      const Query& q = queries[qi];
+      q.SerializeHeader(&broadcast);
+      if (q.kind == QueryKind::kRpq) {
+        const CanonicalAutomaton canon = Canonicalize(*q.automaton);
+        const auto [it, inserted] = automaton_ref.emplace(
+            canon.signature.key,
+            static_cast<uint32_t>(automaton_ref.size()));
+        if (inserted) canon.automaton.Serialize(&automata);
+        broadcast.PutVarint(it->second);
+      }
+    }
+    broadcast.PutVarint(automaton_ref.size());
+    broadcast.PutRaw(automata.buffer());
+  }
 
   // One round: every site runs localEval for all k queries in a single
   // visit and multiplexes the partial answers into one reply — shared oset
@@ -741,6 +946,211 @@ void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
         local_dist, boundary_dist_->ShortestPath(s_out, t_in, q.bound));
     answer.reachable =
         answer.distance != kInfWeight && answer.distance <= q.bound;
+  }
+  cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
+}
+
+void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
+                                       const std::vector<size_t>& wire,
+                                       std::vector<QueryAnswer>* answers) {
+  const Fragmentation& frag = cluster_->fragmentation();
+  if (boundary_rpq_ == nullptr) {
+    boundary_rpq_ = std::make_unique<BoundaryRpqIndex>(
+        frag.num_fragments(), options_.rpq_cache_entries);
+  }
+  boundary_rpq_->BeginBatch();
+
+  // Canonicalize and dedupe the batch's automata: every distinct signature
+  // maps to one LRU entry and crosses the wire at most once per round.
+  struct SigGroup {
+    CanonicalAutomaton canon;
+    BoundaryRpqIndex::Entry* entry = nullptr;
+    std::vector<SiteId> dirty;
+  };
+  std::vector<SigGroup> sigs;
+  std::unordered_map<std::string, uint32_t> sig_index;
+  std::vector<uint32_t> query_sig(wire.size());
+  for (size_t wi = 0; wi < wire.size(); ++wi) {
+    CanonicalAutomaton canon = Canonicalize(*queries[wire[wi]].automaton);
+    const auto [it, inserted] = sig_index.emplace(
+        canon.signature.key, static_cast<uint32_t>(sigs.size()));
+    if (inserted) sigs.push_back({std::move(canon), nullptr, {}});
+    query_sig[wi] = it->second;
+  }
+  for (SigGroup& sig : sigs) {
+    sig.entry = &boundary_rpq_->GetEntry(sig.canon.signature);
+    sig.dirty = sig.entry->DirtySites();
+  }
+
+  // Refresh round: fetch the product boundary rows of every dirty
+  // (fragment, automaton) combination in ONE round — all of them on an
+  // entry's first use; exactly the update-touched fragments afterwards —
+  // and rebuild the small per-entry condensation + labels. Amortized across
+  // every later rpq batch over the same automaton until the next update or
+  // LRU eviction. The broadcast carries each dirty automaton once plus its
+  // site list.
+  std::vector<std::vector<uint32_t>> site_sigs(frag.num_fragments());
+  std::vector<SiteId> refresh_sites;
+  {
+    Encoder refresh_broadcast;
+    size_t num_dirty_sigs = 0;
+    Encoder dirty_payload;
+    for (uint32_t si = 0; si < sigs.size(); ++si) {
+      if (sigs[si].dirty.empty()) continue;
+      ++num_dirty_sigs;
+      sigs[si].canon.automaton.Serialize(&dirty_payload);
+      dirty_payload.PutVarint(sigs[si].dirty.size());
+      for (SiteId site : sigs[si].dirty) {
+        dirty_payload.PutVarint(site);
+        site_sigs[site].push_back(si);
+      }
+    }
+    refresh_broadcast.PutVarint(num_dirty_sigs);
+    refresh_broadcast.PutRaw(dirty_payload.buffer());
+    for (SiteId site = 0; site < frag.num_fragments(); ++site) {
+      if (!site_sigs[site].empty()) refresh_sites.push_back(site);
+    }
+    if (!refresh_sites.empty()) {
+      const std::vector<std::vector<uint8_t>> rows_replies = cluster_->Round(
+          refresh_sites, refresh_broadcast.size(),
+          [this, &sigs, &site_sigs](const Fragment& f) {
+            FragmentContext& ctx = contexts_.Get(f.site());
+            ctx.BeginRpqRound();
+            Encoder reply;
+            for (uint32_t si : site_sigs[f.site()]) {
+              Encoder body;
+              BuildProductBoundaryRows(f, &ctx, sigs[si].canon.signature.key,
+                                       sigs[si].canon.automaton)
+                  .Serialize(&body);
+              reply.PutFrame(body.buffer());
+            }
+            return reply.TakeBuffer();
+          });
+      StopWatch build_watch;
+      for (size_t ri = 0; ri < refresh_sites.size(); ++ri) {
+        Decoder dec(rows_replies[ri]);
+        for (uint32_t si : site_sigs[refresh_sites[ri]]) {
+          Decoder frame = dec.GetFrame();
+          sigs[si].entry->SetFragmentRows(
+              refresh_sites[ri], ProductBoundaryRows::Deserialize(&frame));
+          PEREACH_CHECK(frame.Done() && "malformed product rows frame");
+        }
+        PEREACH_CHECK(dec.Done() && "malformed product rows payload");
+      }
+      for (SigGroup& sig : sigs) sig.entry->Ensure();
+      cluster_->AddCoordinatorWorkMs(build_watch.ElapsedMs());
+    }
+  }
+
+  // Sweep round over the ENDPOINT fragments only — the product boundary
+  // graphs replace the all-sites product-equation broadcast. Each involved
+  // site answers every query of the batch with one tiny frame (its two
+  // query-dependent product sweeps); sites holding neither endpoint of a
+  // query emit one flag byte. The broadcast ships the batch's distinct
+  // canonical automata once each; queries reference them by index.
+  std::vector<SiteId> sites;
+  sites.reserve(2 * wire.size());
+  for (size_t qi : wire) {
+    sites.push_back(frag.site_of(queries[qi].source));
+    sites.push_back(frag.site_of(queries[qi].target));
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+
+  Encoder broadcast;
+  broadcast.PutVarint(sigs.size());
+  for (const SigGroup& sig : sigs) sig.canon.automaton.Serialize(&broadcast);
+  broadcast.PutVarint(wire.size());
+  for (size_t wi = 0; wi < wire.size(); ++wi) {
+    broadcast.PutVarint(queries[wire[wi]].source);
+    broadcast.PutVarint(queries[wire[wi]].target);
+    broadcast.PutVarint(query_sig[wi]);
+  }
+
+  const std::vector<std::vector<uint8_t>> replies = cluster_->Round(
+      sites, broadcast.size(),
+      [this, queries, &wire, &sigs, &query_sig](const Fragment& f) {
+        FragmentContext& ctx = contexts_.Get(f.site());
+        ctx.BeginRpqRound();
+        Encoder reply;
+        for (size_t wi = 0; wi < wire.size(); ++wi) {
+          const Query& q = queries[wire[wi]];
+          Encoder body;
+          if (!f.Contains(q.source) && !f.Contains(q.target)) {
+            body.PutU8(0);
+          } else {
+            const SigGroup& sig = sigs[query_sig[wi]];
+            const FragmentContext::RpqProduct& p = ctx.rpq_product(
+                f, sig.canon.signature.key, sig.canon.automaton);
+            EncodeRpqSweepFrame(f, &ctx, p, q.source, q.target, &body);
+          }
+          reply.PutFrame(body.buffer());
+        }
+        return reply.TakeBuffer();
+      });
+
+  // Assemble: per query, splice the s-side exit pairs onto the t-side
+  // accepting entries (plus the standing accept pair (t, u_t), which covers
+  // acceptance at fragments holding virtual copies of t) through the
+  // standing product graph's labels — no equation system is ever built.
+  StopWatch assemble_watch;
+  std::vector<uint32_t> site_reply(frag.num_fragments(),
+                                   std::numeric_limits<uint32_t>::max());
+  for (size_t ri = 0; ri < sites.size(); ++ri) {
+    site_reply[sites[ri]] = static_cast<uint32_t>(ri);
+  }
+  std::vector<std::vector<Decoder>> frames(replies.size());
+  for (size_t ri = 0; ri < replies.size(); ++ri) {
+    Decoder dec(replies[ri]);
+    frames[ri].reserve(wire.size());
+    for (size_t wi = 0; wi < wire.size(); ++wi) {
+      frames[ri].push_back(dec.GetFrame());
+    }
+    PEREACH_CHECK(dec.Done() && "malformed product sweep reply");
+  }
+
+  std::vector<ProductPair> s_out;
+  std::vector<ProductPair> t_in;
+  for (size_t wi = 0; wi < wire.size(); ++wi) {
+    const Query& q = queries[wire[wi]];
+    QueryAnswer& answer = (*answers)[wire[wi]];
+    BoundaryRpqIndex::Entry& entry = *sigs[query_sig[wi]].entry;
+    const SiteId s_site = frag.site_of(q.source);
+    const SiteId t_site = frag.site_of(q.target);
+
+    Decoder& s_frame = frames[site_reply[s_site]][wi];
+    const uint8_t s_flags = s_frame.GetU8();
+    if (s_flags & kFrameLocalTrue) {
+      answer.reachable = true;
+      continue;
+    }
+    PEREACH_CHECK(s_flags & kFrameHasS);
+    s_out.clear();
+    const size_t table_size = entry.TableSize(s_site);
+    uint32_t prev = 0;
+    for (size_t n = s_frame.GetCount(); n > 0; --n) {
+      prev += static_cast<uint32_t>(s_frame.GetVarint());
+      PEREACH_CHECK_LT(prev, table_size);
+      s_out.push_back(entry.TablePair(s_site, prev));
+    }
+
+    Decoder& t_frame = frames[site_reply[t_site]][wi];
+    uint8_t t_flags = s_flags;
+    if (t_site != s_site) t_flags = t_frame.GetU8();
+    PEREACH_CHECK(t_flags & kFrameHasT);
+    t_in.clear();
+    for (size_t n = t_frame.GetCount(2); n > 0; --n) {
+      const NodeId global = static_cast<NodeId>(t_frame.GetVarint());
+      t_in.push_back({global, t_frame.GetU8()});
+    }
+    // The standing accept pair (t, u_t): acceptance at any fragment holding
+    // a virtual copy of t routes through it. Absent exactly when t has no
+    // virtual copy, i.e. no cross edge enters t anywhere.
+    const ProductPair accept{q.target,
+                             static_cast<uint8_t>(QueryAutomaton::kFinal)};
+    if (entry.HasPair(accept)) t_in.push_back(accept);
+
+    answer.reachable = entry.ReachesAny(s_out, t_in);
   }
   cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
 }

@@ -8,6 +8,7 @@
 #include "src/engine/query_engine.h"
 #include "src/index/boundary_dist_index.h"
 #include "src/index/boundary_index.h"
+#include "src/index/boundary_rpq_index.h"
 
 namespace pereach {
 
@@ -42,6 +43,24 @@ enum class ReachAnswerPath : uint8_t { kBes = 0, kBoundaryIndex = 1 };
 /// path is exact.
 enum class DistAnswerPath : uint8_t { kBes = 0, kBoundaryIndex = 1 };
 
+/// How the coordinator resolves regular reachability queries.
+///
+/// kBes is the paper's assembling phase (§5): every site builds the
+/// label-compatible product of its fragment with the query automaton, ships
+/// its boundary equations, and the coordinator solves a fresh Boolean
+/// equation system per query (evalDGr).
+///
+/// kBoundaryIndex short-circuits the solve with a standing coordinator-side
+/// PRODUCT boundary graph per distinct automaton (BoundaryRpqIndex, keyed by
+/// canonical signature behind an LRU cache): an rpq query visits only its
+/// two endpoint fragments for the query-dependent sweeps (s-side exit pairs
+/// seeded from u_s, t-side accepting entry pairs into u_t, local
+/// short-circuit byte) and the coordinator answers with label lookups over
+/// the standing graph — no per-query product construction at non-endpoint
+/// sites, no equation shipping, no BES. Falls back to nothing: the indexed
+/// path is exact for every automaton.
+enum class RpqAnswerPath : uint8_t { kBes = 0, kBoundaryIndex = 1 };
+
 struct PartialEvalOptions {
   /// Equation encoding used by localEval (see EquationForm).
   EquationForm form = EquationForm::kAuto;
@@ -49,6 +68,11 @@ struct PartialEvalOptions {
   ReachAnswerPath reach_path = ReachAnswerPath::kBes;
   /// Coordinator strategy for dist queries (see DistAnswerPath).
   DistAnswerPath dist_path = DistAnswerPath::kBes;
+  /// Coordinator strategy for regular queries (see RpqAnswerPath).
+  RpqAnswerPath rpq_path = RpqAnswerPath::kBes;
+  /// LRU entry cap for the signature-keyed rpq caches — the coordinator's
+  /// standing product boundary graphs AND each fragment's product rows.
+  size_t rpq_cache_entries = 8;
 };
 
 /// The paper's disReach / disDist / disRPQ unified behind the QueryEngine
@@ -86,11 +110,13 @@ class PartialEvalEngine : public QueryEngine {
     contexts_.Invalidate(site);
     if (boundary_) boundary_->InvalidateFragment(site);
     if (boundary_dist_) boundary_dist_->InvalidateFragment(site);
+    if (boundary_rpq_) boundary_rpq_->InvalidateFragment(site);
   }
   void InvalidateAllFragments() {
     contexts_.InvalidateAll();
     if (boundary_) boundary_->InvalidateAll();
     if (boundary_dist_) boundary_dist_->InvalidateAll();
+    if (boundary_rpq_) boundary_rpq_->InvalidateAll();
   }
 
   const FragmentContextCache& context_cache() const { return contexts_; }
@@ -103,6 +129,12 @@ class PartialEvalEngine : public QueryEngine {
   /// batch ran with dist_path == kBoundaryIndex.
   const BoundaryDistIndex* boundary_dist_index() const {
     return boundary_dist_.get();
+  }
+
+  /// The signature-keyed product boundary index, or nullptr before the
+  /// first rpq batch ran with rpq_path == kBoundaryIndex.
+  const BoundaryRpqIndex* boundary_rpq_index() const {
+    return boundary_rpq_.get();
   }
 
  protected:
@@ -125,10 +157,21 @@ class PartialEvalEngine : public QueryEngine {
                        const std::vector<size_t>& wire,
                        std::vector<QueryAnswer>* answers);
 
+  /// Answers the rpq queries `wire` (indices into `queries`) through the
+  /// signature-keyed product boundary index: one combined refresh round for
+  /// every (dirty fragment, automaton) combination of the batch, one sweep
+  /// round over the endpoint fragments (the batch's distinct automata cross
+  /// the wire once each), label lookups over the standing product graphs to
+  /// assemble.
+  void RunBoundaryRpq(std::span<const Query> queries,
+                      const std::vector<size_t>& wire,
+                      std::vector<QueryAnswer>* answers);
+
   PartialEvalOptions options_;
   FragmentContextCache contexts_;
   std::unique_ptr<BoundaryReachIndex> boundary_;
   std::unique_ptr<BoundaryDistIndex> boundary_dist_;
+  std::unique_ptr<BoundaryRpqIndex> boundary_rpq_;
 };
 
 }  // namespace pereach

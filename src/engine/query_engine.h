@@ -53,19 +53,47 @@ struct Query {
     return q;
   }
 
+  /// Builds the rpq query for `regex`. When the regex exceeds the
+  /// automaton's state cap (QueryAutomaton::FromRegex fails) the query
+  /// carries NO automaton: engines CHECK-fail on it, but QueryServer::Submit
+  /// rejects it gracefully — one oversized client regex must not kill a
+  /// serving process.
   static Query Rpq(NodeId s, NodeId t, const Regex& regex) {
-    return Rpq(s, t, QueryAutomaton::FromRegex(regex));
+    Query q;
+    q.kind = QueryKind::kRpq;
+    q.source = s;
+    q.target = t;
+    Result<QueryAutomaton> automaton = QueryAutomaton::FromRegex(regex);
+    if (automaton.ok()) q.automaton = std::move(automaton).value();
+    return q;
   }
 
-  /// Broadcast wire format of one query — the single definition every
-  /// engine's batch payload uses, so byte accounting cannot drift between
-  /// the engines a bench compares.
-  void Serialize(Encoder* enc) const {
+  /// True iff the query can be evaluated: every kind except an rpq whose
+  /// regex failed to build an automaton. Engines CHECK this; QueryServer
+  /// rejects instead.
+  bool well_formed() const {
+    return kind != QueryKind::kRpq || automaton.has_value();
+  }
+
+  /// Broadcast wire format of the automaton-independent fields — the
+  /// single definition every engine's batch payload uses, so byte
+  /// accounting cannot drift between the engines a bench compares. Batch
+  /// encoders that dedupe automata write this header plus a table
+  /// reference; Serialize appends the automaton inline.
+  void SerializeHeader(Encoder* enc) const {
     enc->PutU8(static_cast<uint8_t>(kind));
     enc->PutVarint(source);
     enc->PutVarint(target);
     if (kind == QueryKind::kDist) enc->PutVarint(bound);
-    if (kind == QueryKind::kRpq) automaton->Serialize(enc);
+  }
+
+  void Serialize(Encoder* enc) const {
+    SerializeHeader(enc);
+    if (kind == QueryKind::kRpq) {
+      PEREACH_CHECK(automaton.has_value() &&
+                    "serializing an rpq query with no automaton");
+      automaton->Serialize(enc);
+    }
   }
 };
 

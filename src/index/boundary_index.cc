@@ -1,10 +1,7 @@
 #include "src/index/boundary_index.h"
 
-#include <algorithm>
-#include <array>
+#include <utility>
 
-#include "src/graph/algorithms.h"
-#include "src/graph/graph.h"
 #include "src/util/logging.h"
 
 namespace pereach {
@@ -110,12 +107,13 @@ void BoundaryReachIndex::Ensure() {
                   "Ensure with dirty fragments: refresh their rows first");
   }
 
-  // 1. Intern the boundary-node universe (global id -> dense id). Every
+  // Intern the boundary-node universe (global id -> dense id). Every
   // virtual node is an in-node of the fragment storing its real copy, so
   // interning reps, alias members and row targets covers the whole V_f.
-  std::unordered_map<NodeId, uint32_t> dense;
-  auto intern = [&dense](NodeId g) {
-    return dense.emplace(g, static_cast<uint32_t>(dense.size())).first->second;
+  dense_of_.clear();
+  auto intern = [this](NodeId g) {
+    return dense_of_.emplace(g, static_cast<uint32_t>(dense_of_.size()))
+        .first->second;
   };
   std::vector<std::pair<uint32_t, uint32_t>> edges;
   for (SiteId s = 0; s < num_fragments_; ++s) {
@@ -134,109 +132,18 @@ void BoundaryReachIndex::Ensure() {
     }
   }
 
-  // 2. Condense. The boundary graph is built as a real Graph so the SCC /
-  // condensation machinery (and its reverse-topological id guarantee) is
-  // shared with the fragment-local path.
-  GraphBuilder builder;
-  builder.AddNodes(dense.size());
-  for (const auto& [u, v] : edges) {
-    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
-  }
-  const Condensation cond = Condense(std::move(builder).Build());
-  num_comps_ = cond.scc.num_components;
-  adj_offsets_ = cond.offsets;
-  adj_targets_ = cond.targets;
-  comp_of_.clear();
-  comp_of_.reserve(dense.size());
-  for (const auto& [global, d] : dense) {
-    comp_of_.emplace(global, cond.scc.component_of[d]);
-  }
-
-  // 3. Labels over the condensation. Two deterministic DFS labelings
-  // (natural and reversed child order); the first one's DFS-tree intervals
-  // [tin, tout) double as the certain-positive check.
-  labels_.assign(num_comps_, CompLabel{});
-  std::vector<uint8_t> visited(num_comps_);
-  // Frame: (component, next child position). Child positions count from the
-  // labeling's iteration end so both orders share one loop.
-  std::vector<std::pair<uint32_t, size_t>> stack;
-  for (size_t labeling = 0; labeling < kNumLabelings; ++labeling) {
-    visited.assign(num_comps_, 0);
-    uint32_t time = 0;  // shared pre/post counter; only relative order counts
-    uint32_t post = 0;
-    // Root order: descending ids first pass (sources have high reverse-topo
-    // ids), ascending second — more disagreement between the labelings.
-    for (size_t r = 0; r < num_comps_; ++r) {
-      const uint32_t root = static_cast<uint32_t>(
-          labeling == 0 ? num_comps_ - 1 - r : r);
-      if (visited[root]) continue;
-      visited[root] = 1;
-      if (labeling == 0) labels_[root].tin = time++;
-      stack.emplace_back(root, 0);
-      while (!stack.empty()) {
-        auto& [c, child] = stack.back();
-        const size_t degree = adj_offsets_[c + 1] - adj_offsets_[c];
-        if (child == degree) {
-          if (labeling == 0) labels_[c].tout = time++;
-          labels_[c].post[labeling] = post++;
-          stack.pop_back();
-          continue;
-        }
-        const size_t pos = labeling == 0 ? adj_offsets_[c] + child
-                                         : adj_offsets_[c + 1] - 1 - child;
-        ++child;
-        const uint32_t next = adj_targets_[pos];
-        if (visited[next]) continue;
-        visited[next] = 1;
-        if (labeling == 0) labels_[next].tin = time++;
-        stack.emplace_back(next, 0);
-      }
-    }
-    // low = min post rank over all descendants: component ids are reverse
-    // topological (every edge goes to a smaller id), so an ascending scan
-    // sees every successor's final low.
-    for (uint32_t c = 0; c < num_comps_; ++c) {
-      uint32_t low = labels_[c].post[labeling];
-      for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
-        low = std::min(low, labels_[adj_targets_[e]].low[labeling]);
-      }
-      labels_[c].low[labeling] = low;
-    }
-  }
-
-  visit_mark_.assign(num_comps_, 0);
-  visit_version_ = 0;
+  // Condensation + GRAIL labels: the coordinator core shared with the
+  // product boundary graph (see ReachLabels).
+  labels_.Build(dense_of_.size(), edges);
   stale_ = false;
   ++rebuild_count_;
 }
 
-uint32_t BoundaryReachIndex::CompOf(NodeId global) const {
-  const auto it = comp_of_.find(global);
-  PEREACH_CHECK(it != comp_of_.end() &&
+uint32_t BoundaryReachIndex::DenseOf(NodeId global) const {
+  const auto it = dense_of_.find(global);
+  PEREACH_CHECK(it != dense_of_.end() &&
                 "query endpoint is not a boundary node of this epoch");
   return it->second;
-}
-
-bool BoundaryReachIndex::LabelContains(uint32_t cu, uint32_t cv) const {
-  const CompLabel& lu = labels_[cu];
-  const uint32_t pv0 = labels_[cv].post[0];
-  const uint32_t pv1 = labels_[cv].post[1];
-  return lu.low[0] <= pv0 && pv0 <= lu.post[0] &&  //
-         lu.low[1] <= pv1 && pv1 <= lu.post[1];
-}
-
-int BoundaryReachIndex::LabelVerdict(uint32_t cu, uint32_t cv) const {
-  if (cu == cv) return 1;
-  // Reverse-topological ids: a descendant always has a smaller id.
-  if (cv > cu) return 0;
-  // Certain positive: cv sits inside cu's DFS-tree subtree (tree edges are
-  // condensation edges, so the tree path is a real path).
-  const CompLabel& lu = labels_[cu];
-  const uint32_t tv = labels_[cv].tin;
-  if (lu.tin <= tv && tv < lu.tout) return 1;
-  // Certain negative: interval containment is necessary for reachability.
-  if (!LabelContains(cu, cv)) return 0;
-  return -1;
 }
 
 bool BoundaryReachIndex::Reaches(NodeId u, NodeId v) {
@@ -249,93 +156,18 @@ bool BoundaryReachIndex::ReachesAny(std::span<const NodeId> sources,
                                     std::span<const NodeId> targets) {
   PEREACH_CHECK(!stale_ && "Ensure() before querying");
   if (sources.empty() || targets.empty()) return false;
-
-  // Dedupe both sides at the component level; within one side, members of
-  // the same component are interchangeable.
   std::vector<uint32_t> src;
   src.reserve(sources.size());
-  for (NodeId u : sources) src.push_back(CompOf(u));
-  std::sort(src.begin(), src.end());
-  src.erase(std::unique(src.begin(), src.end()), src.end());
-
+  for (NodeId u : sources) src.push_back(DenseOf(u));
   std::vector<uint32_t> tgt;
   tgt.reserve(targets.size());
-  for (NodeId v : targets) tgt.push_back(CompOf(v));
-  std::sort(tgt.begin(), tgt.end());
-  tgt.erase(std::unique(tgt.begin(), tgt.end()), tgt.end());
-
-  // Label pass: decide every (source, target) component pair by labels
-  // alone; collect the sources with an undecided pair for the fallback.
-  std::vector<uint32_t> undecided;
-  for (uint32_t cs : src) {
-    bool pending = false;
-    for (uint32_t ct : tgt) {
-      const int verdict = LabelVerdict(cs, ct);
-      if (verdict == 1) {
-        ++label_hits_;
-        return true;
-      }
-      pending |= verdict < 0;
-    }
-    if (pending) undecided.push_back(cs);
-  }
-  if (undecided.empty()) {
-    ++label_hits_;
-    return false;
-  }
-
-  // Fallback: one multi-source DFS over the condensation from the undecided
-  // sources, pruned by ids (descendants only have smaller ids) and by the
-  // target post-rank window per labeling.
-  ++dfs_fallbacks_;
-  const uint32_t min_target = tgt.front();
-  // Sorted post ranks of the targets, one list per labeling: a node can be
-  // pruned when no target rank falls inside its [low, post] interval.
-  std::array<std::vector<uint32_t>, kNumLabelings> tgt_post;
-  for (size_t l = 0; l < kNumLabelings; ++l) {
-    tgt_post[l].reserve(tgt.size());
-    for (uint32_t ct : tgt) tgt_post[l].push_back(labels_[ct].post[l]);
-    std::sort(tgt_post[l].begin(), tgt_post[l].end());
-  }
-  const auto may_reach_some_target = [&](uint32_t c) {
-    if (c < min_target) return false;
-    for (size_t l = 0; l < kNumLabelings; ++l) {
-      const auto it = std::lower_bound(tgt_post[l].begin(), tgt_post[l].end(),
-                                       labels_[c].low[l]);
-      if (it == tgt_post[l].end() || *it > labels_[c].post[l]) return false;
-    }
-    return true;
-  };
-
-  if (++visit_version_ == 0) {  // wrapped: re-zero the marks once
-    visit_mark_.assign(num_comps_, 0);
-    visit_version_ = 1;
-  }
-  dfs_stack_.clear();
-  for (uint32_t cs : undecided) {
-    if (visit_mark_[cs] == visit_version_) continue;
-    visit_mark_[cs] = visit_version_;
-    dfs_stack_.push_back(cs);
-  }
-  while (!dfs_stack_.empty()) {
-    const uint32_t c = dfs_stack_.back();
-    dfs_stack_.pop_back();
-    if (std::binary_search(tgt.begin(), tgt.end(), c)) return true;
-    for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
-      const uint32_t next = adj_targets_[e];
-      if (visit_mark_[next] == visit_version_) continue;
-      visit_mark_[next] = visit_version_;
-      if (may_reach_some_target(next)) dfs_stack_.push_back(next);
-    }
-  }
-  return false;
+  for (NodeId v : targets) tgt.push_back(DenseOf(v));
+  return labels_.ReachesAny(src, tgt);
 }
 
 size_t BoundaryReachIndex::ByteSize() const {
-  size_t bytes = comp_of_.size() * (sizeof(NodeId) + sizeof(uint32_t)) +
-                 adj_offsets_.size() * sizeof(size_t) +
-                 adj_targets_.size() * sizeof(uint32_t) +
-                 labels_.size() * sizeof(CompLabel);
+  size_t bytes = dense_of_.size() * (sizeof(NodeId) + sizeof(uint32_t)) +
+                 labels_.ByteSize();
   for (const BoundaryRows& fr : fragment_rows_) {
     bytes += fr.oset_globals.size() * sizeof(NodeId) +
              fr.rep_globals.size() * sizeof(NodeId) +

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/index/reach_labels.h"
 #include "src/util/common.h"
 #include "src/util/serialization.h"
 
@@ -44,14 +45,11 @@ struct BoundaryRows {
 /// segments of G — reachability between boundary nodes in this graph is
 /// reachability in G.
 ///
-/// On top of the graph the index keeps its SCC condensation plus a
-/// GRAIL-style label (Seufert et al.: compact labels over a REDUCED graph
-/// answer reachability in near-constant time): per component, the DFS-tree
-/// interval [tin, tout) for certain POSITIVES (v inside u's DFS subtree) and
-/// `kNumLabelings` post-order interval labels for certain NEGATIVES (label
-/// containment is necessary for reachability). Lookups that neither label
-/// decides fall back to a label-pruned DFS over the condensation, so every
-/// answer is exact.
+/// On top of the graph the index keeps its SCC condensation plus GRAIL-style
+/// labels (ReachLabels, the coordinator core shared with the product
+/// boundary graph of BoundaryRpqIndex): certain positives from DFS-tree
+/// intervals, certain negatives from post-order interval containment, and a
+/// label-pruned DFS fallback for the rest — every answer is exact.
 ///
 /// Incremental maintenance mirrors the FragmentContext cache: the owner
 /// marks fragments dirty on the IncrementalReachIndex::SetUpdateListener /
@@ -96,40 +94,23 @@ class BoundaryReachIndex {
                   std::span<const NodeId> targets);
 
   // --- observability -------------------------------------------------------
-  size_t num_boundary_nodes() const { return comp_of_.size(); }
-  size_t num_components() const { return num_comps_; }
-  size_t num_edges() const { return adj_targets_.size(); }
+  size_t num_boundary_nodes() const { return dense_of_.size(); }
+  size_t num_components() const { return labels_.num_components(); }
+  size_t num_edges() const { return labels_.num_edges(); }
   /// Full condensation + label rebuilds performed (dirty-epoch count).
   size_t rebuild_count() const { return rebuild_count_; }
   /// Lookups (Reaches / ReachesAny calls) decided by labels alone vs
   /// lookups that needed the pruned-DFS fallback for at least one pair.
-  size_t label_hits() const { return label_hits_; }
-  size_t dfs_fallbacks() const { return dfs_fallbacks_; }
+  size_t label_hits() const { return labels_.label_hits(); }
+  size_t dfs_fallbacks() const { return labels_.dfs_fallbacks(); }
 
   /// Rough resident size of the rebuilt structure, bytes.
   size_t ByteSize() const;
 
  private:
-  // Two deterministic labelings: natural and reversed child order. Distinct
-  // DFS orders disagree on non-tree descendants, so their intersection
-  // rejects most unreachable pairs (GRAIL's k-interval argument).
-  static constexpr size_t kNumLabelings = 2;
-
-  struct CompLabel {
-    // DFS-tree interval: v certainly reachable when tin_[v] in [tin, tout).
-    uint32_t tin = 0;
-    uint32_t tout = 0;
-    // Post-order interval per labeling: [low, post]. Containment of v's
-    // interval in u's is necessary for u to reach v.
-    uint32_t low[kNumLabelings] = {0, 0};
-    uint32_t post[kNumLabelings] = {0, 0};
-  };
-
-  uint32_t CompOf(NodeId global) const;
-  /// Label-only verdict for components cu -> cv: 1 = certainly reaches,
-  /// 0 = certainly not, -1 = undecided (DFS needed).
-  int LabelVerdict(uint32_t cu, uint32_t cv) const;
-  bool LabelContains(uint32_t cu, uint32_t cv) const;
+  /// Dense id of a boundary-node global id; CHECK-fails for non-boundary
+  /// nodes (a query endpoint outside the current epoch's universe).
+  uint32_t DenseOf(NodeId global) const;
 
   size_t num_fragments_;
   std::vector<BoundaryRows> fragment_rows_;
@@ -137,24 +118,12 @@ class BoundaryReachIndex {
   std::vector<bool> dirty_;
   bool stale_ = true;  // condensation/labels out of date w.r.t. the rows
 
-  // Rebuilt structure (valid while !stale_).
-  std::unordered_map<NodeId, uint32_t> comp_of_;  // boundary global -> comp
-  size_t num_comps_ = 0;
-  // Condensation adjacency, CSR. Component ids are Tarjan reverse
-  // topological: every edge goes from a higher id to a lower one.
-  std::vector<size_t> adj_offsets_;
-  std::vector<uint32_t> adj_targets_;
-  std::vector<CompLabel> labels_;
-
-  // Scratch for the DFS fallback, sized num_comps_ and versioned so calls
-  // don't re-clear it.
-  std::vector<uint32_t> visit_mark_;
-  std::vector<uint32_t> dfs_stack_;
-  uint32_t visit_version_ = 0;
+  // Rebuilt structure (valid while !stale_): the boundary-node universe and
+  // the shared condensation + GRAIL labels over it.
+  std::unordered_map<NodeId, uint32_t> dense_of_;  // boundary global -> dense
+  ReachLabels labels_;
 
   size_t rebuild_count_ = 0;
-  size_t label_hits_ = 0;
-  size_t dfs_fallbacks_ = 0;
 };
 
 }  // namespace pereach

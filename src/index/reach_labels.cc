@@ -1,0 +1,198 @@
+#include "src/index/reach_labels.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/graph.h"
+
+namespace pereach {
+
+void ReachLabels::Build(
+    size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  // 1. Condense. The graph is built as a real Graph so the SCC /
+  // condensation machinery (and its reverse-topological id guarantee) is
+  // shared with the fragment-local path.
+  GraphBuilder builder;
+  builder.AddNodes(num_nodes);
+  for (const auto& [u, v] : edges) {
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  const Condensation cond = Condense(std::move(builder).Build());
+  num_comps_ = cond.scc.num_components;
+  component_of_ = cond.scc.component_of;
+  adj_offsets_ = cond.offsets;
+  adj_targets_ = cond.targets;
+
+  // 2. Labels over the condensation. Two deterministic DFS labelings
+  // (natural and reversed child order); the first one's DFS-tree intervals
+  // [tin, tout) double as the certain-positive check.
+  labels_.assign(num_comps_, CompLabel{});
+  std::vector<uint8_t> visited(num_comps_);
+  // Frame: (component, next child position). Child positions count from the
+  // labeling's iteration end so both orders share one loop.
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  for (size_t labeling = 0; labeling < kNumLabelings; ++labeling) {
+    visited.assign(num_comps_, 0);
+    uint32_t time = 0;  // shared pre/post counter; only relative order counts
+    uint32_t post = 0;
+    // Root order: descending ids first pass (sources have high reverse-topo
+    // ids), ascending second — more disagreement between the labelings.
+    for (size_t r = 0; r < num_comps_; ++r) {
+      const uint32_t root = static_cast<uint32_t>(
+          labeling == 0 ? num_comps_ - 1 - r : r);
+      if (visited[root]) continue;
+      visited[root] = 1;
+      if (labeling == 0) labels_[root].tin = time++;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [c, child] = stack.back();
+        const size_t degree = adj_offsets_[c + 1] - adj_offsets_[c];
+        if (child == degree) {
+          if (labeling == 0) labels_[c].tout = time++;
+          labels_[c].post[labeling] = post++;
+          stack.pop_back();
+          continue;
+        }
+        const size_t pos = labeling == 0 ? adj_offsets_[c] + child
+                                         : adj_offsets_[c + 1] - 1 - child;
+        ++child;
+        const uint32_t next = adj_targets_[pos];
+        if (visited[next]) continue;
+        visited[next] = 1;
+        if (labeling == 0) labels_[next].tin = time++;
+        stack.emplace_back(next, 0);
+      }
+    }
+    // low = min post rank over all descendants: component ids are reverse
+    // topological (every edge goes to a smaller id), so an ascending scan
+    // sees every successor's final low.
+    for (uint32_t c = 0; c < num_comps_; ++c) {
+      uint32_t low = labels_[c].post[labeling];
+      for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
+        low = std::min(low, labels_[adj_targets_[e]].low[labeling]);
+      }
+      labels_[c].low[labeling] = low;
+    }
+  }
+
+  visit_mark_.assign(num_comps_, 0);
+  visit_version_ = 0;
+}
+
+bool ReachLabels::LabelContains(uint32_t cu, uint32_t cv) const {
+  const CompLabel& lu = labels_[cu];
+  const uint32_t pv0 = labels_[cv].post[0];
+  const uint32_t pv1 = labels_[cv].post[1];
+  return lu.low[0] <= pv0 && pv0 <= lu.post[0] &&  //
+         lu.low[1] <= pv1 && pv1 <= lu.post[1];
+}
+
+int ReachLabels::LabelVerdict(uint32_t cu, uint32_t cv) const {
+  if (cu == cv) return 1;
+  // Reverse-topological ids: a descendant always has a smaller id.
+  if (cv > cu) return 0;
+  // Certain positive: cv sits inside cu's DFS-tree subtree (tree edges are
+  // condensation edges, so the tree path is a real path).
+  const CompLabel& lu = labels_[cu];
+  const uint32_t tv = labels_[cv].tin;
+  if (lu.tin <= tv && tv < lu.tout) return 1;
+  // Certain negative: interval containment is necessary for reachability.
+  if (!LabelContains(cu, cv)) return 0;
+  return -1;
+}
+
+bool ReachLabels::ReachesAny(std::span<const uint32_t> sources,
+                             std::span<const uint32_t> targets) {
+  if (sources.empty() || targets.empty()) return false;
+
+  // Dedupe both sides at the component level; within one side, members of
+  // the same component are interchangeable.
+  std::vector<uint32_t> src;
+  src.reserve(sources.size());
+  for (uint32_t u : sources) src.push_back(comp_of(u));
+  std::sort(src.begin(), src.end());
+  src.erase(std::unique(src.begin(), src.end()), src.end());
+
+  std::vector<uint32_t> tgt;
+  tgt.reserve(targets.size());
+  for (uint32_t v : targets) tgt.push_back(comp_of(v));
+  std::sort(tgt.begin(), tgt.end());
+  tgt.erase(std::unique(tgt.begin(), tgt.end()), tgt.end());
+
+  // Label pass: decide every (source, target) component pair by labels
+  // alone; collect the sources with an undecided pair for the fallback.
+  std::vector<uint32_t> undecided;
+  for (uint32_t cs : src) {
+    bool pending = false;
+    for (uint32_t ct : tgt) {
+      const int verdict = LabelVerdict(cs, ct);
+      if (verdict == 1) {
+        ++label_hits_;
+        return true;
+      }
+      pending |= verdict < 0;
+    }
+    if (pending) undecided.push_back(cs);
+  }
+  if (undecided.empty()) {
+    ++label_hits_;
+    return false;
+  }
+
+  // Fallback: one multi-source DFS over the condensation from the undecided
+  // sources, pruned by ids (descendants only have smaller ids) and by the
+  // target post-rank window per labeling.
+  ++dfs_fallbacks_;
+  const uint32_t min_target = tgt.front();
+  // Sorted post ranks of the targets, one list per labeling: a node can be
+  // pruned when no target rank falls inside its [low, post] interval.
+  std::array<std::vector<uint32_t>, kNumLabelings> tgt_post;
+  for (size_t l = 0; l < kNumLabelings; ++l) {
+    tgt_post[l].reserve(tgt.size());
+    for (uint32_t ct : tgt) tgt_post[l].push_back(labels_[ct].post[l]);
+    std::sort(tgt_post[l].begin(), tgt_post[l].end());
+  }
+  const auto may_reach_some_target = [&](uint32_t c) {
+    if (c < min_target) return false;
+    for (size_t l = 0; l < kNumLabelings; ++l) {
+      const auto it = std::lower_bound(tgt_post[l].begin(), tgt_post[l].end(),
+                                       labels_[c].low[l]);
+      if (it == tgt_post[l].end() || *it > labels_[c].post[l]) return false;
+    }
+    return true;
+  };
+
+  if (++visit_version_ == 0) {  // wrapped: re-zero the marks once
+    visit_mark_.assign(num_comps_, 0);
+    visit_version_ = 1;
+  }
+  dfs_stack_.clear();
+  for (uint32_t cs : undecided) {
+    if (visit_mark_[cs] == visit_version_) continue;
+    visit_mark_[cs] = visit_version_;
+    dfs_stack_.push_back(cs);
+  }
+  while (!dfs_stack_.empty()) {
+    const uint32_t c = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    if (std::binary_search(tgt.begin(), tgt.end(), c)) return true;
+    for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
+      const uint32_t next = adj_targets_[e];
+      if (visit_mark_[next] == visit_version_) continue;
+      visit_mark_[next] = visit_version_;
+      if (may_reach_some_target(next)) dfs_stack_.push_back(next);
+    }
+  }
+  return false;
+}
+
+size_t ReachLabels::ByteSize() const {
+  return component_of_.size() * sizeof(uint32_t) +
+         adj_offsets_.size() * sizeof(size_t) +
+         adj_targets_.size() * sizeof(uint32_t) +
+         labels_.size() * sizeof(CompLabel);
+}
+
+}  // namespace pereach

@@ -1,0 +1,104 @@
+#ifndef PEREACH_INDEX_REACH_LABELS_H_
+#define PEREACH_INDEX_REACH_LABELS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/common.h"
+#include "src/util/logging.h"
+
+namespace pereach {
+
+/// GRAIL-style reachability labels over the SCC condensation of a small
+/// dense-id graph — the shared coordinator core behind the standing boundary
+/// indexes (BoundaryReachIndex over boundary NODES, BoundaryRpqIndex over
+/// boundary (node, automaton state) PAIRS). Owners intern their domain keys
+/// to dense ids and delegate condensation, labeling and lookups here.
+///
+/// Per component the label keeps the DFS-tree interval [tin, tout) for
+/// certain POSITIVES (v inside u's DFS subtree) and kNumLabelings post-order
+/// interval labels for certain NEGATIVES (interval containment is necessary
+/// for reachability; Seufert et al.: compact labels over a REDUCED graph
+/// answer reachability in near-constant time). Lookups neither label decides
+/// fall back to a label-pruned DFS over the condensation, so every answer is
+/// exact. `label_hits` / `dfs_fallbacks` stay observable.
+///
+/// Thread-safety: none (ReachesAny mutates versioned scratch). One instance
+/// belongs to one index entry; the engine's single-dispatcher discipline
+/// provides the exclusion.
+class ReachLabels {
+ public:
+  /// Condenses the edge list over `num_nodes` dense ids and rebuilds the
+  /// labels from scratch. May be called repeatedly; each call is a full
+  /// rebuild. Edge endpoints must be < num_nodes.
+  void Build(size_t num_nodes,
+             const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  /// Component of a dense node id (valid after Build).
+  uint32_t comp_of(uint32_t node) const {
+    PEREACH_CHECK_LT(node, component_of_.size());
+    return component_of_[node];
+  }
+
+  /// True iff ANY source reaches ANY target (reflexive; duplicate entries
+  /// are fine), nodes given by dense id. One label pass over the source x
+  /// target component pairs, then at most one multi-source label-pruned DFS.
+  bool ReachesAny(std::span<const uint32_t> sources,
+                  std::span<const uint32_t> targets);
+
+  // --- observability -------------------------------------------------------
+  size_t num_nodes() const { return component_of_.size(); }
+  size_t num_components() const { return num_comps_; }
+  /// Deduplicated condensation edges.
+  size_t num_edges() const { return adj_targets_.size(); }
+  /// Lookups decided by labels alone vs lookups that needed the pruned-DFS
+  /// fallback for at least one pair.
+  size_t label_hits() const { return label_hits_; }
+  size_t dfs_fallbacks() const { return dfs_fallbacks_; }
+
+  /// Rough resident size of the rebuilt structure, bytes.
+  size_t ByteSize() const;
+
+ private:
+  // Two deterministic labelings: natural and reversed child order. Distinct
+  // DFS orders disagree on non-tree descendants, so their intersection
+  // rejects most unreachable pairs (GRAIL's k-interval argument).
+  static constexpr size_t kNumLabelings = 2;
+
+  struct CompLabel {
+    // DFS-tree interval: v certainly reachable when tin_[v] in [tin, tout).
+    uint32_t tin = 0;
+    uint32_t tout = 0;
+    // Post-order interval per labeling: [low, post]. Containment of v's
+    // interval in u's is necessary for u to reach v.
+    uint32_t low[kNumLabelings] = {0, 0};
+    uint32_t post[kNumLabelings] = {0, 0};
+  };
+
+  /// Label-only verdict for components cu -> cv: 1 = certainly reaches,
+  /// 0 = certainly not, -1 = undecided (DFS needed).
+  int LabelVerdict(uint32_t cu, uint32_t cv) const;
+  bool LabelContains(uint32_t cu, uint32_t cv) const;
+
+  std::vector<uint32_t> component_of_;  // dense node -> component
+  size_t num_comps_ = 0;
+  // Condensation adjacency, CSR. Component ids are Tarjan reverse
+  // topological: every edge goes from a higher id to a lower one.
+  std::vector<size_t> adj_offsets_;
+  std::vector<uint32_t> adj_targets_;
+  std::vector<CompLabel> labels_;
+
+  // Scratch for the DFS fallback, sized num_comps_ and versioned so calls
+  // don't re-clear it.
+  std::vector<uint32_t> visit_mark_;
+  std::vector<uint32_t> dfs_stack_;
+  uint32_t visit_version_ = 0;
+
+  size_t label_hits_ = 0;
+  size_t dfs_fallbacks_ = 0;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_INDEX_REACH_LABELS_H_

@@ -1,0 +1,149 @@
+#include "src/regex/canonical.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace pereach {
+
+namespace {
+
+constexpr uint32_t kStart = QueryAutomaton::kStart;
+constexpr uint32_t kFinal = QueryAutomaton::kFinal;
+
+/// Bitmask fixpoint of `step` starting from `seed` over <= 64 states.
+template <typename Step>
+uint64_t MaskFixpoint(uint64_t seed, const Step& step) {
+  uint64_t current = seed;
+  while (true) {
+    const uint64_t next = step(current);
+    if (next == current) return current;
+    current = next;
+  }
+}
+
+}  // namespace
+
+uint64_t SignatureHash(const std::string& key) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (const char c : key) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV-1a 64 prime
+  }
+  return hash;
+}
+
+CanonicalAutomaton Canonicalize(const QueryAutomaton& a) {
+  const size_t n = a.num_states();
+  std::vector<LabelId> labels(n);
+  std::vector<uint64_t> out(n);
+  for (uint32_t q = 0; q < n; ++q) {
+    labels[q] = a.state_label(q);
+    out[q] = a.out_mask(q);
+  }
+
+  // 1. Prune interior states off every accepting run: keep those reachable
+  // from u_s AND co-reachable to u_t. Ascending scans converge because each
+  // step only adds bits.
+  const uint64_t fwd = MaskFixpoint(uint64_t{1} << kStart, [&](uint64_t m) {
+    uint64_t next = m;
+    uint64_t scan = m;
+    while (scan != 0) {
+      next |= out[__builtin_ctzll(scan)];
+      scan &= scan - 1;
+    }
+    return next;
+  });
+  const uint64_t bwd = MaskFixpoint(uint64_t{1} << kFinal, [&](uint64_t m) {
+    uint64_t next = m;
+    for (uint32_t q = 0; q < n; ++q) {
+      if ((out[q] & m) != 0) next |= uint64_t{1} << q;
+    }
+    return next;
+  });
+  uint64_t alive =
+      (fwd & bwd) | (uint64_t{1} << kStart) | (uint64_t{1} << kFinal);
+  alive &= (n >= 64) ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  for (uint32_t q = 0; q < n; ++q) out[q] &= alive;
+
+  // 2. Merge fixpoint: interior states with identical (label, successor
+  // mask) are interchangeable; fold each class onto its smallest member and
+  // redirect every transition. Merging rewrites masks, which can equalize
+  // further states, so iterate to fixpoint (<= 62 rounds).
+  std::vector<uint32_t> rep(n);
+  std::iota(rep.begin(), rep.end(), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t q = 2; q < n; ++q) {
+      if (rep[q] != q || !((alive >> q) & 1)) continue;
+      for (uint32_t p = 2; p < q; ++p) {
+        if (rep[p] != p || !((alive >> p) & 1)) continue;
+        if (labels[p] == labels[q] && out[p] == out[q]) {
+          rep[q] = p;
+          alive &= ~(uint64_t{1} << q);
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (!changed) break;
+    // Redirect transitions of merged states onto their representatives.
+    for (uint32_t q = 0; q < n; ++q) {
+      uint64_t mask = out[q];
+      uint64_t merged = 0;
+      uint64_t scan = mask;
+      while (scan != 0) {
+        const uint32_t s = static_cast<uint32_t>(__builtin_ctzll(scan));
+        scan &= scan - 1;
+        if (rep[s] != s) {
+          mask &= ~(uint64_t{1} << s);
+          merged |= uint64_t{1} << rep[s];
+        }
+      }
+      out[q] = mask | merged;
+    }
+  }
+
+  // 3. Canonical renumbering: u_s, u_t keep 0 and 1; surviving interior
+  // states sort by (label, original position) — stable under the
+  // left-to-right position numbering of the Glushkov construction.
+  std::vector<uint32_t> kept;
+  for (uint32_t q = 2; q < n; ++q) {
+    if ((alive >> q) & 1) kept.push_back(q);
+  }
+  std::stable_sort(kept.begin(), kept.end(), [&](uint32_t x, uint32_t y) {
+    return labels[x] < labels[y];
+  });
+  std::vector<uint32_t> new_id(n, 0);
+  new_id[kStart] = kStart;
+  new_id[kFinal] = kFinal;
+  for (uint32_t i = 0; i < kept.size(); ++i) new_id[kept[i]] = 2 + i;
+
+  std::vector<LabelId> canon_labels(2 + kept.size(), kInvalidLabel);
+  std::vector<uint64_t> canon_out(2 + kept.size(), 0);
+  const auto remap = [&](uint64_t mask) {
+    uint64_t result = 0;
+    while (mask != 0) {
+      result |= uint64_t{1} << new_id[__builtin_ctzll(mask)];
+      mask &= mask - 1;
+    }
+    return result;
+  };
+  canon_out[kStart] = remap(out[kStart]);
+  for (uint32_t i = 0; i < kept.size(); ++i) {
+    canon_labels[2 + i] = labels[kept[i]];
+    canon_out[2 + i] = remap(out[kept[i]]);
+  }
+
+  CanonicalAutomaton result{
+      QueryAutomaton::FromParts(std::move(canon_labels), std::move(canon_out)),
+      {}};
+  Encoder enc;
+  result.automaton.Serialize(&enc);
+  result.signature.key.assign(enc.buffer().begin(), enc.buffer().end());
+  result.signature.hash = SignatureHash(result.signature.key);
+  return result;
+}
+
+}  // namespace pereach

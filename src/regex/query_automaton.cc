@@ -1,5 +1,8 @@
 #include "src/regex/query_automaton.h"
 
+#include <string>
+#include <utility>
+
 namespace pereach {
 
 namespace {
@@ -70,9 +73,14 @@ GlushkovInfo Analyze(const Regex& r, std::vector<uint64_t>* follow,
 
 }  // namespace
 
-QueryAutomaton QueryAutomaton::FromRegex(const Regex& r) {
+Result<QueryAutomaton> QueryAutomaton::FromRegex(const Regex& r) {
   const size_t num_positions = r.NumSymbols();
-  PEREACH_CHECK_LE(num_positions + 2, kMaxStates);
+  if (num_positions + 2 > kMaxStates) {
+    return Status::InvalidArgument(
+        "regex has " + std::to_string(num_positions) +
+        " symbol occurrences; the query automaton caps at " +
+        std::to_string(kMaxStates - 2));
+  }
 
   std::vector<uint64_t> follow;
   std::vector<LabelId> pos_label;
@@ -94,6 +102,22 @@ QueryAutomaton QueryAutomaton::FromRegex(const Regex& r) {
     a.out_[2 + p] = shift_positions(follow[p]);
     if ((info.last >> p) & 1) a.out_[2 + p] |= uint64_t{1} << kFinal;
   }
+  a.RebuildLabelIndex();
+  return a;
+}
+
+QueryAutomaton QueryAutomaton::FromParts(std::vector<LabelId> labels,
+                                         std::vector<uint64_t> out) {
+  PEREACH_CHECK_EQ(labels.size(), out.size());
+  PEREACH_CHECK_GE(labels.size(), size_t{2});
+  PEREACH_CHECK_LE(labels.size(), kMaxStates);
+  const size_t n = labels.size();
+  const uint64_t valid =
+      (n >= 64) ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  for (uint64_t m : out) PEREACH_CHECK_EQ(m & ~valid, uint64_t{0});
+  QueryAutomaton a;
+  a.labels_ = std::move(labels);
+  a.out_ = std::move(out);
   a.RebuildLabelIndex();
   return a;
 }

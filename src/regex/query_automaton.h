@@ -8,6 +8,7 @@
 #include "src/regex/regex.h"
 #include "src/util/common.h"
 #include "src/util/serialization.h"
+#include "src/util/status.h"
 
 namespace pereach {
 
@@ -36,13 +37,23 @@ class QueryAutomaton {
   /// `_*` without enumerating the alphabet.
   static constexpr LabelId kWildcardLabel = kInvalidLabel - 1;
 
-  /// Builds the Glushkov query automaton of `r`. CHECK-fails if r has more
-  /// than kMaxStates - 2 symbol occurrences.
-  static QueryAutomaton FromRegex(const Regex& r);
+  /// Builds the Glushkov query automaton of `r`. Fails with InvalidArgument
+  /// when r has more than kMaxStates - 2 symbol occurrences (the 64-state
+  /// word-parallel cap): serving paths surface the status to the client
+  /// instead of aborting the process on an oversized regex.
+  static Result<QueryAutomaton> FromRegex(const Regex& r);
 
   /// The automaton of `_*`: u_s -> u_t plus one wildcard self-loop state.
   /// Reach(s, t) == RegularReach(s, t, WildcardStar()).
   static QueryAutomaton WildcardStar();
+
+  /// Assembles an automaton from explicit per-state labels and successor
+  /// masks (state 0 = u_s, 1 = u_t, labels kInvalidLabel for both). Used by
+  /// the canonicalizer (src/regex/canonical.h) and by tests that need exact
+  /// control over the transition structure. CHECK-fails on inconsistent
+  /// sizes or mask bits beyond the state count.
+  static QueryAutomaton FromParts(std::vector<LabelId> labels,
+                                  std::vector<uint64_t> out);
 
   /// Number of states |V_q| (including u_s and u_t).
   size_t num_states() const { return labels_.size(); }

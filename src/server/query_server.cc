@@ -54,6 +54,17 @@ std::future<ServedAnswer> QueryServer::Submit(Query query) {
   // Push itself, which decides under the queue lock. A submission that loses
   // the race against Stop() — probe passes, queue shuts down, Push rejects —
   // resolves as rejected here rather than aborting in the queue.
+  // A malformed regular query — an oversized regex leaves Query::Rpq with
+  // no automaton — is rejected here instead of CHECK-aborting the
+  // dispatcher's engine: the client sees a rejected answer, the server
+  // keeps serving everyone else.
+  if (!pending.query.well_formed()) {
+    ServedAnswer rejected;
+    rejected.epoch = gate_.epoch();
+    rejected.rejected = true;
+    pending.promise.set_value(std::move(rejected));
+    return future;
+  }
   if (stopping_.load(std::memory_order_acquire)) {
     ServedAnswer rejected;
     rejected.epoch = gate_.epoch();

@@ -119,7 +119,7 @@ TEST(DisRpqSuciuTest, MatchesDisRpqAndVisitsTwice) {
   Cluster cluster(&frag, NetworkModel());
   Result<Regex> r = Regex::Parse("DB* | HR*", ex.labels);
   ASSERT_TRUE(r.ok());
-  const QueryAutomaton a = QueryAutomaton::FromRegex(r.value());
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r.value()).value();
 
   const QueryAnswer suciu = DisRpqSuciu(&cluster, ex.ann, ex.mark, a);
   EXPECT_TRUE(suciu.reachable);
@@ -138,7 +138,7 @@ TEST(DisRpqSuciuTest, DenseRelationsShipMoreThanDisRpq) {
   const Fragmentation frag = Fragmentation::Build(g, part, 4);
   Cluster cluster(&frag, NetworkModel());
   const QueryAutomaton a =
-      QueryAutomaton::FromRegex(Regex::Random(6, 4, &rng));
+      QueryAutomaton::FromRegex(Regex::Random(6, 4, &rng)).value();
   const QueryAnswer suciu = DisRpqSuciu(&cluster, 0, 399, a);
   const QueryAnswer rpq = DisRpqAutomaton(&cluster, 0, 399, a);
   EXPECT_GT(suciu.metrics.traffic_bytes, rpq.metrics.traffic_bytes);
@@ -155,7 +155,8 @@ TEST(DisRpqSuciuTest, PropertyMatchesCentralized) {
     Cluster cluster(&frag, NetworkModel());
     for (int q = 0; q < 6; ++q) {
       const QueryAutomaton a =
-          QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 3, &rng));
+          QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 3, &rng))
+              .value();
       const NodeId s = static_cast<NodeId>(rng.Uniform(n));
       const NodeId t = static_cast<NodeId>(rng.Uniform(n));
       ASSERT_EQ(DisRpqSuciu(&cluster, s, t, a).reachable,
@@ -176,7 +177,8 @@ TEST(DisRpqNaiveTest, PropertyMatchesCentralized) {
     Cluster cluster(&frag, NetworkModel());
     for (int q = 0; q < 6; ++q) {
       const QueryAutomaton a =
-          QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(5), 3, &rng));
+          QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(5), 3, &rng))
+              .value();
       const NodeId s = static_cast<NodeId>(rng.Uniform(n));
       const NodeId t = static_cast<NodeId>(rng.Uniform(n));
       ASSERT_EQ(DisRpqNaive(&cluster, s, t, a).reachable,

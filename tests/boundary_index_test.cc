@@ -252,7 +252,8 @@ TEST(BoundaryIndexDifferentialTest, MixedClassBatchesAgreeWithBes) {
       default:
         batch.push_back(Query::Rpq(
             s, t,
-            QueryAutomaton::FromRegex(Regex::Random(3, kLabels, &rng))));
+            QueryAutomaton::FromRegex(Regex::Random(3, kLabels, &rng))
+                .value()));
     }
   }
   const BatchAnswer expected = bes_engine.EvaluateBatch(batch);

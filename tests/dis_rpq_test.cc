@@ -136,7 +136,8 @@ TEST(DisRpqTest, MatchesBruteForceOnTinyDags) {
       const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
       const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
       const bool expected = BruteForceRegularReach(g, s, t, r);
-      ASSERT_EQ(CentralizedRegularReach(g, s, t, QueryAutomaton::FromRegex(r)),
+      ASSERT_EQ(CentralizedRegularReach(
+                    g, s, t, QueryAutomaton::FromRegex(r).value()),
                 expected)
           << "centralized oracle drifted from path semantics";
       ASSERT_EQ(DisRpq(&cluster, {s, t, r}).reachable, expected)
@@ -168,7 +169,7 @@ TEST_P(DisRpqPropertyTest, MatchesCentralized) {
     Cluster cluster(&frag, NetworkModel());
     for (int q = 0; q < 8; ++q) {
       const Regex r = Regex::Random(c.regex_symbols, c.num_labels, &rng);
-      const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+      const QueryAutomaton a = QueryAutomaton::FromRegex(r).value();
       const NodeId s = static_cast<NodeId>(rng.Uniform(c.n));
       const NodeId t = static_cast<NodeId>(rng.Uniform(c.n));
       const QueryAnswer answer = DisRpqAutomaton(&cluster, s, t, a);

@@ -116,7 +116,8 @@ TEST_P(EquationFormTest, RegularFormsAgreeWithCentralized) {
   const Fragmentation frag = Fragmentation::Build(g, part, c.k);
   for (int q = 0; q < 6; ++q) {
     const QueryAutomaton a =
-        QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 3, &rng));
+        QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 3, &rng))
+            .value();
     const NodeId s = static_cast<NodeId>(rng.Uniform(c.n));
     const NodeId t = static_cast<NodeId>(rng.Uniform(c.n));
     const bool expected = CentralizedRegularReach(g, s, t, a);

@@ -87,10 +87,15 @@ TEST(FailureTest, FragmentationRejectsOutOfRangeSite) {
   EXPECT_DEATH(Fragmentation::Build(g, part, 2), "CHECK failed");
 }
 
-TEST(FailureTest, AutomatonRejectsOversizedRegex) {
+TEST(FailureTest, AutomatonRejectsOversizedRegexWithStatus) {
   Rng rng(1);
   const Regex big = Regex::Random(63, 4, &rng);  // 63 + 2 states > 64
-  EXPECT_DEATH(QueryAutomaton::FromRegex(big), "CHECK failed");
+  const Result<QueryAutomaton> r = QueryAutomaton::FromRegex(big);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The failure must be a value, not an abort: a Query built from the same
+  // regex simply carries no automaton (QueryServer::Submit rejects it).
+  EXPECT_FALSE(Query::Rpq(0, 1, big).automaton.has_value());
 }
 
 TEST(FailureTest, ResultValueOnErrorAborts) {

@@ -139,7 +139,7 @@ TEST_P(GuaranteesTest, DisDistVisitsEachSiteOnce) {
 TEST_P(GuaranteesTest, DisRpqVisitsEachSiteOnceAndTrafficBounded) {
   for (int q = 0; q < 5; ++q) {
     const QueryAutomaton a =
-        QueryAutomaton::FromRegex(Regex::Random(4, 3, rng_.get()));
+        QueryAutomaton::FromRegex(Regex::Random(4, 3, rng_.get())).value();
     const auto [s, t] = RandomPair();
     const QueryAnswer answer = DisRpqAutomaton(cluster_.get(), s, t, a);
     for (size_t v : answer.metrics.site_visits) ASSERT_EQ(v, 1u);

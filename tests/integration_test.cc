@@ -112,7 +112,8 @@ TEST(IntegrationTest, RegularQueriesAgreeOnLabeledDataset) {
   DistributedGraph dg(std::move(g), part, 4);
   for (int q = 0; q < 8; ++q) {
     const QueryAutomaton a =
-        QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 12, &rng));
+        QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 12, &rng))
+            .value();
     const NodeId s = static_cast<NodeId>(rng.Uniform(oracle.NumNodes()));
     const NodeId t = static_cast<NodeId>(rng.Uniform(oracle.NumNodes()));
     const bool expected = CentralizedRegularReach(oracle, s, t, a);

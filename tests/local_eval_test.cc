@@ -207,7 +207,7 @@ TEST(LocalEvalRegularTest, PaperExample7Vectors) {
   const LabelId hr = ex.labels.Find("HR");
   const Regex r = Regex::Union(Regex::Star(Regex::Symbol(db)),
                                Regex::Star(Regex::Symbol(hr)));
-  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r).value();
 
   const RegularPartialAnswer pa =
       LocalEvalRegular(frag.fragment(1), a, ex.ann, ex.mark);
@@ -251,7 +251,7 @@ TEST(LocalEvalRegularTest, TargetFragmentProducesTrue) {
   const LabelId db = ex.labels.Find("DB");
   const LabelId hr = ex.labels.Find("HR");
   const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Union(
-      Regex::Star(Regex::Symbol(db)), Regex::Star(Regex::Symbol(hr))));
+      Regex::Star(Regex::Symbol(db)), Regex::Star(Regex::Symbol(hr)))).value();
 
   const RegularPartialAnswer pa =
       LocalEvalRegular(frag.fragment(2), a, ex.ann, ex.mark);

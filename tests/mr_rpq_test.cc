@@ -18,7 +18,7 @@ TEST(MrRpqTest, PaperExampleQuery) {
   ThreadPool pool(4);
   Result<Regex> r = Regex::Parse("DB* | HR*", ex.labels);
   ASSERT_TRUE(r.ok());
-  const QueryAutomaton a = QueryAutomaton::FromRegex(r.value());
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r.value()).value();
   const MapReduceRpqResult res = MapReduceRpqOnGraph(
       ex.graph, ex.ann, ex.mark, a, /*num_mappers=*/3, NetworkModel(), &pool);
   EXPECT_TRUE(res.answer.reachable);
@@ -32,8 +32,8 @@ TEST(MrRpqTest, NegativeQuery) {
   Result<Regex> r = Regex::Parse("DB DB DB", ex.labels);
   ASSERT_TRUE(r.ok());
   const MapReduceRpqResult res = MapReduceRpqOnGraph(
-      ex.graph, ex.ann, ex.mark, QueryAutomaton::FromRegex(r.value()), 3,
-      NetworkModel(), &pool);
+      ex.graph, ex.ann, ex.mark, QueryAutomaton::FromRegex(r.value()).value(),
+      3, NetworkModel(), &pool);
   EXPECT_FALSE(res.answer.reachable);
 }
 
@@ -44,7 +44,8 @@ TEST(MrRpqTest, MatchesCentralizedAcrossMapperCounts) {
   for (size_t mappers : {1, 2, 5, 10, 16}) {
     for (int q = 0; q < 6; ++q) {
       const QueryAutomaton a =
-          QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 3, &rng));
+          QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(6), 3, &rng))
+              .value();
       const NodeId s = static_cast<NodeId>(rng.Uniform(80));
       const NodeId t = static_cast<NodeId>(rng.Uniform(80));
       const MapReduceRpqResult res =
@@ -64,7 +65,8 @@ TEST(MrRpqTest, MatchesDisRpqOnPrebuiltFragmentation) {
   const Fragmentation frag = Fragmentation::Build(g, part, 5);
   for (int q = 0; q < 8; ++q) {
     const QueryAutomaton a =
-        QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(5), 4, &rng));
+        QueryAutomaton::FromRegex(Regex::Random(1 + rng.Uniform(5), 4, &rng))
+            .value();
     const NodeId s = static_cast<NodeId>(rng.Uniform(60));
     const NodeId t = static_cast<NodeId>(rng.Uniform(60));
     const MapReduceRpqResult res =

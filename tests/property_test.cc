@@ -1,9 +1,9 @@
 // Seeded cross-class property fuzzer: random query mixes driven through
-// EVERY {reach_path, dist_path} x partitioner x EquationForm combination
-// against the centralized oracle, across interleaved update epochs — the
-// whole differential matrix the per-subsystem suites sample, in one place.
-// Every assertion message carries the seed and the matrix cell, so a failing
-// combination reproduces straight from the log.
+// EVERY {reach_path, dist_path, rpq_path} x partitioner x EquationForm
+// combination against the centralized oracle, across interleaved update
+// epochs — the whole differential matrix the per-subsystem suites sample,
+// in one place. Every assertion message carries the seed and the matrix
+// cell, so a failing combination reproduces straight from the log.
 
 #include <gtest/gtest.h>
 
@@ -32,24 +32,40 @@ using testing_util::RandomMixedQuery;
 struct PathCombo {
   ReachAnswerPath reach;
   DistAnswerPath dist;
-  const char* name;
+  RpqAnswerPath rpq;
+  std::string name;
 };
 
-constexpr PathCombo kPathCombos[] = {
-    {ReachAnswerPath::kBes, DistAnswerPath::kBes, "reach=bes/dist=bes"},
-    {ReachAnswerPath::kBoundaryIndex, DistAnswerPath::kBes,
-     "reach=index/dist=bes"},
-    {ReachAnswerPath::kBes, DistAnswerPath::kBoundaryIndex,
-     "reach=bes/dist=index"},
-    {ReachAnswerPath::kBoundaryIndex, DistAnswerPath::kBoundaryIndex,
-     "reach=index/dist=index"},
-};
+/// The full 2x2x2 indexed-path cube; combo 0 (all-BES) is the reference.
+std::vector<PathCombo> AllPathCombos() {
+  std::vector<PathCombo> combos;
+  for (const ReachAnswerPath reach :
+       {ReachAnswerPath::kBes, ReachAnswerPath::kBoundaryIndex}) {
+    for (const DistAnswerPath dist :
+         {DistAnswerPath::kBes, DistAnswerPath::kBoundaryIndex}) {
+      for (const RpqAnswerPath rpq :
+           {RpqAnswerPath::kBes, RpqAnswerPath::kBoundaryIndex}) {
+        const auto tag = [](bool indexed) {
+          return indexed ? "index" : "bes";
+        };
+        combos.push_back(
+            {reach, dist, rpq,
+             std::string("reach=") +
+                 tag(reach == ReachAnswerPath::kBoundaryIndex) +
+                 "/dist=" + tag(dist == DistAnswerPath::kBoundaryIndex) +
+                 "/rpq=" + tag(rpq == RpqAnswerPath::kBoundaryIndex)});
+      }
+    }
+  }
+  return combos;
+}
 
 TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
   constexpr size_t kSites = 4, kEpochs = 3, kQueriesPerEpoch = 24;
   constexpr size_t kNumLabels = 3;
   constexpr uint64_t kSeed = 987654321;
   Rng rng(kSeed);
+  const std::vector<PathCombo> combos = AllPathCombos();
 
   for (const auto& partitioner : AllPartitioners()) {
     for (const EquationForm form : kAllEquationForms) {
@@ -60,15 +76,18 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
       EdgeWorld world = EdgeWorld::FromGraph(g);
 
       Cluster cluster(&index.fragmentation(), NetworkModel{});
-      // One engine per {reach_path, dist_path} combination, all fed the
-      // same batches; the all-BES combination doubles as the reference the
-      // indexed paths must match bit-for-bit (distance values included).
+      // One engine per {reach_path, dist_path, rpq_path} combination, all
+      // fed the same batches; the all-BES combination doubles as the
+      // reference the indexed paths must match bit-for-bit (distance values
+      // included). A small rpq LRU cap keeps evictions in the fuzzed space.
       std::vector<std::unique_ptr<PartialEvalEngine>> engines;
-      for (const PathCombo& combo : kPathCombos) {
+      for (const PathCombo& combo : combos) {
         PartialEvalOptions options;
         options.form = form;
         options.reach_path = combo.reach;
         options.dist_path = combo.dist;
+        options.rpq_path = combo.rpq;
+        options.rpq_cache_entries = 4;
         engines.push_back(
             std::make_unique<PartialEvalEngine>(&cluster, options));
       }
@@ -83,9 +102,11 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
         for (size_t q = 0; q < kQueriesPerEpoch; ++q) {
           batch.push_back(RandomMixedQuery(n, kNumLabels, &rng));
         }
-        // s == t members exercise the trivial coordinator path everywhere.
+        // s == t members exercise the trivial coordinator path (reach/dist)
+        // and the cycle semantics (rpq) everywhere.
         batch.push_back(Query::Reach(0, 0));
         batch.push_back(Query::Dist(1, 1, 0));
+        batch.push_back(Query::Rpq(2, 2, QueryAutomaton::WildcardStar()));
 
         std::vector<BatchAnswer> results;
         results.reserve(engines.size());
@@ -98,7 +119,7 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
           const bool expected = OracleReachable(oracle, batch[q]);
           for (size_t e = 0; e < engines.size(); ++e) {
             ASSERT_EQ(results[e].answers[q].reachable, expected)
-                << kPathCombos[e].name << " vs oracle: "
+                << combos[e].name << " vs oracle: "
                 << DiffContext(kSeed, partitioner->name(), form, epoch,
                                batch[q]);
             if (batch[q].kind != QueryKind::kDist) continue;
@@ -107,14 +128,14 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
             // bound admits it.
             ASSERT_EQ(results[e].answers[q].distance,
                       reference.answers[q].distance)
-                << kPathCombos[e].name << " vs reference: "
+                << combos[e].name << " vs reference: "
                 << DiffContext(kSeed, partitioner->name(), form, epoch,
                                batch[q]);
             if (expected) {
               ASSERT_EQ(
                   results[e].answers[q].distance,
                   OracleDistance(oracle, batch[q].source, batch[q].target))
-                  << kPathCombos[e].name << " vs oracle distance: "
+                  << combos[e].name << " vs oracle distance: "
                   << DiffContext(kSeed, partitioner->name(), form, epoch,
                                  batch[q]);
             }
@@ -122,21 +143,27 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
         }
 
         // Interleave an update epoch through the incremental index; the
-        // listener invalidates every engine (contexts + both boundary
+        // listener invalidates every engine (contexts + all three boundary
         // indexes), so the next round's refresh must re-converge them all.
         index.AddEdges(world.AddRandomEdges(3, &rng));
       }
       index.SetUpdateListener(nullptr);
 
-      // The indexed paths actually ran through their standing structures.
-      const BoundaryReachIndex* reach_idx = engines[3]->boundary_index();
-      const BoundaryDistIndex* dist_idx = engines[3]->boundary_dist_index();
+      // The indexed paths actually ran through their standing structures
+      // (the last combo is all-indexed).
+      PartialEvalEngine& all_indexed = *engines.back();
+      const BoundaryReachIndex* reach_idx = all_indexed.boundary_index();
+      const BoundaryDistIndex* dist_idx = all_indexed.boundary_dist_index();
+      const BoundaryRpqIndex* rpq_idx = all_indexed.boundary_rpq_index();
       ASSERT_NE(reach_idx, nullptr)
           << "seed=" << kSeed << " " << partitioner->name();
       ASSERT_NE(dist_idx, nullptr)
           << "seed=" << kSeed << " " << partitioner->name();
+      ASSERT_NE(rpq_idx, nullptr)
+          << "seed=" << kSeed << " " << partitioner->name();
       EXPECT_GT(reach_idx->label_hits() + reach_idx->dfs_fallbacks(), 0u);
       EXPECT_GT(dist_idx->search_count(), 0u);
+      EXPECT_GT(rpq_idx->num_entries(), 0u);
       EXPECT_LE(dist_idx->rebuild_count(), kEpochs);
     }
   }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/regex/canonical.h"
 #include "src/util/random.h"
 
 namespace pereach {
@@ -14,7 +15,7 @@ TEST(QueryAutomatonTest, PaperExampleShape) {
   const LabelId db = 0, hr = 1;
   const Regex r = Regex::Union(Regex::Star(Regex::Symbol(db)),
                                Regex::Star(Regex::Symbol(hr)));
-  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r).value();
   EXPECT_EQ(a.num_states(), 4u);
   EXPECT_EQ(a.num_transitions(), 7u);
   EXPECT_TRUE(a.AcceptsEmpty());
@@ -36,7 +37,7 @@ TEST(QueryAutomatonTest, SecondPaperExampleShape) {
   const Regex r = Regex::Union(
       Regex::Concat(Regex::Symbol(cto), Regex::Star(Regex::Symbol(db))),
       Regex::Star(Regex::Symbol(hr)));
-  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r).value();
   EXPECT_EQ(a.num_states(), 5u);
   EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{cto}));
   EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{cto, db, db}));
@@ -46,14 +47,14 @@ TEST(QueryAutomatonTest, SecondPaperExampleShape) {
 }
 
 TEST(QueryAutomatonTest, EpsilonOnly) {
-  const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Epsilon());
+  const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Epsilon()).value();
   EXPECT_EQ(a.num_states(), 2u);
   EXPECT_TRUE(a.AcceptsEmpty());
   EXPECT_FALSE(a.AcceptsInterior(std::vector<LabelId>{0}));
 }
 
 TEST(QueryAutomatonTest, SingleSymbol) {
-  const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Symbol(5));
+  const QueryAutomaton a = QueryAutomaton::FromRegex(Regex::Symbol(5)).value();
   EXPECT_EQ(a.num_states(), 3u);
   EXPECT_FALSE(a.AcceptsEmpty());
   EXPECT_TRUE(a.AcceptsInterior(std::vector<LabelId>{5}));
@@ -63,7 +64,7 @@ TEST(QueryAutomatonTest, SingleSymbol) {
 
 TEST(QueryAutomatonTest, StatesWithLabelIndex) {
   const Regex r = Regex::Concat(Regex::Symbol(3), Regex::Symbol(3));
-  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r).value();
   const uint64_t mask = a.StatesWithLabel(3);
   EXPECT_EQ(__builtin_popcountll(mask), 2);
   EXPECT_EQ(a.StatesWithLabel(4), 0u);
@@ -76,7 +77,7 @@ TEST(QueryAutomatonTest, SerializationRoundTrip) {
   Rng rng(23);
   for (int trial = 0; trial < 30; ++trial) {
     const Regex r = Regex::Random(1 + rng.Uniform(10), 6, &rng);
-    const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+    const QueryAutomaton a = QueryAutomaton::FromRegex(r).value();
     Encoder enc;
     a.Serialize(&enc);
     EXPECT_EQ(enc.size(), a.ByteSize());
@@ -120,7 +121,7 @@ TEST(QueryAutomatonTest, AgreesWithDirectMatcherOnRandomRegexes) {
   const size_t num_labels = 3;  // small alphabet => frequent matches
   for (int trial = 0; trial < 200; ++trial) {
     const Regex r = Regex::Random(1 + rng.Uniform(10), num_labels, &rng);
-    const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+    const QueryAutomaton a = QueryAutomaton::FromRegex(r).value();
     EXPECT_EQ(a.AcceptsEmpty(), r.MatchesEmpty());
     for (int w = 0; w < 50; ++w) {
       std::vector<LabelId> word;
@@ -137,8 +138,77 @@ TEST(QueryAutomatonTest, AgreesWithDirectMatcherOnRandomRegexes) {
 TEST(QueryAutomatonTest, SizeLinearInRegex) {
   Rng rng(31);
   const Regex r = Regex::Random(20, 4, &rng);
-  const QueryAutomaton a = QueryAutomaton::FromRegex(r);
+  const QueryAutomaton a = QueryAutomaton::FromRegex(r).value();
   EXPECT_EQ(a.num_states(), 22u);  // positions + u_s + u_t
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization and signatures (src/regex/canonical.h)
+
+// The load-bearing property behind every signature-keyed cache: the
+// canonical automaton accepts exactly the same interior label sequences as
+// the original, on random regexes and random words.
+TEST(CanonicalAutomatonTest, PreservesLanguageOnRandomRegexes) {
+  Rng rng(53);
+  const size_t num_labels = 3;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Regex r = Regex::Random(1 + rng.Uniform(10), num_labels, &rng);
+    const QueryAutomaton a = QueryAutomaton::FromRegex(r).value();
+    const CanonicalAutomaton canon = Canonicalize(a);
+    EXPECT_LE(canon.automaton.num_states(), a.num_states());
+    EXPECT_EQ(canon.automaton.AcceptsEmpty(), a.AcceptsEmpty());
+    for (int w = 0; w < 40; ++w) {
+      std::vector<LabelId> word;
+      const size_t len = rng.Uniform(8);
+      for (size_t i = 0; i < len; ++i) {
+        word.push_back(static_cast<LabelId>(rng.Uniform(num_labels)));
+      }
+      ASSERT_EQ(canon.automaton.AcceptsInterior(word), a.AcceptsInterior(word))
+          << "trial " << trial << ", word len " << len;
+    }
+    // Canonicalization is idempotent: the canonical form is its own
+    // canonical form, so signatures are stable.
+    const CanonicalAutomaton again = Canonicalize(canon.automaton);
+    EXPECT_EQ(again.signature, canon.signature);
+  }
+}
+
+TEST(CanonicalAutomatonTest, MergesDuplicateBranchesAndDropsDeadStates) {
+  // a | a: two Glushkov positions with identical label and successors
+  // collapse into one — the same signature as plain a.
+  const Regex a_once = Regex::Symbol(0);
+  const Regex a_or_a = Regex::Union(Regex::Symbol(0), Regex::Symbol(0));
+  EXPECT_EQ(Canonicalize(QueryAutomaton::FromRegex(a_or_a).value()).signature,
+            Canonicalize(QueryAutomaton::FromRegex(a_once).value()).signature);
+
+  // Positions that cannot reach u_t sit on no accepting run; an automaton
+  // hand-built with such a state canonicalizes it away.
+  const QueryAutomaton with_dead = QueryAutomaton::FromParts(
+      {kInvalidLabel, kInvalidLabel, 7, 9},
+      {uint64_t{1} << 2, 0, uint64_t{1} << QueryAutomaton::kFinal,
+       uint64_t{1} << 3});  // state 3 (label 9) only loops into itself
+  const CanonicalAutomaton canon = Canonicalize(with_dead);
+  EXPECT_EQ(canon.automaton.num_states(), 3u);
+}
+
+TEST(CanonicalAutomatonTest, DistinguishesDifferentLanguages) {
+  // Different symbol, same shape: the state labels differ, so the keys must.
+  const AutomatonSignature sig_a =
+      Canonicalize(QueryAutomaton::FromRegex(Regex::Symbol(0)).value())
+          .signature;
+  const AutomatonSignature sig_b =
+      Canonicalize(QueryAutomaton::FromRegex(Regex::Symbol(1)).value())
+          .signature;
+  EXPECT_NE(sig_a.key, sig_b.key);
+
+  // Identical regexes built twice produce identical signatures (the batch
+  // dedup and the LRU caches rely on exactly this).
+  Rng rng1(99), rng2(99);
+  const Regex r1 = Regex::Random(6, 4, &rng1);
+  const Regex r2 = Regex::Random(6, 4, &rng2);
+  EXPECT_EQ(Canonicalize(QueryAutomaton::FromRegex(r1).value()).signature,
+            Canonicalize(QueryAutomaton::FromRegex(r2).value()).signature);
+  EXPECT_EQ(SignatureHash(sig_a.key), sig_a.hash);
 }
 
 }  // namespace

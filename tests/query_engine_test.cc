@@ -150,7 +150,8 @@ TEST(QueryEngineBatchTest, MixedKindBatchMatchesSingles) {
   std::vector<Query> batch;
   std::vector<QueryAutomaton> automata;
   for (int i = 0; i < 8; ++i) {
-    automata.push_back(QueryAutomaton::FromRegex(Regex::Random(3, 4, &rng)));
+    automata.push_back(
+        QueryAutomaton::FromRegex(Regex::Random(3, 4, &rng)).value());
   }
   for (int i = 0; i < 24; ++i) {
     const NodeId s = static_cast<NodeId>(rng.Uniform(n));
@@ -299,7 +300,7 @@ TEST(BaselineEngineTest, SuciuEngineMatchesPartialEvalOnRegularQueries) {
     batch.push_back(Query::Rpq(static_cast<NodeId>(rng.Uniform(n)),
                                static_cast<NodeId>(rng.Uniform(n)),
                                QueryAutomaton::FromRegex(
-                                   Regex::Random(3, 4, &rng))));
+                                   Regex::Random(3, 4, &rng)).value()));
   }
   const BatchAnswer pe_result = pe.EvaluateBatch(batch);
   const BatchAnswer suciu_result = suciu.EvaluateBatch(batch);

@@ -474,6 +474,90 @@ TEST(QueryServerTest, BoundaryDistServingMatchesOracleAcrossUpdatePhases) {
   EXPECT_EQ(server.epoch(), kPhases);
 }
 
+// The rpq dispatcher serves through the signature-cached product boundary
+// graphs (ServerOptions::eval pickup) while a writer applies edge updates:
+// answers must stay oracle-exact at every epoch, and repeated regexes must
+// actually hit the standing entries rather than rebuild per batch.
+TEST(QueryServerTest, BoundaryRpqServingMatchesOracleAcrossUpdatePhases) {
+  Rng rng(808);
+  const size_t n = 70, k = 4, kLabels = 3;
+  const size_t kClients = 4, kQueriesPerClient = 15, kPhases = 3;
+  const Graph g = ErdosRenyi(n, 3 * n, kLabels, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  EdgeWorld world = EdgeWorld::FromGraph(g);
+
+  // A small shared regex pool — the serving-realistic shape the signature
+  // cache is for.
+  std::vector<QueryAutomaton> pool;
+  pool.push_back(QueryAutomaton::WildcardStar());
+  for (int i = 0; i < 3; ++i) {
+    pool.push_back(
+        QueryAutomaton::FromRegex(Regex::Random(3, kLabels, &rng)).value());
+  }
+
+  ServerOptions options;
+  options.policy.max_batch = 16;
+  options.policy.max_window_us = 2000;
+  options.eval.rpq_path = RpqAnswerPath::kBoundaryIndex;
+  QueryServer server(&index, options);
+
+  for (size_t phase = 0; phase < kPhases; ++phase) {
+    const Graph oracle = world.Build();
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng crng(8000 * phase + c);
+        for (size_t i = 0; i < kQueriesPerClient; ++i) {
+          const NodeId s = static_cast<NodeId>(crng.Uniform(n));
+          const NodeId t = static_cast<NodeId>(crng.Uniform(n));
+          const QueryAutomaton& a = pool[crng.Uniform(pool.size())];
+          const ServedAnswer served =
+              server.Submit(Query::Rpq(s, t, a)).get();
+          EXPECT_EQ(served.answer.reachable,
+                    testing_util::OracleRegularReach(oracle, s, t, a))
+              << "phase=" << phase << " s=" << s << " t=" << t;
+          EXPECT_EQ(served.epoch, phase);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    EXPECT_EQ(server.AddEdges(world.AddRandomEdges(2, &rng)), phase + 1);
+  }
+  EXPECT_EQ(server.epoch(), kPhases);
+}
+
+// Regression: an oversized regex (> 62 symbol occurrences) used to
+// CHECK-abort the whole server process inside QueryAutomaton::FromRegex.
+// Now Query::Rpq carries no automaton, Submit resolves the future as
+// rejected, and the server keeps serving well-formed queries.
+TEST(QueryServerTest, OversizedRegexSubmissionRejectedNotFatal) {
+  Rng rng(707);
+  const size_t n = 40, k = 3;
+  const Graph g = ErdosRenyi(n, 2 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  const Graph oracle = EdgeWorld::FromGraph(g).Build();
+  QueryServer server(&index);
+
+  const Regex big = Regex::Random(80, 2, &rng);  // 80 + 2 states > 64
+  const Query bad = Query::Rpq(0, 1, big);
+  ASSERT_FALSE(bad.automaton.has_value());
+  const ServedAnswer rejected = server.Submit(bad).get();
+  EXPECT_TRUE(rejected.rejected);
+
+  // The server is still alive and correct for everyone else.
+  for (int q = 0; q < 10; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(n));
+    const ServedAnswer served = server.Submit(Query::Reach(s, t)).get();
+    EXPECT_FALSE(served.rejected);
+    EXPECT_EQ(served.answer.reachable, CentralizedReach(oracle, s, t));
+  }
+  server.Drain();
+}
+
 // Regression for the Submit-vs-Stop race: client threads hammer Submit while
 // the main thread stops the server. Before the fix, a Push that lost the
 // race hit PEREACH_CHECK(!shutdown_) and aborted the whole process. Now

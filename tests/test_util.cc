@@ -88,6 +88,29 @@ std::vector<Query> RandomReachBatch(size_t n, size_t count, Rng* rng) {
   return batch;
 }
 
+std::vector<Query> RandomRpqBatch(size_t n, size_t count, size_t num_distinct,
+                                  size_t num_labels, Rng* rng) {
+  std::vector<QueryAutomaton> pool;
+  pool.reserve(num_distinct);
+  for (size_t i = 0; i < num_distinct; ++i) {
+    pool.push_back(
+        QueryAutomaton::FromRegex(Regex::Random(3, num_labels, rng)).value());
+  }
+  std::vector<Query> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back(Query::Rpq(static_cast<NodeId>(rng->Uniform(n)),
+                               static_cast<NodeId>(rng->Uniform(n)),
+                               pool[rng->Uniform(pool.size())]));
+  }
+  return batch;
+}
+
+bool OracleRegularReach(const Graph& g, NodeId s, NodeId t,
+                        const QueryAutomaton& automaton) {
+  return CentralizedRegularReach(g, s, t, automaton);
+}
+
 Query RandomMixedQuery(size_t n, size_t num_labels, Rng* rng) {
   const NodeId s = static_cast<NodeId>(rng->Uniform(n));
   const NodeId t = static_cast<NodeId>(rng->Uniform(n));
@@ -97,7 +120,7 @@ Query RandomMixedQuery(size_t n, size_t num_labels, Rng* rng) {
     return Query::Dist(s, t, static_cast<uint32_t>(1 + rng->Uniform(8)));
   }
   return Query::Rpq(s, t, QueryAutomaton::FromRegex(
-                              Regex::Random(3, num_labels, rng)));
+                              Regex::Random(3, num_labels, rng)).value());
 }
 
 bool OracleReachable(const Graph& g, const Query& q) {

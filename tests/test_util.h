@@ -64,8 +64,21 @@ std::string_view FormName(EquationForm form);
 /// A batch of uniformly random reach queries over n nodes.
 std::vector<Query> RandomReachBatch(size_t n, size_t count, Rng* rng);
 
+/// A batch of random rpq queries whose automata are drawn from a pool of
+/// `num_distinct` random regexes — serving-realistic (regexes repeat
+/// heavily), so the signature-keyed caches and the batch-level automaton
+/// dedup actually engage in the suites that use it.
+std::vector<Query> RandomRpqBatch(size_t n, size_t count, size_t num_distinct,
+                                  size_t num_labels, Rng* rng);
+
 /// Mixed query stream: mostly reach, some bounded, some regular.
 Query RandomMixedQuery(size_t n, size_t num_labels, Rng* rng);
+
+/// Centralized regular-reachability oracle (§5.1 semantics: interior nodes
+/// matched by label, s/t by identity, paths of length >= 1) — the runner
+/// every rpq differential suite shares.
+bool OracleRegularReach(const Graph& g, NodeId s, NodeId t,
+                        const QueryAutomaton& automaton);
 
 /// Centralized oracle verdict for any query class (dist applies the bound).
 bool OracleReachable(const Graph& g, const Query& q);
