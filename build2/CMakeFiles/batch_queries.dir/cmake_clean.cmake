@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_queries.dir/examples/batch_queries.cpp.o"
+  "CMakeFiles/batch_queries.dir/examples/batch_queries.cpp.o.d"
+  "batch_queries"
+  "batch_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

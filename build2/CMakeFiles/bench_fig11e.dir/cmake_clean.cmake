@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11e.dir/bench/bench_fig11e.cc.o"
+  "CMakeFiles/bench_fig11e.dir/bench/bench_fig11e.cc.o.d"
+  "bench_fig11e"
+  "bench_fig11e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

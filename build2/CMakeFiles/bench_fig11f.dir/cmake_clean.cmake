@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11f.dir/bench/bench_fig11f.cc.o"
+  "CMakeFiles/bench_fig11f.dir/bench/bench_fig11f.cc.o.d"
+  "bench_fig11f"
+  "bench_fig11f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

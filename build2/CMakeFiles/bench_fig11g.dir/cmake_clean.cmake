@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11g.dir/bench/bench_fig11g.cc.o"
+  "CMakeFiles/bench_fig11g.dir/bench/bench_fig11g.cc.o.d"
+  "bench_fig11g"
+  "bench_fig11g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11h.dir/bench/bench_fig11h.cc.o"
+  "CMakeFiles/bench_fig11h.dir/bench/bench_fig11h.cc.o.d"
+  "bench_fig11h"
+  "bench_fig11h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11i.dir/bench/bench_fig11i.cc.o"
+  "CMakeFiles/bench_fig11i.dir/bench/bench_fig11i.cc.o.d"
+  "bench_fig11i"
+  "bench_fig11i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11j.dir/bench/bench_fig11j.cc.o"
+  "CMakeFiles/bench_fig11j.dir/bench/bench_fig11j.cc.o.d"
+  "bench_fig11j"
+  "bench_fig11j.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11j.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11k.dir/bench/bench_fig11k.cc.o"
+  "CMakeFiles/bench_fig11k.dir/bench/bench_fig11k.cc.o.d"
+  "bench_fig11k"
+  "bench_fig11k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

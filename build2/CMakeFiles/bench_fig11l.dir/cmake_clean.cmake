@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11l.dir/bench/bench_fig11l.cc.o"
+  "CMakeFiles/bench_fig11l.dir/bench/bench_fig11l.cc.o.d"
+  "bench_fig11l"
+  "bench_fig11l.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bes_test.dir/tests/bes_test.cc.o"
+  "CMakeFiles/bes_test.dir/tests/bes_test.cc.o.d"
+  "bes_test"
+  "bes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_dist_index_test.dir/tests/boundary_dist_index_test.cc.o"
+  "CMakeFiles/boundary_dist_index_test.dir/tests/boundary_dist_index_test.cc.o.d"
+  "boundary_dist_index_test"
+  "boundary_dist_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_dist_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_analysis.dir/examples/citation_analysis.cpp.o"
+  "CMakeFiles/citation_analysis.dir/examples/citation_analysis.cpp.o.d"
+  "citation_analysis"
+  "citation_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

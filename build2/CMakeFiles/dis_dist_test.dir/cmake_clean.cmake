@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dis_dist_test.dir/tests/dis_dist_test.cc.o"
+  "CMakeFiles/dis_dist_test.dir/tests/dis_dist_test.cc.o.d"
+  "dis_dist_test"
+  "dis_dist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dis_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

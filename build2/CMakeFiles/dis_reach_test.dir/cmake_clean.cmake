@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dis_reach_test.dir/tests/dis_reach_test.cc.o"
+  "CMakeFiles/dis_reach_test.dir/tests/dis_reach_test.cc.o.d"
+  "dis_reach_test"
+  "dis_reach_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dis_reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

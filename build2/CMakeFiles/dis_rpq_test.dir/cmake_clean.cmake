@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dis_rpq_test.dir/tests/dis_rpq_test.cc.o"
+  "CMakeFiles/dis_rpq_test.dir/tests/dis_rpq_test.cc.o.d"
+  "dis_rpq_test"
+  "dis_rpq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dis_rpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equation_form_test.dir/tests/equation_form_test.cc.o"
+  "CMakeFiles/equation_form_test.dir/tests/equation_form_test.cc.o.d"
+  "equation_form_test"
+  "equation_form_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equation_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

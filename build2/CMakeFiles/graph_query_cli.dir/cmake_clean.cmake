@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_query_cli.dir/examples/graph_query_cli.cpp.o"
+  "CMakeFiles/graph_query_cli.dir/examples/graph_query_cli.cpp.o.d"
+  "graph_query_cli"
+  "graph_query_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_query_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

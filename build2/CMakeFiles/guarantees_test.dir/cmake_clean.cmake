@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarantees_test.dir/tests/guarantees_test.cc.o"
+  "CMakeFiles/guarantees_test.dir/tests/guarantees_test.cc.o.d"
+  "guarantees_test"
+  "guarantees_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarantees_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_eval_test.dir/tests/local_eval_test.cc.o"
+  "CMakeFiles/local_eval_test.dir/tests/local_eval_test.cc.o.d"
+  "local_eval_test"
+  "local_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_demo.dir/examples/mapreduce_demo.cpp.o"
+  "CMakeFiles/mapreduce_demo.dir/examples/mapreduce_demo.cpp.o.d"
+  "mapreduce_demo"
+  "mapreduce_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_rpq_test.dir/tests/mr_rpq_test.cc.o"
+  "CMakeFiles/mr_rpq_test.dir/tests/mr_rpq_test.cc.o.d"
+  "mr_rpq_test"
+  "mr_rpq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_rpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_routing.dir/examples/parcel_routing.cpp.o"
+  "CMakeFiles/parcel_routing.dir/examples/parcel_routing.cpp.o.d"
+  "parcel_routing"
+  "parcel_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/centralized.cc" "CMakeFiles/pereach.dir/src/baselines/centralized.cc.o" "gcc" "CMakeFiles/pereach.dir/src/baselines/centralized.cc.o.d"
+  "/root/repo/src/baselines/dis_mp.cc" "CMakeFiles/pereach.dir/src/baselines/dis_mp.cc.o" "gcc" "CMakeFiles/pereach.dir/src/baselines/dis_mp.cc.o.d"
+  "/root/repo/src/baselines/dis_naive.cc" "CMakeFiles/pereach.dir/src/baselines/dis_naive.cc.o" "gcc" "CMakeFiles/pereach.dir/src/baselines/dis_naive.cc.o.d"
+  "/root/repo/src/baselines/dis_rpq_suciu.cc" "CMakeFiles/pereach.dir/src/baselines/dis_rpq_suciu.cc.o" "gcc" "CMakeFiles/pereach.dir/src/baselines/dis_rpq_suciu.cc.o.d"
+  "/root/repo/src/bes/bes.cc" "CMakeFiles/pereach.dir/src/bes/bes.cc.o" "gcc" "CMakeFiles/pereach.dir/src/bes/bes.cc.o.d"
+  "/root/repo/src/bes/distance_system.cc" "CMakeFiles/pereach.dir/src/bes/distance_system.cc.o" "gcc" "CMakeFiles/pereach.dir/src/bes/distance_system.cc.o.d"
+  "/root/repo/src/core/dis_dist.cc" "CMakeFiles/pereach.dir/src/core/dis_dist.cc.o" "gcc" "CMakeFiles/pereach.dir/src/core/dis_dist.cc.o.d"
+  "/root/repo/src/core/dis_reach.cc" "CMakeFiles/pereach.dir/src/core/dis_reach.cc.o" "gcc" "CMakeFiles/pereach.dir/src/core/dis_reach.cc.o.d"
+  "/root/repo/src/core/dis_rpq.cc" "CMakeFiles/pereach.dir/src/core/dis_rpq.cc.o" "gcc" "CMakeFiles/pereach.dir/src/core/dis_rpq.cc.o.d"
+  "/root/repo/src/core/dist_graph.cc" "CMakeFiles/pereach.dir/src/core/dist_graph.cc.o" "gcc" "CMakeFiles/pereach.dir/src/core/dist_graph.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "CMakeFiles/pereach.dir/src/core/incremental.cc.o" "gcc" "CMakeFiles/pereach.dir/src/core/incremental.cc.o.d"
+  "/root/repo/src/core/local_eval.cc" "CMakeFiles/pereach.dir/src/core/local_eval.cc.o" "gcc" "CMakeFiles/pereach.dir/src/core/local_eval.cc.o.d"
+  "/root/repo/src/engine/baseline_engines.cc" "CMakeFiles/pereach.dir/src/engine/baseline_engines.cc.o" "gcc" "CMakeFiles/pereach.dir/src/engine/baseline_engines.cc.o.d"
+  "/root/repo/src/engine/fragment_context.cc" "CMakeFiles/pereach.dir/src/engine/fragment_context.cc.o" "gcc" "CMakeFiles/pereach.dir/src/engine/fragment_context.cc.o.d"
+  "/root/repo/src/engine/partial_eval_engine.cc" "CMakeFiles/pereach.dir/src/engine/partial_eval_engine.cc.o" "gcc" "CMakeFiles/pereach.dir/src/engine/partial_eval_engine.cc.o.d"
+  "/root/repo/src/engine/query_engine.cc" "CMakeFiles/pereach.dir/src/engine/query_engine.cc.o" "gcc" "CMakeFiles/pereach.dir/src/engine/query_engine.cc.o.d"
+  "/root/repo/src/fragment/fragment.cc" "CMakeFiles/pereach.dir/src/fragment/fragment.cc.o" "gcc" "CMakeFiles/pereach.dir/src/fragment/fragment.cc.o.d"
+  "/root/repo/src/fragment/fragmentation.cc" "CMakeFiles/pereach.dir/src/fragment/fragmentation.cc.o" "gcc" "CMakeFiles/pereach.dir/src/fragment/fragmentation.cc.o.d"
+  "/root/repo/src/fragment/partitioner.cc" "CMakeFiles/pereach.dir/src/fragment/partitioner.cc.o" "gcc" "CMakeFiles/pereach.dir/src/fragment/partitioner.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "CMakeFiles/pereach.dir/src/graph/algorithms.cc.o" "gcc" "CMakeFiles/pereach.dir/src/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/pereach.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/pereach.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/pereach.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/pereach.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "CMakeFiles/pereach.dir/src/graph/graph_io.cc.o" "gcc" "CMakeFiles/pereach.dir/src/graph/graph_io.cc.o.d"
+  "/root/repo/src/index/boundary_dist_index.cc" "CMakeFiles/pereach.dir/src/index/boundary_dist_index.cc.o" "gcc" "CMakeFiles/pereach.dir/src/index/boundary_dist_index.cc.o.d"
+  "/root/repo/src/index/boundary_index.cc" "CMakeFiles/pereach.dir/src/index/boundary_index.cc.o" "gcc" "CMakeFiles/pereach.dir/src/index/boundary_index.cc.o.d"
+  "/root/repo/src/index/boundary_rpq_index.cc" "CMakeFiles/pereach.dir/src/index/boundary_rpq_index.cc.o" "gcc" "CMakeFiles/pereach.dir/src/index/boundary_rpq_index.cc.o.d"
+  "/root/repo/src/index/reach_index.cc" "CMakeFiles/pereach.dir/src/index/reach_index.cc.o" "gcc" "CMakeFiles/pereach.dir/src/index/reach_index.cc.o.d"
+  "/root/repo/src/index/reach_labels.cc" "CMakeFiles/pereach.dir/src/index/reach_labels.cc.o" "gcc" "CMakeFiles/pereach.dir/src/index/reach_labels.cc.o.d"
+  "/root/repo/src/mapreduce/mapreduce.cc" "CMakeFiles/pereach.dir/src/mapreduce/mapreduce.cc.o" "gcc" "CMakeFiles/pereach.dir/src/mapreduce/mapreduce.cc.o.d"
+  "/root/repo/src/mapreduce/mr_rpq.cc" "CMakeFiles/pereach.dir/src/mapreduce/mr_rpq.cc.o" "gcc" "CMakeFiles/pereach.dir/src/mapreduce/mr_rpq.cc.o.d"
+  "/root/repo/src/net/cluster.cc" "CMakeFiles/pereach.dir/src/net/cluster.cc.o" "gcc" "CMakeFiles/pereach.dir/src/net/cluster.cc.o.d"
+  "/root/repo/src/net/metrics.cc" "CMakeFiles/pereach.dir/src/net/metrics.cc.o" "gcc" "CMakeFiles/pereach.dir/src/net/metrics.cc.o.d"
+  "/root/repo/src/regex/canonical.cc" "CMakeFiles/pereach.dir/src/regex/canonical.cc.o" "gcc" "CMakeFiles/pereach.dir/src/regex/canonical.cc.o.d"
+  "/root/repo/src/regex/query_automaton.cc" "CMakeFiles/pereach.dir/src/regex/query_automaton.cc.o" "gcc" "CMakeFiles/pereach.dir/src/regex/query_automaton.cc.o.d"
+  "/root/repo/src/regex/regex.cc" "CMakeFiles/pereach.dir/src/regex/regex.cc.o" "gcc" "CMakeFiles/pereach.dir/src/regex/regex.cc.o.d"
+  "/root/repo/src/server/batch_queue.cc" "CMakeFiles/pereach.dir/src/server/batch_queue.cc.o" "gcc" "CMakeFiles/pereach.dir/src/server/batch_queue.cc.o.d"
+  "/root/repo/src/server/query_server.cc" "CMakeFiles/pereach.dir/src/server/query_server.cc.o" "gcc" "CMakeFiles/pereach.dir/src/server/query_server.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/pereach.dir/src/util/status.cc.o" "gcc" "CMakeFiles/pereach.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/pereach.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/pereach.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

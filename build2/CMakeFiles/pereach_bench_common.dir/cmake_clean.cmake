@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pereach_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/pereach_bench_common.dir/bench/bench_common.cc.o.d"
+  "libpereach_bench_common.a"
+  "libpereach_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pereach_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpereach_bench_common.a"
+)

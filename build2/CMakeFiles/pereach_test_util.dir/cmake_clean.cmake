@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pereach_test_util.dir/tests/test_util.cc.o"
+  "CMakeFiles/pereach_test_util.dir/tests/test_util.cc.o.d"
+  "libpereach_test_util.a"
+  "libpereach_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pereach_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpereach_test_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_automaton_test.dir/tests/query_automaton_test.cc.o"
+  "CMakeFiles/query_automaton_test.dir/tests/query_automaton_test.cc.o.d"
+  "query_automaton_test"
+  "query_automaton_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

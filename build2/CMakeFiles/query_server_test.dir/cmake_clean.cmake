@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_server_test.dir/tests/query_server_test.cc.o"
+  "CMakeFiles/query_server_test.dir/tests/query_server_test.cc.o.d"
+  "query_server_test"
+  "query_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

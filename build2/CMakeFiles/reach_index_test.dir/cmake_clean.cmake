@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_index_test.dir/tests/reach_index_test.cc.o"
+  "CMakeFiles/reach_index_test.dir/tests/reach_index_test.cc.o.d"
+  "reach_index_test"
+  "reach_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
