@@ -7,6 +7,7 @@
 // the whole batch. The ship-all baseline (graph shipped once per batch) is
 // included for contrast.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -15,6 +16,8 @@
 #include "src/engine/partial_eval_engine.h"
 #include "src/fragment/partitioner.h"
 #include "src/net/cluster.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
 
 namespace pereach {
 namespace bench {
@@ -22,10 +25,21 @@ namespace {
 
 int Run(int argc, char** argv) {
   bool boundary_index = false;
+  bool sweep = true;           // --sweep=on|off: bit-parallel batch words
+  size_t shortcut_budget = 64;  // --shortcut-budget=N: 0 disables shortcuts
   const BenchOptions opts = BenchOptions::Parse(
-      argc, argv, 0.05, 64, [&boundary_index](const char* arg) {
+      argc, argv, 0.05, 64,
+      [&boundary_index, &sweep, &shortcut_budget](const char* arg) {
         if (std::strcmp(arg, "--boundary-index") == 0) {
           boundary_index = true;
+          return true;
+        }
+        if (std::strncmp(arg, "--sweep=", 8) == 0) {
+          sweep = std::strcmp(arg + 8, "off") != 0;
+          return true;
+        }
+        if (std::strncmp(arg, "--shortcut-budget=", 18) == 0) {
+          shortcut_budget = static_cast<size_t>(std::atoll(arg + 18));
           return true;
         }
         return false;
@@ -43,6 +57,8 @@ int Run(int argc, char** argv) {
   const Fragmentation frag = Fragmentation::Build(g, part, k_sites);
   Cluster cluster(&frag, BenchNetwork());
   PartialEvalOptions engine_options;  // kAuto: DAG form wins on this graph
+  engine_options.batch_sweep = sweep;
+  engine_options.shortcut_budget = shortcut_budget;
   if (boundary_index) {
     engine_options.reach_path = ReachAnswerPath::kBoundaryIndex;
     engine_options.dist_path = DistAnswerPath::kBoundaryIndex;
@@ -159,23 +175,119 @@ int Run(int argc, char** argv) {
             FormatMs(rpq_total.modeled_ms),
             FormatMb(rpq_total.traffic_mb())});
 
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"queries", static_cast<double>(workload.size())},
+      {"seed", static_cast<double>(opts.seed)},
+      {"boundary_index", boundary_index ? 1.0 : 0.0},
+      {"batch_sweep", sweep ? 1.0 : 0.0},
+      {"shortcut_budget", static_cast<double>(shortcut_budget)},
+      {"singles_modeled_ms", singles_total.modeled_ms},
+      {"singles_traffic_mb", singles_total.traffic_mb()},
+      {"batched_modeled_ms", best_total.modeled_ms},
+      {"batched_traffic_mb", best_total.traffic_mb()},
+      {"batched_rounds", static_cast<double>(best_total.rounds)},
+      {"dist_batched_modeled_ms", dist_total.modeled_ms},
+      {"dist_batched_traffic_mb", dist_total.traffic_mb()},
+      {"dist_bound", static_cast<double>(kDistBound)},
+      {"rpq_batched_modeled_ms", rpq_total.modeled_ms},
+      {"rpq_batched_traffic_mb", rpq_total.traffic_mb()},
+      {"rpq_distinct_automata", static_cast<double>(kDistinctAutomata)}};
+
+  // Coordinator-core wall clock: the same 64 boundary questions answered as
+  // 64 scalar ReachesAny calls vs one 64-lane AnswerBatch word. This is the
+  // host-CPU cost the modeled figures fold into site compute — the number
+  // the bit-parallel sweep exists to shrink — measured directly against the
+  // standing index the reach workload above just built.
+  if (boundary_index) {
+    BoundaryReachIndex* idx = engine.mutable_boundary_index();
+    std::vector<NodeId> universe;
+    if (idx != nullptr && !idx->dirty()) {
+      for (SiteId site = 0; site < k_sites; ++site) {
+        const std::vector<NodeId>& oset = idx->oset_globals(site);
+        universe.insert(universe.end(), oset.begin(), oset.end());
+      }
+    }
+    if (universe.size() >= 2) {
+      constexpr size_t kLanes = 64;
+      std::vector<NodeId> q_src(kLanes), q_tgt(kLanes);
+      std::vector<BoundaryReachIndex::ReachQuestion> questions(kLanes);
+      for (size_t i = 0; i < kLanes; ++i) {
+        q_src[i] = universe[rng.Uniform(universe.size())];
+        q_tgt[i] = universe[rng.Uniform(universe.size())];
+        questions[i] = {std::span<const NodeId>(&q_src[i], 1),
+                        std::span<const NodeId>(&q_tgt[i], 1)};
+      }
+
+      // Calibrate the repetition count on the scalar path (>= 10 ms), then
+      // take the best of three timed runs for each path.
+      size_t scalar_true = 0;
+      size_t iters = 1;
+      for (;;) {
+        StopWatch w;
+        for (size_t it = 0; it < iters; ++it) {
+          scalar_true = 0;
+          for (size_t i = 0; i < kLanes; ++i) {
+            scalar_true += idx->ReachesAny(questions[i].sources,
+                                           questions[i].targets);
+          }
+        }
+        if (w.ElapsedMs() >= 10.0 || iters >= (size_t{1} << 22)) break;
+        iters *= 2;
+      }
+      double scalar_ms = 0, sweep_ms = 0;
+      std::vector<uint8_t> answers;
+      for (int rep = 0; rep < 3; ++rep) {
+        StopWatch w;
+        for (size_t it = 0; it < iters; ++it) {
+          size_t trues = 0;
+          for (size_t i = 0; i < kLanes; ++i) {
+            trues += idx->ReachesAny(questions[i].sources,
+                                     questions[i].targets);
+          }
+          PEREACH_CHECK_EQ(trues, scalar_true);
+        }
+        const double ms = w.ElapsedMs() / static_cast<double>(iters);
+        scalar_ms = rep == 0 ? ms : std::min(scalar_ms, ms);
+      }
+      const size_t depth_before = idx->sweep_depth();
+      idx->AnswerBatch(questions, &answers);
+      const size_t word_depth = idx->sweep_depth() - depth_before;
+      size_t sweep_true = 0;
+      for (uint8_t a : answers) sweep_true += a;
+      PEREACH_CHECK_EQ(sweep_true, scalar_true);  // the two paths must agree
+      for (int rep = 0; rep < 3; ++rep) {
+        StopWatch w;
+        for (size_t it = 0; it < iters; ++it) {
+          idx->AnswerBatch(questions, &answers);
+        }
+        const double ms = w.ElapsedMs() / static_cast<double>(iters);
+        sweep_ms = rep == 0 ? ms : std::min(sweep_ms, ms);
+      }
+
+      PrintHeader(
+          "Coordinator core: 64 scalar ReachesAny vs one 64-lane word",
+          {"path", "wall-ms/64q", "sweep-depth", "shortcuts"});
+      char depth_buf[16], sc_buf[16];
+      std::snprintf(depth_buf, sizeof(depth_buf), "%zu", word_depth);
+      std::snprintf(sc_buf, sizeof(sc_buf), "%zu", idx->shortcut_count());
+      PrintRow({"scalar x64", FormatMs(scalar_ms), "-", "-"});
+      PrintRow({"batch word", FormatMs(sweep_ms), depth_buf, sc_buf});
+
+      metrics.emplace_back("reach_coord_scalar64_ms", scalar_ms);
+      metrics.emplace_back("reach_coord_sweep64_ms", sweep_ms);
+      metrics.emplace_back("reach_sweep_depth",
+                           static_cast<double>(word_depth));
+      metrics.emplace_back("reach_shortcut_count",
+                           static_cast<double>(idx->shortcut_count()));
+    } else {
+      std::printf("\n(no boundary universe at this scale; skipping the "
+                  "coordinator-core word measurement)\n");
+    }
+  }
+
   WriteBenchJson(opts.json_path,
                  boundary_index ? "bench_batch+boundary-index" : "bench_batch",
-                 {{"queries", static_cast<double>(workload.size())},
-                  {"seed", static_cast<double>(opts.seed)},
-                  {"boundary_index", boundary_index ? 1.0 : 0.0},
-                  {"singles_modeled_ms", singles_total.modeled_ms},
-                  {"singles_traffic_mb", singles_total.traffic_mb()},
-                  {"batched_modeled_ms", best_total.modeled_ms},
-                  {"batched_traffic_mb", best_total.traffic_mb()},
-                  {"batched_rounds", static_cast<double>(best_total.rounds)},
-                  {"dist_batched_modeled_ms", dist_total.modeled_ms},
-                  {"dist_batched_traffic_mb", dist_total.traffic_mb()},
-                  {"dist_bound", static_cast<double>(kDistBound)},
-                  {"rpq_batched_modeled_ms", rpq_total.modeled_ms},
-                  {"rpq_batched_traffic_mb", rpq_total.traffic_mb()},
-                  {"rpq_distinct_automata",
-                   static_cast<double>(kDistinctAutomata)}});
+                 metrics);
   return 0;
 }
 

@@ -23,6 +23,7 @@
 #include "src/graph/algorithms.h"
 #include "src/graph/generators.h"
 #include "src/index/reach_index.h"
+#include "src/index/reach_labels.h"
 #include "src/net/cluster.h"
 #include "src/regex/canonical.h"
 #include "src/regex/query_automaton.h"
@@ -310,6 +311,126 @@ void BM_LocalEvalReachForm(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_LocalEvalReachForm, EquationForm::kClosure)->Arg(10000);
 BENCHMARK_TEMPLATE(BM_LocalEvalReachForm, EquationForm::kDag)->Arg(10000);
 BENCHMARK_TEMPLATE(BM_LocalEvalReachForm, EquationForm::kAuto)->Arg(10000);
+
+// --- coordinator reach core: 64 scalar lookups vs one bit-parallel word -----
+
+struct SweepBenchSetup {
+  ReachLabels labels;
+  std::vector<std::vector<uint32_t>> src;
+  std::vector<std::vector<uint32_t>> tgt;
+  std::vector<WordQuestion> word;
+};
+
+/// A random condensation-shaped workload: n-node random digraph, 64 random
+/// single-pair questions per word (the shape RunBoundaryReach produces).
+/// Fills in place — ReachLabels is deliberately non-copyable (threading
+/// contract), so the setup cannot be returned by value.
+void MakeSweepSetup(size_t n, size_t shortcut_budget, uint64_t seed,
+                    SweepBenchSetup* setup) {
+  Rng rng(seed);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(3 * n);
+  for (size_t e = 0; e < 3 * n; ++e) {
+    const uint32_t u = static_cast<uint32_t>(rng.Uniform(n));
+    const uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  setup->labels.Build(n, edges, shortcut_budget);
+  setup->src.resize(64);
+  setup->tgt.resize(64);
+  setup->word.resize(64);
+  for (size_t li = 0; li < 64; ++li) {
+    setup->src[li] = {static_cast<uint32_t>(rng.Uniform(n))};
+    setup->tgt[li] = {static_cast<uint32_t>(rng.Uniform(n))};
+    setup->word[li] = {setup->src[li], setup->tgt[li]};
+  }
+}
+
+// 64 questions answered one scalar ReachesAny at a time — the coordinator's
+// per-query cost before the batch path. Args: {nodes, shortcut_budget}.
+void BM_ReachesAnyScalar64(benchmark::State& state) {
+  SweepBenchSetup setup;
+  MakeSweepSetup(static_cast<size_t>(state.range(0)),
+                 static_cast<size_t>(state.range(1)), g_seed + 37, &setup);
+  for (auto _ : state) {
+    uint64_t word = 0;
+    for (size_t li = 0; li < 64; ++li) {
+      word |= static_cast<uint64_t>(
+                  setup.labels.ReachesAny(setup.src[li], setup.tgt[li]))
+              << li;
+    }
+    benchmark::DoNotOptimize(word);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["dfs_fallbacks"] =
+      static_cast<double>(setup.labels.dfs_fallbacks());
+}
+BENCHMARK(BM_ReachesAnyScalar64)
+    ->Args({2000, 0})
+    ->Args({2000, 256})
+    ->Args({20000, 0})
+    ->Args({20000, 256});
+
+// The same 64 questions answered in ONE bit-parallel word: label pass per
+// lane, one shared 64-lane sweep for the rest. Args: {nodes, budget}.
+void BM_BitsetSweep64(benchmark::State& state) {
+  SweepBenchSetup setup;
+  MakeSweepSetup(static_cast<size_t>(state.range(0)),
+                 static_cast<size_t>(state.range(1)), g_seed + 37, &setup);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.labels.ReachesAnyWord(setup.word));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["sweep_depth"] =
+      static_cast<double>(setup.labels.sweep_depth());
+  state.counters["shortcut_count"] =
+      static_cast<double>(setup.labels.shortcut_count());
+}
+BENCHMARK(BM_BitsetSweep64)
+    ->Args({2000, 0})
+    ->Args({2000, 256})
+    ->Args({20000, 0})
+    ->Args({20000, 256});
+
+// Shortcut-depth ablation on a DEEP graph (a long chain plus sparse random
+// forward edges): how much of the sweep's expansion work the budget buys
+// back. sweep_depth is cumulative over the run; per-word depth is
+// sweep_depth / words. Args: {chain length, shortcut_budget}.
+void BM_BitsetSweepShortcutDepth(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(g_seed + 41);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(n + n / 4);
+  // Chain i -> i+1 with a few skips: label-undecided long-range questions.
+  for (uint32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  for (size_t e = 0; e < n / 4; ++e) {
+    const uint32_t u = static_cast<uint32_t>(rng.Uniform(n - 1));
+    edges.emplace_back(u, u + 1 + static_cast<uint32_t>(
+                                      rng.Uniform(n - u - 1)));
+  }
+  ReachLabels labels;
+  labels.Build(n, edges, static_cast<size_t>(state.range(1)));
+  std::vector<std::vector<uint32_t>> src(64), tgt(64);
+  std::vector<WordQuestion> word(64);
+  for (size_t li = 0; li < 64; ++li) {
+    const uint32_t s = static_cast<uint32_t>(rng.Uniform(n / 2));
+    src[li] = {s};
+    tgt[li] = {s + static_cast<uint32_t>(rng.Uniform(n / 2))};
+    word[li] = {src[li], tgt[li]};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(labels.ReachesAnyWord(word));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["sweep_depth"] = static_cast<double>(labels.sweep_depth());
+  state.counters["words"] = static_cast<double>(labels.batch_words());
+  state.counters["shortcut_count"] =
+      static_cast<double>(labels.shortcut_count());
+}
+BENCHMARK(BM_BitsetSweepShortcutDepth)
+    ->Args({30000, 0})
+    ->Args({30000, 256})
+    ->Args({30000, 4096});
 
 // --- incremental index vs per-query partial evaluation -----------------------
 

@@ -35,6 +35,11 @@ struct ServerBenchFlags {
   // boundary label, and dist dispatchers through the standing weighted
   // boundary graph, instead of solving a BES per query.
   bool boundary_index = false;
+  // --sweep=on|off: coalesced reach batches through the 64-lane bit-parallel
+  // word path vs one scalar coordinator lookup per query (boundary path).
+  bool sweep = true;
+  // --shortcut-budget=N: shortcut edges per boundary-condensation rebuild.
+  size_t shortcut_budget = 64;
 };
 
 struct ConfigResult {
@@ -79,6 +84,8 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
   // — the regime the paper's guarantees (and batching) are about. Applied
   // to both configurations, so the comparison stays fair.
   options.eval.form = EquationForm::kClosure;
+  options.eval.batch_sweep = flags.sweep;
+  options.eval.shortcut_budget = flags.shortcut_budget;
   if (flags.boundary_index) {
     options.eval.reach_path = ReachAnswerPath::kBoundaryIndex;
     options.eval.dist_path = DistAnswerPath::kBoundaryIndex;
@@ -187,6 +194,14 @@ int Run(int argc, char** argv) {
           flags.boundary_index = true;
           return true;
         }
+        if (std::strncmp(arg, "--sweep=", 8) == 0) {
+          flags.sweep = std::strcmp(arg + 8, "off") != 0;
+          return true;
+        }
+        if (std::strncmp(arg, "--shortcut-budget=", 18) == 0) {
+          flags.shortcut_budget = static_cast<size_t>(std::atoll(arg + 18));
+          return true;
+        }
         return false;
       });
 
@@ -268,9 +283,15 @@ int Run(int argc, char** argv) {
                   {"adaptive_modeled_qps", batched.modeled_qps},
                   {"adaptive_modeled_ms", batched.avg_modeled_ms},
                   {"adaptive_avg_batch", batched.avg_batch},
-                  // Dist/rpq-class dispatcher occupancy (0 under
-                  // --mix=reach): the dist and rpq series of the perf
-                  // artifact, index off/on.
+                  {"batch_sweep", flags.sweep ? 1.0 : 0.0},
+                  {"shortcut_budget",
+                   static_cast<double>(flags.shortcut_budget)},
+                  // Per-class dispatcher occupancy (dist/rpq are 0 under
+                  // --mix=reach): the reach, dist and rpq series of the
+                  // perf artifact, index off/on. The reach series is where
+                  // the coalesced 64-lane words land under --boundary-index.
+                  {"per_query_reach_modeled_ms", single.modeled_by_class[0]},
+                  {"adaptive_reach_modeled_ms", batched.modeled_by_class[0]},
                   {"per_query_dist_modeled_ms", single.modeled_by_class[1]},
                   {"adaptive_dist_modeled_ms", batched.modeled_by_class[1]},
                   {"per_query_rpq_modeled_ms", single.modeled_by_class[2]},

@@ -716,7 +716,8 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
                                          std::vector<QueryAnswer>* answers) {
   const Fragmentation& frag = cluster_->fragmentation();
   if (boundary_ == nullptr) {
-    boundary_ = std::make_unique<BoundaryReachIndex>(frag.num_fragments());
+    boundary_ = std::make_unique<BoundaryReachIndex>(frag.num_fragments(),
+                                                     options_.shortcut_budget);
   }
 
   // Refresh round: fetch the boundary rows of every dirty fragment (all of
@@ -790,8 +791,18 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
     PEREACH_CHECK(dec.Done() && "malformed boundary sweep reply");
   }
 
-  std::vector<NodeId> s_out;
-  std::vector<NodeId> t_in;
+  // Decode every query's frames into flat endpoint storage first (spans are
+  // recorded as offsets so growth can't invalidate them), then answer the
+  // pending questions: in 64-lane bit-parallel words through AnswerBatch, or
+  // one scalar lookup each when batch_sweep is off (the reference path).
+  std::vector<NodeId> nodes;
+  struct PendingQuestion {
+    size_t wi;
+    size_t s_off, s_len;
+    size_t t_off, t_len;
+  };
+  std::vector<PendingQuestion> pending;
+  pending.reserve(wire.size());
   for (size_t wi = 0; wi < wire.size(); ++wi) {
     const Query& q = queries[wire[wi]];
     QueryAnswer& answer = (*answers)[wire[wi]];
@@ -805,25 +816,47 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
       continue;
     }
     PEREACH_CHECK(s_flags & kFrameHasS);
-    s_out.clear();
+    PendingQuestion p;
+    p.wi = wi;
+    p.s_off = nodes.size();
     const std::vector<NodeId>& oset = boundary_->oset_globals(s_site);
     uint32_t prev = 0;
     for (size_t n = s_frame.GetCount(); n > 0; --n) {
       prev += static_cast<uint32_t>(s_frame.GetVarint());
       PEREACH_CHECK_LT(prev, oset.size());
-      s_out.push_back(oset[prev]);
+      nodes.push_back(oset[prev]);
     }
+    p.s_len = nodes.size() - p.s_off;
 
     Decoder& t_frame = frames[site_reply[t_site]][wi];
     uint8_t t_flags = s_flags;
     if (t_site != s_site) t_flags = t_frame.GetU8();
     PEREACH_CHECK(t_flags & kFrameHasT);
-    t_in.clear();
+    p.t_off = nodes.size();
     for (size_t n = t_frame.GetCount(); n > 0; --n) {
-      t_in.push_back(static_cast<NodeId>(t_frame.GetVarint()));
+      nodes.push_back(static_cast<NodeId>(t_frame.GetVarint()));
     }
+    p.t_len = nodes.size() - p.t_off;
+    pending.push_back(p);
+  }
 
-    answer.reachable = boundary_->ReachesAny(s_out, t_in);
+  const std::span<const NodeId> flat(nodes);
+  if (options_.batch_sweep) {
+    std::vector<BoundaryReachIndex::ReachQuestion> questions(pending.size());
+    for (size_t i = 0; i < pending.size(); ++i) {
+      questions[i].sources = flat.subspan(pending[i].s_off, pending[i].s_len);
+      questions[i].targets = flat.subspan(pending[i].t_off, pending[i].t_len);
+    }
+    std::vector<uint8_t> batched;
+    boundary_->AnswerBatch(questions, &batched);
+    for (size_t i = 0; i < pending.size(); ++i) {
+      (*answers)[wire[pending[i].wi]].reachable = batched[i] != 0;
+    }
+  } else {
+    for (const PendingQuestion& p : pending) {
+      (*answers)[wire[p.wi]].reachable = boundary_->ReachesAny(
+          flat.subspan(p.s_off, p.s_len), flat.subspan(p.t_off, p.t_len));
+    }
   }
   cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
 }
@@ -956,7 +989,8 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
   const Fragmentation& frag = cluster_->fragmentation();
   if (boundary_rpq_ == nullptr) {
     boundary_rpq_ = std::make_unique<BoundaryRpqIndex>(
-        frag.num_fragments(), options_.rpq_cache_entries);
+        frag.num_fragments(), options_.rpq_cache_entries,
+        options_.shortcut_budget);
   }
   boundary_rpq_->BeginBatch();
 
@@ -1109,8 +1143,18 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
     PEREACH_CHECK(dec.Done() && "malformed product sweep reply");
   }
 
-  std::vector<ProductPair> s_out;
-  std::vector<ProductPair> t_in;
+  // Decode every query's frames into flat pair storage first (spans are
+  // recorded as offsets so growth can't invalidate them), then answer each
+  // entry's pending questions together: in 64-lane bit-parallel words
+  // through its AnswerBatch, or one scalar lookup per query when
+  // batch_sweep is off (the reference path).
+  std::vector<ProductPair> pairs;
+  struct PendingQuestion {
+    size_t wi;
+    size_t s_off, s_len;
+    size_t t_off, t_len;
+  };
+  std::vector<std::vector<PendingQuestion>> pending_by_sig(sigs.size());
   for (size_t wi = 0; wi < wire.size(); ++wi) {
     const Query& q = queries[wire[wi]];
     QueryAnswer& answer = (*answers)[wire[wi]];
@@ -1125,32 +1169,62 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
       continue;
     }
     PEREACH_CHECK(s_flags & kFrameHasS);
-    s_out.clear();
+    PendingQuestion p;
+    p.wi = wi;
+    p.s_off = pairs.size();
     const size_t table_size = entry.TableSize(s_site);
     uint32_t prev = 0;
     for (size_t n = s_frame.GetCount(); n > 0; --n) {
       prev += static_cast<uint32_t>(s_frame.GetVarint());
       PEREACH_CHECK_LT(prev, table_size);
-      s_out.push_back(entry.TablePair(s_site, prev));
+      pairs.push_back(entry.TablePair(s_site, prev));
     }
+    p.s_len = pairs.size() - p.s_off;
 
     Decoder& t_frame = frames[site_reply[t_site]][wi];
     uint8_t t_flags = s_flags;
     if (t_site != s_site) t_flags = t_frame.GetU8();
     PEREACH_CHECK(t_flags & kFrameHasT);
-    t_in.clear();
+    p.t_off = pairs.size();
     for (size_t n = t_frame.GetCount(2); n > 0; --n) {
       const NodeId global = static_cast<NodeId>(t_frame.GetVarint());
-      t_in.push_back({global, t_frame.GetU8()});
+      pairs.push_back({global, t_frame.GetU8()});
     }
     // The standing accept pair (t, u_t): acceptance at any fragment holding
     // a virtual copy of t routes through it. Absent exactly when t has no
     // virtual copy, i.e. no cross edge enters t anywhere.
     const ProductPair accept{q.target,
                              static_cast<uint8_t>(QueryAutomaton::kFinal)};
-    if (entry.HasPair(accept)) t_in.push_back(accept);
+    if (entry.HasPair(accept)) pairs.push_back(accept);
+    p.t_len = pairs.size() - p.t_off;
+    pending_by_sig[query_sig[wi]].push_back(p);
+  }
 
-    answer.reachable = entry.ReachesAny(s_out, t_in);
+  const std::span<const ProductPair> flat(pairs);
+  std::vector<BoundaryRpqIndex::RpqQuestion> questions;
+  std::vector<uint8_t> batched;
+  for (size_t si = 0; si < sigs.size(); ++si) {
+    const std::vector<PendingQuestion>& pending = pending_by_sig[si];
+    if (pending.empty()) continue;
+    BoundaryRpqIndex::Entry& entry = *sigs[si].entry;
+    if (options_.batch_sweep) {
+      questions.assign(pending.size(), {});
+      for (size_t i = 0; i < pending.size(); ++i) {
+        questions[i].sources =
+            flat.subspan(pending[i].s_off, pending[i].s_len);
+        questions[i].targets =
+            flat.subspan(pending[i].t_off, pending[i].t_len);
+      }
+      entry.AnswerBatch(questions, &batched);
+      for (size_t i = 0; i < pending.size(); ++i) {
+        (*answers)[wire[pending[i].wi]].reachable = batched[i] != 0;
+      }
+    } else {
+      for (const PendingQuestion& p : pending) {
+        (*answers)[wire[p.wi]].reachable = entry.ReachesAny(
+            flat.subspan(p.s_off, p.s_len), flat.subspan(p.t_off, p.t_len));
+      }
+    }
   }
   cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
 }

@@ -73,6 +73,14 @@ struct PartialEvalOptions {
   /// LRU entry cap for the signature-keyed rpq caches — the coordinator's
   /// standing product boundary graphs AND each fragment's product rows.
   size_t rpq_cache_entries = 8;
+  /// Answer indexed coordinator questions in 64-lane bit-parallel words
+  /// (BoundaryReachIndex::AnswerBatch / BoundaryRpqIndex::Entry::AnswerBatch)
+  /// instead of one scalar lookup per query. Exact either way; off is the
+  /// scalar reference path for differential tests.
+  bool batch_sweep = true;
+  /// Transitive shortcut-edge budget per boundary condensation rebuild
+  /// (ReachLabels): cuts sweep/DFS depth, never changes answers. 0 disables.
+  size_t shortcut_budget = 64;
 };
 
 /// The paper's disReach / disDist / disRPQ unified behind the QueryEngine
@@ -124,6 +132,10 @@ class PartialEvalEngine : public QueryEngine {
   /// The standing boundary index, or nullptr before the first reach batch
   /// ran with reach_path == kBoundaryIndex (observability for tests/benches).
   const BoundaryReachIndex* boundary_index() const { return boundary_.get(); }
+
+  /// Mutable access for benches that drive the index's scalar vs batched
+  /// lookup paths directly (micro-comparisons outside a query batch).
+  BoundaryReachIndex* mutable_boundary_index() { return boundary_.get(); }
 
   /// The standing weighted boundary index, or nullptr before the first dist
   /// batch ran with dist_path == kBoundaryIndex.

@@ -1,5 +1,7 @@
 #include "src/index/boundary_index.h"
 
+#include <algorithm>
+#include <array>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -60,8 +62,10 @@ BoundaryRows BoundaryRows::Deserialize(Decoder* dec) {
 // ---------------------------------------------------------------------------
 // BoundaryReachIndex
 
-BoundaryReachIndex::BoundaryReachIndex(size_t num_fragments)
+BoundaryReachIndex::BoundaryReachIndex(size_t num_fragments,
+                                       size_t shortcut_budget)
     : num_fragments_(num_fragments),
+      shortcut_budget_(shortcut_budget),
       fragment_rows_(num_fragments),
       have_rows_(num_fragments, false),
       dirty_(num_fragments, true) {}
@@ -134,7 +138,7 @@ void BoundaryReachIndex::Ensure() {
 
   // Condensation + GRAIL labels: the coordinator core shared with the
   // product boundary graph (see ReachLabels).
-  labels_.Build(dense_of_.size(), edges);
+  labels_.Build(dense_of_.size(), edges, shortcut_budget_);
   stale_ = false;
   ++rebuild_count_;
 }
@@ -163,6 +167,51 @@ bool BoundaryReachIndex::ReachesAny(std::span<const NodeId> sources,
   tgt.reserve(targets.size());
   for (NodeId v : targets) tgt.push_back(DenseOf(v));
   return labels_.ReachesAny(src, tgt);
+}
+
+void BoundaryReachIndex::AnswerBatch(std::span<const ReachQuestion> questions,
+                                     std::vector<uint8_t>* answers) {
+  PEREACH_CHECK(!stale_ && "Ensure() before querying");
+  answers->assign(questions.size(), 0);
+  for (size_t base = 0; base < questions.size();
+       base += BitsetSweep::kLanes) {
+    const size_t lanes =
+        std::min(BitsetSweep::kLanes, questions.size() - base);
+    // Map every endpoint to its dense id up front — flat storage, spans
+    // built only after the fill so growth can't invalidate them.
+    size_t total = 0;
+    for (size_t li = 0; li < lanes; ++li) {
+      total += questions[base + li].sources.size() +
+               questions[base + li].targets.size();
+    }
+    batch_nodes_.clear();
+    batch_nodes_.reserve(total);
+    batch_word_.clear();
+    batch_word_.resize(lanes);
+    // Per-lane {s_off, s_len, t_off, t_len} into the flat dense-id array.
+    std::vector<std::array<size_t, 4>> extents(lanes);
+    for (size_t li = 0; li < lanes; ++li) {
+      const ReachQuestion& q = questions[base + li];
+      extents[li][0] = batch_nodes_.size();
+      for (const NodeId u : q.sources) batch_nodes_.push_back(DenseOf(u));
+      extents[li][1] = q.sources.size();
+      extents[li][2] = batch_nodes_.size();
+      for (const NodeId v : q.targets) batch_nodes_.push_back(DenseOf(v));
+      extents[li][3] = q.targets.size();
+    }
+    for (size_t li = 0; li < lanes; ++li) {
+      batch_word_[li].sources =
+          std::span<const uint32_t>(batch_nodes_).subspan(extents[li][0],
+                                                          extents[li][1]);
+      batch_word_[li].targets =
+          std::span<const uint32_t>(batch_nodes_).subspan(extents[li][2],
+                                                          extents[li][3]);
+    }
+    const uint64_t word = labels_.ReachesAnyWord(batch_word_);
+    for (size_t li = 0; li < lanes; ++li) {
+      (*answers)[base + li] = static_cast<uint8_t>((word >> li) & 1);
+    }
+  }
 }
 
 size_t BoundaryReachIndex::ByteSize() const {

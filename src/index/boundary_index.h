@@ -62,7 +62,19 @@ struct BoundaryRows {
 /// around invalidation) provides the exclusion.
 class BoundaryReachIndex {
  public:
-  explicit BoundaryReachIndex(size_t num_fragments);
+  /// One coordinator reach question of a batch: does ANY source boundary
+  /// node reach ANY target boundary node? Spans must stay alive through
+  /// AnswerBatch; empty sides answer false.
+  struct ReachQuestion {
+    std::span<const NodeId> sources;
+    std::span<const NodeId> targets;
+  };
+
+  /// `shortcut_budget` caps the transitive shortcut edges ReachLabels adds
+  /// to the boundary condensation at each rebuild (0 disables; answers are
+  /// identical either way, only traversal depth changes).
+  explicit BoundaryReachIndex(size_t num_fragments,
+                              size_t shortcut_budget = 0);
 
   /// Installs the boundary rows of one fragment and clears its dirty bit.
   void SetFragmentRows(SiteId site, BoundaryRows rows);
@@ -93,6 +105,13 @@ class BoundaryReachIndex {
   bool ReachesAny(std::span<const NodeId> sources,
                   std::span<const NodeId> targets);
 
+  /// Answers a whole batch, `(*answers)[i] = ReachesAny(questions[i])`,
+  /// 64 questions per bit-parallel word (ReachLabels::ReachesAnyWord): label
+  /// pre-filtering per lane, then ONE shared sweep per word instead of a
+  /// DFS fallback per question. Resizes `answers`.
+  void AnswerBatch(std::span<const ReachQuestion> questions,
+                   std::vector<uint8_t>* answers);
+
   // --- observability -------------------------------------------------------
   size_t num_boundary_nodes() const { return dense_of_.size(); }
   size_t num_components() const { return labels_.num_components(); }
@@ -103,6 +122,14 @@ class BoundaryReachIndex {
   /// lookups that needed the pruned-DFS fallback for at least one pair.
   size_t label_hits() const { return labels_.label_hits(); }
   size_t dfs_fallbacks() const { return labels_.dfs_fallbacks(); }
+  /// Batch-path counters (see ReachLabels): words answered, words that
+  /// needed a sweep, lanes answered by sweeps, cumulative sweep expansions,
+  /// and shortcut edges added by the last rebuild.
+  size_t batch_words() const { return labels_.batch_words(); }
+  size_t sweep_count() const { return labels_.sweep_count(); }
+  size_t sweep_lanes() const { return labels_.sweep_lanes(); }
+  size_t sweep_depth() const { return labels_.sweep_depth(); }
+  size_t shortcut_count() const { return labels_.shortcut_count(); }
 
   /// Rough resident size of the rebuilt structure, bytes.
   size_t ByteSize() const;
@@ -113,6 +140,7 @@ class BoundaryReachIndex {
   uint32_t DenseOf(NodeId global) const;
 
   size_t num_fragments_;
+  size_t shortcut_budget_;
   std::vector<BoundaryRows> fragment_rows_;
   std::vector<bool> have_rows_;
   std::vector<bool> dirty_;
@@ -122,6 +150,11 @@ class BoundaryReachIndex {
   // the shared condensation + GRAIL labels over it.
   std::unordered_map<NodeId, uint32_t> dense_of_;  // boundary global -> dense
   ReachLabels labels_;
+
+  // AnswerBatch scratch (flat dense-id storage + the word under assembly),
+  // reused across calls so the batch path allocates nothing steady-state.
+  std::vector<uint32_t> batch_nodes_;
+  std::vector<WordQuestion> batch_word_;
 
   size_t rebuild_count_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "src/index/boundary_rpq_index.h"
 
 #include <algorithm>
+#include <array>
 
 #include "src/regex/query_automaton.h"
 #include "src/util/logging.h"
@@ -88,8 +89,9 @@ ProductBoundaryRows ProductBoundaryRows::Deserialize(Decoder* dec) {
 // ---------------------------------------------------------------------------
 // BoundaryRpqIndex::Entry
 
-BoundaryRpqIndex::Entry::Entry(size_t num_fragments)
+BoundaryRpqIndex::Entry::Entry(size_t num_fragments, size_t shortcut_budget)
     : num_fragments_(num_fragments),
+      shortcut_budget_(shortcut_budget),
       fragment_rows_(num_fragments),
       site_table_(num_fragments),
       have_rows_(num_fragments, false),
@@ -162,7 +164,7 @@ void BoundaryRpqIndex::Entry::Ensure() {
     }
   }
 
-  labels_.Build(dense_of_.size(), edges);
+  labels_.Build(dense_of_.size(), edges, shortcut_budget_);
   stale_ = false;
   ++rebuild_count_;
 }
@@ -207,6 +209,51 @@ bool BoundaryRpqIndex::Entry::ReachesAny(
   return labels_.ReachesAny(src, tgt);
 }
 
+void BoundaryRpqIndex::Entry::AnswerBatch(
+    std::span<const RpqQuestion> questions, std::vector<uint8_t>* answers) {
+  PEREACH_CHECK(!stale_ && "Ensure() before querying");
+  answers->assign(questions.size(), 0);
+  for (size_t base = 0; base < questions.size();
+       base += BitsetSweep::kLanes) {
+    const size_t lanes =
+        std::min(BitsetSweep::kLanes, questions.size() - base);
+    size_t total = 0;
+    for (size_t li = 0; li < lanes; ++li) {
+      total += questions[base + li].sources.size() +
+               questions[base + li].targets.size();
+    }
+    // Flat dense-id storage; spans built only after the fill so growth
+    // can't invalidate them.
+    batch_nodes_.clear();
+    batch_nodes_.reserve(total);
+    batch_word_.clear();
+    batch_word_.resize(lanes);
+    // Per-lane {s_off, s_len, t_off, t_len} into the flat dense-id array.
+    std::vector<std::array<size_t, 4>> extents(lanes);
+    for (size_t li = 0; li < lanes; ++li) {
+      const RpqQuestion& q = questions[base + li];
+      extents[li][0] = batch_nodes_.size();
+      for (const ProductPair p : q.sources) batch_nodes_.push_back(DenseOf(p));
+      extents[li][1] = q.sources.size();
+      extents[li][2] = batch_nodes_.size();
+      for (const ProductPair p : q.targets) batch_nodes_.push_back(DenseOf(p));
+      extents[li][3] = q.targets.size();
+    }
+    for (size_t li = 0; li < lanes; ++li) {
+      batch_word_[li].sources =
+          std::span<const uint32_t>(batch_nodes_).subspan(extents[li][0],
+                                                          extents[li][1]);
+      batch_word_[li].targets =
+          std::span<const uint32_t>(batch_nodes_).subspan(extents[li][2],
+                                                          extents[li][3]);
+    }
+    const uint64_t word = labels_.ReachesAnyWord(batch_word_);
+    for (size_t li = 0; li < lanes; ++li) {
+      (*answers)[base + li] = static_cast<uint8_t>((word >> li) & 1);
+    }
+  }
+}
+
 size_t BoundaryRpqIndex::Entry::ByteSize() const {
   size_t bytes = dense_of_.size() * (sizeof(uint64_t) + sizeof(uint32_t)) +
                  labels_.ByteSize();
@@ -224,9 +271,11 @@ size_t BoundaryRpqIndex::Entry::ByteSize() const {
 // ---------------------------------------------------------------------------
 // BoundaryRpqIndex (the signature-keyed LRU of entries)
 
-BoundaryRpqIndex::BoundaryRpqIndex(size_t num_fragments, size_t max_entries)
+BoundaryRpqIndex::BoundaryRpqIndex(size_t num_fragments, size_t max_entries,
+                                   size_t shortcut_budget)
     : num_fragments_(num_fragments),
-      max_entries_(std::max<size_t>(1, max_entries)) {}
+      max_entries_(std::max<size_t>(1, max_entries)),
+      shortcut_budget_(shortcut_budget) {}
 
 void BoundaryRpqIndex::BeginBatch() {
   batch_start_tick_ = tick_ + 1;
@@ -267,7 +316,8 @@ BoundaryRpqIndex::Entry& BoundaryRpqIndex::GetEntry(
     // the batch's duration instead of invalidating a live reference.
     EvictLru();
   }
-  auto entry = std::unique_ptr<Entry>(new Entry(num_fragments_));
+  auto entry =
+      std::unique_ptr<Entry>(new Entry(num_fragments_, shortcut_budget_));
   entry->last_used_ = ++tick_;
   return *entries_.emplace(sig.key, std::move(entry)).first->second;
 }

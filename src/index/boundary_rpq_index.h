@@ -87,6 +87,14 @@ struct ProductBoundaryRows {
 /// the exclusion.
 class BoundaryRpqIndex {
  public:
+  /// One coordinator rpq question of a batch: does ANY source pair reach
+  /// ANY target pair in this entry's product boundary graph? Spans must
+  /// stay alive through AnswerBatch; empty sides answer false.
+  struct RpqQuestion {
+    std::span<const ProductPair> sources;
+    std::span<const ProductPair> targets;
+  };
+
   /// Standing product boundary graph of one canonical automaton.
   class Entry {
    public:
@@ -118,6 +126,12 @@ class BoundaryRpqIndex {
     bool ReachesAny(std::span<const ProductPair> sources,
                     std::span<const ProductPair> targets);
 
+    /// Answers a whole batch, `(*answers)[i] = ReachesAny(questions[i])`,
+    /// 64 questions per bit-parallel word (ReachLabels::ReachesAnyWord).
+    /// Resizes `answers`.
+    void AnswerBatch(std::span<const RpqQuestion> questions,
+                     std::vector<uint8_t>* answers);
+
     // --- observability -----------------------------------------------------
     size_t num_product_nodes() const { return dense_of_.size(); }
     size_t num_components() const { return labels_.num_components(); }
@@ -127,11 +141,17 @@ class BoundaryRpqIndex {
     size_t rebuild_count() const { return rebuild_count_; }
     size_t label_hits() const { return labels_.label_hits(); }
     size_t dfs_fallbacks() const { return labels_.dfs_fallbacks(); }
+    /// Batch-path counters (see ReachLabels).
+    size_t batch_words() const { return labels_.batch_words(); }
+    size_t sweep_count() const { return labels_.sweep_count(); }
+    size_t sweep_lanes() const { return labels_.sweep_lanes(); }
+    size_t sweep_depth() const { return labels_.sweep_depth(); }
+    size_t shortcut_count() const { return labels_.shortcut_count(); }
     size_t ByteSize() const;
 
    private:
     friend class BoundaryRpqIndex;
-    explicit Entry(size_t num_fragments);
+    Entry(size_t num_fragments, size_t shortcut_budget);
 
     static uint64_t PackPair(ProductPair p) {
       return (static_cast<uint64_t>(p.node) << 6) | p.state;
@@ -140,6 +160,7 @@ class BoundaryRpqIndex {
     uint32_t DenseOf(ProductPair p) const;
 
     size_t num_fragments_;
+    size_t shortcut_budget_;
     std::vector<ProductBoundaryRows> fragment_rows_;
     // Flattened pair table per site, built when rows are installed.
     std::vector<std::vector<ProductPair>> site_table_;
@@ -151,12 +172,20 @@ class BoundaryRpqIndex {
     std::unordered_map<uint64_t, uint32_t> dense_of_;  // packed pair -> dense
     ReachLabels labels_;
 
+    // AnswerBatch scratch (flat dense-id storage + the word under assembly).
+    std::vector<uint32_t> batch_nodes_;
+    std::vector<WordQuestion> batch_word_;
+
     size_t rebuild_count_ = 0;
     uint64_t last_used_ = 0;  // LRU tick, maintained by the owner
   };
 
-  /// `max_entries` caps the LRU cache (clamped to >= 1).
-  BoundaryRpqIndex(size_t num_fragments, size_t max_entries);
+  /// `max_entries` caps the LRU cache (clamped to >= 1); `shortcut_budget`
+  /// caps the transitive shortcut edges each entry's ReachLabels adds to its
+  /// product condensation per rebuild (0 disables; answers are identical
+  /// either way, only traversal depth changes).
+  BoundaryRpqIndex(size_t num_fragments, size_t max_entries,
+                   size_t shortcut_budget = 0);
 
   /// Marks the start of a batch: entries returned by GetEntry from here on
   /// are pinned against eviction until the next BeginBatch (an over-cap
@@ -192,6 +221,7 @@ class BoundaryRpqIndex {
 
   size_t num_fragments_;
   size_t max_entries_;
+  size_t shortcut_budget_;
   std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;  // by key
   uint64_t tick_ = 0;
   uint64_t batch_start_tick_ = 0;

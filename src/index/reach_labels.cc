@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <functional>
+#include <unordered_set>
 #include <utility>
 
 #include "src/graph/algorithms.h"
@@ -9,8 +11,135 @@
 
 namespace pereach {
 
-void ReachLabels::Build(
-    size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+/// RAII arm of the ReachLabels threading contract: Build and every lookup
+/// hold this for their whole duration, so two dispatchers illegally sharing
+/// one instance abort loudly (debug builds) instead of silently corrupting
+/// the versioned scratch. Release builds compile it away.
+class ReachLabelsLookupGuard {
+ public:
+  explicit ReachLabelsLookupGuard(ReachLabels* labels) {
+#ifndef NDEBUG
+    labels_ = labels;
+    // One instance per dispatcher-owned index; see the class comment.
+    PEREACH_CHECK(!labels->in_use_.exchange(true, std::memory_order_acquire));
+#else
+    (void)labels;
+#endif
+  }
+
+  ~ReachLabelsLookupGuard() {
+#ifndef NDEBUG
+    labels_->in_use_.store(false, std::memory_order_release);
+#endif
+  }
+
+ private:
+#ifndef NDEBUG
+  ReachLabels* labels_ = nullptr;
+#endif
+  PEREACH_DISALLOW_COPY_AND_ASSIGN(ReachLabelsLookupGuard);
+};
+
+// --- BitsetSweep -----------------------------------------------------------
+
+void BitsetSweep::Resize(size_t num_nodes) {
+  mask_.assign(num_nodes, Lanes64{});
+  tmask_.assign(num_nodes, Lanes64{});
+  pending_.assign(num_nodes, 0);
+  dirty_.assign(num_nodes, 0);
+  touched_.clear();
+  seed_hits_ = 0;
+  max_seed_ = 0;
+  min_target_ = 0;
+  have_seed_ = false;
+  have_target_ = false;
+  last_depth_ = 0;
+}
+
+void BitsetSweep::Touch(uint32_t node) {
+  if (!dirty_[node]) {
+    dirty_[node] = 1;
+    touched_.push_back(node);
+  }
+}
+
+void BitsetSweep::SeedSources(uint32_t node, uint64_t lanes) {
+  PEREACH_CHECK_LT(node, mask_.size());
+  Touch(node);
+  // Reflexive: the node may already carry these lanes as a target.
+  seed_hits_ |= lanes & tmask_[node].word(0);
+  mask_[node].set_word(0, mask_[node].word(0) | lanes);
+  pending_[node] = 1;
+  max_seed_ = have_seed_ ? std::max(max_seed_, node) : node;
+  have_seed_ = true;
+}
+
+void BitsetSweep::SeedTargets(uint32_t node, uint64_t lanes) {
+  PEREACH_CHECK_LT(node, tmask_.size());
+  Touch(node);
+  seed_hits_ |= lanes & mask_[node].word(0);
+  tmask_[node].set_word(0, tmask_[node].word(0) | lanes);
+  min_target_ = have_target_ ? std::min(min_target_, node) : node;
+  have_target_ = true;
+}
+
+uint64_t BitsetSweep::Run(std::span<const size_t> offsets,
+                          std::span<const uint32_t> targets,
+                          uint64_t undecided) {
+  uint64_t result = seed_hits_ & undecided;
+  uint64_t remaining = undecided & ~result;
+  last_depth_ = 0;
+  if (have_seed_ && have_target_ && remaining != 0) {
+    // Descending-id scan from the highest seed: every contributor of a node
+    // has a higher id, so when `c` comes up its mask is final. Nothing below
+    // the lowest target can lie on a path to any target (ids strictly
+    // decrease along every edge), hence the min_target_ floor.
+    for (uint32_t c = max_seed_ + 1; c-- > min_target_;) {
+      if (!pending_[c]) continue;
+      const uint64_t m = mask_[c].word(0) & remaining;
+      if (m == 0) continue;
+      ++last_depth_;
+      for (size_t e = offsets[c]; e < offsets[c + 1]; ++e) {
+        const uint32_t v = targets[e];
+        if (v < min_target_) continue;
+        Touch(v);
+        // Push-time target check: lanes resolve the moment their frontier
+        // lands on a target, so the sweep (and its depth) stops early on
+        // all-positive words — this is where shortcut edges pay off.
+        const uint64_t hit = m & tmask_[v].word(0);
+        if (hit != 0) {
+          result |= hit;
+          remaining &= ~hit;
+          if (remaining == 0) break;
+        }
+        mask_[v].set_word(0, mask_[v].word(0) | m);
+        pending_[v] = 1;
+      }
+      if (remaining == 0) break;
+    }
+  }
+  // Consume the seeds: O(touched) re-clear readies the next word.
+  for (const uint32_t t : touched_) {
+    mask_[t].Clear();
+    tmask_[t].Clear();
+    pending_[t] = 0;
+    dirty_[t] = 0;
+  }
+  touched_.clear();
+  seed_hits_ = 0;
+  max_seed_ = 0;
+  min_target_ = 0;
+  have_seed_ = false;
+  have_target_ = false;
+  return result;
+}
+
+// --- ReachLabels -----------------------------------------------------------
+
+void ReachLabels::Build(size_t num_nodes,
+                        const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+                        size_t shortcut_budget) {
+  ReachLabelsLookupGuard guard(this);
   // 1. Condense. The graph is built as a real Graph so the SCC /
   // condensation machinery (and its reverse-topological id guarantee) is
   // shared with the fragment-local path.
@@ -24,10 +153,17 @@ void ReachLabels::Build(
   component_of_ = cond.scc.component_of;
   adj_offsets_ = cond.offsets;
   adj_targets_ = cond.targets;
+  num_base_edges_ = adj_targets_.size();
 
-  // 2. Labels over the condensation. Two deterministic DFS labelings
-  // (natural and reversed child order); the first one's DFS-tree intervals
-  // [tin, tout) double as the certain-positive check.
+  // 2. Shortcuts: spend the budget on transitive 2-hop edges before the
+  // labels are computed, so labels and lookups see one augmented CSR. Every
+  // shortcut is witnessed by an existing path, so the reachability relation
+  // (and every answer) is unchanged — only traversal depth shrinks.
+  AddShortcuts(shortcut_budget);
+
+  // 3. Labels over the (augmented) condensation. Two deterministic DFS
+  // labelings (natural and reversed child order); the first one's DFS-tree
+  // intervals [tin, tout) double as the certain-positive check.
   labels_.assign(num_comps_, CompLabel{});
   std::vector<uint8_t> visited(num_comps_);
   // Frame: (component, next child position). Child positions count from the
@@ -66,8 +202,8 @@ void ReachLabels::Build(
       }
     }
     // low = min post rank over all descendants: component ids are reverse
-    // topological (every edge goes to a smaller id), so an ascending scan
-    // sees every successor's final low.
+    // topological (every edge — shortcuts included — goes to a smaller id),
+    // so an ascending scan sees every successor's final low.
     for (uint32_t c = 0; c < num_comps_; ++c) {
       uint32_t low = labels_[c].post[labeling];
       for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
@@ -79,6 +215,115 @@ void ReachLabels::Build(
 
   visit_mark_.assign(num_comps_, 0);
   visit_version_ = 0;
+  sweep_.Resize(num_comps_);
+}
+
+void ReachLabels::AddShortcuts(size_t budget) {
+  shortcut_count_ = 0;
+  if (budget == 0 || num_comps_ < 3 || adj_targets_.empty()) return;
+
+  // Hubs: high (in+1)*(out+1) score first — midpoints that sit on many
+  // source->target routes — higher id on ties (more graph below to jump
+  // over). Deterministic, so rebuilds of the same condensation add the same
+  // shortcut set.
+  std::vector<size_t> in_deg(num_comps_, 0);
+  std::vector<size_t> out_deg(num_comps_, 0);
+  for (uint32_t c = 0; c < num_comps_; ++c) {
+    out_deg[c] = adj_offsets_[c + 1] - adj_offsets_[c];
+    for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
+      ++in_deg[adj_targets_[e]];
+    }
+  }
+  std::vector<uint32_t> hubs(num_comps_);
+  for (uint32_t c = 0; c < num_comps_; ++c) hubs[c] = c;
+  const auto score = [&](uint32_t c) {
+    return (in_deg[c] + 1) * (out_deg[c] + 1);
+  };
+  std::sort(hubs.begin(), hubs.end(), [&](uint32_t a, uint32_t b) {
+    const size_t sa = score(a);
+    const size_t sb = score(b);
+    return sa != sb ? sa > sb : a > b;
+  });
+  hubs.resize(std::min<size_t>(num_comps_, std::max<size_t>(4, budget / 8)));
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(adj_targets_.size() + budget);
+  const auto pack = [](uint32_t u, uint32_t v) {
+    return (uint64_t{u} << 32) | v;
+  };
+  for (uint32_t c = 0; c < num_comps_; ++c) {
+    for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
+      seen.insert(pack(c, adj_targets_[e]));
+    }
+  }
+
+  // Per round, compose h -> mid -> w into a direct h -> w. Mids include the
+  // shortcuts added so far, so a hub's jump distance roughly doubles per
+  // round (the hopset-by-squaring idea, budget-truncated). Both caps bound
+  // build work on adversarial shapes: `remaining` the edges added, the
+  // examine cap the pairs inspected.
+  std::vector<std::vector<uint32_t>> extra(num_comps_);
+  size_t remaining = budget;
+  size_t examined = 0;
+  constexpr size_t kMaxRounds = 16;
+  constexpr size_t kExamineCap = size_t{1} << 18;
+  for (size_t round = 0; round < kMaxRounds && remaining > 0; ++round) {
+    bool added_any = false;
+    for (const uint32_t h : hubs) {
+      // Edges added to h this round are not chased as mids until the next
+      // round, or the doubling would degenerate into unbounded chaining.
+      const size_t frozen = extra[h].size();
+      const auto try_add = [&](uint32_t w) {
+        ++examined;
+        if (seen.insert(pack(h, w)).second) {
+          extra[h].push_back(w);
+          ++shortcut_count_;
+          --remaining;
+          added_any = true;
+        }
+      };
+      const auto for_each_succ = [&](uint32_t m, auto&& fn) {
+        for (size_t e = adj_offsets_[m];
+             e < adj_offsets_[m + 1] && remaining > 0 && examined < kExamineCap;
+             ++e) {
+          fn(adj_targets_[e]);
+        }
+        const std::vector<uint32_t>& ex = extra[m];
+        const size_t limit = m == h ? frozen : ex.size();
+        for (size_t i = 0;
+             i < limit && remaining > 0 && examined < kExamineCap; ++i) {
+          fn(ex[i]);
+        }
+      };
+      // w < mid < h along every composed pair, so shortcuts keep the
+      // reverse-topological edge invariant the sweep and `low` scan rely on.
+      for_each_succ(h, [&](uint32_t mid) { for_each_succ(mid, try_add); });
+      if (remaining == 0 || examined >= kExamineCap) break;
+    }
+    if (!added_any || examined >= kExamineCap) break;
+  }
+  if (shortcut_count_ == 0) return;
+
+  // Merge the extra lists into a fresh CSR, per-node descending (toward the
+  // far end first, where targets resolve).
+  std::vector<size_t> offsets(num_comps_ + 1, 0);
+  for (uint32_t c = 0; c < num_comps_; ++c) {
+    offsets[c + 1] = offsets[c] + (adj_offsets_[c + 1] - adj_offsets_[c]) +
+                     extra[c].size();
+  }
+  std::vector<uint32_t> targets(offsets.back());
+  for (uint32_t c = 0; c < num_comps_; ++c) {
+    size_t w = offsets[c];
+    for (size_t e = adj_offsets_[c]; e < adj_offsets_[c + 1]; ++e) {
+      targets[w++] = adj_targets_[e];
+    }
+    for (const uint32_t v : extra[c]) targets[w++] = v;
+    std::sort(targets.begin() + static_cast<ptrdiff_t>(offsets[c]),
+              targets.begin() + static_cast<ptrdiff_t>(offsets[c + 1]),
+              std::greater<uint32_t>());
+  }
+  adj_offsets_ = std::move(offsets);
+  adj_targets_ = std::move(targets);
 }
 
 bool ReachLabels::LabelContains(uint32_t cu, uint32_t cv) const {
@@ -94,7 +339,7 @@ int ReachLabels::LabelVerdict(uint32_t cu, uint32_t cv) const {
   // Reverse-topological ids: a descendant always has a smaller id.
   if (cv > cu) return 0;
   // Certain positive: cv sits inside cu's DFS-tree subtree (tree edges are
-  // condensation edges, so the tree path is a real path).
+  // condensation edges or shortcuts, so the tree path is a real path).
   const CompLabel& lu = labels_[cu];
   const uint32_t tv = labels_[cv].tin;
   if (lu.tin <= tv && tv < lu.tout) return 1;
@@ -103,23 +348,26 @@ int ReachLabels::LabelVerdict(uint32_t cu, uint32_t cv) const {
   return -1;
 }
 
+void ReachLabels::CollectComponents(std::span<const uint32_t> nodes,
+                                    std::vector<uint32_t>* out) const {
+  out->clear();
+  out->reserve(nodes.size());
+  for (const uint32_t u : nodes) out->push_back(comp_of(u));
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
 bool ReachLabels::ReachesAny(std::span<const uint32_t> sources,
                              std::span<const uint32_t> targets) {
   if (sources.empty() || targets.empty()) return false;
+  ReachLabelsLookupGuard guard(this);
 
   // Dedupe both sides at the component level; within one side, members of
   // the same component are interchangeable.
   std::vector<uint32_t> src;
-  src.reserve(sources.size());
-  for (uint32_t u : sources) src.push_back(comp_of(u));
-  std::sort(src.begin(), src.end());
-  src.erase(std::unique(src.begin(), src.end()), src.end());
-
+  CollectComponents(sources, &src);
   std::vector<uint32_t> tgt;
-  tgt.reserve(targets.size());
-  for (uint32_t v : targets) tgt.push_back(comp_of(v));
-  std::sort(tgt.begin(), tgt.end());
-  tgt.erase(std::unique(tgt.begin(), tgt.end()), tgt.end());
+  CollectComponents(targets, &tgt);
 
   // Label pass: decide every (source, target) component pair by labels
   // alone; collect the sources with an undecided pair for the fallback.
@@ -186,6 +434,61 @@ bool ReachLabels::ReachesAny(std::span<const uint32_t> sources,
     }
   }
   return false;
+}
+
+uint64_t ReachLabels::ReachesAnyWord(std::span<const WordQuestion> questions) {
+  PEREACH_CHECK_LE(questions.size(), BitsetSweep::kLanes);
+  ReachLabelsLookupGuard guard(this);
+  ++batch_words_;
+  uint64_t result = 0;
+  uint64_t sweeping = 0;
+  for (size_t li = 0; li < questions.size(); ++li) {
+    const WordQuestion& q = questions[li];
+    // Empty side: false, no counter — exact parity with the scalar path.
+    if (q.sources.empty() || q.targets.empty()) continue;
+    const uint64_t lane = uint64_t{1} << li;
+    CollectComponents(q.sources, &word_src_);
+    CollectComponents(q.targets, &word_tgt_);
+
+    // Same label pass as the scalar path: a certain-positive pair or an
+    // all-certain-negative table settles the lane without touching the
+    // sweep; only sources with an undecided pair get seeded.
+    bool positive = false;
+    word_pending_.clear();
+    for (const uint32_t cs : word_src_) {
+      bool pending = false;
+      for (const uint32_t ct : word_tgt_) {
+        const int verdict = LabelVerdict(cs, ct);
+        if (verdict == 1) {
+          positive = true;
+          break;
+        }
+        pending |= verdict < 0;
+      }
+      if (positive) break;
+      if (pending) word_pending_.push_back(cs);
+    }
+    if (positive) {
+      ++label_hits_;
+      result |= lane;
+      continue;
+    }
+    if (word_pending_.empty()) {
+      ++label_hits_;
+      continue;
+    }
+    for (const uint32_t cs : word_pending_) sweep_.SeedSources(cs, lane);
+    for (const uint32_t ct : word_tgt_) sweep_.SeedTargets(ct, lane);
+    sweeping |= lane;
+  }
+
+  if (sweeping != 0) {
+    ++sweep_count_;
+    sweep_lanes_ += static_cast<size_t>(__builtin_popcountll(sweeping));
+    result |= sweep_.Run(adj_offsets_, adj_targets_, sweeping);
+    sweep_depth_ += sweep_.last_depth();
+  }
+  return result;
 }
 
 size_t ReachLabels::ByteSize() const {

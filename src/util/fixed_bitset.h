@@ -1,0 +1,146 @@
+#ifndef PEREACH_UTIL_FIXED_BITSET_H_
+#define PEREACH_UTIL_FIXED_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/logging.h"
+
+namespace pereach {
+
+/// Fixed-width bitset of kWords x 64 bits held inline — no heap, trivially
+/// copyable — so a flat `std::vector<FixedBitset<W>>` is one contiguous
+/// mask-per-node array a CSR sweep can stream through (a dynamic Bitset per
+/// node would scatter the inner loop across allocations). Every operation
+/// is a straight word loop that unrolls completely for small kWords; the
+/// hot specialization `Lanes64 = FixedBitset<1>` compiles to plain uint64_t
+/// arithmetic.
+template <size_t kWords>
+class FixedBitset {
+  static_assert(kWords > 0, "FixedBitset needs at least one word");
+
+ public:
+  static constexpr size_t kNumBits = kWords * 64;
+  static constexpr size_t kNumWords = kWords;
+
+  constexpr FixedBitset() : words_{} {}
+
+  /// A bitset with exactly bit `i` set.
+  static FixedBitset Bit(size_t i) {
+    FixedBitset b;
+    b.Set(i);
+    return b;
+  }
+
+  constexpr size_t size() const { return kNumBits; }
+
+  void Set(size_t i) {
+    PEREACH_CHECK_LT(i, kNumBits);
+    words_[i / 64] |= uint64_t{1} << (i % 64);
+  }
+
+  void Reset(size_t i) {
+    PEREACH_CHECK_LT(i, kNumBits);
+    words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+  }
+
+  bool Test(size_t i) const {
+    PEREACH_CHECK_LT(i, kNumBits);
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  /// Raw word access (word 0 holds bits [0, 64)).
+  uint64_t word(size_t w) const {
+    PEREACH_CHECK_LT(w, kWords);
+    return words_[w];
+  }
+  void set_word(size_t w, uint64_t value) {
+    PEREACH_CHECK_LT(w, kWords);
+    words_[w] = value;
+  }
+
+  bool Any() const {
+    for (size_t w = 0; w < kWords; ++w) {
+      if (words_[w] != 0) return true;
+    }
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  size_t Count() const {
+    size_t count = 0;
+    for (size_t w = 0; w < kWords; ++w) {
+      count += static_cast<size_t>(__builtin_popcountll(words_[w]));
+    }
+    return count;
+  }
+
+  void Clear() {
+    for (size_t w = 0; w < kWords; ++w) words_[w] = 0;
+  }
+
+  /// OR-in `other`; returns true when this bitset changed (fixpoint loops).
+  bool UnionWith(const FixedBitset& other) {
+    bool changed = false;
+    for (size_t w = 0; w < kWords; ++w) {
+      const uint64_t merged = words_[w] | other.words_[w];
+      changed |= merged != words_[w];
+      words_[w] = merged;
+    }
+    return changed;
+  }
+
+  bool Intersects(const FixedBitset& other) const {
+    for (size_t w = 0; w < kWords; ++w) {
+      if ((words_[w] & other.words_[w]) != 0) return true;
+    }
+    return false;
+  }
+
+  FixedBitset& operator|=(const FixedBitset& other) {
+    for (size_t w = 0; w < kWords; ++w) words_[w] |= other.words_[w];
+    return *this;
+  }
+  FixedBitset& operator&=(const FixedBitset& other) {
+    for (size_t w = 0; w < kWords; ++w) words_[w] &= other.words_[w];
+    return *this;
+  }
+
+  friend FixedBitset operator&(FixedBitset a, const FixedBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend FixedBitset operator|(FixedBitset a, const FixedBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend bool operator==(const FixedBitset& a, const FixedBitset& b) {
+    for (size_t w = 0; w < kWords; ++w) {
+      if (a.words_[w] != b.words_[w]) return false;
+    }
+    return true;
+  }
+
+  /// Calls `fn(i)` for every set bit i in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < kWords; ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  uint64_t words_[kWords];
+};
+
+/// The batch-answering lane mask: one bit per question of a 64-wide word.
+using Lanes64 = FixedBitset<1>;
+
+}  // namespace pereach
+
+#endif  // PEREACH_UTIL_FIXED_BITSET_H_

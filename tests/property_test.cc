@@ -80,16 +80,38 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
       // fed the same batches; the all-BES combination doubles as the
       // reference the indexed paths must match bit-for-bit (distance values
       // included). A small rpq LRU cap keeps evictions in the fuzzed space.
+      // Shortcut budgets cycle across the cube (0 disables; answers must
+      // not depend on the budget), and a ninth engine re-runs the
+      // all-indexed combination with the scalar coordinator path
+      // (batch_sweep off) as the bit-parallel word path's reference.
+      constexpr size_t kShortcutBudgets[] = {0, 8, 64};
       std::vector<std::unique_ptr<PartialEvalEngine>> engines;
-      for (const PathCombo& combo : combos) {
+      std::vector<std::string> engine_names;
+      for (size_t c = 0; c < combos.size(); ++c) {
         PartialEvalOptions options;
         options.form = form;
-        options.reach_path = combo.reach;
-        options.dist_path = combo.dist;
-        options.rpq_path = combo.rpq;
+        options.reach_path = combos[c].reach;
+        options.dist_path = combos[c].dist;
+        options.rpq_path = combos[c].rpq;
         options.rpq_cache_entries = 4;
+        options.shortcut_budget = kShortcutBudgets[c % 3];
         engines.push_back(
             std::make_unique<PartialEvalEngine>(&cluster, options));
+        engine_names.push_back(combos[c].name + "/budget=" +
+                               std::to_string(options.shortcut_budget));
+      }
+      {
+        PartialEvalOptions options;
+        options.form = form;
+        options.reach_path = ReachAnswerPath::kBoundaryIndex;
+        options.dist_path = DistAnswerPath::kBoundaryIndex;
+        options.rpq_path = RpqAnswerPath::kBoundaryIndex;
+        options.rpq_cache_entries = 4;
+        options.batch_sweep = false;
+        options.shortcut_budget = 0;
+        engines.push_back(
+            std::make_unique<PartialEvalEngine>(&cluster, options));
+        engine_names.push_back("all-index/scalar-coordinator");
       }
       index.SetUpdateListener([&engines](SiteId site) {
         for (auto& engine : engines) engine->InvalidateFragment(site);
@@ -119,7 +141,7 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
           const bool expected = OracleReachable(oracle, batch[q]);
           for (size_t e = 0; e < engines.size(); ++e) {
             ASSERT_EQ(results[e].answers[q].reachable, expected)
-                << combos[e].name << " vs oracle: "
+                << engine_names[e] << " vs oracle: "
                 << DiffContext(kSeed, partitioner->name(), form, epoch,
                                batch[q]);
             if (batch[q].kind != QueryKind::kDist) continue;
@@ -128,14 +150,14 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
             // bound admits it.
             ASSERT_EQ(results[e].answers[q].distance,
                       reference.answers[q].distance)
-                << combos[e].name << " vs reference: "
+                << engine_names[e] << " vs reference: "
                 << DiffContext(kSeed, partitioner->name(), form, epoch,
                                batch[q]);
             if (expected) {
               ASSERT_EQ(
                   results[e].answers[q].distance,
                   OracleDistance(oracle, batch[q].source, batch[q].target))
-                  << combos[e].name << " vs oracle distance: "
+                  << engine_names[e] << " vs oracle distance: "
                   << DiffContext(kSeed, partitioner->name(), form, epoch,
                                  batch[q]);
             }
@@ -150,8 +172,9 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
       index.SetUpdateListener(nullptr);
 
       // The indexed paths actually ran through their standing structures
-      // (the last combo is all-indexed).
-      PartialEvalEngine& all_indexed = *engines.back();
+      // (the last CUBE combo is all-indexed; the extra appended engine is
+      // its scalar-coordinator twin).
+      PartialEvalEngine& all_indexed = *engines[combos.size() - 1];
       const BoundaryReachIndex* reach_idx = all_indexed.boundary_index();
       const BoundaryDistIndex* dist_idx = all_indexed.boundary_dist_index();
       const BoundaryRpqIndex* rpq_idx = all_indexed.boundary_rpq_index();
@@ -165,6 +188,13 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
       EXPECT_GT(dist_idx->search_count(), 0u);
       EXPECT_GT(rpq_idx->num_entries(), 0u);
       EXPECT_LE(dist_idx->rebuild_count(), kEpochs);
+      // The default batch_sweep answered the reach questions in words; the
+      // appended scalar engine never entered the word path.
+      EXPECT_GT(reach_idx->batch_words(), 0u);
+      const BoundaryReachIndex* scalar_idx = engines.back()->boundary_index();
+      ASSERT_NE(scalar_idx, nullptr)
+          << "seed=" << kSeed << " " << partitioner->name();
+      EXPECT_EQ(scalar_idx->batch_words(), 0u);
     }
   }
 }
