@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,6 +41,25 @@ struct ServerBenchFlags {
   bool sweep = true;
   // --shortcut-budget=N: shortcut edges per boundary-condensation rebuild.
   size_t shortcut_budget = 64;
+  // --cache=on: enable the answer cache in the headline per-query/adaptive
+  // configurations too (the dedicated repeated-mix series below always
+  // compares cache off vs on regardless of this flag).
+  bool cache = false;
+  // --cache-entries=N: answer-cache entry budget for every cached run.
+  size_t cache_entries = 4096;
+  // --hot=K: number of distinct queries in the repeated mix the cache
+  // series replays (clients draw uniformly from this pool, so every query
+  // past a pool member's first submission can hit).
+  size_t hot = 16;
+  // --queue-budget=N: per-class queue entry budget of the overload series
+  // (clients ≫ budget drives rejections instead of queue growth).
+  size_t queue_budget = 4;
+  // --tenant-quota=N: per-tenant in-flight quota of the overload series
+  // (0 = unlimited).
+  size_t tenant_quota = 0;
+  // --metrics-json=PATH: write the final run's full ServerMetrics snapshot
+  // (schema in docs/OPERATIONS.md) to PATH.
+  std::string metrics_json;
 };
 
 struct ConfigResult {
@@ -50,6 +70,9 @@ struct ConfigResult {
   double avg_batch = 0;
   size_t batches = 0;
   std::array<double, 3> modeled_by_class{};
+  double hit_rate = 0;        // cache hits / submitted (client-observed)
+  double rejection_rate = 0;  // rejected / submitted (client-observed)
+  std::string metrics_json;   // full ServerMetrics snapshot at drain
 };
 
 // Default workload: the paper's primary class q_r, whose warm-path compute
@@ -70,15 +93,24 @@ Query MakeWorkloadQuery(size_t n, const std::vector<QueryAutomaton>& automata,
   return Query::Rpq(s, t, automata[rng->Uniform(automata.size())]);
 }
 
+// Runs one server configuration over the closed-loop workload. With a
+// non-null `hot_pool` clients draw from that fixed pool instead of fresh
+// random queries (the repeated mix of the cache series); `cache` and
+// `admission` harden the server per DESIGN.md §11.
 ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
                        size_t k_sites, const BenchOptions& opts,
                        const ServerBenchFlags& flags, const BatchPolicy& policy,
-                       const std::vector<QueryAutomaton>& automata) {
+                       const std::vector<QueryAutomaton>& automata,
+                       const AnswerCacheOptions& cache = {},
+                       const AdmissionOptions& admission = {},
+                       const std::vector<Query>* hot_pool = nullptr) {
   IncrementalReachIndex index(g, part, k_sites);
 
   ServerOptions options;
   options.policy = policy;
   options.net = BenchNetwork();
+  options.cache = cache;
+  options.admission = admission;
   // Closure form: warm serving rides the cached closure rows, so per-query
   // site compute is the O(|cond|) sweep of Theorem 1, not a fresh localEval
   // — the regime the paper's guarantees (and batching) are about. Applied
@@ -109,6 +141,7 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
   const ServerStats warm = server.stats();
 
   std::vector<double> modeled_sum(flags.clients, 0.0);
+  std::vector<size_t> hits(flags.clients, 0), rejected(flags.clients, 0);
   std::vector<std::thread> threads;
   StopWatch wall;
   for (size_t c = 0; c < flags.clients; ++c) {
@@ -116,9 +149,19 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
       Rng rng(opts.seed * 1000 + c);
       const size_t n = g.NumNodes();
       for (size_t i = 0; i < opts.queries; ++i) {
+        const Query query =
+            hot_pool != nullptr
+                ? (*hot_pool)[rng.Uniform(hot_pool->size())]
+                : MakeWorkloadQuery(n, automata, flags.mixed, &rng);
+        // Each client is its own tenant, so a quota set via --tenant-quota
+        // bounds every client's in-flight share symmetrically.
         const ServedAnswer served =
-            server.Submit(MakeWorkloadQuery(n, automata, flags.mixed, &rng))
-                .get();
+            server.Submit(query, static_cast<TenantId>(c)).get();
+        if (served.rejected) {
+          ++rejected[c];
+          continue;
+        }
+        if (served.cache_hit) ++hits[c];
         modeled_sum[c] += served.answer.metrics.PerQueryModeledMs();
       }
     });
@@ -159,9 +202,24 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
   double modeled_total = 0;
   for (double m : modeled_sum) modeled_total += m;
   result.avg_modeled_ms = modeled_total / static_cast<double>(total);
-  result.avg_batch = static_cast<double>(stats.queries - warm.queries) /
-                     static_cast<double>(stats.batches - warm.batches);
-  result.batches = stats.batches - warm.batches;
+  const size_t measured_batches = stats.batches - warm.batches;
+  // Under a hot pool, most submissions hit the cache and never reach a
+  // dispatcher, so the measured window can legitimately contain batches for
+  // only the pool's first occurrences.
+  result.avg_batch =
+      measured_batches == 0
+          ? 0.0
+          : static_cast<double>(stats.queries - warm.queries) /
+                static_cast<double>(measured_batches);
+  result.batches = measured_batches;
+  size_t total_hits = 0, total_rejected = 0;
+  for (size_t h : hits) total_hits += h;
+  for (size_t r : rejected) total_rejected += r;
+  result.hit_rate =
+      static_cast<double>(total_hits) / static_cast<double>(total);
+  result.rejection_rate =
+      static_cast<double>(total_rejected) / static_cast<double>(total);
+  result.metrics_json = server.MetricsJson();
   return result;
 }
 
@@ -202,6 +260,30 @@ int Run(int argc, char** argv) {
           flags.shortcut_budget = static_cast<size_t>(std::atoll(arg + 18));
           return true;
         }
+        if (std::strncmp(arg, "--cache=", 8) == 0) {
+          flags.cache = std::strcmp(arg + 8, "off") != 0;
+          return true;
+        }
+        if (std::strncmp(arg, "--cache-entries=", 16) == 0) {
+          flags.cache_entries = static_cast<size_t>(std::atoll(arg + 16));
+          return true;
+        }
+        if (std::strncmp(arg, "--hot=", 6) == 0) {
+          flags.hot = static_cast<size_t>(std::atoll(arg + 6));
+          return true;
+        }
+        if (std::strncmp(arg, "--queue-budget=", 15) == 0) {
+          flags.queue_budget = static_cast<size_t>(std::atoll(arg + 15));
+          return true;
+        }
+        if (std::strncmp(arg, "--tenant-quota=", 15) == 0) {
+          flags.tenant_quota = static_cast<size_t>(std::atoll(arg + 15));
+          return true;
+        }
+        if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+          flags.metrics_json = arg + 15;
+          return true;
+        }
         return false;
       });
 
@@ -225,21 +307,25 @@ int Run(int argc, char** argv) {
       k_sites, g.NumNodes(), g.NumEdges(), flags.updates,
       flags.boundary_index ? "boundary-index" : "bes");
 
+  AnswerCacheOptions headline_cache;
+  headline_cache.enabled = flags.cache;
+  headline_cache.max_entries = flags.cache_entries;
+
   // Per-query baseline: no window, batches of one.
   BatchPolicy per_query;
   per_query.max_batch = 1;
   per_query.max_window_us = 0;
   per_query.adaptive = false;
-  const ConfigResult single =
-      RunConfig(g, part, k_sites, opts, flags, per_query, automata);
+  const ConfigResult single = RunConfig(g, part, k_sites, opts, flags,
+                                        per_query, automata, headline_cache);
 
   // Adaptive coalescing window.
   BatchPolicy adaptive;
   adaptive.max_batch = 64;
   adaptive.max_window_us = flags.window_us;
   adaptive.adaptive = true;
-  const ConfigResult batched =
-      RunConfig(g, part, k_sites, opts, flags, adaptive, automata);
+  const ConfigResult batched = RunConfig(g, part, k_sites, opts, flags,
+                                         adaptive, automata, headline_cache);
 
   PrintHeader(
       "Serving throughput: per-query vs adaptive batching",
@@ -271,6 +357,79 @@ int Run(int argc, char** argv) {
       "falls toward (round cost)/(batch size); per-query pays 2 latencies "
       "per query no matter the load.\n");
 
+  // Answer-cache series: the same adaptive configuration over a repeated
+  // mix (a pool of --hot distinct queries), cache off vs on. Hits skip the
+  // dispatcher entirely, so the modeled makespan shrinks to the misses'
+  // evaluation and q/s rises with the hit rate.
+  std::vector<Query> hot_pool;
+  {
+    Rng pool_rng(opts.seed + 7);
+    const size_t pool_size = std::max<size_t>(flags.hot, 1);
+    hot_pool.reserve(pool_size);
+    for (size_t i = 0; i < pool_size; ++i) {
+      hot_pool.push_back(
+          MakeWorkloadQuery(g.NumNodes(), automata, flags.mixed, &pool_rng));
+    }
+  }
+  AnswerCacheOptions cache_off, cache_on;
+  cache_on.enabled = true;
+  cache_on.max_entries = flags.cache_entries;
+  const ConfigResult repeat_off = RunConfig(
+      g, part, k_sites, opts, flags, adaptive, automata, cache_off,
+      AdmissionOptions{}, &hot_pool);
+  const ConfigResult repeat_on = RunConfig(
+      g, part, k_sites, opts, flags, adaptive, automata, cache_on,
+      AdmissionOptions{}, &hot_pool);
+
+  PrintHeader("Answer cache on the repeated mix (hot pool of " +
+                  std::to_string(hot_pool.size()) + " queries)",
+              {"config", "model-q/s", "hit-rate", "batches"});
+  char hit[32];
+  std::snprintf(qps, sizeof(qps), "%.1f", repeat_off.modeled_qps);
+  std::snprintf(hit, sizeof(hit), "%.2f", repeat_off.hit_rate);
+  std::snprintf(batches, sizeof(batches), "%zu", repeat_off.batches);
+  PrintRow({"cache-off", qps, hit, batches});
+  std::snprintf(qps, sizeof(qps), "%.1f", repeat_on.modeled_qps);
+  std::snprintf(hit, sizeof(hit), "%.2f", repeat_on.hit_rate);
+  std::snprintf(batches, sizeof(batches), "%zu", repeat_on.batches);
+  PrintRow({"cache-on", qps, hit, batches});
+
+  // Overload series: queue budgets far below the offered load. The server
+  // must shed the excess as rejections (bounded queues) while still
+  // answering the admitted share — the backpressure contract.
+  AdmissionOptions overload;
+  overload.max_queue = flags.queue_budget;
+  overload.tenant_quota = flags.tenant_quota;
+  BatchPolicy overload_policy = adaptive;
+  // A fixed (non-adaptive) window keeps admitted queries queued for the
+  // full window, so the entry budget actually binds under the closed loop.
+  overload_policy.adaptive = false;
+  const ConfigResult overloaded =
+      RunConfig(g, part, k_sites, opts, flags, overload_policy, automata,
+                cache_off, overload);
+  char rej[32];
+  PrintHeader("Overload with queue budget " +
+                  std::to_string(flags.queue_budget) +
+                  " (rejections instead of queue growth)",
+              {"config", "model-q/s", "reject-rate", "batches"});
+  std::snprintf(qps, sizeof(qps), "%.1f", overloaded.modeled_qps);
+  std::snprintf(rej, sizeof(rej), "%.2f", overloaded.rejection_rate);
+  std::snprintf(batches, sizeof(batches), "%zu", overloaded.batches);
+  PrintRow({"overloaded", qps, rej, batches});
+
+  if (!flags.metrics_json.empty()) {
+    std::FILE* f = std::fopen(flags.metrics_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --metrics-json=%s\n",
+                   flags.metrics_json.c_str());
+      return 1;
+    }
+    std::fputs(overloaded.metrics_json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote metrics snapshot (overload run) to %s\n",
+                flags.metrics_json.c_str());
+  }
+
   WriteBenchJson(opts.json_path,
                  flags.boundary_index ? "bench_server+boundary-index"
                                       : "bench_server",
@@ -295,7 +454,16 @@ int Run(int argc, char** argv) {
                   {"per_query_dist_modeled_ms", single.modeled_by_class[1]},
                   {"adaptive_dist_modeled_ms", batched.modeled_by_class[1]},
                   {"per_query_rpq_modeled_ms", single.modeled_by_class[2]},
-                  {"adaptive_rpq_modeled_ms", batched.modeled_by_class[2]}});
+                  {"adaptive_rpq_modeled_ms", batched.modeled_by_class[2]},
+                  // Serving-hardening series: the repeated-mix cache
+                  // comparison and the bounded-queue overload run.
+                  {"hot_pool", static_cast<double>(hot_pool.size())},
+                  {"cache_off_modeled_qps", repeat_off.modeled_qps},
+                  {"cache_on_modeled_qps", repeat_on.modeled_qps},
+                  {"cache_hit_rate", repeat_on.hit_rate},
+                  {"queue_budget", static_cast<double>(flags.queue_budget)},
+                  {"tenant_quota", static_cast<double>(flags.tenant_quota)},
+                  {"overload_rejection_rate", overloaded.rejection_rate}});
   return 0;
 }
 

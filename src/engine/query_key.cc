@@ -1,0 +1,30 @@
+#include "src/engine/query_key.h"
+
+#include <utility>
+
+#include "src/regex/canonical.h"
+#include "src/util/logging.h"
+#include "src/util/serialization.h"
+
+namespace pereach {
+
+QueryKey CanonicalQueryKey(const Query& query) {
+  PEREACH_CHECK(query.well_formed() && "keying a malformed query");
+  Encoder enc;
+  // The header bytes are the engine wire format's (kind, source, target
+  // [, bound]) prefix — one definition for shipping and for keying, so the
+  // key provably covers every answer-relevant scalar field.
+  query.SerializeHeader(&enc);
+  QueryKey key;
+  key.bytes.assign(enc.buffer().begin(), enc.buffer().end());
+  if (query.kind == QueryKind::kRpq) {
+    // Canonical signature, not the client's automaton bytes: `a|a` and `a`
+    // share a key. The signature bytes fully determine the canonical
+    // automaton, so key equality implies language equality.
+    key.bytes += Canonicalize(*query.automaton).signature.key;
+  }
+  key.hash = SignatureHash(key.bytes);
+  return key;
+}
+
+}  // namespace pereach

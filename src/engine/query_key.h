@@ -1,0 +1,40 @@
+#ifndef PEREACH_ENGINE_QUERY_KEY_H_
+#define PEREACH_ENGINE_QUERY_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/engine/query_engine.h"
+
+namespace pereach {
+
+/// Canonical cache key of one query: a byte string that determines the
+/// query's ANSWER at a fixed graph snapshot, plus a 64-bit hash of those
+/// bytes for cheap bucketing. Two queries with equal keys have equal
+/// answers at every snapshot:
+///  - reach / dist keys are (kind, source, target[, bound]) — the literal
+///    query, which trivially determines the answer;
+///  - rpq keys substitute the CANONICAL automaton signature
+///    (src/regex/canonical.h) for the client's automaton bytes, so every
+///    phrasing that minimizes to the same automaton shares one key
+///    (language equality => answer equality). The converse is best-effort:
+///    equivalent regexes that canonicalize apart cost an extra cache
+///    entry, never a wrong answer.
+/// The key deliberately excludes the snapshot epoch: the AnswerCache pins
+/// entries to the committed epoch separately (see ServerOptions::cache).
+struct QueryKey {
+  uint64_t hash = 0;
+  std::string bytes;
+
+  friend bool operator==(const QueryKey&, const QueryKey&) = default;
+};
+
+/// Builds the canonical key of a well-formed query. The rpq branch runs the
+/// automaton canonicalizer (minimize + renumber + hash), which is O(states²)
+/// on automata capped at 64 states — cheap next to one evaluation round,
+/// but callers on the hot path should build the key once per submission.
+QueryKey CanonicalQueryKey(const Query& query);
+
+}  // namespace pereach
+
+#endif  // PEREACH_ENGINE_QUERY_KEY_H_

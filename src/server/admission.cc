@@ -1,0 +1,23 @@
+#include "src/server/admission.h"
+
+namespace pereach {
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kStopping:
+      return "stopping";
+    case RejectReason::kMalformed:
+      return "malformed";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kQueueStale:
+      return "queue_stale";
+    case RejectReason::kTenantQuota:
+      return "tenant_quota";
+  }
+  return "unknown";
+}
+
+}  // namespace pereach

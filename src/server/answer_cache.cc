@@ -1,0 +1,85 @@
+#include "src/server/answer_cache.h"
+
+#include <utility>
+
+namespace pereach {
+
+AnswerCache::AnswerCache(AnswerCacheOptions options) : options_(options) {}
+
+std::optional<CachedAnswer> AnswerCache::Lookup(const QueryKey& key,
+                                                uint64_t epoch) {
+  if (!options_.enabled) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epoch_) {
+    // The caller's committed epoch ran ahead of the last OnEpochAdvance
+    // (or the cache was built mid-stream); nothing cached answers there.
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  const auto it = map_.find(key.bytes);
+  if (it == map_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++counters_.hits;
+  return it->second->answer;
+}
+
+void AnswerCache::Insert(const QueryKey& key, uint64_t epoch,
+                         const CachedAnswer& answer) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epoch_) return;  // batch drained across a commit: stale
+  const auto it = map_.find(key.bytes);
+  if (it != map_.end()) {
+    // Same key, same epoch: the answer is necessarily identical (the key
+    // determines it at a fixed snapshot) — just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key.bytes, answer});
+  map_.emplace(key.bytes, lru_.begin());
+  bytes_ += EntryBytes(lru_.front());
+  ++counters_.insertions;
+  EvictToBudgetLocked();
+}
+
+void AnswerCache::OnEpochAdvance(uint64_t epoch) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = epoch;
+  counters_.invalidated += lru_.size();
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+void AnswerCache::EvictToBudgetLocked() {
+  while (!lru_.empty() &&
+         ((options_.max_entries > 0 && lru_.size() > options_.max_entries) ||
+          (options_.max_bytes > 0 && bytes_ > options_.max_bytes))) {
+    const Entry& victim = lru_.back();
+    bytes_ -= EntryBytes(victim);
+    map_.erase(victim.key_bytes);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+size_t AnswerCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t AnswerCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+AnswerCacheCounters AnswerCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace pereach

@@ -1,0 +1,117 @@
+#ifndef PEREACH_SERVER_ANSWER_CACHE_H_
+#define PEREACH_SERVER_ANSWER_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/engine/query_key.h"
+
+namespace pereach {
+
+/// Answer-cache knobs. Defaults keep the cache OFF so the server's
+/// observable behavior (stats counters, every answer freshly evaluated) is
+/// unchanged unless an operator opts in; the budgets bound the cache the
+/// moment it is enabled (FERRARI-style: an index is only as good as the
+/// budget it respects).
+struct AnswerCacheOptions {
+  /// Master switch. When false, Lookup always misses and Insert drops.
+  bool enabled = false;
+  /// Entry budget: inserting beyond this evicts least-recently-used
+  /// entries. 0 = unlimited (bounded by max_bytes alone).
+  size_t max_entries = 4096;
+  /// Byte budget over key + answer + bookkeeping bytes per entry; LRU
+  /// eviction keeps the total at or under it. 0 = unlimited.
+  size_t max_bytes = 1 << 20;
+};
+
+/// What the cache stores per entry: exactly the answer-determining fields
+/// of QueryAnswer. Metrics are deliberately NOT cached — a hit costs no
+/// evaluation, so replaying the original batch window would double-count
+/// modeled time (a hit's ServedAnswer carries empty metrics and
+/// cache_hit = true).
+struct CachedAnswer {
+  bool reachable = false;
+  uint64_t distance = 0;
+};
+
+/// Monotonic counters the cache exports into the ServerMetrics snapshot.
+struct AnswerCacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;     // budget-driven LRU drops
+  uint64_t invalidated = 0;   // entries dropped by epoch advances
+};
+
+/// Epoch-keyed LRU answer cache for the serving layer. The logical key of
+/// an entry is (canonical query key, committed epoch): a hit requires BOTH
+/// the canonical bytes and the epoch to match, so a cached answer is only
+/// ever served at the exact snapshot it was computed at. Since updates
+/// advance the epoch for every entry at once, the implementation stores
+/// the epoch once for the whole cache and drops everything on advance
+/// (eager invalidation) instead of tagging entries individually — same
+/// semantics, no stale residue occupying the byte budget.
+///
+/// Thread-safe: lookups race with insertions from the class dispatchers
+/// and with OnEpochAdvance from the writer path; one mutex serializes them
+/// (entries are tiny, the critical sections are hash-map operations).
+class AnswerCache {
+ public:
+  explicit AnswerCache(AnswerCacheOptions options);
+
+  /// Returns the cached answer iff the cache is enabled, `epoch` is the
+  /// cache's current epoch, and `key` is present. A hit refreshes LRU
+  /// recency. Counts a miss only when the cache is enabled.
+  std::optional<CachedAnswer> Lookup(const QueryKey& key, uint64_t epoch);
+
+  /// Inserts (or refreshes) an entry computed at `epoch`. Dropped silently
+  /// when the cache is disabled or `epoch` is stale (a batch that drained
+  /// just before an update committed must not poison the new epoch).
+  /// Evicts LRU entries until both budgets hold.
+  void Insert(const QueryKey& key, uint64_t epoch, const CachedAnswer& answer);
+
+  /// Writer-path hook: the committed epoch advanced, every cached answer
+  /// is now unservable — drop them all and adopt the new epoch.
+  void OnEpochAdvance(uint64_t epoch);
+
+  size_t entries() const;
+  size_t bytes() const;
+  AnswerCacheCounters counters() const;
+  const AnswerCacheOptions& options() const { return options_; }
+
+  /// Bookkeeping bytes charged per entry on top of the key bytes (hash-map
+  /// node, LRU list node, answer). Exposed so tests pin the byte budget
+  /// arithmetic.
+  static constexpr size_t kEntryOverheadBytes = 64;
+
+ private:
+  struct Entry {
+    std::string key_bytes;
+    CachedAnswer answer;
+  };
+
+  size_t EntryBytes(const Entry& entry) const {
+    return entry.key_bytes.size() + kEntryOverheadBytes;
+  }
+
+  /// Drops LRU entries until the budgets hold. Caller holds mu_.
+  void EvictToBudgetLocked();
+
+  AnswerCacheOptions options_;
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;                     // epoch every entry answers at
+  std::list<Entry> lru_;                   // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  size_t bytes_ = 0;
+  AnswerCacheCounters counters_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_SERVER_ANSWER_CACHE_H_

@@ -12,15 +12,34 @@ namespace {
 constexpr double kGapAlpha = 0.25;
 }  // namespace
 
-bool BatchQueue::Push(PendingQuery&& pending) {
+PushOutcome BatchQueue::Push(PendingQuery&& pending) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return false;  // racing Stop(): caller keeps the promise
+    if (shutdown_) {
+      return PushOutcome::kShutdown;  // racing Stop(): caller keeps promise
+    }
     // Stamp the arrival under the lock: stamping outside would let two
     // racing producers enqueue in the opposite order of their timestamps,
     // and PopBatch computes its window deadline from queue_.front() on the
     // assumption that the front IS the oldest arrival.
     const auto now = std::chrono::steady_clock::now();
+    // Admission budgets, checked under the same lock so the verdict is
+    // exact. Entry budget first (the cheap check); then the age budget —
+    // if the OLDEST pending query has already waited past the budget the
+    // dispatcher is not keeping up, and admitting more work only grows a
+    // backlog no one is draining.
+    if (admission_.max_queue > 0 && queue_.size() >= admission_.max_queue) {
+      return PushOutcome::kQueueFull;
+    }
+    if (admission_.max_queue_age_us > 0 && !queue_.empty()) {
+      const double oldest_age_us =
+          std::chrono::duration<double, std::micro>(now -
+                                                    queue_.front().enqueue_time)
+              .count();
+      if (oldest_age_us > static_cast<double>(admission_.max_queue_age_us)) {
+        return PushOutcome::kQueueStale;
+      }
+    }
     pending.enqueue_time = now;
     if (have_arrival_) {
       const double gap_us =
@@ -46,7 +65,7 @@ bool BatchQueue::Push(PendingQuery&& pending) {
     queue_.push_back(std::move(pending));
   }
   arrived_.notify_one();
-  return true;
+  return PushOutcome::kAccepted;
 }
 
 double BatchQueue::WindowUsLocked() const {

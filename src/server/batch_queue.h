@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/engine/query_engine.h"
+#include "src/engine/query_key.h"
+#include "src/server/admission.h"
 #include "src/util/logging.h"
 
 namespace pereach {
@@ -37,24 +39,51 @@ struct BatchPolicy {
 struct ServedAnswer {
   /// The answer; its metrics field holds the WHOLE batch window the query
   /// was served in (metrics.queries = batch size, so PerQueryModeledMs()
-  /// is this query's amortized modeled cost).
+  /// is this query's amortized modeled cost). Cache hits carry EMPTY
+  /// metrics — a hit costs no evaluation round, so there is no fresh
+  /// window to report (the answer fields are bit-identical to the
+  /// evaluated entry's).
   QueryAnswer answer;
-  /// Snapshot the batch evaluated at (number of committed updates).
+  /// Snapshot the batch evaluated at (number of committed updates). For a
+  /// cache hit, the snapshot the cached entry was computed at — always the
+  /// committed epoch at submission, by the cache's epoch key.
   uint64_t epoch = 0;
-  /// Number of queries coalesced into the batch.
+  /// Number of queries coalesced into the batch (1 for a cache hit).
   size_t batch_size = 0;
-  /// True when the server was stopping and the query was never evaluated:
-  /// `answer` is default-constructed and must not be read. A submission that
-  /// loses the race against Stop() resolves this way instead of crashing the
-  /// process or leaving the future broken.
+  /// True when the query was never evaluated: `answer` is
+  /// default-constructed and must not be read. `reject_reason` says why —
+  /// a Stop() race, a malformed query, or admission control turning work
+  /// away under pressure (the backpressure contract: reject, never queue
+  /// unboundedly).
   bool rejected = false;
+  RejectReason reject_reason = RejectReason::kNone;
+  /// True when the answer was served from the epoch-keyed answer cache.
+  bool cache_hit = false;
 };
 
-/// One enqueued query: payload, completion promise, arrival stamp.
+/// One enqueued query: payload, completion promise, arrival stamp, plus the
+/// admission bookkeeping Submit resolved (tenant for quota release, the
+/// canonical cache key so the dispatcher inserts without re-canonicalizing).
 struct PendingQuery {
   Query query;
   std::promise<ServedAnswer> promise;
   std::chrono::steady_clock::time_point enqueue_time;
+  TenantId tenant = 0;
+  QueryKey cache_key;      // empty bytes when the answer cache is off
+  bool has_cache_key = false;
+};
+
+/// Push verdict, decided atomically under the queue lock. Everything except
+/// kAccepted leaves `pending` unmoved (promise intact) so the caller can
+/// resolve it as rejected with the matching RejectReason.
+enum class PushOutcome : uint8_t {
+  kAccepted = 0,
+  /// Shutdown() ran: the dispatcher is draining or gone.
+  kShutdown,
+  /// The queue holds budget.max_queue entries already.
+  kQueueFull,
+  /// The oldest pending entry overran budget.max_queue_age_us.
+  kQueueStale,
 };
 
 /// MPSC coalescing queue for one query class. Producers Push from any
@@ -62,12 +91,14 @@ struct PendingQuery {
 /// least one query is pending, then keeps collecting until the size cap or
 /// the (adaptive) window deadline — measured from the OLDEST pending
 /// arrival, so the window bounds queueing latency, not just batch spacing.
-/// After Shutdown, Push rejects new queries (returns false) and PopBatch
-/// drains whatever is queued without waiting for windows, then returns
-/// empty batches forever.
+/// Push enforces the class's admission budgets (entries and age) under the
+/// same lock that orders arrivals, so budget verdicts are exact, not racy.
+/// After Shutdown, Push rejects new queries and PopBatch drains whatever is
+/// queued without waiting for windows, then returns empty batches forever.
 class BatchQueue {
  public:
-  explicit BatchQueue(BatchPolicy policy) : policy_(policy) {
+  explicit BatchQueue(BatchPolicy policy, AdmissionOptions admission = {})
+      : policy_(policy), admission_(admission) {
     // max_batch == 0 would make PopBatch return empty batches forever while
     // queries sit queued — the dispatcher busy-spins on "empty means shut
     // down" and every client hangs. Clamp to the nearest sane policy
@@ -76,12 +107,11 @@ class BatchQueue {
     if (policy_.max_batch == 0) policy_.max_batch = 1;
   }
 
-  /// Enqueues a query and feeds the arrival-rate estimator. Returns false —
-  /// leaving `pending` unmoved, promise intact — when the queue has been
-  /// Shutdown: the dispatcher is draining or gone, so the caller must
-  /// resolve the promise itself (a Push CHECK here would let any client
-  /// thread racing Stop() abort the whole process).
-  [[nodiscard]] bool Push(PendingQuery&& pending);
+  /// Enqueues a query and feeds the arrival-rate estimator. Any verdict
+  /// other than kAccepted leaves `pending` unmoved — promise intact — and
+  /// the caller must resolve it (a CHECK here would let any client thread
+  /// racing Stop() or a backlogged queue abort the whole process).
+  [[nodiscard]] PushOutcome Push(PendingQuery&& pending);
 
   /// Blocks for the next batch; empty means shut down and drained.
   std::vector<PendingQuery> PopBatch();
@@ -95,11 +125,13 @@ class BatchQueue {
   double window_us() const;
 
   const BatchPolicy& policy() const { return policy_; }
+  const AdmissionOptions& admission() const { return admission_; }
 
  private:
   double WindowUsLocked() const;
 
   BatchPolicy policy_;  // clamped at construction, immutable afterwards
+  AdmissionOptions admission_;
   mutable std::mutex mu_;
   std::condition_variable arrived_;
   std::deque<PendingQuery> queue_;

@@ -10,14 +10,18 @@
 #include <mutex>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/core/incremental.h"
 #include "src/engine/partial_eval_engine.h"
 #include "src/net/cluster.h"
+#include "src/server/admission.h"
+#include "src/server/answer_cache.h"
 #include "src/server/batch_queue.h"
 #include "src/server/epoch_gate.h"
+#include "src/server/server_metrics.h"
 
 namespace pereach {
 
@@ -34,9 +38,18 @@ struct ServerOptions {
   NetworkModel net;
   /// Site-simulation threads (0 = hardware concurrency).
   size_t cluster_threads = 0;
+  /// Epoch-keyed answer cache (default off — enable for workloads with
+  /// repeated queries; DESIGN.md §11.1 for the key-soundness argument).
+  AnswerCacheOptions cache;
+  /// Backpressure budgets and tenant quotas (default unbounded — set every
+  /// budget in production; DESIGN.md §11.2, docs/OPERATIONS.md for tuning).
+  AdmissionOptions admission;
 };
 
-/// Aggregate serving counters. Snapshot via QueryServer::stats().
+/// Aggregate serving counters. Snapshot via QueryServer::stats(). Counts
+/// EVALUATED work only (cache hits and rejections never reach a
+/// dispatcher); the metrics registry (QueryServer::Metrics) is the full
+/// observability surface.
 struct ServerStats {
   size_t queries = 0;         // answered (set promises)
   size_t batches = 0;         // EvaluateBatch calls across all classes
@@ -84,6 +97,23 @@ struct ServerStats {
 ///    epoch, and only then readmits batches. Every answer reports the epoch
 ///    it was computed at; a batch never observes a half-applied update.
 ///
+/// Production hardening (DESIGN.md §11, docs/OPERATIONS.md):
+///
+///  - Answer cache. With ServerOptions::cache.enabled, Submit looks the
+///    query up by canonical key (CanonicalQueryKey: rpq queries share a key
+///    across regex phrasings via the canonical automaton signature) at the
+///    committed epoch; a hit resolves the future immediately with the
+///    bit-identical stored answer — no queue space, no evaluation round.
+///    Commits invalidate the whole cache (epoch-keyed entries can never be
+///    served at a later epoch).
+///  - Admission control. ServerOptions::admission bounds every queue in
+///    entries and in age, and tenants in in-flight queries; over-budget
+///    submissions resolve rejected (ServedAnswer::reject_reason) instead
+///    of queueing unboundedly. Tenancy is the id passed to Submit.
+///  - Metrics. Every decision increments the ServerMetrics registry;
+///    Metrics() snapshots counters/gauges/histograms, MetricsJson() is the
+///    exportable form (bench_server --metrics-json=, examples/server_stats).
+///
 /// The index must outlive the server. The server installs itself as the
 /// index's update listener; updates must flow through the server (calling
 /// index.AddEdge directly would race in-flight batches).
@@ -101,9 +131,13 @@ class QueryServer {
   /// future always becomes ready. Idempotent; the destructor calls it.
   void Stop();
 
-  /// Enqueues one query; the future resolves once its batch is answered
-  /// (or immediately, with rejected == true, if the server is stopping).
-  std::future<ServedAnswer> Submit(Query query);
+  /// Enqueues one query; the future resolves once its batch is answered —
+  /// or immediately on a cache hit, or immediately with rejected == true
+  /// (see ServedAnswer::reject_reason) when the server is stopping, the
+  /// query is unevaluable, or an admission budget turned it away. `tenant`
+  /// attributes the query for fair-share quotas; single-tenant callers
+  /// keep the default.
+  std::future<ServedAnswer> Submit(Query query, TenantId tenant = 0);
 
   /// Applies one edge insertion as one snapshot epoch; blocks while
   /// in-flight batches drain. Returns the committed epoch.
@@ -122,6 +156,18 @@ class QueryServer {
 
   ServerStats stats() const;
 
+  /// Full observability snapshot: every counter, gauge and histogram of
+  /// the metrics registry, gauges sampled at call time (queue depths,
+  /// cache footprint, epoch lag, tenants in flight).
+  MetricsSnapshot Metrics() const;
+
+  /// The snapshot serialized as one JSON object — the
+  /// `bench_server --metrics-json=` payload (schema in docs/OPERATIONS.md).
+  std::string MetricsJson() const { return Metrics().ToJson(); }
+
+  /// The answer cache's own books (observability for tests).
+  AnswerCacheCounters cache_counters() const { return cache_.counters(); }
+
   /// Adaptive window currently estimated for a class (observability).
   double window_us(QueryKind kind) const {
     return queues_[static_cast<size_t>(kind)]->window_us();
@@ -133,6 +179,10 @@ class QueryServer {
   static constexpr size_t kNumClasses = 3;  // QueryKind values
 
   void DispatcherLoop(size_t class_idx);
+
+  /// Resolves `promise` as rejected with `reason`, stamping the committed
+  /// epoch, and bumps the rejection counters.
+  void Reject(std::promise<ServedAnswer>* promise, RejectReason reason);
 
   IncrementalReachIndex* index_;
   ServerOptions options_;
@@ -146,13 +196,21 @@ class QueryServer {
   std::array<std::unique_ptr<PartialEvalEngine>, kNumClasses> engines_;
   std::array<std::thread, kNumClasses> dispatchers_;
 
+  AnswerCache cache_;
+  mutable ServerMetrics metrics_;  // mutable: Metrics() samples gauges
+  // Snapshot each class last answered a batch at, for the epoch-lag gauge
+  // (a class with no pending work is considered current).
+  std::array<std::atomic<uint64_t>, kNumClasses> last_answered_epoch_{};
+
   std::atomic<bool> stopping_{false};
   std::mutex stop_mu_;  // serializes concurrent Stop() calls
 
-  // Drain bookkeeping: queries submitted but not yet answered.
+  // Drain and quota bookkeeping: queries submitted but not yet answered,
+  // total and per tenant. One lock: Submit and batch completion touch both.
   mutable std::mutex drain_mu_;
   std::condition_variable drained_;
   size_t in_flight_ = 0;  // guarded by drain_mu_
+  std::unordered_map<TenantId, size_t> tenant_in_flight_;  // drain_mu_
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;  // guarded by stats_mu_

@@ -1,0 +1,166 @@
+// Unit tests for the serving layer's cache-key and answer-cache building
+// blocks: CanonicalQueryKey soundness properties (DESIGN.md §11.1) and the
+// AnswerCache's LRU / budget / epoch-invalidation mechanics.
+
+#include "src/server/answer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/engine/query_key.h"
+#include "src/regex/canonical.h"
+#include "src/regex/regex.h"
+
+namespace pereach {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CanonicalQueryKey
+
+QueryKey KeyOf(const Query& q) { return CanonicalQueryKey(q); }
+
+TEST(CanonicalQueryKeyTest, ReachKeyDeterminedByEndpointsOnly) {
+  EXPECT_EQ(KeyOf(Query::Reach(3, 7)), KeyOf(Query::Reach(3, 7)));
+  EXPECT_NE(KeyOf(Query::Reach(3, 7)), KeyOf(Query::Reach(7, 3)));
+  EXPECT_NE(KeyOf(Query::Reach(3, 7)), KeyOf(Query::Reach(3, 8)));
+}
+
+TEST(CanonicalQueryKeyTest, QueryClassesNeverCollide) {
+  // Same endpoints, different class (or bound) => different answers are
+  // possible, so the keys must differ.
+  const QueryKey reach = KeyOf(Query::Reach(3, 7));
+  const QueryKey dist = KeyOf(Query::Dist(3, 7, 5));
+  EXPECT_NE(reach, dist);
+  EXPECT_NE(dist, KeyOf(Query::Dist(3, 7, 6)));
+}
+
+TEST(CanonicalQueryKeyTest, RpqPhrasingsOfOneLanguageShareAKey) {
+  LabelDictionary dict;
+  dict.Intern("a");
+  dict.Intern("b");
+  const auto key_for = [&](const std::string& pattern) {
+    return KeyOf(Query::Rpq(3, 7, Regex::Parse(pattern, dict).value()));
+  };
+  // Duplicated-branch phrasings canonicalize together (the minimized
+  // Glushkov form merges interior states with equal right languages; fully
+  // general equivalence is best-effort — see src/regex/canonical.h)...
+  EXPECT_EQ(key_for("a"), key_for("a | a"));
+  EXPECT_EQ(key_for("a b"), key_for("a b | a b"));
+  // ...different languages never do...
+  EXPECT_NE(key_for("a"), key_for("b"));
+  EXPECT_NE(key_for("a"), key_for("a a"));
+  // ...and the endpoints still discriminate.
+  EXPECT_NE(key_for("a"),
+            KeyOf(Query::Rpq(3, 8, Regex::Parse("a", dict).value())));
+}
+
+TEST(CanonicalQueryKeyTest, HashIsTheSignatureHashOfTheBytes) {
+  const QueryKey key = KeyOf(Query::Reach(11, 29));
+  EXPECT_EQ(key.hash, SignatureHash(key.bytes));
+}
+
+// ---------------------------------------------------------------------------
+// AnswerCache
+
+QueryKey TestKey(NodeId s, NodeId t) {
+  return CanonicalQueryKey(Query::Reach(s, t));
+}
+
+TEST(AnswerCacheTest, DisabledCacheNeverHitsAndCountsNothing) {
+  AnswerCache cache({.enabled = false});
+  cache.Insert(TestKey(0, 1), 0, {true, 0});
+  EXPECT_FALSE(cache.Lookup(TestKey(0, 1), 0).has_value());
+  EXPECT_EQ(cache.entries(), 0u);
+  const AnswerCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 0u);  // disabled lookups are not misses
+  EXPECT_EQ(counters.insertions, 0u);
+}
+
+TEST(AnswerCacheTest, HitRequiresKeyAndEpochToMatch) {
+  AnswerCache cache({.enabled = true});
+  cache.Insert(TestKey(0, 1), 0, {true, 3});
+  const std::optional<CachedAnswer> hit = cache.Lookup(TestKey(0, 1), 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->reachable);
+  EXPECT_EQ(hit->distance, 3u);
+  EXPECT_FALSE(cache.Lookup(TestKey(0, 2), 0).has_value());  // wrong key
+  EXPECT_FALSE(cache.Lookup(TestKey(0, 1), 1).has_value());  // wrong epoch
+  const AnswerCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 2u);
+}
+
+TEST(AnswerCacheTest, EpochAdvanceDropsEverythingAndAdoptsNewEpoch) {
+  AnswerCache cache({.enabled = true});
+  cache.Insert(TestKey(0, 1), 0, {false, 0});
+  cache.Insert(TestKey(1, 2), 0, {true, 1});
+  EXPECT_EQ(cache.entries(), 2u);
+  cache.OnEpochAdvance(1);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.counters().invalidated, 2u);
+  // Stale writes from a batch that drained pre-commit are dropped...
+  cache.Insert(TestKey(2, 3), 0, {true, 0});
+  EXPECT_EQ(cache.entries(), 0u);
+  // ...while current-epoch writes land and serve.
+  cache.Insert(TestKey(2, 3), 1, {true, 0});
+  EXPECT_TRUE(cache.Lookup(TestKey(2, 3), 1).has_value());
+}
+
+TEST(AnswerCacheTest, EntryBudgetEvictsLeastRecentlyUsed) {
+  AnswerCache cache({.enabled = true, .max_entries = 2, .max_bytes = 0});
+  cache.Insert(TestKey(0, 1), 0, {true, 0});
+  cache.Insert(TestKey(1, 2), 0, {true, 0});
+  // Touch (0,1) so (1,2) is the LRU victim of the next insertion.
+  EXPECT_TRUE(cache.Lookup(TestKey(0, 1), 0).has_value());
+  cache.Insert(TestKey(2, 3), 0, {true, 0});
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup(TestKey(0, 1), 0).has_value());
+  EXPECT_FALSE(cache.Lookup(TestKey(1, 2), 0).has_value());
+  EXPECT_TRUE(cache.Lookup(TestKey(2, 3), 0).has_value());
+}
+
+TEST(AnswerCacheTest, ByteBudgetArithmeticGovernsEviction) {
+  const QueryKey a = TestKey(0, 1);
+  const QueryKey b = TestKey(1, 2);
+  const QueryKey c = TestKey(2, 3);
+  // Reach keys of small node ids are all the same length, so the charged
+  // size per entry is fixed and the budget arithmetic is exact.
+  ASSERT_EQ(a.bytes.size(), b.bytes.size());
+  ASSERT_EQ(a.bytes.size(), c.bytes.size());
+  const size_t per_entry = a.bytes.size() + AnswerCache::kEntryOverheadBytes;
+
+  // Budget for exactly two entries: the third insertion must evict one.
+  AnswerCache cache(
+      {.enabled = true, .max_entries = 0, .max_bytes = 2 * per_entry});
+  cache.Insert(a, 0, {true, 0});
+  cache.Insert(b, 0, {true, 0});
+  EXPECT_EQ(cache.bytes(), 2 * per_entry);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+  cache.Insert(c, 0, {true, 0});
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.bytes(), 2 * per_entry);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_FALSE(cache.Lookup(a, 0).has_value());  // LRU victim
+  EXPECT_TRUE(cache.Lookup(b, 0).has_value());
+  EXPECT_TRUE(cache.Lookup(c, 0).has_value());
+}
+
+TEST(AnswerCacheTest, DuplicateInsertRefreshesInsteadOfGrowing) {
+  AnswerCache cache({.enabled = true, .max_entries = 2, .max_bytes = 0});
+  cache.Insert(TestKey(0, 1), 0, {false, 0});
+  cache.Insert(TestKey(1, 2), 0, {true, 0});
+  // Re-inserting (0,1) must refresh recency, not add a third entry — so the
+  // next insertion evicts (1,2), not (0,1).
+  cache.Insert(TestKey(0, 1), 0, {false, 0});
+  EXPECT_EQ(cache.entries(), 2u);
+  cache.Insert(TestKey(2, 3), 0, {true, 0});
+  EXPECT_TRUE(cache.Lookup(TestKey(0, 1), 0).has_value());
+  EXPECT_FALSE(cache.Lookup(TestKey(1, 2), 0).has_value());
+}
+
+}  // namespace
+}  // namespace pereach

@@ -16,6 +16,7 @@
 #include "src/engine/partial_eval_engine.h"
 #include "src/graph/generators.h"
 #include "src/net/cluster.h"
+#include "src/server/query_server.h"
 #include "tests/test_util.h"
 
 namespace pereach {
@@ -197,6 +198,78 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
       EXPECT_EQ(scalar_idx->batch_words(), 0u);
     }
   }
+}
+
+// Serving-layer variant of the differential: a cached, admission-enabled
+// QueryServer against an uncached twin (each over its own index built from
+// the same graph) and the centralized oracle, across update epochs. The
+// query pool repeats heavily so the cache actually serves hits, and every
+// accepted answer — hit or evaluated — must be bit-identical between the
+// servers and correct against the oracle at the current epoch (DESIGN.md
+// §11.1: the canonical key + epoch pin make cached serving answer-preserving).
+TEST(CrossClassPropertyTest, CachedServingMatchesUncachedAcrossEpochs) {
+  constexpr size_t kSites = 4, kEpochs = 4, kRounds = 3, kPoolSize = 12;
+  constexpr size_t kNumLabels = 3;
+  constexpr uint64_t kSeed = 24681357;
+  Rng rng(kSeed);
+  const size_t n = 50 + rng.Uniform(30);
+  const Graph g = ErdosRenyi(n, 3 * n, kNumLabels, &rng);
+  const std::vector<SiteId> part = testing_util::RandomPartition(n, kSites,
+                                                                 &rng);
+  IncrementalReachIndex cached_index(g, part, kSites);
+  IncrementalReachIndex plain_index(g, part, kSites);
+  EdgeWorld world = EdgeWorld::FromGraph(g);
+
+  ServerOptions cached_options;
+  cached_options.cache.enabled = true;
+  cached_options.cache.max_entries = 64;
+  // Admission budgets generous enough that this single-threaded closed
+  // loop never trips them — enabled to prove the hardened configuration
+  // serves the same answers, not to shed load here.
+  cached_options.admission.max_queue = 256;
+  cached_options.admission.tenant_quota = 256;
+  QueryServer cached(&cached_index, cached_options);
+  QueryServer plain(&plain_index);
+
+  for (size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    const Graph oracle = world.Build();
+    // A fresh pool per epoch, replayed kRounds times: rounds 2+ are pure
+    // hit traffic on the cached server.
+    std::vector<Query> pool;
+    pool.reserve(kPoolSize);
+    for (size_t q = 0; q < kPoolSize; ++q) {
+      pool.push_back(RandomMixedQuery(n, kNumLabels, &rng));
+    }
+    for (size_t round = 0; round < kRounds; ++round) {
+      for (size_t q = 0; q < pool.size(); ++q) {
+        const ServedAnswer from_cached = cached.Submit(pool[q]).get();
+        const ServedAnswer from_plain = plain.Submit(pool[q]).get();
+        const std::string context = DiffContext(
+            kSeed, "random", EquationForm::kAuto, epoch, pool[q]);
+        ASSERT_FALSE(from_cached.rejected) << context;
+        ASSERT_FALSE(from_plain.rejected) << context;
+        ASSERT_EQ(from_cached.answer.reachable, from_plain.answer.reachable)
+            << "cached vs uncached: round=" << round << " " << context;
+        ASSERT_EQ(from_cached.answer.distance, from_plain.answer.distance)
+            << "cached vs uncached: round=" << round << " " << context;
+        ASSERT_EQ(from_cached.answer.reachable,
+                  OracleReachable(oracle, pool[q]))
+            << "cached vs oracle: round=" << round << " " << context;
+        ASSERT_EQ(from_cached.epoch, epoch) << context;
+      }
+    }
+    // Same update batch through both servers, committing the same epoch;
+    // the cached server's entries must all die with the old epoch.
+    const std::vector<std::pair<NodeId, NodeId>> updates =
+        world.AddRandomEdges(3, &rng);
+    ASSERT_EQ(cached.AddEdges(updates), epoch + 1);
+    ASSERT_EQ(plain.AddEdges(updates), epoch + 1);
+  }
+  // The repeated pool actually exercised the cache: rounds 2+ of each epoch
+  // can only miss when a pool collision evicted an entry (cap 64 > pool).
+  const AnswerCacheCounters counters = cached.cache_counters();
+  EXPECT_GE(counters.hits, kEpochs * (kRounds - 1) * kPoolSize / 2);
+  EXPECT_GE(counters.invalidated, kPoolSize);
 }
 
 }  // namespace

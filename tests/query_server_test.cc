@@ -41,7 +41,7 @@ TEST(BatchQueueTest, SizeCapDispatchesWithoutWaitingTheWindow) {
   BatchQueue queue({.max_batch = 4, .max_window_us = 1'000'000,
                     .adaptive = false});
   for (NodeId i = 0; i < 4; ++i) {
-    ASSERT_TRUE(queue.Push(MakePending(i, i + 1)));
+    ASSERT_EQ(queue.Push(MakePending(i, i + 1)), PushOutcome::kAccepted);
   }
   StopWatch watch;
   const std::vector<PendingQuery> batch = queue.PopBatch();
@@ -52,8 +52,8 @@ TEST(BatchQueueTest, SizeCapDispatchesWithoutWaitingTheWindow) {
 
 TEST(BatchQueueTest, ZeroWindowWithUnitBatchServesPerQuery) {
   BatchQueue queue({.max_batch = 1, .max_window_us = 0, .adaptive = false});
-  ASSERT_TRUE(queue.Push(MakePending(0, 1)));
-  ASSERT_TRUE(queue.Push(MakePending(1, 2)));
+  ASSERT_EQ(queue.Push(MakePending(0, 1)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.Push(MakePending(1, 2)), PushOutcome::kAccepted);
   EXPECT_EQ(queue.PopBatch().size(), 1u);
   EXPECT_EQ(queue.PopBatch().size(), 1u);
 }
@@ -61,8 +61,8 @@ TEST(BatchQueueTest, ZeroWindowWithUnitBatchServesPerQuery) {
 TEST(BatchQueueTest, ShutdownDrainsPendingThenReturnsEmpty) {
   BatchQueue queue({.max_batch = 16, .max_window_us = 1'000'000,
                     .adaptive = false});
-  ASSERT_TRUE(queue.Push(MakePending(0, 1)));
-  ASSERT_TRUE(queue.Push(MakePending(1, 2)));
+  ASSERT_EQ(queue.Push(MakePending(0, 1)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.Push(MakePending(1, 2)), PushOutcome::kAccepted);
   queue.Shutdown();
   StopWatch watch;
   EXPECT_EQ(queue.PopBatch().size(), 2u);  // no window wait in drain mode
@@ -77,7 +77,7 @@ TEST(BatchQueueTest, AdaptiveWindowShrinksUnderBurstArrivals) {
   // A back-to-back burst: inter-arrival gaps of microseconds. The EWMA
   // window must fall well below the 100 ms cap.
   for (NodeId i = 0; i < 16; ++i) {
-    ASSERT_TRUE(queue.Push(MakePending(i, i + 1)));
+    ASSERT_EQ(queue.Push(MakePending(i, i + 1)), PushOutcome::kAccepted);
   }
   EXPECT_LT(queue.window_us(), 50'000.0);
   EXPECT_EQ(queue.PopBatch().size(), 16u);
@@ -85,11 +85,11 @@ TEST(BatchQueueTest, AdaptiveWindowShrinksUnderBurstArrivals) {
 
 TEST(BatchQueueTest, PushAfterShutdownIsRejectedNotFatal) {
   BatchQueue queue({.max_batch = 4, .max_window_us = 1000, .adaptive = false});
-  ASSERT_TRUE(queue.Push(MakePending(0, 1)));
+  ASSERT_EQ(queue.Push(MakePending(0, 1)), PushOutcome::kAccepted);
   queue.Shutdown();
   PendingQuery late = MakePending(1, 2);
   std::future<ServedAnswer> future = late.promise.get_future();
-  EXPECT_FALSE(queue.Push(std::move(late)));
+  EXPECT_EQ(queue.Push(std::move(late)), PushOutcome::kShutdown);
   // The promise survives a rejected Push: the caller can still resolve it.
   ServedAnswer answer;
   answer.rejected = true;
@@ -113,7 +113,7 @@ TEST(BatchQueueTest, ConcurrentPushKeepsEnqueueTimesMonotonic) {
   for (size_t p = 0; p < kThreads; ++p) {
     producers.emplace_back([&queue] {
       for (size_t i = 0; i < kPerThread; ++i) {
-        EXPECT_TRUE(queue.Push(MakePending(0, 1)));
+        EXPECT_EQ(queue.Push(MakePending(0, 1)), PushOutcome::kAccepted);
       }
     });
   }
@@ -132,8 +132,8 @@ TEST(BatchQueueTest, ConcurrentPushKeepsEnqueueTimesMonotonic) {
 TEST(BatchQueueTest, ZeroMaxBatchPolicyIsClampedToPerQuery) {
   BatchQueue queue({.max_batch = 0, .max_window_us = 0, .adaptive = false});
   EXPECT_EQ(queue.policy().max_batch, 1u);
-  ASSERT_TRUE(queue.Push(MakePending(0, 1)));
-  ASSERT_TRUE(queue.Push(MakePending(1, 2)));
+  ASSERT_EQ(queue.Push(MakePending(0, 1)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.Push(MakePending(1, 2)), PushOutcome::kAccepted);
   EXPECT_EQ(queue.PopBatch().size(), 1u);
   EXPECT_EQ(queue.PopBatch().size(), 1u);
 }
@@ -143,7 +143,7 @@ TEST(BatchQueueTest, ZeroWindowStillCoalescesWhatIsAlreadyQueued) {
   // max_batch still ships as one batch.
   BatchQueue queue({.max_batch = 16, .max_window_us = 0, .adaptive = true});
   for (NodeId i = 0; i < 5; ++i) {
-    ASSERT_TRUE(queue.Push(MakePending(i, i + 1)));
+    ASSERT_EQ(queue.Push(MakePending(i, i + 1)), PushOutcome::kAccepted);
   }
   StopWatch watch;
   EXPECT_EQ(queue.PopBatch().size(), 5u);
@@ -630,6 +630,264 @@ TEST(QueryServerTest, ZeroMaxBatchPolicyStillServes) {
     EXPECT_EQ(served.batch_size, 1u);
   }
   EXPECT_EQ(server.stats().queries, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Serving hardening: answer cache, admission control, tenant quotas, metrics
+// (DESIGN.md §11; the operator-facing contract lives in docs/OPERATIONS.md).
+
+TEST(BatchQueueTest, EntryBudgetRejectsBeyondMaxQueue) {
+  AdmissionOptions admission;
+  admission.max_queue = 2;
+  BatchQueue queue({.max_batch = 64, .max_window_us = 1'000'000,
+                    .adaptive = false},
+                   admission);
+  EXPECT_EQ(queue.Push(MakePending(0, 1)), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.Push(MakePending(1, 2)), PushOutcome::kAccepted);
+  // The budget verdict is exact (decided under the queue lock): entry 3
+  // rejects while exactly 2 are pending, and popping reopens admission.
+  EXPECT_EQ(queue.Push(MakePending(2, 3)), PushOutcome::kQueueFull);
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.Shutdown();
+  EXPECT_EQ(queue.PopBatch().size(), 2u);
+}
+
+TEST(BatchQueueTest, AgeBudgetRejectsWhenOldestEntryIsStale) {
+  AdmissionOptions admission;
+  admission.max_queue_age_us = 1000;  // 1 ms
+  BatchQueue queue({.max_batch = 64, .max_window_us = 1'000'000,
+                    .adaptive = false},
+                   admission);
+  EXPECT_EQ(queue.Push(MakePending(0, 1)), PushOutcome::kAccepted);
+  // No dispatcher pops: the oldest entry ages past the budget, so further
+  // admissions must reject as stale rather than grow the backlog.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(queue.Push(MakePending(1, 2)), PushOutcome::kQueueStale);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.Shutdown();
+  EXPECT_EQ(queue.PopBatch().size(), 1u);
+}
+
+TEST(QueryServerTest, CacheHitReturnsBitIdenticalAnswerAndEpoch) {
+  Rng rng(1101);
+  const size_t n = 60, k = 4, num_labels = 3;
+  const Graph g = ErdosRenyi(n, 3 * n, num_labels, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+
+  ServerOptions options;
+  options.cache.enabled = true;
+  QueryServer server(&index, options);
+
+  // Mixed classes, each submitted twice: the second submission must hit and
+  // return the bit-identical answer fields at the same epoch.
+  std::vector<Query> probes;
+  for (int i = 0; i < 8; ++i) {
+    probes.push_back(RandomMixedQuery(n, num_labels, &rng));
+  }
+  std::vector<ServedAnswer> first;
+  for (const Query& q : probes) first.push_back(server.Submit(q).get());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const ServedAnswer again = server.Submit(probes[i]).get();
+    EXPECT_TRUE(again.cache_hit) << "probe " << i;
+    EXPECT_FALSE(again.rejected);
+    EXPECT_EQ(again.answer.reachable, first[i].answer.reachable) << i;
+    EXPECT_EQ(again.answer.distance, first[i].answer.distance) << i;
+    EXPECT_EQ(again.epoch, first[i].epoch) << i;
+  }
+  const AnswerCacheCounters cache = server.cache_counters();
+  EXPECT_GE(cache.hits, probes.size());
+  // Evaluated work is unchanged by hits: ServerStats counts only the first
+  // round of submissions.
+  EXPECT_EQ(server.stats().queries, probes.size());
+
+  // An rpq phrased differently but language-equal shares the canonical
+  // key, so it hits the entry its twin inserted.
+  LabelDictionary dict;
+  dict.Intern("a");
+  const Regex plain = Regex::Parse("a", dict).value();
+  const Regex doubled = Regex::Parse("a | a", dict).value();
+  const ServedAnswer miss = server.Submit(Query::Rpq(3, 7, plain)).get();
+  EXPECT_FALSE(miss.cache_hit);
+  const ServedAnswer hit = server.Submit(Query::Rpq(3, 7, doubled)).get();
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.answer.reachable, miss.answer.reachable);
+}
+
+TEST(QueryServerTest, CacheInvalidatedOnUpdateCommit) {
+  Rng rng(1202);
+  const size_t n = 30, k = 3;
+  // Two halves with no edges between them: q = (0 -> n-1) is false until
+  // the writer links them, so a stale cache entry would be WRONG, not just
+  // old — the strongest invalidation probe.
+  std::vector<std::pair<NodeId, NodeId>> chain_edges;
+  for (NodeId u = 0; u + 1 < n / 2; ++u) chain_edges.emplace_back(u, u + 1);
+  for (NodeId u = n / 2; u + 1 < n; ++u) chain_edges.emplace_back(u, u + 1);
+  const Graph g = testing_util::MakeGraph(n, chain_edges);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+
+  ServerOptions options;
+  options.cache.enabled = true;
+  QueryServer server(&index, options);
+
+  const Query probe = Query::Reach(0, static_cast<NodeId>(n - 1));
+  const ServedAnswer before = server.Submit(probe).get();
+  EXPECT_FALSE(before.answer.reachable);
+  EXPECT_EQ(before.epoch, 0u);
+  EXPECT_TRUE(server.Submit(probe).get().cache_hit);  // cached at epoch 0
+
+  // The commit must invalidate: the resubmission re-evaluates at epoch 1
+  // and sees the new edge.
+  EXPECT_EQ(server.AddEdge(static_cast<NodeId>(n / 2 - 1),
+                           static_cast<NodeId>(n / 2)),
+            1u);
+  const ServedAnswer after = server.Submit(probe).get();
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_TRUE(after.answer.reachable);
+  EXPECT_EQ(after.epoch, 1u);
+  // And the fresh answer is cached under the new epoch.
+  const ServedAnswer again = server.Submit(probe).get();
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_TRUE(again.answer.reachable);
+  EXPECT_EQ(again.epoch, 1u);
+  EXPECT_GE(server.cache_counters().invalidated, 1u);
+}
+
+TEST(QueryServerTest, QueueBudgetRejectsInsteadOfQueueingUnboundedly) {
+  Rng rng(1303);
+  const size_t n = 50, k = 3;
+  const Graph g = ErdosRenyi(n, 2 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+
+  ServerOptions options;
+  // A long fixed window holds the first batch in the queue while the burst
+  // lands, so the entry budget is actually exercised.
+  options.policy.max_batch = 64;
+  options.policy.max_window_us = 200'000;
+  options.policy.adaptive = false;
+  options.admission.max_queue = 4;
+  QueryServer server(&index, options);
+
+  std::vector<std::future<ServedAnswer>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(server.Submit(Query::Reach(
+        static_cast<NodeId>(rng.Uniform(n)), static_cast<NodeId>(rng.Uniform(n)))));
+  }
+  size_t rejected = 0, answered = 0;
+  for (auto& f : futures) {
+    const ServedAnswer served = f.get();
+    if (served.rejected) {
+      EXPECT_EQ(served.reject_reason, RejectReason::kQueueFull);
+      ++rejected;
+    } else {
+      ++answered;
+    }
+  }
+  // The queue never held more than the budget; everything beyond it (minus
+  // what the dispatcher managed to pop mid-burst) was turned away.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GE(answered, 4u);
+  const MetricsSnapshot snap = server.Metrics();
+  EXPECT_EQ(snap.counter(CounterId::kRejectedQueueFull), rejected);
+  EXPECT_EQ(snap.counter(CounterId::kQueriesRejected), rejected);
+  EXPECT_EQ(snap.counter(CounterId::kQueriesSubmitted), 20u);
+}
+
+TEST(QueryServerTest, TenantQuotaKeepsLightTenantServedUnderSkewedLoad) {
+  Rng rng(1404);
+  const size_t n = 60, k = 3;
+  const Graph g = ErdosRenyi(n, 3 * n, 2, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+  const Graph oracle = EdgeWorld::FromGraph(g).Build();
+
+  ServerOptions options;
+  options.policy.max_batch = 8;
+  options.policy.max_window_us = 2000;
+  options.admission.tenant_quota = 4;
+  QueryServer server(&index, options);
+
+  constexpr TenantId kHeavy = 7, kLight = 8;
+  // The heavy tenant floods asynchronously (no waiting => in-flight grows
+  // past the quota immediately); the light tenant runs a closed loop and
+  // must never be turned away — the quota charges the flooder, not the
+  // shared queues.
+  std::atomic<size_t> heavy_rejected{0};
+  std::thread heavy([&] {
+    Rng hrng(42);
+    std::vector<std::future<ServedAnswer>> inflight;
+    for (int i = 0; i < 200; ++i) {
+      inflight.push_back(server.Submit(
+          Query::Reach(static_cast<NodeId>(hrng.Uniform(n)),
+                       static_cast<NodeId>(hrng.Uniform(n))),
+          kHeavy));
+    }
+    for (auto& f : inflight) {
+      const ServedAnswer served = f.get();
+      if (served.rejected) {
+        EXPECT_EQ(served.reject_reason, RejectReason::kTenantQuota);
+        heavy_rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  Rng lrng(43);
+  for (int i = 0; i < 30; ++i) {
+    const NodeId s = static_cast<NodeId>(lrng.Uniform(n));
+    const NodeId t = static_cast<NodeId>(lrng.Uniform(n));
+    const ServedAnswer served = server.Submit(Query::Reach(s, t), kLight).get();
+    ASSERT_FALSE(served.rejected) << "light tenant starved at query " << i;
+    EXPECT_EQ(served.answer.reachable, CentralizedReach(oracle, s, t));
+  }
+  heavy.join();
+  // The flood ran far past its quota, so most of it was shed.
+  EXPECT_GT(heavy_rejected.load(), 100u);
+  const MetricsSnapshot snap = server.Metrics();
+  EXPECT_EQ(snap.counter(CounterId::kRejectedTenantQuota),
+            heavy_rejected.load());
+  EXPECT_EQ(snap.gauge(GaugeId::kTenantsInFlight), 0.0);  // all drained
+}
+
+TEST(QueryServerTest, MetricsSnapshotCoversServingActivity) {
+  Rng rng(1505);
+  const size_t n = 50, k = 3, num_labels = 2;
+  const Graph g = ErdosRenyi(n, 3 * n, num_labels, &rng);
+  const std::vector<SiteId> part = RandomPartition(n, k, &rng);
+  IncrementalReachIndex index(g, part, k);
+
+  ServerOptions options;
+  options.cache.enabled = true;
+  QueryServer server(&index, options);
+
+  const Query repeat = Query::Reach(1, 2);
+  server.Submit(repeat).get();
+  server.Submit(repeat).get();  // hit
+  server.Submit(Query::Dist(3, 4, 5)).get();
+  server.AddEdge(0, 1);
+
+  const MetricsSnapshot snap = server.Metrics();
+  EXPECT_EQ(snap.counter(CounterId::kQueriesSubmitted), 3u);
+  EXPECT_EQ(snap.counter(CounterId::kQueriesAnswered), 3u);
+  EXPECT_EQ(snap.counter(CounterId::kCacheHits), 1u);
+  EXPECT_EQ(snap.counter(CounterId::kUpdates), 1u);
+  EXPECT_GE(snap.counter(CounterId::kBatches), 2u);
+  EXPECT_GE(snap.counter(CounterId::kCacheInvalidated), 1u);
+  EXPECT_EQ(snap.gauge(GaugeId::kEpoch), 1.0);
+  EXPECT_EQ(snap.gauge(GaugeId::kEpochLag), 0.0);
+  const HistogramSnapshot& sizes = snap.histogram(HistogramId::kBatchSize);
+  EXPECT_GE(sizes.count, 2u);
+  EXPECT_GE(sizes.max, 1.0);
+
+  // The JSON export carries every cataloged metric name exactly once.
+  const std::string json = server.MetricsJson();
+  for (const auto& infos : {CounterInfos(), GaugeInfos(), HistogramInfos()}) {
+    for (const MetricInfo& info : infos) {
+      EXPECT_NE(json.find(std::string("\"") + info.name + "\""),
+                std::string::npos)
+          << info.name << " missing from MetricsJson";
+    }
+  }
 }
 
 }  // namespace
