@@ -11,6 +11,9 @@ Checks, in order:
   4. Markdown link hygiene across tracked *.md files: relative link
      targets exist, and `DESIGN.md §N[.M]` references resolve to real
      `## N.` / `### N.M` headings.
+  5. Every LockRank enumerator in src/util/sync.h appears in the
+     DESIGN.md §12 rank table with its exact numeric value — an
+     undocumented (or misnumbered) mutex rank fails CI.
 
 Run from the repo root: python3 scripts/check_docs.py
 """
@@ -153,9 +156,33 @@ def check_links() -> None:
                     fail(f"{rel}: §{ref} does not match any heading")
 
 
+def check_lock_table() -> None:
+    """Every LockRank enumerator must appear in the DESIGN.md §12 table with
+    its exact numeric rank (the prose half of the order must not drift from
+    the machine half; check_static.py covers the per-mutex declarations)."""
+    sync = (ROOT / "src/util/sync.h").read_text()
+    enum = re.search(r"enum class LockRank[^{]*\{(.*?)\n\};", sync, re.S)
+    if not enum:
+        fail("src/util/sync.h: LockRank enum not found (parser drift?)")
+        return
+    design = (ROOT / "DESIGN.md").read_text()
+    start = design.find("## 12.")
+    if start < 0:
+        fail("DESIGN.md: §12 (concurrency invariants) heading is missing")
+        return
+    sec = design[start:]
+    for name, value in re.findall(r"\b(k\w+)\s*=\s*(\d+)", enum.group(1)):
+        if f"`{name}`" not in sec:
+            fail(f"DESIGN.md §12: LockRank::{name} is undocumented")
+        elif not re.search(r"\|\s*%s\s*\|\s*`%s`" % (value, name), sec):
+            fail(f"DESIGN.md §12: `{name}` documented with a rank other "
+                 f"than its enumerator value {value}")
+
+
 def main() -> int:
     check_coverage()
     check_links()
+    check_lock_table()
     if errors:
         for e in errors:
             print(f"check_docs: {e}", file=sys.stderr)

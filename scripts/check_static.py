@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""CI static gate: the lock discipline of DESIGN.md §12 must hold in code.
+
+Checks, in order:
+  1. No naked synchronization primitives. Outside src/util/sync.h, no file
+     under src/ may name std::mutex, std::shared_mutex, std::lock_guard,
+     std::unique_lock, std::shared_lock, std::scoped_lock or
+     std::condition_variable — every lock must be a ranked, annotated
+     pereach::Mutex / SharedMutex so the thread-safety analysis and the
+     lock-rank detector cover it. (tests/ and bench/ are held to the same
+     rule; the sole std::unique_lock in sync.h itself is the condvar
+     adopt-lock bridge.)
+  2. Every Mutex / SharedMutex declaration in src/ names a LockRank.
+  3. Every LockRank enumerator in src/util/sync.h appears in the DESIGN.md
+     §12 rank table, and every mutex member declared in src/ appears there
+     by its qualified name (e.g. `QueryServer::drain_mu_`).
+
+Run from the repo root: python3 scripts/check_static.py
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SYNC_HEADER = "src/util/sync.h"
+DESIGN = "DESIGN.md"
+
+FORBIDDEN = [
+    "std::mutex",
+    "std::shared_mutex",
+    "std::recursive_mutex",
+    "std::timed_mutex",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::shared_lock",
+    "std::scoped_lock",
+    "std::condition_variable",
+]
+
+errors = []
+
+
+def fail(msg: str) -> None:
+    errors.append(msg)
+
+
+def tracked_sources() -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", "src", "tests", "bench", "examples"],
+        cwd=ROOT, capture_output=True, text=True, check=True).stdout
+    return [f for f in out.splitlines()
+            if f.endswith((".h", ".cc", ".cpp"))]
+
+
+def strip_comments(text: str) -> str:
+    """Drops // and /* */ comments so prose mentions don't trip the gate."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def check_no_naked_primitives(files: list[str]) -> None:
+    for f in files:
+        if f == SYNC_HEADER:
+            continue
+        code = strip_comments((ROOT / f).read_text())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            for prim in FORBIDDEN:
+                if prim in line:
+                    fail(f"{f}:{lineno}: naked {prim} — use the ranked "
+                         f"wrappers in {SYNC_HEADER} (DESIGN.md §12)")
+
+
+MUTEX_DECL = re.compile(
+    r"\b(?:mutable\s+)?(Mutex|SharedMutex)\s+(\w+)\s*(\{[^}]*\})?")
+
+
+def find_mutex_decls(files: list[str]) -> list[tuple[str, int, str, str]]:
+    """(file, line, member, rank-initializer) for every Mutex member/local
+    declared in src/ (sync.h's own class definitions excluded)."""
+    decls = []
+    for f in files:
+        if not f.startswith("src/") or f == SYNC_HEADER:
+            continue
+        code = strip_comments((ROOT / f).read_text())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = MUTEX_DECL.search(line)
+            if not m:
+                continue
+            # Skip parameters / references / pointers ("Mutex* mu").
+            if re.search(r"\b(?:Mutex|SharedMutex)\s*[*&]", line):
+                continue
+            decls.append((f, lineno, m.group(2), m.group(3) or ""))
+    return decls
+
+
+def check_ranked_and_documented(decls) -> None:
+    design = (ROOT / DESIGN).read_text()
+    sec = design[design.find("## 12."):]
+    if not sec:
+        fail(f"{DESIGN}: §12 (concurrency invariants) is missing")
+        return
+
+    # 2. Every declaration carries a LockRank initializer.
+    for f, lineno, member, init in decls:
+        if "LockRank::" not in init:
+            fail(f"{f}:{lineno}: {member} declared without a LockRank — "
+                 f"every mutex must name its rank (DESIGN.md §12)")
+
+    # 3a. Every LockRank enumerator appears in the §12 table.
+    sync = strip_comments((ROOT / SYNC_HEADER).read_text())
+    enum = re.search(r"enum class LockRank[^{]*\{(.*?)\}", sync, re.S)
+    if not enum:
+        fail(f"{SYNC_HEADER}: LockRank enum not found")
+        return
+    for name in re.findall(r"\b(k\w+)\s*=", enum.group(1)):
+        if f"`{name}`" not in sec:
+            fail(f"{SYNC_HEADER}: LockRank::{name} is not documented in "
+                 f"the {DESIGN} §12 rank table")
+
+    # 3b. Every declared mutex member appears in §12 by qualified name.
+    for f, lineno, member, _ in decls:
+        text = (ROOT / f).read_text()
+        cls = None
+        for cm in re.finditer(r"\bclass\s+(\w+)", text[:_offset(text, lineno)]):
+            cls = cm.group(1)
+        qualified = f"{cls}::{member}" if cls else member
+        if qualified not in sec and member not in sec:
+            fail(f"{f}:{lineno}: {qualified} is not documented in the "
+                 f"{DESIGN} §12 rank table")
+
+
+def _offset(text: str, lineno: int) -> int:
+    return sum(len(l) + 1 for l in text.splitlines()[:lineno - 1])
+
+
+def main() -> int:
+    files = tracked_sources()
+    check_no_naked_primitives(files)
+    decls = find_mutex_decls(files)
+    check_ranked_and_documented(decls)
+    if errors:
+        print(f"check_static: {len(errors)} error(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"check_static: OK ({len(files)} files, {len(decls)} ranked "
+          f"mutex declarations, all documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

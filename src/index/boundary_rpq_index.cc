@@ -278,6 +278,7 @@ BoundaryRpqIndex::BoundaryRpqIndex(size_t num_fragments, size_t max_entries,
       shortcut_budget_(shortcut_budget) {}
 
 void BoundaryRpqIndex::BeginBatch() {
+  ScopedExclusiveUse guard(&exclusive_use_);
   batch_start_tick_ = tick_ + 1;
   // A previous over-cap batch pinned more entries than the cap; nothing is
   // pinned anymore, so trim the overshoot by recency.
@@ -303,6 +304,7 @@ bool BoundaryRpqIndex::EvictLru() {
 
 BoundaryRpqIndex::Entry& BoundaryRpqIndex::GetEntry(
     const AutomatonSignature& sig) {
+  ScopedExclusiveUse guard(&exclusive_use_);
   const auto it = entries_.find(sig.key);
   if (it != entries_.end()) {
     ++hits_;
@@ -323,6 +325,7 @@ BoundaryRpqIndex::Entry& BoundaryRpqIndex::GetEntry(
 }
 
 void BoundaryRpqIndex::InvalidateFragment(SiteId site) {
+  ScopedExclusiveUse guard(&exclusive_use_);
   PEREACH_CHECK_LT(site, num_fragments_);
   for (auto& [key, entry] : entries_) {
     entry->dirty_[site] = true;
@@ -331,6 +334,7 @@ void BoundaryRpqIndex::InvalidateFragment(SiteId site) {
 }
 
 void BoundaryRpqIndex::InvalidateAll() {
+  ScopedExclusiveUse guard(&exclusive_use_);
   for (auto& [key, entry] : entries_) {
     entry->dirty_.assign(num_fragments_, true);
     entry->stale_ = true;

@@ -84,7 +84,9 @@ struct ProductBoundaryRows {
 /// path, re-fetches only the dirty fragments' rows per touched entry, and
 /// Entry::Ensure() rebuilds the small condensation + labels (ReachLabels).
 /// Thread-safety: none; the engine's single-dispatcher discipline provides
-/// the exclusion.
+/// the exclusion, and a debug-build ScopedExclusiveUse on every LRU entry
+/// point (BeginBatch / GetEntry / Invalidate*) aborts deterministically if
+/// two threads ever overlap inside the cache (DESIGN.md §12).
 class BoundaryRpqIndex {
  public:
   /// One coordinator rpq question of a batch: does ANY source pair reach
@@ -229,6 +231,8 @@ class BoundaryRpqIndex {
   size_t misses_ = 0;
   size_t evictions_ = 0;
   size_t retired_rebuilds_ = 0;  // rebuild counts of evicted entries
+  // Debug guard for the single-dispatcher discipline (src/util/sync.h).
+  ExclusiveUseToken exclusive_use_;
 };
 
 }  // namespace pereach

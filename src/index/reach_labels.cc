@@ -11,35 +11,6 @@
 
 namespace pereach {
 
-/// RAII arm of the ReachLabels threading contract: Build and every lookup
-/// hold this for their whole duration, so two dispatchers illegally sharing
-/// one instance abort loudly (debug builds) instead of silently corrupting
-/// the versioned scratch. Release builds compile it away.
-class ReachLabelsLookupGuard {
- public:
-  explicit ReachLabelsLookupGuard(ReachLabels* labels) {
-#ifndef NDEBUG
-    labels_ = labels;
-    // One instance per dispatcher-owned index; see the class comment.
-    PEREACH_CHECK(!labels->in_use_.exchange(true, std::memory_order_acquire));
-#else
-    (void)labels;
-#endif
-  }
-
-  ~ReachLabelsLookupGuard() {
-#ifndef NDEBUG
-    labels_->in_use_.store(false, std::memory_order_release);
-#endif
-  }
-
- private:
-#ifndef NDEBUG
-  ReachLabels* labels_ = nullptr;
-#endif
-  PEREACH_DISALLOW_COPY_AND_ASSIGN(ReachLabelsLookupGuard);
-};
-
 // --- BitsetSweep -----------------------------------------------------------
 
 void BitsetSweep::Resize(size_t num_nodes) {
@@ -139,7 +110,7 @@ uint64_t BitsetSweep::Run(std::span<const size_t> offsets,
 void ReachLabels::Build(size_t num_nodes,
                         const std::vector<std::pair<uint32_t, uint32_t>>& edges,
                         size_t shortcut_budget) {
-  ReachLabelsLookupGuard guard(this);
+  ScopedExclusiveUse guard(&exclusive_use_);
   // 1. Condense. The graph is built as a real Graph so the SCC /
   // condensation machinery (and its reverse-topological id guarantee) is
   // shared with the fragment-local path.
@@ -360,7 +331,7 @@ void ReachLabels::CollectComponents(std::span<const uint32_t> nodes,
 bool ReachLabels::ReachesAny(std::span<const uint32_t> sources,
                              std::span<const uint32_t> targets) {
   if (sources.empty() || targets.empty()) return false;
-  ReachLabelsLookupGuard guard(this);
+  ScopedExclusiveUse guard(&exclusive_use_);
 
   // Dedupe both sides at the component level; within one side, members of
   // the same component are interchangeable.
@@ -438,7 +409,7 @@ bool ReachLabels::ReachesAny(std::span<const uint32_t> sources,
 
 uint64_t ReachLabels::ReachesAnyWord(std::span<const WordQuestion> questions) {
   PEREACH_CHECK_LE(questions.size(), BitsetSweep::kLanes);
-  ReachLabelsLookupGuard guard(this);
+  ScopedExclusiveUse guard(&exclusive_use_);
   ++batch_words_;
   uint64_t result = 0;
   uint64_t sweeping = 0;

@@ -1,7 +1,6 @@
 #ifndef PEREACH_INDEX_REACH_LABELS_H_
 #define PEREACH_INDEX_REACH_LABELS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -9,6 +8,7 @@
 #include "src/util/common.h"
 #include "src/util/fixed_bitset.h"
 #include "src/util/logging.h"
+#include "src/util/sync.h"
 
 namespace pereach {
 
@@ -171,8 +171,6 @@ class ReachLabels {
     uint32_t post[kNumLabelings] = {0, 0};
   };
 
-  friend class ReachLabelsLookupGuard;
-
   /// Label-only verdict for components cu -> cv: 1 = certainly reaches,
   /// 0 = certainly not, -1 = undecided (DFS needed).
   int LabelVerdict(uint32_t cu, uint32_t cv) const;
@@ -219,12 +217,11 @@ class ReachLabels {
   size_t sweep_lanes_ = 0;
   size_t sweep_depth_ = 0;
 
-#ifndef NDEBUG
-  // Debug reentrancy guard: Build and every lookup take it for their whole
-  // duration, so two dispatchers sharing one instance abort loudly instead
-  // of corrupting the versioned scratch.
-  std::atomic<bool> in_use_{false};
-#endif
+  // Debug reentrancy guard (src/util/sync.h): Build and every lookup hold
+  // a ScopedExclusiveUse for their whole duration, so two dispatchers
+  // sharing one instance abort loudly instead of corrupting the versioned
+  // scratch. Compiles away under NDEBUG.
+  ExclusiveUseToken exclusive_use_;
 
   PEREACH_DISALLOW_COPY_AND_ASSIGN(ReachLabels);
 };

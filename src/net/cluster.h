@@ -3,13 +3,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/fragment/fragmentation.h"
 #include "src/net/metrics.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
@@ -114,16 +114,16 @@ class Cluster {
   };
 
   /// The calling thread's open window. CHECK-fails when the thread has no
-  /// window (a Round/Record outside BeginQuery..EndQuery). mu_ must be held.
-  Window& ActiveWindowLocked();
+  /// window (a Round/Record outside BeginQuery..EndQuery).
+  Window& ActiveWindowLocked() PEREACH_REQUIRES(mu_);
 
   const Fragmentation* fragmentation_;
   NetworkModel net_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::thread::id, Window> windows_;  // guarded by mu_
-  RunMetrics last_metrics_;                              // guarded by mu_
+  mutable Mutex mu_{LockRank::kClusterMetrics};
+  std::unordered_map<std::thread::id, Window> windows_ PEREACH_GUARDED_BY(mu_);
+  RunMetrics last_metrics_ PEREACH_GUARDED_BY(mu_);
 };
 
 }  // namespace pereach

@@ -9,7 +9,7 @@ AnswerCache::AnswerCache(AnswerCacheOptions options) : options_(options) {}
 std::optional<CachedAnswer> AnswerCache::Lookup(const QueryKey& key,
                                                 uint64_t epoch) {
   if (!options_.enabled) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (epoch != epoch_) {
     // The caller's committed epoch ran ahead of the last OnEpochAdvance
     // (or the cache was built mid-stream); nothing cached answers there.
@@ -29,7 +29,7 @@ std::optional<CachedAnswer> AnswerCache::Lookup(const QueryKey& key,
 void AnswerCache::Insert(const QueryKey& key, uint64_t epoch,
                          const CachedAnswer& answer) {
   if (!options_.enabled) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (epoch != epoch_) return;  // batch drained across a commit: stale
   const auto it = map_.find(key.bytes);
   if (it != map_.end()) {
@@ -47,7 +47,7 @@ void AnswerCache::Insert(const QueryKey& key, uint64_t epoch,
 
 void AnswerCache::OnEpochAdvance(uint64_t epoch) {
   if (!options_.enabled) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   epoch_ = epoch;
   counters_.invalidated += lru_.size();
   map_.clear();
@@ -68,17 +68,17 @@ void AnswerCache::EvictToBudgetLocked() {
 }
 
 size_t AnswerCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lru_.size();
 }
 
 size_t AnswerCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return bytes_;
 }
 
 AnswerCacheCounters AnswerCache::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_;
 }
 

@@ -4,12 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "src/engine/query_key.h"
+#include "src/util/sync.h"
 
 namespace pereach {
 
@@ -99,17 +99,20 @@ class AnswerCache {
     return entry.key_bytes.size() + kEntryOverheadBytes;
   }
 
-  /// Drops LRU entries until the budgets hold. Caller holds mu_.
-  void EvictToBudgetLocked();
+  /// Drops LRU entries until the budgets hold.
+  void EvictToBudgetLocked() PEREACH_REQUIRES(mu_);
 
   AnswerCacheOptions options_;
 
-  mutable std::mutex mu_;
-  uint64_t epoch_ = 0;                     // epoch every entry answers at
-  std::list<Entry> lru_;                   // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
-  size_t bytes_ = 0;
-  AnswerCacheCounters counters_;
+  mutable Mutex mu_{LockRank::kAnswerCache};
+  // Epoch every entry answers at.
+  uint64_t epoch_ PEREACH_GUARDED_BY(mu_) = 0;
+  // Front = most recent.
+  std::list<Entry> lru_ PEREACH_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_
+      PEREACH_GUARDED_BY(mu_);
+  size_t bytes_ PEREACH_GUARDED_BY(mu_) = 0;
+  AnswerCacheCounters counters_ PEREACH_GUARDED_BY(mu_);
 };
 
 }  // namespace pereach

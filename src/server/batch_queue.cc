@@ -14,7 +14,7 @@ constexpr double kGapAlpha = 0.25;
 
 PushOutcome BatchQueue::Push(PendingQuery&& pending) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) {
       return PushOutcome::kShutdown;  // racing Stop(): caller keeps promise
     }
@@ -64,7 +64,7 @@ PushOutcome BatchQueue::Push(PendingQuery&& pending) {
     last_arrival_ = now;
     queue_.push_back(std::move(pending));
   }
-  arrived_.notify_one();
+  arrived_.NotifyOne();
   return PushOutcome::kAccepted;
 }
 
@@ -82,8 +82,10 @@ double BatchQueue::WindowUsLocked() const {
 }
 
 std::vector<PendingQuery> BatchQueue::PopBatch() {
-  std::unique_lock<std::mutex> lock(mu_);
-  arrived_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  MutexLock lock(&mu_);
+  // Wait loops are written out (not predicate lambdas) so thread-safety
+  // analysis sees every guarded access under the held lock.
+  while (!shutdown_ && queue_.empty()) arrived_.Wait(&mu_);
   if (queue_.empty()) return {};  // shut down and drained
 
   if (!shutdown_ && policy_.max_window_us > 0) {
@@ -99,9 +101,9 @@ std::vector<PendingQuery> BatchQueue::PopBatch() {
     auto deadline = queue_.front().enqueue_time + window;
     const auto now = std::chrono::steady_clock::now();
     if (deadline < now) deadline = now + window;
-    arrived_.wait_until(lock, deadline, [this] {
-      return shutdown_ || queue_.size() >= policy_.max_batch;
-    });
+    while (!shutdown_ && queue_.size() < policy_.max_batch) {
+      if (arrived_.WaitUntil(&mu_, deadline) == std::cv_status::timeout) break;
+    }
   }
 
   const size_t take = std::min(queue_.size(), policy_.max_batch);
@@ -116,19 +118,19 @@ std::vector<PendingQuery> BatchQueue::PopBatch() {
 
 void BatchQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  arrived_.notify_all();
+  arrived_.NotifyAll();
 }
 
 size_t BatchQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 double BatchQueue::window_us() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return WindowUsLocked();
 }
 

@@ -2,17 +2,16 @@
 #define PEREACH_SERVER_BATCH_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
 #include "src/engine/query_engine.h"
 #include "src/engine/query_key.h"
 #include "src/server/admission.h"
 #include "src/util/logging.h"
+#include "src/util/sync.h"
 
 namespace pereach {
 
@@ -128,22 +127,22 @@ class BatchQueue {
   const AdmissionOptions& admission() const { return admission_; }
 
  private:
-  double WindowUsLocked() const;
+  double WindowUsLocked() const PEREACH_REQUIRES(mu_);
 
   BatchPolicy policy_;  // clamped at construction, immutable afterwards
   AdmissionOptions admission_;
-  mutable std::mutex mu_;
-  std::condition_variable arrived_;
-  std::deque<PendingQuery> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_{LockRank::kBatchQueue};
+  CondVar arrived_;
+  std::deque<PendingQuery> queue_ PEREACH_GUARDED_BY(mu_);
+  bool shutdown_ PEREACH_GUARDED_BY(mu_) = false;
 
   // EWMA of inter-arrival gaps, microseconds. A cold queue (no gap observed
   // yet) behaves like the fixed-window policy; the first gap initializes
   // the estimate outright, later gaps blend in.
-  double ewma_gap_us_ = 0.0;
-  bool have_arrival_ = false;
-  bool have_gap_ = false;
-  std::chrono::steady_clock::time_point last_arrival_;
+  double ewma_gap_us_ PEREACH_GUARDED_BY(mu_) = 0.0;
+  bool have_arrival_ PEREACH_GUARDED_BY(mu_) = false;
+  bool have_gap_ PEREACH_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point last_arrival_ PEREACH_GUARDED_BY(mu_);
 };
 
 }  // namespace pereach

@@ -70,7 +70,7 @@ QueryServer::QueryServer(IncrementalReachIndex* index, ServerOptions options)
 QueryServer::~QueryServer() { Stop(); }
 
 void QueryServer::Stop() {
-  std::lock_guard<std::mutex> lock(stop_mu_);  // serialize concurrent Stops
+  MutexLock lock(&stop_mu_);  // serialize concurrent Stops
   stopping_.store(true, std::memory_order_release);
   for (auto& queue : queues_) queue->Shutdown();
   for (auto& t : dispatchers_) {
@@ -147,7 +147,7 @@ std::future<ServedAnswer> QueryServer::Submit(Query query, TenantId tenant) {
   if (options_.admission.tenant_quota > 0) {
     bool over_quota = false;
     {
-      std::lock_guard<std::mutex> lock(drain_mu_);
+      MutexLock lock(&drain_mu_);
       size_t& tenant_count = tenant_in_flight_[tenant];
       if (tenant_count >= options_.admission.tenant_quota) {
         over_quota = true;
@@ -161,21 +161,21 @@ std::future<ServedAnswer> QueryServer::Submit(Query query, TenantId tenant) {
       return future;
     }
   } else {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    MutexLock lock(&drain_mu_);
     ++in_flight_;
   }
   const TenantId pending_tenant = pending.tenant;
   const PushOutcome outcome = queues_[class_idx]->Push(std::move(pending));
   if (outcome != PushOutcome::kAccepted) {
     {
-      std::lock_guard<std::mutex> lock(drain_mu_);
+      MutexLock lock(&drain_mu_);
       if (options_.admission.tenant_quota > 0) {
         const auto it = tenant_in_flight_.find(pending_tenant);
         if (it != tenant_in_flight_.end() && --it->second == 0) {
           tenant_in_flight_.erase(it);
         }
       }
-      if (--in_flight_ == 0) drained_.notify_all();
+      if (--in_flight_ == 0) drained_.NotifyAll();
     }
     Reject(&pending.promise, PushOutcomeToReason(outcome));
   }
@@ -207,19 +207,19 @@ uint64_t QueryServer::AddEdges(
   PEREACH_CHECK_EQ(epoch + index_epoch_base_, index_->epoch());
   metrics_.AddCounter(CounterId::kUpdates);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++stats_.updates;
   }
   return epoch;
 }
 
 void QueryServer::Drain() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drained_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&drain_mu_);
+  while (in_flight_ != 0) drained_.Wait(&drain_mu_);
 }
 
 ServerStats QueryServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 
@@ -251,7 +251,7 @@ MetricsSnapshot QueryServer::Metrics() const {
                     static_cast<double>(cache_.entries()));
   metrics_.SetGauge(GaugeId::kCacheBytes, static_cast<double>(cache_.bytes()));
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    MutexLock lock(&drain_mu_);
     metrics_.SetGauge(GaugeId::kTenantsInFlight,
                       static_cast<double>(tenant_in_flight_.size()));
   }
@@ -288,7 +288,7 @@ void QueryServer::DispatcherLoop(size_t class_idx) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       stats_.queries += pending.size();
       stats_.batches += 1;
       stats_.max_batch = std::max(stats_.max_batch, pending.size());
@@ -310,6 +310,25 @@ void QueryServer::DispatcherLoop(size_t class_idx) {
         result.metrics.wall_ms);
     last_answered_epoch_[class_idx].store(epoch, std::memory_order_relaxed);
 
+    // Release the in-flight and tenant-quota charges BEFORE resolving the
+    // promises: a client that saw its future resolve must not be able to
+    // observe its own query still charged (a resubmit racing the books
+    // would be spuriously quota-rejected, and a quiesced server could show
+    // a non-zero tenants-in-flight gauge). Drain() consequently returns
+    // when all answers are computed, possibly a few set_value calls early.
+    {
+      MutexLock lock(&drain_mu_);
+      if (options_.admission.tenant_quota > 0) {
+        for (const PendingQuery& p : pending) {
+          const auto it = tenant_in_flight_.find(p.tenant);
+          if (it != tenant_in_flight_.end() && --it->second == 0) {
+            tenant_in_flight_.erase(it);
+          }
+        }
+      }
+      in_flight_ -= pending.size();
+      if (in_flight_ == 0) drained_.NotifyAll();
+    }
     for (size_t i = 0; i < pending.size(); ++i) {
       // Feed the answer cache before resolving the promise: a client
       // resubmitting the moment its future resolves must hit. Insert
@@ -326,19 +345,6 @@ void QueryServer::DispatcherLoop(size_t class_idx) {
       served.epoch = epoch;
       served.batch_size = pending.size();
       pending[i].promise.set_value(std::move(served));
-    }
-    {
-      std::lock_guard<std::mutex> lock(drain_mu_);
-      if (options_.admission.tenant_quota > 0) {
-        for (const PendingQuery& p : pending) {
-          const auto it = tenant_in_flight_.find(p.tenant);
-          if (it != tenant_in_flight_.end() && --it->second == 0) {
-            tenant_in_flight_.erase(it);
-          }
-        }
-      }
-      in_flight_ -= pending.size();
-      if (in_flight_ == 0) drained_.notify_all();
     }
   }
 }

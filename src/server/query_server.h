@@ -4,10 +4,8 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -22,6 +20,7 @@
 #include "src/server/batch_queue.h"
 #include "src/server/epoch_gate.h"
 #include "src/server/server_metrics.h"
+#include "src/util/sync.h"
 
 namespace pereach {
 
@@ -203,17 +202,20 @@ class QueryServer {
   std::array<std::atomic<uint64_t>, kNumClasses> last_answered_epoch_{};
 
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mu_;  // serializes concurrent Stop() calls
+  // Serializes concurrent Stop() calls. Ranked below everything: it is held
+  // across dispatcher joins and the writer-held listener detach.
+  Mutex stop_mu_{LockRank::kServerStop};
 
   // Drain and quota bookkeeping: queries submitted but not yet answered,
   // total and per tenant. One lock: Submit and batch completion touch both.
-  mutable std::mutex drain_mu_;
-  std::condition_variable drained_;
-  size_t in_flight_ = 0;  // guarded by drain_mu_
-  std::unordered_map<TenantId, size_t> tenant_in_flight_;  // drain_mu_
+  mutable Mutex drain_mu_{LockRank::kServerDrain};
+  CondVar drained_;
+  size_t in_flight_ PEREACH_GUARDED_BY(drain_mu_) = 0;
+  std::unordered_map<TenantId, size_t> tenant_in_flight_
+      PEREACH_GUARDED_BY(drain_mu_);
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;  // guarded by stats_mu_
+  mutable Mutex stats_mu_{LockRank::kServerStats};
+  ServerStats stats_ PEREACH_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace pereach

@@ -116,7 +116,7 @@ double ServerMetrics::BucketUpper(size_t i) {
 }
 
 void ServerMetrics::Observe(HistogramId id, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Histogram& h = histograms_[static_cast<size_t>(id)];
   size_t bucket = kNumBuckets;  // overflow unless a bound admits the value
   for (size_t i = 0; i < kNumBuckets; ++i) {
@@ -169,7 +169,7 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   for (size_t i = 0; i < snap.counters.size(); ++i) {
     snap.counters[i] = counters_[i].load(std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snap.gauges = gauges_;
   for (size_t i = 0; i < snap.histograms.size(); ++i) {
     snap.histograms[i] = Summarize(histograms_[i]);

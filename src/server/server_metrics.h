@@ -5,9 +5,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
+
+#include "src/util/sync.h"
 
 namespace pereach {
 
@@ -131,7 +132,7 @@ class ServerMetrics {
     counters_[static_cast<size_t>(id)].store(value, std::memory_order_relaxed);
   }
   void SetGauge(GaugeId id, double value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     gauges_[static_cast<size_t>(id)] = value;
   }
   void Observe(HistogramId id, double value);
@@ -157,9 +158,11 @@ class ServerMetrics {
 
   std::array<std::atomic<uint64_t>, static_cast<size_t>(CounterId::kCount)>
       counters_;
-  mutable std::mutex mu_;  // guards gauges_ and histograms_
-  std::array<double, static_cast<size_t>(GaugeId::kCount)> gauges_{};
-  std::array<Histogram, static_cast<size_t>(HistogramId::kCount)> histograms_;
+  mutable Mutex mu_{LockRank::kServerMetrics};
+  std::array<double, static_cast<size_t>(GaugeId::kCount)> gauges_
+      PEREACH_GUARDED_BY(mu_){};
+  std::array<Histogram, static_cast<size_t>(HistogramId::kCount)> histograms_
+      PEREACH_GUARDED_BY(mu_);
 };
 
 }  // namespace pereach

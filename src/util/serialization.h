@@ -96,24 +96,24 @@ class Decoder {
   /// View over a raw byte range (used for sub-frames of batched payloads).
   Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
-  uint8_t GetU8() {
+  [[nodiscard]] uint8_t GetU8() {
     PEREACH_CHECK(pos_ < size_ && "decoder: truncated payload");
     return data_[pos_++];
   }
 
-  uint32_t GetU32() {
+  [[nodiscard]] uint32_t GetU32() {
     uint32_t v = 0;
     for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(GetU8()) << (8 * i);
     return v;
   }
 
-  uint64_t GetU64() {
+  [[nodiscard]] uint64_t GetU64() {
     uint64_t v = 0;
     for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(GetU8()) << (8 * i);
     return v;
   }
 
-  uint64_t GetVarint() {
+  [[nodiscard]] uint64_t GetVarint() {
     uint64_t v = 0;
     int shift = 0;
     while (true) {
@@ -130,7 +130,7 @@ class Decoder {
   /// `min_element_bytes` each. A count the remaining buffer cannot possibly
   /// hold aborts here, before any allocation — a malformed length can
   /// otherwise request a multi-gigabyte resize and die far from the cause.
-  size_t GetCount(size_t min_element_bytes = 1) {
+  [[nodiscard]] size_t GetCount(size_t min_element_bytes = 1) {
     const uint64_t n = GetVarint();
     PEREACH_CHECK((min_element_bytes == 0 ||
                    n <= remaining() / min_element_bytes) &&
@@ -138,14 +138,14 @@ class Decoder {
     return static_cast<size_t>(n);
   }
 
-  double GetDouble() {
+  [[nodiscard]] double GetDouble() {
     const uint64_t bits = GetU64();
     double v;
     __builtin_memcpy(&v, &bits, sizeof(v));
     return v;
   }
 
-  std::string GetString() {
+  [[nodiscard]] std::string GetString() {
     // remaining()-relative comparison avoids the pos_ + n overflow that a
     // near-SIZE_MAX length would slip past an absolute bounds check.
     const uint64_t n = GetVarint();
@@ -156,7 +156,7 @@ class Decoder {
     return s;
   }
 
-  Bitset GetBitset() {
+  [[nodiscard]] Bitset GetBitset() {
     // Compare bit counts, not (num_bits + 7) / 8: a length near UINT64_MAX
     // would wrap the byte count to 0 and slip past the check.
     const uint64_t num_bits = GetVarint();
@@ -173,7 +173,7 @@ class Decoder {
 
   /// Consumes a length-prefixed frame and returns a decoder over its bytes.
   /// The frame must lie entirely within the remaining buffer.
-  Decoder GetFrame() {
+  [[nodiscard]] Decoder GetFrame() {
     const uint64_t n = GetVarint();
     PEREACH_CHECK(n <= remaining() && "decoder: truncated frame");
     Decoder sub(data_ + pos_, static_cast<size_t>(n));
@@ -181,9 +181,9 @@ class Decoder {
     return sub;
   }
 
-  bool Done() const { return pos_ == size_; }
-  size_t position() const { return pos_; }
-  size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool Done() const { return pos_ == size_; }
+  [[nodiscard]] size_t position() const { return pos_; }
+  [[nodiscard]] size_t remaining() const { return size_ - pos_; }
 
  private:
   const uint8_t* data_;

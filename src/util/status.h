@@ -21,7 +21,10 @@ enum class StatusCode {
 
 /// Lightweight success/error result for fallible operations (the project
 /// does not use exceptions). Modeled after the RocksDB/Arrow Status idiom.
-class Status {
+/// [[nodiscard]]: silently dropping a Status loses the only error signal a
+/// non-throwing API has — builds run -Werror=unused-result, so every call
+/// site either consumes it or discards explicitly with (void).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -58,9 +61,10 @@ class Status {
   std::string message_;
 };
 
-/// Holds either a value of type T or an error Status.
+/// Holds either a value of type T or an error Status. [[nodiscard]] for the
+/// same reason as Status: an ignored Result is an ignored failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so functions can `return value;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

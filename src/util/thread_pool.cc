@@ -20,26 +20,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     PEREACH_CHECK(!shutdown_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) work_done_.Wait(&mu_);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -54,12 +54,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // latch is shared-owned so a worker finishing after the caller woke cannot
   // touch a destroyed mutex/condvar.
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
+    Mutex mu{LockRank::kPoolLatch};
+    CondVar cv;
+    size_t remaining PEREACH_GUARDED_BY(mu) = 0;
   };
   auto latch = std::make_shared<Latch>();
-  latch->remaining = workers;
+  {
+    MutexLock lock(&latch->mu);
+    latch->remaining = workers;
+  }
   for (size_t w = 0; w < workers; ++w) {
     Submit([latch, &next, n, &fn] {
       while (true) {
@@ -67,21 +70,20 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
         if (i >= n) break;
         fn(i);
       }
-      std::lock_guard<std::mutex> lock(latch->mu);
-      if (--latch->remaining == 0) latch->cv.notify_all();
+      MutexLock lock(&latch->mu);
+      if (--latch->remaining == 0) latch->cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(latch->mu);
-  latch->cv.wait(lock, [&latch] { return latch->remaining == 0; });
+  MutexLock lock(&latch->mu);
+  while (latch->remaining != 0) latch->cv.Wait(&latch->mu);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(&mu_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -91,9 +93,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) work_done_.notify_all();
+      if (in_flight_ == 0) work_done_.NotifyAll();
     }
   }
 }

@@ -1,14 +1,13 @@
 #ifndef PEREACH_UTIL_THREAD_POOL_H_
 #define PEREACH_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "src/util/common.h"
+#include "src/util/sync.h"
 
 namespace pereach {
 
@@ -39,12 +38,12 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable work_done_;
-  std::queue<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{LockRank::kThreadPool};
+  CondVar work_available_;
+  CondVar work_done_;
+  std::queue<std::function<void()>> queue_ PEREACH_GUARDED_BY(mu_);
+  size_t in_flight_ PEREACH_GUARDED_BY(mu_) = 0;
+  bool shutdown_ PEREACH_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -122,8 +122,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DistCase{"tightbound", 60, 3, 4, 2},
                       DistCase{"loosebound", 60, 1, 4, 50},
                       DistCase{"manyfrag", 50, 2, 10, 8}),
-    [](const ::testing::TestParamInfo<DistCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<DistCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(DisDistPropertyTest, GridExactDistances) {

@@ -118,8 +118,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ReachCase{"dense", 40, 5, 4},
                       ReachCase{"manyfrag", 60, 2, 12},
                       ReachCase{"bigger", 200, 3, 8}),
-    [](const ::testing::TestParamInfo<ReachCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ReachCase>& param_info) {
+      return param_info.param.name;
     });
 
 // Also sweep structured topologies, which stress SCC handling.

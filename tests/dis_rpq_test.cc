@@ -188,8 +188,8 @@ INSTANTIATE_TEST_SUITE_P(
         RpqCase{"manylabels", 50, 2, 4, 8, 8},
         RpqCase{"manyfrag", 40, 2, 8, 3, 4},
         RpqCase{"bigquery", 40, 2, 4, 3, 12}),
-    [](const ::testing::TestParamInfo<RpqCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<RpqCase>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

@@ -138,8 +138,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FormCase{"cyclic", 40, 4, 4},
                       FormCase{"sparse", 60, 1, 5},
                       FormCase{"manyfrag", 50, 2, 10}),
-    [](const ::testing::TestParamInfo<FormCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<FormCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(EquationFormTest, DagFormShipsLessOnButterflyGraphs) {

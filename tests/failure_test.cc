@@ -23,21 +23,21 @@ TEST(FailureTest, DecoderOverrunAborts) {
   enc.PutU8(1);
   std::vector<uint8_t> buf = enc.TakeBuffer();
   Decoder dec(buf);
-  dec.GetU8();
-  EXPECT_DEATH(dec.GetU8(), "CHECK failed");
+  (void)dec.GetU8();  // consume the only byte
+  EXPECT_DEATH((void)dec.GetU8(), "CHECK failed");
 }
 
 TEST(FailureTest, TruncatedVarintAborts) {
   std::vector<uint8_t> buf = {0x80, 0x80};  // continuation bits, no terminator
   Decoder dec(buf);
-  EXPECT_DEATH(dec.GetVarint(), "CHECK failed");
+  EXPECT_DEATH((void)dec.GetVarint(), "CHECK failed");
 }
 
 TEST(FailureTest, OverlongVarintAborts) {
   std::vector<uint8_t> buf(11, 0x80);  // more than 64 bits of continuation
   buf.push_back(0x01);
   Decoder dec(buf);
-  EXPECT_DEATH(dec.GetVarint(), "CHECK failed");
+  EXPECT_DEATH((void)dec.GetVarint(), "CHECK failed");
 }
 
 TEST(FailureTest, TruncatedStringAborts) {
@@ -45,7 +45,7 @@ TEST(FailureTest, TruncatedStringAborts) {
   enc.PutVarint(100);  // declares 100 bytes, provides none
   std::vector<uint8_t> buf = enc.TakeBuffer();
   Decoder dec(buf);
-  EXPECT_DEATH(dec.GetString(), "CHECK failed");
+  EXPECT_DEATH((void)dec.GetString(), "CHECK failed");
 }
 
 TEST(FailureTest, CorruptedPartialAnswerAborts) {

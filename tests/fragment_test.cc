@@ -174,8 +174,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FragmentationCase{"medium", 150, 5},
                       FragmentationCase{"manyfrag", 60, 10},
                       FragmentationCase{"large", 400, 7}),
-    [](const ::testing::TestParamInfo<FragmentationCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<FragmentationCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(FragmentTest, SerializationRoundTrip) {

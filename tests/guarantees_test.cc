@@ -165,8 +165,8 @@ INSTANTIATE_TEST_SUITE_P(
                       GuaranteeCase{"medium", 100, 2, 5},
                       GuaranteeCase{"dense", 60, 5, 4},
                       GuaranteeCase{"manyfrag", 80, 2, 16}),
-    [](const ::testing::TestParamInfo<GuaranteeCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<GuaranteeCase>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

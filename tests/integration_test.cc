@@ -100,8 +100,8 @@ INSTANTIATE_TEST_SUITE_P(
         EngineCase{"youtube", Dataset::kYoutube, 0.002, 3},
         EngineCase{"internet", Dataset::kInternet, 0.005, 5},
         EngineCase{"citation", Dataset::kCitation, 0.0005, 4}),
-    [](const ::testing::TestParamInfo<EngineCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<EngineCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(IntegrationTest, RegularQueriesAgreeOnLabeledDataset) {

@@ -96,8 +96,8 @@ TEST_P(ReachIndexTest, ReportsNameAndSize) {
 INSTANTIATE_TEST_SUITE_P(AllIndexes, ReachIndexTest,
                          ::testing::Values(Kind::kBfs, Kind::kMatrix,
                                            Kind::kInterval, Kind::kTwoHop),
-                         [](const ::testing::TestParamInfo<Kind>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<Kind>& param_info) {
+                           switch (param_info.param) {
                              case Kind::kBfs:
                                return "bfs";
                              case Kind::kMatrix:

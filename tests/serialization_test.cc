@@ -197,7 +197,7 @@ TEST(SerializationDeathTest, CountExceedingPayloadAborts) {
   enc.PutU8(2);
   const std::vector<uint8_t> buf = enc.buffer();
   Decoder dec(buf);
-  EXPECT_DEATH(dec.GetCount(), "CHECK failed");
+  EXPECT_DEATH((void)dec.GetCount(), "CHECK failed");
 }
 
 TEST(SerializationTest, CountWithinPayloadSucceeds) {
@@ -217,7 +217,7 @@ TEST(SerializationDeathTest, TruncatedFrameAborts) {
   enc.PutU8(9);
   const std::vector<uint8_t> buf = enc.buffer();
   Decoder dec(buf);
-  EXPECT_DEATH(dec.GetFrame(), "CHECK failed");
+  EXPECT_DEATH((void)dec.GetFrame(), "CHECK failed");
 }
 
 // A frame decoder is confined to its slice: reads past the frame end abort
@@ -232,7 +232,7 @@ TEST(SerializationDeathTest, FrameDecoderCannotReadPastFrameEnd) {
   Decoder dec(buf);
   Decoder frame = dec.GetFrame();
   EXPECT_EQ(frame.GetU8(), 1u);
-  EXPECT_DEATH(frame.GetU8(), "CHECK failed");
+  EXPECT_DEATH((void)frame.GetU8(), "CHECK failed");
 }
 
 // End-to-end: a reply payload whose equation count was corrupted to exceed
