@@ -60,6 +60,11 @@ struct ServerBenchFlags {
   // --metrics-json=PATH: write the final run's full ServerMetrics snapshot
   // (schema in docs/OPERATIONS.md) to PATH.
   std::string metrics_json;
+  // --transport=sim|shm|socket: serving transport behind the cluster
+  // (DESIGN.md §13). sim answers rounds in-process (the modeled numbers are
+  // the same either way); socket spawns one pereach_worker process per
+  // fragment and the wall columns become real multi-process serving time.
+  TransportBackend transport = TransportBackend::kSim;
 };
 
 struct ConfigResult {
@@ -73,7 +78,37 @@ struct ConfigResult {
   double hit_rate = 0;        // cache hits / submitted (client-observed)
   double rejection_rate = 0;  // rejected / submitted (client-observed)
   std::string metrics_json;   // full ServerMetrics snapshot at drain
+  // Wall-clock serving time, measured at the clients around Submit().get():
+  // host throughput plus latency percentiles over every answered query.
+  // Next to the modeled columns these show what the chosen transport
+  // actually costs end to end (sim: dispatch+compute; socket: that plus
+  // real frame encode/decode and kernel round trips per round).
+  double wall_qps = 0;
+  double wall_p50_ms = 0;
+  double wall_p90_ms = 0;
+  double wall_p99_ms = 0;
 };
+
+/// Percentile over an unsorted latency sample (nearest-rank; sorts a copy).
+double Percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const double position = p * static_cast<double>(sample.size() - 1);
+  const size_t rank = static_cast<size_t>(position + 0.5);
+  return sample[std::min(rank, sample.size() - 1)];
+}
+
+const char* TransportName(TransportBackend backend) {
+  switch (backend) {
+    case TransportBackend::kSim:
+      return "sim";
+    case TransportBackend::kShm:
+      return "shm";
+    case TransportBackend::kSocket:
+      return "socket";
+  }
+  return "sim";
+}
 
 // Default workload: the paper's primary class q_r, whose warm-path compute
 // (cached closure rows) is small enough that round latency — the thing
@@ -118,6 +153,7 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
   options.eval.form = EquationForm::kClosure;
   options.eval.batch_sweep = flags.sweep;
   options.eval.shortcut_budget = flags.shortcut_budget;
+  options.transport.backend = flags.transport;
   if (flags.boundary_index) {
     options.eval.reach_path = ReachAnswerPath::kBoundaryIndex;
     options.eval.dist_path = DistAnswerPath::kBoundaryIndex;
@@ -142,12 +178,14 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
 
   std::vector<double> modeled_sum(flags.clients, 0.0);
   std::vector<size_t> hits(flags.clients, 0), rejected(flags.clients, 0);
+  std::vector<std::vector<double>> latencies(flags.clients);
   std::vector<std::thread> threads;
   StopWatch wall;
   for (size_t c = 0; c < flags.clients; ++c) {
     threads.emplace_back([&, c] {
       Rng rng(opts.seed * 1000 + c);
       const size_t n = g.NumNodes();
+      latencies[c].reserve(opts.queries);
       for (size_t i = 0; i < opts.queries; ++i) {
         const Query query =
             hot_pool != nullptr
@@ -155,12 +193,14 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
                 : MakeWorkloadQuery(n, automata, flags.mixed, &rng);
         // Each client is its own tenant, so a quota set via --tenant-quota
         // bounds every client's in-flight share symmetrically.
+        StopWatch submit_watch;
         const ServedAnswer served =
             server.Submit(query, static_cast<TenantId>(c)).get();
         if (served.rejected) {
           ++rejected[c];
           continue;
         }
+        latencies[c].push_back(submit_watch.ElapsedMs());
         if (served.cache_hit) ++hits[c];
         modeled_sum[c] += served.answer.metrics.PerQueryModeledMs();
       }
@@ -220,6 +260,17 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
   result.rejection_rate =
       static_cast<double>(total_rejected) / static_cast<double>(total);
   result.metrics_json = server.MetricsJson();
+  std::vector<double> all_latencies;
+  all_latencies.reserve(total);
+  for (const std::vector<double>& per_client : latencies) {
+    all_latencies.insert(all_latencies.end(), per_client.begin(),
+                         per_client.end());
+  }
+  result.wall_qps = static_cast<double>(all_latencies.size()) /
+                    (wall_ms / 1000.0);
+  result.wall_p50_ms = Percentile(all_latencies, 0.50);
+  result.wall_p90_ms = Percentile(all_latencies, 0.90);
+  result.wall_p99_ms = Percentile(all_latencies, 0.99);
   return result;
 }
 
@@ -284,8 +335,21 @@ int Run(int argc, char** argv) {
           flags.metrics_json = arg + 15;
           return true;
         }
+        if (std::strcmp(arg, "--transport=sim") == 0) {
+          flags.transport = TransportBackend::kSim;
+          return true;
+        }
+        if (std::strcmp(arg, "--transport=shm") == 0) {
+          flags.transport = TransportBackend::kShm;
+          return true;
+        }
+        if (std::strcmp(arg, "--transport=socket") == 0) {
+          flags.transport = TransportBackend::kSocket;
+          return true;
+        }
         return false;
       });
+  const char* transport_name = TransportName(flags.transport);
 
   Rng rng(opts.seed);
   // The shared regex pool both configurations draw from (identical
@@ -302,10 +366,10 @@ int Run(int argc, char** argv) {
       ChunkPartitioner().Partition(g, k_sites, &rng);
   std::printf(
       "QueryServer closed loop: %zu clients x %zu queries (%s), %zu sites, "
-      "%zu nodes, %zu edges, %zu updates, reach path: %s\n",
+      "%zu nodes, %zu edges, %zu updates, reach path: %s, transport: %s\n",
       flags.clients, opts.queries, flags.mixed ? "mixed" : "reach-only",
       k_sites, g.NumNodes(), g.NumEdges(), flags.updates,
-      flags.boundary_index ? "boundary-index" : "bes");
+      flags.boundary_index ? "boundary-index" : "bes", transport_name);
 
   AnswerCacheOptions headline_cache;
   headline_cache.enabled = flags.cache;
@@ -350,6 +414,19 @@ int Run(int argc, char** argv) {
   PrintRow({"adaptive", FormatMs(batched.modeled_by_class[0]),
             FormatMs(batched.modeled_by_class[1]),
             FormatMs(batched.modeled_by_class[2])});
+
+  // Wall-clock serving next to the modeled numbers: with --transport=socket
+  // these are real multi-process round trips (frame encode, kernel sockets,
+  // worker decode+compute), not the NetworkModel's accounting.
+  PrintHeader("Wall-clock serving (transport=" + std::string(transport_name) +
+                  ")",
+              {"config", "wall-q/s", "p50", "p90", "p99"});
+  std::snprintf(qps, sizeof(qps), "%.1f", single.wall_qps);
+  PrintRow({"per-query", qps, FormatMs(single.wall_p50_ms),
+            FormatMs(single.wall_p90_ms), FormatMs(single.wall_p99_ms)});
+  std::snprintf(qps, sizeof(qps), "%.1f", batched.wall_qps);
+  PrintRow({"adaptive", qps, FormatMs(batched.wall_p50_ms),
+            FormatMs(batched.wall_p90_ms), FormatMs(batched.wall_p99_ms)});
 
   std::printf(
       "\nExpected shape: adaptive coalesces each class's concurrent arrivals "
@@ -430,9 +507,12 @@ int Run(int argc, char** argv) {
                 flags.metrics_json.c_str());
   }
 
-  WriteBenchJson(opts.json_path,
-                 flags.boundary_index ? "bench_server+boundary-index"
-                                      : "bench_server",
+  std::string bench_name = "bench_server";
+  if (flags.boundary_index) bench_name += "+boundary-index";
+  if (flags.transport != TransportBackend::kSim) {
+    bench_name += std::string("+") + transport_name;
+  }
+  WriteBenchJson(opts.json_path, bench_name,
                  {{"clients", static_cast<double>(flags.clients)},
                   {"queries_per_client", static_cast<double>(opts.queries)},
                   {"seed", static_cast<double>(opts.seed)},
@@ -463,7 +543,17 @@ int Run(int argc, char** argv) {
                   {"cache_hit_rate", repeat_on.hit_rate},
                   {"queue_budget", static_cast<double>(flags.queue_budget)},
                   {"tenant_quota", static_cast<double>(flags.tenant_quota)},
-                  {"overload_rejection_rate", overloaded.rejection_rate}});
+                  {"overload_rejection_rate", overloaded.rejection_rate},
+                  // Wall-clock series (adaptive run) for the chosen
+                  // transport: real q/s and client-observed latency
+                  // percentiles around Submit().get().
+                  {"transport",
+                   static_cast<double>(static_cast<int>(flags.transport))},
+                  {"per_query_wall_qps", single.wall_qps},
+                  {"wall_qps", batched.wall_qps},
+                  {"wall_p50_ms", batched.wall_p50_ms},
+                  {"wall_p90_ms", batched.wall_p90_ms},
+                  {"wall_p99_ms", batched.wall_p99_ms}});
   return 0;
 }
 

@@ -8,10 +8,10 @@
 
 namespace pereach {
 
-void NaiveShipAllEngine::RunBatch(std::span<const Query> queries,
+Status NaiveShipAllEngine::RunBatch(std::span<const Query> queries,
                                   std::vector<QueryAnswer>* answers) {
   answers->resize(queries.size());
-  if (queries.empty()) return;
+  if (queries.empty()) return Status::OK();
 
   Encoder broadcast;
   broadcast.PutVarint(queries.size());
@@ -40,9 +40,10 @@ void NaiveShipAllEngine::RunBatch(std::span<const Query> queries,
     }
   }
   cluster_->AddCoordinatorWorkMs(watch.ElapsedMs());
+  return Status::OK();
 }
 
-void MessagePassingEngine::RunBatch(std::span<const Query> queries,
+Status MessagePassingEngine::RunBatch(std::span<const Query> queries,
                                     std::vector<QueryAnswer>* answers) {
   answers->reserve(queries.size());
   for (const Query& q : queries) {
@@ -50,9 +51,11 @@ void MessagePassingEngine::RunBatch(std::span<const Query> queries,
                   "MessagePassingEngine supports reachability queries only");
     answers->push_back(RunDisReachMp(cluster_, q.source, q.target));
   }
+  // Baselines round over the simulated backend only, which never fails.
+  return Status::OK();
 }
 
-void SuciuRpqEngine::RunBatch(std::span<const Query> queries,
+Status SuciuRpqEngine::RunBatch(std::span<const Query> queries,
                               std::vector<QueryAnswer>* answers) {
   answers->reserve(queries.size());
   for (const Query& q : queries) {
@@ -61,6 +64,7 @@ void SuciuRpqEngine::RunBatch(std::span<const Query> queries,
     answers->push_back(
         RunDisRpqSuciu(cluster_, q.source, q.target, *q.automaton));
   }
+  return Status::OK();
 }
 
 }  // namespace pereach

@@ -19,7 +19,7 @@ class NaiveShipAllEngine : public QueryEngine {
   std::string_view name() const override { return "naive-ship-all"; }
 
  protected:
-  void RunBatch(std::span<const Query> queries,
+  Status RunBatch(std::span<const Query> queries,
                 std::vector<QueryAnswer>* answers) override;
 };
 
@@ -32,7 +32,7 @@ class MessagePassingEngine : public QueryEngine {
   std::string_view name() const override { return "message-passing"; }
 
  protected:
-  void RunBatch(std::span<const Query> queries,
+  Status RunBatch(std::span<const Query> queries,
                 std::vector<QueryAnswer>* answers) override;
 };
 
@@ -44,7 +44,7 @@ class SuciuRpqEngine : public QueryEngine {
   std::string_view name() const override { return "suciu-rpq"; }
 
  protected:
-  void RunBatch(std::span<const Query> queries,
+  Status RunBatch(std::span<const Query> queries,
                 std::vector<QueryAnswer>* answers) override;
 };
 

@@ -4,13 +4,28 @@
 #include <limits>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "src/bes/bes.h"
 #include "src/bes/distance_system.h"
+#include "src/engine/site_runtime.h"
 #include "src/regex/canonical.h"
 #include "src/util/timer.h"
 
 namespace pereach {
+
+// The per-site halves of every round below (the localEval sweeps, the row
+// re-encodings, the sweep frames) live in src/engine/site_runtime.* — one
+// definition shared by these simulated closures and by the worker-side
+// RoundSpec decoder, which is what keeps the backends bit-identical.
+//
+// Every round goes through Cluster::TryRound/TryRoundAll and every reply
+// byte is decoded TOLERANTLY (Decoder::OnError::kStatus): a serving
+// transport can fail or frame garbage, and the contract is that this fails
+// the batch with a Status — rejecting its queries — never the process. The
+// deep semantic invariants inside the Deserialize bodies stay as CHECKs:
+// they sit behind the wire CRC, so a violation there is a software bug on a
+// byte-exact copy, not a transport hazard.
 
 namespace {
 
@@ -21,515 +36,8 @@ bool IsTrivial(const Query& q) {
          q.source == q.target;
 }
 
-/// Rebases a partial answer produced against its own query-local oset table
-/// onto the fragment's shared (batch-wide) table; the answer's own table is
-/// dropped (batch bodies serialize against the shared one). Every dependency
-/// of a localEval answer is a non-target virtual node, so each one has a
-/// shared index; ascending order survives because both tables list virtual
-/// nodes in ascending local-id order.
-ReachPartialAnswer RebaseOntoSharedOset(ReachPartialAnswer pa,
-                                        const FragmentContext& ctx) {
-  for (ReachPartialAnswer::Equation& eq : pa.equations) {
-    for (uint32_t& dep : eq.deps) {
-      const uint32_t idx = ctx.OsetIndexOf(pa.oset_globals[dep]);
-      PEREACH_CHECK_NE(idx, FragmentContext::kNoIndex);
-      dep = idx;
-    }
-    // The remap is order-preserving (a possible local-t entry at index 0 of
-    // the query table is never a dep, and both tables list virtual nodes in
-    // ascending local-id order), so no re-sort is needed.
-    PEREACH_CHECK(std::is_sorted(eq.deps.begin(), eq.deps.end()));
-  }
-  pa.oset_globals.clear();
-  return pa;
-}
-
-/// The two query-dependent condensation sweeps every cached-rows reach path
-/// (BES closure frames and boundary-index frames) is built from. Both rely
-/// on component ids being reverse topological: every edge goes to a smaller
-/// id.
-
-/// Components that locally reach `t_comp`: an ascending scan sees every
-/// successor's final value.
-std::vector<bool> ComponentsReaching(const Condensation& cond,
-                                     uint32_t t_comp) {
-  std::vector<bool> reaches(cond.scc.num_components, false);
-  reaches[t_comp] = true;
-  for (uint32_t c = t_comp + 1; c < cond.scc.num_components; ++c) {
-    bool r = false;
-    for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1] && !r; ++e) {
-      r = reaches[cond.targets[e]];
-    }
-    reaches[c] = r;
-  }
-  return reaches;
-}
-
-/// Components locally reachable from `s_comp`: a descending scan spreads
-/// the flag to all successors.
-std::vector<bool> ComponentsReachableFrom(const Condensation& cond,
-                                          uint32_t s_comp) {
-  std::vector<bool> reachable(cond.scc.num_components, false);
-  reachable[s_comp] = true;
-  for (uint32_t c = s_comp + 1; c-- > 0;) {
-    if (!reachable[c]) continue;
-    for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1]; ++e) {
-      reachable[cond.targets[e]] = true;
-    }
-  }
-  return reachable;
-}
-
-/// Closure-form reach partial answer straight from the cached rows: the
-/// query-independent part (in-node group -> reachable virtual nodes) is read
-/// from FragmentContext, so the per-query work is two O(|cond|) sweeps (which
-/// groups reach t, what s reaches) plus serialization.
-ReachPartialAnswer ReachFromCachedRows(const Fragment& f, FragmentContext* ctx,
-                                       NodeId s, NodeId t) {
-  const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
-  const Condensation& cond = ctx->cond(f);
-  const std::vector<uint32_t>& oset_comp = ctx->oset_comp(f);
-
-  ReachPartialAnswer pa;
-  pa.site = f.site();
-
-  // t-side query-dependent piece: which components reach t locally (only
-  // meaningful when t is stored here; a virtual copy of t is an oset entry).
-  const uint32_t t_idx = ctx->OsetIndexOf(t);
-  const bool t_local = f.Contains(t);
-  uint32_t t_comp = 0;
-  std::vector<bool> reaches_t;
-  if (t_local) {
-    t_comp = cond.scc.component_of[f.ToLocal(t)];
-    reaches_t = ComponentsReaching(cond, t_comp);
-  }
-
-  pa.equations.reserve(rows.group_rep.size() + 1);
-  for (size_t g = 0; g < rows.group_rep.size(); ++g) {
-    ReachPartialAnswer::Equation eq;
-    eq.var = f.ToGlobal(rows.group_rep[g]);
-    eq.has_true = t_local && reaches_t[rows.group_comp[g]];
-    eq.deps.reserve(rows.rows[g].size());
-    for (uint32_t idx : rows.rows[g]) {
-      if (idx == t_idx) {
-        eq.has_true = true;  // reaching the virtual copy of t answers q
-      } else {
-        eq.deps.push_back(idx);
-      }
-    }
-    pa.equations.push_back(std::move(eq));
-  }
-  for (size_t i = 0; i < rows.in_group.size(); ++i) {
-    const NodeId in = f.in_nodes()[i];
-    const uint32_t g = rows.in_group[i];
-    if (rows.group_rep[g] == in) continue;
-    pa.aliases.push_back({/*rep_is_aux=*/false, f.ToGlobal(in),
-                          f.ToGlobal(rows.group_rep[g])});
-  }
-
-  // s-side query-dependent piece: s's own equation when s is stored here and
-  // is not already covered by an in-node group.
-  if (f.Contains(s)) {
-    const NodeId local_s = f.ToLocal(s);
-    if (!std::binary_search(f.in_nodes().begin(), f.in_nodes().end(),
-                            local_s)) {
-      const std::vector<bool> reachable =
-          ComponentsReachableFrom(cond, cond.scc.component_of[local_s]);
-      ReachPartialAnswer::Equation eq;
-      eq.var = s;
-      eq.has_true = t_local && reachable[t_comp];
-      for (uint32_t j = 0; j < oset_comp.size(); ++j) {
-        if (!reachable[oset_comp[j]]) continue;
-        if (j == t_idx) {
-          eq.has_true = true;
-        } else {
-          eq.deps.push_back(j);
-        }
-      }
-      pa.equations.push_back(std::move(eq));
-    }
-  }
-  return pa;
-}
-
-/// Re-encodes a fragment's cached ReachRows into the global-id form the
-/// coordinator's boundary index consumes (one row per in-node SCC group,
-/// plus member -> rep aliases). Pure re-labeling: the sweeps already ran
-/// when reach_rows was built.
-BoundaryRows BuildBoundaryRows(const Fragment& f, FragmentContext* ctx) {
-  const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
-  BoundaryRows out;
-  out.oset_globals = ctx->oset_globals(f);
-  out.rep_globals.reserve(rows.group_rep.size());
-  for (NodeId rep : rows.group_rep) out.rep_globals.push_back(f.ToGlobal(rep));
-  out.rows = rows.rows;
-  for (size_t i = 0; i < rows.in_group.size(); ++i) {
-    const NodeId in = f.in_nodes()[i];
-    const NodeId rep = rows.group_rep[rows.in_group[i]];
-    if (rep == in) continue;
-    out.aliases.emplace_back(f.ToGlobal(in), f.ToGlobal(rep));
-  }
-  return out;
-}
-
-/// Re-encodes a fragment's cached DistRows into the global-id form the
-/// coordinator's weighted boundary index consumes (one weighted row per
-/// distinct-row group, plus member -> rep aliases). Pure re-labeling: the
-/// unbounded distance sweep already ran when dist_rows was built.
-WeightedBoundaryRows BuildWeightedBoundaryRows(const Fragment& f,
-                                               FragmentContext* ctx) {
-  const FragmentContext::DistRows& rows = ctx->dist_rows(f);
-  WeightedBoundaryRows out;
-  out.oset_globals = ctx->oset_globals(f);
-  out.rep_globals.reserve(rows.group_rep.size());
-  for (NodeId rep : rows.group_rep) out.rep_globals.push_back(f.ToGlobal(rep));
-  out.rows = rows.rows;
-  for (size_t i = 0; i < rows.in_group.size(); ++i) {
-    const NodeId in = f.in_nodes()[i];
-    const NodeId rep = rows.group_rep[rows.in_group[i]];
-    if (rep == in) continue;
-    out.aliases.emplace_back(f.ToGlobal(in), f.ToGlobal(rep));
-  }
-  return out;
-}
-
-/// Re-encodes a fragment's cached per-automaton product structures into the
-/// global-id form the coordinator's product boundary index consumes (one
-/// row per in-pair product-SCC group, plus member -> group aliases). Pure
-/// re-labeling: the product sweep already ran when the RpqProduct was built.
-ProductBoundaryRows BuildProductBoundaryRows(
-    const Fragment& f, FragmentContext* ctx, const std::string& signature_key,
-    const QueryAutomaton& canonical) {
-  const FragmentContext::RpqProduct& p =
-      ctx->rpq_product(f, signature_key, canonical);
-  const std::vector<NodeId>& oset_locals = ctx->oset_locals(f);
-  ProductBoundaryRows out;
-  out.oset_globals = ctx->oset_globals(f);
-  out.oset_masks.reserve(oset_locals.size());
-  for (NodeId w : oset_locals) out.oset_masks.push_back(p.compat[w]);
-  out.rep_pairs.reserve(p.group_rep.size());
-  for (uint32_t rep : p.group_rep) {
-    out.rep_pairs.push_back(
-        {f.ToGlobal(p.in_pairs[rep].first), p.in_pairs[rep].second});
-  }
-  out.rows = p.rows;
-  for (size_t i = 0; i < p.in_pairs.size(); ++i) {
-    const uint32_t g = p.in_group[i];
-    if (p.group_rep[g] == i) continue;
-    out.aliases.push_back(
-        {{f.ToGlobal(p.in_pairs[i].first), p.in_pairs[i].second}, g});
-  }
-  return out;
-}
-
-// Flag bits of a boundary sweep frame.
-constexpr uint8_t kFrameHasS = 1;      // s-side list present
-constexpr uint8_t kFrameHasT = 2;      // t-side list present
-constexpr uint8_t kFrameLocalTrue = 4; // answer decided inside this fragment
-// Extra flag bit of a dist sweep frame: a local s -> t distance (within the
-// query bound) is present. Unlike kFrameLocalTrue it does NOT end the frame
-// — a cross-fragment route can still be shorter, so the lists follow.
-constexpr uint8_t kFrameHasLocalDist = 4;
-
-/// The query-dependent halves of one dist query at one fragment, encoded for
-/// the weighted boundary answer path:
-///  - s-side (s stored here): ascending (oset index, hops) pairs for the
-///    virtual nodes s reaches locally within the bound — the exits a global
-///    path can leave through, with their seed distances; reaching t or t's
-///    virtual copy locally folds into the local short-circuit distance;
-///  - t-side (t stored here): (in-node global, hops) pairs for the in-nodes
-///    that reach t locally within the bound — the entries a global path can
-///    arrive at, with their closing distances. No group-rep substitution:
-///    distances differ across an SCC's members.
-/// All three pieces are exactly what localEvald would have shipped (its s
-/// equation, its base column), so the assembled answer matches the BES path.
-void EncodeDistSweepFrame(const Fragment& f, FragmentContext* ctx, NodeId s,
-                          NodeId t, uint32_t bound, Encoder* body) {
-  const bool s_here = f.Contains(s);
-  const bool t_here = f.Contains(t);
-  if (!s_here && !t_here) {
-    body->PutU8(0);
-    return;
-  }
-
-  uint64_t local_dist = kInfWeight;
-  std::vector<std::pair<uint32_t, uint32_t>> s_out;
-  if (s_here) {
-    // One bounded sweep from s over the oset plus t's local copy; a virtual
-    // copy of t folds into the short-circuit by global id, like localEvald's
-    // base column.
-    const std::vector<NodeId>& oset_locals = ctx->oset_locals(f);
-    const std::vector<NodeId>& oset_globals = ctx->oset_globals(f);
-    std::vector<NodeId> targets = oset_locals;
-    if (t_here) targets.push_back(f.ToLocal(t));
-    const std::vector<NodeId> source = {f.ToLocal(s)};
-    ForEachBoundedDistance(
-        f.local_graph(), source, targets, bound, /*block_bits=*/256,
-        [&](uint32_t, uint32_t ti, uint32_t hops) {
-          if (ti >= oset_globals.size() || oset_globals[ti] == t) {
-            local_dist = std::min<uint64_t>(local_dist, hops);
-          } else {
-            s_out.emplace_back(ti, hops);
-          }
-        });
-    std::sort(s_out.begin(), s_out.end());
-  }
-
-  std::vector<std::pair<NodeId, uint32_t>> t_in;
-  if (t_here) {
-    const std::vector<NodeId> target = {f.ToLocal(t)};
-    ForEachBoundedDistance(
-        f.local_graph(), f.in_nodes(), target, bound, /*block_bits=*/64,
-        [&](uint32_t in_idx, uint32_t, uint32_t hops) {
-          t_in.emplace_back(f.ToGlobal(f.in_nodes()[in_idx]), hops);
-        });
-  }
-
-  uint8_t flags = 0;
-  if (s_here) flags |= kFrameHasS;
-  if (t_here) flags |= kFrameHasT;
-  if (local_dist != kInfWeight) flags |= kFrameHasLocalDist;
-  body->PutU8(flags);
-  if (local_dist != kInfWeight) body->PutVarint(local_dist);
-  if (s_here) {
-    body->PutVarint(s_out.size());
-    uint32_t prev = 0;
-    for (const auto& [idx, hops] : s_out) {  // ascending: delta-encode
-      body->PutVarint(idx - prev);
-      body->PutVarint(hops);
-      prev = idx;
-    }
-  }
-  if (t_here) {
-    body->PutVarint(t_in.size());
-    for (const auto& [global, hops] : t_in) {
-      body->PutVarint(global);
-      body->PutVarint(hops);
-    }
-  }
-}
-
-/// The query-dependent halves of one reach query at one fragment, encoded
-/// for the boundary answer path:
-///  - s-side (s stored here): ascending oset indices of the virtual nodes s
-///    reaches locally — the boundary nodes a global path can leave through;
-///  - t-side (t stored here): global ids of the in-node group REPS that
-///    reach t locally — the boundary nodes a global path can arrive at (a
-///    non-rep member's arrival implies its rep's, via the alias edge).
-/// When the fragment alone decides the query (s reaches t or t's virtual
-/// copy locally), the frame is the single kFrameLocalTrue byte.
-void EncodeBoundarySweepFrame(const Fragment& f, FragmentContext* ctx,
-                              NodeId s, NodeId t, Encoder* body) {
-  const bool s_here = f.Contains(s);
-  const bool t_here = f.Contains(t);
-  if (!s_here && !t_here) {
-    body->PutU8(0);
-    return;
-  }
-  const Condensation& cond = ctx->cond(f);
-  const std::vector<uint32_t>& oset_comp = ctx->oset_comp(f);
-
-  uint32_t t_comp = 0;
-  std::vector<bool> reaches_t;
-  if (t_here) {
-    t_comp = cond.scc.component_of[f.ToLocal(t)];
-    reaches_t = ComponentsReaching(cond, t_comp);
-  }
-
-  bool local_true = false;
-  std::vector<uint32_t> s_out;
-  if (s_here) {
-    const std::vector<bool> reachable =
-        ComponentsReachableFrom(cond, cond.scc.component_of[f.ToLocal(s)]);
-    local_true = t_here && reachable[t_comp];
-    // Virtual nodes are local sinks, so each one is a singleton component:
-    // reachable[its component] is exactly "s reaches it". Reaching t's
-    // virtual copy decides the query (the cross edge into t completes the
-    // path); every other reachable virtual node is an exit candidate.
-    const uint32_t t_idx = ctx->OsetIndexOf(t);
-    for (uint32_t j = 0; j < oset_comp.size(); ++j) {
-      if (!reachable[oset_comp[j]]) continue;
-      if (j == t_idx) {
-        local_true = true;
-      } else {
-        s_out.push_back(j);
-      }
-    }
-  }
-  if (local_true) {
-    body->PutU8(kFrameLocalTrue);
-    return;
-  }
-
-  uint8_t flags = 0;
-  if (s_here) flags |= kFrameHasS;
-  if (t_here) flags |= kFrameHasT;
-  body->PutU8(flags);
-  if (s_here) {
-    body->PutVarint(s_out.size());
-    uint32_t prev = 0;
-    for (uint32_t idx : s_out) {  // ascending: delta-encode
-      body->PutVarint(idx - prev);
-      prev = idx;
-    }
-  }
-  if (t_here) {
-    const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
-    std::vector<NodeId> t_in;
-    for (size_t g = 0; g < rows.group_rep.size(); ++g) {
-      if (reaches_t[rows.group_comp[g]]) {
-        t_in.push_back(f.ToGlobal(rows.group_rep[g]));
-      }
-    }
-    body->PutVarint(t_in.size());
-    for (NodeId g : t_in) body->PutVarint(g);
-  }
-}
-
-/// The query-dependent halves of one regular query at one fragment, encoded
-/// for the product-boundary answer path. All sweeps run over the standing
-/// per-automaton product condensation (FragmentContext::RpqProduct); the
-/// only per-query pieces are the u_s seeds, the u_t sinks, and two
-/// O(|cond|) scans:
-///  - s-side (s stored here): ascending pair-table indices of the frontier
-///    pairs (w, q') reachable from (s, u_s) — the product boundary nodes a
-///    global match can leave through. Reaching an accept pair at a copy of
-///    t, or an accepting predecessor of the local copy, decides the query
-///    (kFrameLocalTrue), exactly localEvalr's has_true;
-///  - t-side (t stored here): the in-pair group REPS whose product
-///    component locally reaches (t, u_t) — the pairs a global match can
-///    arrive at to finish (a non-rep member's arrival implies its rep's,
-///    via the alias edge).
-/// Acceptance AT OTHER fragments (a virtual copy of t elsewhere) is not
-/// swept at all: the standing accept pair (t, u_t) covers it, added to the
-/// entry list by the coordinator.
-void EncodeRpqSweepFrame(const Fragment& f, FragmentContext* ctx,
-                         const FragmentContext::RpqProduct& p, NodeId s,
-                         NodeId t, Encoder* body) {
-  const bool s_here = f.Contains(s);
-  const bool t_here = f.Contains(t);
-  if (!s_here && !t_here) {
-    body->PutU8(0);
-    return;
-  }
-  const QueryAutomaton& a = p.automaton;
-  const Graph& g = f.local_graph();
-  const size_t num_comps = p.cond.scc.num_components;
-  constexpr uint64_t kFinalBit = uint64_t{1} << QueryAutomaton::kFinal;
-
-  // t-side piece: components whose pairs locally reach (t, u_t). The seeds
-  // are the accepting predecessors (x, q) — edge x -> t_local with u_t in
-  // out_mask(q) — i.e. the product in-edges of the (t, u_t) node that the
-  // standing product materializes only for VIRTUAL copies. An ascending
-  // scan spreads the flag (component ids are reverse topological).
-  std::vector<bool> reaches_final;
-  if (t_here) {
-    reaches_final.assign(num_comps, false);
-    const NodeId t_local = f.ToLocal(t);
-    bool any_seed = false;
-    for (NodeId x : g.InNeighbors(t_local)) {
-      uint64_t qs = p.compat[x];
-      while (qs != 0) {
-        const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
-        qs &= qs - 1;
-        if ((a.out_mask(q) >> QueryAutomaton::kFinal) & 1) {
-          reaches_final[p.CompOfPair(x, q)] = true;
-          any_seed = true;
-        }
-      }
-    }
-    if (any_seed) {
-      for (uint32_t c = 0; c < num_comps; ++c) {
-        if (reaches_final[c]) continue;
-        for (size_t e = p.cond.offsets[c];
-             e < p.cond.offsets[c + 1] && !reaches_final[c]; ++e) {
-          reaches_final[c] = reaches_final[p.cond.targets[e]];
-        }
-      }
-    }
-  }
-
-  bool local_true = false;
-  std::vector<uint32_t> s_exits;
-  if (s_here) {
-    const NodeId s_local = f.ToLocal(s);
-    // Seeds: the product out-edges of (s, u_s). A hop straight into u_t at
-    // a copy of t (single edge s -> t with epsilon in L(R)) decides the
-    // query; u_t bits at other copies are stripped — for this query those
-    // pairs are not part of the product.
-    std::vector<bool> reachable(num_comps, false);
-    bool any_seed = false;
-    const uint64_t start_mask = a.out_mask(QueryAutomaton::kStart);
-    for (NodeId w : g.OutNeighbors(s_local)) {
-      if (f.ToGlobal(w) == t && a.AcceptsEmpty()) local_true = true;
-      uint64_t qs = start_mask & p.compat[w] & ~kFinalBit;
-      while (qs != 0) {
-        const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
-        qs &= qs - 1;
-        reachable[p.CompOfPair(w, q)] = true;
-        any_seed = true;
-      }
-    }
-    if (any_seed) {
-      // Descending scan spreads the flag to all successors.
-      for (uint32_t c = static_cast<uint32_t>(num_comps); c-- > 0;) {
-        if (!reachable[c]) continue;
-        for (size_t e = p.cond.offsets[c]; e < p.cond.offsets[c + 1]; ++e) {
-          reachable[p.cond.targets[e]] = true;
-        }
-      }
-    }
-    // Acceptance via an interior path: at a virtual copy of t the accept
-    // pair (t_virtual, u_t) is a standing product node; at the local copy,
-    // any reachable component that reaches u_t closes the match.
-    const uint32_t t_idx = ctx->OsetIndexOf(t);
-    if (!local_true && t_idx != FragmentContext::kNoIndex) {
-      const NodeId t_virtual = ctx->oset_locals(f)[t_idx];
-      local_true =
-          reachable[p.CompOfPair(t_virtual, QueryAutomaton::kFinal)];
-    }
-    if (!local_true && t_here) {
-      for (uint32_t c = 0; c < num_comps && !local_true; ++c) {
-        local_true = reachable[c] && reaches_final[c];
-      }
-    }
-    if (!local_true) {
-      for (uint32_t i = 0; i < p.table_comp.size(); ++i) {
-        if (p.table_state[i] == QueryAutomaton::kFinal) continue;
-        if (reachable[p.table_comp[i]]) s_exits.push_back(i);
-      }
-    }
-  }
-  if (local_true) {
-    body->PutU8(kFrameLocalTrue);
-    return;
-  }
-
-  uint8_t flags = 0;
-  if (s_here) flags |= kFrameHasS;
-  if (t_here) flags |= kFrameHasT;
-  body->PutU8(flags);
-  if (s_here) {
-    body->PutVarint(s_exits.size());
-    uint32_t prev = 0;
-    for (uint32_t idx : s_exits) {  // ascending: delta-encode
-      body->PutVarint(idx - prev);
-      prev = idx;
-    }
-  }
-  if (t_here) {
-    std::vector<ProductPair> t_in;
-    for (size_t gi = 0; gi < p.group_rep.size(); ++gi) {
-      if (!reaches_final[p.group_comp[gi]]) continue;
-      const auto& [local, state] = p.in_pairs[p.group_rep[gi]];
-      t_in.push_back({f.ToGlobal(local), state});
-    }
-    body->PutVarint(t_in.size());
-    for (const ProductPair& pair : t_in) {
-      body->PutVarint(pair.node);
-      body->PutU8(pair.state);
-    }
-  }
+Status MalformedReply(const char* what) {
+  return Status::Corruption(std::string("transport: malformed ") + what);
 }
 
 }  // namespace
@@ -541,8 +49,8 @@ PartialEvalEngine::PartialEvalEngine(Cluster* cluster,
       contexts_(&cluster->fragmentation(),
                 std::max<size_t>(1, options.rpq_cache_entries)) {}
 
-void PartialEvalEngine::RunBatch(std::span<const Query> queries,
-                                 std::vector<QueryAnswer>* answers) {
+Status PartialEvalEngine::RunBatch(std::span<const Query> queries,
+                                   std::vector<QueryAnswer>* answers) {
   answers->resize(queries.size());
 
   // Coordinator-side answers need no site visit; everything else goes on the
@@ -580,31 +88,51 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
     any_reach |= q.kind == QueryKind::kReach;
     wire.push_back(qi);
   }
-  if (!indexed.empty()) RunBoundaryReach(queries, indexed, answers);
-  if (!indexed_dist.empty()) RunBoundaryDist(queries, indexed_dist, answers);
-  if (!indexed_rpq.empty()) RunBoundaryRpq(queries, indexed_rpq, answers);
-  if (wire.empty()) return;
+  if (!indexed.empty()) {
+    Status s = RunBoundaryReach(queries, indexed, answers);
+    if (!s.ok()) return s;
+  }
+  if (!indexed_dist.empty()) {
+    Status s = RunBoundaryDist(queries, indexed_dist, answers);
+    if (!s.ok()) return s;
+  }
+  if (!indexed_rpq.empty()) {
+    Status s = RunBoundaryRpq(queries, indexed_rpq, answers);
+    if (!s.ok()) return s;
+  }
+  if (wire.empty()) return Status::OK();
 
-  // Batched broadcast: k queries in one payload (byte accounting; the site
-  // closures read the query objects directly, as everywhere in this
-  // simulator). Regular queries dedupe their automata by canonical
-  // signature: identical regexes in one batch ship one automaton plus a
-  // per-query table reference instead of k serialized copies.
+  // Batched broadcast: k queries in one payload. This is BOTH the byte
+  // accounting and (for the shm/socket backends) the literal bytes a worker
+  // decodes; the simulated closures read the query objects directly, as
+  // everywhere in this simulator. Regular queries dedupe their automata by
+  // canonical signature: identical regexes in one batch ship one automaton
+  // plus a per-query table reference instead of k serialized copies.
   Encoder broadcast;
+  // Canonical automata in broadcast table order, plus each wire query's table
+  // slot. Sites — simulated closures and remote workers alike — evaluate the
+  // canonical automaton, so the reply bytes the model charges are exactly the
+  // bytes a worker produces from the decoded broadcast.
+  std::vector<QueryAutomaton> canon_pool;
+  std::vector<uint32_t> canon_ref(wire.size(), 0);
   {
     std::unordered_map<std::string, uint32_t> automaton_ref;
     Encoder automata;
     broadcast.PutVarint(wire.size());
-    for (size_t qi : wire) {
-      const Query& q = queries[qi];
+    for (size_t wi = 0; wi < wire.size(); ++wi) {
+      const Query& q = queries[wire[wi]];
       q.SerializeHeader(&broadcast);
       if (q.kind == QueryKind::kRpq) {
-        const CanonicalAutomaton canon = Canonicalize(*q.automaton);
+        CanonicalAutomaton canon = Canonicalize(*q.automaton);
         const auto [it, inserted] = automaton_ref.emplace(
             canon.signature.key,
             static_cast<uint32_t>(automaton_ref.size()));
-        if (inserted) canon.automaton.Serialize(&automata);
+        if (inserted) {
+          canon.automaton.Serialize(&automata);
+          canon_pool.push_back(std::move(canon.automaton));
+        }
         broadcast.PutVarint(it->second);
+        canon_ref[wi] = it->second;
       }
     }
     broadcast.PutVarint(automaton_ref.size());
@@ -615,9 +143,14 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
   // visit and multiplexes the partial answers into one reply — shared oset
   // table first (reach frames reference it), then one frame per query.
   const EquationForm form = options_.form;
-  const std::vector<std::vector<uint8_t>> replies = cluster_->RoundAll(
-      broadcast.size(),
-      [this, queries, &wire, any_reach, form](const Fragment& f) {
+  RoundSpec spec;
+  spec.kind = RoundKind::kBatchEval;
+  spec.aux = static_cast<uint8_t>(form);
+  spec.accounted_broadcast_bytes = broadcast.size();
+  spec.broadcast = broadcast.TakeBuffer();
+  Result<std::vector<std::vector<uint8_t>>> round = cluster_->TryRoundAll(
+      spec, [this, queries, &wire, &canon_pool, &canon_ref, any_reach,
+             form](const Fragment& f) {
         FragmentContext& ctx = contexts_.Get(f.site());
         Encoder reply;
         reply.PutVarint(f.site());
@@ -626,8 +159,8 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
           reply.PutVarint(shared.size());
           for (NodeId g : shared) reply.PutVarint(g);
         }
-        for (size_t qi : wire) {
-          const Query& q = queries[qi];
+        for (size_t wi = 0; wi < wire.size(); ++wi) {
+          const Query& q = queries[wire[wi]];
           Encoder body;
           switch (q.kind) {
             case QueryKind::kReach: {
@@ -645,8 +178,8 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
               LocalEvalDist(f, q.source, q.target, q.bound).Serialize(&body);
               break;
             case QueryKind::kRpq:
-              LocalEvalRegular(f, *q.automaton, q.source, q.target, form,
-                               &ctx.label_index(f))
+              LocalEvalRegular(f, canon_pool[canon_ref[wi]], q.source,
+                               q.target, form, &ctx.label_index(f))
                   .Serialize(&body);
               break;
           }
@@ -654,6 +187,8 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
         }
         return reply.TakeBuffer();
       });
+  if (!round.ok()) return round.status();
+  const std::vector<std::vector<uint8_t>>& replies = round.value();
 
   // Demultiplex: split every site reply into its shared oset table and one
   // frame decoder per query (frames view the reply buffers, no copies).
@@ -662,7 +197,7 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
   std::vector<std::vector<NodeId>> reply_oset(replies.size());
   std::vector<std::vector<Decoder>> frames(replies.size());
   for (size_t ri = 0; ri < replies.size(); ++ri) {
-    Decoder dec(replies[ri]);
+    Decoder dec(replies[ri], Decoder::OnError::kStatus);
     reply_site[ri] = static_cast<SiteId>(dec.GetVarint());
     if (any_reach) {
       reply_oset[ri].resize(dec.GetCount());
@@ -672,7 +207,9 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
     for (size_t wi = 0; wi < wire.size(); ++wi) {
       frames[ri].push_back(dec.GetFrame());
     }
-    PEREACH_CHECK(dec.Done() && "malformed site reply payload");
+    if (!dec.Done() || reply_site[ri] >= replies.size()) {
+      return MalformedReply("site reply payload");
+    }
   }
 
   // Assemble and solve one query at a time (evalDG / evalDGd / evalDGr), so
@@ -684,8 +221,9 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
       DistanceEquationSystem dist;
       for (size_t ri = 0; ri < replies.size(); ++ri) {
         Decoder& frame = frames[ri][wi];
-        DistPartialAnswer::Deserialize(&frame).AddToSystem(&dist);
-        PEREACH_CHECK(frame.Done() && "malformed site reply frame");
+        DistPartialAnswer pa = DistPartialAnswer::Deserialize(&frame);
+        if (!frame.Done()) return MalformedReply("site reply frame");
+        pa.AddToSystem(&dist);
       }
       answer.distance = dist.Evaluate(q.source);
       answer.reachable =
@@ -696,12 +234,15 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
     for (size_t ri = 0; ri < replies.size(); ++ri) {
       Decoder& frame = frames[ri][wi];
       if (q.kind == QueryKind::kReach) {
-        ReachPartialAnswer::DeserializeBody(&frame, reply_site[ri])
-            .AddToBes(reply_oset[ri], &bes);
+        ReachPartialAnswer pa =
+            ReachPartialAnswer::DeserializeBody(&frame, reply_site[ri]);
+        if (!frame.Done()) return MalformedReply("site reply frame");
+        pa.AddToBes(reply_oset[ri], &bes);
       } else {
-        RegularPartialAnswer::Deserialize(&frame).AddToBes(&bes);
+        RegularPartialAnswer pa = RegularPartialAnswer::Deserialize(&frame);
+        if (!frame.Done()) return MalformedReply("site reply frame");
+        pa.AddToBes(&bes);
       }
-      PEREACH_CHECK(frame.Done() && "malformed site reply frame");
     }
     answer.reachable =
         q.kind == QueryKind::kReach
@@ -709,11 +250,12 @@ void PartialEvalEngine::RunBatch(std::span<const Query> queries,
             : bes.Evaluate(PackNodeState(q.source, QueryAutomaton::kStart));
   }
   cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
+  return Status::OK();
 }
 
-void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
-                                         const std::vector<size_t>& wire,
-                                         std::vector<QueryAnswer>* answers) {
+Status PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
+                                           const std::vector<size_t>& wire,
+                                           std::vector<QueryAnswer>* answers) {
   const Fragmentation& frag = cluster_->fragmentation();
   if (boundary_ == nullptr) {
     boundary_ = std::make_unique<BoundaryReachIndex>(frag.num_fragments(),
@@ -724,20 +266,28 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
   // them on first use; exactly the update-touched ones afterwards — the
   // InvalidateFragment path marks them) and rebuild the small condensation
   // + labels at the coordinator. Amortized across every later reach batch
-  // until the next update.
+  // until the next update. A fragment's rows are only installed once its
+  // reply decoded cleanly, so a failed refresh leaves the site dirty and
+  // the next batch re-fetches.
   const std::vector<SiteId> dirty = boundary_->DirtySites();
   if (!dirty.empty()) {
-    const std::vector<std::vector<uint8_t>> rows_replies = cluster_->Round(
-        dirty, /*broadcast_bytes=*/1, [this](const Fragment& f) {
+    RoundSpec spec;
+    spec.kind = RoundKind::kReachRows;
+    spec.accounted_broadcast_bytes = 1;  // the "please send rows" byte
+    Result<std::vector<std::vector<uint8_t>>> round =
+        cluster_->TryRound(dirty, spec, [this](const Fragment& f) {
           Encoder reply;
           BuildBoundaryRows(f, &contexts_.Get(f.site())).Serialize(&reply);
           return reply.TakeBuffer();
         });
+    if (!round.ok()) return round.status();
+    const std::vector<std::vector<uint8_t>>& rows_replies = round.value();
     StopWatch build_watch;
     for (size_t i = 0; i < dirty.size(); ++i) {
-      Decoder dec(rows_replies[i]);
-      boundary_->SetFragmentRows(dirty[i], BoundaryRows::Deserialize(&dec));
-      PEREACH_CHECK(dec.Done() && "malformed boundary rows payload");
+      Decoder dec(rows_replies[i], Decoder::OnError::kStatus);
+      BoundaryRows rows = BoundaryRows::Deserialize(&dec);
+      if (!dec.Done()) return MalformedReply("boundary rows payload");
+      boundary_->SetFragmentRows(dirty[i], std::move(rows));
     }
     boundary_->Ensure();
     cluster_->AddCoordinatorWorkMs(build_watch.ElapsedMs());
@@ -760,8 +310,12 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
   broadcast.PutVarint(wire.size());
   for (size_t qi : wire) queries[qi].Serialize(&broadcast);
 
-  const std::vector<std::vector<uint8_t>> replies = cluster_->Round(
-      sites, broadcast.size(), [this, queries, &wire](const Fragment& f) {
+  RoundSpec spec;
+  spec.kind = RoundKind::kReachSweep;
+  spec.accounted_broadcast_bytes = broadcast.size();
+  spec.broadcast = broadcast.TakeBuffer();
+  Result<std::vector<std::vector<uint8_t>>> round = cluster_->TryRound(
+      sites, spec, [this, queries, &wire](const Fragment& f) {
         FragmentContext& ctx = contexts_.Get(f.site());
         Encoder reply;
         for (size_t qi : wire) {
@@ -772,6 +326,8 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
         }
         return reply.TakeBuffer();
       });
+  if (!round.ok()) return round.status();
+  const std::vector<std::vector<uint8_t>>& replies = round.value();
 
   // Assemble: per query, splice the s-side exits onto the t-side arrivals
   // through the boundary label — no equation system is ever built.
@@ -783,12 +339,12 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
   }
   std::vector<std::vector<Decoder>> frames(replies.size());
   for (size_t ri = 0; ri < replies.size(); ++ri) {
-    Decoder dec(replies[ri]);
+    Decoder dec(replies[ri], Decoder::OnError::kStatus);
     frames[ri].reserve(wire.size());
     for (size_t wi = 0; wi < wire.size(); ++wi) {
       frames[ri].push_back(dec.GetFrame());
     }
-    PEREACH_CHECK(dec.Done() && "malformed boundary sweep reply");
+    if (!dec.Done()) return MalformedReply("boundary sweep reply");
   }
 
   // Decode every query's frames into flat endpoint storage first (spans are
@@ -815,7 +371,7 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
       answer.reachable = true;
       continue;
     }
-    PEREACH_CHECK(s_flags & kFrameHasS);
+    if (!(s_flags & kFrameHasS)) return MalformedReply("boundary sweep frame");
     PendingQuestion p;
     p.wi = wi;
     p.s_off = nodes.size();
@@ -823,7 +379,7 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
     uint32_t prev = 0;
     for (size_t n = s_frame.GetCount(); n > 0; --n) {
       prev += static_cast<uint32_t>(s_frame.GetVarint());
-      PEREACH_CHECK_LT(prev, oset.size());
+      if (prev >= oset.size()) return MalformedReply("boundary sweep frame");
       nodes.push_back(oset[prev]);
     }
     p.s_len = nodes.size() - p.s_off;
@@ -831,12 +387,15 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
     Decoder& t_frame = frames[site_reply[t_site]][wi];
     uint8_t t_flags = s_flags;
     if (t_site != s_site) t_flags = t_frame.GetU8();
-    PEREACH_CHECK(t_flags & kFrameHasT);
+    if (!(t_flags & kFrameHasT)) return MalformedReply("boundary sweep frame");
     p.t_off = nodes.size();
     for (size_t n = t_frame.GetCount(); n > 0; --n) {
       nodes.push_back(static_cast<NodeId>(t_frame.GetVarint()));
     }
     p.t_len = nodes.size() - p.t_off;
+    if (!s_frame.ok() || !t_frame.ok()) {
+      return MalformedReply("boundary sweep frame");
+    }
     pending.push_back(p);
   }
 
@@ -859,11 +418,12 @@ void PartialEvalEngine::RunBoundaryReach(std::span<const Query> queries,
     }
   }
   cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
+  return Status::OK();
 }
 
-void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
-                                        const std::vector<size_t>& wire,
-                                        std::vector<QueryAnswer>* answers) {
+Status PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
+                                          const std::vector<size_t>& wire,
+                                          std::vector<QueryAnswer>* answers) {
   const Fragmentation& frag = cluster_->fragmentation();
   if (boundary_dist_ == nullptr) {
     boundary_dist_ = std::make_unique<BoundaryDistIndex>(frag.num_fragments());
@@ -874,19 +434,24 @@ void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
   // every later dist batch until the next update.
   const std::vector<SiteId> dirty = boundary_dist_->DirtySites();
   if (!dirty.empty()) {
-    const std::vector<std::vector<uint8_t>> rows_replies = cluster_->Round(
-        dirty, /*broadcast_bytes=*/1, [this](const Fragment& f) {
+    RoundSpec spec;
+    spec.kind = RoundKind::kDistRows;
+    spec.accounted_broadcast_bytes = 1;  // the "please send rows" byte
+    Result<std::vector<std::vector<uint8_t>>> round =
+        cluster_->TryRound(dirty, spec, [this](const Fragment& f) {
           Encoder reply;
           BuildWeightedBoundaryRows(f, &contexts_.Get(f.site()))
               .Serialize(&reply);
           return reply.TakeBuffer();
         });
+    if (!round.ok()) return round.status();
+    const std::vector<std::vector<uint8_t>>& rows_replies = round.value();
     StopWatch build_watch;
     for (size_t i = 0; i < dirty.size(); ++i) {
-      Decoder dec(rows_replies[i]);
-      boundary_dist_->SetFragmentRows(
-          dirty[i], WeightedBoundaryRows::Deserialize(&dec));
-      PEREACH_CHECK(dec.Done() && "malformed weighted boundary rows payload");
+      Decoder dec(rows_replies[i], Decoder::OnError::kStatus);
+      WeightedBoundaryRows rows = WeightedBoundaryRows::Deserialize(&dec);
+      if (!dec.Done()) return MalformedReply("weighted boundary rows payload");
+      boundary_dist_->SetFragmentRows(dirty[i], std::move(rows));
     }
     boundary_dist_->Ensure();
     cluster_->AddCoordinatorWorkMs(build_watch.ElapsedMs());
@@ -910,8 +475,12 @@ void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
   broadcast.PutVarint(wire.size());
   for (size_t qi : wire) queries[qi].Serialize(&broadcast);
 
-  const std::vector<std::vector<uint8_t>> replies = cluster_->Round(
-      sites, broadcast.size(), [this, queries, &wire](const Fragment& f) {
+  RoundSpec spec;
+  spec.kind = RoundKind::kDistSweep;
+  spec.accounted_broadcast_bytes = broadcast.size();
+  spec.broadcast = broadcast.TakeBuffer();
+  Result<std::vector<std::vector<uint8_t>>> round = cluster_->TryRound(
+      sites, spec, [this, queries, &wire](const Fragment& f) {
         FragmentContext& ctx = contexts_.Get(f.site());
         Encoder reply;
         for (size_t qi : wire) {
@@ -922,6 +491,8 @@ void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
         }
         return reply.TakeBuffer();
       });
+  if (!round.ok()) return round.status();
+  const std::vector<std::vector<uint8_t>>& replies = round.value();
 
   // Assemble: per query, splice the s-side exit distances onto the t-side
   // entry distances through one bidirectional Dijkstra over the standing
@@ -935,12 +506,12 @@ void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
   }
   std::vector<std::vector<Decoder>> frames(replies.size());
   for (size_t ri = 0; ri < replies.size(); ++ri) {
-    Decoder dec(replies[ri]);
+    Decoder dec(replies[ri], Decoder::OnError::kStatus);
     frames[ri].reserve(wire.size());
     for (size_t wi = 0; wi < wire.size(); ++wi) {
       frames[ri].push_back(dec.GetFrame());
     }
-    PEREACH_CHECK(dec.Done() && "malformed dist sweep reply");
+    if (!dec.Done()) return MalformedReply("dist sweep reply");
   }
 
   std::vector<BoundaryDistIndex::Seed> s_out;
@@ -953,7 +524,7 @@ void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
 
     Decoder& s_frame = frames[site_reply[s_site]][wi];
     const uint8_t s_flags = s_frame.GetU8();
-    PEREACH_CHECK(s_flags & kFrameHasS);
+    if (!(s_flags & kFrameHasS)) return MalformedReply("dist sweep frame");
     uint64_t local_dist = kInfWeight;
     if (s_flags & kFrameHasLocalDist) local_dist = s_frame.GetVarint();
     s_out.clear();
@@ -961,18 +532,21 @@ void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
     uint32_t prev = 0;
     for (size_t n = s_frame.GetCount(2); n > 0; --n) {
       prev += static_cast<uint32_t>(s_frame.GetVarint());
-      PEREACH_CHECK_LT(prev, oset.size());
+      if (prev >= oset.size()) return MalformedReply("dist sweep frame");
       s_out.push_back({oset[prev], s_frame.GetVarint()});
     }
 
     Decoder& t_frame = frames[site_reply[t_site]][wi];
     uint8_t t_flags = s_flags;
     if (t_site != s_site) t_flags = t_frame.GetU8();
-    PEREACH_CHECK(t_flags & kFrameHasT);
+    if (!(t_flags & kFrameHasT)) return MalformedReply("dist sweep frame");
     t_in.clear();
     for (size_t n = t_frame.GetCount(2); n > 0; --n) {
       const NodeId global = static_cast<NodeId>(t_frame.GetVarint());
       t_in.push_back({global, t_frame.GetVarint()});
+    }
+    if (!s_frame.ok() || !t_frame.ok()) {
+      return MalformedReply("dist sweep frame");
     }
 
     answer.distance = std::min(
@@ -981,11 +555,12 @@ void PartialEvalEngine::RunBoundaryDist(std::span<const Query> queries,
         answer.distance != kInfWeight && answer.distance <= q.bound;
   }
   cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
+  return Status::OK();
 }
 
-void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
-                                       const std::vector<size_t>& wire,
-                                       std::vector<QueryAnswer>* answers) {
+Status PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
+                                         const std::vector<size_t>& wire,
+                                         std::vector<QueryAnswer>* answers) {
   const Fragmentation& frag = cluster_->fragmentation();
   if (boundary_rpq_ == nullptr) {
     boundary_rpq_ = std::make_unique<BoundaryRpqIndex>(
@@ -1045,9 +620,12 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
       if (!site_sigs[site].empty()) refresh_sites.push_back(site);
     }
     if (!refresh_sites.empty()) {
-      const std::vector<std::vector<uint8_t>> rows_replies = cluster_->Round(
-          refresh_sites, refresh_broadcast.size(),
-          [this, &sigs, &site_sigs](const Fragment& f) {
+      RoundSpec spec;
+      spec.kind = RoundKind::kRpqRows;
+      spec.accounted_broadcast_bytes = refresh_broadcast.size();
+      spec.broadcast = refresh_broadcast.TakeBuffer();
+      Result<std::vector<std::vector<uint8_t>>> round = cluster_->TryRound(
+          refresh_sites, spec, [this, &sigs, &site_sigs](const Fragment& f) {
             FragmentContext& ctx = contexts_.Get(f.site());
             ctx.BeginRpqRound();
             Encoder reply;
@@ -1060,16 +638,18 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
             }
             return reply.TakeBuffer();
           });
+      if (!round.ok()) return round.status();
+      const std::vector<std::vector<uint8_t>>& rows_replies = round.value();
       StopWatch build_watch;
       for (size_t ri = 0; ri < refresh_sites.size(); ++ri) {
-        Decoder dec(rows_replies[ri]);
+        Decoder dec(rows_replies[ri], Decoder::OnError::kStatus);
         for (uint32_t si : site_sigs[refresh_sites[ri]]) {
           Decoder frame = dec.GetFrame();
-          sigs[si].entry->SetFragmentRows(
-              refresh_sites[ri], ProductBoundaryRows::Deserialize(&frame));
-          PEREACH_CHECK(frame.Done() && "malformed product rows frame");
+          ProductBoundaryRows rows = ProductBoundaryRows::Deserialize(&frame);
+          if (!frame.Done()) return MalformedReply("product rows frame");
+          sigs[si].entry->SetFragmentRows(refresh_sites[ri], std::move(rows));
         }
-        PEREACH_CHECK(dec.Done() && "malformed product rows payload");
+        if (!dec.Done()) return MalformedReply("product rows payload");
       }
       for (SigGroup& sig : sigs) sig.entry->Ensure();
       cluster_->AddCoordinatorWorkMs(build_watch.ElapsedMs());
@@ -1101,8 +681,12 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
     broadcast.PutVarint(query_sig[wi]);
   }
 
-  const std::vector<std::vector<uint8_t>> replies = cluster_->Round(
-      sites, broadcast.size(),
+  RoundSpec spec;
+  spec.kind = RoundKind::kRpqSweep;
+  spec.accounted_broadcast_bytes = broadcast.size();
+  spec.broadcast = broadcast.TakeBuffer();
+  Result<std::vector<std::vector<uint8_t>>> round = cluster_->TryRound(
+      sites, spec,
       [this, queries, &wire, &sigs, &query_sig](const Fragment& f) {
         FragmentContext& ctx = contexts_.Get(f.site());
         ctx.BeginRpqRound();
@@ -1122,6 +706,8 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
         }
         return reply.TakeBuffer();
       });
+  if (!round.ok()) return round.status();
+  const std::vector<std::vector<uint8_t>>& replies = round.value();
 
   // Assemble: per query, splice the s-side exit pairs onto the t-side
   // accepting entries (plus the standing accept pair (t, u_t), which covers
@@ -1135,12 +721,12 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
   }
   std::vector<std::vector<Decoder>> frames(replies.size());
   for (size_t ri = 0; ri < replies.size(); ++ri) {
-    Decoder dec(replies[ri]);
+    Decoder dec(replies[ri], Decoder::OnError::kStatus);
     frames[ri].reserve(wire.size());
     for (size_t wi = 0; wi < wire.size(); ++wi) {
       frames[ri].push_back(dec.GetFrame());
     }
-    PEREACH_CHECK(dec.Done() && "malformed product sweep reply");
+    if (!dec.Done()) return MalformedReply("product sweep reply");
   }
 
   // Decode every query's frames into flat pair storage first (spans are
@@ -1168,7 +754,7 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
       answer.reachable = true;
       continue;
     }
-    PEREACH_CHECK(s_flags & kFrameHasS);
+    if (!(s_flags & kFrameHasS)) return MalformedReply("product sweep frame");
     PendingQuestion p;
     p.wi = wi;
     p.s_off = pairs.size();
@@ -1176,7 +762,7 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
     uint32_t prev = 0;
     for (size_t n = s_frame.GetCount(); n > 0; --n) {
       prev += static_cast<uint32_t>(s_frame.GetVarint());
-      PEREACH_CHECK_LT(prev, table_size);
+      if (prev >= table_size) return MalformedReply("product sweep frame");
       pairs.push_back(entry.TablePair(s_site, prev));
     }
     p.s_len = pairs.size() - p.s_off;
@@ -1184,11 +770,14 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
     Decoder& t_frame = frames[site_reply[t_site]][wi];
     uint8_t t_flags = s_flags;
     if (t_site != s_site) t_flags = t_frame.GetU8();
-    PEREACH_CHECK(t_flags & kFrameHasT);
+    if (!(t_flags & kFrameHasT)) return MalformedReply("product sweep frame");
     p.t_off = pairs.size();
     for (size_t n = t_frame.GetCount(2); n > 0; --n) {
       const NodeId global = static_cast<NodeId>(t_frame.GetVarint());
       pairs.push_back({global, t_frame.GetU8()});
+    }
+    if (!s_frame.ok() || !t_frame.ok()) {
+      return MalformedReply("product sweep frame");
     }
     // The standing accept pair (t, u_t): acceptance at any fragment holding
     // a virtual copy of t routes through it. Absent exactly when t has no
@@ -1227,6 +816,7 @@ void PartialEvalEngine::RunBoundaryRpq(std::span<const Query> queries,
     }
   }
   cluster_->AddCoordinatorWorkMs(assemble_watch.ElapsedMs());
+  return Status::OK();
 }
 
 }  // namespace pereach

@@ -150,24 +150,25 @@ class PartialEvalEngine : public QueryEngine {
   }
 
  protected:
-  void RunBatch(std::span<const Query> queries,
-                std::vector<QueryAnswer>* answers) override;
+  Status RunBatch(std::span<const Query> queries,
+                  std::vector<QueryAnswer>* answers) override;
 
  private:
   /// Answers the reach queries `wire` (indices into `queries`) through the
   /// boundary index: one refresh round for dirty fragments if needed, one
   /// sweep round over the endpoint fragments, label lookups to assemble.
-  void RunBoundaryReach(std::span<const Query> queries,
-                        const std::vector<size_t>& wire,
-                        std::vector<QueryAnswer>* answers);
+  /// Like RunBatch, a non-OK return is a serving-transport failure.
+  Status RunBoundaryReach(std::span<const Query> queries,
+                          const std::vector<size_t>& wire,
+                          std::vector<QueryAnswer>* answers);
 
   /// Answers the dist queries `wire` (indices into `queries`) through the
   /// weighted boundary index: one refresh round for dirty fragments if
   /// needed, one sweep round over the endpoint fragments, one bidirectional
   /// Dijkstra per query over the standing graph.
-  void RunBoundaryDist(std::span<const Query> queries,
-                       const std::vector<size_t>& wire,
-                       std::vector<QueryAnswer>* answers);
+  Status RunBoundaryDist(std::span<const Query> queries,
+                         const std::vector<size_t>& wire,
+                         std::vector<QueryAnswer>* answers);
 
   /// Answers the rpq queries `wire` (indices into `queries`) through the
   /// signature-keyed product boundary index: one combined refresh round for
@@ -175,9 +176,9 @@ class PartialEvalEngine : public QueryEngine {
   /// round over the endpoint fragments (the batch's distinct automata cross
   /// the wire once each), label lookups over the standing product graphs to
   /// assemble.
-  void RunBoundaryRpq(std::span<const Query> queries,
-                      const std::vector<size_t>& wire,
-                      std::vector<QueryAnswer>* answers);
+  Status RunBoundaryRpq(std::span<const Query> queries,
+                        const std::vector<size_t>& wire,
+                        std::vector<QueryAnswer>* answers);
 
   PartialEvalOptions options_;
   FragmentContextCache contexts_;

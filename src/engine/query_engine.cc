@@ -4,6 +4,8 @@ namespace pereach {
 
 QueryAnswer QueryEngine::Evaluate(const Query& query) {
   BatchAnswer batch = EvaluateBatch(std::span<const Query>(&query, 1));
+  PEREACH_CHECK(batch.status.ok() &&
+                "single-query Evaluate over a failed transport round");
   QueryAnswer answer = std::move(batch.answers[0]);
   answer.metrics = std::move(batch.metrics);
   return answer;
@@ -13,12 +15,16 @@ BatchAnswer QueryEngine::EvaluateBatch(std::span<const Query> queries) {
   BatchAnswer batch;
   batch.answers.reserve(queries.size());
   cluster_->BeginQuery();
-  RunBatch(queries, &batch.answers);
+  batch.status = RunBatch(queries, &batch.answers);
   cluster_->SetQueriesServed(queries.size());
-  // Take the metrics from this thread's own window (not cluster_->metrics())
-  // so engines on different threads can batch over one cluster concurrently.
+  // Take the metrics from this thread's own window (the only way to read
+  // it) so engines on different threads can batch over one cluster
+  // concurrently. A failed batch still closes and returns its window — the
+  // rounds that did complete were real cost.
   batch.metrics = cluster_->EndQuery();
-  PEREACH_CHECK_EQ(batch.answers.size(), queries.size());
+  if (batch.status.ok()) {
+    PEREACH_CHECK_EQ(batch.answers.size(), queries.size());
+  }
   return batch;
 }
 

@@ -100,7 +100,13 @@ struct Query {
 /// Result of one batch run: per-query answers plus the cost of the whole
 /// batch. Per-query metrics are not separable once replies are multiplexed
 /// into one wire payload, so each answer's own metrics field is left empty.
+/// `status` is non-OK when the batch could not be evaluated — a serving
+/// transport failure (dead worker, expired deadline, corrupt frame) fails
+/// the WHOLE batch, since its queries were multiplexed into the failed
+/// round; `answers` must not be read then. The simulated backend never
+/// fails.
 struct BatchAnswer {
+  Status status;
   std::vector<QueryAnswer> answers;
   RunMetrics metrics;
 };
@@ -136,9 +142,12 @@ class QueryEngine {
 
  protected:
   /// Runs the batch inside an open BeginQuery/EndQuery window, appending one
-  /// answer per query (metrics left default) to `answers`.
-  virtual void RunBatch(std::span<const Query> queries,
-                        std::vector<QueryAnswer>* answers) = 0;
+  /// answer per query (metrics left default) to `answers`. A non-OK return
+  /// means the serving transport failed mid-batch; `answers` contents are
+  /// unspecified then (the window is still closed and charged by
+  /// EvaluateBatch).
+  virtual Status RunBatch(std::span<const Query> queries,
+                          std::vector<QueryAnswer>* answers) = 0;
 
   Cluster* cluster_;
 };

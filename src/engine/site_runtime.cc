@@ -1,0 +1,689 @@
+#include "src/engine/site_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/engine/query_engine.h"
+#include "src/regex/canonical.h"
+
+namespace pereach {
+
+ReachPartialAnswer RebaseOntoSharedOset(ReachPartialAnswer pa,
+                                        const FragmentContext& ctx) {
+  for (ReachPartialAnswer::Equation& eq : pa.equations) {
+    for (uint32_t& dep : eq.deps) {
+      const uint32_t idx = ctx.OsetIndexOf(pa.oset_globals[dep]);
+      PEREACH_CHECK_NE(idx, FragmentContext::kNoIndex);
+      dep = idx;
+    }
+    // The remap is order-preserving (a possible local-t entry at index 0 of
+    // the query table is never a dep, and both tables list virtual nodes in
+    // ascending local-id order), so no re-sort is needed.
+    PEREACH_CHECK(std::is_sorted(eq.deps.begin(), eq.deps.end()));
+  }
+  pa.oset_globals.clear();
+  return pa;
+}
+
+/// The two query-dependent condensation sweeps every cached-rows reach path
+/// (BES closure frames and boundary-index frames) is built from. Both rely
+/// on component ids being reverse topological: every edge goes to a smaller
+/// id.
+
+std::vector<bool> ComponentsReaching(const Condensation& cond,
+                                     uint32_t t_comp) {
+  std::vector<bool> reaches(cond.scc.num_components, false);
+  reaches[t_comp] = true;
+  for (uint32_t c = t_comp + 1; c < cond.scc.num_components; ++c) {
+    bool r = false;
+    for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1] && !r; ++e) {
+      r = reaches[cond.targets[e]];
+    }
+    reaches[c] = r;
+  }
+  return reaches;
+}
+
+std::vector<bool> ComponentsReachableFrom(const Condensation& cond,
+                                          uint32_t s_comp) {
+  std::vector<bool> reachable(cond.scc.num_components, false);
+  reachable[s_comp] = true;
+  for (uint32_t c = s_comp + 1; c-- > 0;) {
+    if (!reachable[c]) continue;
+    for (size_t e = cond.offsets[c]; e < cond.offsets[c + 1]; ++e) {
+      reachable[cond.targets[e]] = true;
+    }
+  }
+  return reachable;
+}
+
+ReachPartialAnswer ReachFromCachedRows(const Fragment& f, FragmentContext* ctx,
+                                       NodeId s, NodeId t) {
+  const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
+  const Condensation& cond = ctx->cond(f);
+  const std::vector<uint32_t>& oset_comp = ctx->oset_comp(f);
+
+  ReachPartialAnswer pa;
+  pa.site = f.site();
+
+  // t-side query-dependent piece: which components reach t locally (only
+  // meaningful when t is stored here; a virtual copy of t is an oset entry).
+  const uint32_t t_idx = ctx->OsetIndexOf(t);
+  const bool t_local = f.Contains(t);
+  uint32_t t_comp = 0;
+  std::vector<bool> reaches_t;
+  if (t_local) {
+    t_comp = cond.scc.component_of[f.ToLocal(t)];
+    reaches_t = ComponentsReaching(cond, t_comp);
+  }
+
+  pa.equations.reserve(rows.group_rep.size() + 1);
+  for (size_t g = 0; g < rows.group_rep.size(); ++g) {
+    ReachPartialAnswer::Equation eq;
+    eq.var = f.ToGlobal(rows.group_rep[g]);
+    eq.has_true = t_local && reaches_t[rows.group_comp[g]];
+    eq.deps.reserve(rows.rows[g].size());
+    for (uint32_t idx : rows.rows[g]) {
+      if (idx == t_idx) {
+        eq.has_true = true;  // reaching the virtual copy of t answers q
+      } else {
+        eq.deps.push_back(idx);
+      }
+    }
+    pa.equations.push_back(std::move(eq));
+  }
+  for (size_t i = 0; i < rows.in_group.size(); ++i) {
+    const NodeId in = f.in_nodes()[i];
+    const uint32_t g = rows.in_group[i];
+    if (rows.group_rep[g] == in) continue;
+    pa.aliases.push_back({/*rep_is_aux=*/false, f.ToGlobal(in),
+                          f.ToGlobal(rows.group_rep[g])});
+  }
+
+  // s-side query-dependent piece: s's own equation when s is stored here and
+  // is not already covered by an in-node group.
+  if (f.Contains(s)) {
+    const NodeId local_s = f.ToLocal(s);
+    if (!std::binary_search(f.in_nodes().begin(), f.in_nodes().end(),
+                            local_s)) {
+      const std::vector<bool> reachable =
+          ComponentsReachableFrom(cond, cond.scc.component_of[local_s]);
+      ReachPartialAnswer::Equation eq;
+      eq.var = s;
+      eq.has_true = t_local && reachable[t_comp];
+      for (uint32_t j = 0; j < oset_comp.size(); ++j) {
+        if (!reachable[oset_comp[j]]) continue;
+        if (j == t_idx) {
+          eq.has_true = true;
+        } else {
+          eq.deps.push_back(j);
+        }
+      }
+      pa.equations.push_back(std::move(eq));
+    }
+  }
+  return pa;
+}
+
+BoundaryRows BuildBoundaryRows(const Fragment& f, FragmentContext* ctx) {
+  const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
+  BoundaryRows out;
+  out.oset_globals = ctx->oset_globals(f);
+  out.rep_globals.reserve(rows.group_rep.size());
+  for (NodeId rep : rows.group_rep) out.rep_globals.push_back(f.ToGlobal(rep));
+  out.rows = rows.rows;
+  for (size_t i = 0; i < rows.in_group.size(); ++i) {
+    const NodeId in = f.in_nodes()[i];
+    const NodeId rep = rows.group_rep[rows.in_group[i]];
+    if (rep == in) continue;
+    out.aliases.emplace_back(f.ToGlobal(in), f.ToGlobal(rep));
+  }
+  return out;
+}
+
+WeightedBoundaryRows BuildWeightedBoundaryRows(const Fragment& f,
+                                               FragmentContext* ctx) {
+  const FragmentContext::DistRows& rows = ctx->dist_rows(f);
+  WeightedBoundaryRows out;
+  out.oset_globals = ctx->oset_globals(f);
+  out.rep_globals.reserve(rows.group_rep.size());
+  for (NodeId rep : rows.group_rep) out.rep_globals.push_back(f.ToGlobal(rep));
+  out.rows = rows.rows;
+  for (size_t i = 0; i < rows.in_group.size(); ++i) {
+    const NodeId in = f.in_nodes()[i];
+    const NodeId rep = rows.group_rep[rows.in_group[i]];
+    if (rep == in) continue;
+    out.aliases.emplace_back(f.ToGlobal(in), f.ToGlobal(rep));
+  }
+  return out;
+}
+
+ProductBoundaryRows BuildProductBoundaryRows(
+    const Fragment& f, FragmentContext* ctx, const std::string& signature_key,
+    const QueryAutomaton& canonical) {
+  const FragmentContext::RpqProduct& p =
+      ctx->rpq_product(f, signature_key, canonical);
+  const std::vector<NodeId>& oset_locals = ctx->oset_locals(f);
+  ProductBoundaryRows out;
+  out.oset_globals = ctx->oset_globals(f);
+  out.oset_masks.reserve(oset_locals.size());
+  for (NodeId w : oset_locals) out.oset_masks.push_back(p.compat[w]);
+  out.rep_pairs.reserve(p.group_rep.size());
+  for (uint32_t rep : p.group_rep) {
+    out.rep_pairs.push_back(
+        {f.ToGlobal(p.in_pairs[rep].first), p.in_pairs[rep].second});
+  }
+  out.rows = p.rows;
+  for (size_t i = 0; i < p.in_pairs.size(); ++i) {
+    const uint32_t g = p.in_group[i];
+    if (p.group_rep[g] == i) continue;
+    out.aliases.push_back(
+        {{f.ToGlobal(p.in_pairs[i].first), p.in_pairs[i].second}, g});
+  }
+  return out;
+}
+
+void EncodeDistSweepFrame(const Fragment& f, FragmentContext* ctx, NodeId s,
+                          NodeId t, uint32_t bound, Encoder* body) {
+  const bool s_here = f.Contains(s);
+  const bool t_here = f.Contains(t);
+  if (!s_here && !t_here) {
+    body->PutU8(0);
+    return;
+  }
+
+  uint64_t local_dist = kInfWeight;
+  std::vector<std::pair<uint32_t, uint32_t>> s_out;
+  if (s_here) {
+    // One bounded sweep from s over the oset plus t's local copy; a virtual
+    // copy of t folds into the short-circuit by global id, like localEvald's
+    // base column.
+    const std::vector<NodeId>& oset_locals = ctx->oset_locals(f);
+    const std::vector<NodeId>& oset_globals = ctx->oset_globals(f);
+    std::vector<NodeId> targets = oset_locals;
+    if (t_here) targets.push_back(f.ToLocal(t));
+    const std::vector<NodeId> source = {f.ToLocal(s)};
+    ForEachBoundedDistance(
+        f.local_graph(), source, targets, bound, /*block_bits=*/256,
+        [&](uint32_t, uint32_t ti, uint32_t hops) {
+          if (ti >= oset_globals.size() || oset_globals[ti] == t) {
+            local_dist = std::min<uint64_t>(local_dist, hops);
+          } else {
+            s_out.emplace_back(ti, hops);
+          }
+        });
+    std::sort(s_out.begin(), s_out.end());
+  }
+
+  std::vector<std::pair<NodeId, uint32_t>> t_in;
+  if (t_here) {
+    const std::vector<NodeId> target = {f.ToLocal(t)};
+    ForEachBoundedDistance(
+        f.local_graph(), f.in_nodes(), target, bound, /*block_bits=*/64,
+        [&](uint32_t in_idx, uint32_t, uint32_t hops) {
+          t_in.emplace_back(f.ToGlobal(f.in_nodes()[in_idx]), hops);
+        });
+  }
+
+  uint8_t flags = 0;
+  if (s_here) flags |= kFrameHasS;
+  if (t_here) flags |= kFrameHasT;
+  if (local_dist != kInfWeight) flags |= kFrameHasLocalDist;
+  body->PutU8(flags);
+  if (local_dist != kInfWeight) body->PutVarint(local_dist);
+  if (s_here) {
+    body->PutVarint(s_out.size());
+    uint32_t prev = 0;
+    for (const auto& [idx, hops] : s_out) {  // ascending: delta-encode
+      body->PutVarint(idx - prev);
+      body->PutVarint(hops);
+      prev = idx;
+    }
+  }
+  if (t_here) {
+    body->PutVarint(t_in.size());
+    for (const auto& [global, hops] : t_in) {
+      body->PutVarint(global);
+      body->PutVarint(hops);
+    }
+  }
+}
+
+void EncodeBoundarySweepFrame(const Fragment& f, FragmentContext* ctx,
+                              NodeId s, NodeId t, Encoder* body) {
+  const bool s_here = f.Contains(s);
+  const bool t_here = f.Contains(t);
+  if (!s_here && !t_here) {
+    body->PutU8(0);
+    return;
+  }
+  const Condensation& cond = ctx->cond(f);
+  const std::vector<uint32_t>& oset_comp = ctx->oset_comp(f);
+
+  uint32_t t_comp = 0;
+  std::vector<bool> reaches_t;
+  if (t_here) {
+    t_comp = cond.scc.component_of[f.ToLocal(t)];
+    reaches_t = ComponentsReaching(cond, t_comp);
+  }
+
+  bool local_true = false;
+  std::vector<uint32_t> s_out;
+  if (s_here) {
+    const std::vector<bool> reachable =
+        ComponentsReachableFrom(cond, cond.scc.component_of[f.ToLocal(s)]);
+    local_true = t_here && reachable[t_comp];
+    // Virtual nodes are local sinks, so each one is a singleton component:
+    // reachable[its component] is exactly "s reaches it". Reaching t's
+    // virtual copy decides the query (the cross edge into t completes the
+    // path); every other reachable virtual node is an exit candidate.
+    const uint32_t t_idx = ctx->OsetIndexOf(t);
+    for (uint32_t j = 0; j < oset_comp.size(); ++j) {
+      if (!reachable[oset_comp[j]]) continue;
+      if (j == t_idx) {
+        local_true = true;
+      } else {
+        s_out.push_back(j);
+      }
+    }
+  }
+  if (local_true) {
+    body->PutU8(kFrameLocalTrue);
+    return;
+  }
+
+  uint8_t flags = 0;
+  if (s_here) flags |= kFrameHasS;
+  if (t_here) flags |= kFrameHasT;
+  body->PutU8(flags);
+  if (s_here) {
+    body->PutVarint(s_out.size());
+    uint32_t prev = 0;
+    for (uint32_t idx : s_out) {  // ascending: delta-encode
+      body->PutVarint(idx - prev);
+      prev = idx;
+    }
+  }
+  if (t_here) {
+    const FragmentContext::ReachRows& rows = ctx->reach_rows(f);
+    std::vector<NodeId> t_in;
+    for (size_t g = 0; g < rows.group_rep.size(); ++g) {
+      if (reaches_t[rows.group_comp[g]]) {
+        t_in.push_back(f.ToGlobal(rows.group_rep[g]));
+      }
+    }
+    body->PutVarint(t_in.size());
+    for (NodeId g : t_in) body->PutVarint(g);
+  }
+}
+
+void EncodeRpqSweepFrame(const Fragment& f, FragmentContext* ctx,
+                         const FragmentContext::RpqProduct& p, NodeId s,
+                         NodeId t, Encoder* body) {
+  const bool s_here = f.Contains(s);
+  const bool t_here = f.Contains(t);
+  if (!s_here && !t_here) {
+    body->PutU8(0);
+    return;
+  }
+  const QueryAutomaton& a = p.automaton;
+  const Graph& g = f.local_graph();
+  const size_t num_comps = p.cond.scc.num_components;
+  constexpr uint64_t kFinalBit = uint64_t{1} << QueryAutomaton::kFinal;
+
+  // t-side piece: components whose pairs locally reach (t, u_t). The seeds
+  // are the accepting predecessors (x, q) — edge x -> t_local with u_t in
+  // out_mask(q) — i.e. the product in-edges of the (t, u_t) node that the
+  // standing product materializes only for VIRTUAL copies. An ascending
+  // scan spreads the flag (component ids are reverse topological).
+  std::vector<bool> reaches_final;
+  if (t_here) {
+    reaches_final.assign(num_comps, false);
+    const NodeId t_local = f.ToLocal(t);
+    bool any_seed = false;
+    for (NodeId x : g.InNeighbors(t_local)) {
+      uint64_t qs = p.compat[x];
+      while (qs != 0) {
+        const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+        qs &= qs - 1;
+        if ((a.out_mask(q) >> QueryAutomaton::kFinal) & 1) {
+          reaches_final[p.CompOfPair(x, q)] = true;
+          any_seed = true;
+        }
+      }
+    }
+    if (any_seed) {
+      for (uint32_t c = 0; c < num_comps; ++c) {
+        if (reaches_final[c]) continue;
+        for (size_t e = p.cond.offsets[c];
+             e < p.cond.offsets[c + 1] && !reaches_final[c]; ++e) {
+          reaches_final[c] = reaches_final[p.cond.targets[e]];
+        }
+      }
+    }
+  }
+
+  bool local_true = false;
+  std::vector<uint32_t> s_exits;
+  if (s_here) {
+    const NodeId s_local = f.ToLocal(s);
+    // Seeds: the product out-edges of (s, u_s). A hop straight into u_t at
+    // a copy of t (single edge s -> t with epsilon in L(R)) decides the
+    // query; u_t bits at other copies are stripped — for this query those
+    // pairs are not part of the product.
+    std::vector<bool> reachable(num_comps, false);
+    bool any_seed = false;
+    const uint64_t start_mask = a.out_mask(QueryAutomaton::kStart);
+    for (NodeId w : g.OutNeighbors(s_local)) {
+      if (f.ToGlobal(w) == t && a.AcceptsEmpty()) local_true = true;
+      uint64_t qs = start_mask & p.compat[w] & ~kFinalBit;
+      while (qs != 0) {
+        const uint32_t q = static_cast<uint32_t>(__builtin_ctzll(qs));
+        qs &= qs - 1;
+        reachable[p.CompOfPair(w, q)] = true;
+        any_seed = true;
+      }
+    }
+    if (any_seed) {
+      // Descending scan spreads the flag to all successors.
+      for (uint32_t c = static_cast<uint32_t>(num_comps); c-- > 0;) {
+        if (!reachable[c]) continue;
+        for (size_t e = p.cond.offsets[c]; e < p.cond.offsets[c + 1]; ++e) {
+          reachable[p.cond.targets[e]] = true;
+        }
+      }
+    }
+    // Acceptance via an interior path: at a virtual copy of t the accept
+    // pair (t_virtual, u_t) is a standing product node; at the local copy,
+    // any reachable component that reaches u_t closes the match.
+    const uint32_t t_idx = ctx->OsetIndexOf(t);
+    if (!local_true && t_idx != FragmentContext::kNoIndex) {
+      const NodeId t_virtual = ctx->oset_locals(f)[t_idx];
+      local_true =
+          reachable[p.CompOfPair(t_virtual, QueryAutomaton::kFinal)];
+    }
+    if (!local_true && t_here) {
+      for (uint32_t c = 0; c < num_comps && !local_true; ++c) {
+        local_true = reachable[c] && reaches_final[c];
+      }
+    }
+    if (!local_true) {
+      for (uint32_t i = 0; i < p.table_comp.size(); ++i) {
+        if (p.table_state[i] == QueryAutomaton::kFinal) continue;
+        if (reachable[p.table_comp[i]]) s_exits.push_back(i);
+      }
+    }
+  }
+  if (local_true) {
+    body->PutU8(kFrameLocalTrue);
+    return;
+  }
+
+  uint8_t flags = 0;
+  if (s_here) flags |= kFrameHasS;
+  if (t_here) flags |= kFrameHasT;
+  body->PutU8(flags);
+  if (s_here) {
+    body->PutVarint(s_exits.size());
+    uint32_t prev = 0;
+    for (uint32_t idx : s_exits) {  // ascending: delta-encode
+      body->PutVarint(idx - prev);
+      prev = idx;
+    }
+  }
+  if (t_here) {
+    std::vector<ProductPair> t_in;
+    for (size_t gi = 0; gi < p.group_rep.size(); ++gi) {
+      if (!reaches_final[p.group_comp[gi]]) continue;
+      const auto& [local, state] = p.in_pairs[p.group_rep[gi]];
+      t_in.push_back({f.ToGlobal(local), state});
+    }
+    body->PutVarint(t_in.size());
+    for (const ProductPair& pair : t_in) {
+      body->PutVarint(pair.node);
+      body->PutU8(pair.state);
+    }
+  }
+}
+
+// --- Worker-side round dispatch ---------------------------------------------
+
+namespace {
+
+/// A query as decoded from a round broadcast — Query minus the inline
+/// automaton (rpq queries reference the broadcast's canonical table).
+struct WireQuery {
+  QueryKind kind = QueryKind::kReach;
+  NodeId source = 0;
+  NodeId target = 0;
+  uint32_t bound = 0;
+  uint32_t automaton_ref = 0;
+};
+
+/// The multiplexed all-sites batch: reproduce the RunBatch closure.
+Result<std::vector<uint8_t>> RunBatchEval(const Fragment& f,
+                                          FragmentContext* ctx, uint8_t aux,
+                                          Decoder* dec) {
+  if (aux > static_cast<uint8_t>(EquationForm::kDag)) {
+    return Status::Corruption("batch round: bad equation form");
+  }
+  const EquationForm form = static_cast<EquationForm>(aux);
+  std::vector<WireQuery> queries(dec->GetCount());
+  for (WireQuery& q : queries) {
+    const uint8_t kind = dec->GetU8();
+    if (!dec->ok()) return dec->status();
+    if (kind > static_cast<uint8_t>(QueryKind::kRpq)) {
+      return Status::Corruption("batch round: bad query kind");
+    }
+    q.kind = static_cast<QueryKind>(kind);
+    q.source = static_cast<NodeId>(dec->GetVarint());
+    q.target = static_cast<NodeId>(dec->GetVarint());
+    if (q.kind == QueryKind::kDist) {
+      q.bound = static_cast<uint32_t>(dec->GetVarint());
+    }
+    if (q.kind == QueryKind::kRpq) {
+      q.automaton_ref = static_cast<uint32_t>(dec->GetVarint());
+    }
+  }
+  if (!dec->ok()) return dec->status();
+  const size_t num_automata = dec->GetCount();
+  if (!dec->ok()) return dec->status();
+  std::vector<QueryAutomaton> automata;
+  automata.reserve(num_automata);
+  for (size_t i = 0; i < num_automata; ++i) {
+    automata.push_back(QueryAutomaton::Deserialize(dec));
+    if (!dec->ok()) return dec->status();
+  }
+  if (!dec->Done()) return Status::Corruption("batch round: trailing bytes");
+  bool any_reach = false;
+  for (const WireQuery& q : queries) {
+    if (q.kind == QueryKind::kRpq && q.automaton_ref >= automata.size()) {
+      return Status::Corruption("batch round: automaton ref out of range");
+    }
+    any_reach |= q.kind == QueryKind::kReach;
+  }
+
+  Encoder reply;
+  reply.PutVarint(f.site());
+  if (any_reach) {
+    const std::vector<NodeId>& shared = ctx->oset_globals(f);
+    reply.PutVarint(shared.size());
+    for (NodeId g : shared) reply.PutVarint(g);
+  }
+  for (const WireQuery& q : queries) {
+    Encoder body;
+    switch (q.kind) {
+      case QueryKind::kReach: {
+        const ReachPartialAnswer pa =
+            form == EquationForm::kClosure
+                ? ReachFromCachedRows(f, ctx, q.source, q.target)
+                : RebaseOntoSharedOset(
+                      LocalEvalReach(f, q.source, q.target, form,
+                                     &ctx->cond(f)),
+                      *ctx);
+        pa.SerializeBody(ctx->oset_globals(f).size(), &body);
+        break;
+      }
+      case QueryKind::kDist:
+        LocalEvalDist(f, q.source, q.target, q.bound).Serialize(&body);
+        break;
+      case QueryKind::kRpq:
+        LocalEvalRegular(f, automata[q.automaton_ref], q.source, q.target,
+                         form, &ctx->label_index(f))
+            .Serialize(&body);
+        break;
+    }
+    reply.PutFrame(body.buffer());
+  }
+  return reply.TakeBuffer();
+}
+
+/// The reach/dist endpoint-sweep rounds: one flag-byte-or-frame per query.
+Result<std::vector<uint8_t>> RunEndpointSweep(const Fragment& f,
+                                              FragmentContext* ctx,
+                                              RoundKind kind, Decoder* dec) {
+  const QueryKind expect = kind == RoundKind::kReachSweep ? QueryKind::kReach
+                                                          : QueryKind::kDist;
+  std::vector<WireQuery> queries(dec->GetCount());
+  for (WireQuery& q : queries) {
+    const uint8_t k = dec->GetU8();
+    if (!dec->ok()) return dec->status();
+    if (k != static_cast<uint8_t>(expect)) {
+      return Status::Corruption("sweep round: unexpected query kind");
+    }
+    q.kind = expect;
+    q.source = static_cast<NodeId>(dec->GetVarint());
+    q.target = static_cast<NodeId>(dec->GetVarint());
+    if (expect == QueryKind::kDist) {
+      q.bound = static_cast<uint32_t>(dec->GetVarint());
+    }
+  }
+  if (!dec->Done()) return Status::Corruption("sweep round: trailing bytes");
+
+  Encoder reply;
+  for (const WireQuery& q : queries) {
+    Encoder body;
+    if (expect == QueryKind::kReach) {
+      EncodeBoundarySweepFrame(f, ctx, q.source, q.target, &body);
+    } else {
+      EncodeDistSweepFrame(f, ctx, q.source, q.target, q.bound, &body);
+    }
+    reply.PutFrame(body.buffer());
+  }
+  return reply.TakeBuffer();
+}
+
+/// The rpq refresh round: product boundary rows for every dirty automaton
+/// that lists this site, in broadcast order (matching the coordinator's
+/// site_sigs demux order).
+Result<std::vector<uint8_t>> RunRpqRows(const Fragment& f,
+                                        FragmentContext* ctx, Decoder* dec) {
+  const size_t num_dirty = dec->GetCount();
+  if (!dec->ok()) return dec->status();
+  std::vector<QueryAutomaton> mine;
+  for (size_t i = 0; i < num_dirty; ++i) {
+    QueryAutomaton a = QueryAutomaton::Deserialize(dec);
+    if (!dec->ok()) return dec->status();
+    bool lists_me = false;
+    for (size_t n = dec->GetCount(); n > 0; --n) {
+      lists_me |= static_cast<SiteId>(dec->GetVarint()) == f.site();
+    }
+    if (!dec->ok()) return dec->status();
+    if (lists_me) mine.push_back(std::move(a));
+  }
+  if (!dec->Done()) return Status::Corruption("rpq rows round: trailing bytes");
+
+  ctx->BeginRpqRound();
+  Encoder reply;
+  for (const QueryAutomaton& a : mine) {
+    Encoder body;
+    BuildProductBoundaryRows(f, ctx, Canonicalize(a).signature.key, a)
+        .Serialize(&body);
+    reply.PutFrame(body.buffer());
+  }
+  return reply.TakeBuffer();
+}
+
+/// The rpq endpoint-sweep round: canonical automaton table plus
+/// (source, target, table ref) triples.
+Result<std::vector<uint8_t>> RunRpqSweep(const Fragment& f,
+                                         FragmentContext* ctx, Decoder* dec) {
+  const size_t num_sigs = dec->GetCount();
+  if (!dec->ok()) return dec->status();
+  std::vector<QueryAutomaton> automata;
+  automata.reserve(num_sigs);
+  for (size_t i = 0; i < num_sigs; ++i) {
+    automata.push_back(QueryAutomaton::Deserialize(dec));
+    if (!dec->ok()) return dec->status();
+  }
+  std::vector<WireQuery> queries(dec->GetCount());
+  for (WireQuery& q : queries) {
+    q.kind = QueryKind::kRpq;
+    q.source = static_cast<NodeId>(dec->GetVarint());
+    q.target = static_cast<NodeId>(dec->GetVarint());
+    q.automaton_ref = static_cast<uint32_t>(dec->GetVarint());
+  }
+  if (!dec->Done()) return Status::Corruption("rpq sweep: trailing bytes");
+  for (const WireQuery& q : queries) {
+    if (q.automaton_ref >= automata.size()) {
+      return Status::Corruption("rpq sweep: automaton ref out of range");
+    }
+  }
+  std::vector<std::string> keys(automata.size());
+  for (size_t i = 0; i < automata.size(); ++i) {
+    keys[i] = Canonicalize(automata[i]).signature.key;
+  }
+
+  ctx->BeginRpqRound();
+  Encoder reply;
+  for (const WireQuery& q : queries) {
+    Encoder body;
+    if (!f.Contains(q.source) && !f.Contains(q.target)) {
+      body.PutU8(0);
+    } else {
+      const FragmentContext::RpqProduct& p = ctx->rpq_product(
+          f, keys[q.automaton_ref], automata[q.automaton_ref]);
+      EncodeRpqSweepFrame(f, ctx, p, q.source, q.target, &body);
+    }
+    reply.PutFrame(body.buffer());
+  }
+  return reply.TakeBuffer();
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> RunSiteRound(
+    const Fragment& f, FragmentContext* ctx, RoundKind kind, uint8_t aux,
+    const std::vector<uint8_t>& broadcast) {
+  Decoder dec(broadcast, Decoder::OnError::kStatus);
+  switch (kind) {
+    case RoundKind::kBatchEval:
+      return RunBatchEval(f, ctx, aux, &dec);
+    case RoundKind::kReachRows: {
+      if (!broadcast.empty()) {
+        return Status::Corruption("rows round: unexpected payload");
+      }
+      Encoder reply;
+      BuildBoundaryRows(f, ctx).Serialize(&reply);
+      return reply.TakeBuffer();
+    }
+    case RoundKind::kDistRows: {
+      if (!broadcast.empty()) {
+        return Status::Corruption("rows round: unexpected payload");
+      }
+      Encoder reply;
+      BuildWeightedBoundaryRows(f, ctx).Serialize(&reply);
+      return reply.TakeBuffer();
+    }
+    case RoundKind::kRpqRows:
+      return RunRpqRows(f, ctx, &dec);
+    case RoundKind::kReachSweep:
+    case RoundKind::kDistSweep:
+      return RunEndpointSweep(f, ctx, kind, &dec);
+    case RoundKind::kRpqSweep:
+      return RunRpqSweep(f, ctx, &dec);
+  }
+  return Status::Corruption("unknown round kind");
+}
+
+}  // namespace pereach

@@ -2,21 +2,24 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 namespace pereach {
 
 Cluster::Cluster(const Fragmentation* fragmentation, const NetworkModel& net,
-                 size_t num_threads)
+                 size_t num_threads, TransportOptions transport)
     : fragmentation_(fragmentation), net_(net) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(num_threads);
-  // No concurrent access yet, but locking keeps the guarded-by proof
-  // unconditional (thread-safety analysis checks constructors too).
-  MutexLock lock(&mu_);
-  last_metrics_.site_visits.assign(fragmentation_->num_fragments(), 0);
+  sim_transport_ = MakeSimTransport(fragmentation_, pool_.get());
+  transport_ = transport.backend == TransportBackend::kSim
+                   ? MakeSimTransport(fragmentation_, pool_.get())
+                   : MakeTransport(transport, fragmentation_, pool_.get());
 }
+
+Cluster::~Cluster() { transport_->Shutdown(); }
 
 Cluster::Window& Cluster::ActiveWindowLocked() {
   auto it = windows_.find(std::this_thread::get_id());
@@ -45,36 +48,27 @@ RunMetrics Cluster::EndQuery() {
   if (w.metrics.queries == 0) w.metrics.queries = 1;
   RunMetrics out = std::move(w.metrics);
   windows_.erase(std::this_thread::get_id());
-  last_metrics_ = out;
   return out;
 }
 
-RunMetrics Cluster::metrics() const {
-  MutexLock lock(&mu_);
-  return last_metrics_;
-}
-
-std::vector<std::vector<uint8_t>> Cluster::Round(
-    const std::vector<SiteId>& sites, size_t broadcast_bytes,
+Result<std::vector<std::vector<uint8_t>>> Cluster::RoundInternal(
+    Transport* t, const std::vector<SiteId>& sites, const RoundSpec& spec,
     const std::function<std::vector<uint8_t>(const Fragment&)>& fn) {
   const size_t k = sites.size();
-  std::vector<std::vector<uint8_t>> replies(k);
-  std::vector<double> compute_ms(k, 0.0);
-
-  pool_->ParallelFor(k, [&](size_t i) {
-    const Fragment& frag = fragmentation_->fragment(sites[i]);
-    StopWatch watch;
-    replies[i] = fn(frag);
-    compute_ms[i] = watch.ElapsedMs();
-  });
-
-  size_t round_bytes = broadcast_bytes * k;
-  size_t num_messages = k;  // coordinator -> site broadcasts
+  std::vector<std::vector<uint8_t>> replies;
   double max_compute = 0.0;
-  for (size_t i = 0; i < k; ++i) {
-    max_compute = std::max(max_compute, compute_ms[i]);
-    if (!replies[i].empty()) {
-      round_bytes += replies[i].size();
+  Status s = t->Execute(sites, spec, fn, &replies, &max_compute);
+  if (!s.ok()) return s;
+  PEREACH_CHECK_EQ(replies.size(), k);
+
+  // The books charge the round's PAYLOADS — broadcast and non-empty replies
+  // — never the transport envelope, so modeled numbers are identical across
+  // backends (and to the seed).
+  size_t round_bytes = spec.accounted_broadcast_bytes * k;
+  size_t num_messages = k;  // coordinator -> site broadcasts
+  for (const std::vector<uint8_t>& reply : replies) {
+    if (!reply.empty()) {
+      round_bytes += reply.size();
       ++num_messages;
     }
   }
@@ -92,12 +86,39 @@ std::vector<std::vector<uint8_t>> Cluster::Round(
   return replies;
 }
 
+std::vector<std::vector<uint8_t>> Cluster::Round(
+    const std::vector<SiteId>& sites, size_t broadcast_bytes,
+    const std::function<std::vector<uint8_t>(const Fragment&)>& fn) {
+  RoundSpec spec;
+  spec.accounted_broadcast_bytes = broadcast_bytes;
+  // The simulated backend never fails.
+  return RoundInternal(sim_transport_.get(), sites, spec, fn).value();
+}
+
 std::vector<std::vector<uint8_t>> Cluster::RoundAll(
     size_t broadcast_bytes,
     const std::function<std::vector<uint8_t>(const Fragment&)>& fn) {
+  return Round(AllSites(), broadcast_bytes, fn);
+}
+
+Result<std::vector<std::vector<uint8_t>>> Cluster::TryRound(
+    const std::vector<SiteId>& sites, const RoundSpec& spec,
+    const std::function<std::vector<uint8_t>(const Fragment&)>& fn) {
+  return RoundInternal(transport_.get(), sites, spec, fn);
+}
+
+Result<std::vector<std::vector<uint8_t>>> Cluster::TryRoundAll(
+    const RoundSpec& spec,
+    const std::function<std::vector<uint8_t>(const Fragment&)>& fn) {
+  return RoundInternal(transport_.get(), AllSites(), spec, fn);
+}
+
+Status Cluster::SyncFragments() { return transport_->SyncFragments(); }
+
+std::vector<SiteId> Cluster::AllSites() const {
   std::vector<SiteId> all(fragmentation_->num_fragments());
   for (SiteId s = 0; s < all.size(); ++s) all[s] = s;
-  return Round(all, broadcast_bytes, fn);
+  return all;
 }
 
 void Cluster::AddCoordinatorWorkMs(double ms) {

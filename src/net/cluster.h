@@ -9,17 +9,23 @@
 
 #include "src/fragment/fragmentation.h"
 #include "src/net/metrics.h"
+#include "src/net/transport.h"
+#include "src/util/status.h"
 #include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 namespace pereach {
 
-/// Simulated cluster: one site per fragment plus a coordinator. Sites are
-/// executed by a thread pool ("threads simulate partitions"); every payload
-/// crossing a site boundary is a real byte buffer, and the cluster keeps the
-/// books: per-site visit counts, traffic, message counts, and a modeled
-/// response time combining measured per-site compute with the NetworkModel.
+/// Cluster: one site per fragment plus a coordinator. HOW a round executes
+/// is delegated to a Transport (DESIGN.md §13) chosen at construction:
+/// simulated in-process closures (the default — "threads simulate
+/// partitions"), in-process shared-memory workers, or real pereach_worker
+/// processes over sockets. The cluster keeps the books either way: per-site
+/// visit counts, traffic, message counts, and a modeled response time
+/// combining per-site compute with the NetworkModel — modeled accounting is
+/// byte-identical across backends because it charges the round's payloads,
+/// never the transport envelope.
 ///
 /// The three-phase pattern of the paper (§2.2) maps onto:
 ///   cluster.BeginQuery();
@@ -36,17 +42,23 @@ namespace pereach {
 /// Concurrency: metrics windows are per-thread. Each BeginQuery opens a
 /// window owned by the calling thread; Round / Record* / SetQueriesServed
 /// charge the caller's open window, and EndQuery closes it and returns its
-/// metrics. Any number of threads may therefore run interleaved windows over
-/// one cluster (the QueryServer's overlapping per-class batches) without
-/// corrupting each other's books. A window's calls must all come from the
-/// thread that opened it — site closures still run on pool threads, but the
-/// accounting itself happens on the window's thread after the round joins.
+/// metrics — the ONLY way to read a window's books (a last-completed-window
+/// accessor would be a last-writer race under concurrent windows, so there
+/// deliberately isn't one). Any number of threads may therefore run
+/// interleaved windows over one cluster (the QueryServer's overlapping
+/// per-class batches) without corrupting each other's books. A window's
+/// calls must all come from the thread that opened it — site work still
+/// runs on pool threads or workers, but the accounting itself happens on
+/// the window's thread after the round joins.
 class Cluster {
  public:
   /// `fragmentation` must outlive the cluster. `num_threads` == 0 picks
-  /// hardware concurrency.
+  /// hardware concurrency. `transport` selects the serving backend;
+  /// defaults preserve the simulated seed behavior exactly.
   Cluster(const Fragmentation* fragmentation, const NetworkModel& net,
-          size_t num_threads = 0);
+          size_t num_threads = 0, TransportOptions transport = {});
+
+  ~Cluster();
 
   const Fragmentation& fragmentation() const { return *fragmentation_; }
   const NetworkModel& network() const { return net_; }
@@ -62,15 +74,18 @@ class Cluster {
 
   /// Stops the wall clock, closes the calling thread's window and returns
   /// its metrics. Windows that never declared a batch size count as one
-  /// query. The result is also stored for metrics().
+  /// query.
   RunMetrics EndQuery();
 
-  /// One communication round touching `sites`: the coordinator sends
-  /// `broadcast_bytes` to each listed site (one message each), every site
-  /// runs `fn` on its fragment in parallel on the pool and returns a reply
-  /// payload (one message each; empty replies send no message).
+  /// One SIMULATED communication round touching `sites`: the coordinator
+  /// sends `broadcast_bytes` to each listed site (one message each), every
+  /// site runs `fn` on its fragment in parallel on the pool and returns a
+  /// reply payload (one message each; empty replies send no message).
   /// Records one visit per listed site and advances the modeled clock by
   ///   2·latency + max(site compute) + transfer(all bytes of the round).
+  /// Always executes on the simulated backend regardless of the serving
+  /// transport — the baselines' bespoke closures have no wire encoding, and
+  /// their modeled numbers must not depend on the backend under test.
   std::vector<std::vector<uint8_t>> Round(
       const std::vector<SiteId>& sites, size_t broadcast_bytes,
       const std::function<std::vector<uint8_t>(const Fragment&)>& fn);
@@ -79,6 +94,27 @@ class Cluster {
   std::vector<std::vector<uint8_t>> RoundAll(
       size_t broadcast_bytes,
       const std::function<std::vector<uint8_t>(const Fragment&)>& fn);
+
+  /// One round on the SERVING transport: the simulated backend runs `fn`
+  /// (bit-identical to Round); the shm/socket backends ship `spec` and the
+  /// worker-side decoder reproduces it. Fails — instead of aborting — when
+  /// a worker is dead, hung past its read deadline, or framed garbage; the
+  /// books are only charged on success, and the failed connection
+  /// re-establishes on its next round.
+  Result<std::vector<std::vector<uint8_t>>> TryRound(
+      const std::vector<SiteId>& sites, const RoundSpec& spec,
+      const std::function<std::vector<uint8_t>(const Fragment&)>& fn);
+
+  /// TryRound() over all sites.
+  Result<std::vector<std::vector<uint8_t>>> TryRoundAll(
+      const RoundSpec& spec,
+      const std::function<std::vector<uint8_t>(const Fragment&)>& fn);
+
+  /// Re-ships post-update fragment state to transports that hold copies
+  /// (no-op on the simulated backend). Call after mutating the graph, under
+  /// the same exclusion that gates evaluations (the server's writer-held
+  /// epoch gate) so no round is in flight.
+  Status SyncFragments();
 
   /// Adds coordinator-side compute (assembling) to the modeled clock.
   void AddCoordinatorWorkMs(double ms);
@@ -97,13 +133,10 @@ class Cluster {
   /// Advances the modeled clock by one bespoke round.
   void RecordModeledRound(double max_site_compute_ms, size_t round_bytes);
 
-  /// Metrics of the most recently completed window. Single-threaded
-  /// convenience only: under concurrent windows, use the value EndQuery
-  /// returns — another thread's EndQuery may overwrite this between your
-  /// EndQuery and the read.
-  RunMetrics metrics() const;
-
   ThreadPool* pool() { return pool_.get(); }
+
+  /// The serving transport (test hook: WorkerPidsForTest, fault injection).
+  Transport* transport() { return transport_.get(); }
 
  private:
   PEREACH_DISALLOW_COPY_AND_ASSIGN(Cluster);
@@ -113,6 +146,14 @@ class Cluster {
     StopWatch watch;
   };
 
+  /// Executes one round on `t` and, on success, charges the caller's open
+  /// window with the seed's exact accounting.
+  Result<std::vector<std::vector<uint8_t>>> RoundInternal(
+      Transport* t, const std::vector<SiteId>& sites, const RoundSpec& spec,
+      const std::function<std::vector<uint8_t>(const Fragment&)>& fn);
+
+  std::vector<SiteId> AllSites() const;
+
   /// The calling thread's open window. CHECK-fails when the thread has no
   /// window (a Round/Record outside BeginQuery..EndQuery).
   Window& ActiveWindowLocked() PEREACH_REQUIRES(mu_);
@@ -120,10 +161,11 @@ class Cluster {
   const Fragmentation* fragmentation_;
   NetworkModel net_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Transport> sim_transport_;
+  std::unique_ptr<Transport> transport_;
 
   mutable Mutex mu_{LockRank::kClusterMetrics};
   std::unordered_map<std::thread::id, Window> windows_ PEREACH_GUARDED_BY(mu_);
-  RunMetrics last_metrics_ PEREACH_GUARDED_BY(mu_);
 };
 
 }  // namespace pereach

@@ -1,0 +1,674 @@
+#include "src/net/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "src/engine/fragment_context.h"
+#include "src/engine/site_runtime.h"
+#include "src/util/serialization.h"
+#include "src/util/sync.h"
+#include "src/util/timer.h"
+
+namespace pereach {
+
+uint32_t WireCrc32(const uint8_t* data, size_t size) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+/// Waits until `fd` is ready for `events`. `timeout_ms` <= 0 blocks
+/// indefinitely. Readiness with POLLERR/POLLHUP set is reported as ready —
+/// the following read/write surfaces the precise error.
+Status PollFd(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (r > 0) return Status::OK();
+    if (r == 0) return Status::Internal("transport: peer deadline expired");
+    if (errno != EINTR) {
+      return Status::Internal(std::string("transport: poll: ") +
+                              std::strerror(errno));
+    }
+  }
+}
+
+Status WriteFull(int fd, const uint8_t* data, size_t size, int timeout_ms) {
+  size_t off = 0;
+  while (off < size) {
+    Status s = PollFd(fd, POLLOUT, timeout_ms);
+    if (!s.ok()) return s;
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Internal(std::string("transport: send: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadFull(int fd, uint8_t* data, size_t size, int timeout_ms) {
+  size_t off = 0;
+  while (off < size) {
+    Status s = PollFd(fd, POLLIN, timeout_ms);
+    if (!s.ok()) return s;
+    const ssize_t n = ::recv(fd, data + off, size - off, 0);
+    if (n == 0) return Status::Internal("transport: connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Internal(std::string("transport: recv: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteWireMessage(int fd, const std::vector<uint8_t>& body,
+                        int timeout_ms) {
+  Encoder framed;
+  framed.PutVarint(body.size());
+  framed.PutRaw(body);
+  framed.PutU32(WireCrc32(body.data(), body.size()));
+  return WriteFull(fd, framed.buffer().data(), framed.buffer().size(),
+                   timeout_ms);
+}
+
+Status ReadWireMessage(int fd, int timeout_ms, size_t max_frame_bytes,
+                       std::vector<uint8_t>* body) {
+  // The length varint arrives byte by byte; everything after it is read in
+  // one bounded gulp. The declared length is capped BEFORE the payload
+  // buffer is sized, so a corrupt or hostile peer cannot drive a huge
+  // allocation.
+  uint64_t len = 0;
+  int shift = 0;
+  for (;;) {
+    uint8_t byte = 0;
+    Status s = ReadFull(fd, &byte, 1, timeout_ms);
+    if (!s.ok()) return s;
+    len |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) {
+      return Status::Corruption("transport: overlong frame length");
+    }
+  }
+  if (len > max_frame_bytes) {
+    return Status::Corruption("transport: frame exceeds max_frame_bytes");
+  }
+  body->assign(static_cast<size_t>(len), 0);
+  if (len > 0) {
+    Status s = ReadFull(fd, body->data(), body->size(), timeout_ms);
+    if (!s.ok()) return s;
+  }
+  uint8_t crc_bytes[4];
+  Status s = ReadFull(fd, crc_bytes, sizeof(crc_bytes), timeout_ms);
+  if (!s.ok()) return s;
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) crc |= static_cast<uint32_t>(crc_bytes[i]) << (8 * i);
+  if (crc != WireCrc32(body->data(), body->size())) {
+    return Status::Corruption("transport: frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Parses a worker reply envelope: u8 ok; ok=1 -> double compute_ms, varint
+/// payload length (must equal the remaining bytes), payload; ok=0 -> error
+/// string, surfaced as Internal (the worker stayed alive and framed — only
+/// this round failed).
+Status ParseReply(const std::vector<uint8_t>& body,
+                  std::vector<uint8_t>* payload, double* compute_ms) {
+  Decoder dec(body, Decoder::OnError::kStatus);
+  const uint8_t ok = dec.GetU8();
+  if (!dec.ok()) return dec.status();
+  if (ok == 0) {
+    std::string message = dec.GetString();
+    if (!dec.ok()) return dec.status();
+    return Status::Internal("transport: worker reported: " + message);
+  }
+  if (ok != 1) return Status::Corruption("transport: bad reply status byte");
+  *compute_ms = dec.GetDouble();
+  const uint64_t n = dec.GetVarint();
+  if (!dec.ok()) return dec.status();
+  if (n != dec.remaining()) {
+    return Status::Corruption("transport: reply payload length mismatch");
+  }
+  payload->assign(body.begin() + static_cast<ptrdiff_t>(dec.position()),
+                  body.end());
+  return Status::OK();
+}
+
+std::vector<uint8_t> SerializeFragment(const Fragment& f) {
+  Encoder enc;
+  f.Serialize(&enc);
+  return enc.TakeBuffer();
+}
+
+// --- kSim -------------------------------------------------------------------
+
+/// The seed behavior, verbatim: every listed site runs the engine's closure
+/// over the coordinator-resident fragment on the pool, with a per-site
+/// stopwatch feeding the modeled clock.
+class SimTransport : public Transport {
+ public:
+  SimTransport(const Fragmentation* fragmentation, ThreadPool* pool)
+      : fragmentation_(fragmentation), pool_(pool) {}
+
+  Status Execute(const std::vector<SiteId>& sites, const RoundSpec& /*spec*/,
+                 const SiteFn& sim_fn,
+                 std::vector<std::vector<uint8_t>>* replies,
+                 double* max_compute_ms) override {
+    const size_t k = sites.size();
+    replies->assign(k, {});
+    std::vector<double> compute_ms(k, 0.0);
+    pool_->ParallelFor(k, [&](size_t i) {
+      const Fragment& frag = fragmentation_->fragment(sites[i]);
+      StopWatch watch;
+      (*replies)[i] = sim_fn(frag);
+      compute_ms[i] = watch.ElapsedMs();
+    });
+    *max_compute_ms = 0.0;
+    for (double ms : compute_ms) *max_compute_ms = std::max(*max_compute_ms, ms);
+    return Status::OK();
+  }
+
+ private:
+  const Fragmentation* fragmentation_;
+  ThreadPool* pool_;
+};
+
+// --- kShm -------------------------------------------------------------------
+
+/// Single-box sharding: each site owns a deserialized COPY of its fragment
+/// plus its own FragmentContext, and every round goes through the same
+/// RoundSpec encode/decode the socket backend ships — full wire coverage,
+/// no processes.
+class ShmTransport : public Transport {
+ public:
+  ShmTransport(const Fragmentation* fragmentation, ThreadPool* pool)
+      : fragmentation_(fragmentation), pool_(pool) {
+    RebuildRuntimes();
+  }
+
+  Status Execute(const std::vector<SiteId>& sites, const RoundSpec& spec,
+                 const SiteFn& /*sim_fn*/,
+                 std::vector<std::vector<uint8_t>>* replies,
+                 double* max_compute_ms) override {
+    const size_t k = sites.size();
+    replies->assign(k, {});
+    std::vector<double> compute_ms(k, 0.0);
+    std::vector<Status> statuses(k, Status::OK());
+    pool_->ParallelFor(k, [&](size_t i) {
+      WorkerRuntime& rt = *runtimes_[sites[i]];
+      MutexLock lock(&rt.io_mu);
+      StopWatch watch;
+      Result<std::vector<uint8_t>> r = RunSiteRound(
+          rt.fragment, &rt.ctx, spec.kind, spec.aux, spec.broadcast);
+      compute_ms[i] = watch.ElapsedMs();
+      if (r.ok()) {
+        (*replies)[i] = std::move(r).value();
+      } else {
+        statuses[i] = r.status();
+      }
+    });
+    *max_compute_ms = 0.0;
+    for (double ms : compute_ms) *max_compute_ms = std::max(*max_compute_ms, ms);
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  Status SyncFragments() override {
+    RebuildRuntimes();
+    return Status::OK();
+  }
+
+ private:
+  struct WorkerRuntime {
+    explicit WorkerRuntime(Fragment f) : fragment(std::move(f)) {}
+    Fragment fragment;
+    FragmentContext ctx;
+    /// Serializes rounds on one site: overlapping per-class dispatcher
+    /// batches must not race on the site's standing context.
+    Mutex io_mu{LockRank::kTransportConn};
+  };
+
+  /// Round-trips every fragment through its wire format — the copies are
+  /// exactly what a remote worker would hold.
+  void RebuildRuntimes() {
+    runtimes_.clear();
+    for (SiteId s = 0; s < fragmentation_->num_fragments(); ++s) {
+      const std::vector<uint8_t> bytes =
+          SerializeFragment(fragmentation_->fragment(s));
+      Decoder dec(bytes);
+      runtimes_.push_back(
+          std::make_unique<WorkerRuntime>(Fragment::Deserialize(&dec)));
+    }
+  }
+
+  const Fragmentation* fragmentation_;
+  ThreadPool* pool_;
+  std::vector<std::unique_ptr<WorkerRuntime>> runtimes_;
+};
+
+// --- kSocket ----------------------------------------------------------------
+
+std::string DefaultWorkerBinary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "pereach_worker";
+  buf[n] = '\0';
+  const std::string self(buf);
+  const size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "pereach_worker";
+  return self.substr(0, slash + 1) + "pereach_worker";
+}
+
+Status ConnectEndpoint(const std::string& endpoint, int timeout_ms,
+                       int* out_fd) {
+  int fd = -1;
+  union {
+    sockaddr sa;
+    sockaddr_un un;
+    sockaddr_storage storage;
+  } addr;
+  std::memset(&addr, 0, sizeof(addr));
+  socklen_t addr_len = 0;
+  if (endpoint.rfind("unix:", 0) == 0) {
+    const std::string path = endpoint.substr(5);
+    if (path.empty() || path.size() >= sizeof(addr.un.sun_path)) {
+      return Status::InvalidArgument("transport: bad unix endpoint: " +
+                                     endpoint);
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("transport: socket: ") +
+                              std::strerror(errno));
+    }
+    addr.un.sun_family = AF_UNIX;
+    std::memcpy(addr.un.sun_path, path.c_str(), path.size() + 1);
+    addr_len = static_cast<socklen_t>(sizeof(sa_family_t) + path.size() + 1);
+  } else {
+    const size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+      return Status::InvalidArgument("transport: bad endpoint: " + endpoint);
+    }
+    const std::string host = endpoint.substr(0, colon);
+    const std::string port = endpoint.substr(colon + 1);
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (rc != 0 || res == nullptr) {
+      return Status::InvalidArgument("transport: cannot resolve " + endpoint +
+                                     ": " + gai_strerror(rc));
+    }
+    fd = ::socket(res->ai_family, res->ai_socktype | SOCK_CLOEXEC,
+                  res->ai_protocol);
+    if (fd < 0) {
+      ::freeaddrinfo(res);
+      return Status::Internal(std::string("transport: socket: ") +
+                              std::strerror(errno));
+    }
+    addr_len = static_cast<socklen_t>(res->ai_addrlen);
+    std::memcpy(&addr, res->ai_addr, res->ai_addrlen);
+    ::freeaddrinfo(res);
+  }
+
+  // Non-blocking connect bounded by the establishment deadline, then back to
+  // blocking mode (every later read/write polls before it touches the fd).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, &addr.sa, addr_len) != 0) {
+    if (errno != EINPROGRESS) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("transport: connect " + endpoint + ": " + err);
+    }
+    Status s = PollFd(fd, POLLOUT, timeout_ms);
+    if (s.ok()) {
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (so_error != 0) {
+        s = Status::Internal("transport: connect " + endpoint + ": " +
+                             std::strerror(so_error));
+      }
+    }
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  *out_fd = fd;
+  return Status::OK();
+}
+
+/// One pereach_worker process (or remote endpoint) per fragment; the
+/// coordinator scatters a round to the involved sites and gathers their
+/// replies, all framing CRC-gated. Failure semantics (DESIGN.md §13):
+/// bounded retry with backoff applies ONLY to connection establishment; a
+/// mid-round failure fails the round immediately (the caller rejects the
+/// batch), marks the connection dead, and the NEXT round re-establishes —
+/// respawning the worker in spawn mode, re-shipping the fragment either way.
+class SocketTransport : public Transport {
+ public:
+  SocketTransport(const TransportOptions& options,
+                  const Fragmentation* fragmentation, ThreadPool* pool)
+      : options_(options), fragmentation_(fragmentation), pool_(pool) {
+    if (options_.worker_binary.empty()) {
+      options_.worker_binary = DefaultWorkerBinary();
+    }
+    for (SiteId s = 0; s < fragmentation_->num_fragments(); ++s) {
+      conns_.push_back(std::make_unique<Connection>());
+    }
+  }
+
+  ~SocketTransport() override { Shutdown(); }
+
+  Status Execute(const std::vector<SiteId>& sites, const RoundSpec& spec,
+                 const SiteFn& /*sim_fn*/,
+                 std::vector<std::vector<uint8_t>>* replies,
+                 double* max_compute_ms) override {
+    const size_t k = sites.size();
+    replies->assign(k, {});
+    std::vector<double> compute_ms(k, 0.0);
+    std::vector<Status> statuses(k, Status::OK());
+    pool_->ParallelFor(k, [&](size_t i) {
+      statuses[i] =
+          RoundOnSite(sites[i], spec, &(*replies)[i], &compute_ms[i]);
+    });
+    *max_compute_ms = 0.0;
+    for (double ms : compute_ms) *max_compute_ms = std::max(*max_compute_ms, ms);
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  Status SyncFragments() override {
+    // A site that fails to sync is marked dead, which is already safe: its
+    // next round re-establishes with a Hello carrying the CURRENT fragment,
+    // so a worker can never serve stale state. Sites already dead are
+    // skipped for the same reason.
+    for (SiteId s = 0; s < conns_.size(); ++s) {
+      Connection& c = *conns_[s];
+      MutexLock lock(&c.io_mu);
+      if (c.dead) continue;
+      Encoder body;
+      body.PutU8(static_cast<uint8_t>(WireMessage::kSync));
+      body.PutRaw(SerializeFragment(fragmentation_->fragment(s)));
+      Status st = ExchangeLocked(&c, body.buffer(), nullptr, nullptr);
+      if (!st.ok()) CloseLocked(&c);
+    }
+    return Status::OK();
+  }
+
+  void Shutdown() override {
+    std::vector<pid_t> pids;
+    for (std::unique_ptr<Connection>& cp : conns_) {
+      Connection& c = *cp;
+      MutexLock lock(&c.io_mu);
+      if (c.fd >= 0) {
+        Encoder body;
+        body.PutU8(static_cast<uint8_t>(WireMessage::kShutdown));
+        (void)WriteWireMessage(c.fd, body.buffer(), /*timeout_ms=*/100);
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      c.dead = true;
+      if (c.pid > 0) {
+        pids.push_back(c.pid);
+        c.pid = -1;
+      }
+    }
+    // Give workers ~500ms to exit on their own (they see EOF or the
+    // shutdown message), then force the stragglers.
+    for (int wait_ms = 0; !pids.empty() && wait_ms < 500; wait_ms += 10) {
+      for (size_t i = 0; i < pids.size();) {
+        if (::waitpid(pids[i], nullptr, WNOHANG) == pids[i]) {
+          pids[i] = pids.back();
+          pids.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      if (!pids.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    for (pid_t pid : pids) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+  std::vector<int> WorkerPidsForTest() override {
+    std::vector<int> pids;
+    for (std::unique_ptr<Connection>& cp : conns_) {
+      MutexLock lock(&cp->io_mu);
+      if (!cp->dead && cp->pid > 0) pids.push_back(cp->pid);
+    }
+    return pids;
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    pid_t pid = -1;
+    bool dead = true;
+    /// Serializes one round's send+receive exchange on this worker socket
+    /// (overlapping per-class dispatcher rounds share the connection).
+    Mutex io_mu{LockRank::kTransportConn};
+  };
+
+  /// One request/reply exchange on an established connection. Any failure —
+  /// EOF, expired read deadline, framing corruption — is final for the
+  /// round; the caller decides whether the connection survives (a cleanly
+  /// framed worker-reported error keeps it, everything else closes it).
+  Status ExchangeLocked(Connection* c, const std::vector<uint8_t>& request,
+                        std::vector<uint8_t>* payload, double* compute_ms) {
+    Status s = WriteWireMessage(c->fd, request, options_.read_timeout_ms);
+    if (!s.ok()) {
+      CloseLocked(c);
+      return s;
+    }
+    std::vector<uint8_t> reply;
+    s = ReadWireMessage(c->fd, options_.read_timeout_ms,
+                        options_.max_frame_bytes, &reply);
+    if (!s.ok()) {
+      CloseLocked(c);
+      return s;
+    }
+    std::vector<uint8_t> scratch;
+    double scratch_ms = 0.0;
+    s = ParseReply(reply, payload != nullptr ? payload : &scratch,
+                   compute_ms != nullptr ? compute_ms : &scratch_ms);
+    if (s.code() == StatusCode::kCorruption) CloseLocked(c);
+    return s;
+  }
+
+  Status RoundOnSite(SiteId site, const RoundSpec& spec,
+                     std::vector<uint8_t>* payload, double* compute_ms) {
+    Connection& c = *conns_[site];
+    MutexLock lock(&c.io_mu);
+    if (c.dead) {
+      Status s = EstablishLocked(site, &c);
+      if (!s.ok()) return s;
+    }
+    Encoder body;
+    body.PutU8(static_cast<uint8_t>(WireMessage::kRound));
+    body.PutU8(static_cast<uint8_t>(spec.kind));
+    body.PutU8(spec.aux);
+    body.PutRaw(spec.broadcast);
+    return ExchangeLocked(&c, body.buffer(), payload, compute_ms);
+  }
+
+  /// Establishment with bounded retry + backoff: spawn-or-connect plus the
+  /// Hello that ships the site id and the CURRENT fragment. This is the
+  /// only retried path — transient spawn/connect races heal here, while a
+  /// worker that dies mid-round stays failed for exactly one round.
+  Status EstablishLocked(SiteId site, Connection* c) {
+    Status last = Status::Internal("transport: connection never attempted");
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      if (attempt > 0 && options_.retry_backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(attempt * options_.retry_backoff_ms));
+      }
+      CloseLocked(c);
+      ReapLocked(c);
+      Status s = options_.connect.empty()
+                     ? SpawnLocked(site, c)
+                     : ConnectEndpoint(options_.connect[site],
+                                       options_.connect_timeout_ms, &c->fd);
+      if (s.ok()) s = HelloLocked(site, c);
+      if (s.ok()) {
+        c->dead = false;
+        return s;
+      }
+      CloseLocked(c);
+      last = s;
+    }
+    ReapLocked(c);
+    return last;
+  }
+
+  Status SpawnLocked(SiteId site, Connection* c) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+      return Status::Internal(std::string("transport: socketpair: ") +
+                              std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      return Status::Internal(std::string("transport: fork: ") +
+                              std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: only its own end survives the exec (everything else in the
+      // parent is CLOEXEC, so sibling workers' sockets don't leak in).
+      ::fcntl(sv[1], F_SETFD, 0);
+      const std::string fd_arg = "--fd=" + std::to_string(sv[1]);
+      ::execl(options_.worker_binary.c_str(), "pereach_worker", fd_arg.c_str(),
+              static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    ::close(sv[1]);
+    c->fd = sv[0];
+    c->pid = pid;
+    return Status::OK();
+  }
+
+  Status HelloLocked(SiteId site, Connection* c) {
+    Encoder body;
+    body.PutU8(static_cast<uint8_t>(WireMessage::kHello));
+    body.PutU8(kWireVersion);
+    body.PutVarint(site);
+    body.PutRaw(SerializeFragment(fragmentation_->fragment(site)));
+    Status s = WriteWireMessage(c->fd, body.buffer(),
+                                options_.connect_timeout_ms);
+    if (!s.ok()) return s;
+    std::vector<uint8_t> reply;
+    s = ReadWireMessage(c->fd, options_.read_timeout_ms,
+                        options_.max_frame_bytes, &reply);
+    if (!s.ok()) return s;
+    std::vector<uint8_t> payload;
+    double compute_ms = 0.0;
+    return ParseReply(reply, &payload, &compute_ms);
+  }
+
+  void CloseLocked(Connection* c) {
+    if (c->fd >= 0) {
+      ::close(c->fd);
+      c->fd = -1;
+    }
+    c->dead = true;
+  }
+
+  /// Collects a spawned worker that is gone or being replaced; SIGKILL is
+  /// safe here — the connection is already closed, so no round is talking
+  /// to it.
+  void ReapLocked(Connection* c) {
+    if (c->pid > 0) {
+      ::kill(c->pid, SIGKILL);
+      ::waitpid(c->pid, nullptr, 0);
+      c->pid = -1;
+    }
+  }
+
+  TransportOptions options_;
+  const Fragmentation* fragmentation_;
+  ThreadPool* pool_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeTransport(const TransportOptions& options,
+                                         const Fragmentation* fragmentation,
+                                         ThreadPool* pool) {
+  switch (options.backend) {
+    case TransportBackend::kSim:
+      return std::make_unique<SimTransport>(fragmentation, pool);
+    case TransportBackend::kShm:
+      return std::make_unique<ShmTransport>(fragmentation, pool);
+    case TransportBackend::kSocket:
+      if (!options.connect.empty()) {
+        PEREACH_CHECK_EQ(options.connect.size(),
+                         fragmentation->num_fragments());
+      }
+      return std::make_unique<SocketTransport>(options, fragmentation, pool);
+  }
+  PEREACH_CHECK(false && "unknown transport backend");
+  return nullptr;
+}
+
+std::unique_ptr<Transport> MakeSimTransport(const Fragmentation* fragmentation,
+                                            ThreadPool* pool) {
+  return std::make_unique<SimTransport>(fragmentation, pool);
+}
+
+}  // namespace pereach

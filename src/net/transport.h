@@ -1,0 +1,181 @@
+#ifndef PEREACH_NET_TRANSPORT_H_
+#define PEREACH_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fragment/fragmentation.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace pereach {
+
+/// How a Cluster executes its communication rounds (DESIGN.md §13).
+///
+///  - kSim: the seed behavior — sites are closures on an in-process thread
+///    pool reading the coordinator's own data structures. Zero-copy, fully
+///    deterministic, modeled cost only.
+///  - kShm: single-box sharding — each site owns a deserialized COPY of its
+///    fragment plus its own FragmentContext, and rounds go through the same
+///    encoded RoundSpec the socket backend ships, still on the in-process
+///    pool. Exercises every wire encode/decode path without processes.
+///  - kSocket: one pereach_worker process (or remote TCP endpoint) per
+///    fragment; the coordinator scatters length-prefixed frames and gathers
+///    replies per round. Real wall-clock serving.
+enum class TransportBackend : uint8_t { kSim = 0, kShm = 1, kSocket = 2 };
+
+/// Construction-time knobs of the transport seam. Defaults preserve the
+/// seed's simulated behavior exactly.
+struct TransportOptions {
+  /// Which backend executes rounds (kSim, kShm, kSocket).
+  TransportBackend backend = TransportBackend::kSim;
+  /// kSocket spawn mode: path of the pereach_worker binary. Empty resolves
+  /// to "pereach_worker" next to the running executable.
+  std::string worker_binary;
+  /// kSocket connect mode: one endpoint per site ("unix:PATH" or
+  /// "host:port"), in site order. Empty means spawn workers locally over
+  /// socketpairs instead.
+  std::vector<std::string> connect;
+  /// Deadline for establishing a worker connection (connect + handshake).
+  int connect_timeout_ms = 2000;
+  /// Deadline for each blocking read of a reply frame; a worker that stays
+  /// silent longer is treated as dead and the round fails over to rejection.
+  int read_timeout_ms = 10000;
+  /// Bounded retry count for ESTABLISHING a connection (spawn or connect +
+  /// handshake). Mid-round failures are never retried — the round rejects
+  /// and the next round re-establishes.
+  int max_retries = 2;
+  /// Base backoff between establishment retries; attempt i sleeps i times
+  /// this long.
+  int retry_backoff_ms = 50;
+  /// Upper bound on one wire message's declared length. A peer announcing
+  /// more is corrupt (or hostile) and is disconnected before any allocation.
+  size_t max_frame_bytes = size_t{256} << 20;
+};
+
+/// What a round asks every listed site to do. The simulated backend ignores
+/// the encoding and runs the engine's closure directly; the shm and socket
+/// backends ship `broadcast` and the worker-side decoder
+/// (site_runtime::RunSiteRound) reproduces the closure from it.
+enum class RoundKind : uint8_t {
+  kBatchEval = 0,   // multiplexed localEval/localEvald/localEvalr batch
+  kReachRows = 1,   // refresh: closure boundary rows (BoundaryReachIndex)
+  kDistRows = 2,    // refresh: weighted boundary rows (BoundaryDistIndex)
+  kRpqRows = 3,     // refresh: product boundary rows (BoundaryRpqIndex)
+  kReachSweep = 4,  // per-query endpoint sweeps, reach indexed path
+  kDistSweep = 5,   // per-query endpoint sweeps, dist indexed path
+  kRpqSweep = 6,    // per-query endpoint sweeps, rpq indexed path
+};
+
+struct RoundSpec {
+  RoundKind kind = RoundKind::kBatchEval;
+  /// Kind-specific scalar: the EquationForm for kBatchEval, unused
+  /// otherwise. Everything else a worker needs is derived from `broadcast`.
+  uint8_t aux = 0;
+  /// The round's broadcast payload (shipped verbatim to every listed site).
+  std::vector<uint8_t> broadcast;
+  /// Bytes charged to the modeled traffic books per site. Usually
+  /// broadcast.size(); the rows-refresh rounds keep the seed's 1-byte
+  /// "please send rows" convention while shipping an empty payload, so the
+  /// modeled numbers stay bit-identical across backends. Envelope bytes
+  /// (kind, aux, framing, CRC) are never accounted — the model charges
+  /// payloads, not transport overhead.
+  size_t accounted_broadcast_bytes = 0;
+};
+
+// --- Wire framing (kSocket) -------------------------------------------------
+//
+// A connection carries a sequence of messages, each:
+//
+//   varint body_length | body bytes | u32 CRC32(body)
+//
+// body_length is capped by TransportOptions::max_frame_bytes before any
+// allocation, and the CRC gate means decoders past this layer only ever see
+// byte-exact copies of what the peer encoded — residual corruption is a
+// software bug, not a transport hazard. Message bodies start with a
+// WireMessage tag; replies start with a status byte. See DESIGN.md §13.
+
+inline constexpr uint8_t kWireVersion = 1;
+
+enum class WireMessage : uint8_t {
+  kHello = 0,     // u8 version, varint site, fragment bytes -> ok reply
+  kRound = 1,     // u8 kind, u8 aux, broadcast bytes -> ok reply + payload
+  kSync = 2,      // fragment bytes (post-update state) -> ok reply
+  kShutdown = 3,  // empty                              -> ok reply, then exit
+};
+
+/// CRC32 (IEEE, reflected) over `size` bytes — the per-message integrity
+/// gate of the socket framing. Table-driven, no hardware or library deps.
+uint32_t WireCrc32(const uint8_t* data, size_t size);
+
+/// Writes one framed message. `timeout_ms` bounds each blocked send
+/// (<= 0: block indefinitely). Fails with Internal on a closed or stuck
+/// peer; never raises SIGPIPE.
+Status WriteWireMessage(int fd, const std::vector<uint8_t>& body,
+                        int timeout_ms);
+
+/// Reads one framed message into `*body`. `timeout_ms` bounds each blocked
+/// read (<= 0: block indefinitely). Fails with Internal on EOF/timeout and
+/// Corruption on an oversized length or CRC mismatch.
+Status ReadWireMessage(int fd, int timeout_ms, size_t max_frame_bytes,
+                       std::vector<uint8_t>* body);
+
+// --- The transport seam -----------------------------------------------------
+
+/// One site's work in a simulated round: the engine's closure over the
+/// coordinator-resident fragment.
+using SiteFn = std::function<std::vector<uint8_t>(const Fragment&)>;
+
+/// Executes communication rounds for a Cluster. Implementations are
+/// thread-safe: the server's per-class dispatchers run overlapping rounds
+/// against one transport.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Runs one round on `sites`: reply payload per listed site (in order)
+  /// plus the maximum per-site compute time, for the modeled clock. On any
+  /// site failure (dead/hung worker, corrupt frame) returns a non-OK status
+  /// and the round's replies must not be used; in-process backends never
+  /// fail. `sim_fn` is what the simulated backend runs; the others decode
+  /// `spec` instead.
+  virtual Status Execute(const std::vector<SiteId>& sites,
+                         const RoundSpec& spec, const SiteFn& sim_fn,
+                         std::vector<std::vector<uint8_t>>* replies,
+                         double* max_compute_ms) = 0;
+
+  /// Re-ships every fragment's post-update state to its site (worker-held
+  /// fragment copies go stale when IncrementalReachIndex applies edges).
+  /// No-op for kSim, which reads the coordinator's fragments directly. A
+  /// site that cannot be synced is marked dead so its next round
+  /// re-establishes with a fresh Hello — stale answers are impossible
+  /// either way. Must not overlap with in-flight rounds (the server calls
+  /// it under the writer-held epoch gate).
+  virtual Status SyncFragments() { return Status::OK(); }
+
+  /// Tears down connections and worker processes. Idempotent; also run by
+  /// the destructor.
+  virtual void Shutdown() {}
+
+  /// kSocket spawn mode: pids of the live worker processes (test hook for
+  /// failure injection). Empty for other backends/modes.
+  virtual std::vector<int> WorkerPidsForTest() { return {}; }
+};
+
+/// Builds the backend `options.backend` selects. `fragmentation` and `pool`
+/// must outlive the transport.
+std::unique_ptr<Transport> MakeTransport(const TransportOptions& options,
+                                         const Fragmentation* fragmentation,
+                                         ThreadPool* pool);
+
+/// The simulated backend, unconditionally — Cluster::Round keeps the
+/// baselines' bespoke closures on it regardless of the serving backend.
+std::unique_ptr<Transport> MakeSimTransport(const Fragmentation* fragmentation,
+                                            ThreadPool* pool);
+
+}  // namespace pereach
+
+#endif  // PEREACH_NET_TRANSPORT_H_

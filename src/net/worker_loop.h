@@ -1,0 +1,19 @@
+#ifndef PEREACH_NET_WORKER_LOOP_H_
+#define PEREACH_NET_WORKER_LOOP_H_
+
+namespace pereach {
+
+/// The pereach_worker protocol loop: serves one coordinator connection on
+/// `fd` until the peer disconnects or sends kShutdown, then returns (the fd
+/// is closed either way). Hosts one fragment (installed by kHello, replaced
+/// by kSync — each install resets the standing FragmentContext) and answers
+/// kRound requests via RunSiteRound. Crash-safe by construction: every
+/// ingress byte goes through CRC-gated framing plus tolerant decoding, so a
+/// malformed message produces an error reply (or a dropped connection), never
+/// a worker abort. Shared by the pereach_worker binary (tools/) and by
+/// in-process fake-worker threads in the failure-injection tests.
+void ServeConnection(int fd);
+
+}  // namespace pereach
+
+#endif  // PEREACH_NET_WORKER_LOOP_H_

@@ -16,6 +16,8 @@ const char* RejectReasonName(RejectReason reason) {
       return "queue_stale";
     case RejectReason::kTenantQuota:
       return "tenant_quota";
+    case RejectReason::kTransportError:
+      return "transport_error";
   }
   return "unknown";
 }

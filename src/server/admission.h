@@ -31,6 +31,11 @@ enum class RejectReason : uint8_t {
   /// The submitting tenant is at its in-flight quota
   /// (admission.tenant_quota).
   kTenantQuota,
+  /// The serving transport failed the round carrying this query's batch (a
+  /// worker died, a deadline expired, or a frame arrived corrupt). The
+  /// query was admitted and dispatched but could not be evaluated; the
+  /// server keeps serving and the client may retry.
+  kTransportError,
 };
 
 /// Printable name of a reason ("none", "stopping", ...), for logs and the

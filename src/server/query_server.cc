@@ -35,6 +35,8 @@ CounterId ReasonCounter(RejectReason reason) {
       return CounterId::kRejectedQueueStale;
     case RejectReason::kTenantQuota:
       return CounterId::kRejectedTenantQuota;
+    case RejectReason::kTransportError:
+      return CounterId::kRejectedTransport;
     case RejectReason::kNone:
       break;
   }
@@ -47,7 +49,8 @@ CounterId ReasonCounter(RejectReason reason) {
 QueryServer::QueryServer(IncrementalReachIndex* index, ServerOptions options)
     : index_(index),
       options_(options),
-      cluster_(&index->fragmentation(), options.net, options.cluster_threads),
+      cluster_(&index->fragmentation(), options.net, options.cluster_threads,
+               options.transport),
       index_epoch_base_(index->epoch()),
       cache_(options.cache) {
   for (size_t c = 0; c < kNumClasses; ++c) {
@@ -196,6 +199,13 @@ uint64_t QueryServer::AddEdges(
   // each touched fragment; Cluster reads the fragmentation only inside
   // reader-held batches, so the swap is invisible to queries.
   index_->AddEdges(edges);
+  // Ship the updated fragments to the serving workers while still
+  // exclusive, so no batch can round over stale remote state. A failed sync
+  // only closes the affected connections: the next round re-establishes and
+  // the reconnect handshake ships the CURRENT fragment, so a worker can
+  // never serve pre-update answers after this commit.
+  Status sync = cluster_.SyncFragments();
+  (void)sync;
   const uint64_t epoch = writer.Commit();
   // Epoch-keyed cache entries can never be served at the new epoch; drop
   // them while still under the exclusive gate, so no reader can look up
@@ -287,6 +297,41 @@ void QueryServer::DispatcherLoop(size_t class_idx) {
       result = engine.EvaluateBatch(batch);
     }
 
+    const auto release_charges = [&] {
+      // Release the in-flight and tenant-quota charges BEFORE resolving the
+      // promises: a client that saw its future resolve must not be able to
+      // observe its own query still charged (a resubmit racing the books
+      // would be spuriously quota-rejected, and a quiesced server could
+      // show a non-zero tenants-in-flight gauge). Drain() consequently
+      // returns when all answers are computed, possibly a few set_value
+      // calls early.
+      MutexLock lock(&drain_mu_);
+      if (options_.admission.tenant_quota > 0) {
+        for (const PendingQuery& p : pending) {
+          const auto it = tenant_in_flight_.find(p.tenant);
+          if (it != tenant_in_flight_.end() && --it->second == 0) {
+            tenant_in_flight_.erase(it);
+          }
+        }
+      }
+      in_flight_ -= pending.size();
+      if (in_flight_ == 0) drained_.NotifyAll();
+    };
+
+    if (!result.status.ok()) {
+      // The serving transport failed the round carrying this batch (dead
+      // worker, expired deadline, corrupt frame). Its answers are
+      // unspecified, so the whole batch resolves rejected — charges
+      // released, nothing cached, no answered/latency books — and the
+      // dispatcher keeps serving; the transport re-establishes lazily on
+      // the next round.
+      release_charges();
+      for (PendingQuery& p : pending) {
+        Reject(&p.promise, RejectReason::kTransportError);
+      }
+      continue;
+    }
+
     {
       MutexLock lock(&stats_mu_);
       stats_.queries += pending.size();
@@ -310,25 +355,7 @@ void QueryServer::DispatcherLoop(size_t class_idx) {
         result.metrics.wall_ms);
     last_answered_epoch_[class_idx].store(epoch, std::memory_order_relaxed);
 
-    // Release the in-flight and tenant-quota charges BEFORE resolving the
-    // promises: a client that saw its future resolve must not be able to
-    // observe its own query still charged (a resubmit racing the books
-    // would be spuriously quota-rejected, and a quiesced server could show
-    // a non-zero tenants-in-flight gauge). Drain() consequently returns
-    // when all answers are computed, possibly a few set_value calls early.
-    {
-      MutexLock lock(&drain_mu_);
-      if (options_.admission.tenant_quota > 0) {
-        for (const PendingQuery& p : pending) {
-          const auto it = tenant_in_flight_.find(p.tenant);
-          if (it != tenant_in_flight_.end() && --it->second == 0) {
-            tenant_in_flight_.erase(it);
-          }
-        }
-      }
-      in_flight_ -= pending.size();
-      if (in_flight_ == 0) drained_.NotifyAll();
-    }
+    release_charges();
     for (size_t i = 0; i < pending.size(); ++i) {
       // Feed the answer cache before resolving the promise: a client
       // resubmitting the moment its future resolves must hit. Insert

@@ -43,6 +43,11 @@ struct ServerOptions {
   /// Backpressure budgets and tenant quotas (default unbounded — set every
   /// budget in production; DESIGN.md §11.2, docs/OPERATIONS.md for tuning).
   AdmissionOptions admission;
+  /// Serving transport behind the cluster's rounds (default simulated
+  /// in-process; kShm and kSocket serve over real workers, DESIGN.md §13).
+  /// A transport failure rejects the affected batch (kTransportError) and
+  /// the server keeps serving.
+  TransportOptions transport;
 };
 
 /// Aggregate serving counters. Snapshot via QueryServer::stats(). Counts

@@ -31,6 +31,8 @@ constexpr MetricInfo kCounterInfos[] = {
      "budget"},
     {"server_rejected_tenant_quota_total", "counter", "queries",
      "rejections at the per-tenant in-flight quota"},
+    {"server_rejected_transport_total", "counter", "queries",
+     "rejections because the serving transport failed the batch's round"},
     {"server_batches_total", "counter", "batches",
      "dispatched EvaluateBatch windows across all classes"},
     {"server_updates_total", "counter", "epochs",

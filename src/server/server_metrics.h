@@ -36,6 +36,8 @@ enum class CounterId : size_t {
   kRejectedQueueFull,
   kRejectedQueueStale,
   kRejectedTenantQuota,
+  kRejectedTransport,  // serving-transport failures (dead worker, deadline,
+                       // corrupt frame) that rejected a dispatched batch
   kBatches,            // EvaluateBatch windows across all classes
   kUpdates,            // committed update epochs
   kCacheHits,          // answer-cache hits (served without evaluation)

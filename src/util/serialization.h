@@ -7,6 +7,7 @@
 
 #include "src/util/bitset.h"
 #include "src/util/logging.h"
+#include "src/util/status.h"
 
 namespace pereach {
 
@@ -84,20 +85,36 @@ class Encoder {
 };
 
 /// Sequential reader over a byte buffer produced by Encoder. Every read is
-/// bounds-checked: a truncated or malformed payload CHECK-aborts with a
-/// diagnostic instead of reading out of range, over-allocating, or
-/// fabricating data. Reply payloads cross (simulated) site boundaries, so
-/// decoding treats them as untrusted input.
+/// bounds-checked; what a violation does depends on the error mode chosen at
+/// construction:
+///
+///   - `OnError::kAbort` (default): a truncated or malformed payload
+///     CHECK-aborts with a diagnostic instead of reading out of range,
+///     over-allocating, or fabricating data. Correct for trusted in-process
+///     buffers this program encoded itself, where corruption is a bug.
+///   - `OnError::kStatus`: the first violation records a sticky Corruption
+///     status; that read and every subsequent read return a zero/empty value
+///     and `ok()` turns false. Required at every transport ingress — one
+///     corrupt frame from a socket peer must reject the message, never kill
+///     the server (DESIGN.md §13).
+///
+/// In kStatus mode callers poll `ok()` at decode checkpoints and must treat
+/// all intermediate values as garbage once it is false. Sub-decoders from
+/// `GetFrame()` inherit the mode but track their own status: check both.
 class Decoder {
  public:
-  explicit Decoder(const std::vector<uint8_t>& buf)
-      : data_(buf.data()), size_(buf.size()) {}
+  enum class OnError : uint8_t { kAbort, kStatus };
+
+  explicit Decoder(const std::vector<uint8_t>& buf,
+                   OnError on_error = OnError::kAbort)
+      : data_(buf.data()), size_(buf.size()), on_error_(on_error) {}
 
   /// View over a raw byte range (used for sub-frames of batched payloads).
-  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Decoder(const uint8_t* data, size_t size, OnError on_error = OnError::kAbort)
+      : data_(data), size_(size), on_error_(on_error) {}
 
   [[nodiscard]] uint8_t GetU8() {
-    PEREACH_CHECK(pos_ < size_ && "decoder: truncated payload");
+    if (!Check(pos_ < size_, "decoder: truncated payload")) return 0;
     return data_[pos_++];
   }
 
@@ -118,23 +135,25 @@ class Decoder {
     int shift = 0;
     while (true) {
       const uint8_t byte = GetU8();
+      if (failed_) return 0;
       v |= static_cast<uint64_t>(byte & 0x7F) << shift;
       if ((byte & 0x80) == 0) break;
       shift += 7;
-      PEREACH_CHECK(shift < 64 && "decoder: overlong varint");
+      if (!Check(shift < 64, "decoder: overlong varint")) return 0;
     }
     return v;
   }
 
   /// Reads a varint that declares a count of elements occupying at least
   /// `min_element_bytes` each. A count the remaining buffer cannot possibly
-  /// hold aborts here, before any allocation — a malformed length can
+  /// hold fails here, before any allocation — a malformed length can
   /// otherwise request a multi-gigabyte resize and die far from the cause.
   [[nodiscard]] size_t GetCount(size_t min_element_bytes = 1) {
     const uint64_t n = GetVarint();
-    PEREACH_CHECK((min_element_bytes == 0 ||
-                   n <= remaining() / min_element_bytes) &&
-                  "decoder: count exceeds payload size");
+    if (!Check(min_element_bytes == 0 || n <= remaining() / min_element_bytes,
+               "decoder: count exceeds payload size")) {
+      return 0;
+    }
     return static_cast<size_t>(n);
   }
 
@@ -149,7 +168,7 @@ class Decoder {
     // remaining()-relative comparison avoids the pos_ + n overflow that a
     // near-SIZE_MAX length would slip past an absolute bounds check.
     const uint64_t n = GetVarint();
-    PEREACH_CHECK(n <= remaining() && "decoder: truncated string");
+    if (!Check(n <= remaining(), "decoder: truncated string")) return "";
     std::string s(reinterpret_cast<const char*>(data_ + pos_),
                   static_cast<size_t>(n));
     pos_ += static_cast<size_t>(n);
@@ -160,8 +179,10 @@ class Decoder {
     // Compare bit counts, not (num_bits + 7) / 8: a length near UINT64_MAX
     // would wrap the byte count to 0 and slip past the check.
     const uint64_t num_bits = GetVarint();
-    PEREACH_CHECK(num_bits <= 8 * static_cast<uint64_t>(remaining()) &&
-                  "decoder: truncated bitset");
+    if (!Check(num_bits <= 8 * static_cast<uint64_t>(remaining()),
+               "decoder: truncated bitset")) {
+      return Bitset(0);
+    }
     const uint64_t num_bytes = (num_bits + 7) / 8;
     Bitset b(static_cast<size_t>(num_bits));
     std::vector<uint64_t>& words = b.mutable_words();
@@ -172,23 +193,53 @@ class Decoder {
   }
 
   /// Consumes a length-prefixed frame and returns a decoder over its bytes.
-  /// The frame must lie entirely within the remaining buffer.
+  /// The frame must lie entirely within the remaining buffer. The sub-decoder
+  /// inherits the error mode but keeps its own status.
   [[nodiscard]] Decoder GetFrame() {
     const uint64_t n = GetVarint();
-    PEREACH_CHECK(n <= remaining() && "decoder: truncated frame");
-    Decoder sub(data_ + pos_, static_cast<size_t>(n));
+    if (!Check(n <= remaining(), "decoder: truncated frame")) {
+      return Decoder(data_, 0, on_error_);
+    }
+    Decoder sub(data_ + pos_, static_cast<size_t>(n), on_error_);
     pos_ += static_cast<size_t>(n);
     return sub;
   }
 
-  [[nodiscard]] bool Done() const { return pos_ == size_; }
+  /// False once any read failed, regardless of position.
+  [[nodiscard]] bool Done() const { return !failed_ && pos_ == size_; }
   [[nodiscard]] size_t position() const { return pos_; }
   [[nodiscard]] size_t remaining() const { return size_ - pos_; }
 
+  /// kStatus mode: true until the first malformed read. Always true in
+  /// kAbort mode (a violation never returns).
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] Status status() const {
+    return failed_ ? Status::Corruption(error_) : Status::OK();
+  }
+
  private:
+  /// Returns true when `cond` holds. Otherwise aborts (kAbort) or marks the
+  /// decoder failed and exhausts it so no later read touches the buffer
+  /// (kStatus); the first failure's message wins.
+  bool Check(bool cond, const char* msg) {
+    if (cond) return true;
+    if (on_error_ == OnError::kAbort) {
+      (void)internal_logging::FatalLogMessage(__FILE__, __LINE__, msg);
+    }
+    if (!failed_) {
+      failed_ = true;
+      error_ = msg;
+    }
+    pos_ = size_;
+    return false;
+  }
+
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
+  OnError on_error_;
+  bool failed_ = false;
+  const char* error_ = "";
 };
 
 }  // namespace pereach

@@ -98,6 +98,10 @@ enum class LockRank : int {
   /// Cluster::mu_ — the per-thread metrics-window map; taken and released
   /// round by round inside gate-reader-held evaluations.
   kClusterMetrics = 40,
+  /// SocketTransport's per-connection io_mu — serializes one round's
+  /// send+receive exchange on a worker socket; taken inside gate-reader-held
+  /// rounds, never with any higher rank held.
+  kTransportConn = 45,
   /// ThreadPool::mu_ — task queue and in-flight count of the site pool.
   kThreadPool = 50,
   /// ThreadPool::ParallelFor's per-call completion latch; workers take it

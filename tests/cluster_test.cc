@@ -68,10 +68,9 @@ TEST(ClusterTest, RoundAccountsVisitsTrafficAndRounds) {
       /*broadcast_bytes=*/10, [](const Fragment& f) {
         return std::vector<uint8_t>(f.site() + 1, 0xFF);  // 1, 2, 3 bytes
       });
-  cluster.EndQuery();
+  const RunMetrics m = cluster.EndQuery();
 
   ASSERT_EQ(replies.size(), 3u);
-  const RunMetrics& m = cluster.metrics();
   EXPECT_EQ(m.rounds, 1u);
   EXPECT_EQ(m.site_visits, (std::vector<size_t>{1, 1, 1}));
   // 3 broadcasts of 10B + replies of 1+2+3 bytes.
@@ -88,9 +87,9 @@ TEST(ClusterTest, EmptyRepliesSendNoMessage) {
   Cluster cluster(&frag, NetworkModel());
   cluster.BeginQuery();
   cluster.RoundAll(0, [](const Fragment&) { return std::vector<uint8_t>(); });
-  cluster.EndQuery();
-  EXPECT_EQ(cluster.metrics().messages, 3u);  // only the broadcasts
-  EXPECT_EQ(cluster.metrics().traffic_bytes, 0u);
+  const RunMetrics m = cluster.EndQuery();
+  EXPECT_EQ(m.messages, 3u);  // only the broadcasts
+  EXPECT_EQ(m.traffic_bytes, 0u);
 }
 
 TEST(ClusterTest, SubsetRoundOnlyVisitsListedSites) {
@@ -102,23 +101,25 @@ TEST(ClusterTest, SubsetRoundOnlyVisitsListedSites) {
     EXPECT_EQ(f.site(), 1u);
     return std::vector<uint8_t>{1};
   });
-  cluster.EndQuery();
-  EXPECT_EQ(cluster.metrics().site_visits, (std::vector<size_t>{0, 1, 0}));
+  const RunMetrics m = cluster.EndQuery();
+  EXPECT_EQ(m.site_visits, (std::vector<size_t>{0, 1, 0}));
 }
 
-TEST(ClusterTest, BeginQueryResetsMetrics) {
+// Each BeginQuery..EndQuery window keeps its own books: a second window on
+// the same cluster starts from zero, not from the first window's totals.
+TEST(ClusterTest, EachWindowStartsFromZero) {
   const PaperExample ex = MakePaperExample();
   const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
   Cluster cluster(&frag, NetworkModel());
   cluster.BeginQuery();
   cluster.RoundAll(8, [](const Fragment&) { return std::vector<uint8_t>{1}; });
-  cluster.EndQuery();
-  EXPECT_GT(cluster.metrics().traffic_bytes, 0u);
+  const RunMetrics first = cluster.EndQuery();
+  EXPECT_GT(first.traffic_bytes, 0u);
   cluster.BeginQuery();
-  cluster.EndQuery();
-  EXPECT_EQ(cluster.metrics().traffic_bytes, 0u);
-  EXPECT_EQ(cluster.metrics().rounds, 0u);
-  EXPECT_EQ(cluster.metrics().TotalVisits(), 0u);
+  const RunMetrics second = cluster.EndQuery();
+  EXPECT_EQ(second.traffic_bytes, 0u);
+  EXPECT_EQ(second.rounds, 0u);
+  EXPECT_EQ(second.TotalVisits(), 0u);
 }
 
 TEST(ClusterTest, RecordersAccumulate) {
@@ -133,8 +134,7 @@ TEST(ClusterTest, RecordersAccumulate) {
   cluster.RecordTraffic(1000, 10);
   cluster.RecordModeledRound(3.0, 1000);
   cluster.AddCoordinatorWorkMs(2.0);
-  cluster.EndQuery();
-  const RunMetrics& m = cluster.metrics();
+  const RunMetrics m = cluster.EndQuery();
   EXPECT_EQ(m.site_visits, (std::vector<size_t>{5, 0, 1}));
   EXPECT_EQ(m.traffic_bytes, 1000u);
   EXPECT_EQ(m.messages, 10u);

@@ -3,11 +3,27 @@
 // never silently corrupt an answer.
 
 #include <gtest/gtest.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/core/local_eval.h"
+#include "src/engine/partial_eval_engine.h"
 #include "src/fragment/fragmentation.h"
 #include "src/graph/graph.h"
+#include "src/net/cluster.h"
+#include "src/net/transport.h"
+#include "src/net/worker_loop.h"
 #include "src/regex/regex.h"
+#include "src/server/query_server.h"
 #include "src/util/serialization.h"
 #include "tests/test_util.h"
 
@@ -109,6 +125,260 @@ TEST(FailureTest, RegexParseReportsPositionOfTrailingGarbage) {
   const Result<Regex> r = Regex::Parse("A )", dict);
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Serving-transport failure injection. A deterministic harness stands in for
+// the workers: each site is a unix-socket listener the coordinator connects
+// to, and a scripted thread decides whether that site behaves (it runs the
+// REAL worker loop, ServeConnection) or misbehaves (partial frames, silence).
+// The contract under test: any transport failure rejects the affected batch
+// with a Status and the process keeps serving — never an abort, never a
+// wrong answer.
+
+/// One unix-socket listener per fake site, plus the scripted threads.
+/// Threads must be unblocked (their peer closed) before this leaves scope:
+/// destroy the Cluster/QueryServer first.
+class FakeWorkers {
+ public:
+  explicit FakeWorkers(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      std::string path = "/tmp/pereach_failure_" +
+                         std::to_string(getpid()) + "_" + std::to_string(i) +
+                         ".sock";
+      unlink(path.c_str());
+      const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+      PEREACH_CHECK(fd >= 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      PEREACH_CHECK_LT(path.size(), sizeof(addr.sun_path));
+      std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+      PEREACH_CHECK_EQ(
+          bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+      PEREACH_CHECK_EQ(listen(fd, 4), 0);
+      paths_.push_back(std::move(path));
+      listeners_.push_back(fd);
+    }
+  }
+
+  ~FakeWorkers() {
+    for (std::thread& t : threads_) t.join();
+    for (int fd : listeners_) close(fd);
+    for (const std::string& p : paths_) unlink(p.c_str());
+  }
+
+  std::vector<std::string> Endpoints() const {
+    std::vector<std::string> out;
+    for (const std::string& p : paths_) out.push_back("unix:" + p);
+    return out;
+  }
+
+  /// Accepts one connection on site `i`'s listener, bounded so a scripted
+  /// thread can never block the test forever. -1 on timeout.
+  int Accept(size_t i, int timeout_ms = 10000) {
+    pollfd p{listeners_[i], POLLIN, 0};
+    if (poll(&p, 1, timeout_ms) <= 0) return -1;
+    return accept(listeners_[i], nullptr, nullptr);
+  }
+
+  /// Site `i` behaves: one connection served by the real worker loop.
+  void ServeHealthy(size_t i) {
+    threads_.emplace_back([this, i] {
+      const int fd = Accept(i);
+      if (fd >= 0) ServeConnection(fd);
+    });
+  }
+
+  /// Site `i` runs an arbitrary script.
+  void Run(std::function<void()> script) {
+    threads_.emplace_back(std::move(script));
+  }
+
+ private:
+  std::vector<std::string> paths_;
+  std::vector<int> listeners_;
+  std::vector<std::thread> threads_;
+};
+
+constexpr size_t kMaxFrame = TransportOptions{}.max_frame_bytes;
+
+/// Hand-rolled well-formed ok reply (status 1, zero compute, empty payload)
+/// so a scripted site can pass the handshake before misbehaving.
+void SendOkReply(int fd) {
+  Encoder body;
+  body.PutU8(1);
+  body.PutDouble(0.0);
+  body.PutVarint(0);
+  PEREACH_CHECK(WriteWireMessage(fd, body.buffer(), 1000).ok());
+}
+
+TransportOptions ConnectOptions(const FakeWorkers& workers) {
+  TransportOptions opts;
+  opts.backend = TransportBackend::kSocket;
+  opts.connect = workers.Endpoints();
+  opts.connect_timeout_ms = 500;
+  opts.read_timeout_ms = 500;
+  opts.max_retries = 0;
+  opts.retry_backoff_ms = 1;
+  return opts;
+}
+
+std::vector<Query> SmallReachBatch() {
+  return {Query::Reach(0, 10), Query::Reach(4, 2), Query::Reach(7, 7),
+          Query::Reach(1, 8)};
+}
+
+// A worker that ships a truncated frame (declares 100 body bytes, sends 3,
+// closes) fails that round with a Status; the next round reconnects and
+// serves bit-identical answers — mid-stream corruption is a one-batch event.
+TEST(TransportFailureTest, PartialFrameWriteRejectsBatchThenRecovers) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  FakeWorkers workers(3);
+  workers.ServeHealthy(0);
+  workers.ServeHealthy(1);
+  workers.Run([&workers] {
+    const int fd = workers.Accept(2);
+    if (fd < 0) return;
+    std::vector<uint8_t> req;
+    PEREACH_CHECK(ReadWireMessage(fd, 5000, kMaxFrame, &req).ok());  // hello
+    SendOkReply(fd);
+    PEREACH_CHECK(ReadWireMessage(fd, 5000, kMaxFrame, &req).ok());  // round
+    Encoder partial;
+    partial.PutVarint(100);
+    partial.PutRaw({1, 2, 3});
+    const auto& bytes = partial.buffer();
+    PEREACH_CHECK(write(fd, bytes.data(), bytes.size()) ==
+                  static_cast<ssize_t>(bytes.size()));
+    close(fd);
+    // Recovery: the reconnect is a fresh hello on a fresh connection; from
+    // here the site behaves.
+    const int fd2 = workers.Accept(2);
+    if (fd2 >= 0) ServeConnection(fd2);
+  });
+
+  {
+    Cluster sim(&frag, NetworkModel(), /*num_threads=*/3);
+    Cluster cluster(&frag, NetworkModel(), /*num_threads=*/3,
+                    ConnectOptions(workers));
+    PartialEvalEngine sim_engine(&sim);
+    PartialEvalEngine engine(&cluster);
+    const std::vector<Query> batch = SmallReachBatch();
+
+    const BatchAnswer failed = engine.EvaluateBatch(batch);
+    EXPECT_FALSE(failed.status.ok());
+
+    const BatchAnswer expect = sim_engine.EvaluateBatch(batch);
+    const BatchAnswer recovered = engine.EvaluateBatch(batch);
+    ASSERT_TRUE(recovered.status.ok());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(recovered.answers[i].reachable, expect.answers[i].reachable);
+    }
+  }  // cluster shutdown unblocks the fake workers before ~FakeWorkers joins
+}
+
+// A worker that goes silent mid-round trips the read deadline: the batch
+// rejects after ~read_timeout_ms instead of hanging the dispatcher forever.
+TEST(TransportFailureTest, SilentWorkerTripsReadDeadline) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  FakeWorkers workers(3);
+  workers.ServeHealthy(0);
+  workers.ServeHealthy(1);
+  workers.Run([&workers] {
+    const int fd = workers.Accept(2);
+    if (fd < 0) return;
+    std::vector<uint8_t> req;
+    PEREACH_CHECK(ReadWireMessage(fd, 5000, kMaxFrame, &req).ok());  // hello
+    SendOkReply(fd);
+    (void)ReadWireMessage(fd, 5000, kMaxFrame, &req);  // round request
+    // Say nothing. The coordinator's deadline expires and it closes the
+    // connection, which unblocks this read and ends the script.
+    (void)ReadWireMessage(fd, 15000, kMaxFrame, &req);
+    close(fd);
+  });
+
+  {
+    Cluster cluster(&frag, NetworkModel(), /*num_threads=*/3,
+                    ConnectOptions(workers));
+    PartialEvalEngine engine(&cluster);
+    const BatchAnswer failed = engine.EvaluateBatch(SmallReachBatch());
+    EXPECT_FALSE(failed.status.ok());
+  }
+}
+
+// End-to-end serving recovery: SIGKILL a spawned worker under a live
+// QueryServer. The in-flight batch's queries resolve rejected with
+// kTransportError (counted in the metrics registry), and the next
+// submission is served again off a respawned worker — the server never
+// stops serving.
+TEST(TransportFailureTest, ServerRejectsKilledWorkerBatchAndKeepsServing) {
+  const PaperExample ex = MakePaperExample();
+  Graph g = ex.graph;
+  IncrementalReachIndex index(std::move(g), ex.partition, 3);
+  ServerOptions options;
+  options.transport.backend = TransportBackend::kSocket;
+  options.transport.read_timeout_ms = 2000;
+  QueryServer server(&index, options);
+
+  const ServedAnswer first = server.Submit(Query::Reach(ex.ann, ex.mark)).get();
+  ASSERT_FALSE(first.rejected);
+  EXPECT_TRUE(first.answer.reachable);
+
+  std::vector<int> pids = server.cluster()->transport()->WorkerPidsForTest();
+  ASSERT_EQ(pids.size(), 3u);
+  kill(pids[0], SIGKILL);
+
+  const ServedAnswer rejected =
+      server.Submit(Query::Reach(ex.ann, ex.mark)).get();
+  EXPECT_TRUE(rejected.rejected);
+  EXPECT_EQ(rejected.reject_reason, RejectReason::kTransportError);
+  EXPECT_GE(server.Metrics().counter(CounterId::kRejectedTransport), 1u);
+
+  const ServedAnswer again = server.Submit(Query::Reach(ex.ann, ex.mark)).get();
+  ASSERT_FALSE(again.rejected);
+  EXPECT_TRUE(again.answer.reachable);
+  server.Stop();
+}
+
+// Stop() while a round is wedged on a silent worker: the read deadline
+// bounds the dispatcher's block, every submitted future still resolves
+// (rejected), and Stop returns — shutdown can never hang on a dead worker.
+TEST(TransportFailureTest, StopDuringHungRoundDrainsCleanly) {
+  const PaperExample ex = MakePaperExample();
+  FakeWorkers workers(3);
+  workers.ServeHealthy(0);
+  workers.ServeHealthy(1);
+  workers.Run([&workers] {
+    const int fd = workers.Accept(2);
+    if (fd < 0) return;
+    std::vector<uint8_t> req;
+    PEREACH_CHECK(ReadWireMessage(fd, 5000, kMaxFrame, &req).ok());  // hello
+    SendOkReply(fd);
+    // Swallow round requests silently until the coordinator gives up and
+    // closes the connection.
+    while (ReadWireMessage(fd, 15000, kMaxFrame, &req).ok()) {
+    }
+    close(fd);
+  });
+
+  {
+    Graph g = ex.graph;
+    IncrementalReachIndex index(std::move(g), ex.partition, 3);
+    ServerOptions options;
+    options.transport = ConnectOptions(workers);
+    QueryServer server(&index, options);
+
+    std::vector<std::future<ServedAnswer>> futures;
+    for (const Query& q : SmallReachBatch()) {
+      futures.push_back(server.Submit(q));
+    }
+    server.Stop();
+    for (auto& f : futures) {
+      const ServedAnswer served = f.get();  // must resolve, not hang
+      EXPECT_TRUE(served.rejected);
+    }
+  }
 }
 
 }  // namespace

@@ -200,6 +200,112 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
   }
 }
 
+// Transport differential: the socket backend (spawned worker processes,
+// length-prefixed frames, CRC-gated decode) must serve answers AND modeled
+// books bit-identical to the simulated seed, across the answer-path cube and
+// across update epochs (each commit re-ships fragments via SyncFragments).
+// This is the proof that serving over real sockets changes wall-clock only.
+// One socket-vs-sim differential world: same graph, same partitioner, the
+// sim and socket backends must agree bit-for-bit on answers AND on the
+// modeled books across the path extremes and update epochs.
+void SocketVsSimDifferential(const Partitioner& partitioner, uint64_t seed) {
+  constexpr size_t kSites = 3, kEpochs = 3, kQueriesPerEpoch = 16;
+  constexpr size_t kNumLabels = 3;
+  const uint64_t kSeed = seed;
+  Rng rng(kSeed);
+  const size_t n = 40 + rng.Uniform(20);
+  const Graph g = ErdosRenyi(n, 3 * n, kNumLabels, &rng);
+  const std::vector<SiteId> part = partitioner.Partition(g, kSites, &rng);
+  IncrementalReachIndex index(g, part, kSites);
+  EdgeWorld world = EdgeWorld::FromGraph(g);
+
+  TransportOptions socket_options;
+  socket_options.backend = TransportBackend::kSocket;
+  Cluster sim_cluster(&index.fragmentation(), NetworkModel{});
+  Cluster socket_cluster(&index.fragmentation(), NetworkModel{},
+                         /*num_threads=*/0, socket_options);
+
+  // The two extreme path combinations (all-BES and all-indexed) on each
+  // backend: the BES pair covers the batched localEval wire shapes, the
+  // indexed pair covers the rows-refresh and endpoint-sweep shapes.
+  struct EnginePair {
+    std::unique_ptr<PartialEvalEngine> sim;
+    std::unique_ptr<PartialEvalEngine> socket;
+    std::string name;
+  };
+  std::vector<EnginePair> pairs;
+  for (const bool indexed : {false, true}) {
+    PartialEvalOptions options;
+    options.reach_path =
+        indexed ? ReachAnswerPath::kBoundaryIndex : ReachAnswerPath::kBes;
+    options.dist_path =
+        indexed ? DistAnswerPath::kBoundaryIndex : DistAnswerPath::kBes;
+    options.rpq_path =
+        indexed ? RpqAnswerPath::kBoundaryIndex : RpqAnswerPath::kBes;
+    options.rpq_cache_entries = 4;
+    EnginePair pair;
+    pair.sim = std::make_unique<PartialEvalEngine>(&sim_cluster, options);
+    pair.socket =
+        std::make_unique<PartialEvalEngine>(&socket_cluster, options);
+    pair.name = indexed ? "all-index" : "all-bes";
+    pairs.push_back(std::move(pair));
+  }
+  index.SetUpdateListener([&pairs](SiteId site) {
+    for (EnginePair& pair : pairs) {
+      pair.sim->InvalidateFragment(site);
+      pair.socket->InvalidateFragment(site);
+    }
+  });
+
+  for (size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    std::vector<Query> batch;
+    batch.reserve(kQueriesPerEpoch + 1);
+    for (size_t q = 0; q < kQueriesPerEpoch; ++q) {
+      batch.push_back(RandomMixedQuery(n, kNumLabels, &rng));
+    }
+    batch.push_back(Query::Rpq(2, 2, QueryAutomaton::WildcardStar()));
+
+    for (EnginePair& pair : pairs) {
+      const BatchAnswer expect = pair.sim->EvaluateBatch(batch);
+      const BatchAnswer got = pair.socket->EvaluateBatch(batch);
+      ASSERT_TRUE(expect.status.ok());
+      ASSERT_TRUE(got.status.ok())
+          << pair.name << " epoch=" << epoch << ": " << got.status.ToString();
+      for (size_t q = 0; q < batch.size(); ++q) {
+        ASSERT_EQ(got.answers[q].reachable, expect.answers[q].reachable)
+            << pair.name << " vs sim: "
+            << DiffContext(kSeed, partitioner.name(), EquationForm::kAuto,
+                           epoch, batch[q]);
+        ASSERT_EQ(got.answers[q].distance, expect.answers[q].distance)
+            << pair.name << " vs sim: "
+            << DiffContext(kSeed, partitioner.name(), EquationForm::kAuto,
+                           epoch, batch[q]);
+      }
+      // Identical modeled books: payload-only accounting makes the model
+      // transport-invariant.
+      EXPECT_EQ(got.metrics.rounds, expect.metrics.rounds) << pair.name;
+      EXPECT_EQ(got.metrics.messages, expect.metrics.messages) << pair.name;
+      EXPECT_EQ(got.metrics.traffic_bytes, expect.metrics.traffic_bytes)
+          << pair.name;
+    }
+
+    // Commit an update epoch and re-ship the rebuilt fragments to the
+    // workers before the next round (what QueryServer::AddEdges does under
+    // its writer gate).
+    index.AddEdges(world.AddRandomEdges(3, &rng));
+    ASSERT_TRUE(socket_cluster.SyncFragments().ok());
+  }
+  index.SetUpdateListener(nullptr);
+}
+
+TEST(CrossClassPropertyTest, SocketBackendMatchesSimAcrossEpochsAndPaths) {
+  uint64_t seed = 1357911;
+  for (const auto& partitioner : AllPartitioners()) {
+    SocketVsSimDifferential(*partitioner, seed++);
+    if (HasFatalFailure()) return;
+  }
+}
+
 // Serving-layer variant of the differential: a cached, admission-enabled
 // QueryServer against an uncached twin (each over its own index built from
 // the same graph) and the centralized oracle, across update epochs. The

@@ -1,0 +1,275 @@
+// Transport-seam tests: the fallible (kStatus) decode path every transport
+// ingress uses, the socket wire framing, and backend equivalence — the shm
+// and socket backends must answer bit-identically to the simulated seed.
+
+#include "src/net/transport.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/engine/partial_eval_engine.h"
+#include "src/net/cluster.h"
+#include "src/util/serialization.h"
+#include "tests/test_util.h"
+
+namespace pereach {
+namespace {
+
+using testing_util::MakePaperExample;
+using testing_util::PaperExample;
+using testing_util::RandomMixedQuery;
+
+// --- Decoder kStatus mode: corrupt frames become Status, never aborts ------
+
+TEST(DecoderStatusModeTest, TruncatedVarintFailsWithStatus) {
+  const std::vector<uint8_t> buf = {0x80, 0x80};  // continuation, no end
+  Decoder dec(buf, Decoder::OnError::kStatus);
+  EXPECT_EQ(dec.GetVarint(), 0u);
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(dec.Done());
+}
+
+TEST(DecoderStatusModeTest, OversizedCountFailsBeforeAllocation) {
+  Encoder enc;
+  enc.PutVarint(uint64_t{1} << 40);  // declares ~10^12 elements, provides 0
+  const std::vector<uint8_t> buf = enc.buffer();
+  Decoder dec(buf, Decoder::OnError::kStatus);
+  EXPECT_EQ(dec.GetCount(), 0u);
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DecoderStatusModeTest, MidFrameEofFailsAndExhausts) {
+  Encoder enc;
+  enc.PutVarint(100);  // frame claims 100 bytes...
+  enc.PutU8(0xAB);     // ...buffer holds 1
+  const std::vector<uint8_t> buf = enc.buffer();
+  Decoder dec(buf, Decoder::OnError::kStatus);
+  Decoder frame = dec.GetFrame();
+  EXPECT_FALSE(dec.ok());
+  // The failed parent is exhausted: later reads return zero values instead
+  // of touching the buffer, and the sub-decoder is empty.
+  EXPECT_EQ(dec.remaining(), 0u);
+  EXPECT_EQ(frame.remaining(), 0u);
+  EXPECT_EQ(dec.GetU8(), 0u);
+}
+
+TEST(DecoderStatusModeTest, FirstErrorMessageWins) {
+  const std::vector<uint8_t> buf = {0x80};  // truncated varint
+  Decoder dec(buf, Decoder::OnError::kStatus);
+  (void)dec.GetVarint();
+  const std::string first = dec.status().ToString();
+  (void)dec.GetString();  // would fail differently; must not overwrite
+  EXPECT_EQ(dec.status().ToString(), first);
+}
+
+TEST(DecoderStatusModeTest, SubFrameInheritsStatusMode) {
+  Encoder body;
+  body.PutVarint(uint64_t{1} << 40);  // corrupt count inside the frame
+  Encoder enc;
+  enc.PutFrame(body.buffer());
+  const std::vector<uint8_t> buf = enc.buffer();
+  Decoder dec(buf, Decoder::OnError::kStatus);
+  Decoder frame = dec.GetFrame();
+  ASSERT_TRUE(dec.ok());  // the frame itself was well-formed
+  EXPECT_EQ(frame.GetCount(), 0u);
+  EXPECT_FALSE(frame.ok());  // the sub-decoder failed...
+  EXPECT_TRUE(dec.ok());     // ...without poisoning the parent
+}
+
+// --- Socket wire framing ----------------------------------------------------
+
+class WirePipeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) close(fds_[0]);
+    if (fds_[1] >= 0) close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(WirePipeTest, MessageRoundTrips) {
+  std::vector<uint8_t> body = {1, 2, 3, 250, 251, 252};
+  ASSERT_TRUE(WriteWireMessage(fds_[0], body, 1000).ok());
+  std::vector<uint8_t> got;
+  ASSERT_TRUE(ReadWireMessage(fds_[1], 1000, 1 << 20, &got).ok());
+  EXPECT_EQ(got, body);
+}
+
+TEST_F(WirePipeTest, CrcMismatchIsCorruption) {
+  Encoder framed;
+  const std::vector<uint8_t> body = {9, 9, 9};
+  framed.PutVarint(body.size());
+  framed.PutRaw(body);
+  framed.PutU32(WireCrc32(body.data(), body.size()) ^ 1);  // flip one bit
+  ASSERT_EQ(write(fds_[0], framed.buffer().data(), framed.size()),
+            static_cast<ssize_t>(framed.size()));
+  std::vector<uint8_t> got;
+  const Status s = ReadWireMessage(fds_[1], 1000, 1 << 20, &got);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST_F(WirePipeTest, OversizedLengthRejectedBeforeAllocation) {
+  Encoder framed;
+  framed.PutVarint(uint64_t{1} << 40);  // 1 TiB claim, no body
+  ASSERT_EQ(write(fds_[0], framed.buffer().data(), framed.size()),
+            static_cast<ssize_t>(framed.size()));
+  std::vector<uint8_t> got;
+  const Status s = ReadWireMessage(fds_[1], 1000, 1 << 20, &got);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST_F(WirePipeTest, MidFrameEofIsError) {
+  Encoder framed;
+  framed.PutVarint(100);             // claims 100 bytes...
+  framed.PutRaw({1, 2, 3});          // ...sends 3, then closes
+  ASSERT_EQ(write(fds_[0], framed.buffer().data(), framed.size()),
+            static_cast<ssize_t>(framed.size()));
+  close(fds_[0]);
+  fds_[0] = -1;
+  std::vector<uint8_t> got;
+  EXPECT_FALSE(ReadWireMessage(fds_[1], 1000, 1 << 20, &got).ok());
+}
+
+TEST_F(WirePipeTest, ReadDeadlineExpires) {
+  std::vector<uint8_t> got;
+  const Status s = ReadWireMessage(fds_[1], 50, 1 << 20, &got);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+// --- Backend equivalence ----------------------------------------------------
+
+std::vector<Query> MixedBatch(size_t n, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back(RandomMixedQuery(n, /*num_labels=*/3, &rng));
+  }
+  return batch;
+}
+
+void ExpectBackendMatchesSim(TransportBackend backend) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  TransportOptions opts;
+  opts.backend = backend;
+  Cluster sim(&frag, NetworkModel(), /*num_threads=*/3);
+  Cluster real(&frag, NetworkModel(), /*num_threads=*/3, opts);
+  PartialEvalEngine sim_engine(&sim);
+  PartialEvalEngine real_engine(&real);
+
+  const std::vector<Query> batch = MixedBatch(ex.graph.NumNodes(), 24, 7);
+  const BatchAnswer a = sim_engine.EvaluateBatch(batch);
+  const BatchAnswer b = real_engine.EvaluateBatch(batch);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(a.answers[i].reachable, b.answers[i].reachable) << "query " << i;
+    EXPECT_EQ(a.answers[i].distance, b.answers[i].distance) << "query " << i;
+  }
+  // The modeled books charge payloads only, so they are identical across
+  // backends — the wall clock is the only thing a real transport changes.
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.metrics.traffic_bytes, b.metrics.traffic_bytes);
+}
+
+TEST(TransportBackendTest, ShmAnswersAndBooksMatchSim) {
+  ExpectBackendMatchesSim(TransportBackend::kShm);
+}
+
+TEST(TransportBackendTest, SocketSpawnAnswersAndBooksMatchSim) {
+  ExpectBackendMatchesSim(TransportBackend::kSocket);
+}
+
+TEST(TransportBackendTest, SocketSpawnsOneWorkerPerFragment) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  TransportOptions opts;
+  opts.backend = TransportBackend::kSocket;
+  Cluster cluster(&frag, NetworkModel(), /*num_threads=*/3, opts);
+
+  // Connections establish lazily: no workers before the first round.
+  EXPECT_TRUE(cluster.transport()->WorkerPidsForTest().empty());
+  cluster.BeginQuery();
+  RoundSpec spec;
+  spec.kind = RoundKind::kReachRows;
+  spec.accounted_broadcast_bytes = 1;
+  const auto replies = cluster.TryRound(
+      {0, 1, 2}, spec, [](const Fragment&) { return std::vector<uint8_t>(); });
+  cluster.EndQuery();
+  ASSERT_TRUE(replies.ok());
+  EXPECT_EQ(replies.value().size(), 3u);
+  EXPECT_EQ(cluster.transport()->WorkerPidsForTest().size(), 3u);
+}
+
+TEST(TransportBackendTest, UnreachableEndpointFailsRoundWithoutAborting) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  TransportOptions opts;
+  opts.backend = TransportBackend::kSocket;
+  opts.connect = {"unix:/nonexistent/pereach-0.sock",
+                  "unix:/nonexistent/pereach-1.sock",
+                  "unix:/nonexistent/pereach-2.sock"};
+  opts.connect_timeout_ms = 200;
+  opts.max_retries = 1;
+  opts.retry_backoff_ms = 1;
+  Cluster cluster(&frag, NetworkModel(), /*num_threads=*/3, opts);
+  cluster.BeginQuery();
+  RoundSpec spec;
+  spec.kind = RoundKind::kReachRows;
+  spec.accounted_broadcast_bytes = 1;
+  const auto replies = cluster.TryRound(
+      {0, 1, 2}, spec, [](const Fragment&) { return std::vector<uint8_t>(); });
+  cluster.EndQuery();
+  EXPECT_FALSE(replies.ok());
+}
+
+// Killing a worker fails the in-flight round's queries, and the NEXT round
+// transparently respawns — the serving recovery story in one test.
+TEST(TransportBackendTest, KilledWorkerFailsRoundThenRespawns) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  TransportOptions opts;
+  opts.backend = TransportBackend::kSocket;
+  opts.read_timeout_ms = 2000;
+  Cluster cluster(&frag, NetworkModel(), /*num_threads=*/3, opts);
+  PartialEvalEngine engine(&cluster);
+
+  const std::vector<Query> batch = MixedBatch(ex.graph.NumNodes(), 8, 11);
+  const BatchAnswer before = engine.EvaluateBatch(batch);
+  ASSERT_TRUE(before.status.ok());
+
+  std::vector<int> pids = cluster.transport()->WorkerPidsForTest();
+  ASSERT_EQ(pids.size(), 3u);
+  kill(pids[1], SIGKILL);
+  // The worker is dead but its connection looks healthy until used: the
+  // next batch hits EOF mid-round and must reject, not abort.
+  const BatchAnswer during = engine.EvaluateBatch(batch);
+  EXPECT_FALSE(during.status.ok());
+
+  // The round after that re-establishes (fresh spawn + Hello with the
+  // current fragment) and serves bit-identical answers again.
+  const BatchAnswer after = engine.EvaluateBatch(batch);
+  ASSERT_TRUE(after.status.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(after.answers[i].reachable, before.answers[i].reachable);
+    EXPECT_EQ(after.answers[i].distance, before.answers[i].distance);
+  }
+  const std::vector<int> respawned = cluster.transport()->WorkerPidsForTest();
+  ASSERT_EQ(respawned.size(), 3u);
+  EXPECT_NE(respawned[1], pids[1]);
+}
+
+}  // namespace
+}  // namespace pereach

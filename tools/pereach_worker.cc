@@ -1,0 +1,123 @@
+// pereach_worker — hosts ONE fragment of a pereach deployment and serves
+// coordinator rounds over a socket (DESIGN.md §13). Two modes:
+//
+//   pereach_worker --fd=N             serve an inherited socket (spawn mode;
+//                                     the coordinator forks this binary over
+//                                     a socketpair)
+//   pereach_worker --listen=unix:PATH accept coordinator connections on a
+//                                     Unix-domain socket
+//   pereach_worker --listen=PORT      accept coordinator connections on TCP
+//                                     0.0.0.0:PORT
+//
+// The worker is stateless until the coordinator's Hello ships it a fragment;
+// kSync replaces the fragment after graph updates. Listen mode serves one
+// connection at a time (there is one coordinator) and keeps accepting after
+// a disconnect, so a restarted coordinator can re-attach.
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/net/worker_loop.h"
+
+namespace {
+
+int ListenUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("pereach_worker: socket");
+    return -1;
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "pereach_worker: unix path too long: %s\n",
+                 path.c_str());
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 1) != 0) {
+    std::perror("pereach_worker: bind/listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ListenTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("pereach_worker: socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 1) != 0) {
+    std::perror("pereach_worker: bind/listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pereach_worker --fd=N | --listen=unix:PATH | "
+               "--listen=PORT\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A coordinator disappearing mid-write must surface as a send error, not
+  // kill the worker.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (argc != 2) return Usage();
+  const std::string arg = argv[1];
+
+  if (arg.rfind("--fd=", 0) == 0) {
+    const int fd = std::atoi(arg.c_str() + 5);
+    if (fd < 0) return Usage();
+    pereach::ServeConnection(fd);
+    return 0;
+  }
+
+  if (arg.rfind("--listen=", 0) == 0) {
+    const std::string endpoint = arg.substr(9);
+    const int listen_fd =
+        endpoint.rfind("unix:", 0) == 0
+            ? ListenUnix(endpoint.substr(5))
+            : ListenTcp(std::atoi(endpoint.c_str()));
+    if (listen_fd < 0) return 1;
+    for (;;) {
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn < 0) {
+        if (errno == EINTR) continue;
+        std::perror("pereach_worker: accept");
+        return 1;
+      }
+      pereach::ServeConnection(conn);  // closes conn when the peer is done
+    }
+  }
+
+  return Usage();
+}
