@@ -65,6 +65,11 @@ struct ServerBenchFlags {
   // the same either way); socket spawns one pereach_worker process per
   // fragment and the wall columns become real multi-process serving time.
   TransportBackend transport = TransportBackend::kSim;
+  // --chaos: append a fault-injected series (seeded FaultPlan that kills
+  // every worker at least once plus random kill/hang/drop/corrupt/delay
+  // draws). The run must complete every batch with zero transport
+  // rejections — recovery via retry/respawn/degradation is the contract.
+  bool chaos = false;
 };
 
 struct ConfigResult {
@@ -87,6 +92,12 @@ struct ConfigResult {
   double wall_p50_ms = 0;
   double wall_p90_ms = 0;
   double wall_p99_ms = 0;
+  // Recovery books sampled from the final metrics snapshot (zeros for the
+  // in-process transports): the chaos series asserts on these.
+  double transport_rejected = 0;
+  double transport_retries = 0;
+  double transport_respawns = 0;
+  double transport_degraded = 0;
 };
 
 /// Percentile over an unsorted latency sample (nearest-rank; sorts a copy).
@@ -138,7 +149,8 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
                        const std::vector<QueryAutomaton>& automata,
                        const AnswerCacheOptions& cache = {},
                        const AdmissionOptions& admission = {},
-                       const std::vector<Query>* hot_pool = nullptr) {
+                       const std::vector<Query>* hot_pool = nullptr,
+                       const FaultPlan* fault_plan = nullptr) {
   IncrementalReachIndex index(g, part, k_sites);
 
   ServerOptions options;
@@ -146,6 +158,7 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
   options.net = BenchNetwork();
   options.cache = cache;
   options.admission = admission;
+  if (fault_plan != nullptr) options.transport.fault_plan = *fault_plan;
   // Closure form: warm serving rides the cached closure rows, so per-query
   // site compute is the O(|cond|) sweep of Theorem 1, not a fresh localEval
   // — the regime the paper's guarantees (and batching) are about. Applied
@@ -271,6 +284,15 @@ ConfigResult RunConfig(const Graph& g, const std::vector<SiteId>& part,
   result.wall_p50_ms = Percentile(all_latencies, 0.50);
   result.wall_p90_ms = Percentile(all_latencies, 0.90);
   result.wall_p99_ms = Percentile(all_latencies, 0.99);
+  const MetricsSnapshot snap = server.Metrics();
+  result.transport_rejected = static_cast<double>(
+      snap.counter(CounterId::kRejectedTransport));
+  result.transport_retries =
+      static_cast<double>(snap.counter(CounterId::kTransportRetries));
+  result.transport_respawns =
+      static_cast<double>(snap.counter(CounterId::kTransportRespawns));
+  result.transport_degraded =
+      static_cast<double>(snap.counter(CounterId::kTransportDegraded));
   return result;
 }
 
@@ -345,6 +367,10 @@ int Run(int argc, char** argv) {
         }
         if (std::strcmp(arg, "--transport=socket") == 0) {
           flags.transport = TransportBackend::kSocket;
+          return true;
+        }
+        if (std::strcmp(arg, "--chaos") == 0) {
+          flags.chaos = true;
           return true;
         }
         return false;
@@ -494,6 +520,44 @@ int Run(int argc, char** argv) {
   std::snprintf(batches, sizeof(batches), "%zu", overloaded.batches);
   PrintRow({"overloaded", qps, rej, batches});
 
+  // Chaos series (--chaos): the adaptive configuration under a seeded
+  // FaultPlan that SIGKILLs every worker at least once mid-serving plus
+  // random {kill, hang, drop-frame, corrupt-crc, delay} draws. The
+  // contract: every batch completes (zero transport rejections), recovered
+  // via in-round retry, background respawn, or local degradation.
+  ConfigResult chaotic;
+  if (flags.chaos) {
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = opts.seed;
+    plan.rate = 0.05;
+    plan.first_round = 2;
+    plan.kill_each_site = true;
+    chaotic = RunConfig(g, part, k_sites, opts, flags, adaptive, automata,
+                        headline_cache, AdmissionOptions{}, nullptr, &plan);
+    char rejected[32], respawns[32], retries[32], degraded[32];
+    PrintHeader("Chaos series (seeded faults; every worker killed at least "
+                "once)",
+                {"config", "wall-q/s", "rejected", "respawns", "retries",
+                 "degraded"});
+    std::snprintf(qps, sizeof(qps), "%.1f", chaotic.wall_qps);
+    std::snprintf(rejected, sizeof(rejected), "%.0f",
+                  chaotic.transport_rejected);
+    std::snprintf(respawns, sizeof(respawns), "%.0f",
+                  chaotic.transport_respawns);
+    std::snprintf(retries, sizeof(retries), "%.0f", chaotic.transport_retries);
+    std::snprintf(degraded, sizeof(degraded), "%.0f",
+                  chaotic.transport_degraded);
+    PrintRow({"chaos", qps, rejected, respawns, retries, degraded});
+    if (chaotic.transport_rejected > 0) {
+      std::fprintf(stderr,
+                   "chaos: %d batch(es) rejected with kTransportError — "
+                   "recovery failed\n",
+                   static_cast<int>(chaotic.transport_rejected));
+      return 1;
+    }
+  }
+
   if (!flags.metrics_json.empty()) {
     std::FILE* f = std::fopen(flags.metrics_json.c_str(), "w");
     if (f == nullptr) {
@@ -553,7 +617,15 @@ int Run(int argc, char** argv) {
                   {"wall_qps", batched.wall_qps},
                   {"wall_p50_ms", batched.wall_p50_ms},
                   {"wall_p90_ms", batched.wall_p90_ms},
-                  {"wall_p99_ms", batched.wall_p99_ms}});
+                  {"wall_p99_ms", batched.wall_p99_ms},
+                  // Chaos series (all zero when --chaos is off): recovery
+                  // counters and the zero-rejection contract.
+                  {"chaos", flags.chaos ? 1.0 : 0.0},
+                  {"chaos_wall_qps", chaotic.wall_qps},
+                  {"chaos_transport_rejected", chaotic.transport_rejected},
+                  {"chaos_transport_retries", chaotic.transport_retries},
+                  {"chaos_transport_respawns", chaotic.transport_respawns},
+                  {"chaos_transport_degraded", chaotic.transport_degraded}});
   return 0;
 }
 

@@ -7,6 +7,11 @@
 // The catalog printed by --list is the stable operations surface: every
 // name is documented in docs/OPERATIONS.md (CI's docs gate checks this),
 // and the JSON shape is what `bench_server --metrics-json=` writes.
+//
+// The server_transport_* recovery family (retries, respawns, degraded
+// rounds, open breakers) reads zero here — the demo runs the in-process
+// simulated transport. `bench_server --transport=socket --chaos` drives
+// them against real worker processes under fault injection.
 
 #include <cstdio>
 #include <cstring>

@@ -31,7 +31,7 @@ OPTION_STRUCTS = {
     "src/server/batch_queue.h": ["BatchPolicy"],
     "src/server/answer_cache.h": ["AnswerCacheOptions"],
     "src/server/admission.h": ["AdmissionOptions"],
-    "src/net/transport.h": ["TransportOptions"],
+    "src/net/transport.h": ["TransportOptions", "FaultPlan"],
 }
 
 METRICS_SOURCE = "src/server/server_metrics.cc"

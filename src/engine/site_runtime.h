@@ -91,7 +91,10 @@ void EncodeRpqSweepFrame(const Fragment& f, FragmentContext* ctx,
 /// bad frame cannot kill a worker process) and produces the same reply
 /// bytes the simulated closure for (kind, aux) would have produced against
 /// this fragment. `ctx` is the site's standing cache; it must be reset
-/// (fresh FragmentContext) whenever the fragment changes.
+/// (fresh FragmentContext) whenever the fragment changes. The socket
+/// transport's degrade-local path (DESIGN.md §13.2) calls this same entry
+/// point over the coordinator's fragment copy when a site stays down, which
+/// is why a degraded round's reply bytes are identical to a healthy one's.
 Result<std::vector<uint8_t>> RunSiteRound(const Fragment& f,
                                           FragmentContext* ctx, RoundKind kind,
                                           uint8_t aux,

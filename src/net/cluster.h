@@ -138,6 +138,9 @@ class Cluster {
   /// The serving transport (test hook: WorkerPidsForTest, fault injection).
   Transport* transport() { return transport_.get(); }
 
+  /// Const view for metric sampling (Transport::Health is const).
+  const Transport* transport() const { return transport_.get(); }
+
  private:
   PEREACH_DISALLOW_COPY_AND_ASSIGN(Cluster);
 

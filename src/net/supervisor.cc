@@ -1,0 +1,134 @@
+#include "src/net/supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pereach {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+WorkerSupervisor::WorkerSupervisor(size_t num_sites, int threshold,
+                                   int open_ms)
+    : threshold_(threshold), open_ms_(std::max(open_ms, 1)) {
+  MutexLock lock(&mu_);
+  sites_.resize(num_sites);
+}
+
+WorkerSupervisor::~WorkerSupervisor() { Stop(); }
+
+void WorkerSupervisor::Start(RepairFn repair) {
+  {
+    MutexLock lock(&mu_);
+    repair_ = std::move(repair);
+  }
+  repair_thread_ = std::thread([this] { RepairLoop(); });
+}
+
+void WorkerSupervisor::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+  }
+  repair_cv_.NotifyAll();
+  if (repair_thread_.joinable()) repair_thread_.join();
+}
+
+bool WorkerSupervisor::AllowRequest(SiteId site) {
+  if (threshold_ <= 0) return true;
+  MutexLock lock(&mu_);
+  SiteHealth& h = sites_[site];
+  switch (h.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (steady_clock::now() < h.open_until) return false;
+      // The open window elapsed: this caller becomes the half-open probe.
+      h.state = BreakerState::kHalfOpen;
+      h.probe_in_flight = true;
+      return true;
+    case BreakerState::kHalfOpen:
+      if (h.probe_in_flight) return false;
+      h.probe_in_flight = true;
+      return true;
+  }
+  return true;
+}
+
+void WorkerSupervisor::RecordSuccess(SiteId site) {
+  MutexLock lock(&mu_);
+  SiteHealth& h = sites_[site];
+  h.consecutive_failures = 0;
+  h.state = BreakerState::kClosed;
+  h.probe_in_flight = false;
+  h.needs_repair = false;
+}
+
+void WorkerSupervisor::RecordFailure(SiteId site) {
+  {
+    MutexLock lock(&mu_);
+    SiteHealth& h = sites_[site];
+    ++h.consecutive_failures;
+    h.probe_in_flight = false;
+    if (threshold_ > 0 && h.consecutive_failures >= threshold_) {
+      // A failed half-open probe lands here too: the streak is still at or
+      // past the threshold, so the breaker re-opens for a fresh window.
+      h.state = BreakerState::kOpen;
+      h.open_until = steady_clock::now() + milliseconds(open_ms_);
+    }
+    h.needs_repair = true;
+  }
+  repair_cv_.NotifyAll();
+}
+
+uint64_t WorkerSupervisor::OpenBreakers() const {
+  MutexLock lock(&mu_);
+  uint64_t open = 0;
+  for (const SiteHealth& h : sites_) {
+    if (h.state != BreakerState::kClosed) ++open;
+  }
+  return open;
+}
+
+WorkerSupervisor::BreakerState WorkerSupervisor::StateForTest(
+    SiteId site) const {
+  MutexLock lock(&mu_);
+  return sites_[site].state;
+}
+
+void WorkerSupervisor::RepairLoop() {
+  while (true) {
+    std::vector<SiteId> work;
+    RepairFn repair;
+    {
+      MutexLock lock(&mu_);
+      while (!stopping_) {
+        for (size_t i = 0; i < sites_.size(); ++i) {
+          if (sites_[i].needs_repair) work.push_back(static_cast<SiteId>(i));
+        }
+        if (!work.empty()) break;
+        repair_cv_.Wait(&mu_);
+      }
+      if (stopping_) return;
+      for (SiteId site : work) sites_[site].needs_repair = false;
+      repair = repair_;
+    }
+    // Re-establish with NO supervisor lock held: RepairFn takes the
+    // transport's per-connection io_mu, which ranks below mu_.
+    std::vector<SiteId> still_down;
+    for (SiteId site : work) {
+      if (repair && !repair(site)) still_down.push_back(site);
+    }
+    if (!still_down.empty()) {
+      MutexLock lock(&mu_);
+      if (stopping_) return;
+      for (SiteId site : still_down) sites_[site].needs_repair = true;
+      // Back off before retrying so a dead endpoint doesn't spin the
+      // thread; a RecordFailure notification wakes the loop sooner.
+      repair_cv_.WaitUntil(&mu_, steady_clock::now() + milliseconds(open_ms_));
+      if (stopping_) return;
+    }
+  }
+}
+
+}  // namespace pereach

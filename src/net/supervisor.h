@@ -1,0 +1,101 @@
+#ifndef PEREACH_NET_SUPERVISOR_H_
+#define PEREACH_NET_SUPERVISOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/util/common.h"
+#include "src/util/sync.h"
+
+namespace pereach {
+
+/// Per-connection health tracking for the socket transport (DESIGN.md §13):
+/// a consecutive-failure counter and a circuit breaker per site, plus a
+/// background repair thread that re-establishes dead connections (respawn /
+/// reconnect + Hello + fragment re-ship) off the serving hot path.
+///
+/// Breaker state machine, per site:
+///
+///   kClosed ──(threshold consecutive failures)──▶ kOpen
+///   kOpen ──(breaker_open_ms elapsed, next AllowRequest)──▶ kHalfOpen
+///   kHalfOpen: exactly one caller (the probe) is admitted; its
+///     RecordSuccess closes the breaker, its RecordFailure re-opens it.
+///
+/// While a breaker is open, AllowRequest refuses so the round path skips
+/// the doomed exchange and degrades immediately; the repair thread keeps
+/// trying in the background, so a recovered worker is usually re-Hello'd
+/// before its breaker even half-opens.
+///
+/// Locking: mu_ ranks ABOVE the transport's per-connection io_mu, so the
+/// repair thread can never re-establish while holding it — it snapshots
+/// the repair worklist, releases, then calls `repair` lock-free.
+class WorkerSupervisor {
+ public:
+  /// Re-establishes one site's connection if it is down; called by the
+  /// repair thread with no supervisor lock held. Returns false when the
+  /// site is still down (the supervisor re-queues it after a backoff).
+  /// Must be cheap to call on an already-healthy site.
+  using RepairFn = std::function<bool(SiteId)>;
+
+  enum class BreakerState : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  /// `threshold` <= 0 disables the breaker (AllowRequest always true);
+  /// failures still queue background repairs.
+  WorkerSupervisor(size_t num_sites, int threshold, int open_ms);
+  ~WorkerSupervisor();
+
+  /// Starts the background repair thread. Call at most once, before any
+  /// Record* traffic that should trigger repairs.
+  void Start(RepairFn repair);
+
+  /// Stops and joins the repair thread. Idempotent; also run by the
+  /// destructor. Call BEFORE tearing down whatever `repair` touches.
+  void Stop();
+
+  /// Breaker gate, checked before each attempt at a site's round share.
+  /// Closed: admit. Open: refuse until open_ms elapsed, then admit exactly
+  /// one probe (half-open). Half-open: refuse everyone but the probe.
+  bool AllowRequest(SiteId site);
+
+  /// A successful exchange: resets the failure streak, closes the breaker.
+  void RecordSuccess(SiteId site);
+
+  /// A failed exchange (connection-level, not worker-reported): bumps the
+  /// streak, may open the breaker, and queues a background repair.
+  void RecordFailure(SiteId site);
+
+  /// Connections whose breaker is currently open or half-open (gauge).
+  uint64_t OpenBreakers() const;
+
+  BreakerState StateForTest(SiteId site) const;
+
+ private:
+  PEREACH_DISALLOW_COPY_AND_ASSIGN(WorkerSupervisor);
+
+  struct SiteHealth {
+    int consecutive_failures = 0;
+    BreakerState state = BreakerState::kClosed;
+    std::chrono::steady_clock::time_point open_until{};
+    bool probe_in_flight = false;
+    bool needs_repair = false;
+  };
+
+  void RepairLoop();
+
+  const int threshold_;
+  const int open_ms_;
+
+  mutable Mutex mu_{LockRank::kTransportHealth};
+  CondVar repair_cv_;
+  std::vector<SiteHealth> sites_ PEREACH_GUARDED_BY(mu_);
+  RepairFn repair_ PEREACH_GUARDED_BY(mu_);
+  bool stopping_ PEREACH_GUARDED_BY(mu_) = false;
+  std::thread repair_thread_;
+};
+
+}  // namespace pereach
+
+#endif  // PEREACH_NET_SUPERVISOR_H_

@@ -12,12 +12,16 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstring>
 #include <thread>
 
 #include "src/engine/fragment_context.h"
 #include "src/engine/site_runtime.h"
+#include "src/net/supervisor.h"
 #include "src/util/serialization.h"
 #include "src/util/sync.h"
 #include "src/util/timer.h"
@@ -45,16 +49,38 @@ uint32_t WireCrc32(const uint8_t* data, size_t size) {
 
 namespace {
 
-/// Waits until `fd` is ready for `events`. `timeout_ms` <= 0 blocks
-/// indefinitely. Readiness with POLLERR/POLLHUP set is reported as ready —
-/// the following read/write surfaces the precise error.
+using WireClock = std::chrono::steady_clock;
+using WireTime = WireClock::time_point;
+
+/// Deadline of a whole wire message. `timeout_ms` <= 0 means no deadline
+/// (the zero time_point), matching the blocking workers.
+WireTime WireDeadline(int timeout_ms) {
+  if (timeout_ms <= 0) return WireTime{};
+  return WireClock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+/// Milliseconds left until `deadline` for poll(2): -1 for "no deadline",
+/// 0 once it passed (poll then reports an immediate timeout).
+int RemainingMs(WireTime deadline) {
+  if (deadline == WireTime{}) return -1;
+  const int64_t left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           deadline - WireClock::now())
+                           .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<int64_t>(left, INT_MAX));
+}
+
+/// Waits until `fd` is ready for `events`. `timeout_ms` < 0 blocks
+/// indefinitely; 0 reports an expired deadline at once. Readiness with
+/// POLLERR/POLLHUP set is reported as ready — the following read/write
+/// surfaces the precise error.
 Status PollFd(int fd, short events, int timeout_ms) {
   struct pollfd p;
   p.fd = fd;
   p.events = events;
   p.revents = 0;
   for (;;) {
-    const int r = ::poll(&p, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    const int r = ::poll(&p, 1, timeout_ms < 0 ? -1 : timeout_ms);
     if (r > 0) return Status::OK();
     if (r == 0) return Status::Internal("transport: peer deadline expired");
     if (errno != EINTR) {
@@ -64,10 +90,13 @@ Status PollFd(int fd, short events, int timeout_ms) {
   }
 }
 
-Status WriteFull(int fd, const uint8_t* data, size_t size, int timeout_ms) {
+/// The deadline is for the WHOLE write: every blocked poll gets only what
+/// is left of it, so a peer draining one byte per poll cannot stretch the
+/// call past the caller's budget.
+Status WriteFull(int fd, const uint8_t* data, size_t size, WireTime deadline) {
   size_t off = 0;
   while (off < size) {
-    Status s = PollFd(fd, POLLOUT, timeout_ms);
+    Status s = PollFd(fd, POLLOUT, RemainingMs(deadline));
     if (!s.ok()) return s;
     const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
     if (n < 0) {
@@ -80,10 +109,13 @@ Status WriteFull(int fd, const uint8_t* data, size_t size, int timeout_ms) {
   return Status::OK();
 }
 
-Status ReadFull(int fd, uint8_t* data, size_t size, int timeout_ms) {
+/// Same whole-operation deadline discipline as WriteFull (the drip-feed
+/// fix: a worker sending one byte per read_timeout_ms used to extend a
+/// round indefinitely, because each blocked read got the full budget).
+Status ReadFull(int fd, uint8_t* data, size_t size, WireTime deadline) {
   size_t off = 0;
   while (off < size) {
-    Status s = PollFd(fd, POLLIN, timeout_ms);
+    Status s = PollFd(fd, POLLIN, RemainingMs(deadline));
     if (!s.ok()) return s;
     const ssize_t n = ::recv(fd, data + off, size - off, 0);
     if (n == 0) return Status::Internal("transport: connection closed by peer");
@@ -106,7 +138,7 @@ Status WriteWireMessage(int fd, const std::vector<uint8_t>& body,
   framed.PutRaw(body);
   framed.PutU32(WireCrc32(body.data(), body.size()));
   return WriteFull(fd, framed.buffer().data(), framed.buffer().size(),
-                   timeout_ms);
+                   WireDeadline(timeout_ms));
 }
 
 Status ReadWireMessage(int fd, int timeout_ms, size_t max_frame_bytes,
@@ -114,12 +146,13 @@ Status ReadWireMessage(int fd, int timeout_ms, size_t max_frame_bytes,
   // The length varint arrives byte by byte; everything after it is read in
   // one bounded gulp. The declared length is capped BEFORE the payload
   // buffer is sized, so a corrupt or hostile peer cannot drive a huge
-  // allocation.
+  // allocation. One deadline covers the whole message.
+  const WireTime deadline = WireDeadline(timeout_ms);
   uint64_t len = 0;
   int shift = 0;
   for (;;) {
     uint8_t byte = 0;
-    Status s = ReadFull(fd, &byte, 1, timeout_ms);
+    Status s = ReadFull(fd, &byte, 1, deadline);
     if (!s.ok()) return s;
     len |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) break;
@@ -133,11 +166,11 @@ Status ReadWireMessage(int fd, int timeout_ms, size_t max_frame_bytes,
   }
   body->assign(static_cast<size_t>(len), 0);
   if (len > 0) {
-    Status s = ReadFull(fd, body->data(), body->size(), timeout_ms);
+    Status s = ReadFull(fd, body->data(), body->size(), deadline);
     if (!s.ok()) return s;
   }
   uint8_t crc_bytes[4];
-  Status s = ReadFull(fd, crc_bytes, sizeof(crc_bytes), timeout_ms);
+  Status s = ReadFull(fd, crc_bytes, sizeof(crc_bytes), deadline);
   if (!s.ok()) return s;
   uint32_t crc = 0;
   for (int i = 0; i < 4; ++i) crc |= static_cast<uint32_t>(crc_bytes[i]) << (8 * i);
@@ -385,13 +418,41 @@ Status ConnectEndpoint(const std::string& endpoint, int timeout_ms,
   return Status::OK();
 }
 
+/// xorshift-free stateless mixer: the fault plan and the backoff jitter
+/// both need reproducible draws with no global RNG state.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a mixed 64-bit draw.
+double UnitDouble(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// What the fault plan injects on one (round, site) attempt.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kKill,        // SIGKILL the worker (spawn) / sever the socket (connect)
+  kHang,        // worker goes silent: the exchange is abandoned and closed
+  kDropFrame,   // request delivered, reply frame lost
+  kCorruptCrc,  // request frame shipped with a flipped CRC
+  kDelay,       // a few ms of extra latency, then a normal exchange
+};
+
 /// One pereach_worker process (or remote endpoint) per fragment; the
 /// coordinator scatters a round to the involved sites and gathers their
 /// replies, all framing CRC-gated. Failure semantics (DESIGN.md §13):
-/// bounded retry with backoff applies ONLY to connection establishment; a
-/// mid-round failure fails the round immediately (the caller rejects the
-/// batch), marks the connection dead, and the NEXT round re-establishes —
-/// respawning the worker in spawn mode, re-shipping the fragment either way.
+/// rounds are idempotent given fragment state, so a site whose exchange
+/// fails is re-established and its share re-dispatched up to round_retries
+/// times, all under one whole-round deadline; when retries exhaust or the
+/// site's circuit breaker is open, degrade_local evaluates the RoundSpec on
+/// the coordinator's own fragment copy — the batch completes either way. A
+/// WorkerSupervisor repairs dead connections in the background so
+/// re-establishment (respawn/reconnect + Hello + fragment re-ship) leaves
+/// the serving hot path.
 class SocketTransport : public Transport {
  public:
   SocketTransport(const TransportOptions& options,
@@ -400,9 +461,22 @@ class SocketTransport : public Transport {
     if (options_.worker_binary.empty()) {
       options_.worker_binary = DefaultWorkerBinary();
     }
-    for (SiteId s = 0; s < fragmentation_->num_fragments(); ++s) {
-      conns_.push_back(std::make_unique<Connection>());
+    const size_t k = fragmentation_->num_fragments();
+    fault_killed_ = std::make_unique<std::atomic<bool>[]>(k);
+    {
+      MutexLock lock(&frag_mu_);
+      for (SiteId s = 0; s < k; ++s) {
+        conns_.push_back(std::make_unique<Connection>());
+        conns_.back()->jitter_state =
+            SplitMix64(options_.backoff_jitter_seed + s);
+        local_.push_back(std::make_unique<LocalRuntime>());
+        frag_bytes_.push_back(SerializeFragment(fragmentation_->fragment(s)));
+        fault_killed_[s].store(false, std::memory_order_relaxed);
+      }
     }
+    supervisor_ = std::make_unique<WorkerSupervisor>(
+        k, options_.breaker_threshold, options_.breaker_open_ms);
+    supervisor_->Start([this](SiteId site) { return RepairSite(site); });
   }
 
   ~SocketTransport() override { Shutdown(); }
@@ -415,9 +489,14 @@ class SocketTransport : public Transport {
     replies->assign(k, {});
     std::vector<double> compute_ms(k, 0.0);
     std::vector<Status> statuses(k, Status::OK());
+    const uint64_t round = round_counter_.fetch_add(1);
+    // The whole-round deadline spans every retry, backoff and
+    // re-establishment below — a dripping or flapping worker cannot stretch
+    // a round (or the Stop() drain behind it) past this.
+    const WireTime deadline = WireDeadline(options_.round_deadline_ms);
     pool_->ParallelFor(k, [&](size_t i) {
-      statuses[i] =
-          RoundOnSite(sites[i], spec, &(*replies)[i], &compute_ms[i]);
+      statuses[i] = RoundOnSite(sites[i], spec, round, deadline,
+                                &(*replies)[i], &compute_ms[i]);
     });
     *max_compute_ms = 0.0;
     for (double ms : compute_ms) *max_compute_ms = std::max(*max_compute_ms, ms);
@@ -428,6 +507,22 @@ class SocketTransport : public Transport {
   }
 
   Status SyncFragments() override {
+    // Refresh the serialized snapshots FIRST. The server calls this under
+    // the writer-held epoch gate (no rounds in flight), and every later
+    // Hello — including the repair thread's — ships these cached bytes, so
+    // nothing off the gate ever serializes a live fragment.
+    {
+      MutexLock lock(&frag_mu_);
+      for (SiteId s = 0; s < conns_.size(); ++s) {
+        frag_bytes_[s] = SerializeFragment(fragmentation_->fragment(s));
+      }
+    }
+    // The degrade-local contexts cache per-fragment structure; the
+    // fragments just changed under us.
+    for (std::unique_ptr<LocalRuntime>& rt : local_) {
+      MutexLock lock(&rt->eval_mu);
+      rt->ctx = std::make_unique<FragmentContext>();
+    }
     // A site that fails to sync is marked dead, which is already safe: its
     // next round re-establishes with a Hello carrying the CURRENT fragment,
     // so a worker can never serve stale state. Sites already dead are
@@ -438,14 +533,21 @@ class SocketTransport : public Transport {
       if (c.dead) continue;
       Encoder body;
       body.PutU8(static_cast<uint8_t>(WireMessage::kSync));
-      body.PutRaw(SerializeFragment(fragmentation_->fragment(s)));
-      Status st = ExchangeLocked(&c, body.buffer(), nullptr, nullptr);
+      {
+        MutexLock flock(&frag_mu_);
+        body.PutRaw(frag_bytes_[s]);
+      }
+      Status st = ExchangeLocked(&c, body.buffer(), nullptr, nullptr,
+                                 WireDeadline(options_.read_timeout_ms));
       if (!st.ok()) CloseLocked(&c);
     }
     return Status::OK();
   }
 
   void Shutdown() override {
+    // Stop the repair thread before touching any connection it might be
+    // re-establishing.
+    if (supervisor_ != nullptr) supervisor_->Stop();
     std::vector<pid_t> pids;
     for (std::unique_ptr<Connection>& cp : conns_) {
       Connection& c = *cp;
@@ -493,29 +595,57 @@ class SocketTransport : public Transport {
     return pids;
   }
 
+  TransportHealth Health() const override {
+    TransportHealth h;
+    h.round_retries = retries_.load(std::memory_order_relaxed);
+    h.worker_respawns = respawns_.load(std::memory_order_relaxed);
+    h.degraded_site_rounds = degraded_.load(std::memory_order_relaxed);
+    h.breakers_open = supervisor_->OpenBreakers();
+    return h;
+  }
+
  private:
   struct Connection {
     int fd = -1;
     pid_t pid = -1;
     bool dead = true;
+    /// True after the first successful Hello: later re-establishments are
+    /// respawns for the books.
+    bool ever_established = false;
+    /// Backoff-jitter state (seeded per site; pure SplitMix64 chain).
+    uint64_t jitter_state = 1;
     /// Serializes one round's send+receive exchange on this worker socket
     /// (overlapping per-class dispatcher rounds share the connection).
     Mutex io_mu{LockRank::kTransportConn};
   };
 
-  /// One request/reply exchange on an established connection. Any failure —
-  /// EOF, expired read deadline, framing corruption — is final for the
-  /// round; the caller decides whether the connection survives (a cleanly
-  /// framed worker-reported error keeps it, everything else closes it).
+  /// Per-site runtime of the degrade_local path: a standing context over
+  /// the coordinator's own fragment, reset whenever the fragments change.
+  struct LocalRuntime {
+    std::unique_ptr<FragmentContext> ctx = std::make_unique<FragmentContext>();
+    /// Serializes degraded rounds on one site (FragmentContext is
+    /// single-threaded); never nested with io_mu — degradation starts only
+    /// after the exchange released it.
+    Mutex eval_mu{LockRank::kTransportConn};
+  };
+
+  /// One request/reply exchange on an established connection, the whole
+  /// thing bounded by `deadline` (also capped by read_timeout_ms per
+  /// message). Any failure — EOF, expired deadline, framing corruption —
+  /// is final for this attempt; the caller decides whether the connection
+  /// survives (a cleanly framed worker-reported error keeps it, everything
+  /// else closes it).
   Status ExchangeLocked(Connection* c, const std::vector<uint8_t>& request,
-                        std::vector<uint8_t>* payload, double* compute_ms) {
-    Status s = WriteWireMessage(c->fd, request, options_.read_timeout_ms);
+                        std::vector<uint8_t>* payload, double* compute_ms,
+                        WireTime deadline) {
+    Status s = WriteWireMessage(c->fd, request,
+                                BudgetMs(deadline, options_.read_timeout_ms));
     if (!s.ok()) {
       CloseLocked(c);
       return s;
     }
     std::vector<uint8_t> reply;
-    s = ReadWireMessage(c->fd, options_.read_timeout_ms,
+    s = ReadWireMessage(c->fd, BudgetMs(deadline, options_.read_timeout_ms),
                         options_.max_frame_bytes, &reply);
     if (!s.ok()) {
       CloseLocked(c);
@@ -529,42 +659,239 @@ class SocketTransport : public Transport {
     return s;
   }
 
-  Status RoundOnSite(SiteId site, const RoundSpec& spec,
-                     std::vector<uint8_t>* payload, double* compute_ms) {
+  /// Milliseconds of per-message budget under the round deadline: the
+  /// smaller of `base_ms` and what is left of `deadline` (0 once the
+  /// deadline passed — polls then expire immediately).
+  int BudgetMs(WireTime deadline, int base_ms) const {
+    const int remaining = RemainingMs(deadline);
+    if (remaining < 0) return base_ms;
+    if (base_ms <= 0) return remaining;
+    return std::min(base_ms, remaining);
+  }
+
+  static bool DeadlineExpired(WireTime deadline) {
+    return deadline != WireTime{} && WireClock::now() >= deadline;
+  }
+
+  /// One site's share of a round, with in-round failover: rounds are pure
+  /// functions of (fragment state, broadcast), and re-establishment ships
+  /// the current fragment before anything else, so re-dispatching a failed
+  /// share is always sound — the worker either never saw the request or
+  /// recomputes the identical reply. Worker-REPORTED errors (a cleanly
+  /// framed failure from a live worker) are deterministic and final: no
+  /// retry, no degradation.
+  Status RoundOnSite(SiteId site, const RoundSpec& spec, uint64_t round,
+                     WireTime deadline, std::vector<uint8_t>* payload,
+                     double* compute_ms) {
+    Status last = Status::Internal("transport: round never attempted");
+    for (int attempt = 0; attempt <= options_.round_retries; ++attempt) {
+      if (DeadlineExpired(deadline)) {
+        last = Status::Internal("transport: round deadline expired");
+        break;
+      }
+      if (!supervisor_->AllowRequest(site)) {
+        last = Status::Internal("transport: circuit breaker open for site " +
+                                std::to_string(site));
+        break;
+      }
+      if (attempt > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+      bool worker_alive = false;
+      Status s = AttemptRoundOnSite(site, spec, round, attempt, deadline,
+                                    payload, compute_ms, &worker_alive);
+      if (s.ok()) {
+        supervisor_->RecordSuccess(site);
+        return s;
+      }
+      if (worker_alive) {
+        // The connection survived and framed an error: the failure is the
+        // round's, not the transport's. Retrying would recompute it.
+        supervisor_->RecordSuccess(site);
+        return s;
+      }
+      supervisor_->RecordFailure(site);
+      last = s;
+    }
+    if (options_.degrade_local) {
+      return DegradeLocal(site, spec, payload, compute_ms);
+    }
+    return last;
+  }
+
+  /// One attempt: establish if dead, inject any scheduled fault, exchange.
+  /// `*worker_alive` is true only when the exchange failed but the
+  /// connection is still good (worker-reported error).
+  Status AttemptRoundOnSite(SiteId site, const RoundSpec& spec, uint64_t round,
+                            int attempt, WireTime deadline,
+                            std::vector<uint8_t>* payload, double* compute_ms,
+                            bool* worker_alive) {
     Connection& c = *conns_[site];
     MutexLock lock(&c.io_mu);
     if (c.dead) {
-      Status s = EstablishLocked(site, &c);
+      Status s = EstablishLocked(site, &c, deadline);
       if (!s.ok()) return s;
+    }
+    const FaultKind fault = DrawFault(site, round, attempt);
+    if (fault == FaultKind::kKill) {
+      // Kill the real worker (or sever a connected endpoint) and proceed:
+      // the exchange below fails exactly the way a production crash does.
+      if (c.pid > 0) {
+        ::kill(c.pid, SIGKILL);
+        ::waitpid(c.pid, nullptr, 0);
+        c.pid = -1;
+      } else if (c.fd >= 0) {
+        ::shutdown(c.fd, SHUT_RDWR);
+      }
+    } else if (fault == FaultKind::kHang) {
+      // Stand-in for a silent worker: the deadline machinery is exercised
+      // separately (SilentWorkerTripsReadDeadline); chaos runs shouldn't
+      // spend read_timeout_ms per injection.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      CloseLocked(&c);
+      return Status::Internal("transport: fault injection: worker hung");
+    } else if (fault == FaultKind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          1 + static_cast<int>(SplitMix64(round * 977 + site) % 4)));
     }
     Encoder body;
     body.PutU8(static_cast<uint8_t>(WireMessage::kRound));
     body.PutU8(static_cast<uint8_t>(spec.kind));
     body.PutU8(spec.aux);
     body.PutRaw(spec.broadcast);
-    return ExchangeLocked(&c, body.buffer(), payload, compute_ms);
+    if (fault == FaultKind::kDropFrame) {
+      // Deliver the request, lose the reply: the worker computes, we close.
+      // Re-dispatch after this is the idempotence argument made flesh.
+      (void)WriteWireMessage(c.fd, body.buffer(),
+                             BudgetMs(deadline, options_.read_timeout_ms));
+      CloseLocked(&c);
+      return Status::Internal("transport: fault injection: reply dropped");
+    }
+    if (fault == FaultKind::kCorruptCrc) {
+      // Ship the frame with a flipped CRC: the worker's integrity gate
+      // rejects it and exits, and our read sees the close — the end-to-end
+      // corruption path, coordinator side.
+      Encoder framed;
+      framed.PutVarint(body.buffer().size());
+      framed.PutRaw(body.buffer());
+      framed.PutU32(
+          WireCrc32(body.buffer().data(), body.buffer().size()) ^ 0xFFu);
+      Status s = WriteFull(c.fd, framed.buffer().data(),
+                           framed.buffer().size(),
+                           WireDeadline(options_.read_timeout_ms));
+      if (s.ok()) {
+        std::vector<uint8_t> reply;
+        s = ReadWireMessage(c.fd, BudgetMs(deadline, options_.read_timeout_ms),
+                            options_.max_frame_bytes, &reply);
+      }
+      CloseLocked(&c);
+      return s.ok() ? Status::Internal("transport: fault injection: corrupt")
+                    : s;
+    }
+    Status s = ExchangeLocked(&c, body.buffer(), payload, compute_ms, deadline);
+    if (!s.ok()) *worker_alive = !c.dead;
+    return s;
   }
 
-  /// Establishment with bounded retry + backoff: spawn-or-connect plus the
-  /// Hello that ships the site id and the CURRENT fragment. This is the
-  /// only retried path — transient spawn/connect races heal here, while a
-  /// worker that dies mid-round stays failed for exactly one round.
-  Status EstablishLocked(SiteId site, Connection* c) {
+  /// The degradation path: evaluate this site's share of the round locally,
+  /// over the coordinator's own fragment copy. site_runtime::RunSiteRound
+  /// is the same decoder the workers run, and serialization round-trips are
+  /// exact, so the reply bytes are identical to a healthy worker's — the
+  /// batch completes, answers and modeled books unchanged.
+  Status DegradeLocal(SiteId site, const RoundSpec& spec,
+                      std::vector<uint8_t>* payload, double* compute_ms) {
+    LocalRuntime& rt = *local_[site];
+    MutexLock lock(&rt.eval_mu);
+    StopWatch watch;
+    Result<std::vector<uint8_t>> r =
+        RunSiteRound(fragmentation_->fragment(site), rt.ctx.get(), spec.kind,
+                     spec.aux, spec.broadcast);
+    if (compute_ms != nullptr) *compute_ms = watch.ElapsedMs();
+    if (!r.ok()) return r.status();
+    if (payload != nullptr) *payload = std::move(r).value();
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  /// The deterministic fault schedule: pure draws keyed by (seed, round,
+  /// site), injected only on a share's FIRST attempt so retries exercise
+  /// recovery rather than re-drawing the same doom.
+  FaultKind DrawFault(SiteId site, uint64_t round, int attempt) {
+    const FaultPlan& fp = options_.fault_plan;
+    if (!fp.enabled || attempt != 0 || round < fp.first_round) {
+      return FaultKind::kNone;
+    }
+    if (fp.kill_each_site && round >= fp.first_round + site) {
+      bool expected = false;
+      if (fault_killed_[site].compare_exchange_strong(expected, true)) {
+        return FaultKind::kKill;
+      }
+    }
+    if (fp.rate <= 0.0) return FaultKind::kNone;
+    const uint64_t h =
+        SplitMix64(fp.seed ^ SplitMix64(round * 0x100000001B3ull + site));
+    if (UnitDouble(h) >= fp.rate) return FaultKind::kNone;
+    switch (SplitMix64(h) % 5) {
+      case 0:
+        return FaultKind::kKill;
+      case 1:
+        return FaultKind::kHang;
+      case 2:
+        return FaultKind::kDropFrame;
+      case 3:
+        return FaultKind::kCorruptCrc;
+      default:
+        return FaultKind::kDelay;
+    }
+  }
+
+  /// Background repair (WorkerSupervisor thread): re-establish a dead
+  /// connection off the serving hot path. Returns false while the site
+  /// stays down so the supervisor re-queues it.
+  bool RepairSite(SiteId site) {
+    Connection& c = *conns_[site];
+    MutexLock lock(&c.io_mu);
+    if (!c.dead) return true;
+    return EstablishLocked(site, &c, WireTime{}).ok();
+  }
+
+  /// Establishment with bounded retry + jittered backoff: spawn-or-connect
+  /// plus the Hello that ships the site id and the current fragment
+  /// snapshot, all bounded by `deadline` when one is set. Attempt i backs
+  /// off about i * retry_backoff_ms, scaled by a seeded factor in
+  /// [0.5, 1.5) so a multi-worker restart spreads out instead of retrying
+  /// in lockstep.
+  Status EstablishLocked(SiteId site, Connection* c, WireTime deadline) {
     Status last = Status::Internal("transport: connection never attempted");
     for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
       if (attempt > 0 && options_.retry_backoff_ms > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(attempt * options_.retry_backoff_ms));
+        c->jitter_state = SplitMix64(c->jitter_state);
+        const double factor = 0.5 + UnitDouble(c->jitter_state);
+        int sleep_ms = static_cast<int>(
+            static_cast<double>(attempt * options_.retry_backoff_ms) * factor);
+        const int remaining = RemainingMs(deadline);
+        if (remaining >= 0) sleep_ms = std::min(sleep_ms, remaining);
+        if (sleep_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        }
+      }
+      if (DeadlineExpired(deadline)) {
+        last = Status::Internal("transport: round deadline expired");
+        break;
       }
       CloseLocked(c);
       ReapLocked(c);
-      Status s = options_.connect.empty()
-                     ? SpawnLocked(site, c)
-                     : ConnectEndpoint(options_.connect[site],
-                                       options_.connect_timeout_ms, &c->fd);
-      if (s.ok()) s = HelloLocked(site, c);
+      Status s =
+          options_.connect.empty()
+              ? SpawnLocked(site, c)
+              : ConnectEndpoint(options_.connect[site],
+                                BudgetMs(deadline, options_.connect_timeout_ms),
+                                &c->fd);
+      if (s.ok()) s = HelloLocked(site, c, deadline);
       if (s.ok()) {
         c->dead = false;
+        if (c->ever_established) {
+          respawns_.fetch_add(1, std::memory_order_relaxed);
+        }
+        c->ever_established = true;
         return s;
       }
       CloseLocked(c);
@@ -602,17 +929,24 @@ class SocketTransport : public Transport {
     return Status::OK();
   }
 
-  Status HelloLocked(SiteId site, Connection* c) {
+  /// Hello ships the CACHED fragment snapshot, never the live fragment:
+  /// the repair thread establishes off the epoch gate, and frag_bytes_ is
+  /// only rewritten under the writer-held gate (SyncFragments), so the
+  /// bytes a worker boots from are always a committed epoch's.
+  Status HelloLocked(SiteId site, Connection* c, WireTime deadline) {
     Encoder body;
     body.PutU8(static_cast<uint8_t>(WireMessage::kHello));
     body.PutU8(kWireVersion);
     body.PutVarint(site);
-    body.PutRaw(SerializeFragment(fragmentation_->fragment(site)));
+    {
+      MutexLock flock(&frag_mu_);
+      body.PutRaw(frag_bytes_[site]);
+    }
     Status s = WriteWireMessage(c->fd, body.buffer(),
-                                options_.connect_timeout_ms);
+                                BudgetMs(deadline, options_.connect_timeout_ms));
     if (!s.ok()) return s;
     std::vector<uint8_t> reply;
-    s = ReadWireMessage(c->fd, options_.read_timeout_ms,
+    s = ReadWireMessage(c->fd, BudgetMs(deadline, options_.read_timeout_ms),
                         options_.max_frame_bytes, &reply);
     if (!s.ok()) return s;
     std::vector<uint8_t> payload;
@@ -643,6 +977,18 @@ class SocketTransport : public Transport {
   const Fragmentation* fragmentation_;
   ThreadPool* pool_;
   std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::unique_ptr<LocalRuntime>> local_;
+  /// Serialized fragment snapshots shipped by Hello and Sync; written only
+  /// under the writer-held epoch gate, read during establishment.
+  Mutex frag_mu_{LockRank::kTransportFrag};
+  std::vector<std::vector<uint8_t>> frag_bytes_ PEREACH_GUARDED_BY(frag_mu_);
+  std::unique_ptr<WorkerSupervisor> supervisor_;
+  /// kill_each_site bookkeeping: each site is force-killed exactly once.
+  std::unique_ptr<std::atomic<bool>[]> fault_killed_;
+  std::atomic<uint64_t> round_counter_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> respawns_{0};
+  std::atomic<uint64_t> degraded_{0};
 };
 
 }  // namespace

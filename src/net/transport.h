@@ -27,6 +27,29 @@ namespace pereach {
 ///    replies per round. Real wall-clock serving.
 enum class TransportBackend : uint8_t { kSim = 0, kShm = 1, kSocket = 2 };
 
+/// Deterministic fault injection for the socket transport (tests, chaos
+/// benches). When enabled, each (round, site) pair draws from a pure hash
+/// of `seed`, so a given plan replays the exact same fault schedule on
+/// every run — the chaos differential depends on it. Faults fire on the
+/// coordinator side of the wire, before/around the real exchange, so every
+/// recovery path they trigger is the production one.
+struct FaultPlan {
+  /// Master switch; a default FaultPlan injects nothing.
+  bool enabled = false;
+  /// Seed of the per-(round, site) hash draw. Same seed, same schedule.
+  uint64_t seed = 1;
+  /// Probability in [0,1] that a given (round, site) attempt draws a fault;
+  /// which fault is a second draw over {kill, hang, drop-frame,
+  /// corrupt-crc, delay}.
+  double rate = 0.0;
+  /// Rounds before `first_round` are never faulted (lets caches warm).
+  uint64_t first_round = 0;
+  /// Guarantee mode for the acceptance bar: site s is force-killed exactly
+  /// once, on the first attempt at round >= first_round + s, independent of
+  /// `rate` — every worker dies at least once mid-serving.
+  bool kill_each_site = false;
+};
+
 /// Construction-time knobs of the transport seam. Defaults preserve the
 /// seed's simulated behavior exactly.
 struct TransportOptions {
@@ -41,19 +64,44 @@ struct TransportOptions {
   std::vector<std::string> connect;
   /// Deadline for establishing a worker connection (connect + handshake).
   int connect_timeout_ms = 2000;
-  /// Deadline for each blocking read of a reply frame; a worker that stays
-  /// silent longer is treated as dead and the round fails over to rejection.
+  /// Deadline for reading one complete reply frame. The budget covers the
+  /// whole message, not each blocked read, so a worker dripping one byte
+  /// per poll cannot stretch a round past it.
   int read_timeout_ms = 10000;
   /// Bounded retry count for ESTABLISHING a connection (spawn or connect +
-  /// handshake). Mid-round failures are never retried — the round rejects
-  /// and the next round re-establishes.
+  /// handshake) within one attempt at a site's round share.
   int max_retries = 2;
-  /// Base backoff between establishment retries; attempt i sleeps i times
-  /// this long.
+  /// Base backoff between establishment retries; attempt i sleeps about i
+  /// times this long, jittered by `backoff_jitter_seed` so a multi-worker
+  /// restart doesn't retry in lockstep.
   int retry_backoff_ms = 50;
+  /// Seed of the per-connection backoff jitter (multiplier in [0.5, 1.5)).
+  uint64_t backoff_jitter_seed = 1;
   /// Upper bound on one wire message's declared length. A peer announcing
   /// more is corrupt (or hostile) and is disconnected before any allocation.
   size_t max_frame_bytes = size_t{256} << 20;
+  /// In-round failover: after a site's exchange fails, re-establish and
+  /// re-dispatch that site's share up to this many extra times before
+  /// degrading or failing. Rounds are idempotent given fragment state
+  /// (DESIGN.md §13), so re-dispatch is always sound.
+  int round_retries = 1;
+  /// Whole-round wall deadline in SocketTransport::Execute, spanning every
+  /// retry, backoff and re-establishment; also bounds the Stop() drain.
+  /// <= 0 disables the cap.
+  int round_deadline_ms = 20000;
+  /// When a site's retries exhaust (or its breaker is open), evaluate that
+  /// fragment's RoundSpec locally on the coordinator's own fragment copy
+  /// via site_runtime::RunSiteRound instead of failing the round. Answers
+  /// are bit-identical by construction; the batch completes.
+  bool degrade_local = true;
+  /// Consecutive failures on one connection that trip its circuit breaker
+  /// open (<= 0 disables the breaker).
+  int breaker_threshold = 3;
+  /// How long an open breaker rejects attempts before letting one probe
+  /// through (half-open).
+  int breaker_open_ms = 200;
+  /// Deterministic fault injection (off by default).
+  FaultPlan fault_plan;
 };
 
 /// What a round asks every listed site to do. The simulated backend ignores
@@ -111,15 +159,16 @@ enum class WireMessage : uint8_t {
 /// gate of the socket framing. Table-driven, no hardware or library deps.
 uint32_t WireCrc32(const uint8_t* data, size_t size);
 
-/// Writes one framed message. `timeout_ms` bounds each blocked send
-/// (<= 0: block indefinitely). Fails with Internal on a closed or stuck
-/// peer; never raises SIGPIPE.
+/// Writes one framed message. `timeout_ms` bounds the WHOLE write — every
+/// blocked send shares one deadline (<= 0: block indefinitely). Fails with
+/// Internal on a closed or stuck peer; never raises SIGPIPE.
 Status WriteWireMessage(int fd, const std::vector<uint8_t>& body,
                         int timeout_ms);
 
-/// Reads one framed message into `*body`. `timeout_ms` bounds each blocked
-/// read (<= 0: block indefinitely). Fails with Internal on EOF/timeout and
-/// Corruption on an oversized length or CRC mismatch.
+/// Reads one framed message into `*body`. `timeout_ms` bounds the WHOLE
+/// message — a peer dripping one byte per poll cannot stretch it (<= 0:
+/// block indefinitely). Fails with Internal on EOF/timeout and Corruption
+/// on an oversized length or CRC mismatch.
 Status ReadWireMessage(int fd, int timeout_ms, size_t max_frame_bytes,
                        std::vector<uint8_t>* body);
 
@@ -128,6 +177,16 @@ Status ReadWireMessage(int fd, int timeout_ms, size_t max_frame_bytes,
 /// One site's work in a simulated round: the engine's closure over the
 /// coordinator-resident fragment.
 using SiteFn = std::function<std::vector<uint8_t>(const Fragment&)>;
+
+/// Monotonic recovery counters plus the breaker gauge, sampled lock-free.
+/// In-process backends report all zeros; QueryServer::Metrics() imports
+/// these into the server_transport_* metric families.
+struct TransportHealth {
+  uint64_t round_retries = 0;        // in-round re-dispatch attempts
+  uint64_t worker_respawns = 0;      // re-establishments after first Hello
+  uint64_t degraded_site_rounds = 0; // site-rounds evaluated degrade_local
+  uint64_t breakers_open = 0;        // connections currently open/half-open
+};
 
 /// Executes communication rounds for a Cluster. Implementations are
 /// thread-safe: the server's per-class dispatchers run overlapping rounds
@@ -163,6 +222,9 @@ class Transport {
   /// kSocket spawn mode: pids of the live worker processes (test hook for
   /// failure injection). Empty for other backends/modes.
   virtual std::vector<int> WorkerPidsForTest() { return {}; }
+
+  /// Recovery counters and breaker state (zeros for in-process backends).
+  virtual TransportHealth Health() const { return {}; }
 };
 
 /// Builds the backend `options.backend` selects. `fragmentation` and `pool`

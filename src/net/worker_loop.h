@@ -10,8 +10,12 @@ namespace pereach {
 /// kRound requests via RunSiteRound. Crash-safe by construction: every
 /// ingress byte goes through CRC-gated framing plus tolerant decoding, so a
 /// malformed message produces an error reply (or a dropped connection), never
-/// a worker abort. Shared by the pereach_worker binary (tools/) and by
-/// in-process fake-worker threads in the failure-injection tests.
+/// a worker abort. Workers are deliberately stateless beyond the installed
+/// fragment: the coordinator's supervisor can SIGKILL and respawn one at any
+/// point and the fresh Hello (re-shipping the current fragment snapshot)
+/// fully reconstructs it — the property the self-healing transport
+/// (DESIGN.md §13.2) leans on. Shared by the pereach_worker binary (tools/)
+/// and by in-process fake-worker threads in the failure-injection tests.
 void ServeConnection(int fd);
 
 }  // namespace pereach

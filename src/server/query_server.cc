@@ -273,6 +273,17 @@ MetricsSnapshot QueryServer::Metrics() const {
   metrics_.SetCounter(CounterId::kCacheInsertions, cache.insertions);
   metrics_.SetCounter(CounterId::kCacheEvictions, cache.evictions);
   metrics_.SetCounter(CounterId::kCacheInvalidated, cache.invalidated);
+  // The transport keeps its own recovery books (retries, respawns,
+  // degraded rounds, breaker state) — import them the same way.
+  if (const Transport* transport = cluster_.transport()) {
+    const TransportHealth health = transport->Health();
+    metrics_.SetCounter(CounterId::kTransportRetries, health.round_retries);
+    metrics_.SetCounter(CounterId::kTransportRespawns, health.worker_respawns);
+    metrics_.SetCounter(CounterId::kTransportDegraded,
+                        health.degraded_site_rounds);
+    metrics_.SetGauge(GaugeId::kBreakersOpen,
+                      static_cast<double>(health.breakers_open));
+  }
   return metrics_.Snapshot();
 }
 

@@ -47,6 +47,12 @@ constexpr MetricInfo kCounterInfos[] = {
      "answer-cache LRU drops to hold the entry/byte budgets"},
     {"server_cache_invalidated_total", "counter", "entries",
      "answer-cache entries dropped by epoch advances"},
+    {"server_transport_retries_total", "counter", "rounds",
+     "in-round re-dispatches after a site's exchange failed"},
+    {"server_transport_respawns_total", "counter", "workers",
+     "worker re-establishments (respawn/reconnect) after the first Hello"},
+    {"server_transport_degraded_total", "counter", "rounds",
+     "site-rounds evaluated locally on the coordinator (degrade_local)"},
 };
 
 constexpr MetricInfo kGaugeInfos[] = {
@@ -65,6 +71,8 @@ constexpr MetricInfo kGaugeInfos[] = {
      "committed epoch minus the stalest dispatcher's last answered epoch"},
     {"server_tenants_in_flight", "gauge", "tenants",
      "tenants with at least one admitted unanswered query"},
+    {"server_transport_breakers_open", "gauge", "connections",
+     "transport connections whose circuit breaker is open or half-open"},
 };
 
 constexpr MetricInfo kHistogramInfos[] = {

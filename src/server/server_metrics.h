@@ -45,6 +45,9 @@ enum class CounterId : size_t {
   kCacheInsertions,    // entries written after evaluation
   kCacheEvictions,     // LRU drops to hold the entry/byte budgets
   kCacheInvalidated,   // entries dropped by epoch advances
+  kTransportRetries,   // in-round re-dispatches after a site exchange failed
+  kTransportRespawns,  // worker re-establishments after the first Hello
+  kTransportDegraded,  // site-rounds evaluated locally (degrade_local)
   kCount,
 };
 
@@ -58,6 +61,7 @@ enum class GaugeId : size_t {
   kEpochLag,         // committed epoch minus the stalest dispatcher's last
                      // answered epoch (0 when every class is current)
   kTenantsInFlight,  // tenants with at least one admitted unanswered query
+  kBreakersOpen,     // transport connections with an open/half-open breaker
   kCount,
 };
 

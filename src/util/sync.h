@@ -100,8 +100,20 @@ enum class LockRank : int {
   kClusterMetrics = 40,
   /// SocketTransport's per-connection io_mu — serializes one round's
   /// send+receive exchange on a worker socket; taken inside gate-reader-held
-  /// rounds, never with any higher rank held.
+  /// rounds, never with any higher rank held. Also the per-site eval_mu
+  /// guarding degrade-local FragmentContexts (never nested with io_mu:
+  /// degradation runs only after the exchange released it).
   kTransportConn = 45,
+  /// SocketTransport::frag_mu_ — the serialized fragment snapshots Hello
+  /// and Sync ship; read under io_mu during establishment, written by
+  /// SyncFragments under the writer-held epoch gate.
+  kTransportFrag = 46,
+  /// WorkerSupervisor::mu_ — per-connection breaker state and the repair
+  /// worklist. Ranked above io_mu so the repair thread can never hold it
+  /// while re-establishing a connection (it copies the worklist and
+  /// releases first); breaker bookkeeping nests inside io_mu-free code or
+  /// after io_mu on the round path.
+  kTransportHealth = 48,
   /// ThreadPool::mu_ — task queue and in-flight count of the site pool.
   kThreadPool = 50,
   /// ThreadPool::ParallelFor's per-call completion latch; workers take it

@@ -9,6 +9,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -20,6 +22,7 @@
 #include "src/fragment/fragmentation.h"
 #include "src/graph/graph.h"
 #include "src/net/cluster.h"
+#include "src/net/supervisor.h"
 #include "src/net/transport.h"
 #include "src/net/worker_loop.h"
 #include "src/regex/regex.h"
@@ -220,6 +223,11 @@ TransportOptions ConnectOptions(const FakeWorkers& workers) {
   opts.read_timeout_ms = 500;
   opts.max_retries = 0;
   opts.retry_backoff_ms = 1;
+  // These tests script exact failure/recovery sequences, so self-healing is
+  // pinned off: one attempt per round, no local degradation, no breaker.
+  opts.round_retries = 0;
+  opts.degrade_local = false;
+  opts.breaker_threshold = 0;
   return opts;
 }
 
@@ -319,6 +327,11 @@ TEST(TransportFailureTest, ServerRejectsKilledWorkerBatchAndKeepsServing) {
   ServerOptions options;
   options.transport.backend = TransportBackend::kSocket;
   options.transport.read_timeout_ms = 2000;
+  // Recovery pinned off: this test asserts the documented opt-out behavior
+  // (kill → one rejected batch → next batch served off a respawn).
+  options.transport.round_retries = 0;
+  options.transport.degrade_local = false;
+  options.transport.breaker_threshold = 0;
   QueryServer server(&index, options);
 
   const ServedAnswer first = server.Submit(Query::Reach(ex.ann, ex.mark)).get();
@@ -379,6 +392,136 @@ TEST(TransportFailureTest, StopDuringHungRoundDrainsCleanly) {
       EXPECT_TRUE(served.rejected);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing transport (DESIGN.md §13): the supervisor's breaker state
+// machine, its repair re-queue loop, and end-to-end recovery through a live
+// QueryServer — kill and unreachable-endpoint faults must be absorbed, not
+// surfaced as rejections.
+
+using BreakerState = WorkerSupervisor::BreakerState;
+
+TEST(SupervisorTest, BreakerOpensHalfOpensAndCloses) {
+  WorkerSupervisor sup(/*num_sites=*/1, /*threshold=*/2, /*open_ms=*/50);
+  EXPECT_TRUE(sup.AllowRequest(0));
+  sup.RecordFailure(0);
+  EXPECT_EQ(sup.StateForTest(0), BreakerState::kClosed);  // below threshold
+  EXPECT_TRUE(sup.AllowRequest(0));
+  sup.RecordFailure(0);
+  EXPECT_EQ(sup.StateForTest(0), BreakerState::kOpen);
+  EXPECT_FALSE(sup.AllowRequest(0));  // open window refuses
+  EXPECT_EQ(sup.OpenBreakers(), 1u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(sup.AllowRequest(0));  // window elapsed: becomes the probe
+  EXPECT_EQ(sup.StateForTest(0), BreakerState::kHalfOpen);
+  EXPECT_FALSE(sup.AllowRequest(0));  // only one probe admitted
+
+  sup.RecordSuccess(0);  // probe succeeded: breaker closes fully
+  EXPECT_EQ(sup.StateForTest(0), BreakerState::kClosed);
+  EXPECT_EQ(sup.OpenBreakers(), 0u);
+  EXPECT_TRUE(sup.AllowRequest(0));
+}
+
+TEST(SupervisorTest, FailedHalfOpenProbeReopensBreaker) {
+  WorkerSupervisor sup(/*num_sites=*/1, /*threshold=*/1, /*open_ms=*/50);
+  sup.RecordFailure(0);
+  EXPECT_EQ(sup.StateForTest(0), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(sup.AllowRequest(0));  // half-open probe
+  sup.RecordFailure(0);              // probe failed
+  EXPECT_EQ(sup.StateForTest(0), BreakerState::kOpen);
+  EXPECT_FALSE(sup.AllowRequest(0));  // fresh open window
+}
+
+TEST(SupervisorTest, RepairThreadRequeuesUntilSuccess) {
+  WorkerSupervisor sup(/*num_sites=*/1, /*threshold=*/1, /*open_ms=*/5);
+  std::atomic<int> calls{0};
+  sup.Start([&calls](SiteId site) {
+    PEREACH_CHECK_EQ(site, 0u);
+    // Fail the first two repair attempts: each must be re-queued after the
+    // backoff rather than dropped.
+    return calls.fetch_add(1) >= 2;
+  });
+  sup.RecordFailure(0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (calls.load() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(calls.load(), 3);
+  sup.Stop();
+}
+
+// Respawn under load: SIGKILL every spawned worker under a live QueryServer
+// running the default self-healing options. Every subsequent submission must
+// still be SERVED — in-round failover re-establishes (or degrades) without
+// surfacing a single rejection — and the recovery shows up in the metrics.
+TEST(TransportFailureTest, ServerAbsorbsKilledWorkersUnderLoad) {
+  const PaperExample ex = MakePaperExample();
+  Graph g = ex.graph;
+  IncrementalReachIndex index(std::move(g), ex.partition, 3);
+  ServerOptions options;
+  options.transport.backend = TransportBackend::kSocket;
+  options.transport.read_timeout_ms = 2000;
+  QueryServer server(&index, options);
+
+  const ServedAnswer first = server.Submit(Query::Reach(ex.ann, ex.mark)).get();
+  ASSERT_FALSE(first.rejected);
+  EXPECT_TRUE(first.answer.reachable);
+
+  const std::vector<int> pids =
+      server.cluster()->transport()->WorkerPidsForTest();
+  ASSERT_EQ(pids.size(), 3u);
+  for (const int pid : pids) kill(pid, SIGKILL);
+
+  for (int i = 0; i < 4; ++i) {
+    const ServedAnswer served =
+        server.Submit(Query::Reach(ex.ann, ex.mark)).get();
+    ASSERT_FALSE(served.rejected) << "submission " << i;
+    EXPECT_TRUE(served.answer.reachable);
+  }
+  const MetricsSnapshot snap = server.Metrics();
+  EXPECT_EQ(snap.counter(CounterId::kRejectedTransport), 0u);
+  EXPECT_GT(snap.counter(CounterId::kTransportRetries) +
+                snap.counter(CounterId::kTransportDegraded),
+            0u);
+  server.Stop();
+}
+
+// Degraded-round correctness through the server: every endpoint is
+// unreachable, so with degrade_local on (the default) every site round is
+// evaluated over the coordinator's fragment copy. Answers must be correct
+// and the degradation visible in the metrics, including the breaker gauge.
+TEST(TransportFailureTest, ServerDegradesLocallyWhenWorkersUnreachable) {
+  const PaperExample ex = MakePaperExample();
+  Graph g = ex.graph;
+  IncrementalReachIndex index(std::move(g), ex.partition, 3);
+  ServerOptions options;
+  options.transport.backend = TransportBackend::kSocket;
+  options.transport.connect = {"unix:/nonexistent/pereach-a.sock",
+                               "unix:/nonexistent/pereach-b.sock",
+                               "unix:/nonexistent/pereach-c.sock"};
+  options.transport.connect_timeout_ms = 100;
+  options.transport.max_retries = 0;
+  options.transport.retry_backoff_ms = 1;
+  options.transport.round_retries = 0;
+  options.transport.breaker_threshold = 1;
+  QueryServer server(&index, options);
+
+  const ServedAnswer reach = server.Submit(Query::Reach(ex.ann, ex.mark)).get();
+  ASSERT_FALSE(reach.rejected);
+  EXPECT_TRUE(reach.answer.reachable);
+  const ServedAnswer miss = server.Submit(Query::Reach(ex.mark, ex.ann)).get();
+  ASSERT_FALSE(miss.rejected);
+  EXPECT_FALSE(miss.answer.reachable);
+
+  const MetricsSnapshot snap = server.Metrics();
+  EXPECT_EQ(snap.counter(CounterId::kRejectedTransport), 0u);
+  EXPECT_GT(snap.counter(CounterId::kTransportDegraded), 0u);
+  EXPECT_GT(snap.gauge(GaugeId::kBreakersOpen), 0.0);
+  server.Stop();
 }
 
 }  // namespace

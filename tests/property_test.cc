@@ -207,8 +207,12 @@ TEST(CrossClassPropertyTest, AllPathCombosMatchOracleAcrossMatrix) {
 // This is the proof that serving over real sockets changes wall-clock only.
 // One socket-vs-sim differential world: same graph, same partitioner, the
 // sim and socket backends must agree bit-for-bit on answers AND on the
-// modeled books across the path extremes and update epochs.
-void SocketVsSimDifferential(const Partitioner& partitioner, uint64_t seed) {
+// modeled books across the path extremes and update epochs. With a
+// `fault_plan`, the socket backend additionally absorbs seeded
+// {kill, hang, drop, corrupt, delay} faults via in-round failover — the
+// answers and books must STILL be bit-identical to the fault-free sim.
+void SocketVsSimDifferential(const Partitioner& partitioner, uint64_t seed,
+                             const FaultPlan* fault_plan = nullptr) {
   constexpr size_t kSites = 3, kEpochs = 3, kQueriesPerEpoch = 16;
   constexpr size_t kNumLabels = 3;
   const uint64_t kSeed = seed;
@@ -221,6 +225,13 @@ void SocketVsSimDifferential(const Partitioner& partitioner, uint64_t seed) {
 
   TransportOptions socket_options;
   socket_options.backend = TransportBackend::kSocket;
+  if (fault_plan != nullptr) {
+    socket_options.fault_plan = *fault_plan;
+    socket_options.read_timeout_ms = 2000;
+    socket_options.round_retries = 2;
+    socket_options.breaker_threshold = 2;
+    socket_options.breaker_open_ms = 50;
+  }
   Cluster sim_cluster(&index.fragmentation(), NetworkModel{});
   Cluster socket_cluster(&index.fragmentation(), NetworkModel{},
                          /*num_threads=*/0, socket_options);
@@ -296,12 +307,41 @@ void SocketVsSimDifferential(const Partitioner& partitioner, uint64_t seed) {
     ASSERT_TRUE(socket_cluster.SyncFragments().ok());
   }
   index.SetUpdateListener(nullptr);
+
+  if (fault_plan != nullptr) {
+    // The plan actually injected: recovery work must be visible in the
+    // health counters (kill_each_site alone guarantees kSites respawns or
+    // degraded rounds), yet no batch above was allowed to fail.
+    const TransportHealth health = socket_cluster.transport()->Health();
+    EXPECT_GT(health.round_retries + health.degraded_site_rounds, 0u)
+        << "seed=" << kSeed << " " << partitioner.name();
+  }
 }
 
 TEST(CrossClassPropertyTest, SocketBackendMatchesSimAcrossEpochsAndPaths) {
   uint64_t seed = 1357911;
   for (const auto& partitioner : AllPartitioners()) {
     SocketVsSimDifferential(*partitioner, seed++);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Chaos differential: the same socket-vs-sim matrix, but the socket backend
+// runs under a seeded FaultPlan that SIGKILLs every worker at least once
+// (kill_each_site) and sprinkles {kill, hang, drop-frame, corrupt-crc,
+// delay} faults at rate 0.2. In-round failover + local degradation must
+// absorb every fault: answers and modeled books stay bit-identical to the
+// fault-free sim across partitioners and update epochs.
+TEST(CrossClassPropertyTest, ChaosSocketBackendMatchesSimUnderFaultPlan) {
+  uint64_t seed = 246813579;
+  for (const auto& partitioner : AllPartitioners()) {
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = seed;
+    plan.rate = 0.2;
+    plan.first_round = 0;
+    plan.kill_each_site = true;
+    SocketVsSimDifferential(*partitioner, seed++, &plan);
     if (HasFatalFailure()) return;
   }
 }

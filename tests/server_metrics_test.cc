@@ -112,6 +112,36 @@ TEST(ServerMetricsTest, CatalogCoversEveryIdWithUniqueWellFormedNames) {
   }
 }
 
+TEST(ServerMetricsTest, TransportRecoveryMetricsAreCataloged) {
+  // The self-healing transport's counters/gauge (DESIGN.md §13) are part of
+  // the stable operations surface: pin the exported names to their ids.
+  EXPECT_EQ(std::string(
+                CounterInfos()[static_cast<size_t>(CounterId::kTransportRetries)]
+                    .name),
+            "server_transport_retries_total");
+  EXPECT_EQ(std::string(CounterInfos()[static_cast<size_t>(
+                                           CounterId::kTransportRespawns)]
+                            .name),
+            "server_transport_respawns_total");
+  EXPECT_EQ(std::string(CounterInfos()[static_cast<size_t>(
+                                           CounterId::kTransportDegraded)]
+                            .name),
+            "server_transport_degraded_total");
+  EXPECT_EQ(
+      std::string(
+          GaugeInfos()[static_cast<size_t>(GaugeId::kBreakersOpen)].name),
+      "server_transport_breakers_open");
+  // They export like any other metric.
+  ServerMetrics metrics;
+  metrics.AddCounter(CounterId::kTransportRetries, 2);
+  metrics.SetGauge(GaugeId::kBreakersOpen, 1.0);
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counter(CounterId::kTransportRetries), 2u);
+  EXPECT_EQ(snap.gauge(GaugeId::kBreakersOpen), 1.0);
+  EXPECT_NE(snap.ToJson().find("\"server_transport_retries_total\": 2"),
+            std::string::npos);
+}
+
 TEST(ServerMetricsTest, JsonSnapshotIsStructurallySoundAndComplete) {
   ServerMetrics metrics;
   metrics.AddCounter(CounterId::kBatches, 3);

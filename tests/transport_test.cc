@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -145,6 +146,38 @@ TEST_F(WirePipeTest, ReadDeadlineExpires) {
   EXPECT_EQ(s.code(), StatusCode::kInternal);
 }
 
+// The read deadline covers the WHOLE message: a peer dripping one byte per
+// poll interval used to reset the clock on every blocked read, stretching
+// one message to (timeout x body bytes). Now the drip trips the deadline on
+// schedule.
+TEST_F(WirePipeTest, DripFedMessageTripsWholeMessageDeadline) {
+  const int writer_fd = fds_[0];
+  std::thread writer([writer_fd] {
+    Encoder length;
+    length.PutVarint(64);  // declare a 64-byte body...
+    (void)!send(writer_fd, length.buffer().data(), length.buffer().size(),
+                MSG_NOSIGNAL);
+    for (int i = 0; i < 64; ++i) {  // ...and drip it one byte per 50ms
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const uint8_t byte = 0;
+      // MSG_NOSIGNAL: the reader closes its end once the deadline trips.
+      if (send(writer_fd, &byte, 1, MSG_NOSIGNAL) != 1) break;
+    }
+  });
+  std::vector<uint8_t> got;
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = ReadWireMessage(fds_[1], 300, 1 << 20, &got);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  // Generous bound: far below the ~3.2s a per-read deadline would allow.
+  EXPECT_LT(elapsed_ms, 1500);
+  close(fds_[1]);  // unblock the writer's next drip
+  fds_[1] = -1;
+  writer.join();
+}
+
 // --- Backend equivalence ----------------------------------------------------
 
 std::vector<Query> MixedBatch(size_t n, size_t count, uint64_t seed) {
@@ -224,6 +257,10 @@ TEST(TransportBackendTest, UnreachableEndpointFailsRoundWithoutAborting) {
   opts.connect_timeout_ms = 200;
   opts.max_retries = 1;
   opts.retry_backoff_ms = 1;
+  // Pin recovery off: this test asserts the plain failure path.
+  opts.round_retries = 0;
+  opts.degrade_local = false;
+  opts.breaker_threshold = 0;
   Cluster cluster(&frag, NetworkModel(), /*num_threads=*/3, opts);
   cluster.BeginQuery();
   RoundSpec spec;
@@ -235,14 +272,57 @@ TEST(TransportBackendTest, UnreachableEndpointFailsRoundWithoutAborting) {
   EXPECT_FALSE(replies.ok());
 }
 
-// Killing a worker fails the in-flight round's queries, and the NEXT round
-// transparently respawns — the serving recovery story in one test.
+// With degrade_local on (the default), the same unreachable endpoints do not
+// fail the batch at all: every site round is evaluated over the coordinator's
+// fragment copy, bit-identical to the simulated cluster.
+TEST(TransportBackendTest, UnreachableEndpointDegradesLocallyByDefault) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  TransportOptions opts;
+  opts.backend = TransportBackend::kSocket;
+  opts.connect = {"unix:/nonexistent/pereach-0.sock",
+                  "unix:/nonexistent/pereach-1.sock",
+                  "unix:/nonexistent/pereach-2.sock"};
+  opts.connect_timeout_ms = 100;
+  opts.max_retries = 0;
+  opts.retry_backoff_ms = 1;
+  opts.round_retries = 0;
+  opts.breaker_threshold = 1;  // open after the first failure
+  Cluster sim(&frag, NetworkModel(), /*num_threads=*/3);
+  Cluster real(&frag, NetworkModel(), /*num_threads=*/3, opts);
+  PartialEvalEngine sim_engine(&sim);
+  PartialEvalEngine real_engine(&real);
+
+  const std::vector<Query> batch = MixedBatch(ex.graph.NumNodes(), 16, 23);
+  const BatchAnswer a = sim_engine.EvaluateBatch(batch);
+  const BatchAnswer b = real_engine.EvaluateBatch(batch);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(a.answers[i].reachable, b.answers[i].reachable) << "query " << i;
+    EXPECT_EQ(a.answers[i].distance, b.answers[i].distance) << "query " << i;
+  }
+  // Degraded rounds still charge the modeled books identically.
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.metrics.traffic_bytes, b.metrics.traffic_bytes);
+  const TransportHealth health = real.transport()->Health();
+  EXPECT_GT(health.degraded_site_rounds, 0u);
+  EXPECT_GT(health.breakers_open, 0u);
+}
+
+// With recovery pinned off, killing a worker fails the in-flight round's
+// queries, and the NEXT round transparently respawns — the pre-supervisor
+// recovery story, kept as the documented opt-out.
 TEST(TransportBackendTest, KilledWorkerFailsRoundThenRespawns) {
   const PaperExample ex = MakePaperExample();
   const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
   TransportOptions opts;
   opts.backend = TransportBackend::kSocket;
   opts.read_timeout_ms = 2000;
+  opts.round_retries = 0;
+  opts.degrade_local = false;
+  opts.breaker_threshold = 0;
   Cluster cluster(&frag, NetworkModel(), /*num_threads=*/3, opts);
   PartialEvalEngine engine(&cluster);
 
@@ -269,6 +349,38 @@ TEST(TransportBackendTest, KilledWorkerFailsRoundThenRespawns) {
   const std::vector<int> respawned = cluster.transport()->WorkerPidsForTest();
   ASSERT_EQ(respawned.size(), 3u);
   EXPECT_NE(respawned[1], pids[1]);
+}
+
+// With default options the same kill is invisible to callers: the round that
+// hits the dead connection re-establishes in place and re-dispatches, so the
+// batch succeeds with bit-identical answers and no rejection at all.
+TEST(TransportBackendTest, KilledWorkerRecoversInRound) {
+  const PaperExample ex = MakePaperExample();
+  const Fragmentation frag = Fragmentation::Build(ex.graph, ex.partition, 3);
+  TransportOptions opts;
+  opts.backend = TransportBackend::kSocket;
+  opts.read_timeout_ms = 2000;
+  Cluster cluster(&frag, NetworkModel(), /*num_threads=*/3, opts);
+  PartialEvalEngine engine(&cluster);
+
+  const std::vector<Query> batch = MixedBatch(ex.graph.NumNodes(), 8, 13);
+  const BatchAnswer before = engine.EvaluateBatch(batch);
+  ASSERT_TRUE(before.status.ok());
+
+  const std::vector<int> pids = cluster.transport()->WorkerPidsForTest();
+  ASSERT_EQ(pids.size(), 3u);
+  for (const int pid : pids) kill(pid, SIGKILL);
+
+  const BatchAnswer during = engine.EvaluateBatch(batch);
+  ASSERT_TRUE(during.status.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(during.answers[i].reachable, before.answers[i].reachable);
+    EXPECT_EQ(during.answers[i].distance, before.answers[i].distance);
+  }
+  const TransportHealth health = cluster.transport()->Health();
+  // Every recovery is visible in the health counters: either the round was
+  // retried against a respawned worker or it was served by local degradation.
+  EXPECT_GT(health.round_retries + health.degraded_site_rounds, 0u);
 }
 
 }  // namespace
